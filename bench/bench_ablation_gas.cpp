@@ -1,0 +1,55 @@
+// Ablation: transaction-cost sensitivity.
+//
+// The paper monetizes gross profit; a real bot pays gas. This bench runs
+// the Section VI market and asks, per gas-price level: how many of the
+// 123 arbitrage loops stay profitable after gas, and how much net value
+// remains, for MaxMax vs Convex Optimization. The thin tail of loops dies
+// first — at high gas only the fat opportunities survive.
+
+#include "bench/bench_util.hpp"
+#include "core/gas.hpp"
+
+using namespace arb;
+
+int main() {
+  const core::MarketStudy study = bench::section6_study(3);
+  std::printf("market: %zu loops, gross MaxMax total $%.2f\n\n",
+              study.loops.size(), [&] {
+                double total = 0.0;
+                for (const auto& row : study.loops) {
+                  total += row.max_max.monetized_usd;
+                }
+                return total;
+              }());
+
+  bench::FigureSink sink(
+      "ablation_gas", "profitability vs gas price (3-hop bundles)",
+      {"gas_price_gwei", "bundle_cost_usd", "maxmax_loops_alive",
+       "convex_loops_alive", "maxmax_net_usd", "convex_net_usd"});
+
+  for (double gwei : {0.0, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0}) {
+    core::GasModel gas;
+    gas.gas_price_gwei = gwei;
+    std::size_t maxmax_alive = 0;
+    std::size_t convex_alive = 0;
+    double maxmax_net = 0.0;
+    double convex_net = 0.0;
+    for (const core::LoopComparison& row : study.loops) {
+      const std::size_t swaps = row.cycle.length();
+      if (gas.profitable_after_gas(row.max_max, swaps)) {
+        ++maxmax_alive;
+        maxmax_net += gas.net_profit_usd(row.max_max, swaps);
+      }
+      if (gas.profitable_after_gas(row.convex.outcome, swaps)) {
+        ++convex_alive;
+        convex_net += gas.net_profit_usd(row.convex.outcome, swaps);
+      }
+    }
+    sink.row({gwei, gas.bundle_cost_usd(3), static_cast<double>(maxmax_alive),
+              static_cast<double>(convex_alive), maxmax_net, convex_net});
+  }
+  std::printf("shape check: loop survival and net value fall monotonically "
+              "with gas price; MaxMax and Convex die together (their gross "
+              "profits nearly coincide on market data)\n\n");
+  return 0;
+}

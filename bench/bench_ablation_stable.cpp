@@ -1,0 +1,61 @@
+// Ablation: AMM curve choice on the pegged leg of a loop.
+//
+// The paper is CPMM-only; this bench swaps the stable-pair leg of a
+// triangle (USDC/USDT) for a Curve-style StableSwap pool of the same
+// reserves and mispricing, and sweeps the amplification A. Because the
+// stable curve is much deeper near the peg, the same mispricing supports
+// a far larger optimal trade — the optimizer layer (curve-agnostic
+// golden-section) handles both without modification.
+
+#include "amm/generic_path.hpp"
+#include "bench/bench_util.hpp"
+
+using namespace arb;
+
+int main() {
+  const TokenId usdc{0};
+  const TokenId usdt{1};
+  const TokenId weth{2};
+  // CPMM legs: USDT -> WETH -> USDC with a 1.6% edge.
+  const amm::CpmmPool usdt_weth(PoolId{1}, usdt, weth, 1'830'000.0, 1'000.0);
+  const amm::CpmmPool weth_usdc(PoolId{2}, weth, usdc, 1'000.0, 1'860'000.0);
+
+  bench::FigureSink sink(
+      "ablation_stable",
+      "pegged-leg curve choice: CPMM vs StableSwap(A), same reserves",
+      {"amplification", "optimal_input_usdc", "profit_usdc",
+       "input_vs_cpmm", "profit_vs_cpmm"});
+
+  // Baseline: the pegged leg as a CPMM pool.
+  const amm::CpmmPool cpmm_leg(PoolId{0}, usdc, usdt, 1'004'000.0,
+                               996'000.0, 0.0004);
+  const amm::GenericPath cpmm_loop({amm::swap_fn(cpmm_leg, usdc),
+                                    amm::swap_fn(usdt_weth, usdt),
+                                    amm::swap_fn(weth_usdc, weth)});
+  amm::GenericOptimizeOptions options;
+  options.initial_scale = 1'000.0;
+  const auto cpmm_trade =
+      bench::expect_ok(amm::optimize_input_generic(cpmm_loop, options),
+                       "cpmm baseline");
+  std::printf("CPMM baseline: input %.1f USDC, profit %.2f USDC\n\n",
+              cpmm_trade.input, cpmm_trade.profit);
+
+  for (const double amplification : {0.05, 1.0, 5.0, 20.0, 100.0, 500.0,
+                                     2000.0}) {
+    const amm::StablePool stable_leg(PoolId{0}, usdc, usdt, 1'004'000.0,
+                                     996'000.0, amplification, 0.0004);
+    const amm::GenericPath loop({amm::swap_fn(stable_leg, usdc),
+                                 amm::swap_fn(usdt_weth, usdt),
+                                 amm::swap_fn(weth_usdc, weth)});
+    const auto trade = bench::expect_ok(
+        amm::optimize_input_generic(loop, options), "stable loop");
+    sink.row({amplification, trade.input, trade.profit,
+              cpmm_trade.input > 0.0 ? trade.input / cpmm_trade.input : 0.0,
+              cpmm_trade.profit > 0.0 ? trade.profit / cpmm_trade.profit
+                                      : 0.0});
+  }
+  std::printf("shape check: optimal input and profit grow monotonically "
+              "with A (deeper curve, same mispricing), approaching the "
+              "CPMM baseline as A -> 0\n\n");
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Fig. 3: monetized profit of the Convex Optimization strategy vs the
+// MaxMax strategy across the P_x sweep — Convex dominates everywhere.
+
+#include "bench/bench_util.hpp"
+#include "core/convex.hpp"
+#include "core/single_start.hpp"
+#include "tests/core/fixtures.hpp"
+
+using namespace arb;
+
+int main() {
+  core::testing::Section5Market m;
+  const graph::Cycle loop = m.loop();
+
+  bench::FigureSink sink(
+      "fig3", "Convex vs MaxMax monetized profit vs P_x",
+      {"P_x", "maxmax_usd", "convex_usd", "gap_usd"});
+
+  std::size_t dominated = 0;
+  std::size_t rows = 0;
+  double max_gap = 0.0;
+  for (double px = 0.2; px <= 20.0 + 1e-9; px += 0.2) {
+    m.prices.set_price(m.x, px);
+    const auto maxmax = bench::expect_ok(
+        core::evaluate_max_max(m.graph, m.prices, loop), "maxmax");
+    const auto convex = bench::expect_ok(
+        core::solve_convex(m.graph, m.prices, loop), "convex");
+    const double gap = convex.outcome.monetized_usd - maxmax.monetized_usd;
+    sink.row({px, maxmax.monetized_usd, convex.outcome.monetized_usd, gap});
+    ++rows;
+    if (gap >= -1e-6) ++dominated;
+    max_gap = std::max(max_gap, gap);
+  }
+  std::printf("Convex >= MaxMax on %zu/%zu sweep points (largest gap "
+              "$%.3f) — the paper's Fig. 3 dominance\n\n",
+              dominated, rows, max_gap);
+  return 0;
+}

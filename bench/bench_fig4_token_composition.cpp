@@ -1,0 +1,45 @@
+// Fig. 4: the profit composition (net amount of X, Y, Z retained by the
+// Convex Optimization strategy) as P_x sweeps 0 → 20 in 0.2 steps. The
+// paper observes the optima cluster on about six distinct positions,
+// i.e. the solution is piecewise constant-ish in the price, not linear.
+
+#include <map>
+
+#include "bench/bench_util.hpp"
+#include "core/convex.hpp"
+#include "tests/core/fixtures.hpp"
+
+using namespace arb;
+
+int main() {
+  core::testing::Section5Market m;
+  const graph::Cycle loop = m.loop();
+
+  bench::FigureSink sink(
+      "fig4", "profit token composition (net X,Y,Z) vs P_x",
+      {"P_x", "net_X", "net_Y", "net_Z", "monetized_usd"});
+
+  // Cluster detection: round the composition and count distinct patterns.
+  std::map<std::string, std::size_t> clusters;
+  for (double px = 0.2; px <= 20.0 + 1e-9; px += 0.2) {
+    m.prices.set_price(m.x, px);
+    const auto convex = bench::expect_ok(
+        core::solve_convex(m.graph, m.prices, loop), "convex");
+    const auto& p = convex.outcome.profits;
+    sink.row({px, p[0].amount, p[1].amount, p[2].amount,
+              convex.outcome.monetized_usd});
+    char key[64];
+    std::snprintf(key, sizeof(key), "%.0f/%.0f/%.0f", p[0].amount,
+                  p[1].amount, p[2].amount);
+    ++clusters[key];
+  }
+  std::printf("distinct (rounded) composition positions: %zu — the paper "
+              "reports the optima lie mainly in ~6 positions\n",
+              clusters.size());
+  for (const auto& [key, count] : clusters) {
+    std::printf("  composition (X/Y/Z) %s: %zu sweep points\n", key.c_str(),
+                count);
+  }
+  std::printf("\n");
+  return 0;
+}

@@ -1,0 +1,36 @@
+// Fig. 7: scatter of monetized profit — Convex Optimization vs MaxMax on
+// the empirical market. The paper observes the two strategies are almost
+// identical on real loops (all points ~on the 45° line), in contrast to
+// the constructed Section V example where Convex wins visibly.
+
+#include "bench/bench_util.hpp"
+#include "common/stats.hpp"
+
+using namespace arb;
+
+int main() {
+  const core::MarketStudy study = bench::section6_study(3);
+
+  bench::FigureSink sink("fig7", "Convex vs MaxMax, empirical (scatter)",
+                         {"loop_id", "convex_usd", "maxmax_usd",
+                          "relative_gap"});
+
+  StreamingStats gaps;
+  std::size_t dominated = 0;
+  for (std::size_t loop_id = 0; loop_id < study.loops.size(); ++loop_id) {
+    const core::LoopComparison& row = study.loops[loop_id];
+    const double convex = row.convex.outcome.monetized_usd;
+    const double maxmax = row.max_max.monetized_usd;
+    const double rel_gap =
+        maxmax > 0.0 ? (convex - maxmax) / maxmax : 0.0;
+    sink.row({static_cast<double>(loop_id), convex, maxmax, rel_gap});
+    gaps.add(rel_gap);
+    if (convex >= maxmax - 1e-9) ++dominated;
+  }
+  std::printf("Convex >= MaxMax on %zu/%zu loops (theory: all)\n", dominated,
+              study.loops.size());
+  std::printf("relative gap (convex/maxmax - 1): %s\n", gaps.summary().c_str());
+  std::printf("paper shape check: gaps are tiny — the strategies nearly "
+              "coincide on market data\n\n");
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Fig. 8: arbitrage profit measured as the net number of each token
+// retained — Convex Optimization vs MaxMax, one point per (loop, token).
+// The paper finds the two point clouds overlap almost exactly.
+
+#include <cmath>
+
+#include "bench/bench_util.hpp"
+#include "common/stats.hpp"
+
+using namespace arb;
+
+int main() {
+  const core::MarketStudy study = bench::section6_study(3);
+
+  bench::FigureSink sink(
+      "fig8", "net token profit, Convex vs MaxMax (scatter)",
+      {"loop_id", "token_id", "convex_tokens", "maxmax_tokens"});
+
+  StreamingStats abs_diff_usd;
+  for (std::size_t loop_id = 0; loop_id < study.loops.size(); ++loop_id) {
+    const core::LoopComparison& row = study.loops[loop_id];
+    for (const core::TokenProfit& p : row.convex.outcome.profits) {
+      // MaxMax retains everything in its single start token.
+      double maxmax_amount = 0.0;
+      if (p.token == row.max_max.start_token) {
+        maxmax_amount = row.max_max.profits.front().amount;
+      }
+      sink.row({static_cast<double>(loop_id),
+                static_cast<double>(p.token.value()), p.amount,
+                maxmax_amount});
+      abs_diff_usd.add(
+          std::abs(p.amount - maxmax_amount) *
+          study.market.prices.price_unchecked(p.token));
+    }
+  }
+  std::printf("per-token |convex - maxmax| in USD: %s\n",
+              abs_diff_usd.summary().c_str());
+  std::printf("paper shape check: the overwhelming majority of points "
+              "coincide (Convex retains profit in the same token MaxMax "
+              "picks)\n\n");
+  return 0;
+}

@@ -1,0 +1,105 @@
+// Section VII timing claims, as a google-benchmark suite.
+//
+// The paper reports: for a loop of length 10, MaxMax runs in milliseconds
+// while the Convex Optimization strategy takes seconds (their Python/Ipopt
+// stack) — convex is the slower strategy and its cost grows with loop
+// length. Our native solver is much faster in absolute terms, but the
+// *shape* must hold: Convex cost >> MaxMax cost, growing with length.
+
+#include <benchmark/benchmark.h>
+
+#include "core/convex.hpp"
+#include "core/single_start.hpp"
+#include "graph/cycle.hpp"
+#include "graph/token_graph.hpp"
+#include "market/price_feed.hpp"
+
+namespace {
+
+using namespace arb;
+
+/// A profitable ring of `length` tokens: pool i connects token i to
+/// token i+1 with a mild systematic imbalance so the loop product > 1.
+struct RingMarket {
+  graph::TokenGraph graph;
+  market::CexPriceFeed prices;
+  std::vector<TokenId> tokens;
+  std::vector<PoolId> pools;
+
+  explicit RingMarket(std::size_t length) {
+    for (std::size_t i = 0; i < length; ++i) {
+      tokens.push_back(graph.add_token("T" + std::to_string(i)));
+      prices.set_price(tokens.back(), 1.0 + static_cast<double>(i));
+    }
+    for (std::size_t i = 0; i < length; ++i) {
+      // 1.2% price edge per hop: comfortably profitable after fees.
+      pools.push_back(graph.add_pool(tokens[i], tokens[(i + 1) % length],
+                                     1000.0, 1012.0));
+    }
+  }
+
+  [[nodiscard]] graph::Cycle cycle() const {
+    return *graph::Cycle::create(graph, tokens, pools);
+  }
+};
+
+void BM_MaxMax(benchmark::State& state) {
+  const RingMarket market(static_cast<std::size_t>(state.range(0)));
+  const graph::Cycle loop = market.cycle();
+  for (auto _ : state) {
+    auto outcome = core::evaluate_max_max(market.graph, market.prices, loop);
+    benchmark::DoNotOptimize(outcome);
+  }
+}
+BENCHMARK(BM_MaxMax)->Arg(3)->Arg(4)->Arg(6)->Arg(8)->Arg(10)->Arg(12);
+
+void BM_MaxMaxAnalytic(benchmark::State& state) {
+  const RingMarket market(static_cast<std::size_t>(state.range(0)));
+  const graph::Cycle loop = market.cycle();
+  core::SingleStartOptions options;
+  options.use_bisection = false;
+  for (auto _ : state) {
+    auto outcome =
+        core::evaluate_max_max(market.graph, market.prices, loop, options);
+    benchmark::DoNotOptimize(outcome);
+  }
+}
+BENCHMARK(BM_MaxMaxAnalytic)->Arg(3)->Arg(6)->Arg(10)->Arg(12);
+
+void BM_ConvexReduced(benchmark::State& state) {
+  const RingMarket market(static_cast<std::size_t>(state.range(0)));
+  const graph::Cycle loop = market.cycle();
+  for (auto _ : state) {
+    auto solution = core::solve_convex(market.graph, market.prices, loop);
+    benchmark::DoNotOptimize(solution);
+  }
+}
+BENCHMARK(BM_ConvexReduced)->Arg(3)->Arg(4)->Arg(6)->Arg(8)->Arg(10)->Arg(12);
+
+void BM_ConvexFull(benchmark::State& state) {
+  const RingMarket market(static_cast<std::size_t>(state.range(0)));
+  const graph::Cycle loop = market.cycle();
+  core::ConvexOptions options;
+  options.use_full_formulation = true;
+  for (auto _ : state) {
+    auto solution =
+        core::solve_convex(market.graph, market.prices, loop, options);
+    benchmark::DoNotOptimize(solution);
+  }
+}
+BENCHMARK(BM_ConvexFull)->Arg(3)->Arg(6)->Arg(10)->Arg(12);
+
+void BM_MaxPrice(benchmark::State& state) {
+  const RingMarket market(static_cast<std::size_t>(state.range(0)));
+  const graph::Cycle loop = market.cycle();
+  for (auto _ : state) {
+    auto outcome =
+        core::evaluate_max_price(market.graph, market.prices, loop);
+    benchmark::DoNotOptimize(outcome);
+  }
+}
+BENCHMARK(BM_MaxPrice)->Arg(3)->Arg(10);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,95 @@
+#pragma once
+
+// Shared helpers for the figure-reproduction harness: every bench binary
+// prints the series behind one of the paper's figures as an aligned table
+// and writes the same rows to a CSV file next to the binary, so the
+// figures can be re-plotted externally.
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/csv.hpp"
+#include "core/comparison.hpp"
+#include "market/generator.hpp"
+
+namespace arb::bench {
+
+/// Column-aligned stdout table + CSV sink.
+class FigureSink {
+ public:
+  FigureSink(std::string figure_id, std::string title,
+             std::vector<std::string> columns)
+      : figure_id_(std::move(figure_id)),
+        columns_(std::move(columns)),
+        csv_path_(figure_id_ + ".csv"),
+        csv_stream_(csv_path_),
+        csv_(csv_stream_) {
+    std::printf("== %s — %s ==\n", figure_id_.c_str(), title.c_str());
+    for (const std::string& c : columns_) std::printf("%18s", c.c_str());
+    std::printf("\n");
+    csv_.header(columns_);
+  }
+
+  ~FigureSink() {
+    std::printf("-- %zu rows; series written to %s --\n\n", rows_,
+                csv_path_.c_str());
+  }
+
+  void row(const std::vector<double>& values) {
+    for (double v : values) std::printf("%18.6g", v);
+    std::printf("\n");
+    for (double v : values) csv_.cell(v);
+    csv_.end_row();
+    ++rows_;
+  }
+
+  /// First cell is a label, rest numeric.
+  void labeled_row(const std::string& label,
+                   const std::vector<double>& values) {
+    std::printf("%18s", label.c_str());
+    for (double v : values) std::printf("%18.6g", v);
+    std::printf("\n");
+    csv_.cell(label);
+    for (double v : values) csv_.cell(v);
+    csv_.end_row();
+    ++rows_;
+  }
+
+ private:
+  std::string figure_id_;
+  std::vector<std::string> columns_;
+  std::string csv_path_;
+  std::ofstream csv_stream_;
+  CsvWriter csv_;
+  std::size_t rows_ = 0;
+};
+
+/// The empirical market used by the Section VI benches (Figs. 5-10):
+/// default generator config — 51 tokens, 208 pools, 123 length-3 loops
+/// after the paper's quality filter.
+inline core::MarketStudy section6_study(std::size_t loop_length) {
+  const market::MarketSnapshot snapshot =
+      market::generate_snapshot(market::GeneratorConfig{});
+  auto study = core::run_market_study(snapshot, loop_length);
+  if (!study.ok()) {
+    std::fprintf(stderr, "market study failed: %s\n",
+                 study.error().to_string().c_str());
+    std::exit(1);
+  }
+  return *std::move(study);
+}
+
+/// Exits with a message if a Result is an error (benches fail loudly).
+template <typename T>
+T expect_ok(Result<T> result, const char* what) {
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s failed: %s\n", what,
+                 result.error().to_string().c_str());
+    std::exit(1);
+  }
+  return *std::move(result);
+}
+
+}  // namespace arb::bench

@@ -1,0 +1,75 @@
+// Live-bot simulation: an arbitrage bot operating block after block.
+//
+//   $ ./live_bot [strategy] [blocks] [seed]
+//
+// strategy: maxmax (default) | maxprice | convex
+//
+// Each block, exogenous trading flow perturbs every pool's price; the
+// bot re-scans for length-3 arbitrage loops, picks the most profitable
+// one under its strategy, and executes the plan atomically (flash-loan
+// semantics). Prints the per-block and cumulative realized PnL —
+// exercising detection, optimization and execution together, the way the
+// paper's introduction motivates the problem.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "market/generator.hpp"
+#include "sim/replay.hpp"
+
+using namespace arb;
+
+int main(int argc, char** argv) {
+  const char* strategy_name = argc > 1 ? argv[1] : "maxmax";
+  const std::size_t blocks =
+      argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 40;
+  const std::uint64_t seed =
+      argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 7;
+
+  sim::ReplayConfig config;
+  config.blocks = blocks;
+  config.seed = seed;
+  if (std::strcmp(strategy_name, "convex") == 0) {
+    config.strategy = core::StrategyKind::kConvexOptimization;
+  } else if (std::strcmp(strategy_name, "maxprice") == 0) {
+    config.strategy = core::StrategyKind::kMaxPrice;
+  } else if (std::strcmp(strategy_name, "maxmax") == 0) {
+    config.strategy = core::StrategyKind::kMaxMax;
+  } else {
+    std::fprintf(stderr, "unknown strategy '%s' (maxmax|maxprice|convex)\n",
+                 strategy_name);
+    return 1;
+  }
+
+  market::GeneratorConfig market_config;
+  market_config.token_count = 24;
+  market_config.pool_count = 60;
+  market_config.seed = seed;
+  const market::MarketSnapshot snapshot =
+      market::generate_snapshot(market_config);
+  std::printf("bot strategy: %s | market: %zu tokens / %zu pools | %zu "
+              "blocks\n\n",
+              strategy_name, snapshot.graph.token_count(),
+              snapshot.graph.pool_count(), blocks);
+
+  auto result = sim::run_replay(snapshot, config);
+  if (!result.ok()) {
+    std::fprintf(stderr, "replay failed: %s\n",
+                 result.error().to_string().c_str());
+    return 1;
+  }
+
+  std::printf("%6s %8s %14s %14s %14s\n", "block", "loops", "planned$",
+              "realized$", "cumulative$");
+  double cumulative = 0.0;
+  for (const sim::BlockResult& row : result->blocks) {
+    cumulative += row.realized_usd;
+    std::printf("%6zu %8zu %14.2f %14.2f %14.2f\n", row.block,
+                row.arbitrage_loops, row.planned_usd, row.realized_usd,
+                cumulative);
+  }
+  std::printf("\ntotal realized over %zu blocks: $%.2f\n", blocks,
+              result->total_realized_usd);
+  return 0;
+}

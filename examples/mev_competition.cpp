@@ -1,0 +1,65 @@
+// MEV competition: three bots — MaxPrice, MaxMax, Convex — watch the
+// same market. Each block (GBM fundamentals, lagging pools), every bot
+// plans its best bundle; the highest-value bundle wins the block and
+// executes. The paper's profit ordering becomes a competitive payoff:
+// the MaxPrice bot systematically loses the blocks where the start
+// token matters.
+//
+//   $ ./mev_competition [blocks] [seed]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "market/generator.hpp"
+#include "sim/competition.hpp"
+
+using namespace arb;
+
+int main(int argc, char** argv) {
+  const std::size_t blocks =
+      argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 60;
+  const std::uint64_t seed =
+      argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 11;
+
+  market::GeneratorConfig market_config;
+  market_config.token_count = 20;
+  market_config.pool_count = 46;
+  market_config.seed = seed;
+  market_config.cex_price_noise_sigma = 0.02;  // MaxPrice picks go wrong
+  const market::MarketSnapshot snapshot =
+      market::generate_snapshot(market_config);
+
+  const std::vector<sim::BotSpec> bots{
+      sim::BotSpec{"maxprice", core::StrategyKind::kMaxPrice, {}},
+      sim::BotSpec{"maxmax", core::StrategyKind::kMaxMax, {}},
+      sim::BotSpec{"convex", core::StrategyKind::kConvexOptimization, {}},
+  };
+
+  sim::CompetitionConfig config;
+  config.blocks = blocks;
+  config.seed = seed;
+  config.dynamics.volatility = 0.01;
+
+  std::printf("market: %zu tokens / %zu pools | %zu blocks | 3 bots\n\n",
+              snapshot.graph.token_count(), snapshot.graph.pool_count(),
+              blocks);
+  auto result = sim::run_competition(snapshot, bots, config);
+  if (!result.ok()) {
+    std::fprintf(stderr, "competition failed: %s\n",
+                 result.error().to_string().c_str());
+    return 1;
+  }
+
+  std::printf("contested blocks: %zu / %zu\n\n", result->contested_blocks,
+              blocks);
+  std::printf("%-10s %12s %16s\n", "bot", "blocks won", "realized $");
+  for (const sim::BotStanding& standing : result->standings) {
+    std::printf("%-10s %12zu %16.2f\n", standing.name.c_str(),
+                standing.blocks_won, standing.realized_usd);
+  }
+  std::printf("\nNote: ties go to the earlier bot in the list; MaxPrice is "
+              "listed first, so every block it 'wins' is a genuine tie "
+              "with MaxMax, while MaxMax/Convex wins over MaxPrice are "
+              "strict.\n");
+  return 0;
+}

@@ -1,0 +1,161 @@
+#include "amm/concentrated_pool.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace arb::amm {
+
+ConcentratedPool::ConcentratedPool(PoolId id, TokenId token0, TokenId token1,
+                                   double liquidity, double price,
+                                   double p_lo, double p_hi, double fee)
+    : id_(id),
+      token0_(token0),
+      token1_(token1),
+      liquidity_(liquidity),
+      sqrt_price_(std::sqrt(price)),
+      sqrt_lo_(std::sqrt(p_lo)),
+      sqrt_hi_(std::sqrt(p_hi)),
+      fee_(fee) {
+  ARB_REQUIRE(token0.valid() && token1.valid() && token0 != token1,
+              "concentrated pool requires two distinct valid tokens");
+  ARB_REQUIRE(liquidity > 0.0, "liquidity must be positive");
+  ARB_REQUIRE(p_lo > 0.0 && p_lo < price && price < p_hi,
+              "price must lie strictly inside (p_lo, p_hi)");
+  ARB_REQUIRE(fee >= 0.0 && fee < 1.0, "fee must be in [0, 1)");
+}
+
+Result<ConcentratedPool> ConcentratedPool::from_reserves(
+    PoolId id, TokenId token0, TokenId token1, double reserve0,
+    double reserve1, double p_lo, double p_hi, double fee) {
+  ARB_REQUIRE(reserve0 > 0.0 && reserve1 > 0.0,
+              "from_reserves requires positive reserves");
+  ARB_REQUIRE(p_lo > 0.0 && p_hi > p_lo, "invalid price range");
+  // Solve for √P from x = L(1/√P − 1/√p_hi), y = L(√P − √p_lo):
+  //   y/x = (√P − √p_lo) / (1/√P − 1/√p_hi).
+  // Monotone in √P; bisect on the ratio.
+  const double target = reserve1 / reserve0;
+  const double sqrt_lo = std::sqrt(p_lo);
+  const double sqrt_hi = std::sqrt(p_hi);
+  const auto ratio = [&](double sp) {
+    return (sp - sqrt_lo) / (1.0 / sp - 1.0 / sqrt_hi);
+  };
+  double lo = sqrt_lo * (1.0 + 1e-12);
+  double hi = sqrt_hi * (1.0 - 1e-12);
+  if (ratio(lo) > target || ratio(hi) < target) {
+    return make_error(ErrorCode::kInvalidArgument,
+                      "implied price outside the position range");
+  }
+  for (int i = 0; i < 200; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    (ratio(mid) < target ? lo : hi) = mid;
+  }
+  const double sqrt_price = 0.5 * (lo + hi);
+  const double liquidity = reserve1 / (sqrt_price - sqrt_lo);
+  return ConcentratedPool(id, token0, token1, liquidity,
+                          sqrt_price * sqrt_price, p_lo, p_hi, fee);
+}
+
+bool ConcentratedPool::contains(TokenId token) const {
+  return token == token0_ || token == token1_;
+}
+
+TokenId ConcentratedPool::other(TokenId token) const {
+  ARB_REQUIRE(contains(token), "token not in pool");
+  return token == token0_ ? token1_ : token0_;
+}
+
+double ConcentratedPool::reserve0() const {
+  return liquidity_ * (1.0 / sqrt_price_ - 1.0 / sqrt_hi_);
+}
+
+double ConcentratedPool::reserve1() const {
+  return liquidity_ * (sqrt_price_ - sqrt_lo_);
+}
+
+double ConcentratedPool::reserve_of(TokenId token) const {
+  ARB_REQUIRE(contains(token), "token not in pool");
+  return token == token0_ ? reserve0() : reserve1();
+}
+
+ConcentratedPool::Move ConcentratedPool::move_for(TokenId token_in,
+                                                  double effective_in) const {
+  Move move;
+  if (token_in == token0_) {
+    // Selling token0 pushes the price down: 1/√P' = 1/√P + Δ/L.
+    const double inv_new = 1.0 / sqrt_price_ + effective_in / liquidity_;
+    const double inv_edge = 1.0 / sqrt_lo_;
+    if (inv_new <= inv_edge) {
+      move.new_sqrt_price = 1.0 / inv_new;
+      move.consumed_effective = effective_in;
+    } else {
+      move.new_sqrt_price = sqrt_lo_;
+      move.consumed_effective =
+          liquidity_ * (inv_edge - 1.0 / sqrt_price_);
+    }
+  } else {
+    // Selling token1 pushes the price up: √P' = √P + Δ/L.
+    const double new_sqrt = sqrt_price_ + effective_in / liquidity_;
+    if (new_sqrt <= sqrt_hi_) {
+      move.new_sqrt_price = new_sqrt;
+      move.consumed_effective = effective_in;
+    } else {
+      move.new_sqrt_price = sqrt_hi_;
+      move.consumed_effective = liquidity_ * (sqrt_hi_ - sqrt_price_);
+    }
+  }
+  return move;
+}
+
+SwapQuote ConcentratedPool::quote(TokenId token_in, Amount amount_in) const {
+  ARB_REQUIRE(contains(token_in), "token not in pool");
+  ARB_REQUIRE(amount_in >= 0.0, "amount_in must be non-negative");
+  const double gamma = 1.0 - fee_;
+  const Move move = move_for(token_in, gamma * amount_in);
+
+  SwapQuote q;
+  q.amount_in = amount_in;
+  if (token_in == token0_) {
+    q.amount_out = liquidity_ * (sqrt_price_ - move.new_sqrt_price);
+    // d out / d in at this size: out = L·(√P − 1/(1/√P + γ·in/L)),
+    // derivative = γ·(√P')².
+    q.marginal_rate =
+        move.consumed_effective < gamma * amount_in
+            ? 0.0
+            : gamma * move.new_sqrt_price * move.new_sqrt_price;
+  } else {
+    q.amount_out = liquidity_ * (1.0 / sqrt_price_ -
+                                 1.0 / move.new_sqrt_price);
+    q.marginal_rate =
+        move.consumed_effective < gamma * amount_in
+            ? 0.0
+            : gamma / (move.new_sqrt_price * move.new_sqrt_price);
+  }
+  return q;
+}
+
+Result<SwapQuote> ConcentratedPool::apply_swap(TokenId token_in,
+                                               Amount amount_in) {
+  const double gamma = 1.0 - fee_;
+  const Move move = move_for(token_in, gamma * amount_in);
+  if (move.consumed_effective < gamma * amount_in * (1.0 - 1e-12)) {
+    return make_error(ErrorCode::kCapacityExceeded,
+                      "swap would push the price out of the position "
+                      "range");
+  }
+  const SwapQuote q = quote(token_in, amount_in);
+  sqrt_price_ = move.new_sqrt_price;
+  // The fee share of the input accrues to the position owner out of
+  // band (V3 fee growth); the price state alone defines the reserves.
+  return q;
+}
+
+SwapFn swap_fn(const ConcentratedPool& pool, TokenId token_in) {
+  ARB_REQUIRE(pool.contains(token_in), "token not in pool");
+  return [pool, token_in](double dx) {
+    return pool.quote(token_in, dx).amount_out;
+  };
+}
+
+}  // namespace arb::amm

@@ -1,0 +1,92 @@
+#pragma once
+
+/// \file concentrated_pool.hpp
+/// A Uniswap-V3-style concentrated-liquidity pool with a single position.
+///
+/// Liquidity L is active on the price range [p_lo, p_hi] (price = token1
+/// per token0). Within the range the pool behaves like a constant-product
+/// pool with *virtual* reserves x_v = L/√P, y_v = L·√P; the real reserves
+/// are the parts usable before the price exits the range:
+///
+///   x_real = L·(1/√P − 1/√p_hi),   y_real = L·(√P − √p_lo).
+///
+/// Swaps move √P linearly in the (fee-adjusted) input and clamp at the
+/// range boundary — beyond it the position holds only one asset and the
+/// swap function goes flat (monotone, concave, but not strictly). The
+/// full-range limit (p_lo → 0, p_hi → ∞) reproduces the CPMM exactly,
+/// which the tests exploit as a differential oracle.
+///
+/// This single-position model is the paper-relevant core of V3: it shows
+/// how concentration changes arbitrage capacity. Multi-tick crossing is
+/// out of scope (DESIGN.md).
+
+#include "amm/generic_path.hpp"
+#include "amm/pool.hpp"
+#include "common/result.hpp"
+#include "common/types.hpp"
+
+namespace arb::amm {
+
+class ConcentratedPool {
+ public:
+  /// Preconditions: distinct valid tokens; liquidity > 0;
+  /// 0 < p_lo < price < p_hi; fee in [0, 1).
+  ConcentratedPool(PoolId id, TokenId token0, TokenId token1,
+                   double liquidity, double price, double p_lo, double p_hi,
+                   double fee = 0.003);
+
+  /// Builds the position covering [p_lo, p_hi] that currently holds the
+  /// given *real* reserves at the implied in-range price. Fails if the
+  /// implied price falls outside the range.
+  [[nodiscard]] static Result<ConcentratedPool> from_reserves(
+      PoolId id, TokenId token0, TokenId token1, double reserve0,
+      double reserve1, double p_lo, double p_hi, double fee = 0.003);
+
+  [[nodiscard]] PoolId id() const { return id_; }
+  [[nodiscard]] TokenId token0() const { return token0_; }
+  [[nodiscard]] TokenId token1() const { return token1_; }
+  [[nodiscard]] double liquidity() const { return liquidity_; }
+  /// Current price: token1 per token0.
+  [[nodiscard]] double price() const { return sqrt_price_ * sqrt_price_; }
+  [[nodiscard]] double fee() const { return fee_; }
+
+  [[nodiscard]] bool contains(TokenId token) const;
+  [[nodiscard]] TokenId other(TokenId token) const;
+
+  /// Real (usable) reserves of each side at the current price.
+  [[nodiscard]] double reserve0() const;
+  [[nodiscard]] double reserve1() const;
+  [[nodiscard]] double reserve_of(TokenId token) const;
+
+  /// Quotes a swap (pure); output clamps when the price would leave the
+  /// range. Preconditions: contains(token_in), amount_in >= 0.
+  [[nodiscard]] SwapQuote quote(TokenId token_in, Amount amount_in) const;
+
+  /// Executes a swap; input beyond the range boundary is rejected with
+  /// kCapacityExceeded (a real router would split across positions).
+  [[nodiscard]] Result<SwapQuote> apply_swap(TokenId token_in,
+                                             Amount amount_in);
+
+ private:
+  /// New sqrt price after an effective (fee-adjusted) input, clamped to
+  /// the range; also reports the input actually consumable in range.
+  struct Move {
+    double new_sqrt_price;
+    double consumed_effective;  ///< effective input usable before the edge
+  };
+  [[nodiscard]] Move move_for(TokenId token_in, double effective_in) const;
+
+  PoolId id_;
+  TokenId token0_;
+  TokenId token1_;
+  double liquidity_;
+  double sqrt_price_;
+  double sqrt_lo_;
+  double sqrt_hi_;
+  double fee_;
+};
+
+/// GenericPath adapter (quote-only snapshot semantics).
+[[nodiscard]] SwapFn swap_fn(const ConcentratedPool& pool, TokenId token_in);
+
+}  // namespace arb::amm

@@ -1,0 +1,97 @@
+#include "amm/generic_path.hpp"
+
+#include "common/error.hpp"
+#include "math/scalar_solve.hpp"
+
+namespace arb::amm {
+
+SwapFn swap_fn(const CpmmPool& pool, TokenId token_in) {
+  ARB_REQUIRE(pool.contains(token_in), "token not in pool");
+  const double r_in = pool.reserve_of(token_in);
+  const double r_out = pool.reserve_of(pool.other(token_in));
+  const double gamma = pool.gamma();
+  return [r_in, r_out, gamma](double dx) {
+    return swap_out(r_in, r_out, gamma, dx);
+  };
+}
+
+SwapFn swap_fn(const StablePool& pool, TokenId token_in) {
+  ARB_REQUIRE(pool.contains(token_in), "token not in pool");
+  // Capture the pool by value: the quote is against the snapshot state,
+  // matching the CPMM wrapper's semantics.
+  return [pool, token_in](double dx) {
+    return pool.quote(token_in, dx).amount_out;
+  };
+}
+
+GenericPath::GenericPath(std::vector<SwapFn> hops) : hops_(std::move(hops)) {
+  ARB_REQUIRE(!hops_.empty(), "generic path needs at least one hop");
+  for (const SwapFn& hop : hops_) {
+    ARB_REQUIRE(static_cast<bool>(hop), "null hop function");
+  }
+}
+
+double GenericPath::evaluate(double input) const {
+  ARB_REQUIRE(input >= 0.0, "input must be non-negative");
+  double amount = input;
+  for (const SwapFn& hop : hops_) amount = hop(amount);
+  return amount;
+}
+
+std::vector<double> GenericPath::hop_inputs(double input) const {
+  std::vector<double> inputs;
+  inputs.reserve(hops_.size());
+  double amount = input;
+  for (const SwapFn& hop : hops_) {
+    inputs.push_back(amount);
+    amount = hop(amount);
+  }
+  return inputs;
+}
+
+Result<OptimalTrade> optimize_input_generic(
+    const GenericPath& path, const GenericOptimizeOptions& options) {
+  ARB_REQUIRE(options.initial_scale > 0.0, "initial_scale must be positive");
+  const auto profit = [&path](double d) { return path.evaluate(d) - d; };
+
+  OptimalTrade trade;
+  // Unprofitable at the margin? The profit function is concave with
+  // profit(0) = 0, so a non-positive value at a small probe means the
+  // slope at zero is <= 1 and the optimum is 0.
+  const double probe = options.initial_scale * 1e-9;
+  if (profit(probe) <= 0.0) {
+    return trade;
+  }
+
+  // Expand until the profit stops increasing: [0, hi] then brackets the
+  // concave maximum.
+  double hi = options.initial_scale;
+  double previous = profit(hi);
+  int guard = 0;
+  while (guard++ < 200) {
+    const double next = profit(hi * 2.0);
+    if (next <= previous) break;
+    hi *= 2.0;
+    previous = next;
+    if (hi > options.max_input) {
+      return make_error(ErrorCode::kNumericFailure,
+                        "generic optimizer: profit still increasing at "
+                        "max_input — hop functions are not concave?");
+    }
+  }
+  hi *= 2.0;
+
+  math::ScalarSolveOptions line;
+  line.x_tolerance = options.tolerance * hi;
+  const auto peak = math::golden_section_maximize(profit, 0.0, hi, line);
+  trade.input = peak.x;
+  trade.output = path.evaluate(peak.x);
+  trade.profit = trade.output - trade.input;
+  trade.iterations = peak.iterations;
+  if (trade.profit <= 0.0) {
+    trade = OptimalTrade{};  // numeric residue: report the zero trade
+  }
+  return trade;
+}
+
+}  // namespace arb::amm

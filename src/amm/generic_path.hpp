@@ -1,0 +1,66 @@
+#pragma once
+
+/// \file generic_path.hpp
+/// Curve-agnostic swap paths and the optimizer that goes with them.
+///
+/// The Möbius algebra of path.hpp is exact but constant-product-only.
+/// When a loop crosses other AMM designs (StableSwap here; anything
+/// monotone-increasing and concave with f(0) = 0 in general), the
+/// single-input optimization still has a unique maximum — this header
+/// provides the black-box chain and a derivative-free optimizer for it.
+/// Tests cross-check it against the closed form on all-CPMM paths.
+
+#include <functional>
+#include <vector>
+
+#include "amm/path.hpp"
+#include "amm/pool.hpp"
+#include "amm/stable_pool.hpp"
+#include "common/result.hpp"
+
+namespace arb::amm {
+
+/// One hop as a pure function: input amount -> output amount. Must be
+/// monotone increasing, concave, and 0 at 0 for the optimizer's
+/// guarantees to hold.
+using SwapFn = std::function<double(double)>;
+
+/// Wraps a CPMM pool hop (quote-only; does not mutate the pool).
+[[nodiscard]] SwapFn swap_fn(const CpmmPool& pool, TokenId token_in);
+
+/// Wraps a StableSwap pool hop.
+[[nodiscard]] SwapFn swap_fn(const StablePool& pool, TokenId token_in);
+
+/// A chain of black-box hops.
+class GenericPath {
+ public:
+  /// Precondition: at least one hop.
+  explicit GenericPath(std::vector<SwapFn> hops);
+
+  [[nodiscard]] std::size_t length() const { return hops_.size(); }
+
+  /// Output of the whole chain for a given input.
+  [[nodiscard]] double evaluate(double input) const;
+
+  /// Per-hop input amounts for a given path input (first = input).
+  [[nodiscard]] std::vector<double> hop_inputs(double input) const;
+
+ private:
+  std::vector<SwapFn> hops_;
+};
+
+struct GenericOptimizeOptions {
+  /// Starting width of the bracket-expansion search for the profit peak.
+  double initial_scale = 1.0;
+  /// Expansion cap: inputs beyond this are considered unbounded (error).
+  double max_input = 1e15;
+  double tolerance = 1e-10;
+};
+
+/// Maximizes evaluate(d) − d over d >= 0 for a cyclic chain (start and
+/// end amounts in the same token). Returns the all-zero trade when the
+/// chain is unprofitable at the margin.
+[[nodiscard]] Result<OptimalTrade> optimize_input_generic(
+    const GenericPath& path, const GenericOptimizeOptions& options = {});
+
+}  // namespace arb::amm

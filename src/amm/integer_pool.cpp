@@ -1,0 +1,89 @@
+#include "amm/integer_pool.hpp"
+
+#include <cmath>
+
+#include "amm/swap_math.hpp"
+#include "common/error.hpp"
+
+namespace arb::amm {
+
+IntegerPool::IntegerPool(PoolId id, TokenId token0, TokenId token1,
+                         U256 reserve0, U256 reserve1,
+                         std::uint64_t fee_numerator,
+                         std::uint64_t fee_denominator)
+    : id_(id),
+      token0_(token0),
+      token1_(token1),
+      reserve0_(std::move(reserve0)),
+      reserve1_(std::move(reserve1)),
+      fee_numerator_(fee_numerator),
+      fee_denominator_(fee_denominator) {
+  ARB_REQUIRE(token0.valid() && token1.valid() && token0 != token1,
+              "integer pool requires two distinct valid tokens");
+  ARB_REQUIRE(!reserve0_.is_zero() && !reserve1_.is_zero(),
+              "integer pool requires non-zero reserves");
+  ARB_REQUIRE(fee_denominator > 0 && fee_numerator <= fee_denominator,
+              "invalid fee fraction");
+}
+
+IntegerPool IntegerPool::from_real(const CpmmPool& pool,
+                                   double units_per_token) {
+  ARB_REQUIRE(units_per_token >= 1.0, "units_per_token must be >= 1");
+  const auto quantize = [units_per_token](double reserve) {
+    const double scaled = std::floor(reserve * units_per_token);
+    ARB_REQUIRE(scaled >= 1.0, "reserve quantizes to zero");
+    ARB_REQUIRE(scaled < 0x1.0p128, "reserve exceeds quantization range");
+    // Assemble the U256 from the double's high/low 64-bit halves.
+    const double hi = std::floor(scaled / 0x1.0p64);
+    const double lo = scaled - hi * 0x1.0p64;
+    return U256::from_limbs(static_cast<std::uint64_t>(lo),
+                            static_cast<std::uint64_t>(hi), 0, 0);
+  };
+  // The real-valued fee is a double like 0.003; snap to the nearest
+  // per-mille fraction (Uniswap V2 uses 3/1000).
+  const auto fee_num = static_cast<std::uint64_t>(
+      std::llround((1.0 - pool.fee()) * 1000.0));
+  return IntegerPool(pool.id(), pool.token0(), pool.token1(),
+                     quantize(pool.reserve0()), quantize(pool.reserve1()),
+                     fee_num, 1000);
+}
+
+bool IntegerPool::contains(TokenId token) const {
+  return token == token0_ || token == token1_;
+}
+
+TokenId IntegerPool::other(TokenId token) const {
+  ARB_REQUIRE(contains(token), "token not in pool");
+  return token == token0_ ? token1_ : token0_;
+}
+
+const U256& IntegerPool::reserve_of(TokenId token) const {
+  ARB_REQUIRE(contains(token), "token not in pool");
+  return token == token0_ ? reserve0_ : reserve1_;
+}
+
+U256 IntegerPool::quote(TokenId token_in, const U256& amount_in) const {
+  return get_amount_out_exact(amount_in, reserve_of(token_in),
+                              reserve_of(other(token_in)), fee_numerator_,
+                              fee_denominator_);
+}
+
+Result<U256> IntegerPool::apply_swap(TokenId token_in,
+                                     const U256& amount_in) {
+  const U256 out = quote(token_in, amount_in);
+  const TokenId token_out = other(token_in);
+  if (out >= reserve_of(token_out)) {
+    return make_error(ErrorCode::kCapacityExceeded,
+                      "integer swap would drain the reserve");
+  }
+  if (token_in == token0_) {
+    reserve0_ = reserve0_ + amount_in;
+    reserve1_ = reserve1_ - out;
+  } else {
+    reserve1_ = reserve1_ + amount_in;
+    reserve0_ = reserve0_ - out;
+  }
+  return out;
+}
+
+}  // namespace arb::amm

@@ -1,0 +1,65 @@
+#pragma once
+
+/// \file integer_pool.hpp
+/// A constant-product pool in exact on-chain arithmetic: uint256
+/// reserves, fee as a 997/1000-style integer fraction, flooring division
+/// — bit-for-bit the math of the UniswapV2Pair contract. The sim module
+/// re-executes real-valued plans on these pools to bound the error the
+/// double model introduces before money would be at stake.
+
+#include <cstdint>
+
+#include "amm/pool.hpp"
+#include "common/result.hpp"
+#include "common/types.hpp"
+#include "common/uint256.hpp"
+
+namespace arb::amm {
+
+class IntegerPool {
+ public:
+  /// Preconditions: distinct valid tokens, non-zero reserves,
+  /// fee_numerator <= fee_denominator, fee_denominator > 0.
+  IntegerPool(PoolId id, TokenId token0, TokenId token1, U256 reserve0,
+              U256 reserve1, std::uint64_t fee_numerator = 997,
+              std::uint64_t fee_denominator = 1000);
+
+  /// Quantizes a real-valued pool: reserves are scaled by `units_per_token`
+  /// and floored, mimicking a token with that many base units (e.g. 1e6
+  /// for USDC-style 6 decimals).
+  [[nodiscard]] static IntegerPool from_real(const CpmmPool& pool,
+                                             double units_per_token);
+
+  [[nodiscard]] PoolId id() const { return id_; }
+  [[nodiscard]] TokenId token0() const { return token0_; }
+  [[nodiscard]] TokenId token1() const { return token1_; }
+  [[nodiscard]] const U256& reserve0() const { return reserve0_; }
+  [[nodiscard]] const U256& reserve1() const { return reserve1_; }
+
+  [[nodiscard]] bool contains(TokenId token) const;
+  [[nodiscard]] TokenId other(TokenId token) const;
+  [[nodiscard]] const U256& reserve_of(TokenId token) const;
+
+  /// Exact getAmountOut quote (pure).
+  [[nodiscard]] U256 quote(TokenId token_in, const U256& amount_in) const;
+
+  /// Executes the swap, updating reserves exactly as the pair contract
+  /// does. Fails with kCapacityExceeded if the output would drain the
+  /// reserve to zero.
+  [[nodiscard]] Result<U256> apply_swap(TokenId token_in,
+                                        const U256& amount_in);
+
+  /// k = reserve0 · reserve1 (never decreases across apply_swap; tested).
+  [[nodiscard]] U256 k() const { return reserve0_ * reserve1_; }
+
+ private:
+  PoolId id_;
+  TokenId token0_;
+  TokenId token1_;
+  U256 reserve0_;
+  U256 reserve1_;
+  std::uint64_t fee_numerator_;
+  std::uint64_t fee_denominator_;
+};
+
+}  // namespace arb::amm

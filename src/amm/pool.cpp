@@ -1,0 +1,78 @@
+#include "amm/pool.hpp"
+
+#include <sstream>
+
+namespace arb::amm {
+
+CpmmPool::CpmmPool(PoolId id, TokenId token0, TokenId token1, Amount reserve0,
+                   Amount reserve1, double fee)
+    : id_(id),
+      token0_(token0),
+      token1_(token1),
+      reserve0_(reserve0),
+      reserve1_(reserve1),
+      fee_(fee) {
+  ARB_REQUIRE(token0.valid() && token1.valid() && token0 != token1,
+              "pool requires two distinct valid tokens");
+  ARB_REQUIRE(reserve0 > 0.0 && reserve1 > 0.0,
+              "pool requires positive reserves");
+  ARB_REQUIRE(fee >= 0.0 && fee < 1.0, "pool fee must be in [0, 1)");
+}
+
+bool CpmmPool::contains(TokenId token) const {
+  return token == token0_ || token == token1_;
+}
+
+TokenId CpmmPool::other(TokenId token) const {
+  ARB_REQUIRE(contains(token), "token not in pool");
+  return token == token0_ ? token1_ : token0_;
+}
+
+Amount CpmmPool::reserve_of(TokenId token) const {
+  ARB_REQUIRE(contains(token), "token not in pool");
+  return token == token0_ ? reserve0_ : reserve1_;
+}
+
+double CpmmPool::relative_price_of(TokenId token_in) const {
+  return relative_price(reserve_of(token_in), reserve_of(other(token_in)),
+                        gamma());
+}
+
+SwapQuote CpmmPool::quote(TokenId token_in, Amount amount_in) const {
+  ARB_REQUIRE(amount_in >= 0.0, "amount_in must be non-negative");
+  const Amount r_in = reserve_of(token_in);
+  const Amount r_out = reserve_of(other(token_in));
+  SwapQuote q;
+  q.amount_in = amount_in;
+  q.amount_out = swap_out(r_in, r_out, gamma(), amount_in);
+  q.marginal_rate = swap_out_derivative(r_in, r_out, gamma(), amount_in);
+  return q;
+}
+
+Result<SwapQuote> CpmmPool::apply_swap(TokenId token_in, Amount amount_in) {
+  const SwapQuote q = quote(token_in, amount_in);
+  const TokenId token_out = other(token_in);
+  if (q.amount_out >= reserve_of(token_out)) {
+    return make_error(ErrorCode::kCapacityExceeded,
+                      "swap would drain " + arb::to_string(token_out) +
+                          " reserve in " + arb::to_string(id_));
+  }
+  if (token_in == token0_) {
+    reserve0_ += amount_in;
+    reserve1_ -= q.amount_out;
+  } else {
+    reserve1_ += amount_in;
+    reserve0_ -= q.amount_out;
+  }
+  return q;
+}
+
+std::string CpmmPool::to_string() const {
+  std::ostringstream os;
+  os << arb::to_string(id_) << "{" << arb::to_string(token0_) << ": "
+     << reserve0_ << ", " << arb::to_string(token1_) << ": " << reserve1_
+     << ", fee: " << fee_ << "}";
+  return os.str();
+}
+
+}  // namespace arb::amm

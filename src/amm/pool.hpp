@@ -1,0 +1,79 @@
+#pragma once
+
+/// \file pool.hpp
+/// A Uniswap-V2-style constant-product liquidity pool between two tokens.
+///
+/// The pool is a small value type: reserves are plain doubles (the paper's
+/// model), the class maintains the invariants reserve > 0 and fee ∈ [0, 1),
+/// and every state change goes through apply_swap so the constant-product
+/// law (k never decreases; it strictly grows with a non-zero fee) holds by
+/// construction.
+
+#include <string>
+
+#include "amm/swap_math.hpp"
+#include "common/result.hpp"
+#include "common/types.hpp"
+
+namespace arb::amm {
+
+/// Outcome of quoting or executing a swap.
+struct SwapQuote {
+  Amount amount_in = 0.0;
+  Amount amount_out = 0.0;
+  /// Marginal rate d out/d in at this input size.
+  double marginal_rate = 0.0;
+};
+
+class CpmmPool {
+ public:
+  /// Constructs a pool. Preconditions: distinct valid tokens, positive
+  /// reserves, fee in [0, 1).
+  CpmmPool(PoolId id, TokenId token0, TokenId token1, Amount reserve0,
+           Amount reserve1, double fee = kUniswapV2Fee);
+
+  [[nodiscard]] PoolId id() const { return id_; }
+  [[nodiscard]] TokenId token0() const { return token0_; }
+  [[nodiscard]] TokenId token1() const { return token1_; }
+  [[nodiscard]] Amount reserve0() const { return reserve0_; }
+  [[nodiscard]] Amount reserve1() const { return reserve1_; }
+  [[nodiscard]] double fee() const { return fee_; }
+  /// Fee multiplier γ = 1 − fee.
+  [[nodiscard]] double gamma() const { return 1.0 - fee_; }
+
+  /// True iff the pool trades this token.
+  [[nodiscard]] bool contains(TokenId token) const;
+  /// The opposite side of the pair. Precondition: contains(token).
+  [[nodiscard]] TokenId other(TokenId token) const;
+  /// Reserve of one side. Precondition: contains(token).
+  [[nodiscard]] Amount reserve_of(TokenId token) const;
+
+  /// Constant-product invariant k = reserve0 · reserve1.
+  [[nodiscard]] double k() const { return reserve0_ * reserve1_; }
+
+  /// Relative price of `token_in` in units of the other token at zero
+  /// trade size: p = γ·r_out/r_in (the paper's p_ij).
+  [[nodiscard]] double relative_price_of(TokenId token_in) const;
+
+  /// Quotes a swap without mutating state. Preconditions: contains
+  /// (token_in), amount_in >= 0.
+  [[nodiscard]] SwapQuote quote(TokenId token_in, Amount amount_in) const;
+
+  /// Executes a swap, updating reserves (input including the fee share is
+  /// added, output removed — exactly as the V2 pair contract does).
+  /// Fails with kCapacityExceeded if the output would drain the reserve.
+  [[nodiscard]] Result<SwapQuote> apply_swap(TokenId token_in,
+                                             Amount amount_in);
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  PoolId id_;
+  TokenId token0_;
+  TokenId token1_;
+  Amount reserve0_;
+  Amount reserve1_;
+  double fee_;
+};
+
+}  // namespace arb::amm

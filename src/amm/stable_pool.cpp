@@ -1,0 +1,135 @@
+#include "amm/stable_pool.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace arb::amm {
+namespace {
+
+constexpr int kNewtonIterations = 255;
+constexpr double kConvergence = 1e-12;
+
+/// D for two coins: fixed-point iteration of
+///   D ← (Ann·S + 2·D_P)·D / ((Ann − 1)·D + 3·D_P),  D_P = D³/(4·x·y),
+/// with Ann = A·n² = 4A — the iteration used by the Curve contract,
+/// which converges monotonically from D₀ = S.
+double solve_d(double x, double y, double amplification) {
+  const double s = x + y;
+  if (s == 0.0) return 0.0;
+  const double ann = 4.0 * amplification;
+  double d = s;
+  for (int i = 0; i < kNewtonIterations; ++i) {
+    const double d_p = d * d * d / (4.0 * x * y);
+    const double d_next =
+        (ann * s + 2.0 * d_p) * d / ((ann - 1.0) * d + 3.0 * d_p);
+    if (std::abs(d_next - d) <= kConvergence * d) return d_next;
+    d = d_next;
+  }
+  return d;
+}
+
+}  // namespace
+
+StablePool::StablePool(PoolId id, TokenId token0, TokenId token1,
+                       Amount reserve0, Amount reserve1,
+                       double amplification, double fee)
+    : id_(id),
+      token0_(token0),
+      token1_(token1),
+      reserve0_(reserve0),
+      reserve1_(reserve1),
+      amplification_(amplification),
+      fee_(fee) {
+  ARB_REQUIRE(token0.valid() && token1.valid() && token0 != token1,
+              "stable pool requires two distinct valid tokens");
+  ARB_REQUIRE(reserve0 > 0.0 && reserve1 > 0.0,
+              "stable pool requires positive reserves");
+  ARB_REQUIRE(amplification > 0.0, "amplification must be positive");
+  ARB_REQUIRE(fee >= 0.0 && fee < 1.0, "fee must be in [0, 1)");
+}
+
+bool StablePool::contains(TokenId token) const {
+  return token == token0_ || token == token1_;
+}
+
+TokenId StablePool::other(TokenId token) const {
+  ARB_REQUIRE(contains(token), "token not in pool");
+  return token == token0_ ? token1_ : token0_;
+}
+
+Amount StablePool::reserve_of(TokenId token) const {
+  ARB_REQUIRE(contains(token), "token not in pool");
+  return token == token0_ ? reserve0_ : reserve1_;
+}
+
+double StablePool::invariant() const {
+  return solve_d(reserve0_, reserve1_, amplification_);
+}
+
+double StablePool::solve_other_balance(double new_in_balance,
+                                       double d) const {
+  // For two coins: y² + y·(S' + D/Ann − D) = D³/(4·S'·Ann) with
+  // S' = new_in_balance. Newton from y₀ = D (Curve's iteration):
+  //   y ← (y² + c) / (2y + b − D),
+  //   b = S' + D/Ann,  c = D³/(4·S'·Ann).
+  const double ann = 4.0 * amplification_;
+  const double b = new_in_balance + d / ann;
+  const double c = d * d * d / (4.0 * new_in_balance * ann);
+  double y = d;
+  for (int i = 0; i < kNewtonIterations; ++i) {
+    const double y_next = (y * y + c) / (2.0 * y + b - d);
+    if (std::abs(y_next - y) <= kConvergence * std::max(1.0, y)) {
+      return y_next;
+    }
+    y = y_next;
+  }
+  return y;
+}
+
+SwapQuote StablePool::quote(TokenId token_in, Amount amount_in) const {
+  ARB_REQUIRE(amount_in >= 0.0, "amount_in must be non-negative");
+  const double x = reserve_of(token_in);
+  const double y = reserve_of(other(token_in));
+  const double d = solve_d(reserve0_, reserve1_, amplification_);
+
+  const auto gross_out = [&](double dx) {
+    if (dx == 0.0) return 0.0;
+    const double y_new = solve_other_balance(x + dx, d);
+    return std::max(0.0, y - y_new);
+  };
+
+  SwapQuote q;
+  q.amount_in = amount_in;
+  q.amount_out = gross_out(amount_in) * (1.0 - fee_);
+  // Numeric marginal rate (central difference with a relative step).
+  const double h = std::max(1e-9, std::abs(amount_in) * 1e-7) +
+                   1e-9 * std::max(x, y);
+  const double lo = std::max(0.0, amount_in - h);
+  q.marginal_rate = (gross_out(amount_in + h) - gross_out(lo)) *
+                    (1.0 - fee_) / (amount_in + h - lo);
+  return q;
+}
+
+Result<SwapQuote> StablePool::apply_swap(TokenId token_in, Amount amount_in) {
+  const SwapQuote q = quote(token_in, amount_in);
+  const TokenId token_out = other(token_in);
+  if (q.amount_out >= reserve_of(token_out)) {
+    return make_error(ErrorCode::kCapacityExceeded,
+                      "stable swap would drain the reserve");
+  }
+  if (token_in == token0_) {
+    reserve0_ += amount_in;
+    reserve1_ -= q.amount_out;
+  } else {
+    reserve1_ += amount_in;
+    reserve0_ -= q.amount_out;
+  }
+  return q;
+}
+
+double StablePool::spot_rate(TokenId token_in) const {
+  return quote(token_in, 0.0).marginal_rate;
+}
+
+}  // namespace arb::amm

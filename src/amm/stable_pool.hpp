@@ -1,0 +1,78 @@
+#pragma once
+
+/// \file stable_pool.hpp
+/// A Curve-style StableSwap pool (two coins, amplification A).
+///
+/// The paper studies constant-product pools only; real DEX arbitrage
+/// loops routinely cross StableSwap pools too, whose near-constant-sum
+/// region around balance makes them far deeper for pegged pairs. The
+/// invariant (n = 2 coins):
+///
+///   A·n²·(x + y) + D  =  A·n²·D + D³ / (n²·x·y)
+///
+/// interpolates between constant-sum (A → ∞) and constant-product
+/// (A → 0). D and the post-swap balance have no closed form; both are
+/// solved by the same Newton iterations the Curve contract uses.
+/// The swap function stays strictly increasing and strictly concave, so
+/// every optimizer in this library that relies only on those properties
+/// (bisection / golden-section / the generic path optimizer) works on
+/// it unchanged — which is exactly what the stable-pool ablation shows.
+
+#include "amm/pool.hpp"
+#include "common/result.hpp"
+#include "common/types.hpp"
+
+namespace arb::amm {
+
+class StablePool {
+ public:
+  /// Preconditions: distinct valid tokens, positive reserves,
+  /// amplification > 0, fee in [0, 1).
+  StablePool(PoolId id, TokenId token0, TokenId token1, Amount reserve0,
+             Amount reserve1, double amplification = 100.0,
+             double fee = 0.0004);
+
+  [[nodiscard]] PoolId id() const { return id_; }
+  [[nodiscard]] TokenId token0() const { return token0_; }
+  [[nodiscard]] TokenId token1() const { return token1_; }
+  [[nodiscard]] Amount reserve0() const { return reserve0_; }
+  [[nodiscard]] Amount reserve1() const { return reserve1_; }
+  [[nodiscard]] double amplification() const { return amplification_; }
+  [[nodiscard]] double fee() const { return fee_; }
+
+  [[nodiscard]] bool contains(TokenId token) const;
+  [[nodiscard]] TokenId other(TokenId token) const;
+  [[nodiscard]] Amount reserve_of(TokenId token) const;
+
+  /// The StableSwap invariant D at current reserves (Newton).
+  [[nodiscard]] double invariant() const;
+
+  /// Quotes a swap without mutating state (fee charged on the output,
+  /// as Curve does). Preconditions: contains(token_in), amount_in >= 0.
+  [[nodiscard]] SwapQuote quote(TokenId token_in, Amount amount_in) const;
+
+  /// Executes a swap. The fee share of the output stays in the pool
+  /// (accrues to LPs), so the invariant never decreases.
+  [[nodiscard]] Result<SwapQuote> apply_swap(TokenId token_in,
+                                             Amount amount_in);
+
+  /// Marginal rate at zero input (numeric; the curve has no closed-form
+  /// derivative worth maintaining).
+  [[nodiscard]] double spot_rate(TokenId token_in) const;
+
+ private:
+  /// Solves the post-trade balance of the *other* side given the input
+  /// side's new balance, holding D fixed.
+  [[nodiscard]] double solve_other_balance(double new_in_balance,
+                                           double d) const;
+
+  PoolId id_;
+  TokenId token0_;
+  TokenId token1_;
+  Amount reserve0_;
+  Amount reserve1_;
+  double amplification_;
+  double fee_;
+};
+
+}  // namespace arb::amm

@@ -1,0 +1,50 @@
+#include "amm/swap_math.hpp"
+
+namespace arb::amm {
+
+Result<double> swap_in_for_out(double x, double y, double gamma, double dy) {
+  ARB_REQUIRE(x > 0.0 && y > 0.0, "swap_in_for_out requires positive reserves");
+  ARB_REQUIRE(gamma > 0.0 && gamma <= 1.0, "gamma must be in (0, 1]");
+  ARB_REQUIRE(dy >= 0.0, "swap_in_for_out requires dy >= 0");
+  if (dy >= y) {
+    return make_error(ErrorCode::kCapacityExceeded,
+                      "requested output " + std::to_string(dy) +
+                          " >= reserve " + std::to_string(y));
+  }
+  // From γΔx·y/(x + γΔx) = dy:  Δx = x·dy / (γ·(y − dy)).
+  return x * dy / (gamma * (y - dy));
+}
+
+U256 get_amount_out_exact(const U256& amount_in, const U256& reserve_in,
+                          const U256& reserve_out,
+                          std::uint64_t fee_numerator,
+                          std::uint64_t fee_denominator) {
+  ARB_REQUIRE(!reserve_in.is_zero() && !reserve_out.is_zero(),
+              "get_amount_out_exact requires non-zero reserves");
+  ARB_REQUIRE(fee_numerator <= fee_denominator && fee_denominator > 0,
+              "invalid fee fraction");
+  const U256 amount_in_with_fee = amount_in * U256{fee_numerator};
+  const U256 numerator = amount_in_with_fee * reserve_out;
+  const U256 denominator =
+      reserve_in * U256{fee_denominator} + amount_in_with_fee;
+  return numerator / denominator;
+}
+
+Result<U256> get_amount_in_exact(const U256& amount_out,
+                                 const U256& reserve_in,
+                                 const U256& reserve_out,
+                                 std::uint64_t fee_numerator,
+                                 std::uint64_t fee_denominator) {
+  ARB_REQUIRE(!reserve_in.is_zero() && !reserve_out.is_zero(),
+              "get_amount_in_exact requires non-zero reserves");
+  if (amount_out >= reserve_out) {
+    return make_error(ErrorCode::kCapacityExceeded,
+                      "amount_out >= reserve_out");
+  }
+  // Mirrors UniswapV2Library.getAmountIn: ceil-division via +1.
+  const U256 numerator = reserve_in * amount_out * U256{fee_denominator};
+  const U256 denominator = (reserve_out - amount_out) * U256{fee_numerator};
+  return numerator / denominator + U256{1};
+}
+
+}  // namespace arb::amm

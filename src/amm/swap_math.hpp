@@ -1,0 +1,70 @@
+#pragma once
+
+/// \file swap_math.hpp
+/// The constant-product swap function and its exact derivatives.
+///
+/// Uniswap V2 trades against (x + γΔx)(y − Δy) = x·y with γ = 1 − λ
+/// (λ = 0.3%). Solving for the output:
+///
+///   F(Δ | x, y, γ) = γΔ·y / (x + γΔ)
+///
+/// F is strictly concave, strictly increasing, F(0) = 0 — the properties
+/// every proof in the paper rests on. Functions here are templated on the
+/// scalar so they evaluate on double and on math::Dual (exact forward-mode
+/// derivatives) alike. The integer variants mirror the on-chain uint256
+/// arithmetic bit-for-bit.
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/result.hpp"
+#include "common/uint256.hpp"
+#include "math/dual.hpp"
+
+namespace arb::amm {
+
+/// Output amount for an input of `dx` against reserves (x, y) with fee
+/// multiplier gamma = 1 - fee. Requires x, y > 0; dx >= 0.
+template <typename Scalar>
+[[nodiscard]] Scalar swap_out(Scalar x, Scalar y, double gamma, Scalar dx) {
+  const Scalar effective = Scalar(gamma) * dx;
+  return effective * y / (x + effective);
+}
+
+/// d(swap_out)/d(dx) — marginal exchange rate at input dx.
+[[nodiscard]] inline double swap_out_derivative(double x, double y,
+                                                double gamma, double dx) {
+  const double denom = x + gamma * dx;
+  return gamma * x * y / (denom * denom);
+}
+
+/// Input required to receive exactly `dy` (inverse of swap_out).
+/// Fails with kCapacityExceeded when dy >= y (the pool cannot emit its
+/// entire reserve).
+[[nodiscard]] Result<double> swap_in_for_out(double x, double y, double gamma,
+                                             double dy);
+
+/// Marginal (zero-size) relative price of the input token in output-token
+/// units: p = γ·y/x, the paper's p_ij = (1 − λ)·r_j/r_i.
+[[nodiscard]] inline double relative_price(double reserve_in,
+                                           double reserve_out, double gamma) {
+  ARB_REQUIRE(reserve_in > 0.0 && reserve_out > 0.0,
+              "relative_price requires positive reserves");
+  return gamma * reserve_out / reserve_in;
+}
+
+/// Exact Uniswap V2 `getAmountOut` in integer arithmetic:
+///   amountOut = amountIn·feeNum·reserveOut / (reserveIn·feeDen + amountIn·feeNum)
+/// with flooring division, feeNum/feeDen = 997/1000 on mainnet.
+[[nodiscard]] U256 get_amount_out_exact(const U256& amount_in,
+                                        const U256& reserve_in,
+                                        const U256& reserve_out,
+                                        std::uint64_t fee_numerator = 997,
+                                        std::uint64_t fee_denominator = 1000);
+
+/// Exact Uniswap V2 `getAmountIn` (ceiling division + 1 wei, as on-chain).
+[[nodiscard]] Result<U256> get_amount_in_exact(
+    const U256& amount_out, const U256& reserve_in, const U256& reserve_out,
+    std::uint64_t fee_numerator = 997, std::uint64_t fee_denominator = 1000);
+
+}  // namespace arb::amm

@@ -1,0 +1,198 @@
+#include "common/csv.hpp"
+
+#include <charconv>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace arb {
+namespace {
+
+bool needs_quoting(const std::string& value) {
+  return value.find_first_of(",\"\r\n") != std::string::npos;
+}
+
+std::string quote(const std::string& value) {
+  std::string out = "\"";
+  for (char c : value) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+std::string format_double(double value) {
+  // std::to_chars gives shortest round-trip representation.
+  char buf[64];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), value);
+  ARB_REQUIRE(ec == std::errc{}, "to_chars failed");
+  return std::string(buf, ptr);
+}
+
+CsvWriter::CsvWriter(std::ostream& out) : out_(out) {}
+
+void CsvWriter::header(const std::vector<std::string>& columns) {
+  ARB_REQUIRE(!header_written_ && rows_ == 0 && at_row_start_,
+              "CSV header must be the first row");
+  ARB_REQUIRE(!columns.empty(), "CSV header must not be empty");
+  header_written_ = true;
+  columns_ = columns.size();
+  for (const auto& c : columns) cell(c);
+  end_row();
+  rows_ = 0;  // header does not count as a data row
+}
+
+void CsvWriter::separator() {
+  if (!at_row_start_) out_ << ',';
+  at_row_start_ = false;
+  ++cells_in_row_;
+}
+
+CsvWriter& CsvWriter::cell(const std::string& value) {
+  separator();
+  out_ << (needs_quoting(value) ? quote(value) : value);
+  return *this;
+}
+
+CsvWriter& CsvWriter::cell(const char* value) {
+  return cell(std::string(value));
+}
+
+CsvWriter& CsvWriter::cell(double value) {
+  separator();
+  out_ << format_double(value);
+  return *this;
+}
+
+CsvWriter& CsvWriter::cell(std::size_t value) {
+  separator();
+  out_ << value;
+  return *this;
+}
+
+CsvWriter& CsvWriter::cell(int value) {
+  separator();
+  out_ << value;
+  return *this;
+}
+
+void CsvWriter::end_row() {
+  if (columns_ != 0) {
+    ARB_REQUIRE(cells_in_row_ == columns_,
+                "CSV row width differs from header width");
+  }
+  out_ << '\n';
+  at_row_start_ = true;
+  cells_in_row_ = 0;
+  ++rows_;
+}
+
+std::size_t CsvTable::column_index(const std::string& name) const {
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    if (header[i] == name) return i;
+  }
+  ARB_REQUIRE(false, "CSV column not found: " + name);
+  return 0;  // unreachable
+}
+
+Result<CsvTable> parse_csv(const std::string& text) {
+  std::vector<std::vector<std::string>> records;
+  std::vector<std::string> record;
+  std::string field;
+  bool in_quotes = false;
+  bool field_started = false;
+
+  auto end_field = [&] {
+    record.push_back(std::move(field));
+    field.clear();
+    field_started = false;
+  };
+  auto end_record = [&] {
+    end_field();
+    records.push_back(std::move(record));
+    record.clear();
+  };
+
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field += c;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        if (field.empty() && !field_started) {
+          in_quotes = true;
+          field_started = true;
+        } else {
+          return make_error(ErrorCode::kParseError,
+                            "unexpected quote mid-field at offset " +
+                                std::to_string(i));
+        }
+        break;
+      case ',':
+        end_field();
+        break;
+      case '\r':
+        break;  // tolerate CRLF
+      case '\n':
+        end_record();
+        break;
+      default:
+        field += c;
+        field_started = true;
+        break;
+    }
+  }
+  if (in_quotes) {
+    return make_error(ErrorCode::kParseError, "unterminated quoted field");
+  }
+  if (field_started || !record.empty() || !field.empty()) {
+    end_record();  // final record without trailing newline
+  }
+
+  if (records.empty()) {
+    return make_error(ErrorCode::kParseError, "empty CSV input");
+  }
+
+  CsvTable table;
+  table.header = std::move(records.front());
+  for (std::size_t r = 1; r < records.size(); ++r) {
+    if (records[r].size() == 1 && records[r][0].empty()) continue;  // blank line
+    if (records[r].size() != table.header.size()) {
+      return make_error(ErrorCode::kParseError,
+                        "row " + std::to_string(r) + " has " +
+                            std::to_string(records[r].size()) +
+                            " cells, header has " +
+                            std::to_string(table.header.size()));
+    }
+    table.rows.push_back(std::move(records[r]));
+  }
+  return table;
+}
+
+Result<CsvTable> read_csv_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return make_error(ErrorCode::kIoError, "cannot open " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse_csv(buffer.str());
+}
+
+}  // namespace arb

@@ -1,0 +1,77 @@
+#pragma once
+
+/// \file csv.hpp
+/// Small CSV reader/writer. The bench harness writes every reproduced
+/// figure as a CSV so the series can be re-plotted externally; the market
+/// module round-trips snapshots through the same format.
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+
+namespace arb {
+
+/// Streaming CSV writer with RFC-4180 quoting.
+class CsvWriter {
+ public:
+  /// Writes to the given stream; the stream must outlive the writer.
+  explicit CsvWriter(std::ostream& out);
+
+  /// Writes the header row. Must be the first row written, at most once.
+  void header(const std::vector<std::string>& columns);
+
+  /// Appends one cell to the current row (numeric overloads format with
+  /// full round-trip precision).
+  CsvWriter& cell(const std::string& value);
+  CsvWriter& cell(const char* value);
+  CsvWriter& cell(double value);
+  CsvWriter& cell(std::size_t value);
+  CsvWriter& cell(int value);
+
+  /// Terminates the current row.
+  void end_row();
+
+  /// Convenience: writes a full row of cells.
+  template <typename... Ts>
+  void row(const Ts&... values) {
+    (cell(values), ...);
+    end_row();
+  }
+
+  [[nodiscard]] std::size_t rows_written() const { return rows_; }
+
+ private:
+  void separator();
+
+  std::ostream& out_;
+  bool at_row_start_ = true;
+  bool header_written_ = false;
+  std::size_t columns_ = 0;
+  std::size_t cells_in_row_ = 0;
+  std::size_t rows_ = 0;
+};
+
+/// Fully-parsed CSV table.
+struct CsvTable {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+
+  [[nodiscard]] std::size_t column_index(const std::string& name) const;
+};
+
+/// Parses CSV text (RFC-4180 quoting, \n or \r\n line ends). First row is
+/// the header. Rows whose cell count differs from the header produce a
+/// parse error.
+[[nodiscard]] Result<CsvTable> parse_csv(const std::string& text);
+
+/// Reads and parses a CSV file.
+[[nodiscard]] Result<CsvTable> read_csv_file(const std::string& path);
+
+/// Formats a double with enough digits to round-trip (used by CsvWriter
+/// and the table renderers).
+[[nodiscard]] std::string format_double(double value);
+
+}  // namespace arb

@@ -1,0 +1,46 @@
+#include "common/error.hpp"
+
+#include <sstream>
+
+namespace arb {
+
+std::string_view to_string(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kInvalidArgument:
+      return "invalid_argument";
+    case ErrorCode::kNotFound:
+      return "not_found";
+    case ErrorCode::kNumericFailure:
+      return "numeric_failure";
+    case ErrorCode::kInfeasible:
+      return "infeasible";
+    case ErrorCode::kParseError:
+      return "parse_error";
+    case ErrorCode::kIoError:
+      return "io_error";
+    case ErrorCode::kInvariantViolated:
+      return "invariant_violated";
+    case ErrorCode::kCapacityExceeded:
+      return "capacity_exceeded";
+  }
+  return "unknown";
+}
+
+std::string Error::to_string() const {
+  std::ostringstream os;
+  os << arb::to_string(code) << ": " << message;
+  return os.str();
+}
+
+namespace detail {
+
+void throw_precondition(const char* expr, const char* file, int line,
+                        const std::string& message) {
+  std::ostringstream os;
+  os << "precondition failed: " << expr << " at " << file << ":" << line
+     << " — " << message;
+  throw PreconditionError(os.str());
+}
+
+}  // namespace detail
+}  // namespace arb

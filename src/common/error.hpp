@@ -1,0 +1,64 @@
+#pragma once
+
+/// \file error.hpp
+/// Library-wide error vocabulary.
+///
+/// The library reports recoverable failures through Result<T>
+/// (common/result.hpp) carrying an Error value; exceptions are reserved
+/// for programming errors (precondition violations) via ARB_REQUIRE.
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace arb {
+
+/// Coarse classification of a recoverable failure.
+enum class ErrorCode {
+  kInvalidArgument,   ///< caller supplied an out-of-domain value
+  kNotFound,          ///< lookup failed (token, pool, price, ...)
+  kNumericFailure,    ///< solver or linear algebra did not converge
+  kInfeasible,        ///< optimization problem has no feasible point
+  kParseError,        ///< malformed input file / string
+  kIoError,           ///< filesystem failure
+  kInvariantViolated, ///< AMM or plan invariant broken during execution
+  kCapacityExceeded,  ///< requested trade exceeds pool reserves
+};
+
+[[nodiscard]] std::string_view to_string(ErrorCode code);
+
+/// A recoverable failure: code plus human-readable context.
+struct Error {
+  ErrorCode code = ErrorCode::kInvalidArgument;
+  std::string message;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+[[nodiscard]] inline Error make_error(ErrorCode code, std::string message) {
+  return Error{code, std::move(message)};
+}
+
+/// Thrown only on precondition violations (programming errors).
+class PreconditionError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+[[noreturn]] void throw_precondition(const char* expr, const char* file,
+                                     int line, const std::string& message);
+}  // namespace detail
+
+/// Precondition check. Unlike assert(), stays active in release builds:
+/// the failure modes it guards (negative reserves, empty loops, ...) would
+/// otherwise silently corrupt numeric results.
+#define ARB_REQUIRE(expr, message)                                         \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      ::arb::detail::throw_precondition(#expr, __FILE__, __LINE__,         \
+                                        (message));                       \
+    }                                                                      \
+  } while (false)
+
+}  // namespace arb

@@ -1,0 +1,47 @@
+#include "common/logging.hpp"
+
+#include <atomic>
+#include <iostream>
+#include <mutex>
+
+namespace arb {
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::mutex g_mutex;
+
+const char* level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO ";
+    case LogLevel::kWarn:
+      return "WARN ";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF  ";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
+
+LogLevel log_level() {
+  return g_level.load(std::memory_order_relaxed);
+}
+
+namespace detail {
+
+void emit_log(LogLevel level, const std::string& message) {
+  const std::lock_guard<std::mutex> lock(g_mutex);
+  std::cerr << "[" << level_tag(level) << "] " << message << "\n";
+}
+
+}  // namespace detail
+}  // namespace arb

@@ -1,0 +1,37 @@
+#pragma once
+
+/// \file logging.hpp
+/// Minimal leveled logger. Default level is kWarn so library code can log
+/// diagnostics (solver iterations, generator calibration) without spamming
+/// benchmark output; tests and examples may raise verbosity.
+
+#include <sstream>
+#include <string>
+
+namespace arb {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global level; messages below it are discarded.
+void set_log_level(LogLevel level);
+[[nodiscard]] LogLevel log_level();
+
+namespace detail {
+void emit_log(LogLevel level, const std::string& message);
+}
+
+#define ARB_LOG(level, expr)                                    \
+  do {                                                          \
+    if ((level) >= ::arb::log_level()) {                        \
+      std::ostringstream arb_log_os;                            \
+      arb_log_os << expr;                                       \
+      ::arb::detail::emit_log((level), arb_log_os.str());       \
+    }                                                           \
+  } while (false)
+
+#define ARB_LOG_DEBUG(expr) ARB_LOG(::arb::LogLevel::kDebug, expr)
+#define ARB_LOG_INFO(expr) ARB_LOG(::arb::LogLevel::kInfo, expr)
+#define ARB_LOG_WARN(expr) ARB_LOG(::arb::LogLevel::kWarn, expr)
+#define ARB_LOG_ERROR(expr) ARB_LOG(::arb::LogLevel::kError, expr)
+
+}  // namespace arb

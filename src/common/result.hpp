@@ -1,0 +1,86 @@
+#pragma once
+
+/// \file result.hpp
+/// Result<T>: a minimal expected-style sum type (std::expected is C++23;
+/// this library targets C++20). Holds either a value or an arb::Error.
+
+#include <optional>
+#include <utility>
+#include <variant>
+
+#include "common/error.hpp"
+
+namespace arb {
+
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  // Intentionally implicit: lets `return value;` and `return error;`
+  // both convert, mirroring std::expected.
+  Result(T value) : storage_(std::move(value)) {}
+  Result(Error error) : storage_(std::move(error)) {}
+
+  [[nodiscard]] bool ok() const { return storage_.index() == 0; }
+  explicit operator bool() const { return ok(); }
+
+  /// Value access. Precondition: ok().
+  [[nodiscard]] const T& value() const& {
+    ARB_REQUIRE(ok(), "Result::value() on error: " + error().to_string());
+    return std::get<0>(storage_);
+  }
+  [[nodiscard]] T& value() & {
+    ARB_REQUIRE(ok(), "Result::value() on error: " + error().to_string());
+    return std::get<0>(storage_);
+  }
+  [[nodiscard]] T&& value() && {
+    ARB_REQUIRE(ok(), "Result::value() on error: " + error().to_string());
+    return std::get<0>(std::move(storage_));
+  }
+
+  [[nodiscard]] const T& operator*() const& { return value(); }
+  [[nodiscard]] T& operator*() & { return value(); }
+  [[nodiscard]] const T* operator->() const { return &value(); }
+  [[nodiscard]] T* operator->() { return &value(); }
+
+  /// Error access. Precondition: !ok().
+  [[nodiscard]] const Error& error() const {
+    ARB_REQUIRE(!ok(), "Result::error() on success");
+    return std::get<1>(storage_);
+  }
+
+  [[nodiscard]] T value_or(T fallback) const& {
+    return ok() ? std::get<0>(storage_) : std::move(fallback);
+  }
+
+  /// Applies \p fn to the contained value, propagating errors.
+  template <typename Fn>
+  [[nodiscard]] auto map(Fn&& fn) const& -> Result<decltype(fn(std::declval<const T&>()))> {
+    if (!ok()) return error();
+    return std::forward<Fn>(fn)(std::get<0>(storage_));
+  }
+
+ private:
+  std::variant<T, Error> storage_;
+};
+
+/// Result<void> analogue.
+class [[nodiscard]] Status {
+ public:
+  Status() = default;
+  Status(Error error) : error_(std::move(error)) {}
+
+  [[nodiscard]] bool ok() const { return !error_.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  [[nodiscard]] const Error& error() const {
+    ARB_REQUIRE(!ok(), "Status::error() on success");
+    return *error_;
+  }
+
+  [[nodiscard]] static Status success() { return Status{}; }
+
+ private:
+  std::optional<Error> error_;
+};
+
+}  // namespace arb

@@ -1,0 +1,75 @@
+#pragma once
+
+/// \file rng.hpp
+/// Deterministic pseudo-random generation.
+///
+/// Everything stochastic in this library (synthetic market snapshots,
+/// property-test case generation, price noise) flows through Rng so that
+/// every experiment is reproducible from a single 64-bit seed. The core
+/// generator is xoshiro256++ seeded via splitmix64, the recommended
+/// seeding procedure from the xoshiro authors.
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace arb {
+
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed);
+
+  /// UniformRandomBitGenerator interface (usable with <random> adapters).
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~std::uint64_t{0}; }
+  result_type operator()() { return next_u64(); }
+
+  /// Next raw 64 bits.
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double uniform01();
+
+  /// Uniform double in [lo, hi). Precondition: lo <= hi.
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] inclusive. Precondition: lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Standard normal via Box–Muller (cached second deviate).
+  double normal();
+
+  /// Normal with the given mean / standard deviation.
+  double normal(double mean, double stddev);
+
+  /// Log-normal: exp(N(mu_log, sigma_log)). Heavy-tailed, matching pool
+  /// TVL distributions observed on Uniswap V2.
+  double log_normal(double mu_log, double sigma_log);
+
+  /// Bernoulli trial with success probability p in [0, 1].
+  bool bernoulli(double p);
+
+  /// Uniformly selects an index in [0, n). Precondition: n > 0.
+  std::size_t index(std::size_t n);
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      using std::swap;
+      swap(v[i - 1], v[index(i)]);
+    }
+  }
+
+  /// Derives an independent generator (for parallel or scoped streams).
+  Rng split();
+
+ private:
+  std::array<std::uint64_t, 4> state_{};
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace arb

@@ -1,0 +1,71 @@
+#pragma once
+
+/// \file stats.hpp
+/// Streaming and batch statistics used by the benchmark harness to
+/// summarize per-loop profit distributions and solver behaviour.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace arb {
+
+/// Single-pass accumulator: count / mean / variance (Welford) / min / max.
+class StreamingStats {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return count_; }
+  [[nodiscard]] double mean() const;
+  /// Sample variance (n-1 denominator). Returns 0 for fewer than 2 samples.
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  [[nodiscard]] double sum() const { return sum_; }
+
+  /// "n=… mean=… sd=… min=… max=…" summary line.
+  [[nodiscard]] std::string summary() const;
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Percentile of a sample using linear interpolation between order
+/// statistics. \p q in [0, 1]. Precondition: non-empty sample.
+[[nodiscard]] double percentile(std::vector<double> sample, double q);
+
+/// Pearson correlation of two equal-length samples. Returns 0 when either
+/// sample is constant. Precondition: equal, non-zero lengths.
+[[nodiscard]] double pearson_correlation(const std::vector<double>& xs,
+                                         const std::vector<double>& ys);
+
+/// Fixed-width histogram over [lo, hi]; values outside clamp to the edge
+/// bins. Used for textual figure rendering in the bench harness.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  [[nodiscard]] std::size_t bin_count() const { return counts_.size(); }
+  [[nodiscard]] std::size_t count_in_bin(std::size_t bin) const;
+  [[nodiscard]] std::size_t total() const { return total_; }
+  [[nodiscard]] double bin_lo(std::size_t bin) const;
+  [[nodiscard]] double bin_hi(std::size_t bin) const;
+
+  /// Multi-line ASCII rendering (one row per bin).
+  [[nodiscard]] std::string render(std::size_t width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace arb

@@ -1,0 +1,78 @@
+#include "common/strings.hpp"
+
+#include <cctype>
+#include <charconv>
+
+namespace arb {
+
+std::vector<std::string> split(std::string_view text, char delimiter) {
+  std::vector<std::string> pieces;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = text.find(delimiter, start);
+    if (pos == std::string_view::npos) {
+      pieces.emplace_back(text.substr(start));
+      return pieces;
+    }
+    pieces.emplace_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::string_view trim(std::string_view text) {
+  while (!text.empty() &&
+         std::isspace(static_cast<unsigned char>(text.front()))) {
+    text.remove_prefix(1);
+  }
+  while (!text.empty() &&
+         std::isspace(static_cast<unsigned char>(text.back()))) {
+    text.remove_suffix(1);
+  }
+  return text;
+}
+
+Result<double> parse_double(std::string_view text) {
+  text = trim(text);
+  if (text.empty()) {
+    return make_error(ErrorCode::kParseError, "empty number");
+  }
+  double value = 0.0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc{} || ptr != text.data() + text.size()) {
+    return make_error(ErrorCode::kParseError,
+                      "invalid double: '" + std::string(text) + "'");
+  }
+  return value;
+}
+
+Result<std::uint64_t> parse_u64(std::string_view text) {
+  text = trim(text);
+  if (text.empty()) {
+    return make_error(ErrorCode::kParseError, "empty integer");
+  }
+  std::uint64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc{} || ptr != text.data() + text.size()) {
+    return make_error(ErrorCode::kParseError,
+                      "invalid integer: '" + std::string(text) + "'");
+  }
+  return value;
+}
+
+bool starts_with(std::string_view text, std::string_view prefix) {
+  return text.substr(0, prefix.size()) == prefix;
+}
+
+std::string join(const std::vector<std::string>& pieces,
+                 std::string_view separator) {
+  std::string out;
+  for (std::size_t i = 0; i < pieces.size(); ++i) {
+    if (i != 0) out += separator;
+    out += pieces[i];
+  }
+  return out;
+}
+
+}  // namespace arb

@@ -1,0 +1,34 @@
+#pragma once
+
+/// \file strings.hpp
+/// Small string utilities shared by the CSV/market IO layers.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.hpp"
+
+namespace arb {
+
+/// Splits on a single character; adjacent delimiters yield empty pieces.
+[[nodiscard]] std::vector<std::string> split(std::string_view text,
+                                             char delimiter);
+
+/// Strips ASCII whitespace from both ends.
+[[nodiscard]] std::string_view trim(std::string_view text);
+
+/// Strict double parse (whole string must be consumed).
+[[nodiscard]] Result<double> parse_double(std::string_view text);
+
+/// Strict non-negative integer parse.
+[[nodiscard]] Result<std::uint64_t> parse_u64(std::string_view text);
+
+/// True if \p text starts with \p prefix.
+[[nodiscard]] bool starts_with(std::string_view text, std::string_view prefix);
+
+/// Joins pieces with a separator.
+[[nodiscard]] std::string join(const std::vector<std::string>& pieces,
+                               std::string_view separator);
+
+}  // namespace arb

@@ -1,0 +1,230 @@
+#include "common/svg.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace arb {
+namespace {
+
+constexpr const char* kPalette[] = {"#1f77b4", "#d62728", "#2ca02c",
+                                    "#ff7f0e", "#9467bd", "#8c564b",
+                                    "#17becf", "#7f7f7f"};
+constexpr int kPaletteSize = 8;
+constexpr int kMarginLeft = 70;
+constexpr int kMarginRight = 20;
+constexpr int kMarginTop = 40;
+constexpr int kMarginBottom = 55;
+
+std::string escape_xml(const std::string& text) {
+  std::string out;
+  for (char c : text) {
+    switch (c) {
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      case '&':
+        out += "&amp;";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+std::string format_tick(double v) {
+  std::ostringstream os;
+  if (v != 0.0 && (std::abs(v) >= 1e5 || std::abs(v) < 1e-3)) {
+    os.precision(1);
+    os << std::scientific << v;
+  } else {
+    os.precision(6);
+    os << v;
+  }
+  return os.str();
+}
+
+}  // namespace
+
+std::vector<double> nice_ticks(double lo, double hi, int target_count) {
+  ARB_REQUIRE(target_count >= 2, "need at least 2 ticks");
+  if (!(hi > lo)) hi = lo + 1.0;
+  const double raw_step = (hi - lo) / (target_count - 1);
+  const double magnitude = std::pow(10.0, std::floor(std::log10(raw_step)));
+  const double normalized = raw_step / magnitude;
+  double step = 10.0;
+  if (normalized <= 1.0) {
+    step = 1.0;
+  } else if (normalized <= 2.0) {
+    step = 2.0;
+  } else if (normalized <= 5.0) {
+    step = 5.0;
+  }
+  step *= magnitude;
+  std::vector<double> ticks;
+  const double start = std::ceil(lo / step) * step;
+  for (double v = start; v <= hi + step * 1e-9; v += step) {
+    // Snap near-zero artifacts of the floating-point walk.
+    ticks.push_back(std::abs(v) < step * 1e-9 ? 0.0 : v);
+  }
+  return ticks;
+}
+
+SvgPlot::SvgPlot(std::string title, std::string x_label, std::string y_label,
+                 int width, int height)
+    : title_(std::move(title)),
+      x_label_(std::move(x_label)),
+      y_label_(std::move(y_label)),
+      width_(width),
+      height_(height) {
+  ARB_REQUIRE(width > kMarginLeft + kMarginRight + 50 &&
+                  height > kMarginTop + kMarginBottom + 50,
+              "plot area too small");
+}
+
+void SvgPlot::add_series(SvgSeries series) {
+  series_.push_back(std::move(series));
+}
+
+std::string SvgPlot::render() const {
+  // Data range.
+  double x_lo = std::numeric_limits<double>::infinity();
+  double x_hi = -x_lo;
+  double y_lo = x_lo;
+  double y_hi = -x_lo;
+  for (const SvgSeries& s : series_) {
+    for (const auto& [x, y] : s.points) {
+      x_lo = std::min(x_lo, x);
+      x_hi = std::max(x_hi, x);
+      y_lo = std::min(y_lo, y);
+      y_hi = std::max(y_hi, y);
+    }
+  }
+  if (!(x_hi > x_lo)) {
+    x_lo -= 1.0;
+    x_hi += 1.0;
+  }
+  if (!(y_hi > y_lo)) {
+    y_lo -= 1.0;
+    y_hi += 1.0;
+  }
+  // Pad the y range slightly so extreme markers are not clipped.
+  const double y_pad = 0.04 * (y_hi - y_lo);
+  y_lo -= y_pad;
+  y_hi += y_pad;
+
+  const double plot_w = width_ - kMarginLeft - kMarginRight;
+  const double plot_h = height_ - kMarginTop - kMarginBottom;
+  const auto sx = [&](double x) {
+    return kMarginLeft + (x - x_lo) / (x_hi - x_lo) * plot_w;
+  };
+  const auto sy = [&](double y) {
+    return kMarginTop + plot_h - (y - y_lo) / (y_hi - y_lo) * plot_h;
+  };
+
+  std::ostringstream svg;
+  svg << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << width_
+      << "\" height=\"" << height_ << "\" font-family=\"sans-serif\">\n";
+  svg << "<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n";
+  svg << "<text x=\"" << width_ / 2 << "\" y=\"22\" text-anchor=\"middle\" "
+      << "font-size=\"15\" font-weight=\"bold\">" << escape_xml(title_)
+      << "</text>\n";
+
+  // Axes frame.
+  svg << "<rect x=\"" << kMarginLeft << "\" y=\"" << kMarginTop
+      << "\" width=\"" << plot_w << "\" height=\"" << plot_h
+      << "\" fill=\"none\" stroke=\"#333\"/>\n";
+
+  // Ticks and grid.
+  for (const double tick : nice_ticks(x_lo, x_hi)) {
+    const double px = sx(tick);
+    svg << "<line x1=\"" << px << "\" y1=\"" << kMarginTop + plot_h
+        << "\" x2=\"" << px << "\" y2=\"" << kMarginTop
+        << "\" stroke=\"#eee\"/>\n";
+    svg << "<text x=\"" << px << "\" y=\"" << kMarginTop + plot_h + 18
+        << "\" text-anchor=\"middle\" font-size=\"11\">"
+        << format_tick(tick) << "</text>\n";
+  }
+  for (const double tick : nice_ticks(y_lo, y_hi)) {
+    const double py = sy(tick);
+    svg << "<line x1=\"" << kMarginLeft << "\" y1=\"" << py << "\" x2=\""
+        << kMarginLeft + plot_w << "\" y2=\"" << py
+        << "\" stroke=\"#eee\"/>\n";
+    svg << "<text x=\"" << kMarginLeft - 6 << "\" y=\"" << py + 4
+        << "\" text-anchor=\"end\" font-size=\"11\">" << format_tick(tick)
+        << "</text>\n";
+  }
+
+  // Axis labels.
+  svg << "<text x=\"" << kMarginLeft + plot_w / 2 << "\" y=\""
+      << height_ - 12 << "\" text-anchor=\"middle\" font-size=\"13\">"
+      << escape_xml(x_label_) << "</text>\n";
+  svg << "<text x=\"16\" y=\"" << kMarginTop + plot_h / 2
+      << "\" text-anchor=\"middle\" font-size=\"13\" transform=\"rotate(-90 "
+      << 16 << " " << kMarginTop + plot_h / 2 << ")\">"
+      << escape_xml(y_label_) << "</text>\n";
+
+  // 45° reference.
+  if (diagonal_) {
+    const double lo = std::max(x_lo, y_lo);
+    const double hi = std::min(x_hi, y_hi);
+    if (hi > lo) {
+      svg << "<line x1=\"" << sx(lo) << "\" y1=\"" << sy(lo) << "\" x2=\""
+          << sx(hi) << "\" y2=\"" << sy(hi)
+          << "\" stroke=\"#999\" stroke-dasharray=\"5,4\"/>\n";
+    }
+  }
+
+  // Series.
+  for (std::size_t i = 0; i < series_.size(); ++i) {
+    const SvgSeries& s = series_[i];
+    const char* color = kPalette[i % kPaletteSize];
+    if (s.line) {
+      svg << "<polyline fill=\"none\" stroke=\"" << color
+          << "\" stroke-width=\"1.8\" points=\"";
+      for (const auto& [x, y] : s.points) {
+        svg << sx(x) << "," << sy(y) << " ";
+      }
+      svg << "\"/>\n";
+    } else {
+      for (const auto& [x, y] : s.points) {
+        svg << "<circle cx=\"" << sx(x) << "\" cy=\"" << sy(y)
+            << "\" r=\"3\" fill=\"" << color << "\" fill-opacity=\"0.65\"/>\n";
+      }
+    }
+  }
+
+  // Legend.
+  for (std::size_t i = 0; i < series_.size(); ++i) {
+    const double ly = kMarginTop + 14 + 16.0 * static_cast<double>(i);
+    const double lx = kMarginLeft + plot_w - 150;
+    svg << "<rect x=\"" << lx << "\" y=\"" << ly - 9
+        << "\" width=\"10\" height=\"10\" fill=\""
+        << kPalette[i % kPaletteSize] << "\"/>\n";
+    svg << "<text x=\"" << lx + 15 << "\" y=\"" << ly
+        << "\" font-size=\"11\">" << escape_xml(series_[i].name)
+        << "</text>\n";
+  }
+
+  svg << "</svg>\n";
+  return svg.str();
+}
+
+Status SvgPlot::write(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    return make_error(ErrorCode::kIoError, "cannot write " + path);
+  }
+  out << render();
+  return Status::success();
+}
+
+}  // namespace arb

@@ -1,0 +1,58 @@
+#pragma once
+
+/// \file svg.hpp
+/// Dependency-free SVG chart writer. The bench harness emits every
+/// reproduced figure as CSV; tools/render_figures turns those into
+/// self-contained .svg files (line charts and scatter plots with axes,
+/// ticks and a legend) so the reproduction can be inspected visually
+/// without any external plotting stack.
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.hpp"
+
+namespace arb {
+
+/// One named series of (x, y) points.
+struct SvgSeries {
+  std::string name;
+  std::vector<std::pair<double, double>> points;
+  /// True: connect points with a polyline; false: scatter markers.
+  bool line = true;
+};
+
+class SvgPlot {
+ public:
+  SvgPlot(std::string title, std::string x_label, std::string y_label,
+          int width = 720, int height = 480);
+
+  /// Adds a series (color assigned from a fixed palette in order).
+  void add_series(SvgSeries series);
+
+  /// Draws the y = x reference line across the data range (the 45° line
+  /// of the paper's scatter figures).
+  void add_diagonal() { diagonal_ = true; }
+
+  /// Renders the complete SVG document.
+  [[nodiscard]] std::string render() const;
+
+  /// Renders and writes to a file.
+  [[nodiscard]] Status write(const std::string& path) const;
+
+ private:
+  std::string title_;
+  std::string x_label_;
+  std::string y_label_;
+  int width_;
+  int height_;
+  bool diagonal_ = false;
+  std::vector<SvgSeries> series_;
+};
+
+/// "Nice" tick positions covering [lo, hi] (1-2-5 progression).
+[[nodiscard]] std::vector<double> nice_ticks(double lo, double hi,
+                                             int target_count = 6);
+
+}  // namespace arb

@@ -1,0 +1,13 @@
+#include "common/types.hpp"
+
+namespace arb {
+
+std::string to_string(TokenId id) {
+  return id.valid() ? "token#" + std::to_string(id.value()) : "token#<invalid>";
+}
+
+std::string to_string(PoolId id) {
+  return id.valid() ? "pool#" + std::to_string(id.value()) : "pool#<invalid>";
+}
+
+}  // namespace arb

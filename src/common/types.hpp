@@ -1,0 +1,84 @@
+#pragma once
+
+/// \file types.hpp
+/// Strong identifier types and scalar aliases shared across the library.
+///
+/// Tokens and pools are referenced everywhere by small dense integer ids.
+/// Wrapping them in distinct strong types prevents the classic bug of
+/// passing a pool id where a token id is expected; the wrappers compile
+/// away entirely.
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <string>
+
+namespace arb {
+
+/// Real-valued token quantity. Uniswap V2 stores reserves as uint112
+/// fixed-point integers; the analytical layer of this library works in
+/// doubles (as the paper does) and the exact-integer layer in
+/// common/uint256.hpp mirrors the on-chain arithmetic.
+using Amount = double;
+
+/// USD price of one token unit, as quoted by a centralized exchange.
+using UsdPrice = double;
+
+namespace detail {
+
+/// CRTP-free strong integer wrapper. \p Tag makes distinct instantiations
+/// incompatible with one another.
+template <typename Tag>
+class StrongId {
+ public:
+  using underlying_type = std::uint32_t;
+
+  constexpr StrongId() = default;
+  constexpr explicit StrongId(underlying_type v) : value_(v) {}
+
+  [[nodiscard]] constexpr underlying_type value() const { return value_; }
+  [[nodiscard]] constexpr bool valid() const { return value_ != kInvalid; }
+
+  friend constexpr auto operator<=>(StrongId, StrongId) = default;
+
+  [[nodiscard]] static constexpr StrongId invalid() { return StrongId{}; }
+
+ private:
+  static constexpr underlying_type kInvalid =
+      std::numeric_limits<underlying_type>::max();
+  underlying_type value_ = kInvalid;
+};
+
+}  // namespace detail
+
+struct TokenTag {};
+struct PoolTag {};
+
+/// Identifier of a token (graph node).
+using TokenId = detail::StrongId<TokenTag>;
+/// Identifier of a liquidity pool (graph edge).
+using PoolId = detail::StrongId<PoolTag>;
+
+/// Uniswap V2's flat swap fee: 0.30% of the input amount.
+inline constexpr double kUniswapV2Fee = 0.003;
+
+/// Human-readable rendering, e.g. "token#7" / "pool#12".
+[[nodiscard]] std::string to_string(TokenId id);
+[[nodiscard]] std::string to_string(PoolId id);
+
+}  // namespace arb
+
+template <>
+struct std::hash<arb::TokenId> {
+  std::size_t operator()(arb::TokenId id) const noexcept {
+    return std::hash<arb::TokenId::underlying_type>{}(id.value());
+  }
+};
+
+template <>
+struct std::hash<arb::PoolId> {
+  std::size_t operator()(arb::PoolId id) const noexcept {
+    return std::hash<arb::PoolId::underlying_type>{}(id.value());
+  }
+};

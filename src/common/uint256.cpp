@@ -1,0 +1,235 @@
+#include "common/uint256.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace arb {
+namespace {
+
+using u64 = std::uint64_t;
+__extension__ typedef unsigned __int128 u128;
+
+}  // namespace
+
+Result<U256> U256::from_decimal(const std::string& text) {
+  if (text.empty()) {
+    return make_error(ErrorCode::kParseError, "empty decimal string");
+  }
+  U256 acc;
+  const U256 ten{10};
+  for (char c : text) {
+    if (c < '0' || c > '9') {
+      return make_error(ErrorCode::kParseError,
+                        std::string("invalid decimal digit '") + c + "'");
+    }
+    if (mul_overflows(acc, ten)) {
+      return make_error(ErrorCode::kParseError, "decimal overflows 256 bits");
+    }
+    acc = acc * ten;
+    const U256 digit{static_cast<u64>(c - '0')};
+    if (add_overflows(acc, digit)) {
+      return make_error(ErrorCode::kParseError, "decimal overflows 256 bits");
+    }
+    acc = acc + digit;
+  }
+  return acc;
+}
+
+int U256::bit_length() const {
+  for (int i = 3; i >= 0; --i) {
+    if (limbs_[i] != 0) {
+      return 64 * i + (64 - std::countl_zero(limbs_[i]));
+    }
+  }
+  return 0;
+}
+
+std::uint64_t U256::to_u64() const {
+  ARB_REQUIRE(fits_u64(), "U256 does not fit in 64 bits");
+  return limbs_[0];
+}
+
+double U256::to_double() const {
+  double acc = 0.0;
+  for (int i = 3; i >= 0; --i) {
+    acc = acc * 0x1.0p64 + static_cast<double>(limbs_[i]);
+  }
+  return acc;
+}
+
+bool U256::add_overflows(const U256& a, const U256& b) {
+  u64 carry = 0;
+  for (int i = 0; i < 4; ++i) {
+    const u128 sum = static_cast<u128>(a.limbs_[i]) + b.limbs_[i] + carry;
+    carry = static_cast<u64>(sum >> 64);
+  }
+  return carry != 0;
+}
+
+U256 operator+(const U256& a, const U256& b) {
+  U256 out;
+  u64 carry = 0;
+  for (int i = 0; i < 4; ++i) {
+    const u128 sum = static_cast<u128>(a.limbs_[i]) + b.limbs_[i] + carry;
+    out.limbs_[i] = static_cast<u64>(sum);
+    carry = static_cast<u64>(sum >> 64);
+  }
+  ARB_REQUIRE(carry == 0, "U256 addition overflow");
+  return out;
+}
+
+U256 operator-(const U256& a, const U256& b) {
+  ARB_REQUIRE(a >= b, "U256 subtraction underflow");
+  U256 out;
+  u64 borrow = 0;
+  for (int i = 0; i < 4; ++i) {
+    const u128 lhs = static_cast<u128>(a.limbs_[i]);
+    const u128 rhs = static_cast<u128>(b.limbs_[i]) + borrow;
+    if (lhs >= rhs) {
+      out.limbs_[i] = static_cast<u64>(lhs - rhs);
+      borrow = 0;
+    } else {
+      out.limbs_[i] = static_cast<u64>((u128{1} << 64) + lhs - rhs);
+      borrow = 1;
+    }
+  }
+  return out;
+}
+
+namespace {
+
+// Schoolbook multiply into an 8-limb (512-bit) result; never overflows.
+void mul_full(const U256& a, const U256& b, u64 (&result)[8]) {
+  for (int i = 0; i < 8; ++i) result[i] = 0;
+  for (int i = 0; i < 4; ++i) {
+    u64 carry = 0;
+    for (int j = 0; j < 4; ++j) {
+      const u128 cur = static_cast<u128>(a.limb(i)) * b.limb(j) +
+                       result[i + j] + carry;
+      result[i + j] = static_cast<u64>(cur);
+      carry = static_cast<u64>(cur >> 64);
+    }
+    result[i + 4] += carry;
+  }
+}
+
+}  // namespace
+
+bool U256::mul_overflows(const U256& a, const U256& b) {
+  u64 result[8];
+  mul_full(a, b, result);
+  return (result[4] | result[5] | result[6] | result[7]) != 0;
+}
+
+U256 operator*(const U256& a, const U256& b) {
+  u64 result[8];
+  mul_full(a, b, result);
+  ARB_REQUIRE((result[4] | result[5] | result[6] | result[7]) == 0,
+              "U256 multiplication overflow");
+  return U256::from_limbs(result[0], result[1], result[2], result[3]);
+}
+
+U256 operator<<(const U256& a, int shift) {
+  ARB_REQUIRE(shift >= 0 && shift < 256, "shift out of range");
+  if (shift == 0) return a;
+  U256 out;
+  const int limb_shift = shift / 64;
+  const int bit_shift = shift % 64;
+  for (int i = 3; i >= 0; --i) {
+    u64 v = 0;
+    const int src = i - limb_shift;
+    if (src >= 0) {
+      v = a.limbs_[src] << bit_shift;
+      if (bit_shift != 0 && src - 1 >= 0) {
+        v |= a.limbs_[src - 1] >> (64 - bit_shift);
+      }
+    }
+    out.limbs_[i] = v;
+  }
+  return out;
+}
+
+U256 operator>>(const U256& a, int shift) {
+  ARB_REQUIRE(shift >= 0 && shift < 256, "shift out of range");
+  if (shift == 0) return a;
+  U256 out;
+  const int limb_shift = shift / 64;
+  const int bit_shift = shift % 64;
+  for (int i = 0; i < 4; ++i) {
+    u64 v = 0;
+    const int src = i + limb_shift;
+    if (src < 4) {
+      v = a.limbs_[src] >> bit_shift;
+      if (bit_shift != 0 && src + 1 < 4) {
+        v |= a.limbs_[src + 1] << (64 - bit_shift);
+      }
+    }
+    out.limbs_[i] = v;
+  }
+  return out;
+}
+
+std::strong_ordering operator<=>(const U256& a, const U256& b) {
+  for (int i = 3; i >= 0; --i) {
+    if (a.limbs_[i] != b.limbs_[i]) {
+      return a.limbs_[i] < b.limbs_[i] ? std::strong_ordering::less
+                                       : std::strong_ordering::greater;
+    }
+  }
+  return std::strong_ordering::equal;
+}
+
+U256DivMod U256::divmod(const U256& numerator, const U256& denominator) {
+  ARB_REQUIRE(!denominator.is_zero(), "U256 division by zero");
+  U256DivMod out;
+  if (numerator < denominator) {
+    out.remainder = numerator;
+    return out;
+  }
+  if (denominator.fits_u64() && numerator.fits_u64()) {
+    out.quotient = U256{numerator.limbs_[0] / denominator.limbs_[0]};
+    out.remainder = U256{numerator.limbs_[0] % denominator.limbs_[0]};
+    return out;
+  }
+  // Binary long division: shift-subtract from the top bit down.
+  const int shift = numerator.bit_length() - denominator.bit_length();
+  U256 remainder = numerator;
+  U256 quotient;
+  for (int s = shift; s >= 0; --s) {
+    const U256 shifted = denominator << s;
+    if (remainder >= shifted) {
+      remainder = remainder - shifted;
+      quotient.limbs_[s / 64] |= (u64{1} << (s % 64));
+    }
+  }
+  out.quotient = quotient;
+  out.remainder = remainder;
+  return out;
+}
+
+U256 operator/(const U256& a, const U256& b) {
+  return U256::divmod(a, b).quotient;
+}
+
+U256 operator%(const U256& a, const U256& b) {
+  return U256::divmod(a, b).remainder;
+}
+
+std::string U256::to_decimal() const {
+  if (is_zero()) return "0";
+  std::string digits;
+  U256 cur = *this;
+  const U256 ten{10};
+  while (!cur.is_zero()) {
+    const auto dm = divmod(cur, ten);
+    digits += static_cast<char>('0' + dm.remainder.limbs_[0]);
+    cur = dm.quotient;
+  }
+  std::reverse(digits.begin(), digits.end());
+  return digits;
+}
+
+}  // namespace arb

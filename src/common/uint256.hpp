@@ -1,0 +1,91 @@
+#pragma once
+
+/// \file uint256.hpp
+/// 256-bit unsigned integer arithmetic.
+///
+/// The analytical layer of the library works in doubles, but Uniswap V2
+/// itself computes swaps in Solidity uint256 arithmetic with flooring
+/// division. amm/swap_math.hpp mirrors that exact integer pipeline
+/// (`getAmountOut`) on top of this type so tests can bound the error the
+/// real-valued model introduces. Reserves are uint112 on-chain, so all
+/// intermediate products here (≤ 234 bits) fit without overflow.
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.hpp"
+
+namespace arb {
+
+class U256;
+
+/// Quotient and remainder in one pass.
+struct U256DivMod;
+
+class U256 {
+ public:
+  /// Zero.
+  constexpr U256() = default;
+  constexpr U256(std::uint64_t v) : limbs_{v, 0, 0, 0} {}  // NOLINT(implicit)
+
+  /// Little-endian limb construction (limb 0 = least significant).
+  static constexpr U256 from_limbs(std::uint64_t l0, std::uint64_t l1,
+                                   std::uint64_t l2, std::uint64_t l3) {
+    U256 out;
+    out.limbs_[0] = l0;
+    out.limbs_[1] = l1;
+    out.limbs_[2] = l2;
+    out.limbs_[3] = l3;
+    return out;
+  }
+
+  /// Parses a non-empty decimal string. Fails on junk or overflow.
+  static Result<U256> from_decimal(const std::string& text);
+
+  [[nodiscard]] std::uint64_t limb(int i) const { return limbs_[i]; }
+  [[nodiscard]] bool is_zero() const {
+    return (limbs_[0] | limbs_[1] | limbs_[2] | limbs_[3]) == 0;
+  }
+  /// Number of significant bits (0 for zero).
+  [[nodiscard]] int bit_length() const;
+
+  /// True iff the value fits in 64 bits.
+  [[nodiscard]] bool fits_u64() const {
+    return (limbs_[1] | limbs_[2] | limbs_[3]) == 0;
+  }
+  /// Truncating conversion. Precondition: fits_u64().
+  [[nodiscard]] std::uint64_t to_u64() const;
+
+  /// Nearest double (may round for values above 2^53).
+  [[nodiscard]] double to_double() const;
+
+  [[nodiscard]] std::string to_decimal() const;
+
+  // -- arithmetic (throws PreconditionError on overflow / divide-by-zero) --
+  friend U256 operator+(const U256& a, const U256& b);
+  friend U256 operator-(const U256& a, const U256& b);
+  friend U256 operator*(const U256& a, const U256& b);
+  friend U256 operator/(const U256& a, const U256& b);
+  friend U256 operator%(const U256& a, const U256& b);
+  friend U256 operator<<(const U256& a, int shift);
+  friend U256 operator>>(const U256& a, int shift);
+
+  friend bool operator==(const U256& a, const U256& b) = default;
+  friend std::strong_ordering operator<=>(const U256& a, const U256& b);
+
+  static U256DivMod divmod(const U256& numerator, const U256& denominator);
+
+  /// Overflow-checked helpers used by tests.
+  static bool add_overflows(const U256& a, const U256& b);
+  static bool mul_overflows(const U256& a, const U256& b);
+
+ private:
+  std::uint64_t limbs_[4] = {0, 0, 0, 0};
+};
+
+struct U256DivMod {
+  U256 quotient;
+  U256 remainder;
+};
+
+}  // namespace arb

@@ -1,0 +1,53 @@
+#include "core/analysis.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "amm/path.hpp"
+#include "core/single_start.hpp"
+
+namespace arb::core {
+
+Result<LoopDiagnostics> analyze_loop(const graph::TokenGraph& graph,
+                                     const market::CexPriceFeed& prices,
+                                     const graph::Cycle& cycle) {
+  LoopDiagnostics diag;
+  diag.length = cycle.length();
+  diag.price_product = cycle.price_product(graph);
+  diag.log_margin = std::log(diag.price_product);
+
+  // Pool TVLs at CEX prices.
+  diag.bottleneck_tvl_usd = std::numeric_limits<double>::infinity();
+  for (const PoolId pool_id : cycle.pools()) {
+    const amm::CpmmPool& pool = graph.pool(pool_id);
+    double tvl = 0.0;
+    for (const TokenId token : {pool.token0(), pool.token1()}) {
+      auto price = prices.price(token);
+      if (!price) return price.error();
+      tvl += *price * pool.reserve_of(token);
+    }
+    diag.loop_tvl_usd += tvl;
+    diag.bottleneck_tvl_usd = std::min(diag.bottleneck_tvl_usd, tvl);
+  }
+
+  // Best rotation (MaxMax) for profit; rotation 0 for sizing.
+  SingleStartOptions options;
+  options.use_bisection = false;  // closed form: diagnostics are cheap
+  auto best = evaluate_max_max(graph, prices, cycle, options);
+  if (!best) return best.error();
+  diag.best_profit_usd = best->monetized_usd;
+
+  const amm::PoolPath path = cycle.path(graph, 0);
+  const amm::OptimalTrade trade = amm::optimize_input_analytic(path);
+  diag.optimal_input = trade.input;
+  diag.input_to_reserve_ratio =
+      trade.input / graph.pool(cycle.pools()[0]).reserve_of(
+                        cycle.tokens()[0]);
+  diag.profit_per_tvl =
+      diag.loop_tvl_usd > 0.0 ? diag.best_profit_usd / diag.loop_tvl_usd
+                              : 0.0;
+  return diag;
+}
+
+}  // namespace arb::core

@@ -1,0 +1,184 @@
+#include "core/convex.hpp"
+
+#include <cmath>
+
+#include "amm/path.hpp"
+#include "common/logging.hpp"
+
+namespace arb::core {
+namespace {
+
+/// Zero-profit solution (the Section IV theorem case).
+ConvexSolution zero_solution(const graph::Cycle& cycle) {
+  ConvexSolution solution;
+  solution.outcome.kind = StrategyKind::kConvexOptimization;
+  solution.outcome.start_token = cycle.tokens().front();
+  for (const TokenId token : cycle.tokens()) {
+    solution.outcome.profits.push_back(TokenProfit{token, 0.0});
+  }
+  solution.inputs.assign(cycle.length(), 0.0);
+  solution.outputs.assign(cycle.length(), 0.0);
+  return solution;
+}
+
+/// Collects per-token profits and the monetized total from per-hop
+/// (input, output) amounts. Token t_j retains out_{j-1} − in_j.
+void fill_profits(const std::vector<LoopHopData>& hops,
+                  const std::vector<double>& inputs,
+                  const std::vector<double>& outputs,
+                  StrategyOutcome& outcome) {
+  const std::size_t n = hops.size();
+  outcome.profits.clear();
+  outcome.monetized_usd = 0.0;
+  for (std::size_t j = 0; j < n; ++j) {
+    const std::size_t prev = (j + n - 1) % n;
+    const double retained = outputs[prev] - inputs[j];
+    outcome.profits.push_back(TokenProfit{hops[j].token_in, retained});
+    outcome.monetized_usd += hops[j].price_in * retained;
+  }
+}
+
+/// Normalization making the barrier solve scale-invariant. Changing the
+/// unit of token t_i by u_i (amounts ÷ u_i, prices × u_i) is an exact
+/// symmetry of the problem; choosing u_i = x_i (each hop's input-side
+/// reserve) plus a common price rescale brings every quantity to O(1)
+/// regardless of whether reserves are 1e-3 or 1e9. The tolerances of the
+/// interior-point method then mean the same thing at every market scale.
+struct LoopNormalization {
+  std::vector<double> token_unit;  ///< u_i for token t_i (hop i's input)
+  double price_scale = 1.0;
+
+  static LoopNormalization create(const std::vector<LoopHopData>& hops) {
+    const std::size_t n = hops.size();
+    LoopNormalization norm;
+    norm.token_unit.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      norm.token_unit[i] = hops[i].reserve_in;
+    }
+    // Scale prices by the loop's MaxMax optimum (closed form per
+    // rotation), so the normalized optimal profit is ~1 and the solver's
+    // duality gap means *relative* accuracy independent of how fat the
+    // loop is. Using the best rotation matters: anchoring on a rotation
+    // whose start token is nearly worthless would poison the scale.
+    double profit_usd = 0.0;
+    for (std::size_t r = 0; r < n; ++r) {
+      amm::MobiusCoefficients m = amm::MobiusCoefficients::identity();
+      for (std::size_t i = 0; i < n; ++i) {
+        const LoopHopData& hop = hops[(r + i) % n];
+        m = m.then_hop(hop.reserve_in, hop.reserve_out, hop.gamma);
+      }
+      const double input = m.optimal_input();
+      profit_usd = std::max(
+          profit_usd, hops[r].price_in * (m.evaluate(input) - input));
+    }
+    if (profit_usd > 0.0 && std::isfinite(profit_usd)) {
+      norm.price_scale = profit_usd;
+    } else {
+      double max_price = 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        max_price =
+            std::max(max_price, hops[i].price_in * norm.token_unit[i]);
+      }
+      norm.price_scale = max_price > 0.0 ? max_price : 1.0;
+    }
+    return norm;
+  }
+
+  [[nodiscard]] std::vector<LoopHopData> normalize(
+      const std::vector<LoopHopData>& hops) const {
+    const std::size_t n = hops.size();
+    std::vector<LoopHopData> out = hops;
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t next = (i + 1) % n;
+      out[i].reserve_in = hops[i].reserve_in / token_unit[i];
+      out[i].reserve_out = hops[i].reserve_out / token_unit[next];
+      out[i].price_in = hops[i].price_in * token_unit[i] / price_scale;
+      out[i].price_out = hops[i].price_out * token_unit[next] / price_scale;
+    }
+    return out;
+  }
+};
+
+}  // namespace
+
+Result<ConvexSolution> solve_convex(const graph::TokenGraph& graph,
+                                    const market::CexPriceFeed& prices,
+                                    const graph::Cycle& cycle,
+                                    const ConvexOptions& options) {
+  // Theorem (Section IV): no arbitrage under MaxMax ⇒ none under Convex.
+  // Detect via the loop price product and skip the solver outright.
+  if (cycle.price_product(graph) <= 1.0 + options.no_arbitrage_margin) {
+    return zero_solution(cycle);
+  }
+
+  auto original_hops = make_hop_data(graph, prices, cycle);
+  if (!original_hops) return original_hops.error();
+  const LoopNormalization norm = LoopNormalization::create(*original_hops);
+  const auto normalized = norm.normalize(*original_hops);
+  const Result<std::vector<LoopHopData>> hops = normalized;
+  const std::size_t n = hops->size();
+
+  const optim::BarrierSolver solver(options.barrier);
+  ConvexSolution solution;
+  solution.outcome.kind = StrategyKind::kConvexOptimization;
+  solution.outcome.start_token = cycle.tokens().front();
+  solution.inputs.resize(n);
+  solution.outputs.resize(n);
+
+  if (options.use_full_formulation) {
+    const FullLoopProblem problem(*hops);
+    auto start = full_interior_start(*hops);
+    if (!start) {
+      // Profitable by price product but numerically interior-less:
+      // the attainable profit is indistinguishable from zero.
+      return zero_solution(cycle);
+    }
+    auto report = solver.solve(problem, *start);
+    if (!report) return report.error();
+    for (std::size_t i = 0; i < n; ++i) {
+      solution.inputs[i] = std::max(0.0, report->x[i]);
+      solution.outputs[i] = std::max(0.0, report->x[n + i]);
+    }
+    solution.duality_gap_usd = report->duality_gap;
+    solution.outcome.solver_iterations = report->total_newton_iterations;
+  } else {
+    const ReducedLoopProblem problem(*hops);
+    auto start = reduced_interior_start(*hops);
+    if (!start) {
+      return zero_solution(cycle);
+    }
+    auto report = solver.solve(problem, *start);
+    if (!report) return report.error();
+    for (std::size_t i = 0; i < n; ++i) {
+      solution.inputs[i] = std::max(0.0, report->x[i]);
+      solution.outputs[i] = (*hops)[i].swap(solution.inputs[i]);
+    }
+    solution.duality_gap_usd = report->duality_gap;
+    solution.outcome.solver_iterations = report->total_newton_iterations;
+  }
+
+  // Back to the caller's token units and USD.
+  for (std::size_t i = 0; i < n; ++i) {
+    solution.inputs[i] *= norm.token_unit[i];
+    solution.outputs[i] *= norm.token_unit[(i + 1) % n];
+  }
+  solution.duality_gap_usd *= norm.price_scale;
+
+  fill_profits(*original_hops, solution.inputs, solution.outputs,
+               solution.outcome);
+  ARB_LOG_DEBUG("convex solve: profit $" << solution.outcome.monetized_usd
+                                         << " gap $"
+                                         << solution.duality_gap_usd);
+  return solution;
+}
+
+Result<StrategyOutcome> evaluate_convex(const graph::TokenGraph& graph,
+                                        const market::CexPriceFeed& prices,
+                                        const graph::Cycle& cycle,
+                                        const ConvexOptions& options) {
+  auto solution = solve_convex(graph, prices, cycle, options);
+  if (!solution) return solution.error();
+  return solution->outcome;
+}
+
+}  // namespace arb::core

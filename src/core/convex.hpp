@@ -1,0 +1,55 @@
+#pragma once
+
+/// \file convex.hpp
+/// The paper's Convex Optimization strategy (Section IV, eq. 8): relax
+/// flow conservation to inequalities so profit may be retained in any
+/// token of the loop, and solve the resulting convex program with the
+/// barrier interior-point solver.
+
+#include "common/result.hpp"
+#include "core/loop_nlp.hpp"
+#include "core/outcome.hpp"
+#include "graph/cycle.hpp"
+#include "graph/token_graph.hpp"
+#include "market/price_feed.hpp"
+#include "optim/barrier_solver.hpp"
+
+namespace arb::core {
+
+struct ConvexOptions {
+  optim::BarrierOptions barrier;
+
+  /// False (default): the n-variable reduced transcription (faster,
+  /// numerically kinder). True: the 2n-variable direct transcription of
+  /// eq. (8). Both reach the same optimum (tested).
+  bool use_full_formulation = false;
+
+  /// Loops whose price product is within this margin of 1 are declared
+  /// profitless without invoking the solver (Section IV theorem: when
+  /// MaxMax finds nothing, Convex finds nothing).
+  double no_arbitrage_margin = 1e-12;
+};
+
+/// Solution detail beyond the common StrategyOutcome.
+struct ConvexSolution {
+  StrategyOutcome outcome;
+  /// Optimal inputs per hop (d_i of the reduced transcription).
+  std::vector<double> inputs;
+  /// Optimal outputs per hop (F_i(d_i), or out_i for the full form).
+  std::vector<double> outputs;
+  /// Certified duality gap from the barrier solver (USD).
+  double duality_gap_usd = 0.0;
+};
+
+/// Runs the Convex Optimization strategy on a loop. The rotation anchor
+/// is tokens()[0]; the optimum is rotation-invariant (tested).
+[[nodiscard]] Result<ConvexSolution> solve_convex(
+    const graph::TokenGraph& graph, const market::CexPriceFeed& prices,
+    const graph::Cycle& cycle, const ConvexOptions& options = {});
+
+/// Convenience wrapper returning only the StrategyOutcome.
+[[nodiscard]] Result<StrategyOutcome> evaluate_convex(
+    const graph::TokenGraph& graph, const market::CexPriceFeed& prices,
+    const graph::Cycle& cycle, const ConvexOptions& options = {});
+
+}  // namespace arb::core

@@ -1,0 +1,273 @@
+#include "core/coordinate.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "amm/path.hpp"
+#include "common/error.hpp"
+#include "math/scalar_solve.hpp"
+
+namespace arb::core {
+namespace {
+
+/// State of the re-parameterized problem: head input s = d_0 plus
+/// forward fractions ρ_i ∈ [0,1] (share of hop i−1's output forwarded
+/// into hop i; the rest is retained as profit in token t_i). In these
+/// coordinates the flow constraints d_{i+1} ≤ F_i(d_i) become the box
+/// ρ ∈ [0,1]^{n−1}, and only the wrap constraint F_{n−1}(d_{n−1}) ≥ s
+/// still couples coordinates — exactly the structure cyclic coordinate
+/// ascent handles without jamming.
+struct Chain {
+  const std::vector<LoopHopData>& hops;
+
+  /// Hop inputs implied by (s, rho).
+  [[nodiscard]] std::vector<double> inputs(double s,
+                                           const std::vector<double>& rho) const {
+    std::vector<double> d(hops.size());
+    d[0] = s;
+    for (std::size_t i = 1; i < hops.size(); ++i) {
+      d[i] = rho[i - 1] * hops[i - 1].swap(d[i - 1]);
+    }
+    return d;
+  }
+
+  [[nodiscard]] double wrap_output(double s,
+                                   const std::vector<double>& rho) const {
+    const std::vector<double> d = inputs(s, rho);
+    return hops.back().swap(d.back());
+  }
+
+  /// Monetized profit at (s, rho); requires wrap >= s for validity.
+  [[nodiscard]] double profit(double s, const std::vector<double>& rho) const {
+    const std::vector<double> d = inputs(s, rho);
+    double usd = hops[0].price_in * (hops.back().swap(d.back()) - s);
+    for (std::size_t i = 1; i < hops.size(); ++i) {
+      usd += hops[i].price_in * (1.0 - rho[i - 1]) *
+             hops[i - 1].swap(d[i - 1]);
+    }
+    return usd;
+  }
+};
+
+/// Largest s with wrap(s) − s >= 0 (concave in s, zero at 0): bracket
+/// rightwards from a known-feasible point, then bisect.
+double max_feasible_head(const Chain& chain, const std::vector<double>& rho,
+                         double current_s, double scale) {
+  const auto slack = [&](double s) {
+    return chain.wrap_output(s, rho) - s;
+  };
+  double lo = std::max(current_s, 1e-12 * scale);
+  if (slack(lo) < 0.0) return current_s;  // already at the boundary
+  double hi = std::max(lo * 2.0, 1e-9 * scale);
+  int guard = 0;
+  while (slack(hi) >= 0.0 && guard++ < 200) {
+    lo = hi;
+    hi *= 2.0;
+    if (hi > scale * 1e9) return hi;  // unbounded in practice; cap
+  }
+  auto root = math::bisect_root(slack, lo, hi);
+  return root.ok() ? root->x : lo;
+}
+
+/// Smallest feasible rho_i given the rest of the point (wrap increases
+/// with every rho).
+double min_feasible_rho(const Chain& chain, double s, std::vector<double> rho,
+                        std::size_t index) {
+  const double current = rho[index];  // read before the lambda mutates rho
+  const auto slack = [&](double value) {
+    rho[index] = value;
+    return chain.wrap_output(s, rho) - s;
+  };
+  if (slack(0.0) >= 0.0) return 0.0;
+  auto root = math::bisect_root(slack, 0.0, current);
+  return root.ok() ? root->x : current;
+}
+
+/// Runs the sweep with the wrap constraint anchored at hops[0]'s input
+/// token. The parameterization is rotation-sensitive (retention in the
+/// anchor token is only expressible through wrap slack), so the public
+/// entry point tries every rotation and keeps the best.
+CoordinateReport solve_anchored(const std::vector<LoopHopData>& hops,
+                                const CoordinateOptions& options) {
+  ARB_REQUIRE(hops.size() >= 2, "loop needs at least 2 hops");
+  const std::size_t n = hops.size();
+  CoordinateReport report;
+  report.inputs.assign(n, 0.0);
+
+  // Initialize at the MaxMax point of this rotation: full forwarding,
+  // head input at the closed-form single-start optimum.
+  amm::MobiusCoefficients m = amm::MobiusCoefficients::identity();
+  for (const LoopHopData& hop : hops) {
+    m = m.then_hop(hop.reserve_in, hop.reserve_out, hop.gamma);
+  }
+  const double s0 = m.optimal_input();
+  if (s0 <= 0.0) {
+    report.converged = true;  // profitless loop: 0 is optimal
+    return report;
+  }
+
+  const Chain chain{hops};
+  double s = s0;
+  std::vector<double> rho(n - 1, 1.0);
+  double best = chain.profit(s, rho);
+  const double scale = hops[0].reserve_in;
+
+  math::ScalarSolveOptions line;
+  line.x_tolerance = options.line_tolerance * scale;
+  math::ScalarSolveOptions rho_line;
+  rho_line.x_tolerance = options.line_tolerance;
+
+  // Compensated evaluation: profit at (s', rho') where rho'[comp] is
+  // re-solved so the wrap constraint holds (tight when it has to be).
+  // Returns -inf when no feasible compensation exists. This is what lets
+  // the sweep travel *along* the active wrap surface, where plain
+  // per-coordinate moves jam.
+  const auto compensated_profit = [&](double s_value,
+                                      std::vector<double> rho_value,
+                                      std::size_t comp) {
+    const auto slack = [&](double v) {
+      rho_value[comp] = v;
+      return chain.wrap_output(s_value, rho_value) - s_value;
+    };
+    const double at_one = slack(1.0);
+    if (at_one < 0.0) {
+      return -std::numeric_limits<double>::infinity();  // infeasible
+    }
+    // Prefer the tight root (retain as much as possible in token
+    // comp+1); if the constraint is slack even at rho=0, retaining
+    // everything is allowed.
+    if (slack(0.0) < 0.0) {
+      auto root = math::bisect_root(
+          [&](double v) { return slack(v); }, 0.0, 1.0);
+      rho_value[comp] = root.ok() ? root->x : 1.0;
+    } else {
+      rho_value[comp] = 0.0;
+    }
+    return chain.profit(s_value, rho_value);
+  };
+
+  for (int sweep = 0; sweep < options.max_sweeps; ++sweep) {
+    report.sweeps = sweep + 1;
+    const double before = best;
+
+    // Plain head-input coordinate.
+    {
+      const double hi = max_feasible_head(chain, rho, s, scale);
+      const auto objective = [&](double v) { return chain.profit(v, rho); };
+      const auto peak = math::golden_section_maximize(objective, 0.0, hi, line);
+      if (peak.f > best) {
+        best = peak.f;
+        s = peak.x;
+      }
+    }
+    // Plain forward-fraction coordinates.
+    for (std::size_t i = 0; i < n - 1; ++i) {
+      const double lo = min_feasible_rho(chain, s, rho, i);
+      const auto objective = [&](double v) {
+        std::vector<double> candidate = rho;
+        candidate[i] = v;
+        return chain.profit(s, candidate);
+      };
+      const auto peak = math::golden_section_maximize(objective, lo, 1.0,
+                                                      rho_line);
+      if (peak.f > best) {
+        best = peak.f;
+        rho[i] = peak.x;
+      }
+    }
+    // Compensated pair moves: free coordinate optimized while another
+    // fraction re-solves the wrap constraint.
+    for (std::size_t comp = 0; comp < n - 1; ++comp) {
+      // (head, rho_comp) pair.
+      {
+        const auto objective = [&](double v) {
+          return compensated_profit(v, rho, comp);
+        };
+        const auto peak =
+            math::golden_section_maximize(objective, 0.0, s * 4.0 + scale * 1e-6,
+                                          line);
+        if (peak.f > best) {
+          best = peak.f;
+          s = peak.x;
+          // Recover the compensating fraction actually used.
+          std::vector<double> candidate = rho;
+          (void)compensated_profit(s, candidate, comp);
+          const auto slack = [&](double v) {
+            candidate[comp] = v;
+            return chain.wrap_output(s, candidate) - s;
+          };
+          if (slack(0.0) < 0.0) {
+            auto root = math::bisect_root(slack, 0.0, 1.0);
+            rho[comp] = root.ok() ? root->x : rho[comp];
+          } else {
+            rho[comp] = 0.0;
+          }
+        }
+      }
+      // (rho_i, rho_comp) pairs.
+      for (std::size_t i = 0; i < n - 1; ++i) {
+        if (i == comp) continue;
+        const auto objective = [&](double v) {
+          std::vector<double> candidate = rho;
+          candidate[i] = v;
+          return compensated_profit(s, candidate, comp);
+        };
+        const auto peak =
+            math::golden_section_maximize(objective, 0.0, 1.0, rho_line);
+        if (peak.f > best) {
+          best = peak.f;
+          rho[i] = peak.x;
+          const auto slack = [&](double v) {
+            std::vector<double> candidate = rho;
+            candidate[comp] = v;
+            return chain.wrap_output(s, candidate) - s;
+          };
+          if (slack(0.0) < 0.0) {
+            auto root = math::bisect_root(slack, 0.0, 1.0);
+            rho[comp] = root.ok() ? root->x : rho[comp];
+          } else {
+            rho[comp] = 0.0;
+          }
+        }
+      }
+    }
+
+    if (best - before < options.improvement_tolerance) {
+      report.converged = true;
+      break;
+    }
+  }
+  // The pair moves track `best` through compensated evaluations; make
+  // the reported point consistent with the reported profit.
+  best = chain.profit(s, rho);
+
+  report.inputs = chain.inputs(s, rho);
+  report.profit_usd = best;
+  return report;
+}
+
+}  // namespace
+
+CoordinateReport solve_reduced_coordinate(const std::vector<LoopHopData>& hops,
+                                          const CoordinateOptions& options) {
+  ARB_REQUIRE(hops.size() >= 2, "loop needs at least 2 hops");
+  const std::size_t n = hops.size();
+  CoordinateReport best;
+  for (std::size_t anchor = 0; anchor < n; ++anchor) {
+    std::vector<LoopHopData> rotated(n);
+    for (std::size_t i = 0; i < n; ++i) rotated[i] = hops[(anchor + i) % n];
+    CoordinateReport candidate = solve_anchored(rotated, options);
+    if (anchor == 0 || candidate.profit_usd > best.profit_usd) {
+      // Map inputs back to the caller's hop indexing.
+      CoordinateReport mapped = candidate;
+      mapped.inputs.assign(n, 0.0);
+      for (std::size_t i = 0; i < n; ++i) {
+        mapped.inputs[(anchor + i) % n] = candidate.inputs[i];
+      }
+      best = std::move(mapped);
+    }
+  }
+  return best;
+}
+
+}  // namespace arb::core

@@ -1,0 +1,26 @@
+#include "core/gas.hpp"
+
+#include "common/error.hpp"
+
+namespace arb::core {
+
+double GasModel::bundle_cost_usd(std::size_t swaps) const {
+  ARB_REQUIRE(gas_per_swap >= 0.0 && overhead_gas >= 0.0 &&
+                  gas_price_gwei >= 0.0 && eth_price_usd >= 0.0,
+              "gas model parameters must be non-negative");
+  const double gas =
+      overhead_gas + gas_per_swap * static_cast<double>(swaps);
+  return gas * gas_price_gwei * 1e-9 * eth_price_usd;
+}
+
+double GasModel::net_profit_usd(const StrategyOutcome& outcome,
+                                std::size_t swaps) const {
+  return outcome.monetized_usd - bundle_cost_usd(swaps);
+}
+
+bool GasModel::profitable_after_gas(const StrategyOutcome& outcome,
+                                    std::size_t swaps) const {
+  return net_profit_usd(outcome, swaps) > 0.0;
+}
+
+}  // namespace arb::core

@@ -1,0 +1,40 @@
+#pragma once
+
+/// \file gas.hpp
+/// Transaction-cost model for net (after-gas) monetized profit.
+///
+/// The paper's Section VII discusses practicality against Ethereum's
+/// block cadence but monetizes gross profit. Real arbitrageurs pay
+/// per-swap gas plus fixed bundle overhead, so thin loops flip from
+/// profitable to unprofitable as gas prices rise — the ablation bench
+/// quantifies how many of the paper's 123 loops survive.
+
+#include <cstddef>
+
+#include "core/outcome.hpp"
+
+namespace arb::core {
+
+struct GasModel {
+  /// Gas per Uniswap V2 swap (~100–150k observed on mainnet).
+  double gas_per_swap = 120'000.0;
+  /// Fixed bundle overhead: base tx cost plus flash-loan bookkeeping.
+  double overhead_gas = 80'000.0;
+  /// Gas price in gwei (1e-9 ETH).
+  double gas_price_gwei = 20.0;
+  /// ETH price for converting gas to USD.
+  double eth_price_usd = 1800.0;
+
+  /// USD cost of a bundle with `swaps` swaps.
+  [[nodiscard]] double bundle_cost_usd(std::size_t swaps) const;
+
+  /// Gross USD profit minus bundle cost (may be negative).
+  [[nodiscard]] double net_profit_usd(const StrategyOutcome& outcome,
+                                      std::size_t swaps) const;
+
+  /// True iff the outcome remains profitable after gas.
+  [[nodiscard]] bool profitable_after_gas(const StrategyOutcome& outcome,
+                                          std::size_t swaps) const;
+};
+
+}  // namespace arb::core

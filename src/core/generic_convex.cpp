@@ -1,0 +1,252 @@
+#include "core/generic_convex.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+#include "math/scalar_solve.hpp"
+
+namespace arb::core {
+namespace {
+
+/// Same re-parameterization as core/coordinate.cpp, over black-box hops:
+/// head input s = d_0, forward fractions ρ_i with
+/// d_{i+1} = ρ_i · swap_i(d_i); flow constraints become the ρ box and
+/// only the wrap constraint swap_{n−1}(d_{n−1}) ≥ s couples coordinates.
+struct GenericChain {
+  const std::vector<GenericHop>& hops;
+
+  [[nodiscard]] std::vector<double> inputs(double s,
+                                           const std::vector<double>& rho) const {
+    std::vector<double> d(hops.size());
+    d[0] = s;
+    for (std::size_t i = 1; i < hops.size(); ++i) {
+      d[i] = rho[i - 1] * hops[i - 1].swap(d[i - 1]);
+    }
+    return d;
+  }
+
+  [[nodiscard]] double wrap_output(double s,
+                                   const std::vector<double>& rho) const {
+    const std::vector<double> d = inputs(s, rho);
+    return hops.back().swap(d.back());
+  }
+
+  [[nodiscard]] double profit(double s, const std::vector<double>& rho) const {
+    const std::vector<double> d = inputs(s, rho);
+    double usd = hops[0].price_in * (hops.back().swap(d.back()) - s);
+    for (std::size_t i = 1; i < hops.size(); ++i) {
+      usd += hops[i].price_in * (1.0 - rho[i - 1]) *
+             hops[i - 1].swap(d[i - 1]);
+    }
+    return usd;
+  }
+};
+
+double max_feasible_head(const GenericChain& chain,
+                         const std::vector<double>& rho, double current_s,
+                         double scale) {
+  const auto slack = [&](double s) { return chain.wrap_output(s, rho) - s; };
+  double lo = std::max(current_s, 1e-12 * scale);
+  if (slack(lo) < 0.0) return current_s;
+  double hi = std::max(lo * 2.0, 1e-9 * scale);
+  int guard = 0;
+  while (slack(hi) >= 0.0 && guard++ < 200) {
+    lo = hi;
+    hi *= 2.0;
+    if (hi > scale * 1e9) return hi;
+  }
+  auto root = math::bisect_root(slack, lo, hi);
+  return root.ok() ? root->x : lo;
+}
+
+double min_feasible_rho(const GenericChain& chain, double s,
+                        std::vector<double> rho, std::size_t index) {
+  const double current = rho[index];
+  const auto slack = [&](double value) {
+    rho[index] = value;
+    return chain.wrap_output(s, rho) - s;
+  };
+  if (slack(0.0) >= 0.0) return 0.0;
+  auto root = math::bisect_root(slack, 0.0, current);
+  return root.ok() ? root->x : current;
+}
+
+/// Anchored sweep (see coordinate.cpp for the commentary; the logic is
+/// identical with swap evaluations replacing the CPMM closed form).
+GenericConvexReport solve_anchored(const std::vector<GenericHop>& hops,
+                                   const GenericConvexOptions& options) {
+  const std::size_t n = hops.size();
+  GenericConvexReport report;
+  report.inputs.assign(n, 0.0);
+  report.outputs.assign(n, 0.0);
+
+  // Seed at the single-start optimum of this rotation.
+  std::vector<amm::SwapFn> fns;
+  fns.reserve(n);
+  for (const GenericHop& hop : hops) fns.push_back(hop.swap);
+  const amm::GenericPath path{std::move(fns)};
+  amm::GenericOptimizeOptions seed_options;
+  seed_options.initial_scale = options.initial_scale;
+  auto seed = amm::optimize_input_generic(path, seed_options);
+  if (!seed.ok() || seed->input <= 0.0) {
+    report.converged = true;  // profitless rotation: zero is optimal
+    return report;
+  }
+
+  const GenericChain chain{hops};
+  double s = seed->input;
+  std::vector<double> rho(n - 1, 1.0);
+  double best = chain.profit(s, rho);
+  const double scale = std::max(seed->input, options.initial_scale);
+
+  math::ScalarSolveOptions line;
+  line.x_tolerance = options.coordinate.line_tolerance * scale;
+  math::ScalarSolveOptions rho_line;
+  rho_line.x_tolerance = options.coordinate.line_tolerance;
+
+  const auto compensated_profit = [&](double s_value,
+                                      std::vector<double> rho_value,
+                                      std::size_t comp) {
+    const auto slack = [&](double v) {
+      rho_value[comp] = v;
+      return chain.wrap_output(s_value, rho_value) - s_value;
+    };
+    if (slack(1.0) < 0.0) {
+      return -std::numeric_limits<double>::infinity();
+    }
+    if (slack(0.0) < 0.0) {
+      auto root = math::bisect_root([&](double v) { return slack(v); },
+                                    0.0, 1.0);
+      rho_value[comp] = root.ok() ? root->x : 1.0;
+    } else {
+      rho_value[comp] = 0.0;
+    }
+    return chain.profit(s_value, rho_value);
+  };
+  const auto resolve_comp = [&](std::size_t comp) {
+    const auto slack = [&](double v) {
+      std::vector<double> candidate = rho;
+      candidate[comp] = v;
+      return chain.wrap_output(s, candidate) - s;
+    };
+    if (slack(0.0) < 0.0) {
+      auto root = math::bisect_root(slack, 0.0, 1.0);
+      if (root.ok()) rho[comp] = root->x;
+    } else {
+      rho[comp] = 0.0;
+    }
+  };
+
+  for (int sweep = 0; sweep < options.coordinate.max_sweeps; ++sweep) {
+    report.sweeps = sweep + 1;
+    const double before = best;
+
+    {
+      const double hi = max_feasible_head(chain, rho, s, scale);
+      const auto objective = [&](double v) { return chain.profit(v, rho); };
+      const auto peak = math::golden_section_maximize(objective, 0.0, hi, line);
+      if (peak.f > best) {
+        best = peak.f;
+        s = peak.x;
+      }
+    }
+    for (std::size_t i = 0; i < n - 1; ++i) {
+      const double lo = min_feasible_rho(chain, s, rho, i);
+      const auto objective = [&](double v) {
+        std::vector<double> candidate = rho;
+        candidate[i] = v;
+        return chain.profit(s, candidate);
+      };
+      const auto peak =
+          math::golden_section_maximize(objective, lo, 1.0, rho_line);
+      if (peak.f > best) {
+        best = peak.f;
+        rho[i] = peak.x;
+      }
+    }
+    for (std::size_t comp = 0; comp < n - 1; ++comp) {
+      {
+        const auto objective = [&](double v) {
+          return compensated_profit(v, rho, comp);
+        };
+        const auto peak = math::golden_section_maximize(
+            objective, 0.0, s * 4.0 + scale * 1e-6, line);
+        if (peak.f > best) {
+          best = peak.f;
+          s = peak.x;
+          resolve_comp(comp);
+        }
+      }
+      for (std::size_t i = 0; i < n - 1; ++i) {
+        if (i == comp) continue;
+        const auto objective = [&](double v) {
+          std::vector<double> candidate = rho;
+          candidate[i] = v;
+          return compensated_profit(s, candidate, comp);
+        };
+        const auto peak =
+            math::golden_section_maximize(objective, 0.0, 1.0, rho_line);
+        if (peak.f > best) {
+          best = peak.f;
+          rho[i] = peak.x;
+          resolve_comp(comp);
+        }
+      }
+    }
+
+    if (best - before < options.coordinate.improvement_tolerance) {
+      report.converged = true;
+      break;
+    }
+  }
+
+  report.inputs = chain.inputs(s, rho);
+  for (std::size_t i = 0; i < n; ++i) {
+    report.outputs[i] = hops[i].swap(report.inputs[i]);
+  }
+  report.profit_usd = chain.profit(s, rho);
+  return report;
+}
+
+}  // namespace
+
+Result<GenericConvexReport> solve_generic_convex(
+    const std::vector<GenericHop>& hops,
+    const GenericConvexOptions& options) {
+  if (hops.size() < 2) {
+    return make_error(ErrorCode::kInvalidArgument,
+                      "loop needs at least 2 hops");
+  }
+  for (const GenericHop& hop : hops) {
+    if (!hop.swap) {
+      return make_error(ErrorCode::kInvalidArgument, "null hop function");
+    }
+    if (!(hop.price_in > 0.0)) {
+      return make_error(ErrorCode::kInvalidArgument,
+                        "hop prices must be positive");
+    }
+  }
+  const std::size_t n = hops.size();
+  GenericConvexReport best;
+  bool first = true;
+  for (std::size_t anchor = 0; anchor < n; ++anchor) {
+    std::vector<GenericHop> rotated(n);
+    for (std::size_t i = 0; i < n; ++i) rotated[i] = hops[(anchor + i) % n];
+    GenericConvexReport candidate = solve_anchored(rotated, options);
+    if (first || candidate.profit_usd > best.profit_usd) {
+      GenericConvexReport mapped = candidate;
+      mapped.inputs.assign(n, 0.0);
+      mapped.outputs.assign(n, 0.0);
+      for (std::size_t i = 0; i < n; ++i) {
+        mapped.inputs[(anchor + i) % n] = candidate.inputs[i];
+        mapped.outputs[(anchor + i) % n] = candidate.outputs[i];
+      }
+      best = std::move(mapped);
+      first = false;
+    }
+  }
+  return best;
+}
+
+}  // namespace arb::core

@@ -1,0 +1,53 @@
+#pragma once
+
+/// \file generic_convex.hpp
+/// The Convex Optimization strategy for loops that cross arbitrary AMM
+/// curves (StableSwap, concentrated liquidity, ... — anything monotone,
+/// concave and 0-at-0), where the barrier solver's analytic derivatives
+/// are unavailable.
+///
+/// This is the derivative-free counterpart of core/convex.hpp: the same
+/// re-parameterized compensated coordinate ascent as core/coordinate.hpp
+/// (head input + forward fractions + constraint-following pair moves,
+/// restarted from every rotation anchor), but over black-box SwapFn hops.
+/// On all-CPMM loops it agrees with the barrier solver (tested); on mixed
+/// loops it is the only route this library offers to eq. (8)'s optimum.
+
+#include <vector>
+
+#include "amm/generic_path.hpp"
+#include "common/result.hpp"
+#include "core/coordinate.hpp"
+
+namespace arb::core {
+
+/// One hop of a mixed-venue loop: the swap function plus the CEX price
+/// of its *input* token (hop i's input token is loop token t_i).
+struct GenericHop {
+  amm::SwapFn swap;
+  double price_in = 0.0;
+};
+
+struct GenericConvexOptions {
+  CoordinateOptions coordinate;
+  /// Scale guess for the single-start optimizer that seeds each anchor
+  /// (order of magnitude of a reasonable trade in hop-0 input tokens).
+  double initial_scale = 1.0;
+};
+
+struct GenericConvexReport {
+  std::vector<double> inputs;   ///< optimal d_i per hop
+  std::vector<double> outputs;  ///< swap_i(d_i)
+  double profit_usd = 0.0;      ///< Σ P_{t_i} · (out_{i−1} − d_i)
+  int sweeps = 0;
+  bool converged = false;
+};
+
+/// Maximizes monetized retained profit over the loop. Preconditions via
+/// Result: at least 2 hops, callable swaps, positive prices. Returns the
+/// all-zero solution when no rotation holds single-start profit.
+[[nodiscard]] Result<GenericConvexReport> solve_generic_convex(
+    const std::vector<GenericHop>& hops,
+    const GenericConvexOptions& options = {});
+
+}  // namespace arb::core

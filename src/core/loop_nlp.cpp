@@ -1,0 +1,265 @@
+#include "core/loop_nlp.hpp"
+
+#include <cmath>
+
+#include "amm/path.hpp"
+#include "common/error.hpp"
+
+namespace arb::core {
+
+double LoopHopData::swap(double d) const {
+  const double effective = gamma * d;
+  return effective * reserve_out / (reserve_in + effective);
+}
+
+double LoopHopData::swap_deriv(double d) const {
+  const double denom = reserve_in + gamma * d;
+  return gamma * reserve_in * reserve_out / (denom * denom);
+}
+
+double LoopHopData::swap_deriv2(double d) const {
+  const double denom = reserve_in + gamma * d;
+  return -2.0 * gamma * gamma * reserve_in * reserve_out /
+         (denom * denom * denom);
+}
+
+Result<std::vector<LoopHopData>> make_hop_data(
+    const graph::TokenGraph& graph, const market::CexPriceFeed& prices,
+    const graph::Cycle& cycle, std::size_t start_offset) {
+  const graph::Cycle rotated = cycle.rotated(start_offset);
+  const std::size_t n = rotated.length();
+  std::vector<LoopHopData> hops(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const amm::CpmmPool& pool = graph.pool(rotated.pools()[i]);
+    const TokenId token_in = rotated.tokens()[i];
+    const TokenId token_out = rotated.tokens()[(i + 1) % n];
+    auto price_in = prices.price(token_in);
+    if (!price_in) return price_in.error();
+    auto price_out = prices.price(token_out);
+    if (!price_out) return price_out.error();
+    LoopHopData& hop = hops[i];
+    hop.reserve_in = pool.reserve_of(token_in);
+    hop.reserve_out = pool.reserve_of(token_out);
+    hop.gamma = pool.gamma();
+    hop.price_in = *price_in;
+    hop.price_out = *price_out;
+    hop.token_in = token_in;
+    hop.token_out = token_out;
+    hop.pool = pool.id();
+  }
+  return hops;
+}
+
+// ---------------------------------------------------------------------------
+// ReducedLoopProblem
+// ---------------------------------------------------------------------------
+
+ReducedLoopProblem::ReducedLoopProblem(std::vector<LoopHopData> hops)
+    : hops_(std::move(hops)) {
+  ARB_REQUIRE(hops_.size() >= 2, "loop needs at least 2 hops");
+}
+
+double ReducedLoopProblem::objective(const math::Vector& d) const {
+  ARB_REQUIRE(d.size() == hops_.size(), "dimension mismatch");
+  // profit = Σ_i [P_{t_{i+1}}·F_i(d_i) − P_{t_i}·d_i]  (telescoped form).
+  double profit = 0.0;
+  for (std::size_t i = 0; i < hops_.size(); ++i) {
+    profit += hops_[i].price_out * hops_[i].swap(d[i]) -
+              hops_[i].price_in * d[i];
+  }
+  return -profit;
+}
+
+math::Vector ReducedLoopProblem::objective_gradient(
+    const math::Vector& d) const {
+  math::Vector grad(hops_.size());
+  for (std::size_t i = 0; i < hops_.size(); ++i) {
+    grad[i] = -(hops_[i].price_out * hops_[i].swap_deriv(d[i]) -
+                hops_[i].price_in);
+  }
+  return grad;
+}
+
+math::Matrix ReducedLoopProblem::objective_hessian(
+    const math::Vector& d) const {
+  math::Matrix hess(hops_.size(), hops_.size());
+  for (std::size_t i = 0; i < hops_.size(); ++i) {
+    hess(i, i) = -hops_[i].price_out * hops_[i].swap_deriv2(d[i]);
+  }
+  return hess;
+}
+
+double ReducedLoopProblem::constraint(std::size_t i,
+                                      const math::Vector& d) const {
+  const std::size_t n = hops_.size();
+  ARB_REQUIRE(i < 2 * n, "constraint index out of range");
+  if (i < n) {
+    return -d[i];  // d_i >= 0
+  }
+  const std::size_t k = i - n;  // flow: d_{k+1} <= F_k(d_k)
+  return d[(k + 1) % n] - hops_[k].swap(d[k]);
+}
+
+math::Vector ReducedLoopProblem::constraint_gradient(
+    std::size_t i, const math::Vector& d) const {
+  const std::size_t n = hops_.size();
+  math::Vector grad(n);
+  if (i < n) {
+    grad[i] = -1.0;
+    return grad;
+  }
+  const std::size_t k = i - n;
+  grad[(k + 1) % n] += 1.0;
+  grad[k] -= hops_[k].swap_deriv(d[k]);
+  return grad;
+}
+
+math::Matrix ReducedLoopProblem::constraint_hessian(
+    std::size_t i, const math::Vector& d) const {
+  const std::size_t n = hops_.size();
+  math::Matrix hess(n, n);
+  if (i >= n) {
+    const std::size_t k = i - n;
+    hess(k, k) = -hops_[k].swap_deriv2(d[k]);
+  }
+  return hess;
+}
+
+// ---------------------------------------------------------------------------
+// FullLoopProblem
+// ---------------------------------------------------------------------------
+
+FullLoopProblem::FullLoopProblem(std::vector<LoopHopData> hops)
+    : hops_(std::move(hops)) {
+  ARB_REQUIRE(hops_.size() >= 2, "loop needs at least 2 hops");
+}
+
+double FullLoopProblem::objective(const math::Vector& z) const {
+  const std::size_t n = hops_.size();
+  ARB_REQUIRE(z.size() == 2 * n, "dimension mismatch");
+  // profit = Σ_i P_{t_{i+1}}·(out_i − in_{i+1}).
+  double profit = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    profit += hops_[i].price_out * (z[n + i] - z[(i + 1) % n]);
+  }
+  return -profit;
+}
+
+math::Vector FullLoopProblem::objective_gradient(const math::Vector& z) const {
+  const std::size_t n = hops_.size();
+  ARB_REQUIRE(z.size() == 2 * n, "dimension mismatch");
+  math::Vector grad(2 * n);
+  for (std::size_t i = 0; i < n; ++i) {
+    grad[n + i] += -hops_[i].price_out;     // d/d out_i
+    grad[(i + 1) % n] += hops_[i].price_out;  // d/d in_{i+1}
+  }
+  return grad;
+}
+
+math::Matrix FullLoopProblem::objective_hessian(const math::Vector& z) const {
+  ARB_REQUIRE(z.size() == 2 * hops_.size(), "dimension mismatch");
+  return math::Matrix(2 * hops_.size(), 2 * hops_.size());  // linear objective
+}
+
+double FullLoopProblem::constraint(std::size_t i, const math::Vector& z) const {
+  const std::size_t n = hops_.size();
+  ARB_REQUIRE(i < 3 * n, "constraint index out of range");
+  if (i < n) {
+    return -z[i];  // in_i >= 0
+  }
+  if (i < 2 * n) {
+    const std::size_t k = i - n;  // out_k <= F_k(in_k)
+    return z[n + k] - hops_[k].swap(z[k]);
+  }
+  const std::size_t k = i - 2 * n;  // in_{k+1} <= out_k
+  return z[(k + 1) % n] - z[n + k];
+}
+
+math::Vector FullLoopProblem::constraint_gradient(std::size_t i,
+                                                  const math::Vector& z) const {
+  const std::size_t n = hops_.size();
+  math::Vector grad(2 * n);
+  if (i < n) {
+    grad[i] = -1.0;
+    return grad;
+  }
+  if (i < 2 * n) {
+    const std::size_t k = i - n;
+    grad[n + k] = 1.0;
+    grad[k] = -hops_[k].swap_deriv(z[k]);
+    return grad;
+  }
+  const std::size_t k = i - 2 * n;
+  grad[(k + 1) % n] += 1.0;
+  grad[n + k] -= 1.0;
+  return grad;
+}
+
+math::Matrix FullLoopProblem::constraint_hessian(std::size_t i,
+                                                 const math::Vector& z) const {
+  const std::size_t n = hops_.size();
+  math::Matrix hess(2 * n, 2 * n);
+  if (i >= n && i < 2 * n) {
+    const std::size_t k = i - n;
+    hess(k, k) = -hops_[k].swap_deriv2(z[k]);
+  }
+  return hess;
+}
+
+// ---------------------------------------------------------------------------
+// Interior starts
+// ---------------------------------------------------------------------------
+
+Result<math::Vector> reduced_interior_start(
+    const std::vector<LoopHopData>& hops) {
+  const std::size_t n = hops.size();
+
+  // Single-start optimum of this rotation via the Möbius closed form.
+  amm::MobiusCoefficients m = amm::MobiusCoefficients::identity();
+  for (const LoopHopData& hop : hops) {
+    m = m.then_hop(hop.reserve_in, hop.reserve_out, hop.gamma);
+  }
+  const double best_input = m.optimal_input();
+  if (best_input <= 0.0) {
+    return make_error(ErrorCode::kInfeasible,
+                      "loop has no strict interior (price product <= 1)");
+  }
+
+  // Feed a fraction of the optimum around the loop, retaining a whisker
+  // at each hop so every flow constraint holds strictly; shrink the scale
+  // until the wrap-around constraint d_0 < F_{n-1}(d_{n-1}) is strict too.
+  constexpr double kRetention = 1e-9;
+  double scale = 0.5;
+  for (int attempt = 0; attempt < 80; ++attempt, scale *= 0.5) {
+    math::Vector d(n);
+    d[0] = best_input * scale;
+    bool valid = d[0] > 0.0;
+    for (std::size_t i = 0; i + 1 < n && valid; ++i) {
+      d[i + 1] = hops[i].swap(d[i]) * (1.0 - kRetention);
+      valid = d[i + 1] > 0.0;
+    }
+    if (!valid) break;
+    const double wrap_output = hops[n - 1].swap(d[n - 1]);
+    if (wrap_output * (1.0 - kRetention) > d[0]) {
+      return d;
+    }
+  }
+  return make_error(ErrorCode::kInfeasible,
+                    "could not construct strictly feasible interior point");
+}
+
+Result<math::Vector> full_interior_start(const std::vector<LoopHopData>& hops) {
+  auto reduced = reduced_interior_start(hops);
+  if (!reduced) return reduced.error();
+  const std::size_t n = hops.size();
+  const math::Vector& d = *reduced;
+  math::Vector z(2 * n);
+  for (std::size_t i = 0; i < n; ++i) z[i] = d[i];
+  for (std::size_t i = 0; i < n; ++i) {
+    // out_i strictly between in_{i+1} and F_i(in_i).
+    z[n + i] = 0.5 * (d[(i + 1) % n] + hops[i].swap(d[i]));
+  }
+  return z;
+}
+
+}  // namespace arb::core

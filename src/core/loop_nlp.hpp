@@ -1,0 +1,137 @@
+#pragma once
+
+/// \file loop_nlp.hpp
+/// The two convex-program transcriptions of the paper's equation (8).
+///
+/// Notation: the loop rotation fixes hops i = 0..n−1; hop i swaps token
+/// t_i into token t_{i+1 mod n} against reserves (x_i, y_i) with fee
+/// multiplier γ_i, so its output is F_i(d) = γ_i·d·y_i / (x_i + γ_i·d).
+/// P_i is the CEX price of t_i.
+///
+/// ReducedLoopProblem (n variables d_i = input of hop i):
+///   The CPMM constraint of eq. (8) is active at any optimum (output is
+///   monotone in it), so out_i = F_i(d_i) can be substituted. Profit
+///   telescopes to Σ_i [P_{t_{i+1}}·F_i(d_i) − P_{t_i}·d_i]; constraints
+///   d_i ≥ 0 and flow d_{i+1} ≤ F_i(d_i). Concave objective, convex
+///   feasible set — n-dimensional.
+///
+/// FullLoopProblem (2n variables: in_i, out_i — the direct transcription):
+///   maximize Σ_i P_{t_{i+1}}·(out_i − in_{i+1})
+///   s.t. out_i ≤ F_i(in_i)        (the CPMM constraint of eq. (8),
+///                                  rewritten in its convex form — the
+///                                  bilinear (x+γ·in)(y−out) ≥ x·y defines
+///                                  the same set),
+///        in_{i+1} ≤ out_i, in_i ≥ 0.
+///
+/// Both are exposed so tests can verify they attain the same optimum.
+/// Problems implement optim::NlpProblem in minimization form (f = −profit).
+
+#include <vector>
+
+#include "common/result.hpp"
+#include "graph/cycle.hpp"
+#include "graph/token_graph.hpp"
+#include "market/price_feed.hpp"
+#include "optim/problem.hpp"
+
+namespace arb::core {
+
+/// Per-hop data shared by both transcriptions.
+struct LoopHopData {
+  double reserve_in = 0.0;   ///< x_i
+  double reserve_out = 0.0;  ///< y_i
+  double gamma = 0.0;        ///< 1 − fee
+  double price_in = 0.0;     ///< P_{t_i}
+  double price_out = 0.0;    ///< P_{t_{i+1}}
+  TokenId token_in;
+  TokenId token_out;
+  PoolId pool;
+
+  [[nodiscard]] double swap(double d) const;         ///< F_i(d)
+  [[nodiscard]] double swap_deriv(double d) const;   ///< F_i'(d)
+  [[nodiscard]] double swap_deriv2(double d) const;  ///< F_i''(d) (< 0)
+};
+
+/// Extracts per-hop data for a cycle rotation. Fails with kNotFound when
+/// a CEX price is missing.
+[[nodiscard]] Result<std::vector<LoopHopData>> make_hop_data(
+    const graph::TokenGraph& graph, const market::CexPriceFeed& prices,
+    const graph::Cycle& cycle, std::size_t start_offset = 0);
+
+class ReducedLoopProblem final : public optim::NlpProblem {
+ public:
+  explicit ReducedLoopProblem(std::vector<LoopHopData> hops);
+
+  [[nodiscard]] std::size_t dimension() const override { return hops_.size(); }
+  [[nodiscard]] std::size_t num_inequalities() const override {
+    return 2 * hops_.size();
+  }
+  [[nodiscard]] double objective(const math::Vector& d) const override;
+  [[nodiscard]] math::Vector objective_gradient(
+      const math::Vector& d) const override;
+  [[nodiscard]] math::Matrix objective_hessian(
+      const math::Vector& d) const override;
+  [[nodiscard]] double constraint(std::size_t i,
+                                  const math::Vector& d) const override;
+  [[nodiscard]] math::Vector constraint_gradient(
+      std::size_t i, const math::Vector& d) const override;
+  [[nodiscard]] math::Matrix constraint_hessian(
+      std::size_t i, const math::Vector& d) const override;
+
+  [[nodiscard]] const std::vector<LoopHopData>& hops() const { return hops_; }
+
+  /// Monetized profit (positive sign) at inputs d.
+  [[nodiscard]] double profit_usd(const math::Vector& d) const {
+    return -objective(d);
+  }
+
+ private:
+  std::vector<LoopHopData> hops_;
+};
+
+class FullLoopProblem final : public optim::NlpProblem {
+ public:
+  explicit FullLoopProblem(std::vector<LoopHopData> hops);
+
+  /// Layout: z = (in_0..in_{n−1}, out_0..out_{n−1}).
+  [[nodiscard]] std::size_t dimension() const override {
+    return 2 * hops_.size();
+  }
+  /// Constraints: n × (in ≥ 0), n × (out ≤ F(in)), n × (in_{i+1} ≤ out_i).
+  [[nodiscard]] std::size_t num_inequalities() const override {
+    return 3 * hops_.size();
+  }
+  [[nodiscard]] double objective(const math::Vector& z) const override;
+  [[nodiscard]] math::Vector objective_gradient(
+      const math::Vector& z) const override;
+  [[nodiscard]] math::Matrix objective_hessian(
+      const math::Vector& z) const override;
+  [[nodiscard]] double constraint(std::size_t i,
+                                  const math::Vector& z) const override;
+  [[nodiscard]] math::Vector constraint_gradient(
+      std::size_t i, const math::Vector& z) const override;
+  [[nodiscard]] math::Matrix constraint_hessian(
+      std::size_t i, const math::Vector& z) const override;
+
+  [[nodiscard]] const std::vector<LoopHopData>& hops() const { return hops_; }
+  [[nodiscard]] double profit_usd(const math::Vector& z) const {
+    return -objective(z);
+  }
+
+ private:
+  std::vector<LoopHopData> hops_;
+};
+
+/// Builds a strictly feasible interior start for the reduced problem:
+/// half the single-start optimum fed around the loop with a whisker of
+/// retention at each hop. Fails with kInfeasible when the loop has no
+/// interior (price product ≤ 1 ⇒ the only feasible point is 0).
+[[nodiscard]] Result<math::Vector> reduced_interior_start(
+    const std::vector<LoopHopData>& hops);
+
+/// Lifts a reduced interior point to the full problem's variables:
+/// out_i strictly between in_{i+1} and F_i(in_i).
+[[nodiscard]] Result<math::Vector> full_interior_start(
+    const std::vector<LoopHopData>& hops);
+
+}  // namespace arb::core

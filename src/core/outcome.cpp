@@ -1,0 +1,19 @@
+#include "core/outcome.hpp"
+
+namespace arb::core {
+
+std::string_view to_string(StrategyKind kind) {
+  switch (kind) {
+    case StrategyKind::kTraditional:
+      return "Traditional";
+    case StrategyKind::kMaxPrice:
+      return "MaxPrice";
+    case StrategyKind::kMaxMax:
+      return "MaxMax";
+    case StrategyKind::kConvexOptimization:
+      return "ConvexOptimization";
+  }
+  return "unknown";
+}
+
+}  // namespace arb::core

@@ -1,0 +1,54 @@
+#pragma once
+
+/// \file outcome.hpp
+/// Common result vocabulary for the four strategies the paper compares.
+
+#include <string_view>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace arb::core {
+
+/// The strategies of the paper, in increasing order of attainable profit:
+/// Traditional <= MaxPrice <= MaxMax <= ConvexOptimization (the first
+/// inequality holding only when MaxPrice's pick coincides; see Fig. 6).
+enum class StrategyKind {
+  kTraditional,         ///< fixed start token, optimize the single input
+  kMaxPrice,            ///< traditional from the highest-CEX-price token
+  kMaxMax,              ///< traditional from every token, take the max
+  kConvexOptimization,  ///< eq. (8): relax flow equalities, solve convex NLP
+};
+
+[[nodiscard]] std::string_view to_string(StrategyKind kind);
+
+/// Net amount of one token retained as profit.
+struct TokenProfit {
+  TokenId token;
+  Amount amount = 0.0;
+};
+
+/// What a strategy run produced on one arbitrage loop.
+struct StrategyOutcome {
+  StrategyKind kind = StrategyKind::kTraditional;
+
+  /// Start token (single-start strategies; for Convex this is the
+  /// rotation anchor, profits may span several tokens).
+  TokenId start_token;
+
+  /// Input / output in start-token units (single-start strategies;
+  /// zero-filled for Convex where per-hop amounts live in the plan).
+  Amount input = 0.0;
+  Amount output = 0.0;
+
+  /// Net profit per token. Single-start: one entry (the start token).
+  std::vector<TokenProfit> profits;
+
+  /// Σ token profit · CEX price — the paper's monetized arbitrage profit.
+  double monetized_usd = 0.0;
+
+  /// Iterations spent by the numeric solver (0 for analytic solves).
+  int solver_iterations = 0;
+};
+
+}  // namespace arb::core

@@ -1,0 +1,108 @@
+#include "core/plan.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+
+#include "amm/path.hpp"
+#include "common/error.hpp"
+
+namespace arb::core {
+
+std::vector<TokenProfit> ArbitragePlan::required_upfront() const {
+  std::unordered_map<TokenId, Amount> balance;
+  std::unordered_map<TokenId, Amount> deficit;
+  for (const PlanStep& step : steps) {
+    balance[step.token_in] -= step.amount_in;
+    deficit[step.token_in] =
+        std::min(deficit[step.token_in], balance[step.token_in]);
+    balance[step.token_out] += step.amount_out;
+  }
+  std::vector<TokenProfit> upfront;
+  for (const auto& [token, worst] : deficit) {
+    if (worst < 0.0) upfront.push_back(TokenProfit{token, -worst});
+  }
+  std::sort(upfront.begin(), upfront.end(),
+            [](const TokenProfit& a, const TokenProfit& b) {
+              return a.token < b.token;
+            });
+  return upfront;
+}
+
+std::string ArbitragePlan::describe(const graph::TokenGraph& graph) const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < steps.size(); ++i) {
+    const PlanStep& s = steps[i];
+    os << "  step " << i << ": swap " << s.amount_in << " "
+       << graph.symbol(s.token_in) << " -> " << s.amount_out << " "
+       << graph.symbol(s.token_out) << " via " << to_string(s.pool) << "\n";
+  }
+  os << "  expected profit:";
+  for (const TokenProfit& p : expected_profits) {
+    if (p.amount != 0.0) os << " " << p.amount << " " << graph.symbol(p.token);
+  }
+  os << " (= $" << expected_monetized_usd << ")";
+  return os.str();
+}
+
+Result<ArbitragePlan> plan_from_single_start(const graph::TokenGraph& graph,
+                                             const graph::Cycle& cycle,
+                                             const StrategyOutcome& outcome) {
+  // Locate the rotation that starts at the outcome's start token.
+  std::size_t offset = cycle.length();
+  for (std::size_t i = 0; i < cycle.length(); ++i) {
+    if (cycle.tokens()[i] == outcome.start_token) {
+      offset = i;
+      break;
+    }
+  }
+  if (offset == cycle.length()) {
+    return make_error(ErrorCode::kInvalidArgument,
+                      "outcome start token not in cycle");
+  }
+
+  const amm::PoolPath path = cycle.path(graph, offset);
+  ArbitragePlan plan;
+  double amount = outcome.input;
+  for (const amm::Hop& hop : path.hops()) {
+    const amm::SwapQuote quote = hop.pool->quote(hop.token_in, amount);
+    plan.steps.push_back(PlanStep{hop.pool->id(), hop.token_in,
+                                  hop.token_out(), quote.amount_in,
+                                  quote.amount_out});
+    amount = quote.amount_out;
+  }
+  plan.expected_profits = outcome.profits;
+  plan.expected_monetized_usd = outcome.monetized_usd;
+  return plan;
+}
+
+Result<ArbitragePlan> plan_from_convex(const graph::TokenGraph& graph,
+                                       const graph::Cycle& cycle,
+                                       const ConvexSolution& solution) {
+  if (solution.inputs.size() != cycle.length()) {
+    return make_error(ErrorCode::kInvalidArgument,
+                      "solution/cycle length mismatch");
+  }
+  ArbitragePlan plan;
+  for (std::size_t i = 0; i < cycle.length(); ++i) {
+    const PoolId pool_id = cycle.pools()[i];
+    const TokenId token_in = cycle.tokens()[i];
+    const TokenId token_out = cycle.tokens()[(i + 1) % cycle.length()];
+    // Planned output must be honest: never promise more than the pool
+    // can give for the planned input at the snapshot reserves.
+    const double attainable =
+        graph.pool(pool_id).quote(token_in, solution.inputs[i]).amount_out;
+    if (solution.outputs[i] > attainable * (1.0 + 1e-9)) {
+      return make_error(ErrorCode::kInvariantViolated,
+                        "convex solution output exceeds pool capability at "
+                        "hop " + std::to_string(i));
+    }
+    plan.steps.push_back(PlanStep{pool_id, token_in, token_out,
+                                  solution.inputs[i], solution.outputs[i]});
+  }
+  plan.expected_profits = solution.outcome.profits;
+  plan.expected_monetized_usd = solution.outcome.monetized_usd;
+  return plan;
+}
+
+}  // namespace arb::core

@@ -1,0 +1,52 @@
+#pragma once
+
+/// \file plan.hpp
+/// An executable arbitrage plan: the concrete swap amounts to submit,
+/// hop by hop, plus the profit the planner expects. The sim module
+/// executes plans against pool state and verifies the expectation.
+
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+#include "core/convex.hpp"
+#include "core/outcome.hpp"
+#include "graph/cycle.hpp"
+#include "graph/token_graph.hpp"
+
+namespace arb::core {
+
+struct PlanStep {
+  PoolId pool;
+  TokenId token_in;
+  TokenId token_out;
+  Amount amount_in = 0.0;
+  Amount amount_out = 0.0;
+};
+
+struct ArbitragePlan {
+  std::vector<PlanStep> steps;
+  std::vector<TokenProfit> expected_profits;
+  double expected_monetized_usd = 0.0;
+
+  /// Tokens that must be borrowed up-front (flash loan) to run the steps
+  /// in order: for each token, the peak cumulative deficit across the
+  /// step sequence.
+  [[nodiscard]] std::vector<TokenProfit> required_upfront() const;
+
+  [[nodiscard]] std::string describe(const graph::TokenGraph& graph) const;
+};
+
+/// Plan for a single-start outcome (Traditional / MaxPrice / MaxMax):
+/// swap the optimal input around the loop starting at outcome.start_token.
+[[nodiscard]] Result<ArbitragePlan> plan_from_single_start(
+    const graph::TokenGraph& graph, const graph::Cycle& cycle,
+    const StrategyOutcome& outcome);
+
+/// Plan for a convex solution: hop i swaps inputs[i] for outputs[i]; the
+/// differences stay in the arbitrageur's wallet as profit.
+[[nodiscard]] Result<ArbitragePlan> plan_from_convex(
+    const graph::TokenGraph& graph, const graph::Cycle& cycle,
+    const ConvexSolution& solution);
+
+}  // namespace arb::core

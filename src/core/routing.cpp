@@ -1,0 +1,113 @@
+#include "core/routing.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "math/scalar_solve.hpp"
+
+namespace arb::core {
+namespace {
+
+Status validate_paths(const std::vector<amm::PoolPath>& paths) {
+  if (paths.empty()) {
+    return make_error(ErrorCode::kInvalidArgument, "no paths to route over");
+  }
+  const TokenId start = paths.front().start_token();
+  const TokenId end = paths.front().end_token();
+  for (const amm::PoolPath& path : paths) {
+    if (path.start_token() != start || path.end_token() != end) {
+      return make_error(ErrorCode::kInvalidArgument,
+                        "paths must share start and end tokens");
+    }
+  }
+  return Status::success();
+}
+
+/// Input on one path at common marginal rate lambda.
+double input_at_rate(const amm::MobiusCoefficients& m, double lambda) {
+  // a·b/(b + c·d)² = λ → d = (√(a·b/λ) − b)/c, clamped at 0 when the
+  // path's zero-size rate a/b is already below λ.
+  if (m.rate_at_zero() <= lambda) return 0.0;
+  return (std::sqrt(m.a * m.b / lambda) - m.b) / m.c;
+}
+
+}  // namespace
+
+Result<RouteSplit> optimal_route_split(const std::vector<amm::PoolPath>& paths,
+                                       double budget, double tolerance) {
+  if (auto valid = validate_paths(paths); !valid.ok()) return valid.error();
+  if (budget < 0.0) {
+    return make_error(ErrorCode::kInvalidArgument, "negative budget");
+  }
+
+  std::vector<amm::MobiusCoefficients> maps;
+  maps.reserve(paths.size());
+  double best_zero_rate = 0.0;
+  for (const amm::PoolPath& path : paths) {
+    maps.push_back(path.compose());
+    best_zero_rate = std::max(best_zero_rate, maps.back().rate_at_zero());
+  }
+
+  RouteSplit split;
+  split.inputs.assign(paths.size(), 0.0);
+  if (budget == 0.0) {
+    split.marginal_rate = best_zero_rate;
+    return split;
+  }
+
+  // Σ_p d_p(λ) is continuous and strictly decreasing on (0, best_rate],
+  // from +∞ to 0; bisect for the λ matching the budget.
+  const auto total_input_minus_budget = [&](double lambda) {
+    double total = 0.0;
+    for (const auto& m : maps) total += input_at_rate(m, lambda);
+    return total - budget;
+  };
+  double lo = best_zero_rate;
+  while (total_input_minus_budget(lo) < 0.0) {
+    lo *= 0.5;
+    if (lo < 1e-300) {
+      return make_error(ErrorCode::kNumericFailure,
+                        "route split bisection underflow");
+    }
+  }
+  math::ScalarSolveOptions options;
+  options.x_tolerance = tolerance * best_zero_rate;
+  auto root = math::bisect_root(total_input_minus_budget, lo,
+                                best_zero_rate, options);
+  if (!root) return root.error();
+
+  split.marginal_rate = root->x;
+  split.iterations = root->iterations;
+  double allocated = 0.0;
+  for (std::size_t p = 0; p < maps.size(); ++p) {
+    split.inputs[p] = input_at_rate(maps[p], split.marginal_rate);
+    allocated += split.inputs[p];
+  }
+  // Bisection leaves a residual vs the exact budget; scale it away so
+  // the split spends exactly the budget (scaling is feasible and the
+  // objective is insensitive at first order).
+  if (allocated > 0.0) {
+    const double scale = budget / allocated;
+    for (double& d : split.inputs) d *= scale;
+  }
+  for (std::size_t p = 0; p < maps.size(); ++p) {
+    split.total_output += maps[p].evaluate(split.inputs[p]);
+  }
+  return split;
+}
+
+Result<double> best_single_path_output(const std::vector<amm::PoolPath>& paths,
+                                       double budget) {
+  if (auto valid = validate_paths(paths); !valid.ok()) return valid.error();
+  if (budget < 0.0) {
+    return make_error(ErrorCode::kInvalidArgument, "negative budget");
+  }
+  double best = 0.0;
+  for (const amm::PoolPath& path : paths) {
+    best = std::max(best, path.compose().evaluate(budget));
+  }
+  return best;
+}
+
+}  // namespace arb::core

@@ -1,0 +1,50 @@
+#pragma once
+
+/// \file routing.hpp
+/// Optimal order splitting across parallel swap paths.
+///
+/// The paper's related work (Danos et al., "Global order routing on
+/// exchange networks") treats routing as a convex program; for CPMM
+/// paths the specific structure collapses to water-filling. Every path
+/// composes to a Möbius map out_p(d) = a_p·d/(b_p + c_p·d) with marginal
+/// rate a_p·b_p/(b_p + c_p·d)², strictly decreasing in d. At the optimum
+/// of
+///
+///   maximize Σ_p out_p(d_p)   s.t.  Σ_p d_p = budget, d_p >= 0,
+///
+/// every funded path runs at a common marginal rate λ, and
+/// d_p(λ) = (√(a_p·b_p/λ) − b_p)/c_p clamped at 0 — so the whole split
+/// reduces to a 1-D bisection on λ. Exact, no NLP solver required (the
+/// tests cross-check against the barrier solver anyway).
+
+#include <vector>
+
+#include "amm/path.hpp"
+#include "common/result.hpp"
+
+namespace arb::core {
+
+struct RouteSplit {
+  /// Input allocated to each path (same order as the input list).
+  std::vector<double> inputs;
+  /// Total output across paths.
+  double total_output = 0.0;
+  /// The common marginal rate λ at the optimum.
+  double marginal_rate = 0.0;
+  int iterations = 0;
+};
+
+/// Splits `budget` of the common start token across `paths` to maximize
+/// the total output of the common end token.
+/// Fails with kInvalidArgument unless all paths share start and end
+/// tokens and budget >= 0; budget 0 yields the all-zero split.
+[[nodiscard]] Result<RouteSplit> optimal_route_split(
+    const std::vector<amm::PoolPath>& paths, double budget,
+    double tolerance = 1e-12);
+
+/// Output of the best *unsplit* route for the same budget (baseline the
+/// ablation bench compares against).
+[[nodiscard]] Result<double> best_single_path_output(
+    const std::vector<amm::PoolPath>& paths, double budget);
+
+}  // namespace arb::core

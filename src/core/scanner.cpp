@@ -1,0 +1,86 @@
+#include "core/scanner.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "core/convex.hpp"
+#include "core/single_start.hpp"
+#include "graph/cycle_enumeration.hpp"
+
+namespace arb::core {
+namespace {
+
+Result<std::optional<Opportunity>> evaluate(
+    const graph::TokenGraph& graph, const market::CexPriceFeed& prices,
+    const graph::Cycle& loop, const ScannerConfig& config) {
+  Opportunity opportunity(loop);
+
+  if (config.strategy == StrategyKind::kConvexOptimization) {
+    auto solution = solve_convex(graph, prices, loop, config.options.convex);
+    if (!solution) return solution.error();
+    opportunity.outcome = solution->outcome;
+    auto plan = plan_from_convex(graph, loop, *solution);
+    if (!plan) return plan.error();
+    opportunity.plan = *std::move(plan);
+  } else {
+    Result<StrategyOutcome> outcome =
+        config.strategy == StrategyKind::kMaxPrice
+            ? evaluate_max_price(graph, prices, loop,
+                                 config.options.single_start)
+            : evaluate_max_max(graph, prices, loop,
+                               config.options.single_start);
+    if (!outcome) return outcome.error();
+    opportunity.outcome = *std::move(outcome);
+    auto plan = plan_from_single_start(graph, loop, opportunity.outcome);
+    if (!plan) return plan.error();
+    opportunity.plan = *std::move(plan);
+  }
+
+  opportunity.net_profit_usd = opportunity.outcome.monetized_usd;
+  if (config.gas.has_value()) {
+    opportunity.net_profit_usd =
+        config.gas->net_profit_usd(opportunity.outcome, loop.length());
+  }
+  if (opportunity.net_profit_usd < config.min_net_profit_usd) {
+    return std::optional<Opportunity>{};
+  }
+
+  auto diagnostics = analyze_loop(graph, prices, loop);
+  if (!diagnostics) return diagnostics.error();
+  opportunity.diagnostics = *std::move(diagnostics);
+  return std::optional<Opportunity>{std::move(opportunity)};
+}
+
+}  // namespace
+
+Result<std::vector<Opportunity>> scan_market(
+    const graph::TokenGraph& graph, const market::CexPriceFeed& prices,
+    const ScannerConfig& config) {
+  if (config.loop_lengths.empty()) {
+    return make_error(ErrorCode::kInvalidArgument,
+                      "scanner needs at least one loop length");
+  }
+  std::vector<Opportunity> opportunities;
+  for (const std::size_t length : config.loop_lengths) {
+    if (length < 2) {
+      return make_error(ErrorCode::kInvalidArgument,
+                        "loop length must be at least 2");
+    }
+    const auto loops = graph::filter_arbitrage(
+        graph, graph::enumerate_fixed_length_cycles(graph, length));
+    for (const graph::Cycle& loop : loops) {
+      auto opportunity = evaluate(graph, prices, loop, config);
+      if (!opportunity) return opportunity.error();
+      if (opportunity->has_value()) {
+        opportunities.push_back(*std::move(*opportunity));
+      }
+    }
+  }
+  std::sort(opportunities.begin(), opportunities.end(),
+            [](const Opportunity& a, const Opportunity& b) {
+              return a.net_profit_usd > b.net_profit_usd;
+            });
+  return opportunities;
+}
+
+}  // namespace arb::core

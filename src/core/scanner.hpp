@@ -1,0 +1,54 @@
+#pragma once
+
+/// \file scanner.hpp
+/// The top-level facade: one call from market state to ranked, executable
+/// arbitrage opportunities. Composes the pieces a bot author would
+/// otherwise wire manually — cycle enumeration, profitability filter,
+/// strategy optimization, gas netting, diagnostics, and plan construction.
+
+#include <optional>
+#include <vector>
+
+#include "common/result.hpp"
+#include "core/analysis.hpp"
+#include "core/comparison.hpp"
+#include "core/gas.hpp"
+#include "core/plan.hpp"
+
+namespace arb::core {
+
+struct ScannerConfig {
+  /// Loop lengths to enumerate (the paper: 3, appendix: 4).
+  std::vector<std::size_t> loop_lengths = {2, 3};
+  /// Strategy used to size each opportunity.
+  StrategyKind strategy = StrategyKind::kMaxMax;
+  /// Opportunities netting less than this (USD, after gas if a gas model
+  /// is set) are dropped.
+  double min_net_profit_usd = 0.0;
+  /// When set, profits are netted against bundle cost and ranking uses
+  /// the net value.
+  std::optional<GasModel> gas;
+  ComparisonOptions options;
+};
+
+/// One ranked, ready-to-execute opportunity.
+struct Opportunity {
+  graph::Cycle cycle;
+  StrategyOutcome outcome;
+  ArbitragePlan plan;
+  LoopDiagnostics diagnostics;
+  /// Monetized profit net of gas (equals outcome.monetized_usd when no
+  /// gas model is configured).
+  double net_profit_usd = 0.0;
+
+  explicit Opportunity(graph::Cycle c) : cycle(std::move(c)) {}
+};
+
+/// Scans the market and returns opportunities sorted by net profit,
+/// best first. Loops whose strategy profit does not clear the threshold
+/// are omitted.
+[[nodiscard]] Result<std::vector<Opportunity>> scan_market(
+    const graph::TokenGraph& graph, const market::CexPriceFeed& prices,
+    const ScannerConfig& config = {});
+
+}  // namespace arb::core

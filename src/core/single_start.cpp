@@ -1,0 +1,89 @@
+#include "core/single_start.hpp"
+
+#include "amm/path.hpp"
+
+namespace arb::core {
+
+Result<StrategyOutcome> evaluate_traditional(
+    const graph::TokenGraph& graph, const market::CexPriceFeed& prices,
+    const graph::Cycle& cycle, std::size_t start_offset,
+    const SingleStartOptions& options) {
+  const std::size_t n = cycle.length();
+  const TokenId start = cycle.tokens()[start_offset % n];
+  auto price = prices.price(start);
+  if (!price) return price.error();
+
+  const amm::PoolPath path = cycle.path(graph, start_offset % n);
+  amm::OptimalTrade trade;
+  if (options.use_bisection) {
+    auto solved = amm::optimize_input_bisection(path,
+                                                options.bisection_tolerance);
+    if (!solved) return solved.error();
+    trade = *solved;
+  } else {
+    trade = amm::optimize_input_analytic(path);
+  }
+
+  StrategyOutcome outcome;
+  outcome.kind = StrategyKind::kTraditional;
+  outcome.start_token = start;
+  outcome.input = trade.input;
+  outcome.output = trade.output;
+  outcome.profits = {TokenProfit{start, trade.profit}};
+  outcome.monetized_usd = *price * trade.profit;
+  outcome.solver_iterations = trade.iterations;
+  return outcome;
+}
+
+Result<StrategyOutcome> evaluate_max_price(const graph::TokenGraph& graph,
+                                           const market::CexPriceFeed& prices,
+                                           const graph::Cycle& cycle,
+                                           const SingleStartOptions& options) {
+  std::size_t best_offset = 0;
+  double best_price = -1.0;
+  for (std::size_t i = 0; i < cycle.length(); ++i) {
+    auto price = prices.price(cycle.tokens()[i]);
+    if (!price) return price.error();
+    if (*price > best_price) {
+      best_price = *price;
+      best_offset = i;
+    }
+  }
+  auto outcome = evaluate_traditional(graph, prices, cycle, best_offset,
+                                      options);
+  if (!outcome) return outcome.error();
+  outcome->kind = StrategyKind::kMaxPrice;
+  return outcome;
+}
+
+Result<StrategyOutcome> evaluate_max_max(const graph::TokenGraph& graph,
+                                         const market::CexPriceFeed& prices,
+                                         const graph::Cycle& cycle,
+                                         const SingleStartOptions& options) {
+  auto rotations = evaluate_all_rotations(graph, prices, cycle, options);
+  if (!rotations) return rotations.error();
+  const StrategyOutcome* best = nullptr;
+  for (const StrategyOutcome& candidate : *rotations) {
+    if (best == nullptr || candidate.monetized_usd > best->monetized_usd) {
+      best = &candidate;
+    }
+  }
+  StrategyOutcome outcome = *best;
+  outcome.kind = StrategyKind::kMaxMax;
+  return outcome;
+}
+
+Result<std::vector<StrategyOutcome>> evaluate_all_rotations(
+    const graph::TokenGraph& graph, const market::CexPriceFeed& prices,
+    const graph::Cycle& cycle, const SingleStartOptions& options) {
+  std::vector<StrategyOutcome> outcomes;
+  outcomes.reserve(cycle.length());
+  for (std::size_t offset = 0; offset < cycle.length(); ++offset) {
+    auto outcome = evaluate_traditional(graph, prices, cycle, offset, options);
+    if (!outcome) return outcome.error();
+    outcomes.push_back(*std::move(outcome));
+  }
+  return outcomes;
+}
+
+}  // namespace arb::core

@@ -1,0 +1,50 @@
+#pragma once
+
+/// \file single_start.hpp
+/// The Traditional, MaxPrice and MaxMax strategies (Section III of the
+/// paper). All three reduce to "optimize the single input amount on a
+/// rotation of the loop"; they differ only in which rotation(s) they try.
+
+#include "common/result.hpp"
+#include "graph/cycle.hpp"
+#include "graph/token_graph.hpp"
+#include "market/price_feed.hpp"
+#include "core/outcome.hpp"
+
+namespace arb::core {
+
+struct SingleStartOptions {
+  /// True (default): the paper's bisection on d out/d in = 1.
+  /// False: the closed-form Möbius optimum (identical to solver
+  /// tolerance; used for cross-checking and for speed).
+  bool use_bisection = true;
+  double bisection_tolerance = 1e-10;
+};
+
+/// Traditional strategy: fix the walk to start at tokens()[start_offset]
+/// and maximize (output − input); monetize with the start token's CEX
+/// price. Fails with kNotFound if that price is missing.
+[[nodiscard]] Result<StrategyOutcome> evaluate_traditional(
+    const graph::TokenGraph& graph, const market::CexPriceFeed& prices,
+    const graph::Cycle& cycle, std::size_t start_offset,
+    const SingleStartOptions& options = {});
+
+/// MaxPrice strategy: traditional from the loop token with the highest
+/// CEX price.
+[[nodiscard]] Result<StrategyOutcome> evaluate_max_price(
+    const graph::TokenGraph& graph, const market::CexPriceFeed& prices,
+    const graph::Cycle& cycle, const SingleStartOptions& options = {});
+
+/// MaxMax strategy: traditional from every token in turn; the best
+/// monetized profit wins (eq. 6).
+[[nodiscard]] Result<StrategyOutcome> evaluate_max_max(
+    const graph::TokenGraph& graph, const market::CexPriceFeed& prices,
+    const graph::Cycle& cycle, const SingleStartOptions& options = {});
+
+/// All n traditional outcomes (one per rotation), in rotation order.
+/// MaxMax is their argmax; exposed separately for Figs. 2 and 5.
+[[nodiscard]] Result<std::vector<StrategyOutcome>> evaluate_all_rotations(
+    const graph::TokenGraph& graph, const market::CexPriceFeed& prices,
+    const graph::Cycle& cycle, const SingleStartOptions& options = {});
+
+}  // namespace arb::core

@@ -1,0 +1,65 @@
+#include "core/study_io.hpp"
+
+#include <algorithm>
+#include <fstream>
+
+#include "common/csv.hpp"
+
+namespace arb::core {
+namespace {
+
+void outcome_row(CsvWriter& csv, const MarketStudy& study,
+                 std::size_t loop_id, const StrategyOutcome& outcome) {
+  const LoopComparison& row = study.loops[loop_id];
+  csv.cell(loop_id);
+  csv.cell(row.cycle.describe(study.market.graph));
+  csv.cell(row.cycle.length());
+  csv.cell(row.cycle.price_product(study.market.graph));
+  csv.cell(std::string(to_string(outcome.kind)));
+  csv.cell(study.market.graph.symbol(outcome.start_token));
+  csv.cell(outcome.input);
+  csv.cell(outcome.monetized_usd);
+  csv.end_row();
+}
+
+}  // namespace
+
+Status write_study_csv(const MarketStudy& study, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return make_error(ErrorCode::kIoError, "cannot write " + path);
+  }
+  CsvWriter csv(out);
+  csv.header({"loop_id", "loop", "length", "price_product", "strategy",
+              "start_token", "input", "monetized_usd"});
+  for (std::size_t i = 0; i < study.loops.size(); ++i) {
+    const LoopComparison& row = study.loops[i];
+    for (const StrategyOutcome& t : row.traditional) {
+      outcome_row(csv, study, i, t);
+    }
+    outcome_row(csv, study, i, row.max_price);
+    outcome_row(csv, study, i, row.max_max);
+    outcome_row(csv, study, i, row.convex.outcome);
+  }
+  return Status::success();
+}
+
+StudySummary summarize_study(const MarketStudy& study, double tolerance) {
+  StudySummary summary;
+  const auto accumulate = [&](StrategySummary& s, double value,
+                              double max_max_value) {
+    ++s.loops;
+    s.total_usd += value;
+    s.max_usd = std::max(s.max_usd, value);
+    if (value >= max_max_value - tolerance) ++s.matches_max_max;
+  };
+  for (const LoopComparison& row : study.loops) {
+    const double reference = row.max_max.monetized_usd;
+    accumulate(summary.max_price, row.max_price.monetized_usd, reference);
+    accumulate(summary.max_max, row.max_max.monetized_usd, reference);
+    accumulate(summary.convex, row.convex.outcome.monetized_usd, reference);
+  }
+  return summary;
+}
+
+}  // namespace arb::core

@@ -1,0 +1,42 @@
+#pragma once
+
+/// \file study_io.hpp
+/// Persists a MarketStudy (the Section VI experiment output) as CSV so
+/// downstream analysis does not need to re-run the solvers: one row per
+/// (loop, strategy) outcome plus a per-loop summary.
+
+#include <string>
+
+#include "common/result.hpp"
+#include "core/comparison.hpp"
+
+namespace arb::core {
+
+/// Writes <path> with columns:
+///   loop_id, loop, length, price_product, strategy, start_token,
+///   input, monetized_usd
+/// Traditional rows appear once per rotation; MaxPrice/MaxMax/Convex
+/// once per loop.
+[[nodiscard]] Status write_study_csv(const MarketStudy& study,
+                                     const std::string& path);
+
+/// Aggregates of one strategy column across the study.
+struct StrategySummary {
+  std::size_t loops = 0;
+  double total_usd = 0.0;
+  double max_usd = 0.0;
+  /// Count of loops where this strategy is within `tolerance` of MaxMax.
+  std::size_t matches_max_max = 0;
+};
+
+/// Per-strategy aggregates (used by examples and tested directly).
+struct StudySummary {
+  StrategySummary max_price;
+  StrategySummary max_max;
+  StrategySummary convex;
+};
+
+[[nodiscard]] StudySummary summarize_study(const MarketStudy& study,
+                                           double tolerance = 1e-6);
+
+}  // namespace arb::core

@@ -1,0 +1,186 @@
+#include "graph/cycle_enumeration.hpp"
+
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/error.hpp"
+#include "common/logging.hpp"
+
+namespace arb::graph {
+namespace {
+
+/// Depth-first enumeration of simple cycles anchored at `start`. The
+/// anchor is the smallest token id in the cycle, which deduplicates
+/// rotations while keeping both orientations. At the depths the paper
+/// uses (3–5) plain DFS beats the bookkeeping of Johnson's blocked-set
+/// machinery, whose payoff only shows on unbounded enumeration.
+class CycleDfs {
+ public:
+  CycleDfs(const TokenGraph& graph, TokenId start, std::size_t min_length,
+           std::size_t max_length, std::vector<Cycle>& out)
+      : graph_(graph),
+        start_(start),
+        min_length_(min_length),
+        max_length_(max_length),
+        out_(out) {}
+
+  void run() {
+    visited_.insert(start_);
+    token_stack_.push_back(start_);
+    extend();
+  }
+
+ private:
+  void extend() {
+    const TokenId current = token_stack_.back();
+    for (const PoolId pool_id : graph_.pools_of(current)) {
+      const amm::CpmmPool& pool = graph_.pool(pool_id);
+      const TokenId next = pool.other(current);
+
+      // Close the cycle?
+      if (next == start_ && token_stack_.size() >= min_length_) {
+        // A pool may not repeat (relevant for 2-cycles through parallel
+        // pools of the same pair).
+        if (pool_stack_.empty() || pool_stack_.front() != pool_id) {
+          pool_stack_.push_back(pool_id);
+          auto cycle = Cycle::create(graph_, token_stack_, pool_stack_);
+          ARB_REQUIRE(cycle.ok(), "DFS produced invalid cycle");
+          out_.push_back(*std::move(cycle));
+          pool_stack_.pop_back();
+        }
+      }
+
+      // Extend deeper: only through tokens strictly above the anchor
+      // (rotation dedup) and not yet on the stack (simple cycle).
+      if (token_stack_.size() < max_length_ && next > start_ &&
+          visited_.find(next) == visited_.end()) {
+        visited_.insert(next);
+        token_stack_.push_back(next);
+        pool_stack_.push_back(pool_id);
+        extend();
+        pool_stack_.pop_back();
+        token_stack_.pop_back();
+        visited_.erase(next);
+      }
+    }
+  }
+
+  const TokenGraph& graph_;
+  const TokenId start_;
+  const std::size_t min_length_;
+  const std::size_t max_length_;
+  std::vector<Cycle>& out_;
+  std::vector<TokenId> token_stack_;
+  std::vector<PoolId> pool_stack_;
+  std::unordered_set<TokenId> visited_;
+};
+
+std::vector<Cycle> enumerate_range(const TokenGraph& graph,
+                                   std::size_t min_length,
+                                   std::size_t max_length) {
+  ARB_REQUIRE(min_length >= 2, "cycles need at least 2 tokens");
+  ARB_REQUIRE(max_length >= min_length, "max_length < min_length");
+  std::vector<Cycle> cycles;
+  for (const TokenId start : graph.tokens()) {
+    CycleDfs dfs(graph, start, min_length, max_length, cycles);
+    dfs.run();
+  }
+  return cycles;
+}
+
+}  // namespace
+
+std::vector<Cycle> enumerate_fixed_length_cycles(const TokenGraph& graph,
+                                                 std::size_t length) {
+  return enumerate_range(graph, length, length);
+}
+
+std::vector<Cycle> enumerate_cycles_up_to(const TokenGraph& graph,
+                                          std::size_t max_length) {
+  return enumerate_range(graph, 2, max_length);
+}
+
+std::vector<Cycle> filter_arbitrage(const TokenGraph& graph,
+                                    std::vector<Cycle> cycles, double margin) {
+  std::vector<Cycle> kept;
+  kept.reserve(cycles.size());
+  for (auto& cycle : cycles) {
+    if (cycle.price_product(graph) > 1.0 + margin) {
+      kept.push_back(std::move(cycle));
+    }
+  }
+  return kept;
+}
+
+std::optional<Cycle> find_negative_cycle(const TokenGraph& graph) {
+  const std::size_t n = graph.token_count();
+  if (n == 0) return std::nullopt;
+
+  struct Predecessor {
+    TokenId token;
+    PoolId pool;
+  };
+  // Virtual-source initialization: all distances zero, so any negative
+  // cycle anywhere is reachable.
+  std::vector<double> dist(n, 0.0);
+  std::vector<std::optional<Predecessor>> pred(n);
+
+  TokenId last_improved = TokenId::invalid();
+  for (std::size_t round = 0; round < n; ++round) {
+    last_improved = TokenId::invalid();
+    for (const amm::CpmmPool& pool : graph.pools()) {
+      for (const TokenId from : {pool.token0(), pool.token1()}) {
+        const TokenId to = pool.other(from);
+        const double weight = -std::log(pool.relative_price_of(from));
+        if (dist[from.value()] + weight < dist[to.value()] - 1e-15) {
+          dist[to.value()] = dist[from.value()] + weight;
+          pred[to.value()] = Predecessor{from, pool.id()};
+          last_improved = to;
+        }
+      }
+    }
+    if (!last_improved.valid()) return std::nullopt;  // converged: no cycle
+  }
+
+  // A relaxation happened on round n: a negative cycle exists. Walk
+  // predecessors n steps to guarantee we are standing on the cycle.
+  TokenId cursor = last_improved;
+  for (std::size_t i = 0; i < n; ++i) {
+    ARB_REQUIRE(pred[cursor.value()].has_value(), "broken predecessor chain");
+    cursor = pred[cursor.value()]->token;
+  }
+
+  // Extract the cycle: walk until cursor repeats, collecting hops. The
+  // predecessor chain runs backwards (pred edge enters the token), so the
+  // collected sequence is reversed at the end.
+  std::vector<TokenId> rev_tokens;
+  std::vector<PoolId> rev_pools;
+  TokenId walk = cursor;
+  do {
+    const Predecessor& p = *pred[walk.value()];
+    rev_tokens.push_back(walk);
+    rev_pools.push_back(p.pool);
+    walk = p.token;
+  } while (walk != cursor);
+
+  // rev_tokens = [c, p(c), p(p(c)), ...] with rev_pools[i] entering
+  // rev_tokens[i]. Forward orientation: reverse the token order, and the
+  // pool leaving forward-token i is the one entering reverse-token i-1.
+  const std::size_t len = rev_tokens.size();
+  std::vector<TokenId> tokens(len);
+  std::vector<PoolId> pools(len);
+  for (std::size_t i = 0; i < len; ++i) {
+    tokens[i] = rev_tokens[(len - i) % len];
+    pools[i] = rev_pools[(len - 1 - i + len) % len];
+  }
+  auto cycle = Cycle::create(graph, std::move(tokens), std::move(pools));
+  if (!cycle.ok()) {
+    ARB_LOG_WARN("find_negative_cycle extracted invalid cycle: "
+                 << cycle.error().to_string());
+    return std::nullopt;
+  }
+  return *std::move(cycle);
+}
+
+}  // namespace arb::graph

@@ -1,0 +1,50 @@
+#pragma once
+
+/// \file cycle_enumeration.hpp
+/// Cycle discovery algorithms over the token graph.
+///
+/// Three algorithms are provided, mirroring the literature the paper
+/// builds on:
+///  * fixed-length DFS — what the paper uses ("we traversed all token
+///    loops with 3 tokens", appendix: length 4);
+///  * Johnson's elementary-circuits algorithm (McLaughlin et al.) with a
+///    length bound;
+///  * Bellman–Ford–Moore negative-cycle detection on −log(p) weights
+///    (Zhou et al.), which finds *one* arbitrage loop fast.
+///
+/// All enumerators return cycles deduplicated up to rotation; both
+/// orientations of a loop are reported (at most one of them can be a
+/// profitable arbitrage orientation — see filter_arbitrage).
+
+#include <optional>
+#include <vector>
+
+#include "graph/cycle.hpp"
+#include "graph/token_graph.hpp"
+
+namespace arb::graph {
+
+/// All simple directed cycles with exactly `length` tokens, deduplicated
+/// up to rotation. Preconditions: length >= 2.
+[[nodiscard]] std::vector<Cycle> enumerate_fixed_length_cycles(
+    const TokenGraph& graph, std::size_t length);
+
+/// All simple directed cycles with 2..max_length tokens (Johnson's
+/// algorithm with a depth bound), deduplicated up to rotation.
+[[nodiscard]] std::vector<Cycle> enumerate_cycles_up_to(
+    const TokenGraph& graph, std::size_t max_length);
+
+/// Keeps only profitable orientations: price product > 1 + margin.
+/// Because forward · backward products multiply to γ^{2n} ≤ 1, at most
+/// one orientation of each loop survives, so the result is also
+/// deduplicated up to reflection.
+[[nodiscard]] std::vector<Cycle> filter_arbitrage(const TokenGraph& graph,
+                                                  std::vector<Cycle> cycles,
+                                                  double margin = 0.0);
+
+/// Bellman–Ford–Moore on edge weights −log(p_in→out): returns one
+/// arbitrage cycle (negative cycle) if any exists.
+[[nodiscard]] std::optional<Cycle> find_negative_cycle(
+    const TokenGraph& graph);
+
+}  // namespace arb::graph

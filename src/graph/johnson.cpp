@@ -1,0 +1,111 @@
+#include "graph/johnson.hpp"
+
+#include <unordered_set>
+
+#include "common/error.hpp"
+
+namespace arb::graph {
+namespace {
+
+class JohnsonEnumerator {
+ public:
+  JohnsonEnumerator(const TokenGraph& graph, std::size_t max_cycles)
+      : graph_(graph),
+        max_cycles_(max_cycles),
+        blocked_(graph.token_count(), false),
+        block_lists_(graph.token_count()) {}
+
+  JohnsonResult run() {
+    const std::size_t n = graph_.token_count();
+    for (std::size_t s = 0; s < n && !result_.truncated; ++s) {
+      start_ = TokenId{static_cast<TokenId::underlying_type>(s)};
+      // Reset blocking state for this anchor's sub-search.
+      for (std::size_t v = s; v < n; ++v) {
+        blocked_[v] = false;
+        block_lists_[v].clear();
+      }
+      circuit(start_);
+      ARB_REQUIRE(token_stack_.empty() && pool_stack_.empty(),
+                  "johnson stack imbalance");
+    }
+    return std::move(result_);
+  }
+
+ private:
+  /// DFS from v through vertices >= start_, blocked-set pruned.
+  bool circuit(TokenId v) {  // NOLINT(misc-no-recursion)
+    bool found = false;
+    token_stack_.push_back(v);
+    blocked_[v.value()] = true;
+
+    for (const PoolId pool_id : graph_.pools_of(v)) {
+      if (result_.truncated) break;
+      const amm::CpmmPool& pool = graph_.pool(pool_id);
+      const TokenId w = pool.other(v);
+      if (w < start_) continue;  // induced subgraph on {start_, ...}
+
+      if (w == start_) {
+        // Degenerate 2-circuit through one pool: skip.
+        if (pool_stack_.size() == 1 && pool_stack_.front() == pool_id) {
+          continue;
+        }
+        pool_stack_.push_back(pool_id);
+        auto cycle = Cycle::create(graph_, token_stack_, pool_stack_);
+        ARB_REQUIRE(cycle.ok(), "johnson produced invalid cycle");
+        result_.cycles.push_back(*std::move(cycle));
+        pool_stack_.pop_back();
+        found = true;
+        if (result_.cycles.size() >= max_cycles_) {
+          result_.truncated = true;
+          break;
+        }
+      } else if (!blocked_[w.value()]) {
+        pool_stack_.push_back(pool_id);
+        if (circuit(w)) found = true;
+        pool_stack_.pop_back();
+      }
+    }
+
+    if (found) {
+      unblock(v);
+    } else {
+      // v stays blocked until some vertex on a path to start_ unblocks.
+      for (const PoolId pool_id : graph_.pools_of(v)) {
+        const TokenId w = graph_.pool(pool_id).other(v);
+        if (w < start_) continue;
+        block_lists_[w.value()].insert(v);
+      }
+    }
+    token_stack_.pop_back();
+    return found;
+  }
+
+  void unblock(TokenId v) {  // NOLINT(misc-no-recursion)
+    blocked_[v.value()] = false;
+    auto pending = std::move(block_lists_[v.value()]);
+    block_lists_[v.value()].clear();
+    for (const TokenId w : pending) {
+      if (blocked_[w.value()]) unblock(w);
+    }
+  }
+
+  const TokenGraph& graph_;
+  const std::size_t max_cycles_;
+  TokenId start_;
+  std::vector<bool> blocked_;
+  std::vector<std::unordered_set<TokenId>> block_lists_;
+  std::vector<TokenId> token_stack_;
+  std::vector<PoolId> pool_stack_;
+  JohnsonResult result_;
+};
+
+}  // namespace
+
+JohnsonResult enumerate_elementary_cycles(const TokenGraph& graph,
+                                          std::size_t max_cycles) {
+  ARB_REQUIRE(max_cycles > 0, "max_cycles must be positive");
+  JohnsonEnumerator enumerator(graph, max_cycles);
+  return enumerator.run();
+}
+
+}  // namespace arb::graph

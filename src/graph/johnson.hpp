@@ -1,0 +1,35 @@
+#pragma once
+
+/// \file johnson.hpp
+/// Johnson's algorithm (1975) for enumerating ALL elementary circuits of
+/// the directed token graph (each pool contributes one arc per
+/// direction), with the blocked-set machinery that makes it output-
+/// sensitive — unlike the depth-bounded DFS in cycle_enumeration.hpp,
+/// which is the right tool only when the paper's fixed loop length is
+/// known in advance.
+///
+/// Circuits are emitted anchored at their smallest token id (rotation-
+/// canonical); both orientations of each loop appear, and degenerate
+/// back-and-forth 2-circuits through a single pool are excluded (they
+/// can never be arbitrage). A cap bounds output on dense graphs, where
+/// the circuit count is exponential.
+
+#include <vector>
+
+#include "graph/cycle.hpp"
+#include "graph/token_graph.hpp"
+
+namespace arb::graph {
+
+struct JohnsonResult {
+  std::vector<Cycle> cycles;
+  /// True when enumeration stopped at the cap rather than exhausting the
+  /// graph.
+  bool truncated = false;
+};
+
+/// Enumerates elementary circuits, stopping after `max_cycles` outputs.
+[[nodiscard]] JohnsonResult enumerate_elementary_cycles(
+    const TokenGraph& graph, std::size_t max_cycles = 1'000'000);
+
+}  // namespace arb::graph

@@ -1,0 +1,62 @@
+#include "graph/token_graph.hpp"
+
+namespace arb::graph {
+
+TokenId TokenGraph::add_token(std::string symbol) {
+  const TokenId id{static_cast<TokenId::underlying_type>(symbols_.size())};
+  symbols_.push_back(std::move(symbol));
+  adjacency_.emplace_back();
+  return id;
+}
+
+PoolId TokenGraph::add_pool(TokenId token0, TokenId token1, Amount reserve0,
+                            Amount reserve1, double fee) {
+  ARB_REQUIRE(token0.value() < symbols_.size() &&
+                  token1.value() < symbols_.size(),
+              "pool references unknown token");
+  const PoolId id{static_cast<PoolId::underlying_type>(pools_.size())};
+  pools_.emplace_back(id, token0, token1, reserve0, reserve1, fee);
+  adjacency_[token0.value()].push_back(id);
+  adjacency_[token1.value()].push_back(id);
+  return id;
+}
+
+const std::string& TokenGraph::symbol(TokenId token) const {
+  ARB_REQUIRE(token.value() < symbols_.size(), "unknown token");
+  return symbols_[token.value()];
+}
+
+const amm::CpmmPool& TokenGraph::pool(PoolId id) const {
+  ARB_REQUIRE(id.value() < pools_.size(), "unknown pool");
+  return pools_[id.value()];
+}
+
+amm::CpmmPool& TokenGraph::mutable_pool(PoolId id) {
+  ARB_REQUIRE(id.value() < pools_.size(), "unknown pool");
+  return pools_[id.value()];
+}
+
+const std::vector<PoolId>& TokenGraph::pools_of(TokenId token) const {
+  ARB_REQUIRE(token.value() < adjacency_.size(), "unknown token");
+  return adjacency_[token.value()];
+}
+
+std::vector<TokenId> TokenGraph::tokens() const {
+  std::vector<TokenId> out;
+  out.reserve(symbols_.size());
+  for (std::size_t i = 0; i < symbols_.size(); ++i) {
+    out.emplace_back(static_cast<TokenId::underlying_type>(i));
+  }
+  return out;
+}
+
+Result<TokenId> TokenGraph::find_token(const std::string& symbol) const {
+  for (std::size_t i = 0; i < symbols_.size(); ++i) {
+    if (symbols_[i] == symbol) {
+      return TokenId{static_cast<TokenId::underlying_type>(i)};
+    }
+  }
+  return make_error(ErrorCode::kNotFound, "token symbol '" + symbol + "'");
+}
+
+}  // namespace arb::graph

@@ -1,0 +1,55 @@
+#pragma once
+
+/// \file token_graph.hpp
+/// The token exchange graph: tokens are nodes, liquidity pools are edges
+/// (a multigraph — nothing prevents two venues from listing the same
+/// pair). Owns the pool state; everything downstream references pools by
+/// PoolId through this class.
+
+#include <string>
+#include <vector>
+
+#include "amm/pool.hpp"
+#include "common/result.hpp"
+#include "common/types.hpp"
+
+namespace arb::graph {
+
+class TokenGraph {
+ public:
+  TokenGraph() = default;
+
+  /// Registers a token. Symbols need not be unique (they are labels).
+  TokenId add_token(std::string symbol);
+
+  /// Registers a pool between two previously added tokens.
+  /// Preconditions: valid distinct tokens, positive reserves, fee ∈ [0,1).
+  PoolId add_pool(TokenId token0, TokenId token1, Amount reserve0,
+                  Amount reserve1, double fee = kUniswapV2Fee);
+
+  [[nodiscard]] std::size_t token_count() const { return symbols_.size(); }
+  [[nodiscard]] std::size_t pool_count() const { return pools_.size(); }
+
+  [[nodiscard]] const std::string& symbol(TokenId token) const;
+  [[nodiscard]] const amm::CpmmPool& pool(PoolId id) const;
+  [[nodiscard]] amm::CpmmPool& mutable_pool(PoolId id);
+  [[nodiscard]] const std::vector<amm::CpmmPool>& pools() const {
+    return pools_;
+  }
+
+  /// Pools adjacent to a token.
+  [[nodiscard]] const std::vector<PoolId>& pools_of(TokenId token) const;
+
+  /// All token ids (dense, insertion order).
+  [[nodiscard]] std::vector<TokenId> tokens() const;
+
+  /// Looks a token up by symbol (first match).
+  [[nodiscard]] Result<TokenId> find_token(const std::string& symbol) const;
+
+ private:
+  std::vector<std::string> symbols_;
+  std::vector<amm::CpmmPool> pools_;
+  std::vector<std::vector<PoolId>> adjacency_;
+};
+
+}  // namespace arb::graph

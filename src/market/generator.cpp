@@ -1,0 +1,132 @@
+#include "market/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/logging.hpp"
+#include "common/rng.hpp"
+
+namespace arb::market {
+namespace {
+
+using TokenPair = std::pair<std::uint32_t, std::uint32_t>;
+
+TokenPair ordered(std::uint32_t a, std::uint32_t b) {
+  return a < b ? TokenPair{a, b} : TokenPair{b, a};
+}
+
+/// Builds the edge list: hub clique, two hub links per leaf, then uniform
+/// random pairs until pool_count unique pairs exist.
+std::vector<TokenPair> build_topology(const GeneratorConfig& config,
+                                      Rng& rng) {
+  const std::uint32_t n = static_cast<std::uint32_t>(config.token_count);
+  const std::uint32_t hubs = static_cast<std::uint32_t>(config.hub_count);
+  std::set<TokenPair> edges;
+
+  for (std::uint32_t a = 0; a < hubs; ++a) {
+    for (std::uint32_t b = a + 1; b < hubs; ++b) {
+      edges.insert({a, b});
+    }
+  }
+  for (std::uint32_t leaf = hubs; leaf < n; ++leaf) {
+    const std::uint32_t h1 = static_cast<std::uint32_t>(rng.index(hubs));
+    std::uint32_t h2 = static_cast<std::uint32_t>(rng.index(hubs));
+    while (h2 == h1) h2 = static_cast<std::uint32_t>(rng.index(hubs));
+    edges.insert(ordered(leaf, h1));
+    edges.insert(ordered(leaf, h2));
+  }
+  ARB_REQUIRE(edges.size() <= config.pool_count,
+              "pool_count too small for mandatory topology");
+
+  const std::size_t max_pairs = static_cast<std::size_t>(n) * (n - 1) / 2;
+  ARB_REQUIRE(config.pool_count <= max_pairs,
+              "pool_count exceeds number of distinct token pairs");
+  while (edges.size() < config.pool_count) {
+    const auto a = static_cast<std::uint32_t>(rng.index(n));
+    auto b = static_cast<std::uint32_t>(rng.index(n));
+    while (b == a) b = static_cast<std::uint32_t>(rng.index(n));
+    edges.insert(ordered(a, b));
+  }
+  return {edges.begin(), edges.end()};
+}
+
+}  // namespace
+
+MarketSnapshot generate_snapshot(const GeneratorConfig& config) {
+  ARB_REQUIRE(config.hub_count >= 2 && config.token_count >= config.hub_count,
+              "need token_count >= hub_count >= 2");
+  ARB_REQUIRE(config.min_price_usd > 0.0 &&
+                  config.max_price_usd > config.min_price_usd,
+              "invalid price range");
+  Rng rng(config.seed);
+
+  MarketSnapshot snapshot;
+  snapshot.label = "synthetic seed=" + std::to_string(config.seed);
+
+  // Tokens and fundamental prices. Hubs get stable-coin-like fixed roles
+  // so the graph reads naturally in examples.
+  std::vector<double> fundamental(config.token_count);
+  for (std::size_t t = 0; t < config.token_count; ++t) {
+    const bool is_hub = t < config.hub_count;
+    const std::string symbol =
+        (is_hub ? "HUB" : "TKN") + std::to_string(t);
+    snapshot.graph.add_token(symbol);
+    fundamental[t] = std::exp(rng.uniform(std::log(config.min_price_usd),
+                                          std::log(config.max_price_usd)));
+  }
+
+  // CEX quotes: fundamental price with independent noise.
+  for (std::size_t t = 0; t < config.token_count; ++t) {
+    const double quote =
+        fundamental[t] * std::exp(rng.normal(0.0, config.cex_price_noise_sigma));
+    snapshot.prices.set_price(
+        TokenId{static_cast<TokenId::underlying_type>(t)}, quote);
+  }
+
+  const auto add_pool = [&](std::uint32_t a, std::uint32_t b, double tvl_usd) {
+    const double mispricing =
+        rng.normal(0.0, config.pool_price_noise_sigma);
+    // Value-balanced reserves with the mispricing split across both
+    // sides, so that r_b / r_a = (P_a / P_b) · exp(mispricing).
+    double reserve_a =
+        (tvl_usd / 2.0) / fundamental[a] * std::exp(-mispricing / 2.0);
+    double reserve_b =
+        (tvl_usd / 2.0) / fundamental[b] * std::exp(+mispricing / 2.0);
+    snapshot.graph.add_pool(TokenId{a}, TokenId{b}, reserve_a, reserve_b,
+                            config.fee);
+  };
+
+  for (const auto& [a, b] : build_topology(config, rng)) {
+    double tvl = std::exp(rng.normal(config.tvl_log_mean, config.tvl_log_sigma));
+    // Keep the main population above the paper's quality filter: enough
+    // TVL, and enough units on the expensive side.
+    const double price_cap = std::max(fundamental[a], fundamental[b]);
+    const double floor = std::max(
+        config.min_pool_tvl_usd,
+        2.2 * config.min_token_reserve * price_cap);
+    tvl = std::max(tvl, floor);
+    add_pool(a, b, tvl);
+  }
+
+  // Junk pools below the filter (tiny TVL between random pairs; pairs may
+  // duplicate existing ones — a filtered-out venue listing the same pair).
+  for (std::size_t j = 0; j < config.below_filter_pools; ++j) {
+    const auto a = static_cast<std::uint32_t>(rng.index(config.token_count));
+    auto b = static_cast<std::uint32_t>(rng.index(config.token_count));
+    while (b == a) b = static_cast<std::uint32_t>(rng.index(config.token_count));
+    const double tiny_tvl = rng.uniform(1'000.0, 0.8 * config.min_pool_tvl_usd);
+    add_pool(a, b, tiny_tvl);
+  }
+
+  ARB_LOG_INFO("generated snapshot: " << snapshot.graph.token_count()
+                                      << " tokens, "
+                                      << snapshot.graph.pool_count()
+                                      << " pools");
+  return snapshot;
+}
+
+}  // namespace arb::market

@@ -1,0 +1,71 @@
+#pragma once
+
+/// \file generator.hpp
+/// Synthetic Uniswap-V2 snapshot generator.
+///
+/// Stands in for the paper's on-chain snapshot (2023-09-01). The paper's
+/// filtered token graph had 51 tokens and 208 pools and contained 123
+/// length-3 arbitrage loops; the default configuration is calibrated to
+/// land on that scale. The generative model:
+///
+///  * each token t has a latent "fundamental" USD price P_t, log-uniform;
+///  * topology: a clique of high-degree hub tokens (the WETH/USDC/USDT/DAI
+///    role), every leaf wired to two hubs, remaining edges uniform — this
+///    reproduces the hub-and-spoke shape of real DEX graphs and supplies
+///    triangles;
+///  * each pool's TVL is log-normal (heavy tail, as observed on-chain),
+///    split half-and-half in value, and its internal price is the
+///    fundamental ratio perturbed by log-normal noise. The noise is what
+///    creates cyclic arbitrage;
+///  * the CEX feed quotes P_t with its own (smaller) noise, which is what
+///    makes the MaxPrice heuristic fallible (Fig. 6).
+///
+/// Everything is driven by one seed; identical config ⇒ identical market.
+
+#include <cstdint>
+
+#include "common/types.hpp"
+#include "market/snapshot.hpp"
+
+namespace arb::market {
+
+struct GeneratorConfig {
+  std::uint64_t seed = 20230901;  ///< paper snapshot date as default seed
+
+  std::size_t token_count = 51;
+  std::size_t pool_count = 208;
+  std::size_t hub_count = 4;
+
+  /// Fundamental price range (log-uniform), USD.
+  double min_price_usd = 0.01;
+  double max_price_usd = 3000.0;
+
+  /// Pool TVL distribution (log-normal), USD.
+  double tvl_log_mean = 12.3;   ///< exp(12.3) ≈ $220k median
+  double tvl_log_sigma = 1.0;
+
+  /// Per-pool log-price mispricing; the source of arbitrage loops.
+  /// 0.011 calibrates the default 51-token / 208-pool market to exactly
+  /// the paper's 123 length-3 arbitrage loops.
+  double pool_price_noise_sigma = 0.011;
+  /// CEX quote noise around the fundamental price.
+  double cex_price_noise_sigma = 0.01;
+
+  double fee = kUniswapV2Fee;
+
+  /// Generation-time floors keeping the main population above the
+  /// paper's quality filter.
+  double min_pool_tvl_usd = 35'000.0;
+  double min_token_reserve = 120.0;
+
+  /// Additional deliberately-junk pools (below the filter) appended to
+  /// exercise MarketSnapshot::filtered.
+  std::size_t below_filter_pools = 0;
+};
+
+/// Generates a snapshot. Preconditions: token_count >= hub_count >= 2,
+/// pool_count large enough for the mandatory topology (hub clique plus
+/// two hub links per leaf).
+[[nodiscard]] MarketSnapshot generate_snapshot(const GeneratorConfig& config);
+
+}  // namespace arb::market

@@ -1,0 +1,97 @@
+#include "market/io.hpp"
+
+#include <fstream>
+
+#include "common/csv.hpp"
+#include "common/strings.hpp"
+
+namespace arb::market {
+namespace {
+
+constexpr const char* kTokensFile = "/tokens.csv";
+constexpr const char* kPoolsFile = "/pools.csv";
+
+}  // namespace
+
+Status save_snapshot(const MarketSnapshot& snapshot, const std::string& dir) {
+  {
+    std::ofstream out(dir + kTokensFile);
+    if (!out) {
+      return make_error(ErrorCode::kIoError,
+                        "cannot write " + dir + kTokensFile);
+    }
+    CsvWriter csv(out);
+    csv.header({"token_id", "symbol", "cex_price_usd"});
+    for (const TokenId token : snapshot.graph.tokens()) {
+      const double price = snapshot.prices.has_price(token)
+                               ? snapshot.prices.price_unchecked(token)
+                               : 0.0;
+      csv.row(static_cast<std::size_t>(token.value()),
+              snapshot.graph.symbol(token), price);
+    }
+  }
+  {
+    std::ofstream out(dir + kPoolsFile);
+    if (!out) {
+      return make_error(ErrorCode::kIoError,
+                        "cannot write " + dir + kPoolsFile);
+    }
+    CsvWriter csv(out);
+    csv.header({"pool_id", "token0", "token1", "reserve0", "reserve1", "fee"});
+    for (const amm::CpmmPool& pool : snapshot.graph.pools()) {
+      csv.row(static_cast<std::size_t>(pool.id().value()),
+              static_cast<std::size_t>(pool.token0().value()),
+              static_cast<std::size_t>(pool.token1().value()),
+              pool.reserve0(), pool.reserve1(), pool.fee());
+    }
+  }
+  return Status::success();
+}
+
+Result<MarketSnapshot> load_snapshot(const std::string& dir) {
+  auto tokens = read_csv_file(dir + kTokensFile);
+  if (!tokens) return tokens.error();
+  auto pools = read_csv_file(dir + kPoolsFile);
+  if (!pools) return pools.error();
+
+  MarketSnapshot snapshot;
+  snapshot.label = "loaded from " + dir;
+
+  const std::size_t symbol_col = tokens->column_index("symbol");
+  const std::size_t price_col = tokens->column_index("cex_price_usd");
+  for (const auto& row : tokens->rows) {
+    const TokenId id = snapshot.graph.add_token(row[symbol_col]);
+    auto price = parse_double(row[price_col]);
+    if (!price) return price.error();
+    if (*price > 0.0) snapshot.prices.set_price(id, *price);
+  }
+
+  const std::size_t t0_col = pools->column_index("token0");
+  const std::size_t t1_col = pools->column_index("token1");
+  const std::size_t r0_col = pools->column_index("reserve0");
+  const std::size_t r1_col = pools->column_index("reserve1");
+  const std::size_t fee_col = pools->column_index("fee");
+  for (const auto& row : pools->rows) {
+    auto t0 = parse_u64(row[t0_col]);
+    auto t1 = parse_u64(row[t1_col]);
+    auto r0 = parse_double(row[r0_col]);
+    auto r1 = parse_double(row[r1_col]);
+    auto fee = parse_double(row[fee_col]);
+    if (!t0) return t0.error();
+    if (!t1) return t1.error();
+    if (!r0) return r0.error();
+    if (!r1) return r1.error();
+    if (!fee) return fee.error();
+    if (*t0 >= snapshot.graph.token_count() ||
+        *t1 >= snapshot.graph.token_count()) {
+      return make_error(ErrorCode::kParseError,
+                        "pool references unknown token id");
+    }
+    snapshot.graph.add_pool(
+        TokenId{static_cast<TokenId::underlying_type>(*t0)},
+        TokenId{static_cast<TokenId::underlying_type>(*t1)}, *r0, *r1, *fee);
+  }
+  return snapshot;
+}
+
+}  // namespace arb::market

@@ -1,0 +1,22 @@
+#pragma once
+
+/// \file io.hpp
+/// Snapshot persistence: tokens.csv (id, symbol, cex_price_usd) and
+/// pools.csv (id, token0, token1, reserve0, reserve1, fee) in a
+/// directory. Round-trips exactly (doubles serialized shortest-exact).
+
+#include <string>
+
+#include "common/result.hpp"
+#include "market/snapshot.hpp"
+
+namespace arb::market {
+
+/// Writes <dir>/tokens.csv and <dir>/pools.csv (directory must exist).
+[[nodiscard]] Status save_snapshot(const MarketSnapshot& snapshot,
+                                   const std::string& dir);
+
+/// Reads a snapshot previously written by save_snapshot.
+[[nodiscard]] Result<MarketSnapshot> load_snapshot(const std::string& dir);
+
+}  // namespace arb::market

@@ -1,0 +1,36 @@
+#include "market/price_feed.hpp"
+
+#include "common/error.hpp"
+
+namespace arb::market {
+
+void CexPriceFeed::set_price(TokenId token, UsdPrice price) {
+  ARB_REQUIRE(token.valid(), "invalid token id");
+  ARB_REQUIRE(price > 0.0, "price must be positive");
+  prices_[token] = price;
+}
+
+bool CexPriceFeed::has_price(TokenId token) const {
+  return prices_.find(token) != prices_.end();
+}
+
+Result<UsdPrice> CexPriceFeed::price(TokenId token) const {
+  const auto it = prices_.find(token);
+  if (it == prices_.end()) {
+    return make_error(ErrorCode::kNotFound,
+                      "no CEX price for " + to_string(token));
+  }
+  return it->second;
+}
+
+UsdPrice CexPriceFeed::price_unchecked(TokenId token) const {
+  const auto it = prices_.find(token);
+  ARB_REQUIRE(it != prices_.end(), "no CEX price for " + to_string(token));
+  return it->second;
+}
+
+double CexPriceFeed::value_usd(TokenId token, Amount amount) const {
+  return price_unchecked(token) * amount;
+}
+
+}  // namespace arb::market

@@ -1,0 +1,44 @@
+#pragma once
+
+/// \file price_feed.hpp
+/// CEX (centralized exchange) USD price quotes per token.
+///
+/// The paper monetizes on-chain arbitrage profit with Binance prices
+/// fetched from CoinGecko. This library has no network access, so the
+/// feed is an explicit in-memory map filled either by the synthetic
+/// snapshot generator or from a CSV file; the strategies only ever see
+/// this interface.
+
+#include <unordered_map>
+
+#include "common/result.hpp"
+#include "common/types.hpp"
+
+namespace arb::market {
+
+class CexPriceFeed {
+ public:
+  CexPriceFeed() = default;
+
+  /// Sets (or replaces) a token's USD price. Precondition: price > 0.
+  void set_price(TokenId token, UsdPrice price);
+
+  [[nodiscard]] bool has_price(TokenId token) const;
+
+  /// Quoted price. Fails with kNotFound for unknown tokens.
+  [[nodiscard]] Result<UsdPrice> price(TokenId token) const;
+
+  /// Quoted price with a precondition instead of a Result (for hot loops
+  /// where the caller has already validated coverage).
+  [[nodiscard]] UsdPrice price_unchecked(TokenId token) const;
+
+  [[nodiscard]] std::size_t size() const { return prices_.size(); }
+
+  /// USD value of an amount of a token. Precondition: price known.
+  [[nodiscard]] double value_usd(TokenId token, Amount amount) const;
+
+ private:
+  std::unordered_map<TokenId, UsdPrice> prices_;
+};
+
+}  // namespace arb::market

@@ -1,0 +1,66 @@
+#include "market/price_process.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace arb::market {
+
+PriceProcess::PriceProcess(const MarketSnapshot& snapshot,
+                           PriceProcessConfig config, std::uint64_t seed)
+    : config_(config), rng_(seed) {
+  ARB_REQUIRE(config.pool_tracking >= 0.0 && config.pool_tracking <= 1.0,
+              "pool_tracking must be in [0, 1]");
+  ARB_REQUIRE(config.volatility >= 0.0 && config.pool_noise >= 0.0 &&
+                  config.cex_noise >= 0.0,
+              "noise parameters must be non-negative");
+  fundamentals_.reserve(snapshot.graph.token_count());
+  for (const TokenId token : snapshot.graph.tokens()) {
+    fundamentals_.push_back(snapshot.prices.price_unchecked(token));
+  }
+}
+
+double PriceProcess::fundamental(TokenId token) const {
+  ARB_REQUIRE(token.value() < fundamentals_.size(), "unknown token");
+  return fundamentals_[token.value()];
+}
+
+void PriceProcess::step(MarketSnapshot& snapshot) {
+  ARB_REQUIRE(snapshot.graph.token_count() == fundamentals_.size(),
+              "snapshot token count changed under the process");
+  ++blocks_;
+
+  // 1. Fundamentals follow GBM.
+  for (double& price : fundamentals_) {
+    price *= std::exp(config_.drift +
+                      config_.volatility * rng_.normal());
+  }
+
+  // 2. Retail flow drags each pool toward its fundamental ratio, plus
+  //    idiosyncratic noise; k is preserved by the (r0·s, r1/s) move.
+  for (const amm::CpmmPool& pool : snapshot.graph.pools()) {
+    const double fundamental_ratio =
+        fundamentals_[pool.token0().value()] /
+        fundamentals_[pool.token1().value()];
+    // Pool-implied price of token0 in token1 units: r1/r0.
+    const double pool_ratio = pool.reserve1() / pool.reserve0();
+    const double gap = std::log(fundamental_ratio) - std::log(pool_ratio);
+    const double shift = config_.pool_tracking * gap +
+                         config_.pool_noise * rng_.normal();
+    // Scaling (r0/s, r1·s) multiplies r1/r0 by s²; solve s for `shift`.
+    const double s = std::exp(shift / 2.0);
+    amm::CpmmPool& mutable_pool = snapshot.graph.mutable_pool(pool.id());
+    mutable_pool =
+        amm::CpmmPool(pool.id(), pool.token0(), pool.token1(),
+                      pool.reserve0() / s, pool.reserve1() * s, pool.fee());
+  }
+
+  // 3. CEX re-quotes fundamentals with noise.
+  for (const TokenId token : snapshot.graph.tokens()) {
+    snapshot.prices.set_price(
+        token, fundamentals_[token.value()] *
+                   std::exp(config_.cex_noise * rng_.normal()));
+  }
+}
+
+}  // namespace arb::market

@@ -1,0 +1,58 @@
+#pragma once
+
+/// \file price_process.hpp
+/// A block-by-block market dynamics model for multi-block simulations.
+///
+/// Each token's fundamental USD price follows geometric Brownian motion;
+/// each block, "retail flow" trades every pool part-way toward its
+/// fundamental ratio (pools lag, which keeps creating the transient
+/// mispricings arbitrage loops live on), plus idiosyncratic noise. The
+/// CEX feed re-quotes fundamentals with its own noise. All constant-
+/// product invariants are preserved: flow moves a pool by scaling
+/// reserves (r0·s, r1/s), which changes price but not k.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "market/snapshot.hpp"
+
+namespace arb::market {
+
+struct PriceProcessConfig {
+  /// Per-block GBM drift and volatility of fundamentals (log-space).
+  double drift = 0.0;
+  double volatility = 0.005;
+  /// Fraction of each pool's log-gap to fundamentals closed per block by
+  /// retail flow (0 = pools never track, 1 = instant tracking).
+  double pool_tracking = 0.35;
+  /// Idiosyncratic per-pool log-price noise per block.
+  double pool_noise = 0.008;
+  /// CEX quote noise around fundamentals.
+  double cex_noise = 0.002;
+};
+
+/// Evolves a snapshot block by block. Owns the fundamentals; the caller
+/// owns the snapshot and passes it in for each step.
+class PriceProcess {
+ public:
+  /// Initializes fundamentals from the snapshot's CEX quotes.
+  /// Precondition: every token has a CEX price.
+  PriceProcess(const MarketSnapshot& snapshot, PriceProcessConfig config,
+               std::uint64_t seed);
+
+  /// Advances one block: moves fundamentals (GBM), applies retail flow
+  /// and noise to every pool, and re-quotes the CEX feed.
+  void step(MarketSnapshot& snapshot);
+
+  [[nodiscard]] double fundamental(TokenId token) const;
+  [[nodiscard]] std::size_t blocks_elapsed() const { return blocks_; }
+
+ private:
+  PriceProcessConfig config_;
+  Rng rng_;
+  std::vector<double> fundamentals_;
+  std::size_t blocks_ = 0;
+};
+
+}  // namespace arb::market

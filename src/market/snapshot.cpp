@@ -1,0 +1,51 @@
+#include "market/snapshot.hpp"
+
+#include <unordered_map>
+
+namespace arb::market {
+
+double MarketSnapshot::pool_tvl_usd(PoolId id) const {
+  const amm::CpmmPool& pool = graph.pool(id);
+  double tvl = 0.0;
+  for (const TokenId token : {pool.token0(), pool.token1()}) {
+    if (prices.has_price(token)) {
+      tvl += prices.value_usd(token, pool.reserve_of(token));
+    }
+  }
+  return tvl;
+}
+
+bool MarketSnapshot::pool_passes(PoolId id, const PoolFilter& filter) const {
+  const amm::CpmmPool& pool = graph.pool(id);
+  if (pool.reserve0() < filter.min_token_reserve ||
+      pool.reserve1() < filter.min_token_reserve) {
+    return false;
+  }
+  return pool_tvl_usd(id) >= filter.min_tvl_usd;
+}
+
+MarketSnapshot MarketSnapshot::filtered(const PoolFilter& filter) const {
+  MarketSnapshot out;
+  out.label = label + " [filtered]";
+  std::unordered_map<TokenId, TokenId> remap;
+
+  const auto remap_token = [&](TokenId old_id) {
+    const auto it = remap.find(old_id);
+    if (it != remap.end()) return it->second;
+    const TokenId new_id = out.graph.add_token(graph.symbol(old_id));
+    if (prices.has_price(old_id)) {
+      out.prices.set_price(new_id, prices.price_unchecked(old_id));
+    }
+    remap.emplace(old_id, new_id);
+    return new_id;
+  };
+
+  for (const amm::CpmmPool& pool : graph.pools()) {
+    if (!pool_passes(pool.id(), filter)) continue;
+    out.graph.add_pool(remap_token(pool.token0()), remap_token(pool.token1()),
+                       pool.reserve0(), pool.reserve1(), pool.fee());
+  }
+  return out;
+}
+
+}  // namespace arb::market

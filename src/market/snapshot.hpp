@@ -1,0 +1,38 @@
+#pragma once
+
+/// \file snapshot.hpp
+/// A market snapshot: the token graph (pool reserves) plus the CEX price
+/// feed at one instant, with the paper's pool-quality filter.
+
+#include <string>
+
+#include "graph/token_graph.hpp"
+#include "market/price_feed.hpp"
+
+namespace arb::market {
+
+/// The pool-quality filter the paper applies to the 2023-09-01 Uniswap V2
+/// snapshot: keep pools whose TVL exceeds $30k and where each side holds
+/// more than 100 token units.
+struct PoolFilter {
+  double min_tvl_usd = 30'000.0;
+  double min_token_reserve = 100.0;
+};
+
+struct MarketSnapshot {
+  graph::TokenGraph graph;
+  CexPriceFeed prices;
+  std::string label;  ///< provenance, e.g. "synthetic seed=42"
+
+  /// TVL of a pool valued at CEX prices (both sides).
+  [[nodiscard]] double pool_tvl_usd(PoolId id) const;
+
+  /// True iff the pool passes the filter.
+  [[nodiscard]] bool pool_passes(PoolId id, const PoolFilter& filter) const;
+
+  /// A new snapshot containing only passing pools and the tokens they
+  /// touch (token ids are re-numbered densely; symbols preserved).
+  [[nodiscard]] MarketSnapshot filtered(const PoolFilter& filter) const;
+};
+
+}  // namespace arb::market

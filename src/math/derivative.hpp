@@ -1,0 +1,27 @@
+#pragma once
+
+/// \file derivative.hpp
+/// Numeric differentiation helpers, used for cross-checking analytic
+/// gradients in tests and for the bisection condition d out/d in = 1 when
+/// only a black-box path function is available.
+
+#include <cmath>
+#include <functional>
+
+namespace arb::math {
+
+/// Central-difference first derivative with relative step.
+[[nodiscard]] inline double central_derivative(
+    const std::function<double(double)>& fn, double x, double step = 0.0) {
+  const double h = step > 0.0 ? step : std::max(1e-7, std::abs(x) * 1e-7);
+  return (fn(x + h) - fn(x - h)) / (2.0 * h);
+}
+
+/// Central-difference second derivative.
+[[nodiscard]] inline double central_second_derivative(
+    const std::function<double(double)>& fn, double x, double step = 0.0) {
+  const double h = step > 0.0 ? step : std::max(1e-5, std::abs(x) * 1e-5);
+  return (fn(x + h) - 2.0 * fn(x) + fn(x - h)) / (h * h);
+}
+
+}  // namespace arb::math

@@ -1,0 +1,53 @@
+#pragma once
+
+/// \file dual.hpp
+/// Forward-mode automatic differentiation with dual numbers.
+///
+/// The swap composition out = F(F(...F(Δ)...)) is differentiated exactly
+/// by evaluating it on Dual values; the traditional-strategy optimizer
+/// uses this to get machine-precision marginal returns without resorting
+/// to finite differences.
+
+#include <cmath>
+
+namespace arb::math {
+
+/// value + derivative pair: f(a + ε) = f(a) + f'(a)·ε with ε² = 0.
+struct Dual {
+  double value = 0.0;
+  double deriv = 0.0;
+
+  constexpr Dual() = default;
+  constexpr Dual(double v) : value(v) {}  // NOLINT(implicit): constants
+  constexpr Dual(double v, double d) : value(v), deriv(d) {}
+
+  /// The independent variable: derivative seeded to 1.
+  [[nodiscard]] static constexpr Dual variable(double v) { return {v, 1.0}; }
+};
+
+constexpr Dual operator+(Dual a, Dual b) {
+  return {a.value + b.value, a.deriv + b.deriv};
+}
+constexpr Dual operator-(Dual a, Dual b) {
+  return {a.value - b.value, a.deriv - b.deriv};
+}
+constexpr Dual operator-(Dual a) { return {-a.value, -a.deriv}; }
+constexpr Dual operator*(Dual a, Dual b) {
+  return {a.value * b.value, a.deriv * b.value + a.value * b.deriv};
+}
+constexpr Dual operator/(Dual a, Dual b) {
+  const double inv = 1.0 / b.value;
+  return {a.value * inv, (a.deriv - a.value * b.deriv * inv) * inv};
+}
+
+inline Dual sqrt(Dual a) {
+  const double root = std::sqrt(a.value);
+  return {root, a.deriv / (2.0 * root)};
+}
+inline Dual log(Dual a) { return {std::log(a.value), a.deriv / a.value}; }
+inline Dual exp(Dual a) {
+  const double e = std::exp(a.value);
+  return {e, a.deriv * e};
+}
+
+}  // namespace arb::math

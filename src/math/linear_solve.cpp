@@ -1,0 +1,130 @@
+#include "math/linear_solve.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace arb::math {
+
+Result<Matrix> cholesky_factor(const Matrix& a) {
+  ARB_REQUIRE(a.rows() == a.cols(), "Cholesky requires square matrix");
+  const std::size_t n = a.rows();
+  Matrix l(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    double diag = a(j, j);
+    for (std::size_t k = 0; k < j; ++k) diag -= l(j, k) * l(j, k);
+    if (!(diag > 0.0) || !std::isfinite(diag)) {
+      return make_error(ErrorCode::kNumericFailure,
+                        "matrix not positive definite at pivot " +
+                            std::to_string(j));
+    }
+    l(j, j) = std::sqrt(diag);
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double acc = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) acc -= l(i, k) * l(j, k);
+      l(i, j) = acc / l(j, j);
+    }
+  }
+  return l;
+}
+
+Result<Vector> cholesky_solve(const Matrix& a, const Vector& b) {
+  ARB_REQUIRE(a.rows() == b.size(), "shape mismatch in cholesky_solve");
+  auto factor = cholesky_factor(a);
+  if (!factor) return factor.error();
+  const Matrix& l = *factor;
+  const std::size_t n = b.size();
+
+  // Forward substitution: L y = b.
+  Vector y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = b[i];
+    for (std::size_t k = 0; k < i; ++k) acc -= l(i, k) * y[k];
+    y[i] = acc / l(i, i);
+  }
+  // Back substitution: Lᵀ x = y.
+  Vector x(n);
+  for (std::size_t ii = n; ii > 0; --ii) {
+    const std::size_t i = ii - 1;
+    double acc = y[i];
+    for (std::size_t k = i + 1; k < n; ++k) acc -= l(k, i) * x[k];
+    x[i] = acc / l(i, i);
+  }
+  return x;
+}
+
+Result<Vector> lu_solve(const Matrix& a, const Vector& b) {
+  ARB_REQUIRE(a.rows() == a.cols(), "lu_solve requires square matrix");
+  ARB_REQUIRE(a.rows() == b.size(), "shape mismatch in lu_solve");
+  const std::size_t n = a.rows();
+  Matrix lu = a;
+  Vector x = b;
+  std::vector<std::size_t> perm(n);
+  for (std::size_t i = 0; i < n; ++i) perm[i] = i;
+
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivot.
+    std::size_t pivot = col;
+    double best = std::abs(lu(col, col));
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double mag = std::abs(lu(r, col));
+      if (mag > best) {
+        best = mag;
+        pivot = r;
+      }
+    }
+    if (!(best > 0.0) || !std::isfinite(best)) {
+      return make_error(ErrorCode::kNumericFailure,
+                        "singular matrix in lu_solve at column " +
+                            std::to_string(col));
+    }
+    if (pivot != col) {
+      for (std::size_t c = 0; c < n; ++c) std::swap(lu(col, c), lu(pivot, c));
+      std::swap(x[col], x[pivot]);
+    }
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double factor = lu(r, col) / lu(col, col);
+      lu(r, col) = factor;
+      for (std::size_t c = col + 1; c < n; ++c) {
+        lu(r, c) -= factor * lu(col, c);
+      }
+      x[r] -= factor * x[col];
+    }
+  }
+  // Back substitution on U.
+  for (std::size_t ii = n; ii > 0; --ii) {
+    const std::size_t i = ii - 1;
+    double acc = x[i];
+    for (std::size_t c = i + 1; c < n; ++c) acc -= lu(i, c) * x[c];
+    x[i] = acc / lu(i, i);
+  }
+  return x;
+}
+
+Result<Vector> regularized_spd_solve(const Matrix& a, const Vector& b,
+                                     double initial_tau, int max_attempts) {
+  auto direct = cholesky_solve(a, b);
+  if (direct) return direct;
+  // Scale the shift to the matrix: an absolute tau is meaningless when
+  // diagonal entries are 1e20 (barrier Hessians at large t) or 1e-12.
+  double diag_scale = 0.0;
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    diag_scale = std::max(diag_scale, std::abs(a(i, i)));
+  }
+  if (!(diag_scale > 0.0) || !std::isfinite(diag_scale)) diag_scale = 1.0;
+  double tau = initial_tau * diag_scale;
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    Matrix shifted = a;
+    for (std::size_t i = 0; i < a.rows(); ++i) shifted(i, i) += tau;
+    auto solved = cholesky_solve(shifted, b);
+    if (solved) return solved;
+    tau *= 10.0;
+  }
+  return make_error(ErrorCode::kNumericFailure,
+                    "regularized_spd_solve failed even with relative tau " +
+                        std::to_string(initial_tau) + " * 10^" +
+                        std::to_string(max_attempts) + " * diag " +
+                        std::to_string(diag_scale));
+}
+
+}  // namespace arb::math

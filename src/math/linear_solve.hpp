@@ -1,0 +1,35 @@
+#pragma once
+
+/// \file linear_solve.hpp
+/// Direct solvers for the small dense systems arising in the Newton steps
+/// of the barrier interior-point method.
+
+#include "common/result.hpp"
+#include "math/matrix.hpp"
+#include "math/vector.hpp"
+
+namespace arb::math {
+
+/// Cholesky factor (lower-triangular L with A = L Lᵀ) of a symmetric
+/// positive-definite matrix. Fails with kNumericFailure if A is not
+/// (numerically) positive definite.
+[[nodiscard]] Result<Matrix> cholesky_factor(const Matrix& a);
+
+/// Solves A x = b via Cholesky. Precondition: A symmetric; fails if not
+/// positive definite.
+[[nodiscard]] Result<Vector> cholesky_solve(const Matrix& a, const Vector& b);
+
+/// Solves A x = b via LU with partial pivoting. Works for any invertible
+/// square A; fails with kNumericFailure on (near-)singularity.
+[[nodiscard]] Result<Vector> lu_solve(const Matrix& a, const Vector& b);
+
+/// Solves the symmetric positive-definite system with a Tikhonov fallback:
+/// tries plain Cholesky first, then A + τI with growing τ. Used by the
+/// Newton loop when the Hessian is only positive semi-definite at the
+/// boundary of the feasible region.
+[[nodiscard]] Result<Vector> regularized_spd_solve(const Matrix& a,
+                                                   const Vector& b,
+                                                   double initial_tau = 1e-10,
+                                                   int max_attempts = 20);
+
+}  // namespace arb::math

@@ -1,0 +1,50 @@
+#pragma once
+
+/// \file matrix.hpp
+/// Dense row-major matrix companion to math::Vector.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "math/vector.hpp"
+
+namespace arb::math {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  [[nodiscard]] static Matrix identity(std::size_t n);
+  /// Builds diag(d).
+  [[nodiscard]] static Matrix diagonal(const Vector& d);
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+
+  [[nodiscard]] double& operator()(std::size_t r, std::size_t c);
+  [[nodiscard]] double operator()(std::size_t r, std::size_t c) const;
+
+  Matrix& operator+=(const Matrix& rhs);
+  Matrix& operator*=(double scalar);
+  friend Matrix operator+(Matrix lhs, const Matrix& rhs);
+  friend Matrix operator*(double scalar, Matrix m);
+
+  [[nodiscard]] Matrix transposed() const;
+  [[nodiscard]] Vector multiply(const Vector& v) const;
+  [[nodiscard]] Matrix multiply(const Matrix& rhs) const;
+
+  /// Rank-1 update: *this += scale * u v^T.
+  void add_outer_product(const Vector& u, const Vector& v, double scale);
+
+  [[nodiscard]] bool all_finite() const;
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace arb::math

@@ -1,0 +1,191 @@
+#include "math/scalar_solve.hpp"
+
+#include <cmath>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace arb::math {
+namespace {
+
+bool opposite_signs(double a, double b) {
+  return (a <= 0.0 && b >= 0.0) || (a >= 0.0 && b <= 0.0);
+}
+
+}  // namespace
+
+Result<ScalarSolveReport> bisect_root(const ScalarFn& fn, double lo, double hi,
+                                      const ScalarSolveOptions& options) {
+  ARB_REQUIRE(lo <= hi, "bisect_root requires lo <= hi");
+  double f_lo = fn(lo);
+  double f_hi = fn(hi);
+  if (!opposite_signs(f_lo, f_hi)) {
+    return make_error(ErrorCode::kInvalidArgument,
+                      "bisect_root: no sign change on bracket");
+  }
+  ScalarSolveReport report;
+  if (f_lo == 0.0) {
+    report = {lo, 0.0, 0, true};
+    return report;
+  }
+  if (f_hi == 0.0) {
+    report = {hi, 0.0, 0, true};
+    return report;
+  }
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    const double f_mid = fn(mid);
+    report.iterations = iter + 1;
+    if (std::abs(f_mid) <= options.f_tolerance ||
+        (hi - lo) * 0.5 <= options.x_tolerance) {
+      report.x = mid;
+      report.f = f_mid;
+      report.converged = true;
+      return report;
+    }
+    if (opposite_signs(f_lo, f_mid)) {
+      hi = mid;
+      f_hi = f_mid;
+    } else {
+      lo = mid;
+      f_lo = f_mid;
+    }
+  }
+  report.x = 0.5 * (lo + hi);
+  report.f = fn(report.x);
+  report.converged = std::abs(report.f) <= options.f_tolerance * 1e3;
+  return report;
+}
+
+Result<ScalarSolveReport> brent_root(const ScalarFn& fn, double lo, double hi,
+                                     const ScalarSolveOptions& options) {
+  ARB_REQUIRE(lo <= hi, "brent_root requires lo <= hi");
+  double a = lo;
+  double b = hi;
+  double fa = fn(a);
+  double fb = fn(b);
+  if (!opposite_signs(fa, fb)) {
+    return make_error(ErrorCode::kInvalidArgument,
+                      "brent_root: no sign change on bracket");
+  }
+  if (std::abs(fa) < std::abs(fb)) {
+    std::swap(a, b);
+    std::swap(fa, fb);
+  }
+  double c = a;
+  double fc = fa;
+  bool used_bisection = true;
+  double d = 0.0;  // previous-previous b (only read after first iteration)
+
+  ScalarSolveReport report;
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    report.iterations = iter + 1;
+    if (std::abs(fb) <= options.f_tolerance ||
+        std::abs(b - a) <= options.x_tolerance) {
+      report.x = b;
+      report.f = fb;
+      report.converged = true;
+      return report;
+    }
+    double s;
+    if (fa != fc && fb != fc) {
+      // Inverse quadratic interpolation.
+      s = a * fb * fc / ((fa - fb) * (fa - fc)) +
+          b * fa * fc / ((fb - fa) * (fb - fc)) +
+          c * fa * fb / ((fc - fa) * (fc - fb));
+    } else {
+      // Secant.
+      s = b - fb * (b - a) / (fb - fa);
+    }
+    const double mid = (3.0 * a + b) / 4.0;
+    const double lo_guard = std::min(mid, b);
+    const double hi_guard = std::max(mid, b);
+    const bool out_of_range = s < lo_guard || s > hi_guard;
+    const bool slow_interp =
+        (used_bisection && std::abs(s - b) >= std::abs(b - c) / 2.0) ||
+        (!used_bisection && std::abs(s - b) >= std::abs(c - d) / 2.0);
+    if (out_of_range || slow_interp) {
+      s = 0.5 * (a + b);
+      used_bisection = true;
+    } else {
+      used_bisection = false;
+    }
+    const double fs = fn(s);
+    d = c;
+    c = b;
+    fc = fb;
+    if (opposite_signs(fa, fs)) {
+      b = s;
+      fb = fs;
+    } else {
+      a = s;
+      fa = fs;
+    }
+    if (std::abs(fa) < std::abs(fb)) {
+      std::swap(a, b);
+      std::swap(fa, fb);
+    }
+  }
+  report.x = b;
+  report.f = fb;
+  report.converged = std::abs(fb) <= options.f_tolerance * 1e3;
+  return report;
+}
+
+ScalarSolveReport golden_section_maximize(const ScalarFn& fn, double lo,
+                                          double hi,
+                                          const ScalarSolveOptions& options) {
+  ARB_REQUIRE(lo <= hi, "golden_section_maximize requires lo <= hi");
+  constexpr double kInvPhi = 0.6180339887498949;  // 1/phi
+  double a = lo;
+  double b = hi;
+  double x1 = b - kInvPhi * (b - a);
+  double x2 = a + kInvPhi * (b - a);
+  double f1 = fn(x1);
+  double f2 = fn(x2);
+  ScalarSolveReport report;
+  int iter = 0;
+  while (iter < options.max_iterations && (b - a) > options.x_tolerance) {
+    ++iter;
+    if (f1 < f2) {
+      a = x1;
+      x1 = x2;
+      f1 = f2;
+      x2 = a + kInvPhi * (b - a);
+      f2 = fn(x2);
+    } else {
+      b = x2;
+      x2 = x1;
+      f2 = f1;
+      x1 = b - kInvPhi * (b - a);
+      f1 = fn(x1);
+    }
+  }
+  report.iterations = iter;
+  report.x = 0.5 * (a + b);
+  report.f = fn(report.x);
+  report.converged = (b - a) <= options.x_tolerance * 4.0;
+  return report;
+}
+
+Result<std::pair<double, double>> expand_bracket_right(const ScalarFn& fn,
+                                                       double lo,
+                                                       double initial_width,
+                                                       double max_hi,
+                                                       double growth) {
+  ARB_REQUIRE(initial_width > 0.0, "initial_width must be positive");
+  ARB_REQUIRE(growth > 1.0, "growth must exceed 1");
+  const double f_lo = fn(lo);
+  double hi = lo + initial_width;
+  while (hi <= max_hi) {
+    const double f_hi = fn(hi);
+    if (opposite_signs(f_lo, f_hi)) {
+      return std::make_pair(lo, hi);
+    }
+    hi = lo + (hi - lo) * growth;
+  }
+  return make_error(ErrorCode::kNumericFailure,
+                    "expand_bracket_right: no sign change before max_hi");
+}
+
+}  // namespace arb::math

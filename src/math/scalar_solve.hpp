@@ -1,0 +1,56 @@
+#pragma once
+
+/// \file scalar_solve.hpp
+/// One-dimensional root finding and maximization. These are the paper's
+/// workhorses: the traditional/MaxMax strategies find the optimal input by
+/// bisection on the marginal-return condition d out/d in = 1.
+
+#include <functional>
+
+#include "common/result.hpp"
+
+namespace arb::math {
+
+/// Options shared by the scalar solvers.
+struct ScalarSolveOptions {
+  double x_tolerance = 1e-12;   ///< absolute bracket width to stop at
+  double f_tolerance = 1e-12;   ///< |f| small enough to accept
+  int max_iterations = 200;
+};
+
+struct ScalarSolveReport {
+  double x = 0.0;        ///< solution abscissa
+  double f = 0.0;        ///< objective / residual at x
+  int iterations = 0;
+  bool converged = false;
+};
+
+using ScalarFn = std::function<double(double)>;
+
+/// Finds a root of \p fn in [lo, hi] by bisection.
+/// Precondition-free: fails with kInvalidArgument unless fn(lo) and fn(hi)
+/// have opposite signs (an endpoint exactly at zero is accepted).
+[[nodiscard]] Result<ScalarSolveReport> bisect_root(
+    const ScalarFn& fn, double lo, double hi,
+    const ScalarSolveOptions& options = {});
+
+/// Brent's method root finder (inverse-quadratic + secant + bisection
+/// safeguard). Same bracketing contract as bisect_root, fewer evaluations.
+[[nodiscard]] Result<ScalarSolveReport> brent_root(
+    const ScalarFn& fn, double lo, double hi,
+    const ScalarSolveOptions& options = {});
+
+/// Maximizes a unimodal function on [lo, hi] by golden-section search.
+/// Returns the maximizing x and the attained value.
+[[nodiscard]] ScalarSolveReport golden_section_maximize(
+    const ScalarFn& fn, double lo, double hi,
+    const ScalarSolveOptions& options = {});
+
+/// Expands [lo, hi] geometrically to the right until fn changes sign or
+/// the limit is hit; returns the bracketing interval. Used to bracket the
+/// marginal-return root when the optimal input's scale is unknown.
+[[nodiscard]] Result<std::pair<double, double>> expand_bracket_right(
+    const ScalarFn& fn, double lo, double initial_width, double max_hi,
+    double growth = 2.0);
+
+}  // namespace arb::math

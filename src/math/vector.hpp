@@ -1,0 +1,54 @@
+#pragma once
+
+/// \file vector.hpp
+/// Dense real vector for the small optimization problems in this library
+/// (loop lengths 3–12 → problem sizes ≤ ~24). Simplicity and checkable
+/// invariants over BLAS-grade performance.
+
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace arb::math {
+
+class Vector {
+ public:
+  Vector() = default;
+  explicit Vector(std::size_t n, double fill = 0.0);
+  Vector(std::initializer_list<double> values);
+
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+  [[nodiscard]] bool empty() const { return data_.empty(); }
+
+  [[nodiscard]] double& operator[](std::size_t i);
+  [[nodiscard]] double operator[](std::size_t i) const;
+
+  [[nodiscard]] const std::vector<double>& data() const { return data_; }
+
+  Vector& operator+=(const Vector& rhs);
+  Vector& operator-=(const Vector& rhs);
+  Vector& operator*=(double scalar);
+
+  friend Vector operator+(Vector lhs, const Vector& rhs);
+  friend Vector operator-(Vector lhs, const Vector& rhs);
+  friend Vector operator*(double scalar, Vector v);
+  friend Vector operator*(Vector v, double scalar);
+  friend bool operator==(const Vector&, const Vector&) = default;
+
+  [[nodiscard]] double dot(const Vector& rhs) const;
+  /// Euclidean norm.
+  [[nodiscard]] double norm() const;
+  /// Max-abs norm.
+  [[nodiscard]] double norm_inf() const;
+
+  /// All components finite (no NaN/Inf).
+  [[nodiscard]] bool all_finite() const;
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<double> data_;
+};
+
+}  // namespace arb::math

@@ -1,0 +1,193 @@
+#include "optim/barrier_solver.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+#include "common/logging.hpp"
+#include "math/linear_solve.hpp"
+
+namespace arb::optim {
+
+BarrierSolver::BarrierSolver(BarrierOptions options)
+    : options_(std::move(options)) {}
+
+Result<BarrierReport> BarrierSolver::solve(const NlpProblem& problem,
+                                           const math::Vector& x0) const {
+  const std::size_t n = problem.dimension();
+  const std::size_t m = problem.num_inequalities();
+  ARB_REQUIRE(x0.size() == n, "x0 dimension mismatch");
+
+  if (!problem.strictly_feasible(x0)) {
+    return make_error(ErrorCode::kInfeasible,
+                      "barrier solve requires strictly feasible start "
+                      "(max violation " +
+                          std::to_string(problem.max_violation(x0)) + ")");
+  }
+  if (m == 0) {
+    // Pure Newton on f.
+    SmoothFunction fn;
+    fn.value = [&](const math::Vector& x) { return problem.objective(x); };
+    fn.gradient = [&](const math::Vector& x) {
+      return problem.objective_gradient(x);
+    };
+    fn.hessian = [&](const math::Vector& x) {
+      return problem.objective_hessian(x);
+    };
+    auto inner = newton_minimize(fn, x0, options_.newton);
+    if (!inner) return inner.error();
+    BarrierReport report;
+    report.x = inner->x;
+    report.objective = inner->value;
+    report.total_newton_iterations = inner->iterations;
+    return report;
+  }
+
+  double t = options_.initial_t;
+  math::Vector x = x0;
+  BarrierReport report;
+
+  const auto in_domain = [&](const math::Vector& candidate) {
+    return candidate.all_finite() && problem.strictly_feasible(candidate);
+  };
+
+  for (int outer = 0; outer < options_.max_outer_iterations; ++outer) {
+    report.outer_iterations = outer + 1;
+
+    SmoothFunction fn;
+    fn.in_domain = in_domain;
+    fn.value = [&problem, t, m](const math::Vector& point) {
+      double value = t * problem.objective(point);
+      for (std::size_t i = 0; i < m; ++i) {
+        const double g = problem.constraint(i, point);
+        if (!(g < 0.0)) return std::numeric_limits<double>::infinity();
+        value -= std::log(-g);
+      }
+      return value;
+    };
+    fn.gradient = [&problem, t, m, n](const math::Vector& point) {
+      math::Vector grad = problem.objective_gradient(point);
+      grad *= t;
+      for (std::size_t i = 0; i < m; ++i) {
+        const double g = problem.constraint(i, point);
+        const math::Vector gi = problem.constraint_gradient(i, point);
+        // d/dx [-log(-g)] = -g'/g  (g < 0).
+        for (std::size_t k = 0; k < n; ++k) grad[k] += gi[k] / (-g);
+      }
+      return grad;
+    };
+    fn.hessian = [&problem, t, m, n](const math::Vector& point) {
+      math::Matrix hess = problem.objective_hessian(point);
+      hess *= t;
+      for (std::size_t i = 0; i < m; ++i) {
+        const double g = problem.constraint(i, point);
+        const math::Vector gi = problem.constraint_gradient(i, point);
+        const math::Matrix hi = problem.constraint_hessian(i, point);
+        // ∇²[-log(-g)] = (g' g'ᵀ)/g² + (-1/g)·∇²g.
+        const double inv_g = 1.0 / g;
+        hess.add_outer_product(gi, gi, inv_g * inv_g);
+        for (std::size_t r = 0; r < n; ++r) {
+          for (std::size_t c = 0; c < n; ++c) {
+            hess(r, c) += (-inv_g) * hi(r, c);
+          }
+        }
+      }
+      return hess;
+    };
+
+    auto inner = newton_minimize(fn, x, options_.newton);
+    if (!inner) {
+      return make_error(ErrorCode::kNumericFailure,
+                        "barrier inner Newton failed at t=" +
+                            std::to_string(t) + ": " +
+                            inner.error().message);
+    }
+    x = inner->x;
+    report.total_newton_iterations += inner->iterations;
+
+    if (options_.early_stop && options_.early_stop(x)) {
+      report.duality_gap = static_cast<double>(m) / t;
+      break;
+    }
+
+    const double gap = static_cast<double>(m) / t;
+    ARB_LOG_DEBUG("barrier outer=" << outer << " t=" << t << " gap=" << gap
+                                   << " f=" << problem.objective(x));
+    if (gap <= options_.gap_tolerance) {
+      report.duality_gap = gap;
+      break;
+    }
+    t *= options_.mu;
+    report.duality_gap = static_cast<double>(m) / t;
+  }
+
+  report.x = x;
+  report.objective = problem.objective(x);
+  report.dual = math::Vector(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    report.dual[i] = 1.0 / (-t * problem.constraint(i, x));
+  }
+  refine_duals(problem, x, report.dual);
+  return report;
+}
+
+void BarrierSolver::refine_duals(const NlpProblem& problem,
+                                 const math::Vector& x, math::Vector& dual) {
+  // The barrier estimate λᵢ = 1/(−t·gᵢ) is exact for the *barrier*
+  // problem but noisy for the original KKT system: near the boundary its
+  // sensitivity to the primal iterate grows with t. Recover clean
+  // multipliers by least squares on the (numerically) active set:
+  //   minimize ‖∇f + Σ_{i∈A} λᵢ ∇gᵢ‖²,  λ clamped to ≥ 0,
+  // which the tiny dense normal equations solve directly.
+  const std::size_t n = problem.dimension();
+  const std::size_t m = problem.num_inequalities();
+  if (m == 0) return;
+
+  double max_dual = 0.0;
+  for (std::size_t i = 0; i < m; ++i) max_dual = std::max(max_dual, dual[i]);
+  if (max_dual <= 0.0) return;
+
+  std::vector<std::size_t> active;
+  for (std::size_t i = 0; i < m; ++i) {
+    if (dual[i] > 1e-6 * max_dual) active.push_back(i);
+  }
+  if (active.empty()) return;
+
+  const math::Vector grad_f = problem.objective_gradient(x);
+  std::vector<math::Vector> grads;
+  grads.reserve(active.size());
+  for (const std::size_t i : active) {
+    grads.push_back(problem.constraint_gradient(i, x));
+  }
+
+  const std::size_t a = active.size();
+  math::Matrix gram(a, a);
+  math::Vector rhs(a);
+  for (std::size_t r = 0; r < a; ++r) {
+    for (std::size_t c = 0; c < a; ++c) gram(r, c) = grads[r].dot(grads[c]);
+    rhs[r] = -grads[r].dot(grad_f);
+  }
+  auto solved = math::regularized_spd_solve(gram, rhs);
+  if (!solved) return;  // keep the barrier estimate
+
+  // Accept the refinement only if it actually reduces the stationarity
+  // residual (guards against a bad active-set guess).
+  const auto residual = [&](const math::Vector& lambda_active) {
+    math::Vector acc = grad_f;
+    for (std::size_t r = 0; r < a; ++r) {
+      for (std::size_t k = 0; k < n; ++k) {
+        acc[k] += lambda_active[r] * grads[r][k];
+      }
+    }
+    return acc.norm_inf();
+  };
+  math::Vector original_active(a);
+  for (std::size_t r = 0; r < a; ++r) original_active[r] = dual[active[r]];
+  math::Vector clamped = *solved;
+  for (std::size_t r = 0; r < a; ++r) clamped[r] = std::max(0.0, clamped[r]);
+  if (residual(clamped) < residual(original_active)) {
+    for (std::size_t r = 0; r < a; ++r) dual[active[r]] = clamped[r];
+  }
+}
+
+}  // namespace arb::optim

@@ -1,0 +1,29 @@
+#pragma once
+
+/// \file kkt.hpp
+/// Karush–Kuhn–Tucker residuals for a candidate primal/dual pair. Tests
+/// use these to certify that the barrier solver's answers are true optima
+/// rather than merely "the solver stopped".
+
+#include "math/vector.hpp"
+#include "optim/problem.hpp"
+
+namespace arb::optim {
+
+struct KktResiduals {
+  double stationarity = 0.0;       ///< ||∇f + Σ λᵢ∇gᵢ||_inf
+  double primal_feasibility = 0.0; ///< max(0, maxᵢ gᵢ(x))
+  double dual_feasibility = 0.0;   ///< max(0, maxᵢ −λᵢ)
+  double complementarity = 0.0;    ///< maxᵢ |λᵢ gᵢ(x)|
+
+  [[nodiscard]] double worst() const;
+  /// All residuals below the tolerance.
+  [[nodiscard]] bool satisfied(double tolerance) const;
+};
+
+/// Evaluates KKT residuals at (x, λ).
+[[nodiscard]] KktResiduals evaluate_kkt(const NlpProblem& problem,
+                                        const math::Vector& x,
+                                        const math::Vector& dual);
+
+}  // namespace arb::optim

@@ -1,0 +1,36 @@
+#include "optim/line_search.hpp"
+
+#include <cmath>
+
+namespace arb::optim {
+
+LineSearchResult backtracking_line_search(
+    const std::function<double(const math::Vector&)>& objective,
+    const std::function<bool(const math::Vector&)>& in_domain,
+    const math::Vector& x, const math::Vector& direction, double value_at_x,
+    double directional_derivative, const LineSearchOptions& options) {
+  LineSearchResult result;
+  if (!(directional_derivative < 0.0)) {
+    return result;  // not a descent direction
+  }
+  double step = options.initial_step;
+  for (int k = 0; k < options.max_backtracks; ++k) {
+    const math::Vector candidate = x + step * direction;
+    if (!in_domain || in_domain(candidate)) {
+      const double value = objective(candidate);
+      ++result.evaluations;
+      if (std::isfinite(value) &&
+          value <= value_at_x +
+                       options.armijo_c * step * directional_derivative) {
+        result.step = step;
+        result.value = value;
+        result.success = true;
+        return result;
+      }
+    }
+    step *= options.shrink;
+  }
+  return result;
+}
+
+}  // namespace arb::optim

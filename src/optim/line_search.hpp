@@ -1,0 +1,39 @@
+#pragma once
+
+/// \file line_search.hpp
+/// Backtracking (Armijo) line search with an optional domain guard, used
+/// by both the unconstrained Newton solver and the barrier inner loop
+/// (where the guard keeps iterates strictly inside the feasible region so
+/// the log terms stay defined).
+
+#include <functional>
+
+#include "math/vector.hpp"
+
+namespace arb::optim {
+
+struct LineSearchOptions {
+  double armijo_c = 1e-4;        ///< sufficient-decrease coefficient
+  double shrink = 0.5;           ///< step shrink factor per backtrack
+  double initial_step = 1.0;
+  int max_backtracks = 60;
+};
+
+struct LineSearchResult {
+  double step = 0.0;     ///< accepted step length (0 = failure)
+  double value = 0.0;    ///< objective at the accepted point
+  int evaluations = 0;
+  bool success = false;
+};
+
+/// Searches x + t·direction for Armijo decrease of \p objective.
+/// \p in_domain (may be null) rejects candidate points outright — used for
+/// barrier feasibility. \p directional_derivative is ∇f(x)·direction and
+/// must be negative (descent); otherwise the search fails immediately.
+[[nodiscard]] LineSearchResult backtracking_line_search(
+    const std::function<double(const math::Vector&)>& objective,
+    const std::function<bool(const math::Vector&)>& in_domain,
+    const math::Vector& x, const math::Vector& direction, double value_at_x,
+    double directional_derivative, const LineSearchOptions& options = {});
+
+}  // namespace arb::optim

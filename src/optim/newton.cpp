@@ -1,0 +1,92 @@
+#include "optim/newton.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/logging.hpp"
+#include "math/linear_solve.hpp"
+#include "optim/line_search.hpp"
+
+namespace arb::optim {
+
+Result<NewtonReport> newton_minimize(const SmoothFunction& fn,
+                                     const math::Vector& x0,
+                                     const NewtonOptions& options) {
+  ARB_REQUIRE(static_cast<bool>(fn.value) && static_cast<bool>(fn.gradient) &&
+                  static_cast<bool>(fn.hessian),
+              "newton_minimize requires value/gradient/hessian callbacks");
+  if (fn.in_domain && !fn.in_domain(x0)) {
+    return make_error(ErrorCode::kInvalidArgument,
+                      "newton_minimize: x0 outside domain");
+  }
+
+  NewtonReport report;
+  report.x = x0;
+  report.value = fn.value(x0);
+
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    report.iterations = iter;
+    const math::Vector grad = fn.gradient(report.x);
+    report.gradient_norm = grad.norm_inf();
+    if (!grad.all_finite()) {
+      return make_error(ErrorCode::kNumericFailure,
+                        "newton_minimize: non-finite gradient");
+    }
+    if (report.gradient_norm <= options.gradient_tolerance) {
+      report.converged = true;
+      return report;
+    }
+
+    const math::Matrix hess = fn.hessian(report.x);
+    // Newton step solves H d = -grad.
+    math::Vector negative_grad = grad;
+    negative_grad *= -1.0;
+    auto step = math::regularized_spd_solve(hess, negative_grad);
+    if (!step) {
+      return make_error(ErrorCode::kNumericFailure,
+                        "newton_minimize: Hessian solve failed: " +
+                            step.error().message);
+    }
+    const math::Vector& direction = *step;
+
+    // Newton decrement: λ² = -gradᵀd; stop when the predicted decrease
+    // λ²/2 is negligible.
+    const double decrement_sq = -grad.dot(direction);
+    if (decrement_sq * 0.5 <= options.decrement_tolerance) {
+      report.converged = true;
+      return report;
+    }
+
+    const auto search = backtracking_line_search(
+        fn.value, fn.in_domain, report.x, direction, report.value,
+        grad.dot(direction));
+    if (!search.success) {
+      // A failed line search at a tiny decrement is convergence in
+      // disguise (floating-point floor); otherwise it is a genuine error.
+      if (decrement_sq * 0.5 <= 1e-8) {
+        report.converged = true;
+        return report;
+      }
+      ARB_LOG_DEBUG("newton_minimize line search failed: iter="
+                    << iter << " f=" << report.value << " |g|="
+                    << report.gradient_norm << " |d|=" << direction.norm_inf()
+                    << " gTd=" << grad.dot(direction) << " decrement2="
+                    << decrement_sq << " x=" << report.x.to_string());
+      return make_error(ErrorCode::kNumericFailure,
+                        "newton_minimize: line search failed at iteration " +
+                            std::to_string(iter));
+    }
+    report.x += search.step * direction;
+    report.value = search.value;
+  }
+
+  report.converged =
+      fn.gradient(report.x).norm_inf() <= options.gradient_tolerance * 1e3;
+  if (!report.converged) {
+    ARB_LOG_DEBUG("newton_minimize: hit max_iterations with ||g||="
+                  << report.gradient_norm);
+  }
+  return report;
+}
+
+}  // namespace arb::optim

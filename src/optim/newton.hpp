@@ -1,0 +1,46 @@
+#pragma once
+
+/// \file newton.hpp
+/// Damped Newton minimizer for smooth (preferably convex) functions with a
+/// domain guard. This is the inner engine of the barrier interior-point
+/// solver but is exposed on its own for unconstrained problems and tests.
+
+#include <functional>
+
+#include "common/result.hpp"
+#include "math/matrix.hpp"
+#include "math/vector.hpp"
+
+namespace arb::optim {
+
+struct NewtonOptions {
+  double gradient_tolerance = 1e-10;  ///< stop when ||grad||_inf below this
+  double decrement_tolerance = 1e-12; ///< stop when λ²/2 below this
+  int max_iterations = 100;
+};
+
+struct NewtonReport {
+  math::Vector x;
+  double value = 0.0;
+  double gradient_norm = 0.0;
+  int iterations = 0;
+  bool converged = false;
+};
+
+/// Callbacks describing the smooth function to minimize.
+struct SmoothFunction {
+  std::function<double(const math::Vector&)> value;
+  std::function<math::Vector(const math::Vector&)> gradient;
+  std::function<math::Matrix(const math::Vector&)> hessian;
+  /// Optional domain membership (barrier: strict feasibility). Null = R^n.
+  std::function<bool(const math::Vector&)> in_domain;
+};
+
+/// Minimizes \p fn starting at \p x0 (must lie in the domain).
+/// Fails with kNumericFailure if the Hessian solve breaks down or no
+/// descent step is found before convergence.
+[[nodiscard]] Result<NewtonReport> newton_minimize(
+    const SmoothFunction& fn, const math::Vector& x0,
+    const NewtonOptions& options = {});
+
+}  // namespace arb::optim

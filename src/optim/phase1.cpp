@@ -1,0 +1,152 @@
+#include "optim/phase1.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace arb::optim {
+namespace {
+
+/// The phase-I program over z = (x, t): minimize t s.t. g_i(x) − t <= 0
+/// and t >= lower. The lower bound keeps the program bounded below —
+/// without it, problems whose feasible set extends to infinity make the
+/// slack (and the Newton iterates) run away; any t < −margin certifies
+/// strict feasibility, so clamping at a modestly negative lower bound
+/// loses nothing.
+class Phase1Problem final : public NlpProblem {
+ public:
+  Phase1Problem(const NlpProblem& original, double lower_bound)
+      : original_(original), lower_bound_(lower_bound) {}
+
+  [[nodiscard]] std::size_t dimension() const override {
+    return original_.dimension() + 1;
+  }
+  [[nodiscard]] std::size_t num_inequalities() const override {
+    return original_.num_inequalities() + 1;
+  }
+
+  [[nodiscard]] double objective(const math::Vector& z) const override {
+    return z[original_.dimension()];
+  }
+  [[nodiscard]] math::Vector objective_gradient(
+      const math::Vector& z) const override {
+    math::Vector grad(z.size());
+    grad[original_.dimension()] = 1.0;
+    return grad;
+  }
+  [[nodiscard]] math::Matrix objective_hessian(
+      const math::Vector& z) const override {
+    return math::Matrix(z.size(), z.size());
+  }
+
+  [[nodiscard]] double constraint(std::size_t i,
+                                  const math::Vector& z) const override {
+    if (i == original_.num_inequalities()) {
+      return lower_bound_ - z[original_.dimension()];  // t >= lower
+    }
+    return original_.constraint(i, strip(z)) - z[original_.dimension()];
+  }
+  [[nodiscard]] math::Vector constraint_gradient(
+      std::size_t i, const math::Vector& z) const override {
+    math::Vector grad(z.size());
+    if (i == original_.num_inequalities()) {
+      grad[original_.dimension()] = -1.0;
+      return grad;
+    }
+    const math::Vector inner = original_.constraint_gradient(i, strip(z));
+    for (std::size_t k = 0; k < inner.size(); ++k) grad[k] = inner[k];
+    grad[original_.dimension()] = -1.0;
+    return grad;
+  }
+  [[nodiscard]] math::Matrix constraint_hessian(
+      std::size_t i, const math::Vector& z) const override {
+    math::Matrix hess(z.size(), z.size());
+    if (i == original_.num_inequalities()) {
+      return hess;  // linear bound
+    }
+    const math::Matrix inner = original_.constraint_hessian(i, strip(z));
+    for (std::size_t r = 0; r < inner.rows(); ++r) {
+      for (std::size_t c = 0; c < inner.cols(); ++c) {
+        hess(r, c) = inner(r, c);
+      }
+    }
+    return hess;
+  }
+
+  [[nodiscard]] static math::Vector augment(const math::Vector& x, double t) {
+    math::Vector z(x.size() + 1);
+    for (std::size_t i = 0; i < x.size(); ++i) z[i] = x[i];
+    z[x.size()] = t;
+    return z;
+  }
+
+ private:
+  [[nodiscard]] math::Vector strip(const math::Vector& z) const {
+    math::Vector x(original_.dimension());
+    for (std::size_t i = 0; i < x.size(); ++i) x[i] = z[i];
+    return x;
+  }
+
+  const NlpProblem& original_;
+  double lower_bound_;
+};
+
+}  // namespace
+
+Result<math::Vector> find_strictly_feasible(const NlpProblem& problem,
+                                            const math::Vector& x0,
+                                            const Phase1Options& options) {
+  ARB_REQUIRE(x0.size() == problem.dimension(), "x0 dimension mismatch");
+  if (problem.strictly_feasible(x0, options.margin)) {
+    return x0;  // nothing to do
+  }
+  if (problem.num_inequalities() == 0) {
+    return x0;  // unconstrained: everything is feasible
+  }
+
+  // Bound the slack at a comfortably negative value: any t below
+  // -margin already certifies strict feasibility.
+  const double lower_bound = -(1.0 + 10.0 * options.margin);
+  const Phase1Problem phase1(problem, lower_bound);
+  // t0 strictly above the worst violation makes (x0, t0) strictly
+  // feasible for the augmented problem.
+  const double worst = problem.max_violation(x0);
+  const double t0 =
+      std::max(worst + std::max(1.0, std::abs(worst)), lower_bound + 1.0);
+
+  // The phase-I solve only needs *a* strictly feasible point, not the
+  // optimum — stop at the first centering step that yields one (also
+  // keeps x from drifting along unbounded directions of the augmented
+  // feasible set).
+  BarrierOptions barrier = options.barrier;
+  const double margin = options.margin;
+  barrier.early_stop = [&problem, margin](const math::Vector& z) {
+    math::Vector x(problem.dimension());
+    for (std::size_t i = 0; i < x.size(); ++i) x[i] = z[i];
+    return problem.strictly_feasible(x, margin);
+  };
+  const BarrierSolver solver(barrier);
+  auto report = solver.solve(phase1, Phase1Problem::augment(x0, t0));
+  if (!report) return report.error();
+
+  math::Vector x(problem.dimension());
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] = report->x[i];
+  if (!problem.strictly_feasible(x, options.margin)) {
+    return make_error(ErrorCode::kInfeasible,
+                      "phase-I optimum t=" +
+                          std::to_string(report->objective) +
+                          " certifies no strictly feasible point");
+  }
+  return x;
+}
+
+Result<BarrierReport> solve_with_phase1(const NlpProblem& problem,
+                                        const math::Vector& x0,
+                                        const Phase1Options& options) {
+  auto start = find_strictly_feasible(problem, x0, options);
+  if (!start) return start.error();
+  const BarrierSolver solver(options.barrier);
+  return solver.solve(problem, *start);
+}
+
+}  // namespace arb::optim

@@ -1,0 +1,47 @@
+#pragma once
+
+/// \file phase1.hpp
+/// Phase-I feasibility: find a strictly feasible point of {g_i(x) < 0}
+/// or certify that none exists (to tolerance).
+///
+/// Standard construction (Boyd & Vandenberghe §11.4): introduce a slack
+/// t and solve
+///
+///   minimize t   subject to   g_i(x) − t <= 0,
+///
+/// which is strictly feasible for ANY x0 by picking t0 > max_i g_i(x0).
+/// If the optimum has t* < 0, the x found is strictly feasible for the
+/// original constraints; if t* > 0 the problem is infeasible. The
+/// augmented problem is convex whenever the g_i are, so the existing
+/// BarrierSolver solves it.
+///
+/// The arbitrage strategies construct their interior points analytically
+/// (core/loop_nlp.hpp); phase-I makes the solver stack self-contained for
+/// problems that cannot.
+
+#include "common/result.hpp"
+#include "optim/barrier_solver.hpp"
+#include "optim/problem.hpp"
+
+namespace arb::optim {
+
+struct Phase1Options {
+  BarrierOptions barrier;
+  /// Strictness margin: accept x only if max_i g_i(x) < -margin.
+  double margin = 0.0;
+};
+
+/// Searches for a strictly feasible point starting the phase-I barrier
+/// from \p x0 (any point; need not be feasible). Returns the point, or
+/// kInfeasible when the phase-I optimum certifies there is none.
+[[nodiscard]] Result<math::Vector> find_strictly_feasible(
+    const NlpProblem& problem, const math::Vector& x0,
+    const Phase1Options& options = {});
+
+/// Convenience: solve the problem end-to-end — phase-I from x0 if x0 is
+/// not already strictly feasible, then the barrier solve.
+[[nodiscard]] Result<BarrierReport> solve_with_phase1(
+    const NlpProblem& problem, const math::Vector& x0,
+    const Phase1Options& options = {});
+
+}  // namespace arb::optim

@@ -1,0 +1,23 @@
+#include "optim/problem.hpp"
+
+#include <limits>
+
+namespace arb::optim {
+
+bool NlpProblem::strictly_feasible(const math::Vector& x,
+                                   double margin) const {
+  for (std::size_t i = 0; i < num_inequalities(); ++i) {
+    if (!(constraint(i, x) < -margin)) return false;
+  }
+  return true;
+}
+
+double NlpProblem::max_violation(const math::Vector& x) const {
+  double worst = -std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < num_inequalities(); ++i) {
+    worst = std::max(worst, constraint(i, x));
+  }
+  return worst;
+}
+
+}  // namespace arb::optim

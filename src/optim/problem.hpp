@@ -1,0 +1,51 @@
+#pragma once
+
+/// \file problem.hpp
+/// Abstract smooth NLP in standard form:
+///
+///   minimize f(x)   subject to  g_i(x) <= 0,  i = 0..m-1.
+///
+/// The arbitrage strategies maximize concave monetized profit, so they
+/// implement this interface with f = -profit (convex) and convex g_i;
+/// under those conditions BarrierSolver converges to the global optimum.
+
+#include <cstddef>
+
+#include "math/matrix.hpp"
+#include "math/vector.hpp"
+
+namespace arb::optim {
+
+class NlpProblem {
+ public:
+  virtual ~NlpProblem() = default;
+
+  /// Number of decision variables.
+  [[nodiscard]] virtual std::size_t dimension() const = 0;
+
+  /// Number of inequality constraints g_i(x) <= 0.
+  [[nodiscard]] virtual std::size_t num_inequalities() const = 0;
+
+  [[nodiscard]] virtual double objective(const math::Vector& x) const = 0;
+  [[nodiscard]] virtual math::Vector objective_gradient(
+      const math::Vector& x) const = 0;
+  [[nodiscard]] virtual math::Matrix objective_hessian(
+      const math::Vector& x) const = 0;
+
+  [[nodiscard]] virtual double constraint(std::size_t i,
+                                          const math::Vector& x) const = 0;
+  [[nodiscard]] virtual math::Vector constraint_gradient(
+      std::size_t i, const math::Vector& x) const = 0;
+  [[nodiscard]] virtual math::Matrix constraint_hessian(
+      std::size_t i, const math::Vector& x) const = 0;
+
+  /// True iff every g_i(x) < -margin (strict interior).
+  [[nodiscard]] bool strictly_feasible(const math::Vector& x,
+                                       double margin = 0.0) const;
+
+  /// Max over i of g_i(x) (<= 0 means feasible). Returns -inf with no
+  /// constraints.
+  [[nodiscard]] double max_violation(const math::Vector& x) const;
+};
+
+}  // namespace arb::optim

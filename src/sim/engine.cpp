@@ -1,0 +1,133 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace arb::sim {
+namespace {
+
+/// Snapshot of the reserves touched by a plan, for rollback.
+class PoolCheckpoint {
+ public:
+  PoolCheckpoint(graph::TokenGraph& graph, const core::ArbitragePlan& plan)
+      : graph_(graph) {
+    for (const core::PlanStep& step : plan.steps) {
+      if (saved_.find(step.pool) == saved_.end()) {
+        const amm::CpmmPool& pool = graph.pool(step.pool);
+        saved_.emplace(step.pool,
+                       std::make_pair(pool.reserve0(), pool.reserve1()));
+      }
+    }
+  }
+
+  void rollback() {
+    for (const auto& [id, reserves] : saved_) {
+      amm::CpmmPool& pool = graph_.mutable_pool(id);
+      pool = amm::CpmmPool(pool.id(), pool.token0(), pool.token1(),
+                           reserves.first, reserves.second, pool.fee());
+    }
+  }
+
+ private:
+  graph::TokenGraph& graph_;
+  std::unordered_map<PoolId, std::pair<Amount, Amount>> saved_;
+};
+
+}  // namespace
+
+ExecutionEngine::ExecutionEngine(ExecutionOptions options)
+    : options_(options) {}
+
+Result<ExecutionReport> ExecutionEngine::execute(
+    graph::TokenGraph& graph, const market::CexPriceFeed& prices,
+    const core::ArbitragePlan& plan) const {
+  if (plan.steps.empty()) {
+    return make_error(ErrorCode::kInvalidArgument, "empty plan");
+  }
+
+  PoolCheckpoint checkpoint(graph, plan);
+  std::unordered_map<TokenId, Amount> wallet;
+  std::unordered_map<TokenId, Amount> peak_borrow;
+  ExecutionReport report;
+
+  const auto fail = [&](ErrorCode code, const std::string& message) {
+    checkpoint.rollback();
+    return make_error(code, message);
+  };
+
+  for (const core::PlanStep& step : plan.steps) {
+    amm::CpmmPool& pool = graph.mutable_pool(step.pool);
+    if (!pool.contains(step.token_in) ||
+        pool.other(step.token_in) != step.token_out) {
+      return fail(ErrorCode::kInvalidArgument,
+                  "plan step routes wrong tokens through " +
+                      to_string(step.pool));
+    }
+    if (!options_.flash_loan &&
+        wallet[step.token_in] + 1e-12 < step.amount_in) {
+      return fail(ErrorCode::kInvariantViolated,
+                  "unfunded step without flash loan: need " +
+                      std::to_string(step.amount_in) + " " +
+                      graph.symbol(step.token_in));
+    }
+
+    const double k_before = pool.k();
+    auto quote = pool.apply_swap(step.token_in, step.amount_in);
+    if (!quote) return fail(quote.error().code, quote.error().message);
+    if (pool.k() < k_before * (1.0 - 1e-12)) {
+      return fail(ErrorCode::kInvariantViolated,
+                  "constant product decreased in " + to_string(step.pool));
+    }
+
+    // Slippage check: realized output must reach the planned output
+    // (within tolerance).
+    if (quote->amount_out <
+        step.amount_out * (1.0 - options_.slippage_tolerance) - 1e-12) {
+      return fail(ErrorCode::kInvariantViolated,
+                  "slippage: planned " + std::to_string(step.amount_out) +
+                      ", realized " + std::to_string(quote->amount_out));
+    }
+
+    wallet[step.token_in] -= step.amount_in;
+    peak_borrow[step.token_in] =
+        std::max(peak_borrow[step.token_in], -wallet[step.token_in]);
+    wallet[step.token_out] += quote->amount_out;
+    ++report.steps_executed;
+  }
+
+  // Flash-loan fee on each token's peak borrow, paid at settlement.
+  if (options_.flash_loan && options_.flash_loan_fee > 0.0) {
+    for (const auto& [token, borrowed] : peak_borrow) {
+      if (borrowed > 0.0) {
+        wallet[token] -= borrowed * options_.flash_loan_fee;
+      }
+    }
+  }
+
+  // Atomic settlement: every token balance must be non-negative, i.e.
+  // all flash-loan borrowings (plus fees) repaid out of the bundle itself.
+  for (const auto& [token, balance] : wallet) {
+    if (balance < -1e-9) {
+      return fail(ErrorCode::kInvariantViolated,
+                  "negative final balance of " + graph.symbol(token) + ": " +
+                      std::to_string(balance));
+    }
+  }
+
+  for (const auto& [token, balance] : wallet) {
+    report.realized_profits.push_back(core::TokenProfit{token, balance});
+    if (prices.has_price(token)) {
+      report.realized_usd += prices.value_usd(token, balance);
+    }
+  }
+  std::sort(report.realized_profits.begin(), report.realized_profits.end(),
+            [](const core::TokenProfit& a, const core::TokenProfit& b) {
+              return a.token < b.token;
+            });
+  report.mismatch_usd = plan.expected_monetized_usd - report.realized_usd;
+  return report;
+}
+
+}  // namespace arb::sim

@@ -1,0 +1,97 @@
+#include "sim/integer_check.hpp"
+
+#include <cmath>
+#include <map>
+#include <unordered_map>
+
+#include "amm/integer_pool.hpp"
+#include "common/error.hpp"
+
+namespace arb::sim {
+namespace {
+
+U256 quantize_amount(double amount, double units_per_token) {
+  const double scaled = std::floor(amount * units_per_token);
+  ARB_REQUIRE(scaled >= 0.0 && scaled < 0x1.0p128,
+              "amount outside quantization range");
+  const double hi = std::floor(scaled / 0x1.0p64);
+  const double lo = scaled - hi * 0x1.0p64;
+  return U256::from_limbs(static_cast<std::uint64_t>(lo),
+                          static_cast<std::uint64_t>(hi), 0, 0);
+}
+
+}  // namespace
+
+Result<IntegerCheckReport> check_plan_integer(
+    const graph::TokenGraph& graph, const market::CexPriceFeed& prices,
+    const core::ArbitragePlan& plan, const IntegerCheckOptions& options) {
+  if (plan.steps.empty()) {
+    return make_error(ErrorCode::kInvalidArgument, "empty plan");
+  }
+
+  // Quantized working copies of the touched pools.
+  std::unordered_map<PoolId, amm::IntegerPool> pools;
+  for (const core::PlanStep& step : plan.steps) {
+    if (pools.find(step.pool) == pools.end()) {
+      pools.emplace(step.pool,
+                    amm::IntegerPool::from_real(graph.pool(step.pool),
+                                                options.units_per_token));
+    }
+  }
+
+  // Signed integer balances do not exist for U256; track credit and
+  // debit separately per token.
+  std::map<TokenId, U256> credit;
+  std::map<TokenId, U256> debit;
+
+  for (const core::PlanStep& step : plan.steps) {
+    amm::IntegerPool& pool = pools.at(step.pool);
+    const U256 amount_in =
+        quantize_amount(step.amount_in, options.units_per_token);
+    const U256 k_before = pool.k();
+    auto out = pool.apply_swap(step.token_in, amount_in);
+    if (!out) return out.error();
+    ARB_REQUIRE(pool.k() >= k_before, "integer k decreased");
+    debit[step.token_in] = debit[step.token_in] + amount_in;
+    credit[step.token_out] = credit[step.token_out] + *out;
+  }
+
+  IntegerCheckReport report;
+  report.settles = true;
+  const double tolerance_units =
+      options.settle_tolerance_tokens * options.units_per_token;
+  for (const auto& [token, owed] : debit) {
+    const U256 have = credit.count(token) ? credit[token] : U256{0};
+    if (have < owed && (owed - have).to_double() > tolerance_units) {
+      report.settles = false;
+    }
+  }
+
+  for (const auto& [token, have] : credit) {
+    const U256 owed = debit.count(token) ? debit[token] : U256{0};
+    const double net = (have >= owed)
+                           ? (have - owed).to_double()
+                           : -(owed - have).to_double();
+    const double tokens = net / options.units_per_token;
+    report.realized_profits.push_back(core::TokenProfit{token, tokens});
+    if (prices.has_price(token)) {
+      report.realized_usd += prices.value_usd(token, tokens);
+    }
+  }
+  // Tokens that were only debited (no credit) — possible for malformed
+  // plans; include them so the loss is visible.
+  for (const auto& [token, owed] : debit) {
+    if (credit.count(token)) continue;
+    const double tokens = -owed.to_double() / options.units_per_token;
+    report.realized_profits.push_back(core::TokenProfit{token, tokens});
+    if (prices.has_price(token)) {
+      report.realized_usd += prices.value_usd(token, tokens);
+    }
+  }
+
+  report.quantization_loss_usd =
+      plan.expected_monetized_usd - report.realized_usd;
+  return report;
+}
+
+}  // namespace arb::sim

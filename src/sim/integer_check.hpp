@@ -1,0 +1,48 @@
+#pragma once
+
+/// \file integer_check.hpp
+/// Re-executes a real-valued arbitrage plan in exact on-chain integer
+/// arithmetic and reports how much of the promised profit survives
+/// quantization and flooring. This is the pre-flight check a production
+/// bot runs before submitting a bundle: the double model plans, the
+/// integer model decides.
+
+#include <vector>
+
+#include "common/result.hpp"
+#include "core/plan.hpp"
+#include "graph/token_graph.hpp"
+#include "market/price_feed.hpp"
+
+namespace arb::sim {
+
+struct IntegerCheckOptions {
+  /// Base units per token (1e18 = ETH-style 18 decimals).
+  double units_per_token = 1e12;
+  /// Per-token deficit (in tokens) still counted as settling. Plans fix
+  /// every hop's input up front, so flooring can leave a hop a few base
+  /// units short of repaying its borrow; a real bundle forwards actual
+  /// outputs and absorbs this. Deficits beyond the tolerance mean the
+  /// plan genuinely does not settle.
+  double settle_tolerance_tokens = 1e-6;
+};
+
+struct IntegerCheckReport {
+  /// Realized per-token profit in token units (descaled back to doubles).
+  std::vector<core::TokenProfit> realized_profits;
+  /// Realized profit valued at CEX prices.
+  double realized_usd = 0.0;
+  /// Promised minus integer-realized, in USD.
+  double quantization_loss_usd = 0.0;
+  /// True iff every flash-loan borrowing was repayable (no negative
+  /// final balance) in integer arithmetic.
+  bool settles = false;
+};
+
+/// Runs the plan on quantized IntegerPool copies of the plan's pools.
+/// The pools in `graph` are not mutated.
+[[nodiscard]] Result<IntegerCheckReport> check_plan_integer(
+    const graph::TokenGraph& graph, const market::CexPriceFeed& prices,
+    const core::ArbitragePlan& plan, const IntegerCheckOptions& options = {});
+
+}  // namespace arb::sim

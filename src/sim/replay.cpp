@@ -1,0 +1,98 @@
+#include "sim/replay.hpp"
+
+#include <cmath>
+
+#include "common/logging.hpp"
+#include "core/plan.hpp"
+#include "graph/cycle_enumeration.hpp"
+
+namespace arb::sim {
+namespace {
+
+/// Exogenous flow: nudges each pool's internal price by a log-normal
+/// shock while preserving its constant product (a fee-free trade by the
+/// rest of the market).
+void perturb_pools(graph::TokenGraph& graph, Rng& rng, double sigma) {
+  for (const amm::CpmmPool& pool : graph.pools()) {
+    const double shock = rng.normal(0.0, sigma);
+    // Scale reserves (r0·s, r1/s): price moves by s², k unchanged.
+    const double s = std::exp(shock / 2.0);
+    amm::CpmmPool& mutable_pool = graph.mutable_pool(pool.id());
+    mutable_pool =
+        amm::CpmmPool(pool.id(), pool.token0(), pool.token1(),
+                      pool.reserve0() * s, pool.reserve1() / s, pool.fee());
+  }
+}
+
+}  // namespace
+
+Result<ReplayResult> run_replay(const market::MarketSnapshot& snapshot,
+                                const ReplayConfig& config) {
+  market::MarketSnapshot market = snapshot;  // working copy
+  Rng rng(config.seed);
+  std::optional<market::PriceProcess> process;
+  if (config.use_price_process) {
+    process.emplace(market, config.price_process, config.seed);
+  }
+  const ExecutionEngine engine;
+  ReplayResult result;
+
+  for (std::size_t block = 0; block < config.blocks; ++block) {
+    if (process.has_value()) {
+      process->step(market);
+    } else {
+      perturb_pools(market.graph, rng, config.block_noise_sigma);
+    }
+
+    BlockResult row;
+    row.block = block;
+
+    auto cycles = graph::enumerate_fixed_length_cycles(market.graph,
+                                                       config.loop_length);
+    auto loops = graph::filter_arbitrage(market.graph, std::move(cycles));
+    row.arbitrage_loops = loops.size();
+
+    // Pick the loop with the best strategy profit and execute it.
+    double best_usd = 0.0;
+    std::optional<core::ArbitragePlan> best_plan;
+    for (const graph::Cycle& loop : loops) {
+      Result<core::ArbitragePlan> plan =
+          make_error(ErrorCode::kNotFound, "unset");
+      double planned_usd = 0.0;
+      if (config.strategy == core::StrategyKind::kConvexOptimization) {
+        auto solution = core::solve_convex(market.graph, market.prices, loop,
+                                           config.options.convex);
+        if (!solution) return solution.error();
+        planned_usd = solution->outcome.monetized_usd;
+        plan = core::plan_from_convex(market.graph, loop, *solution);
+      } else {
+        Result<core::StrategyOutcome> outcome =
+            config.strategy == core::StrategyKind::kMaxPrice
+                ? core::evaluate_max_price(market.graph, market.prices, loop,
+                                           config.options.single_start)
+                : core::evaluate_max_max(market.graph, market.prices, loop,
+                                         config.options.single_start);
+        if (!outcome) return outcome.error();
+        planned_usd = outcome->monetized_usd;
+        plan = core::plan_from_single_start(market.graph, loop, *outcome);
+      }
+      if (!plan) return plan.error();
+      if (planned_usd > best_usd) {
+        best_usd = planned_usd;
+        best_plan = *std::move(plan);
+      }
+    }
+
+    if (best_plan.has_value() && best_usd > 0.0) {
+      row.planned_usd = best_usd;
+      auto report = engine.execute(market.graph, market.prices, *best_plan);
+      if (!report) return report.error();
+      row.realized_usd = report->realized_usd;
+      result.total_realized_usd += report->realized_usd;
+    }
+    result.blocks.push_back(row);
+  }
+  return result;
+}
+
+}  // namespace arb::sim

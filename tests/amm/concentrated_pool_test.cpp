@@ -1,0 +1,187 @@
+#include "amm/concentrated_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace arb::amm {
+namespace {
+
+const TokenId kX{0};
+const TokenId kY{1};
+const TokenId kZ{2};
+
+TEST(ConcentratedPoolTest, ConstructionValidation) {
+  EXPECT_THROW(ConcentratedPool(PoolId{0}, kX, kX, 1.0, 1.0, 0.5, 2.0),
+               PreconditionError);
+  EXPECT_THROW(ConcentratedPool(PoolId{0}, kX, kY, -1.0, 1.0, 0.5, 2.0),
+               PreconditionError);
+  // Price outside the range.
+  EXPECT_THROW(ConcentratedPool(PoolId{0}, kX, kY, 1.0, 3.0, 0.5, 2.0),
+               PreconditionError);
+  EXPECT_THROW(ConcentratedPool(PoolId{0}, kX, kY, 1.0, 1.0, 0.5, 2.0, 1.0),
+               PreconditionError);
+}
+
+TEST(ConcentratedPoolTest, RealReservesMatchFormulas) {
+  // L = 1000, P = 4 (√P = 2), range [1, 16] (√ ∈ [1, 4]).
+  const ConcentratedPool pool(PoolId{0}, kX, kY, 1000.0, 4.0, 1.0, 16.0);
+  EXPECT_NEAR(pool.reserve0(), 1000.0 * (0.5 - 0.25), 1e-9);  // 250
+  EXPECT_NEAR(pool.reserve1(), 1000.0 * (2.0 - 1.0), 1e-9);   // 1000
+  EXPECT_NEAR(pool.price(), 4.0, 1e-12);
+}
+
+TEST(ConcentratedPoolTest, FullRangeLimitEqualsCpmm) {
+  // CPMM with reserves (100, 400): price 4, L = √(xy) = 200.
+  const CpmmPool cpmm(PoolId{0}, kX, kY, 100.0, 400.0, 0.003);
+  const ConcentratedPool cl(PoolId{1}, kX, kY, 200.0, 4.0, 1e-12, 1e12,
+                            0.003);
+  EXPECT_NEAR(cl.reserve0(), 100.0, 1e-3);
+  EXPECT_NEAR(cl.reserve1(), 400.0, 1e-3);
+  for (double dx : {0.1, 1.0, 10.0, 50.0}) {
+    EXPECT_NEAR(cl.quote(kX, dx).amount_out, cpmm.quote(kX, dx).amount_out,
+                1e-6 * cpmm.quote(kX, dx).amount_out)
+        << "dx=" << dx;
+    EXPECT_NEAR(cl.quote(kY, dx).amount_out, cpmm.quote(kY, dx).amount_out,
+                1e-6 * std::max(1e-12, cpmm.quote(kY, dx).amount_out))
+        << "dy=" << dx;
+  }
+}
+
+TEST(ConcentratedPoolTest, ConcentrationBeatsCpmmDepth) {
+  // Same real reserves, narrow range: far less slippage.
+  const CpmmPool cpmm(PoolId{0}, kX, kY, 1000.0, 1000.0, 0.0);
+  const auto cl = ConcentratedPool::from_reserves(
+                      PoolId{1}, kX, kY, 1000.0, 1000.0, 0.64, 1.5625, 0.0)
+                      .value();
+  EXPECT_NEAR(cl.price(), 1.0, 1e-6);
+  const double trade = 200.0;
+  EXPECT_GT(cl.quote(kX, trade).amount_out,
+            cpmm.quote(kX, trade).amount_out * 1.02);
+}
+
+TEST(ConcentratedPoolTest, OutputClampsAtRangeEdge) {
+  const ConcentratedPool pool(PoolId{0}, kX, kY, 1000.0, 4.0, 1.0, 16.0,
+                              0.0);
+  // Selling X pushes √P toward 1; the pool can emit at most reserve1.
+  const double huge = pool.quote(kX, 1e12).amount_out;
+  EXPECT_NEAR(huge, pool.reserve1(), 1e-6);
+  // Marginal rate at the clamp is zero.
+  EXPECT_DOUBLE_EQ(pool.quote(kX, 1e12).marginal_rate, 0.0);
+}
+
+TEST(ConcentratedPoolTest, MonotoneAndConcave) {
+  const ConcentratedPool pool(PoolId{0}, kX, kY, 5000.0, 2.25, 1.0, 4.0,
+                              0.003);
+  double prev_out = -1.0;
+  double prev_rate = 1e18;
+  for (double dx = 1.0; dx <= 4096.0; dx *= 2.0) {
+    const SwapQuote q = pool.quote(kX, dx);
+    EXPECT_GE(q.amount_out, prev_out);
+    EXPECT_LE(q.marginal_rate, prev_rate + 1e-12);
+    prev_out = q.amount_out;
+    prev_rate = q.marginal_rate;
+  }
+}
+
+TEST(ConcentratedPoolTest, MarginalRateMatchesNumeric) {
+  const ConcentratedPool pool(PoolId{0}, kX, kY, 5000.0, 2.25, 1.0, 4.0,
+                              0.003);
+  for (double dx : {0.0, 10.0, 200.0}) {
+    const double h = 1e-4;
+    const double numeric = (pool.quote(kX, dx + h).amount_out -
+                            pool.quote(kX, std::max(0.0, dx - h)).amount_out) /
+                           (dx < h ? dx + h : 2 * h);
+    EXPECT_NEAR(pool.quote(kX, dx).marginal_rate, numeric, 1e-4)
+        << "dx=" << dx;
+  }
+}
+
+TEST(ConcentratedPoolTest, ApplySwapMovesPriceAndReserves) {
+  ConcentratedPool pool(PoolId{0}, kX, kY, 1000.0, 4.0, 1.0, 16.0, 0.0);
+  const double x_before = pool.reserve0();
+  const double p_before = pool.price();
+  auto q = pool.apply_swap(kX, 50.0);
+  ASSERT_TRUE(q.ok());
+  EXPECT_LT(pool.price(), p_before);       // selling X lowers the price
+  EXPECT_GT(pool.reserve0(), x_before);    // pool holds more X
+  EXPECT_NEAR(pool.reserve1(),
+              1000.0 * (std::sqrt(pool.price()) - 1.0), 1e-9);
+}
+
+TEST(ConcentratedPoolTest, ApplySwapRejectsRangeExit) {
+  ConcentratedPool pool(PoolId{0}, kX, kY, 1000.0, 4.0, 2.25, 9.0, 0.0);
+  auto q = pool.apply_swap(kX, 1e9);
+  ASSERT_FALSE(q.ok());
+  EXPECT_EQ(q.error().code, ErrorCode::kCapacityExceeded);
+  EXPECT_NEAR(pool.price(), 4.0, 1e-12);  // state unchanged on failure
+}
+
+TEST(ConcentratedPoolTest, FromReservesRoundTrip) {
+  Rng rng(91);
+  for (int trial = 0; trial < 50; ++trial) {
+    const double r0 = rng.uniform(10.0, 1e5);
+    const double r1 = rng.uniform(10.0, 1e5);
+    const double implied = r1 / r0;  // rough scale of the price
+    auto pool = ConcentratedPool::from_reserves(
+        PoolId{0}, kX, kY, r0, r1, implied / 16.0, implied * 16.0);
+    ASSERT_TRUE(pool.ok()) << "trial " << trial;
+    EXPECT_NEAR(pool->reserve0(), r0, r0 * 1e-6);
+    EXPECT_NEAR(pool->reserve1(), r1, r1 * 1e-6);
+  }
+}
+
+TEST(ConcentratedPoolTest, FromReservesPriceIsNotTheNaiveRatio) {
+  // For a concentrated position the reserve ratio does NOT imply the
+  // price r1/r0 (as it does for CPMM): equal reserves on the range
+  // [100, 400] correspond to a price deep inside that range, nowhere
+  // near 1. The solver must land strictly inside the range.
+  auto pool = ConcentratedPool::from_reserves(PoolId{0}, kX, kY, 1000.0,
+                                              1000.0, 100.0, 400.0);
+  ASSERT_TRUE(pool.ok());
+  EXPECT_GT(pool->price(), 100.0);
+  EXPECT_LT(pool->price(), 400.0);
+  EXPECT_NEAR(pool->reserve0(), 1000.0, 1e-3);
+  EXPECT_NEAR(pool->reserve1(), 1000.0, 1e-3);
+}
+
+TEST(ConcentratedPoolTest, RoundTripLosesFee) {
+  ConcentratedPool pool(PoolId{0}, kX, kY, 10'000.0, 1.0, 0.25, 4.0,
+                        0.003);
+  auto out = pool.apply_swap(kX, 100.0);
+  ASSERT_TRUE(out.ok());
+  auto back = pool.apply_swap(kY, out->amount_out);
+  ASSERT_TRUE(back.ok());
+  EXPECT_LT(back->amount_out, 100.0);
+}
+
+TEST(ConcentratedPoolTest, GenericPathIntegration) {
+  // Mixed loop: CL pool (narrow USDC/USDT) + two CPMM legs; the generic
+  // optimizer finds a positive optimum with marginal return 1.
+  const auto cl = ConcentratedPool::from_reserves(
+                      PoolId{0}, kX, kY, 1'004'000.0, 996'000.0, 0.8, 1.25,
+                      0.0004)
+                      .value();
+  const CpmmPool usdt_weth(PoolId{1}, kY, kZ, 1'830'000.0, 1'000.0);
+  const CpmmPool weth_usdc(PoolId{2}, kZ, kX, 1'000.0, 1'860'000.0);
+  const GenericPath loop({swap_fn(cl, kX), swap_fn(usdt_weth, kY),
+                          swap_fn(weth_usdc, kZ)});
+  GenericOptimizeOptions options;
+  options.initial_scale = 1'000.0;
+  const auto trade = optimize_input_generic(loop, options).value();
+  EXPECT_GT(trade.profit, 0.0);
+  // Concentration makes this loop strictly more profitable than the
+  // CPMM version of the same pegged leg.
+  const CpmmPool cpmm_leg(PoolId{0}, kX, kY, 1'004'000.0, 996'000.0,
+                          0.0004);
+  const GenericPath cpmm_loop({swap_fn(cpmm_leg, kX),
+                               swap_fn(usdt_weth, kY),
+                               swap_fn(weth_usdc, kZ)});
+  const auto cpmm_trade =
+      optimize_input_generic(cpmm_loop, options).value();
+  EXPECT_GT(trade.profit, cpmm_trade.profit);
+}
+
+}  // namespace
+}  // namespace arb::amm

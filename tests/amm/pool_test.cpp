@@ -1,0 +1,153 @@
+#include "amm/pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace arb::amm {
+namespace {
+
+const TokenId kX{0};
+const TokenId kY{1};
+const TokenId kZ{2};
+
+CpmmPool make_pool(double r0 = 100.0, double r1 = 200.0,
+                   double fee = kUniswapV2Fee) {
+  return CpmmPool(PoolId{0}, kX, kY, r0, r1, fee);
+}
+
+TEST(PoolTest, ConstructionValidation) {
+  EXPECT_THROW(CpmmPool(PoolId{0}, kX, kX, 1.0, 1.0), PreconditionError);
+  EXPECT_THROW(CpmmPool(PoolId{0}, kX, kY, 0.0, 1.0), PreconditionError);
+  EXPECT_THROW(CpmmPool(PoolId{0}, kX, kY, 1.0, -1.0), PreconditionError);
+  EXPECT_THROW(CpmmPool(PoolId{0}, kX, kY, 1.0, 1.0, 1.0), PreconditionError);
+  EXPECT_THROW(CpmmPool(PoolId{0}, TokenId{}, kY, 1.0, 1.0),
+               PreconditionError);
+}
+
+TEST(PoolTest, Accessors) {
+  const CpmmPool pool = make_pool();
+  EXPECT_EQ(pool.token0(), kX);
+  EXPECT_EQ(pool.token1(), kY);
+  EXPECT_DOUBLE_EQ(pool.reserve0(), 100.0);
+  EXPECT_DOUBLE_EQ(pool.reserve1(), 200.0);
+  EXPECT_DOUBLE_EQ(pool.gamma(), 1.0 - kUniswapV2Fee);
+  EXPECT_DOUBLE_EQ(pool.k(), 20000.0);
+}
+
+TEST(PoolTest, ContainsAndOther) {
+  const CpmmPool pool = make_pool();
+  EXPECT_TRUE(pool.contains(kX));
+  EXPECT_TRUE(pool.contains(kY));
+  EXPECT_FALSE(pool.contains(kZ));
+  EXPECT_EQ(pool.other(kX), kY);
+  EXPECT_EQ(pool.other(kY), kX);
+  EXPECT_THROW((void)pool.other(kZ), PreconditionError);
+}
+
+TEST(PoolTest, ReserveOf) {
+  const CpmmPool pool = make_pool();
+  EXPECT_DOUBLE_EQ(pool.reserve_of(kX), 100.0);
+  EXPECT_DOUBLE_EQ(pool.reserve_of(kY), 200.0);
+  EXPECT_THROW((void)pool.reserve_of(kZ), PreconditionError);
+}
+
+TEST(PoolTest, RelativePricesMultiplyToGammaSquared) {
+  const CpmmPool pool = make_pool();
+  EXPECT_NEAR(pool.relative_price_of(kX) * pool.relative_price_of(kY),
+              pool.gamma() * pool.gamma(), 1e-15);
+}
+
+TEST(PoolTest, QuoteIsPure) {
+  const CpmmPool pool = make_pool();
+  const SwapQuote q1 = pool.quote(kX, 10.0);
+  const SwapQuote q2 = pool.quote(kX, 10.0);
+  EXPECT_DOUBLE_EQ(q1.amount_out, q2.amount_out);
+  EXPECT_DOUBLE_EQ(pool.reserve0(), 100.0);  // unchanged
+}
+
+TEST(PoolTest, QuoteDirectionsDiffer) {
+  const CpmmPool pool = make_pool();
+  EXPECT_NE(pool.quote(kX, 10.0).amount_out, pool.quote(kY, 10.0).amount_out);
+}
+
+TEST(PoolTest, ApplySwapMovesReserves) {
+  CpmmPool pool = make_pool();
+  auto quote = pool.apply_swap(kX, 10.0);
+  ASSERT_TRUE(quote.ok());
+  EXPECT_DOUBLE_EQ(pool.reserve0(), 110.0);
+  EXPECT_DOUBLE_EQ(pool.reserve1(), 200.0 - quote->amount_out);
+}
+
+TEST(PoolTest, ApplySwapGrowsKWithFee) {
+  CpmmPool pool = make_pool();
+  const double k_before = pool.k();
+  ASSERT_TRUE(pool.apply_swap(kX, 25.0).ok());
+  EXPECT_GT(pool.k(), k_before);  // fee accrues to LPs
+}
+
+TEST(PoolTest, FeeFreeSwapPreservesK) {
+  CpmmPool pool = make_pool(100.0, 200.0, 0.0);
+  const double k_before = pool.k();
+  ASSERT_TRUE(pool.apply_swap(kX, 25.0).ok());
+  EXPECT_NEAR(pool.k(), k_before, k_before * 1e-12);
+}
+
+TEST(PoolTest, RoundTripSwapLosesMoney) {
+  CpmmPool pool = make_pool();
+  auto out = pool.apply_swap(kX, 10.0);
+  ASSERT_TRUE(out.ok());
+  auto back = pool.apply_swap(kY, out->amount_out);
+  ASSERT_TRUE(back.ok());
+  EXPECT_LT(back->amount_out, 10.0);  // fees + slippage
+}
+
+TEST(PoolTest, SwapNegativeAmountThrows) {
+  CpmmPool pool = make_pool();
+  EXPECT_THROW((void)pool.quote(kX, -1.0), PreconditionError);
+}
+
+TEST(PoolTest, SequentialSwapsMatchOneBigSwapWhenFeeFree) {
+  // Path-independence of the constant product (no fee): two half swaps
+  // equal one full swap.
+  CpmmPool two_steps = make_pool(100.0, 200.0, 0.0);
+  ASSERT_TRUE(two_steps.apply_swap(kX, 5.0).ok());
+  ASSERT_TRUE(two_steps.apply_swap(kX, 5.0).ok());
+  CpmmPool one_step = make_pool(100.0, 200.0, 0.0);
+  ASSERT_TRUE(one_step.apply_swap(kX, 10.0).ok());
+  EXPECT_NEAR(two_steps.reserve1(), one_step.reserve1(), 1e-9);
+}
+
+TEST(PoolTest, WithFeeSplittingTradesIsWorse) {
+  CpmmPool two_steps = make_pool();
+  double got_split = 0.0;
+  got_split += two_steps.apply_swap(kX, 5.0)->amount_out;
+  got_split += two_steps.apply_swap(kX, 5.0)->amount_out;
+  CpmmPool one_step = make_pool();
+  const double got_whole = one_step.apply_swap(kX, 10.0)->amount_out;
+  EXPECT_LT(got_split, got_whole);
+}
+
+TEST(PoolPropertyTest, QuoteNeverExceedsLinearPrice) {
+  Rng rng(11);
+  for (int trial = 0; trial < 200; ++trial) {
+    const double r_in = rng.uniform(10.0, 1e6);
+    const double r_out = rng.uniform(10.0, 1e6);
+    const CpmmPool pool(PoolId{1}, kX, kY, r_in, r_out);
+    const double dx = rng.uniform(0.0, r_in * 10.0);
+    const SwapQuote q = pool.quote(kX, dx);
+    // Slippage: realized rate <= marginal rate at zero.
+    EXPECT_LE(q.amount_out, pool.relative_price_of(kX) * dx * (1.0 + 1e-12));
+    EXPECT_LT(q.amount_out, r_out);
+  }
+}
+
+TEST(PoolTest, ToStringMentionsTokensAndReserves) {
+  const std::string s = make_pool().to_string();
+  EXPECT_NE(s.find("token#0"), std::string::npos);
+  EXPECT_NE(s.find("100"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace arb::amm

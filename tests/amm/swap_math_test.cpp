@@ -1,0 +1,164 @@
+#include "amm/swap_math.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "math/derivative.hpp"
+
+namespace arb::amm {
+namespace {
+
+TEST(SwapMathTest, ZeroInputZeroOutput) {
+  EXPECT_DOUBLE_EQ(swap_out(100.0, 200.0, 0.997, 0.0), 0.0);
+}
+
+TEST(SwapMathTest, KnownFeeFreeSwap) {
+  // (100 + 100)(200 - dy) = 100·200 → dy = 100.
+  EXPECT_NEAR(swap_out(100.0, 200.0, 1.0, 100.0), 100.0, 1e-12);
+}
+
+TEST(SwapMathTest, FeeReducesOutput) {
+  const double with_fee = swap_out(100.0, 200.0, 0.997, 50.0);
+  const double without = swap_out(100.0, 200.0, 1.0, 50.0);
+  EXPECT_LT(with_fee, without);
+  EXPECT_GT(with_fee, 0.0);
+}
+
+TEST(SwapMathTest, OutputBoundedByReserve) {
+  // Even an enormous trade cannot drain the output reserve.
+  EXPECT_LT(swap_out(100.0, 200.0, 0.997, 1e15), 200.0);
+}
+
+TEST(SwapMathTest, MonotoneIncreasingAndConcave) {
+  double prev_out = 0.0;
+  double prev_slope = 1e18;
+  for (double dx = 1.0; dx <= 512.0; dx *= 2.0) {
+    const double out = swap_out(100.0, 200.0, 0.997, dx);
+    EXPECT_GT(out, prev_out);
+    const double slope = swap_out_derivative(100.0, 200.0, 0.997, dx);
+    EXPECT_LT(slope, prev_slope);  // concavity: marginal rate decreases
+    prev_out = out;
+    prev_slope = slope;
+  }
+}
+
+TEST(SwapMathTest, DerivativeMatchesNumeric) {
+  for (double dx : {0.0, 1.0, 10.0, 250.0}) {
+    const double analytic = swap_out_derivative(100.0, 200.0, 0.997, dx);
+    const double numeric = math::central_derivative(
+        [](double d) { return swap_out(100.0, 200.0, 0.997, d); }, dx + 1e-9);
+    EXPECT_NEAR(analytic, numeric, 1e-5) << "dx=" << dx;
+  }
+}
+
+TEST(SwapMathTest, DerivativeAtZeroIsMarginalPrice) {
+  EXPECT_NEAR(swap_out_derivative(100.0, 200.0, 0.997, 0.0),
+              relative_price(100.0, 200.0, 0.997), 1e-15);
+}
+
+TEST(SwapMathTest, DualEvaluationMatchesDoubleAndDerivative) {
+  const math::Dual d = swap_out(math::Dual{100.0}, math::Dual{200.0}, 0.997,
+                                math::Dual::variable(37.0));
+  EXPECT_DOUBLE_EQ(d.value, swap_out(100.0, 200.0, 0.997, 37.0));
+  EXPECT_NEAR(d.deriv, swap_out_derivative(100.0, 200.0, 0.997, 37.0), 1e-12);
+}
+
+TEST(SwapMathTest, InverseRoundTrip) {
+  const double dy = swap_out(100.0, 200.0, 0.997, 42.0);
+  auto dx = swap_in_for_out(100.0, 200.0, 0.997, dy);
+  ASSERT_TRUE(dx.ok());
+  EXPECT_NEAR(*dx, 42.0, 1e-9);
+}
+
+TEST(SwapMathTest, InverseRejectsDrainingReserve) {
+  auto dx = swap_in_for_out(100.0, 200.0, 0.997, 200.0);
+  ASSERT_FALSE(dx.ok());
+  EXPECT_EQ(dx.error().code, ErrorCode::kCapacityExceeded);
+}
+
+TEST(SwapMathTest, RelativePriceMatchesPaperDefinition) {
+  // p_ij = (1-λ)·r_j/r_i.
+  EXPECT_DOUBLE_EQ(relative_price(100.0, 200.0, 0.997), 0.997 * 2.0);
+}
+
+TEST(SwapMathTest, PreconditionsThrow) {
+  EXPECT_THROW((void)relative_price(0.0, 1.0, 0.997), PreconditionError);
+  EXPECT_THROW(
+      { auto r = swap_in_for_out(1.0, 1.0, 0.0, 0.5); (void)r; },
+      PreconditionError);
+}
+
+// --- exact integer layer -------------------------------------------------
+
+TEST(ExactSwapTest, MatchesUniswapReferenceValues) {
+  // Reference from UniswapV2Library.getAmountOut:
+  // amountIn=1e18, reserves (100e18, 200e18):
+  //   out = 1e18·997·200e18 / (100e18·1000 + 1e18·997) = 1974316068794122597.
+  const U256 e18{1000000000000000000ULL};
+  const U256 out = get_amount_out_exact(e18, e18 * U256{100}, e18 * U256{200});
+  EXPECT_EQ(out.to_decimal(), "1974316068794122597");
+}
+
+TEST(ExactSwapTest, ZeroInputZeroOutput) {
+  EXPECT_TRUE(get_amount_out_exact(U256{0}, U256{100}, U256{200}).is_zero());
+}
+
+TEST(ExactSwapTest, OutputAlwaysBelowReserve) {
+  Rng rng(3);
+  for (int trial = 0; trial < 200; ++trial) {
+    const U256 in{rng.next_u64() >> 8};
+    const U256 r_in{(rng.next_u64() >> 16) + 1};
+    const U256 r_out{(rng.next_u64() >> 16) + 1};
+    EXPECT_LT(get_amount_out_exact(in, r_in, r_out), r_out);
+  }
+}
+
+TEST(ExactSwapTest, KNeverDecreases) {
+  Rng rng(4);
+  for (int trial = 0; trial < 200; ++trial) {
+    const U256 in{(rng.next_u64() >> 20) + 1};
+    const U256 r_in{(rng.next_u64() >> 24) + 1000};
+    const U256 r_out{(rng.next_u64() >> 24) + 1000};
+    const U256 out = get_amount_out_exact(in, r_in, r_out);
+    // (r_in + in)(r_out − out) >= r_in·r_out.
+    EXPECT_GE((r_in + in) * (r_out - out), r_in * r_out);
+  }
+}
+
+TEST(ExactSwapTest, DoubleModelTracksIntegerModel) {
+  Rng rng(5);
+  for (int trial = 0; trial < 100; ++trial) {
+    const std::uint64_t in = (rng.next_u64() >> 24) + 1'000'000;
+    const std::uint64_t r_in = (rng.next_u64() >> 20) + 100'000'000;
+    const std::uint64_t r_out = (rng.next_u64() >> 20) + 100'000'000;
+    const double exact =
+        get_amount_out_exact(U256{in}, U256{r_in}, U256{r_out}).to_double();
+    const double model = swap_out(static_cast<double>(r_in),
+                                  static_cast<double>(r_out), 0.997,
+                                  static_cast<double>(in));
+    // Flooring plus double rounding: relative error stays tiny.
+    EXPECT_NEAR(exact / model, 1.0, 1e-6);
+  }
+}
+
+TEST(ExactSwapTest, AmountInRoundTripCoversRequestedOutput) {
+  Rng rng(6);
+  for (int trial = 0; trial < 100; ++trial) {
+    const U256 r_in{(rng.next_u64() >> 24) + 1'000'000};
+    const U256 r_out{(rng.next_u64() >> 24) + 1'000'000};
+    const U256 want = r_out / U256{(rng.next_u64() % 50) + 2};
+    if (want.is_zero()) continue;
+    auto need = get_amount_in_exact(want, r_in, r_out);
+    ASSERT_TRUE(need.ok());
+    // Paying the quoted input must yield at least the wanted output.
+    EXPECT_GE(get_amount_out_exact(*need, r_in, r_out), want);
+  }
+}
+
+TEST(ExactSwapTest, AmountInRejectsFullReserve) {
+  EXPECT_FALSE(get_amount_in_exact(U256{200}, U256{100}, U256{200}).ok());
+}
+
+}  // namespace
+}  // namespace arb::amm

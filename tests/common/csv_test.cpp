@@ -1,0 +1,145 @@
+#include "common/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace arb {
+namespace {
+
+TEST(CsvWriterTest, BasicRows) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.header({"a", "b"});
+  csv.row(std::string("x"), 1.5);
+  csv.row(std::string("y"), 2.0);
+  EXPECT_EQ(out.str(), "a,b\nx,1.5\ny,2\n");
+  EXPECT_EQ(csv.rows_written(), 2u);
+}
+
+TEST(CsvWriterTest, QuotesSpecialCharacters) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.cell("hello, world").cell("say \"hi\"").cell("line\nbreak");
+  csv.end_row();
+  EXPECT_EQ(out.str(), "\"hello, world\",\"say \"\"hi\"\"\",\"line\nbreak\"\n");
+}
+
+TEST(CsvWriterTest, RowWidthEnforced) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.header({"a", "b"});
+  csv.cell("only-one");
+  EXPECT_THROW(csv.end_row(), PreconditionError);
+}
+
+TEST(CsvWriterTest, HeaderMustComeFirst) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.row(std::string("data"));
+  EXPECT_THROW(csv.header({"late"}), PreconditionError);
+}
+
+TEST(CsvWriterTest, DoubleRoundTripPrecision) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  const double value = 0.1 + 0.2;  // 0.30000000000000004
+  csv.row(value);
+  auto table = parse_csv("v\n" + out.str());
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(std::stod(table->rows[0][0]), value);
+}
+
+TEST(CsvParseTest, SimpleTable) {
+  auto table = parse_csv("a,b,c\n1,2,3\n4,5,6\n");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->header, (std::vector<std::string>{"a", "b", "c"}));
+  ASSERT_EQ(table->rows.size(), 2u);
+  EXPECT_EQ(table->rows[1][2], "6");
+}
+
+TEST(CsvParseTest, QuotedFieldsWithCommasAndQuotes) {
+  auto table = parse_csv("name,note\nalice,\"x, y\"\nbob,\"say \"\"hi\"\"\"\n");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->rows[0][1], "x, y");
+  EXPECT_EQ(table->rows[1][1], "say \"hi\"");
+}
+
+TEST(CsvParseTest, CrlfLineEndings) {
+  auto table = parse_csv("a,b\r\n1,2\r\n");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->rows[0][0], "1");
+}
+
+TEST(CsvParseTest, MissingTrailingNewline) {
+  auto table = parse_csv("a\n42");
+  ASSERT_TRUE(table.ok());
+  ASSERT_EQ(table->rows.size(), 1u);
+  EXPECT_EQ(table->rows[0][0], "42");
+}
+
+TEST(CsvParseTest, EmbeddedNewlineInQuotes) {
+  auto table = parse_csv("a\n\"two\nlines\"\n");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->rows[0][0], "two\nlines");
+}
+
+TEST(CsvParseTest, RaggedRowIsError) {
+  auto table = parse_csv("a,b\n1\n");
+  EXPECT_FALSE(table.ok());
+  EXPECT_EQ(table.error().code, ErrorCode::kParseError);
+}
+
+TEST(CsvParseTest, UnterminatedQuoteIsError) {
+  EXPECT_FALSE(parse_csv("a\n\"oops\n").ok());
+}
+
+TEST(CsvParseTest, QuoteMidFieldIsError) {
+  EXPECT_FALSE(parse_csv("a\nab\"c\n").ok());
+}
+
+TEST(CsvParseTest, EmptyInputIsError) {
+  EXPECT_FALSE(parse_csv("").ok());
+}
+
+TEST(CsvParseTest, BlankLinesSkipped) {
+  auto table = parse_csv("a\n1\n\n2\n");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->rows.size(), 2u);
+}
+
+TEST(CsvParseTest, ColumnIndexLookup) {
+  auto table = parse_csv("x,y,z\n1,2,3\n");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->column_index("y"), 1u);
+  EXPECT_THROW((void)table->column_index("missing"), PreconditionError);
+}
+
+TEST(CsvFileTest, MissingFileIsIoError) {
+  auto result = read_csv_file("/nonexistent/path/file.csv");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, ErrorCode::kIoError);
+}
+
+TEST(CsvRoundTrip, WriterOutputParsesBack) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.header({"sym", "price"});
+  csv.row(std::string("A,B"), 1.25);
+  csv.row(std::string("plain"), -3.5);
+  auto table = parse_csv(out.str());
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->rows[0][0], "A,B");
+  EXPECT_EQ(table->rows[1][1], "-3.5");
+}
+
+TEST(FormatDoubleTest, ShortestRoundTrip) {
+  EXPECT_EQ(format_double(1.0), "1");
+  EXPECT_EQ(format_double(0.5), "0.5");
+  EXPECT_EQ(std::stod(format_double(1.0 / 3.0)), 1.0 / 3.0);
+}
+
+}  // namespace
+}  // namespace arb

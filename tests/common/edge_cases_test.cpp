@@ -1,0 +1,132 @@
+// Edge-case sweep across modules: the error paths and boundary inputs
+// that the happy-path suites do not reach.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "amm/path.hpp"
+#include "amm/pool.hpp"
+#include "common/error.hpp"
+#include "common/uint256.hpp"
+#include "market/io.hpp"
+#include "math/scalar_solve.hpp"
+
+namespace arb {
+namespace {
+
+TEST(U256EdgeTest, ShiftOutOfRangeThrows) {
+  const U256 v{1};
+  EXPECT_THROW(v << 256, PreconditionError);
+  EXPECT_THROW(v >> 256, PreconditionError);
+  EXPECT_THROW(v << -1, PreconditionError);
+}
+
+TEST(U256EdgeTest, DivisionBySelfAndByOne) {
+  const U256 v = U256::from_limbs(0x123, 0x456, 0x789, 0xabc);
+  EXPECT_EQ(v / v, U256{1});
+  EXPECT_EQ(v % v, U256{0});
+  EXPECT_EQ(v / U256{1}, v);
+  EXPECT_EQ(v % U256{1}, U256{0});
+}
+
+TEST(U256EdgeTest, DivisionOfSmallerByLarger) {
+  EXPECT_EQ(U256{5} / U256{7}, U256{0});
+  EXPECT_EQ(U256{5} % U256{7}, U256{5});
+}
+
+TEST(ScalarSolveEdgeTest, ExpandBracketValidation) {
+  const auto fn = [](double x) { return 1.0 - x; };
+  EXPECT_THROW(
+      { auto r = math::expand_bracket_right(fn, 0.0, -1.0, 10.0); (void)r; },
+      PreconditionError);
+  EXPECT_THROW(
+      {
+        auto r = math::expand_bracket_right(fn, 0.0, 1.0, 10.0, 0.5);
+        (void)r;
+      },
+      PreconditionError);
+}
+
+TEST(ScalarSolveEdgeTest, GoldenSectionDegenerateInterval) {
+  const auto report = math::golden_section_maximize(
+      [](double x) { return -x * x; }, 2.0, 2.0);
+  EXPECT_DOUBLE_EQ(report.x, 2.0);
+}
+
+TEST(ScalarSolveEdgeTest, BisectRejectsInvertedBracket) {
+  EXPECT_THROW(
+      {
+        auto r = math::bisect_root([](double x) { return x; }, 1.0, -1.0);
+        (void)r;
+      },
+      PreconditionError);
+}
+
+TEST(PoolEdgeTest, ExtremeReserveRatios) {
+  // 12 orders of magnitude between the sides.
+  const amm::CpmmPool pool(PoolId{0}, TokenId{0}, TokenId{1}, 1e-3, 1e9);
+  const amm::SwapQuote q = pool.quote(TokenId{0}, 1e-4);
+  EXPECT_GT(q.amount_out, 0.0);
+  EXPECT_LT(q.amount_out, 1e9);
+  EXPECT_TRUE(std::isfinite(q.marginal_rate));
+}
+
+TEST(PoolEdgeTest, TinySwapKeepsPrecision) {
+  const amm::CpmmPool pool(PoolId{0}, TokenId{0}, TokenId{1}, 1e6, 2e6);
+  const amm::SwapQuote q = pool.quote(TokenId{0}, 1e-9);
+  // At infinitesimal size the rate equals the marginal price.
+  EXPECT_NEAR(q.amount_out / 1e-9, pool.relative_price_of(TokenId{0}),
+              1e-6);
+}
+
+TEST(PathEdgeTest, SingleHopPathIsNotACycle) {
+  const amm::CpmmPool pool(PoolId{0}, TokenId{0}, TokenId{1}, 100.0, 200.0);
+  const amm::PoolPath path =
+      *amm::PoolPath::create({amm::Hop{&pool, TokenId{0}}});
+  EXPECT_FALSE(path.is_cycle());
+  // Optimizing an open path is mathematically fine (output is another
+  // token); the analytic optimum maximizes out − in, which for a single
+  // hop with rate < 1/γ... just confirm it does not crash and respects
+  // monotonicity.
+  const auto trade = amm::optimize_input_analytic(path);
+  EXPECT_GE(trade.input, 0.0);
+}
+
+TEST(MarketIoEdgeTest, CorruptTokensCsvFails) {
+  const auto dir = std::filesystem::temp_directory_path() / "arb_edge_io";
+  std::filesystem::create_directories(dir);
+  {
+    std::ofstream tokens(dir / "tokens.csv");
+    tokens << "token_id,symbol,cex_price_usd\n0,AAA,not_a_number\n";
+    std::ofstream pools(dir / "pools.csv");
+    pools << "pool_id,token0,token1,reserve0,reserve1,fee\n";
+  }
+  auto loaded = market::load_snapshot(dir.string());
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.error().code, ErrorCode::kParseError);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(MarketIoEdgeTest, NegativePriceSkippedNotFatal) {
+  const auto dir =
+      std::filesystem::temp_directory_path() / "arb_edge_io_neg";
+  std::filesystem::create_directories(dir);
+  {
+    std::ofstream tokens(dir / "tokens.csv");
+    // 0 price encodes "unknown" (save_snapshot writes 0 for missing).
+    tokens << "token_id,symbol,cex_price_usd\n0,AAA,0\n1,BBB,2.5\n";
+    std::ofstream pools(dir / "pools.csv");
+    pools << "pool_id,token0,token1,reserve0,reserve1,fee\n"
+             "0,0,1,100,200,0.003\n";
+  }
+  auto loaded = market::load_snapshot(dir.string());
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_FALSE(loaded->prices.has_price(TokenId{0}));
+  EXPECT_TRUE(loaded->prices.has_price(TokenId{1}));
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace arb

@@ -1,0 +1,167 @@
+// Tests for types.hpp, error.hpp, result.hpp, strings.hpp, logging.hpp.
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "common/error.hpp"
+#include "common/logging.hpp"
+#include "common/result.hpp"
+#include "common/strings.hpp"
+#include "common/types.hpp"
+
+namespace arb {
+namespace {
+
+TEST(StrongIdTest, DefaultIsInvalid) {
+  TokenId id;
+  EXPECT_FALSE(id.valid());
+  EXPECT_EQ(id, TokenId::invalid());
+}
+
+TEST(StrongIdTest, ValueRoundTrip) {
+  TokenId id{7};
+  EXPECT_TRUE(id.valid());
+  EXPECT_EQ(id.value(), 7u);
+}
+
+TEST(StrongIdTest, Ordering) {
+  EXPECT_LT(TokenId{1}, TokenId{2});
+  EXPECT_EQ(PoolId{3}, PoolId{3});
+}
+
+TEST(StrongIdTest, DistinctTypesAreNotInterchangeable) {
+  static_assert(!std::is_convertible_v<TokenId, PoolId>);
+  static_assert(!std::is_convertible_v<PoolId, TokenId>);
+}
+
+TEST(StrongIdTest, Hashable) {
+  std::unordered_set<TokenId> set{TokenId{1}, TokenId{2}, TokenId{1}};
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(StrongIdTest, ToString) {
+  EXPECT_EQ(to_string(TokenId{5}), "token#5");
+  EXPECT_EQ(to_string(PoolId{9}), "pool#9");
+  EXPECT_EQ(to_string(TokenId{}), "token#<invalid>");
+}
+
+TEST(ErrorTest, ToStringIncludesCodeAndMessage) {
+  const Error e = make_error(ErrorCode::kNotFound, "token xyz");
+  EXPECT_EQ(e.to_string(), "not_found: token xyz");
+}
+
+TEST(ErrorTest, AllCodesHaveNames) {
+  for (ErrorCode code :
+       {ErrorCode::kInvalidArgument, ErrorCode::kNotFound,
+        ErrorCode::kNumericFailure, ErrorCode::kInfeasible,
+        ErrorCode::kParseError, ErrorCode::kIoError,
+        ErrorCode::kInvariantViolated, ErrorCode::kCapacityExceeded}) {
+    EXPECT_NE(to_string(code), "unknown");
+  }
+}
+
+TEST(RequireTest, ThrowsWithContext) {
+  try {
+    ARB_REQUIRE(1 == 2, "math broke");
+    FAIL() << "should have thrown";
+  } catch (const PreconditionError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("math broke"), std::string::npos);
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.value_or(0), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = make_error(ErrorCode::kNotFound, "nope");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, ErrorCode::kNotFound);
+  EXPECT_EQ(r.value_or(-1), -1);
+  EXPECT_THROW((void)r.value(), PreconditionError);
+}
+
+TEST(ResultTest, ErrorAccessOnSuccessThrows) {
+  Result<int> r = 1;
+  EXPECT_THROW((void)r.error(), PreconditionError);
+}
+
+TEST(ResultTest, MapPropagates) {
+  Result<int> ok = 10;
+  auto doubled = ok.map([](int v) { return v * 2; });
+  ASSERT_TRUE(doubled.ok());
+  EXPECT_EQ(*doubled, 20);
+
+  Result<int> bad = make_error(ErrorCode::kIoError, "x");
+  auto still_bad = bad.map([](int v) { return v * 2; });
+  EXPECT_FALSE(still_bad.ok());
+  EXPECT_EQ(still_bad.error().code, ErrorCode::kIoError);
+}
+
+TEST(StatusTest, DefaultIsSuccess) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_THROW((void)s.error(), PreconditionError);
+}
+
+TEST(StatusTest, CarriesError) {
+  Status s = make_error(ErrorCode::kIoError, "disk full");
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.error().message, "disk full");
+}
+
+TEST(StringsTest, SplitBasic) {
+  EXPECT_EQ(split("a,b,c", ','),
+            (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(StringsTest, SplitKeepsEmptyPieces) {
+  EXPECT_EQ(split(",a,,b,", ','),
+            (std::vector<std::string>{"", "a", "", "b", ""}));
+}
+
+TEST(StringsTest, TrimWhitespace) {
+  EXPECT_EQ(trim("  hi there \t\n"), "hi there");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+}
+
+TEST(StringsTest, ParseDoubleStrict) {
+  EXPECT_DOUBLE_EQ(*parse_double("3.25"), 3.25);
+  EXPECT_DOUBLE_EQ(*parse_double(" -1e3 "), -1000.0);
+  EXPECT_FALSE(parse_double("12abc").ok());
+  EXPECT_FALSE(parse_double("").ok());
+}
+
+TEST(StringsTest, ParseU64Strict) {
+  EXPECT_EQ(*parse_u64("123"), 123u);
+  EXPECT_FALSE(parse_u64("-1").ok());
+  EXPECT_FALSE(parse_u64("1.5").ok());
+}
+
+TEST(StringsTest, StartsWith) {
+  EXPECT_TRUE(starts_with("token#1", "token"));
+  EXPECT_FALSE(starts_with("tok", "token"));
+}
+
+TEST(StringsTest, Join) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+}
+
+TEST(LoggingTest, LevelGate) {
+  const LogLevel before = log_level();
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+  ARB_LOG_DEBUG("this must not crash even when filtered");
+  set_log_level(before);
+}
+
+}  // namespace
+}  // namespace arb

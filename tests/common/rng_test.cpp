@@ -1,0 +1,163 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+
+namespace arb {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RngTest, ZeroSeedStillWorks) {
+  Rng rng(0);
+  // splitmix expansion must not yield the all-zero xoshiro state.
+  std::set<std::uint64_t> values;
+  for (int i = 0; i < 16; ++i) values.insert(rng.next_u64());
+  EXPECT_GT(values.size(), 10u);
+}
+
+TEST(RngTest, Uniform01InRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, Uniform01MeanNearHalf) {
+  Rng rng(8);
+  StreamingStats stats;
+  for (int i = 0; i < 100000; ++i) stats.add(rng.uniform01());
+  EXPECT_NEAR(stats.mean(), 0.5, 0.01);
+  EXPECT_NEAR(stats.variance(), 1.0 / 12.0, 0.01);
+}
+
+TEST(RngTest, UniformRespectsBounds) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.5);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.5);
+  }
+}
+
+TEST(RngTest, UniformIntCoversRangeInclusively) {
+  Rng rng(10);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const std::int64_t v = rng.uniform_int(-2, 3);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 6u);  // all values hit
+}
+
+TEST(RngTest, UniformIntSingleton) {
+  Rng rng(11);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniform_int(42, 42), 42);
+}
+
+TEST(RngTest, NormalMomentsMatch) {
+  Rng rng(12);
+  StreamingStats stats;
+  for (int i = 0; i < 200000; ++i) stats.add(rng.normal());
+  EXPECT_NEAR(stats.mean(), 0.0, 0.02);
+  EXPECT_NEAR(stats.stddev(), 1.0, 0.02);
+}
+
+TEST(RngTest, NormalShiftScale) {
+  Rng rng(13);
+  StreamingStats stats;
+  for (int i = 0; i < 100000; ++i) stats.add(rng.normal(10.0, 2.0));
+  EXPECT_NEAR(stats.mean(), 10.0, 0.05);
+  EXPECT_NEAR(stats.stddev(), 2.0, 0.05);
+}
+
+TEST(RngTest, LogNormalIsPositiveWithMatchingLogMoments) {
+  Rng rng(14);
+  StreamingStats log_stats;
+  for (int i = 0; i < 50000; ++i) {
+    const double v = rng.log_normal(1.5, 0.7);
+    ASSERT_GT(v, 0.0);
+    log_stats.add(std::log(v));
+  }
+  EXPECT_NEAR(log_stats.mean(), 1.5, 0.02);
+  EXPECT_NEAR(log_stats.stddev(), 0.7, 0.02);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(15);
+  int hits = 0;
+  for (int i = 0; i < 100000; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 100000.0, 0.3, 0.01);
+}
+
+TEST(RngTest, BernoulliEdges) {
+  Rng rng(16);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, IndexBounds) {
+  Rng rng(17);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.index(7), 7u);
+  }
+  EXPECT_THROW(rng.index(0), PreconditionError);
+}
+
+TEST(RngTest, ShufflePreservesMultiset) {
+  Rng rng(18);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> shuffled = v;
+  rng.shuffle(shuffled);
+  EXPECT_TRUE(std::is_permutation(v.begin(), v.end(), shuffled.begin()));
+}
+
+TEST(RngTest, SplitProducesIndependentStream) {
+  Rng a(19);
+  Rng b = a.split();
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RngTest, InvalidArgumentsThrow) {
+  Rng rng(20);
+  EXPECT_THROW(rng.uniform(2.0, 1.0), PreconditionError);
+  EXPECT_THROW(rng.uniform_int(3, 2), PreconditionError);
+  EXPECT_THROW(rng.bernoulli(1.5), PreconditionError);
+  EXPECT_THROW(rng.normal(0.0, -1.0), PreconditionError);
+}
+
+}  // namespace
+}  // namespace arb

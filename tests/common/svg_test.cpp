@@ -1,0 +1,85 @@
+#include "common/svg.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace arb {
+namespace {
+
+TEST(NiceTicksTest, CoversRangeWithRoundSteps) {
+  const auto ticks = nice_ticks(0.0, 10.0);
+  ASSERT_GE(ticks.size(), 3u);
+  EXPECT_DOUBLE_EQ(ticks.front(), 0.0);
+  EXPECT_LE(ticks.back(), 10.0 + 1e-9);
+  // Uniform spacing with a 1-2-5 step.
+  const double step = ticks[1] - ticks[0];
+  for (std::size_t i = 2; i < ticks.size(); ++i) {
+    EXPECT_NEAR(ticks[i] - ticks[i - 1], step, 1e-9);
+  }
+}
+
+TEST(NiceTicksTest, NegativeAndFractionalRanges) {
+  const auto ticks = nice_ticks(-0.37, 0.41);
+  EXPECT_GE(ticks.front(), -0.37 - 1e-9);
+  EXPECT_LE(ticks.back(), 0.41 + 1e-9);
+  // Zero must be exactly representable, not -1.4e-17.
+  bool has_exact_zero = false;
+  for (double t : ticks) {
+    if (t == 0.0) has_exact_zero = true;
+  }
+  EXPECT_TRUE(has_exact_zero);
+}
+
+TEST(NiceTicksTest, DegenerateRange) {
+  const auto ticks = nice_ticks(5.0, 5.0);
+  EXPECT_FALSE(ticks.empty());
+}
+
+TEST(SvgPlotTest, RenderContainsStructure) {
+  SvgPlot plot("Test Title", "xs", "ys");
+  plot.add_series(SvgSeries{"lineA", {{0.0, 1.0}, {1.0, 2.0}}, true});
+  plot.add_series(SvgSeries{"dots", {{0.5, 1.5}}, false});
+  const std::string svg = plot.render();
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+  EXPECT_NE(svg.find("Test Title"), std::string::npos);
+  EXPECT_NE(svg.find("xs"), std::string::npos);
+  EXPECT_NE(svg.find("ys"), std::string::npos);
+  EXPECT_NE(svg.find("<polyline"), std::string::npos);
+  EXPECT_NE(svg.find("<circle"), std::string::npos);
+  EXPECT_NE(svg.find("lineA"), std::string::npos);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+}
+
+TEST(SvgPlotTest, DiagonalRendered) {
+  SvgPlot plot("d", "x", "y");
+  plot.add_series(SvgSeries{"s", {{0.0, 0.0}, {10.0, 10.0}}, false});
+  plot.add_diagonal();
+  EXPECT_NE(plot.render().find("stroke-dasharray"), std::string::npos);
+}
+
+TEST(SvgPlotTest, EscapesXmlInLabels) {
+  SvgPlot plot("a < b & c", "x", "y");
+  plot.add_series(SvgSeries{"s", {{0.0, 0.0}}, true});
+  const std::string svg = plot.render();
+  EXPECT_NE(svg.find("a &lt; b &amp; c"), std::string::npos);
+  EXPECT_EQ(svg.find("a < b"), std::string::npos);
+}
+
+TEST(SvgPlotTest, EmptyPlotStillRenders) {
+  SvgPlot plot("empty", "x", "y");
+  const std::string svg = plot.render();
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+}
+
+TEST(SvgPlotTest, WriteFailsOnBadPath) {
+  SvgPlot plot("t", "x", "y");
+  EXPECT_FALSE(plot.write("/nonexistent/dir/plot.svg").ok());
+}
+
+TEST(SvgPlotTest, TooSmallCanvasRejected) {
+  EXPECT_THROW(SvgPlot("t", "x", "y", 50, 50), PreconditionError);
+}
+
+}  // namespace
+}  // namespace arb

@@ -1,0 +1,180 @@
+#include "common/uint256.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace arb {
+namespace {
+
+TEST(U256Test, DefaultIsZero) {
+  U256 v;
+  EXPECT_TRUE(v.is_zero());
+  EXPECT_EQ(v.bit_length(), 0);
+  EXPECT_EQ(v.to_decimal(), "0");
+}
+
+TEST(U256Test, SmallArithmetic) {
+  const U256 a{7};
+  const U256 b{5};
+  EXPECT_EQ((a + b).to_u64(), 12u);
+  EXPECT_EQ((a - b).to_u64(), 2u);
+  EXPECT_EQ((a * b).to_u64(), 35u);
+  EXPECT_EQ((a / b).to_u64(), 1u);
+  EXPECT_EQ((a % b).to_u64(), 2u);
+}
+
+TEST(U256Test, ComparisonOrdering) {
+  const U256 small{1};
+  const U256 big = U256::from_limbs(0, 0, 0, 1);
+  EXPECT_LT(small, big);
+  EXPECT_GT(big, small);
+  EXPECT_EQ(small, U256{1});
+  EXPECT_NE(small, big);
+}
+
+TEST(U256Test, AdditionCarriesAcrossLimbs) {
+  const U256 max_limb{~std::uint64_t{0}};
+  const U256 sum = max_limb + U256{1};
+  EXPECT_EQ(sum, U256::from_limbs(0, 1, 0, 0));
+}
+
+TEST(U256Test, SubtractionBorrowsAcrossLimbs) {
+  const U256 value = U256::from_limbs(0, 1, 0, 0);
+  const U256 result = value - U256{1};
+  EXPECT_EQ(result, U256{~std::uint64_t{0}});
+}
+
+TEST(U256Test, AdditionOverflowThrows) {
+  const U256 max = U256::from_limbs(~0ULL, ~0ULL, ~0ULL, ~0ULL);
+  EXPECT_THROW(max + U256{1}, PreconditionError);
+  EXPECT_TRUE(U256::add_overflows(max, U256{1}));
+  EXPECT_FALSE(U256::add_overflows(max, U256{0}));
+}
+
+TEST(U256Test, SubtractionUnderflowThrows) {
+  EXPECT_THROW(U256{1} - U256{2}, PreconditionError);
+}
+
+TEST(U256Test, MultiplicationOverflowThrows) {
+  const U256 big = U256::from_limbs(0, 0, 1, 0);  // 2^128
+  EXPECT_THROW(big * big, PreconditionError);
+  EXPECT_TRUE(U256::mul_overflows(big, big));
+  EXPECT_FALSE(U256::mul_overflows(big, U256{2}));
+}
+
+TEST(U256Test, DivisionByZeroThrows) {
+  EXPECT_THROW(U256{1} / U256{0}, PreconditionError);
+}
+
+TEST(U256Test, WideMultiplication) {
+  // (2^64)·(2^64) = 2^128.
+  const U256 two64 = U256::from_limbs(0, 1, 0, 0);
+  EXPECT_EQ(two64 * two64, U256::from_limbs(0, 0, 1, 0));
+}
+
+TEST(U256Test, ShiftRoundTrip) {
+  const U256 v{0xdeadbeefULL};
+  for (int s : {1, 7, 63, 64, 65, 127, 128, 200}) {
+    EXPECT_EQ((v << s) >> s, v) << "shift " << s;
+  }
+}
+
+TEST(U256Test, DecimalRoundTripSmall) {
+  for (std::uint64_t v : {0ULL, 1ULL, 9ULL, 10ULL, 123456789ULL}) {
+    const U256 u{v};
+    auto parsed = U256::from_decimal(u.to_decimal());
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, u);
+  }
+}
+
+TEST(U256Test, DecimalKnownBigValue) {
+  // 2^128 = 340282366920938463463374607431768211456.
+  const U256 two128 = U256::from_limbs(0, 0, 1, 0);
+  EXPECT_EQ(two128.to_decimal(), "340282366920938463463374607431768211456");
+  auto parsed =
+      U256::from_decimal("340282366920938463463374607431768211456");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, two128);
+}
+
+TEST(U256Test, DecimalParseRejectsJunk) {
+  EXPECT_FALSE(U256::from_decimal("").ok());
+  EXPECT_FALSE(U256::from_decimal("12a3").ok());
+  EXPECT_FALSE(U256::from_decimal("-5").ok());
+  // 2^256 overflows by one digit-level operation.
+  EXPECT_FALSE(
+      U256::from_decimal("1157920892373161954235709850086879078532699846656405"
+                         "64039457584007913129639936")
+          .ok());
+}
+
+TEST(U256Test, MaxValueDecimalRoundTrip) {
+  const U256 max = U256::from_limbs(~0ULL, ~0ULL, ~0ULL, ~0ULL);
+  auto parsed = U256::from_decimal(max.to_decimal());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, max);
+}
+
+TEST(U256Test, ToDoubleMatchesKnownValues) {
+  EXPECT_DOUBLE_EQ(U256{1000}.to_double(), 1000.0);
+  EXPECT_DOUBLE_EQ(U256::from_limbs(0, 1, 0, 0).to_double(), 0x1.0p64);
+}
+
+TEST(U256Test, BitLength) {
+  EXPECT_EQ(U256{1}.bit_length(), 1);
+  EXPECT_EQ(U256{255}.bit_length(), 8);
+  EXPECT_EQ(U256{256}.bit_length(), 9);
+  EXPECT_EQ(U256::from_limbs(0, 0, 0, 1).bit_length(), 193);
+}
+
+TEST(U256PropertyTest, DivModReconstructsRandomly) {
+  Rng rng(42);
+  for (int trial = 0; trial < 500; ++trial) {
+    const U256 a = U256::from_limbs(rng.next_u64(), rng.next_u64(),
+                                    rng.next_u64(), 0);
+    const U256 b = U256::from_limbs(rng.next_u64(),
+                                    trial % 3 == 0 ? rng.next_u64() : 0, 0, 0);
+    if (b.is_zero()) continue;
+    const auto dm = U256::divmod(a, b);
+    EXPECT_LT(dm.remainder, b);
+    EXPECT_EQ(dm.quotient * b + dm.remainder, a);
+  }
+}
+
+TEST(U256PropertyTest, AdditionCommutesAndAssociates) {
+  Rng rng(43);
+  for (int trial = 0; trial < 200; ++trial) {
+    const U256 a = U256::from_limbs(rng.next_u64(), rng.next_u64(), 0, 0);
+    const U256 b = U256::from_limbs(rng.next_u64(), rng.next_u64(), 0, 0);
+    const U256 c = U256::from_limbs(rng.next_u64(), 0, 0, 0);
+    EXPECT_EQ(a + b, b + a);
+    EXPECT_EQ((a + b) + c, a + (b + c));
+  }
+}
+
+TEST(U256PropertyTest, MulDistributesOverAdd) {
+  Rng rng(44);
+  for (int trial = 0; trial < 200; ++trial) {
+    const U256 a{rng.next_u64()};
+    const U256 b{rng.next_u64()};
+    const U256 c{rng.next_u64() >> 1};
+    EXPECT_EQ(c * (a + b), c * a + c * b);
+  }
+}
+
+TEST(U256PropertyTest, DecimalRoundTripRandom) {
+  Rng rng(45);
+  for (int trial = 0; trial < 200; ++trial) {
+    const U256 v = U256::from_limbs(rng.next_u64(), rng.next_u64(),
+                                    rng.next_u64(), rng.next_u64());
+    auto parsed = U256::from_decimal(v.to_decimal());
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, v);
+  }
+}
+
+}  // namespace
+}  // namespace arb

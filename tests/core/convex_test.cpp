@@ -1,0 +1,253 @@
+#include "core/convex.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/single_start.hpp"
+#include "math/derivative.hpp"
+#include "optim/kkt.hpp"
+#include "tests/core/fixtures.hpp"
+
+namespace arb::core {
+namespace {
+
+using testing::NoArbMarket;
+using testing::Section5Market;
+
+TEST(LoopNlpTest, HopDataMatchesPools) {
+  const Section5Market m;
+  auto hops = make_hop_data(m.graph, m.prices, m.loop());
+  ASSERT_TRUE(hops.ok());
+  ASSERT_EQ(hops->size(), 3u);
+  EXPECT_DOUBLE_EQ((*hops)[0].reserve_in, 100.0);
+  EXPECT_DOUBLE_EQ((*hops)[0].reserve_out, 200.0);
+  EXPECT_DOUBLE_EQ((*hops)[0].price_in, 2.0);
+  EXPECT_DOUBLE_EQ((*hops)[0].price_out, 10.2);
+  EXPECT_EQ((*hops)[2].token_out, m.x);
+}
+
+TEST(LoopNlpTest, HopDataRespectsRotation) {
+  const Section5Market m;
+  auto hops = make_hop_data(m.graph, m.prices, m.loop(), 1);
+  ASSERT_TRUE(hops.ok());
+  EXPECT_EQ((*hops)[0].token_in, m.y);
+  EXPECT_DOUBLE_EQ((*hops)[0].reserve_in, 300.0);
+}
+
+TEST(LoopNlpTest, ReducedGradientsMatchNumeric) {
+  const Section5Market m;
+  auto hops = make_hop_data(m.graph, m.prices, m.loop());
+  const ReducedLoopProblem problem(*hops);
+  const math::Vector d{5.0, 11.0, 4.0};
+  const math::Vector grad = problem.objective_gradient(d);
+  for (std::size_t i = 0; i < 3; ++i) {
+    const auto partial = [&](double v) {
+      math::Vector p = d;
+      p[i] = v;
+      return problem.objective(p);
+    };
+    EXPECT_NEAR(grad[i], math::central_derivative(partial, d[i]), 1e-5)
+        << "coordinate " << i;
+  }
+}
+
+TEST(LoopNlpTest, ReducedHessianIsDiagonalPsd) {
+  const Section5Market m;
+  auto hops = make_hop_data(m.graph, m.prices, m.loop());
+  const ReducedLoopProblem problem(*hops);
+  const math::Matrix h = problem.objective_hessian(math::Vector{5.0, 5.0, 5.0});
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      if (r == c) {
+        EXPECT_GT(h(r, c), 0.0);
+      } else {
+        EXPECT_DOUBLE_EQ(h(r, c), 0.0);
+      }
+    }
+  }
+}
+
+TEST(LoopNlpTest, ConstraintGradientsMatchNumeric) {
+  const Section5Market m;
+  auto hops = make_hop_data(m.graph, m.prices, m.loop());
+  const ReducedLoopProblem problem(*hops);
+  const math::Vector d{5.0, 11.0, 4.0};
+  for (std::size_t ci = 0; ci < problem.num_inequalities(); ++ci) {
+    const math::Vector grad = problem.constraint_gradient(ci, d);
+    for (std::size_t i = 0; i < 3; ++i) {
+      const auto partial = [&](double v) {
+        math::Vector p = d;
+        p[i] = v;
+        return problem.constraint(ci, p);
+      };
+      EXPECT_NEAR(grad[i], math::central_derivative(partial, d[i]), 1e-5)
+          << "constraint " << ci << " coordinate " << i;
+    }
+  }
+}
+
+TEST(LoopNlpTest, InteriorStartIsStrictlyFeasible) {
+  const Section5Market m;
+  auto hops = make_hop_data(m.graph, m.prices, m.loop());
+  const ReducedLoopProblem problem(*hops);
+  auto start = reduced_interior_start(*hops);
+  ASSERT_TRUE(start.ok());
+  EXPECT_TRUE(problem.strictly_feasible(*start));
+}
+
+TEST(LoopNlpTest, FullInteriorStartIsStrictlyFeasible) {
+  const Section5Market m;
+  auto hops = make_hop_data(m.graph, m.prices, m.loop());
+  const FullLoopProblem problem(*hops);
+  auto start = full_interior_start(*hops);
+  ASSERT_TRUE(start.ok());
+  EXPECT_TRUE(problem.strictly_feasible(*start));
+}
+
+TEST(LoopNlpTest, NoInteriorWithoutArbitrage) {
+  const NoArbMarket m;
+  auto hops = make_hop_data(m.graph, m.prices, m.loop());
+  EXPECT_FALSE(reduced_interior_start(*hops).ok());
+  EXPECT_FALSE(full_interior_start(*hops).ok());
+}
+
+TEST(ConvexTest, PaperExampleValue) {
+  const Section5Market m;
+  auto solution = solve_convex(m.graph, m.prices, m.loop());
+  ASSERT_TRUE(solution.ok());
+  // Paper: $206.1.
+  EXPECT_NEAR(solution->outcome.monetized_usd, 206.1, 0.3);
+}
+
+TEST(ConvexTest, PaperExamplePlanAmounts) {
+  const Section5Market m;
+  auto solution = solve_convex(m.graph, m.prices, m.loop());
+  ASSERT_TRUE(solution.ok());
+  // Paper: input 31.3 X -> 47.6 Y; 42.6 Y -> 24.8 Z; 17.1 Z -> 31.3 X.
+  EXPECT_NEAR(solution->inputs[0], 31.3, 0.2);
+  EXPECT_NEAR(solution->outputs[0], 47.6, 0.2);
+  EXPECT_NEAR(solution->inputs[1], 42.6, 0.2);
+  EXPECT_NEAR(solution->outputs[1], 24.8, 0.2);
+  EXPECT_NEAR(solution->inputs[2], 17.1, 0.2);
+  EXPECT_NEAR(solution->outputs[2], 31.3, 0.2);
+  // Retained: ~0 X, ~5 Y, ~7.7 Z.
+  ASSERT_EQ(solution->outcome.profits.size(), 3u);
+  EXPECT_NEAR(solution->outcome.profits[0].amount, 0.0, 0.05);
+  EXPECT_NEAR(solution->outcome.profits[1].amount, 5.0, 0.2);
+  EXPECT_NEAR(solution->outcome.profits[2].amount, 7.7, 0.2);
+}
+
+TEST(ConvexTest, FullFormulationMatchesReduced) {
+  const Section5Market m;
+  ConvexOptions reduced;
+  ConvexOptions full;
+  full.use_full_formulation = true;
+  auto a = solve_convex(m.graph, m.prices, m.loop(), reduced);
+  auto b = solve_convex(m.graph, m.prices, m.loop(), full);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_NEAR(a->outcome.monetized_usd, b->outcome.monetized_usd, 0.01);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(a->inputs[i], b->inputs[i], 0.05) << "hop " << i;
+    EXPECT_NEAR(a->outputs[i], b->outputs[i], 0.05) << "hop " << i;
+  }
+}
+
+TEST(ConvexTest, BeatsOrMatchesMaxMax) {
+  const Section5Market m;
+  auto convex = solve_convex(m.graph, m.prices, m.loop());
+  auto max_max = evaluate_max_max(m.graph, m.prices, m.loop());
+  ASSERT_TRUE(convex.ok());
+  ASSERT_TRUE(max_max.ok());
+  EXPECT_GE(convex->outcome.monetized_usd,
+            max_max->monetized_usd - 1e-6);
+  // On this adversarial example the gap is real (paper: 206.1 vs 205.6).
+  EXPECT_GT(convex->outcome.monetized_usd, max_max->monetized_usd);
+}
+
+TEST(ConvexTest, RotationInvariant) {
+  const Section5Market m;
+  auto base = solve_convex(m.graph, m.prices, m.loop());
+  ASSERT_TRUE(base.ok());
+  for (std::size_t offset = 1; offset < 3; ++offset) {
+    const graph::Cycle rotated = m.loop().rotated(offset);
+    auto sol = solve_convex(m.graph, m.prices, rotated);
+    ASSERT_TRUE(sol.ok());
+    EXPECT_NEAR(sol->outcome.monetized_usd, base->outcome.monetized_usd,
+                1e-4);
+  }
+}
+
+TEST(ConvexTest, NoArbitrageGivesExactZero) {
+  // Section IV theorem: MaxMax finds nothing ⇒ Convex finds nothing.
+  const NoArbMarket m;
+  auto solution = solve_convex(m.graph, m.prices, m.loop());
+  ASSERT_TRUE(solution.ok());
+  EXPECT_DOUBLE_EQ(solution->outcome.monetized_usd, 0.0);
+  for (double v : solution->inputs) EXPECT_DOUBLE_EQ(v, 0.0);
+  for (double v : solution->outputs) EXPECT_DOUBLE_EQ(v, 0.0);
+  for (const TokenProfit& p : solution->outcome.profits) {
+    EXPECT_DOUBLE_EQ(p.amount, 0.0);
+  }
+}
+
+TEST(ConvexTest, SolutionSatisfiesKkt) {
+  const Section5Market m;
+  auto hops = make_hop_data(m.graph, m.prices, m.loop());
+  const ReducedLoopProblem problem(*hops);
+  ConvexOptions options;
+  options.barrier.gap_tolerance = 1e-10;
+  const optim::BarrierSolver solver(options.barrier);
+  auto start = reduced_interior_start(*hops);
+  ASSERT_TRUE(start.ok());
+  auto report = solver.solve(problem, *start);
+  ASSERT_TRUE(report.ok());
+  const optim::KktResiduals kkt =
+      optim::evaluate_kkt(problem, report->x, report->dual);
+  // Scale: prices up to $20, reserves hundreds → residual 1e-4 is tight.
+  EXPECT_TRUE(kkt.satisfied(1e-4)) << "worst residual " << kkt.worst();
+}
+
+TEST(ConvexTest, FlowConstraintsActiveOnlyWhereNoProfitRetained) {
+  const Section5Market m;
+  auto solution = solve_convex(m.graph, m.prices, m.loop());
+  ASSERT_TRUE(solution.ok());
+  // Where profit is retained in a token, the flow constraint out >= in is
+  // slack; where nothing is retained it is tight.
+  const std::size_t n = 3;
+  for (std::size_t j = 0; j < n; ++j) {
+    const std::size_t prev = (j + n - 1) % n;
+    const double retained = solution->outputs[prev] - solution->inputs[j];
+    EXPECT_NEAR(retained, solution->outcome.profits[j].amount, 1e-9);
+    EXPECT_GE(retained, -1e-9);
+  }
+}
+
+TEST(ConvexTest, ProfitsNonNegativePerToken) {
+  // Risk-free property of eq. (8): no token ends at a loss.
+  const Section5Market m;
+  auto solution = solve_convex(m.graph, m.prices, m.loop());
+  ASSERT_TRUE(solution.ok());
+  for (const TokenProfit& p : solution->outcome.profits) {
+    EXPECT_GE(p.amount, -1e-9);
+  }
+}
+
+TEST(ConvexTest, MissingPriceFails) {
+  Section5Market m;
+  market::CexPriceFeed partial;
+  partial.set_price(m.x, 2.0);
+  auto solution = solve_convex(m.graph, partial, m.loop());
+  ASSERT_FALSE(solution.ok());
+  EXPECT_EQ(solution.error().code, ErrorCode::kNotFound);
+}
+
+TEST(ConvexTest, EvaluateWrapperReturnsOutcomeOnly) {
+  const Section5Market m;
+  auto outcome = evaluate_convex(m.graph, m.prices, m.loop());
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome->kind, StrategyKind::kConvexOptimization);
+  EXPECT_NEAR(outcome->monetized_usd, 206.1, 0.3);
+}
+
+}  // namespace
+}  // namespace arb::core

@@ -1,0 +1,65 @@
+#pragma once
+
+// Shared fixtures for core-strategy tests: the paper's Section V market
+// and helpers to build small custom loops.
+
+#include "graph/cycle.hpp"
+#include "graph/cycle_enumeration.hpp"
+#include "graph/token_graph.hpp"
+#include "market/price_feed.hpp"
+
+namespace arb::core::testing {
+
+/// The paper's worked example: pools (100,200), (300,200), (200,400),
+/// CEX prices $2 / $10.2 / $20.
+struct Section5Market {
+  graph::TokenGraph graph;
+  market::CexPriceFeed prices;
+  TokenId x, y, z;
+  PoolId xy, yz, zx;
+
+  Section5Market() {
+    x = graph.add_token("X");
+    y = graph.add_token("Y");
+    z = graph.add_token("Z");
+    xy = graph.add_pool(x, y, 100.0, 200.0);
+    yz = graph.add_pool(y, z, 300.0, 200.0);
+    zx = graph.add_pool(z, x, 200.0, 400.0);
+    prices.set_price(x, 2.0);
+    prices.set_price(y, 10.2);
+    prices.set_price(z, 20.0);
+  }
+
+  /// The (unique) profitable orientation X -> Y -> Z -> X.
+  [[nodiscard]] graph::Cycle loop() const {
+    return *graph::Cycle::create(graph, {x, y, z}, {xy, yz, zx});
+  }
+};
+
+/// A balanced three-token market with no arbitrage anywhere (consistent
+/// internal prices; fees make every loop strictly unprofitable).
+struct NoArbMarket {
+  graph::TokenGraph graph;
+  market::CexPriceFeed prices;
+  TokenId a, b, c;
+
+  NoArbMarket() {
+    a = graph.add_token("A");
+    b = graph.add_token("B");
+    c = graph.add_token("C");
+    // Consistent: A=$1, B=$2, C=$4.
+    graph.add_pool(a, b, 400.0, 200.0);
+    graph.add_pool(b, c, 200.0, 100.0);
+    graph.add_pool(c, a, 100.0, 400.0);
+    prices.set_price(a, 1.0);
+    prices.set_price(b, 2.0);
+    prices.set_price(c, 4.0);
+  }
+
+  [[nodiscard]] graph::Cycle loop() const {
+    return *graph::Cycle::create(
+        graph, {a, b, c}, {PoolId{0}, PoolId{1}, PoolId{2}});
+  }
+};
+
+}  // namespace arb::core::testing

@@ -1,0 +1,61 @@
+#include "core/gas.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "core/single_start.hpp"
+#include "tests/core/fixtures.hpp"
+
+namespace arb::core {
+namespace {
+
+using testing::Section5Market;
+
+TEST(GasModelTest, BundleCostFormula) {
+  GasModel model;
+  model.gas_per_swap = 100'000.0;
+  model.overhead_gas = 50'000.0;
+  model.gas_price_gwei = 10.0;
+  model.eth_price_usd = 2000.0;
+  // (50k + 3·100k) gas · 10 gwei · $2000 = 350k · 1e-8 · 2000 = $7.
+  EXPECT_NEAR(model.bundle_cost_usd(3), 7.0, 1e-12);
+}
+
+TEST(GasModelTest, ZeroGasPriceIsFree) {
+  GasModel model;
+  model.gas_price_gwei = 0.0;
+  EXPECT_DOUBLE_EQ(model.bundle_cost_usd(5), 0.0);
+}
+
+TEST(GasModelTest, CostGrowsWithSwapCount) {
+  GasModel model;
+  EXPECT_LT(model.bundle_cost_usd(3), model.bundle_cost_usd(4));
+}
+
+TEST(GasModelTest, NetProfitSubtractsCost) {
+  const Section5Market m;
+  const auto outcome = evaluate_max_max(m.graph, m.prices, m.loop()).value();
+  GasModel model;  // defaults: ~$15.8 for 3 swaps
+  const double net = model.net_profit_usd(outcome, 3);
+  EXPECT_NEAR(net, outcome.monetized_usd - model.bundle_cost_usd(3), 1e-12);
+  EXPECT_LT(net, outcome.monetized_usd);
+  EXPECT_TRUE(model.profitable_after_gas(outcome, 3));
+}
+
+TEST(GasModelTest, HighGasKillsThinLoops) {
+  const Section5Market m;
+  const auto outcome = evaluate_max_max(m.graph, m.prices, m.loop()).value();
+  GasModel expensive;
+  expensive.gas_price_gwei = 500.0;  // bundle ≈ $396 > $205.6 profit
+  EXPECT_FALSE(expensive.profitable_after_gas(outcome, 3));
+  EXPECT_LT(expensive.net_profit_usd(outcome, 3), 0.0);
+}
+
+TEST(GasModelTest, NegativeParametersRejected) {
+  GasModel model;
+  model.gas_per_swap = -1.0;
+  EXPECT_THROW((void)model.bundle_cost_usd(1), PreconditionError);
+}
+
+}  // namespace
+}  // namespace arb::core

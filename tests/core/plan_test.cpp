@@ -1,0 +1,148 @@
+// Tests for plan.hpp and comparison.hpp.
+#include <gtest/gtest.h>
+
+#include "core/comparison.hpp"
+#include "core/plan.hpp"
+#include "market/generator.hpp"
+#include "tests/core/fixtures.hpp"
+
+namespace arb::core {
+namespace {
+
+using testing::Section5Market;
+
+TEST(PlanTest, SingleStartPlanChainsAmounts) {
+  const Section5Market m;
+  auto outcome = evaluate_max_max(m.graph, m.prices, m.loop());
+  ASSERT_TRUE(outcome.ok());
+  auto plan = plan_from_single_start(m.graph, m.loop(), *outcome);
+  ASSERT_TRUE(plan.ok());
+  ASSERT_EQ(plan->steps.size(), 3u);
+  EXPECT_EQ(plan->steps[0].token_in, outcome->start_token);
+  for (std::size_t i = 0; i + 1 < 3; ++i) {
+    EXPECT_EQ(plan->steps[i].token_out, plan->steps[i + 1].token_in);
+    EXPECT_DOUBLE_EQ(plan->steps[i].amount_out,
+                     plan->steps[i + 1].amount_in);
+  }
+  // Loop closes: last output token = start, amounts net to the profit.
+  EXPECT_EQ(plan->steps[2].token_out, outcome->start_token);
+  EXPECT_NEAR(plan->steps[2].amount_out - plan->steps[0].amount_in,
+              outcome->profits[0].amount, 1e-9);
+}
+
+TEST(PlanTest, SingleStartUpfrontIsTheInput) {
+  const Section5Market m;
+  auto outcome = evaluate_max_max(m.graph, m.prices, m.loop());
+  auto plan = plan_from_single_start(m.graph, m.loop(), *outcome);
+  ASSERT_TRUE(plan.ok());
+  const auto upfront = plan->required_upfront();
+  ASSERT_EQ(upfront.size(), 1u);
+  EXPECT_EQ(upfront[0].token, outcome->start_token);
+  EXPECT_NEAR(upfront[0].amount, outcome->input, 1e-12);
+}
+
+TEST(PlanTest, ConvexNeedsMoreInputThanTraditionalSameToken) {
+  // The paper notes the Convex strategy "needs to input more tokens
+  // compared to the MaxMax strategy": its X-hop input (31.3) exceeds the
+  // traditional start-X optimal input (27.0).
+  const Section5Market m;
+  auto solution = solve_convex(m.graph, m.prices, m.loop());
+  ASSERT_TRUE(solution.ok());
+  auto traditional = evaluate_traditional(m.graph, m.prices, m.loop(), 0);
+  ASSERT_TRUE(traditional.ok());
+  EXPECT_GT(solution->inputs[0], traditional->input);
+
+  // Executed in loop order starting at X, only the first hop's input
+  // must be borrowed: every later hop is funded by its predecessor
+  // (retentions are non-negative).
+  auto plan = plan_from_convex(m.graph, m.loop(), *solution);
+  ASSERT_TRUE(plan.ok());
+  const auto upfront = plan->required_upfront();
+  ASSERT_EQ(upfront.size(), 1u);
+  EXPECT_EQ(upfront[0].token, m.x);
+  EXPECT_NEAR(upfront[0].amount, solution->inputs[0], 1e-9);
+}
+
+TEST(PlanTest, WrongStartTokenFails) {
+  const Section5Market m;
+  auto outcome = evaluate_max_max(m.graph, m.prices, m.loop());
+  outcome->start_token = TokenId{99};
+  auto plan = plan_from_single_start(m.graph, m.loop(), *outcome);
+  ASSERT_FALSE(plan.ok());
+  EXPECT_EQ(plan.error().code, ErrorCode::kInvalidArgument);
+}
+
+TEST(PlanTest, ConvexLengthMismatchFails) {
+  const Section5Market m;
+  auto solution = solve_convex(m.graph, m.prices, m.loop());
+  solution->inputs.pop_back();
+  auto plan = plan_from_convex(m.graph, m.loop(), *solution);
+  EXPECT_FALSE(plan.ok());
+}
+
+TEST(PlanTest, OverpromisingConvexSolutionRejected) {
+  const Section5Market m;
+  auto solution = solve_convex(m.graph, m.prices, m.loop());
+  solution->outputs[0] *= 2.0;  // promise double the feasible output
+  auto plan = plan_from_convex(m.graph, m.loop(), *solution);
+  ASSERT_FALSE(plan.ok());
+  EXPECT_EQ(plan.error().code, ErrorCode::kInvariantViolated);
+}
+
+TEST(PlanTest, DescribeMentionsSymbolsAndProfit) {
+  const Section5Market m;
+  auto solution = solve_convex(m.graph, m.prices, m.loop());
+  auto plan = plan_from_convex(m.graph, m.loop(), *solution);
+  const std::string text = plan->describe(m.graph);
+  EXPECT_NE(text.find("X"), std::string::npos);
+  EXPECT_NE(text.find("expected profit"), std::string::npos);
+}
+
+TEST(ComparisonTest, RunsAllStrategiesOnSectionFive) {
+  const Section5Market m;
+  auto rows = compare_strategies(m.graph, m.prices, {m.loop()});
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u);
+  const LoopComparison& row = rows->front();
+  EXPECT_EQ(row.traditional.size(), 3u);
+  EXPECT_NEAR(row.max_max.monetized_usd, 205.6, 0.5);
+  EXPECT_NEAR(row.convex.outcome.monetized_usd, 206.1, 0.3);
+  EXPECT_GE(row.convex.outcome.monetized_usd, row.max_max.monetized_usd);
+  EXPECT_GE(row.max_max.monetized_usd, row.max_price.monetized_usd);
+}
+
+TEST(MarketStudyTest, EndToEndOnSyntheticMarket) {
+  market::GeneratorConfig config;
+  config.token_count = 20;
+  config.pool_count = 45;
+  const auto snapshot = market::generate_snapshot(config);
+  auto study = run_market_study(snapshot, 3);
+  ASSERT_TRUE(study.ok());
+  EXPECT_GT(study->loops.size(), 0u);
+  for (const LoopComparison& row : study->loops) {
+    EXPECT_EQ(row.cycle.length(), 3u);
+    EXPECT_GT(row.cycle.price_product(study->market.graph), 1.0);
+    // The paper's ordering holds on every loop.
+    for (const StrategyOutcome& t : row.traditional) {
+      EXPECT_LE(t.monetized_usd, row.max_max.monetized_usd + 1e-9);
+    }
+    EXPECT_LE(row.max_price.monetized_usd,
+              row.max_max.monetized_usd + 1e-9);
+    EXPECT_GE(row.convex.outcome.monetized_usd,
+              row.max_max.monetized_usd - 1e-6);
+  }
+}
+
+TEST(MarketStudyTest, FilterShrinksMarket) {
+  market::GeneratorConfig config;
+  config.token_count = 20;
+  config.pool_count = 45;
+  config.below_filter_pools = 10;
+  const auto snapshot = market::generate_snapshot(config);
+  auto study = run_market_study(snapshot, 3);
+  ASSERT_TRUE(study.ok());
+  EXPECT_LE(study->market.graph.pool_count(), 45u);
+}
+
+}  // namespace
+}  // namespace arb::core

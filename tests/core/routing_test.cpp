@@ -1,0 +1,132 @@
+#include "core/routing.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "math/scalar_solve.hpp"
+
+namespace arb::core {
+namespace {
+
+const TokenId kA{0};
+const TokenId kB{1};
+const TokenId kC{2};
+
+/// Two direct A->B pools plus a two-hop A->C->B route.
+struct RoutedMarket {
+  amm::CpmmPool direct1{PoolId{0}, kA, kB, 1'000.0, 2'000.0};
+  amm::CpmmPool direct2{PoolId{1}, kA, kB, 400.0, 900.0};
+  amm::CpmmPool leg_ac{PoolId{2}, kA, kC, 800.0, 800.0};
+  amm::CpmmPool leg_cb{PoolId{3}, kC, kB, 700.0, 1'500.0};
+
+  [[nodiscard]] std::vector<amm::PoolPath> paths() const {
+    return {*amm::PoolPath::create({amm::Hop{&direct1, kA}}),
+            *amm::PoolPath::create({amm::Hop{&direct2, kA}}),
+            *amm::PoolPath::create(
+                {amm::Hop{&leg_ac, kA}, amm::Hop{&leg_cb, kC}})};
+  }
+};
+
+TEST(RoutingTest, IdenticalPathsSplitEvenly) {
+  amm::CpmmPool p1(PoolId{0}, kA, kB, 1'000.0, 2'000.0);
+  amm::CpmmPool p2(PoolId{1}, kA, kB, 1'000.0, 2'000.0);
+  const std::vector<amm::PoolPath> paths{
+      *amm::PoolPath::create({amm::Hop{&p1, kA}}),
+      *amm::PoolPath::create({amm::Hop{&p2, kA}})};
+  const auto split = optimal_route_split(paths, 100.0).value();
+  EXPECT_NEAR(split.inputs[0], 50.0, 1e-6);
+  EXPECT_NEAR(split.inputs[1], 50.0, 1e-6);
+  EXPECT_NEAR(split.inputs[0] + split.inputs[1], 100.0, 1e-9);
+}
+
+TEST(RoutingTest, MarginalRatesEqualizeOnFundedPaths) {
+  const RoutedMarket m;
+  const auto paths = m.paths();
+  const auto split = optimal_route_split(paths, 150.0).value();
+  for (std::size_t p = 0; p < paths.size(); ++p) {
+    if (split.inputs[p] > 1e-9) {
+      const double marginal =
+          paths[p].compose().derivative(split.inputs[p]);
+      EXPECT_NEAR(marginal, split.marginal_rate,
+                  1e-6 * split.marginal_rate)
+          << "path " << p;
+    }
+  }
+}
+
+TEST(RoutingTest, BeatsEverySinglePathForLargeBudget) {
+  const RoutedMarket m;
+  const auto paths = m.paths();
+  const double budget = 300.0;
+  const auto split = optimal_route_split(paths, budget).value();
+  const double single = best_single_path_output(paths, budget).value();
+  EXPECT_GT(split.total_output, single * 1.02);  // splitting pays
+}
+
+TEST(RoutingTest, TinyBudgetGoesToBestRatePath) {
+  const RoutedMarket m;
+  const auto paths = m.paths();
+  // Best zero-size rate: direct2 = 0.997·900/400 = 2.243.
+  const auto split = optimal_route_split(paths, 1e-6).value();
+  EXPECT_GT(split.inputs[1], split.inputs[0]);
+  EXPECT_GT(split.inputs[1], split.inputs[2]);
+}
+
+TEST(RoutingTest, ZeroBudgetYieldsZeroSplit) {
+  const RoutedMarket m;
+  const auto split = optimal_route_split(m.paths(), 0.0).value();
+  for (double d : split.inputs) EXPECT_DOUBLE_EQ(d, 0.0);
+  EXPECT_DOUBLE_EQ(split.total_output, 0.0);
+}
+
+TEST(RoutingTest, MatchesGoldenSectionOnTwoPaths) {
+  amm::CpmmPool p1(PoolId{0}, kA, kB, 1'000.0, 2'000.0);
+  amm::CpmmPool p2(PoolId{1}, kA, kB, 300.0, 750.0);
+  const std::vector<amm::PoolPath> paths{
+      *amm::PoolPath::create({amm::Hop{&p1, kA}}),
+      *amm::PoolPath::create({amm::Hop{&p2, kA}})};
+  const double budget = 120.0;
+  const auto split = optimal_route_split(paths, budget).value();
+
+  // Independent 1-D check: out1(d) + out2(budget − d) over d.
+  const auto m1 = paths[0].compose();
+  const auto m2 = paths[1].compose();
+  const auto report = math::golden_section_maximize(
+      [&](double d) { return m1.evaluate(d) + m2.evaluate(budget - d); },
+      0.0, budget);
+  EXPECT_NEAR(split.inputs[0], report.x, 1e-5);
+  EXPECT_NEAR(split.total_output, report.f, 1e-7 * report.f);
+}
+
+TEST(RoutingTest, SplitSpendsExactlyTheBudget) {
+  Rng rng(81);
+  for (int trial = 0; trial < 30; ++trial) {
+    amm::CpmmPool p1(PoolId{0}, kA, kB, rng.uniform(100.0, 5'000.0),
+                     rng.uniform(100.0, 5'000.0));
+    amm::CpmmPool p2(PoolId{1}, kA, kB, rng.uniform(100.0, 5'000.0),
+                     rng.uniform(100.0, 5'000.0));
+    const std::vector<amm::PoolPath> paths{
+        *amm::PoolPath::create({amm::Hop{&p1, kA}}),
+        *amm::PoolPath::create({amm::Hop{&p2, kA}})};
+    const double budget = rng.uniform(1.0, 1'000.0);
+    const auto split = optimal_route_split(paths, budget).value();
+    EXPECT_NEAR(split.inputs[0] + split.inputs[1], budget, 1e-9 * budget);
+    // Never worse than the best unsplit route.
+    const double single = best_single_path_output(paths, budget).value();
+    EXPECT_GE(split.total_output, single * (1.0 - 1e-9));
+  }
+}
+
+TEST(RoutingTest, ValidationRejectsBadInputs) {
+  const RoutedMarket m;
+  EXPECT_FALSE(optimal_route_split({}, 1.0).ok());
+  EXPECT_FALSE(optimal_route_split(m.paths(), -1.0).ok());
+  // Mismatched endpoints.
+  amm::CpmmPool odd(PoolId{9}, kA, kC, 100.0, 100.0);
+  auto paths = m.paths();
+  paths.push_back(*amm::PoolPath::create({amm::Hop{&odd, kA}}));
+  EXPECT_FALSE(optimal_route_split(paths, 1.0).ok());
+}
+
+}  // namespace
+}  // namespace arb::core

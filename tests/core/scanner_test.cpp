@@ -1,0 +1,110 @@
+#include "core/scanner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "market/generator.hpp"
+#include "sim/engine.hpp"
+#include "tests/core/fixtures.hpp"
+
+namespace arb::core {
+namespace {
+
+using testing::NoArbMarket;
+using testing::Section5Market;
+
+TEST(ScannerTest, FindsTheSectionFiveLoop) {
+  const Section5Market m;
+  ScannerConfig config;
+  config.loop_lengths = {3};
+  const auto opportunities = scan_market(m.graph, m.prices, config).value();
+  ASSERT_EQ(opportunities.size(), 1u);
+  const Opportunity& best = opportunities.front();
+  EXPECT_NEAR(best.net_profit_usd, 205.6, 0.5);  // MaxMax default
+  EXPECT_EQ(best.plan.steps.size(), 3u);
+  EXPECT_EQ(best.diagnostics.length, 3u);
+  EXPECT_GT(best.diagnostics.price_product, 1.0);
+}
+
+TEST(ScannerTest, EmptyOnNoArbMarket) {
+  const NoArbMarket m;
+  EXPECT_TRUE(scan_market(m.graph, m.prices).value().empty());
+}
+
+TEST(ScannerTest, SortedByNetProfitDescending) {
+  market::GeneratorConfig gen;
+  gen.token_count = 18;
+  gen.pool_count = 40;
+  const auto snapshot = market::generate_snapshot(gen);
+  ScannerConfig config;
+  config.loop_lengths = {3};
+  const auto opportunities =
+      scan_market(snapshot.graph, snapshot.prices, config).value();
+  ASSERT_GT(opportunities.size(), 1u);
+  for (std::size_t i = 1; i < opportunities.size(); ++i) {
+    EXPECT_GE(opportunities[i - 1].net_profit_usd,
+              opportunities[i].net_profit_usd);
+  }
+}
+
+TEST(ScannerTest, MultipleLengthsCombine) {
+  market::GeneratorConfig gen;
+  gen.token_count = 14;
+  gen.pool_count = 30;
+  const auto snapshot = market::generate_snapshot(gen);
+  ScannerConfig only3;
+  only3.loop_lengths = {3};
+  ScannerConfig both;
+  both.loop_lengths = {3, 4};
+  const auto a = scan_market(snapshot.graph, snapshot.prices, only3).value();
+  const auto b = scan_market(snapshot.graph, snapshot.prices, both).value();
+  EXPECT_GT(b.size(), a.size());
+}
+
+TEST(ScannerTest, GasModelFiltersAndNets) {
+  const Section5Market m;
+  ScannerConfig config;
+  config.loop_lengths = {3};
+  config.gas = GasModel{};  // defaults: ~$15.8 per 3-swap bundle
+  const auto opportunities = scan_market(m.graph, m.prices, config).value();
+  ASSERT_EQ(opportunities.size(), 1u);
+  EXPECT_NEAR(opportunities.front().net_profit_usd,
+              205.6 - config.gas->bundle_cost_usd(3), 0.5);
+
+  // An impossible threshold drops everything.
+  config.min_net_profit_usd = 1e9;
+  EXPECT_TRUE(scan_market(m.graph, m.prices, config).value().empty());
+}
+
+TEST(ScannerTest, ConvexStrategySupported) {
+  const Section5Market m;
+  ScannerConfig config;
+  config.loop_lengths = {3};
+  config.strategy = StrategyKind::kConvexOptimization;
+  const auto opportunities = scan_market(m.graph, m.prices, config).value();
+  ASSERT_EQ(opportunities.size(), 1u);
+  EXPECT_NEAR(opportunities.front().net_profit_usd, 206.1, 0.3);
+}
+
+TEST(ScannerTest, PlansAreExecutable) {
+  Section5Market m;
+  const auto opportunities = scan_market(m.graph, m.prices).value();
+  ASSERT_FALSE(opportunities.empty());
+  const auto report = sim::ExecutionEngine().execute(
+      m.graph, m.prices, opportunities.front().plan);
+  ASSERT_TRUE(report.ok());
+  EXPECT_NEAR(report->realized_usd,
+              opportunities.front().outcome.monetized_usd, 1e-6);
+}
+
+TEST(ScannerTest, ValidationRejectsBadConfig) {
+  const Section5Market m;
+  ScannerConfig empty;
+  empty.loop_lengths = {};
+  EXPECT_FALSE(scan_market(m.graph, m.prices, empty).ok());
+  ScannerConfig bad_length;
+  bad_length.loop_lengths = {1};
+  EXPECT_FALSE(scan_market(m.graph, m.prices, bad_length).ok());
+}
+
+}  // namespace
+}  // namespace arb::core

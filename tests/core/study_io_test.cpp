@@ -1,0 +1,91 @@
+#include "core/study_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+
+#include "common/csv.hpp"
+#include "common/strings.hpp"
+#include "market/generator.hpp"
+
+namespace arb::core {
+namespace {
+
+MarketStudy small_study() {
+  market::GeneratorConfig config;
+  config.token_count = 14;
+  config.pool_count = 30;
+  config.seed = 11;
+  return run_market_study(market::generate_snapshot(config), 3).value();
+}
+
+class StudyIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = (std::filesystem::temp_directory_path() /
+             ("arb_study_" + std::to_string(::getpid()) + ".csv"))
+                .string();
+  }
+  void TearDown() override { std::filesystem::remove(path_); }
+  std::string path_;
+};
+
+TEST_F(StudyIoTest, WritesOneRowPerOutcome) {
+  const MarketStudy study = small_study();
+  ASSERT_TRUE(write_study_csv(study, path_).ok());
+  auto table = read_csv_file(path_);
+  ASSERT_TRUE(table.ok());
+  // 3 traditional + MaxPrice + MaxMax + Convex = 6 rows per loop.
+  EXPECT_EQ(table->rows.size(), study.loops.size() * 6);
+  EXPECT_EQ(table->header.size(), 8u);
+}
+
+TEST_F(StudyIoTest, RowsCarryConsistentValues) {
+  const MarketStudy study = small_study();
+  ASSERT_TRUE(write_study_csv(study, path_).ok());
+  auto table = read_csv_file(path_).value();
+  const std::size_t strategy_col = table.column_index("strategy");
+  const std::size_t usd_col = table.column_index("monetized_usd");
+  const std::size_t loop_col = table.column_index("loop_id");
+
+  // For every loop, the written MaxMax value matches the in-memory one.
+  for (const auto& row : table.rows) {
+    if (row[strategy_col] != "MaxMax") continue;
+    const std::size_t loop_id = *parse_u64(row[loop_col]);
+    ASSERT_LT(loop_id, study.loops.size());
+    EXPECT_DOUBLE_EQ(*parse_double(row[usd_col]),
+                     study.loops[loop_id].max_max.monetized_usd);
+  }
+}
+
+TEST_F(StudyIoTest, UnwritablePathFails) {
+  const MarketStudy study = small_study();
+  EXPECT_FALSE(write_study_csv(study, "/nonexistent/dir/out.csv").ok());
+}
+
+TEST(StudySummaryTest, AggregatesMatchDefinition) {
+  const MarketStudy study = small_study();
+  const StudySummary summary = summarize_study(study);
+  EXPECT_EQ(summary.max_max.loops, study.loops.size());
+  // MaxMax always matches itself.
+  EXPECT_EQ(summary.max_max.matches_max_max, study.loops.size());
+  // Convex >= MaxMax - tolerance everywhere.
+  EXPECT_EQ(summary.convex.matches_max_max, study.loops.size());
+  // Totals ordered like the strategies.
+  EXPECT_LE(summary.max_price.total_usd, summary.max_max.total_usd + 1e-9);
+  EXPECT_LE(summary.max_max.total_usd, summary.convex.total_usd + 1e-3);
+  // Max is bounded by total for non-negative profits.
+  EXPECT_LE(summary.max_max.max_usd, summary.max_max.total_usd + 1e-12);
+}
+
+TEST(StudySummaryTest, EmptyStudy) {
+  MarketStudy study;
+  const StudySummary summary = summarize_study(study);
+  EXPECT_EQ(summary.max_max.loops, 0u);
+  EXPECT_DOUBLE_EQ(summary.max_max.total_usd, 0.0);
+}
+
+}  // namespace
+}  // namespace arb::core

@@ -1,0 +1,83 @@
+// Combinatorial ground truth: on the complete graph K_n the number of
+// simple cycles of each length has a closed formula, which pins the
+// enumeration algorithms exactly.
+//
+//   undirected k-cycles in K_n:  C(n,k) · (k−1)! / 2     (k >= 3)
+//   directed (both orientations): twice that.
+
+#include <gtest/gtest.h>
+
+#include "graph/cycle_enumeration.hpp"
+#include "graph/johnson.hpp"
+
+namespace arb::graph {
+namespace {
+
+TokenGraph make_complete(std::size_t n) {
+  TokenGraph g;
+  for (std::size_t i = 0; i < n; ++i) g.add_token("T" + std::to_string(i));
+  const auto tokens = g.tokens();
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      g.add_pool(tokens[i], tokens[j], 100.0 + static_cast<double>(i),
+                 100.0 + static_cast<double>(j));
+    }
+  }
+  return g;
+}
+
+std::size_t binomial(std::size_t n, std::size_t k) {
+  if (k > n) return 0;
+  std::size_t result = 1;
+  for (std::size_t i = 0; i < k; ++i) {
+    result = result * (n - i) / (i + 1);
+  }
+  return result;
+}
+
+std::size_t factorial(std::size_t k) {
+  std::size_t result = 1;
+  for (std::size_t i = 2; i <= k; ++i) result *= i;
+  return result;
+}
+
+/// Directed k-cycles of K_n (both orientations).
+std::size_t expected_directed_cycles(std::size_t n, std::size_t k) {
+  return binomial(n, k) * factorial(k - 1);  // = 2 · C(n,k)·(k−1)!/2
+}
+
+struct Params {
+  std::size_t n;
+  std::size_t k;
+};
+
+class CompleteGraphTest : public ::testing::TestWithParam<Params> {};
+
+TEST_P(CompleteGraphTest, FixedLengthCountMatchesFormula) {
+  const auto [n, k] = GetParam();
+  const TokenGraph g = make_complete(n);
+  EXPECT_EQ(enumerate_fixed_length_cycles(g, k).size(),
+            expected_directed_cycles(n, k));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Counts, CompleteGraphTest,
+    ::testing::Values(Params{4, 3}, Params{5, 3}, Params{6, 3}, Params{5, 4},
+                      Params{6, 4}, Params{6, 5}, Params{7, 3}, Params{7, 6}));
+
+TEST(CompleteGraphTotalsTest, JohnsonMatchesSummedFormula) {
+  for (const std::size_t n : {4u, 5u, 6u}) {
+    const TokenGraph g = make_complete(n);
+    std::size_t expected = 0;
+    for (std::size_t k = 3; k <= n; ++k) {
+      expected += expected_directed_cycles(n, k);
+    }
+    const JohnsonResult johnson = enumerate_elementary_cycles(g);
+    EXPECT_FALSE(johnson.truncated);
+    EXPECT_EQ(johnson.cycles.size(), expected) << "n=" << n;
+    EXPECT_EQ(enumerate_cycles_up_to(g, n).size(), expected) << "n=" << n;
+  }
+}
+
+}  // namespace
+}  // namespace arb::graph

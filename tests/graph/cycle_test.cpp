@@ -1,0 +1,132 @@
+#include "graph/cycle.hpp"
+
+#include <gtest/gtest.h>
+
+namespace arb::graph {
+namespace {
+
+struct TriangleFixture {
+  TokenGraph g;
+  TokenId x, y, z;
+  PoolId xy, yz, zx;
+
+  TriangleFixture() {
+    x = g.add_token("X");
+    y = g.add_token("Y");
+    z = g.add_token("Z");
+    xy = g.add_pool(x, y, 100.0, 200.0);
+    yz = g.add_pool(y, z, 300.0, 200.0);
+    zx = g.add_pool(z, x, 200.0, 400.0);
+  }
+
+  Cycle make() const {
+    return *Cycle::create(g, {x, y, z}, {xy, yz, zx});
+  }
+};
+
+TEST(CycleTest, CreateValidCycle) {
+  const TriangleFixture f;
+  const Cycle c = f.make();
+  EXPECT_EQ(c.length(), 3u);
+  EXPECT_EQ(c.tokens()[0], f.x);
+}
+
+TEST(CycleTest, CreateRejectsBrokenChains) {
+  const TriangleFixture f;
+  // Wrong pool order: xy cannot carry y -> z.
+  EXPECT_FALSE(Cycle::create(f.g, {f.x, f.y, f.z}, {f.xy, f.zx, f.yz}).ok());
+  // Repeated token.
+  EXPECT_FALSE(Cycle::create(f.g, {f.x, f.y, f.x}, {f.xy, f.yz, f.zx}).ok());
+  // Repeated pool.
+  EXPECT_FALSE(Cycle::create(f.g, {f.x, f.y, f.z}, {f.xy, f.xy, f.zx}).ok());
+  // Too short.
+  EXPECT_FALSE(Cycle::create(f.g, {f.x}, {f.xy}).ok());
+  // Count mismatch.
+  EXPECT_FALSE(Cycle::create(f.g, {f.x, f.y}, {f.xy}).ok());
+}
+
+TEST(CycleTest, RotationPreservesLoop) {
+  const TriangleFixture f;
+  const Cycle c = f.make();
+  const Cycle r = c.rotated(1);
+  EXPECT_EQ(r.tokens()[0], f.y);
+  EXPECT_EQ(r.pools()[0], f.yz);
+  EXPECT_EQ(r.tokens()[2], f.x);
+  // Rotation by length is identity.
+  const Cycle full = c.rotated(3);
+  EXPECT_EQ(full.tokens(), c.tokens());
+}
+
+TEST(CycleTest, ReverseWalksBackwards) {
+  const TriangleFixture f;
+  const Cycle rev = f.make().reversed();
+  EXPECT_EQ(rev.tokens(), (std::vector<TokenId>{f.x, f.z, f.y}));
+  EXPECT_EQ(rev.pools(), (std::vector<PoolId>{f.zx, f.yz, f.xy}));
+  // Reversing twice restores the original.
+  const Cycle twice = rev.reversed();
+  EXPECT_EQ(twice.tokens(), f.make().tokens());
+  EXPECT_EQ(twice.pools(), f.make().pools());
+}
+
+TEST(CycleTest, RotationKeyIdentifiesRotations) {
+  const TriangleFixture f;
+  const Cycle c = f.make();
+  EXPECT_EQ(c.rotation_key(), c.rotated(1).rotation_key());
+  EXPECT_EQ(c.rotation_key(), c.rotated(2).rotation_key());
+  EXPECT_NE(c.rotation_key(), c.reversed().rotation_key());
+}
+
+TEST(CycleTest, LoopKeyIdentifiesReflectionsToo) {
+  const TriangleFixture f;
+  const Cycle c = f.make();
+  EXPECT_EQ(c.loop_key(), c.reversed().loop_key());
+  EXPECT_EQ(c.loop_key(), c.rotated(2).reversed().loop_key());
+}
+
+TEST(CycleTest, PriceProductMatchesPaperExample) {
+  const TriangleFixture f;
+  // (1-λ)³ · 2 · (2/3) · 2 = 8/3 · 0.997³.
+  EXPECT_NEAR(f.make().price_product(f.g),
+              8.0 / 3.0 * 0.997 * 0.997 * 0.997, 1e-12);
+}
+
+TEST(CycleTest, ForwardAndBackwardProductsMultiplyToGamma2n) {
+  const TriangleFixture f;
+  const Cycle c = f.make();
+  const double product =
+      c.price_product(f.g) * c.reversed().price_product(f.g);
+  EXPECT_NEAR(product, std::pow(0.997, 6.0), 1e-12);
+}
+
+TEST(CycleTest, PathStartsAtRequestedOffset) {
+  const TriangleFixture f;
+  const Cycle c = f.make();
+  EXPECT_EQ(c.path(f.g, 0).start_token(), f.x);
+  EXPECT_EQ(c.path(f.g, 1).start_token(), f.y);
+  EXPECT_EQ(c.path(f.g, 2).start_token(), f.z);
+  EXPECT_TRUE(c.path(f.g, 1).is_cycle());
+}
+
+TEST(CycleTest, DescribeUsesSymbols) {
+  const TriangleFixture f;
+  EXPECT_EQ(f.make().describe(f.g), "X -> Y -> Z -> X");
+}
+
+TEST(CycleTest, TwoTokenCycleThroughParallelPools) {
+  TokenGraph g;
+  const TokenId a = g.add_token("A");
+  const TokenId b = g.add_token("B");
+  const PoolId p1 = g.add_pool(a, b, 100.0, 200.0);
+  const PoolId p2 = g.add_pool(a, b, 300.0, 150.0);
+  auto cycle = Cycle::create(g, {a, b}, {p1, p2});
+  ASSERT_TRUE(cycle.ok());
+  EXPECT_EQ(cycle->length(), 2u);
+  // Mispriced parallel pools: one orientation profitable.
+  const double fwd = cycle->price_product(g);
+  const double bwd = cycle->reversed().price_product(g);
+  EXPECT_GT(std::max(fwd, bwd), 1.0);
+  EXPECT_LT(std::min(fwd, bwd), 1.0);
+}
+
+}  // namespace
+}  // namespace arb::graph

@@ -1,0 +1,178 @@
+#include "graph/cycle_enumeration.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.hpp"
+
+namespace arb::graph {
+namespace {
+
+/// K4: complete graph on 4 tokens with mildly imbalanced pools.
+TokenGraph make_k4() {
+  TokenGraph g;
+  const TokenId a = g.add_token("A");
+  const TokenId b = g.add_token("B");
+  const TokenId c = g.add_token("C");
+  const TokenId d = g.add_token("D");
+  g.add_pool(a, b, 100.0, 110.0);
+  g.add_pool(a, c, 100.0, 120.0);
+  g.add_pool(a, d, 100.0, 130.0);
+  g.add_pool(b, c, 100.0, 105.0);
+  g.add_pool(b, d, 100.0, 115.0);
+  g.add_pool(c, d, 100.0, 108.0);
+  return g;
+}
+
+TEST(EnumerationTest, TriangleCountOnK4) {
+  const TokenGraph g = make_k4();
+  const auto cycles = enumerate_fixed_length_cycles(g, 3);
+  // K4 has C(4,3) = 4 triangles, each in two orientations.
+  EXPECT_EQ(cycles.size(), 8u);
+  // All distinct up to rotation.
+  std::set<std::string> keys;
+  for (const Cycle& c : cycles) keys.insert(c.rotation_key());
+  EXPECT_EQ(keys.size(), 8u);
+  // Exactly 4 distinct loops up to reflection.
+  std::set<std::string> loop_keys;
+  for (const Cycle& c : cycles) loop_keys.insert(c.loop_key());
+  EXPECT_EQ(loop_keys.size(), 4u);
+}
+
+TEST(EnumerationTest, Length4CountOnK4) {
+  const TokenGraph g = make_k4();
+  const auto cycles = enumerate_fixed_length_cycles(g, 4);
+  // K4 has 3 Hamiltonian 4-cycles, two orientations each.
+  EXPECT_EQ(cycles.size(), 6u);
+}
+
+TEST(EnumerationTest, NoCyclesInTree) {
+  TokenGraph g;
+  const TokenId a = g.add_token("A");
+  const TokenId b = g.add_token("B");
+  const TokenId c = g.add_token("C");
+  g.add_pool(a, b, 10.0, 10.0);
+  g.add_pool(a, c, 10.0, 10.0);
+  EXPECT_TRUE(enumerate_fixed_length_cycles(g, 3).empty());
+  EXPECT_TRUE(enumerate_cycles_up_to(g, 5).empty());
+}
+
+TEST(EnumerationTest, ParallelPoolsMakeTwoCycles) {
+  TokenGraph g;
+  const TokenId a = g.add_token("A");
+  const TokenId b = g.add_token("B");
+  g.add_pool(a, b, 100.0, 200.0);
+  g.add_pool(a, b, 300.0, 150.0);
+  const auto cycles = enumerate_fixed_length_cycles(g, 2);
+  // Two orientations of the one 2-loop (p1 then p2, or p2 then p1).
+  EXPECT_EQ(cycles.size(), 2u);
+  for (const Cycle& c : cycles) {
+    EXPECT_EQ(c.length(), 2u);
+    EXPECT_NE(c.pools()[0], c.pools()[1]);
+  }
+}
+
+TEST(EnumerationTest, SinglePoolYieldsNoTwoCycle) {
+  TokenGraph g;
+  const TokenId a = g.add_token("A");
+  const TokenId b = g.add_token("B");
+  g.add_pool(a, b, 100.0, 200.0);
+  EXPECT_TRUE(enumerate_fixed_length_cycles(g, 2).empty());
+}
+
+TEST(EnumerationTest, UpToCollectsAllLengths) {
+  const TokenGraph g = make_k4();
+  const auto all = enumerate_cycles_up_to(g, 4);
+  EXPECT_EQ(all.size(), 8u + 6u);  // triangles + 4-cycles (no 2-cycles)
+}
+
+TEST(EnumerationTest, EveryEnumeratedCycleIsValid) {
+  const TokenGraph g = make_k4();
+  for (const Cycle& c : enumerate_cycles_up_to(g, 4)) {
+    // Re-validating through the factory must succeed.
+    auto check = Cycle::create(
+        g, std::vector<TokenId>(c.tokens()), std::vector<PoolId>(c.pools()));
+    EXPECT_TRUE(check.ok());
+  }
+}
+
+TEST(FilterArbitrageTest, KeepsAtMostOneOrientationPerLoop) {
+  const TokenGraph g = make_k4();
+  const auto cycles = enumerate_fixed_length_cycles(g, 3);
+  const auto arbs = filter_arbitrage(g, cycles);
+  std::set<std::string> loop_keys;
+  for (const Cycle& c : arbs) {
+    EXPECT_GT(c.price_product(g), 1.0);
+    EXPECT_TRUE(loop_keys.insert(c.loop_key()).second)
+        << "both orientations survived";
+  }
+}
+
+TEST(FilterArbitrageTest, MarginExcludesThinLoops) {
+  const TokenGraph g = make_k4();
+  const auto cycles = enumerate_fixed_length_cycles(g, 3);
+  const auto all = filter_arbitrage(g, cycles, 0.0);
+  const auto strict = filter_arbitrage(g, cycles, 10.0);  // impossible bar
+  EXPECT_TRUE(strict.empty());
+  EXPECT_GE(all.size(), strict.size());
+}
+
+TEST(NegativeCycleTest, FindsArbitrageWhenPresent) {
+  const TokenGraph g = make_k4();
+  // K4 with these imbalances definitely has an arbitrage triangle.
+  ASSERT_FALSE(filter_arbitrage(g, enumerate_cycles_up_to(g, 4)).empty());
+  const auto cycle = find_negative_cycle(g);
+  ASSERT_TRUE(cycle.has_value());
+  EXPECT_GT(cycle->price_product(g), 1.0);
+}
+
+TEST(NegativeCycleTest, SilentOnBalancedMarket) {
+  TokenGraph g;
+  const TokenId a = g.add_token("A");
+  const TokenId b = g.add_token("B");
+  const TokenId c = g.add_token("C");
+  // Consistent prices: A=1, B=2, C=4 in every pool → no arbitrage
+  // (fees make every loop lose).
+  g.add_pool(a, b, 200.0, 100.0);
+  g.add_pool(b, c, 100.0, 50.0);
+  g.add_pool(c, a, 50.0, 200.0);
+  EXPECT_TRUE(filter_arbitrage(g, enumerate_cycles_up_to(g, 3)).empty());
+  EXPECT_FALSE(find_negative_cycle(g).has_value());
+}
+
+TEST(NegativeCycleTest, EmptyGraph) {
+  TokenGraph g;
+  EXPECT_FALSE(find_negative_cycle(g).has_value());
+}
+
+TEST(NegativeCyclePropertyTest, AgreementWithEnumerationOnRandomMarkets) {
+  Rng rng(31);
+  for (int trial = 0; trial < 30; ++trial) {
+    TokenGraph g;
+    const std::size_t n = 4 + rng.index(5);
+    for (std::size_t i = 0; i < n; ++i) g.add_token("T" + std::to_string(i));
+    // Random connected-ish graph.
+    const auto tokens = g.tokens();
+    for (std::size_t i = 1; i < n; ++i) {
+      g.add_pool(tokens[i], tokens[rng.index(i)], rng.uniform(50.0, 500.0),
+                 rng.uniform(50.0, 500.0));
+    }
+    for (std::size_t extra = 0; extra < n; ++extra) {
+      const std::size_t a = rng.index(n);
+      const std::size_t b = rng.index(n);
+      if (a == b) continue;
+      g.add_pool(tokens[a], tokens[b], rng.uniform(50.0, 500.0),
+                 rng.uniform(50.0, 500.0));
+    }
+    const bool enumeration_finds =
+        !filter_arbitrage(g, enumerate_cycles_up_to(g, n)).empty();
+    const bool bfm_finds = find_negative_cycle(g).has_value();
+    // BFM must never hallucinate; it may only miss loops longer than the
+    // enumeration bound (impossible here since bound = n).
+    EXPECT_EQ(bfm_finds, enumeration_finds) << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace arb::graph

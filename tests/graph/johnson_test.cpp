@@ -1,0 +1,134 @@
+#include "graph/johnson.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "graph/cycle_enumeration.hpp"
+
+namespace arb::graph {
+namespace {
+
+TokenGraph make_k4() {
+  TokenGraph g;
+  const TokenId a = g.add_token("A");
+  const TokenId b = g.add_token("B");
+  const TokenId c = g.add_token("C");
+  const TokenId d = g.add_token("D");
+  g.add_pool(a, b, 100.0, 110.0);
+  g.add_pool(a, c, 100.0, 120.0);
+  g.add_pool(a, d, 100.0, 130.0);
+  g.add_pool(b, c, 100.0, 105.0);
+  g.add_pool(b, d, 100.0, 115.0);
+  g.add_pool(c, d, 100.0, 108.0);
+  return g;
+}
+
+TEST(JohnsonTest, K4CircuitCount) {
+  const TokenGraph g = make_k4();
+  const JohnsonResult result = enumerate_elementary_cycles(g);
+  EXPECT_FALSE(result.truncated);
+  // K4: 4 triangles + 3 Hamiltonian 4-cycles, each in two orientations.
+  EXPECT_EQ(result.cycles.size(), 14u);
+}
+
+TEST(JohnsonTest, MatchesBoundedDfsOnK4) {
+  const TokenGraph g = make_k4();
+  const auto dfs = enumerate_cycles_up_to(g, 4);
+  const JohnsonResult johnson = enumerate_elementary_cycles(g);
+  std::set<std::string> dfs_keys;
+  std::set<std::string> johnson_keys;
+  for (const Cycle& c : dfs) dfs_keys.insert(c.rotation_key());
+  for (const Cycle& c : johnson.cycles) {
+    johnson_keys.insert(c.rotation_key());
+  }
+  EXPECT_EQ(dfs_keys, johnson_keys);
+}
+
+TEST(JohnsonTest, EmptyAndTreeGraphs) {
+  TokenGraph empty;
+  EXPECT_TRUE(enumerate_elementary_cycles(empty).cycles.empty());
+
+  TokenGraph tree;
+  const TokenId a = tree.add_token("A");
+  const TokenId b = tree.add_token("B");
+  const TokenId c = tree.add_token("C");
+  tree.add_pool(a, b, 10.0, 10.0);
+  tree.add_pool(b, c, 10.0, 10.0);
+  EXPECT_TRUE(enumerate_elementary_cycles(tree).cycles.empty());
+}
+
+TEST(JohnsonTest, SinglePoolHasNoCircuit) {
+  TokenGraph g;
+  const TokenId a = g.add_token("A");
+  const TokenId b = g.add_token("B");
+  g.add_pool(a, b, 10.0, 10.0);
+  // The only directed circuit is the degenerate same-pool 2-cycle,
+  // which must be excluded.
+  EXPECT_TRUE(enumerate_elementary_cycles(g).cycles.empty());
+}
+
+TEST(JohnsonTest, ParallelPools) {
+  TokenGraph g;
+  const TokenId a = g.add_token("A");
+  const TokenId b = g.add_token("B");
+  g.add_pool(a, b, 100.0, 200.0);
+  g.add_pool(a, b, 300.0, 150.0);
+  const JohnsonResult result = enumerate_elementary_cycles(g);
+  EXPECT_EQ(result.cycles.size(), 2u);  // one loop, two orientations
+}
+
+TEST(JohnsonTest, CapTruncates) {
+  const TokenGraph g = make_k4();
+  const JohnsonResult result = enumerate_elementary_cycles(g, 5);
+  EXPECT_TRUE(result.truncated);
+  EXPECT_EQ(result.cycles.size(), 5u);
+  EXPECT_THROW(enumerate_elementary_cycles(g, 0), PreconditionError);
+}
+
+TEST(JohnsonTest, AllCyclesValidAndRotationCanonical) {
+  const TokenGraph g = make_k4();
+  for (const Cycle& c : enumerate_elementary_cycles(g).cycles) {
+    auto check = Cycle::create(g, std::vector<TokenId>(c.tokens()),
+                               std::vector<PoolId>(c.pools()));
+    EXPECT_TRUE(check.ok());
+    // Anchored at the smallest token id.
+    for (const TokenId t : c.tokens()) {
+      EXPECT_LE(c.tokens().front(), t);
+    }
+  }
+}
+
+TEST(JohnsonPropertyTest, MatchesBoundedDfsOnRandomGraphs) {
+  Rng rng(71);
+  for (int trial = 0; trial < 20; ++trial) {
+    TokenGraph g;
+    const std::size_t n = 4 + rng.index(4);
+    for (std::size_t i = 0; i < n; ++i) g.add_token("T" + std::to_string(i));
+    const auto tokens = g.tokens();
+    const std::size_t extra = n + rng.index(n);
+    for (std::size_t e = 0; e < extra; ++e) {
+      const std::size_t a = rng.index(n);
+      const std::size_t b = rng.index(n);
+      if (a == b) continue;
+      g.add_pool(tokens[a], tokens[b], rng.uniform(50.0, 500.0),
+                 rng.uniform(50.0, 500.0));
+    }
+    std::set<std::string> dfs_keys;
+    for (const Cycle& c : enumerate_cycles_up_to(g, n)) {
+      dfs_keys.insert(c.rotation_key());
+    }
+    std::set<std::string> johnson_keys;
+    const JohnsonResult johnson = enumerate_elementary_cycles(g);
+    EXPECT_FALSE(johnson.truncated);
+    for (const Cycle& c : johnson.cycles) {
+      johnson_keys.insert(c.rotation_key());
+    }
+    EXPECT_EQ(dfs_keys, johnson_keys) << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace arb::graph

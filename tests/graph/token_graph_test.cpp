@@ -1,0 +1,89 @@
+#include "graph/token_graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace arb::graph {
+namespace {
+
+TEST(TokenGraphTest, AddTokensAssignsDenseIds) {
+  TokenGraph g;
+  const TokenId a = g.add_token("A");
+  const TokenId b = g.add_token("B");
+  EXPECT_EQ(a.value(), 0u);
+  EXPECT_EQ(b.value(), 1u);
+  EXPECT_EQ(g.token_count(), 2u);
+  EXPECT_EQ(g.symbol(a), "A");
+  EXPECT_EQ(g.symbol(b), "B");
+}
+
+TEST(TokenGraphTest, AddPoolWiresAdjacency) {
+  TokenGraph g;
+  const TokenId a = g.add_token("A");
+  const TokenId b = g.add_token("B");
+  const TokenId c = g.add_token("C");
+  const PoolId ab = g.add_pool(a, b, 10.0, 20.0);
+  const PoolId bc = g.add_pool(b, c, 30.0, 40.0);
+  EXPECT_EQ(g.pool_count(), 2u);
+  EXPECT_EQ(g.pools_of(a), (std::vector<PoolId>{ab}));
+  EXPECT_EQ(g.pools_of(b), (std::vector<PoolId>{ab, bc}));
+  EXPECT_EQ(g.pools_of(c), (std::vector<PoolId>{bc}));
+}
+
+TEST(TokenGraphTest, PoolLookup) {
+  TokenGraph g;
+  const TokenId a = g.add_token("A");
+  const TokenId b = g.add_token("B");
+  const PoolId id = g.add_pool(a, b, 10.0, 20.0, 0.001);
+  const amm::CpmmPool& pool = g.pool(id);
+  EXPECT_EQ(pool.id(), id);
+  EXPECT_DOUBLE_EQ(pool.fee(), 0.001);
+  EXPECT_THROW((void)g.pool(PoolId{5}), PreconditionError);
+}
+
+TEST(TokenGraphTest, MutablePoolAllowsStateUpdates) {
+  TokenGraph g;
+  const TokenId a = g.add_token("A");
+  const TokenId b = g.add_token("B");
+  const PoolId id = g.add_pool(a, b, 10.0, 20.0);
+  ASSERT_TRUE(g.mutable_pool(id).apply_swap(a, 1.0).ok());
+  EXPECT_GT(g.pool(id).reserve0(), 10.0);
+}
+
+TEST(TokenGraphTest, UnknownTokenInPoolThrows) {
+  TokenGraph g;
+  const TokenId a = g.add_token("A");
+  EXPECT_THROW(g.add_pool(a, TokenId{7}, 1.0, 1.0), PreconditionError);
+}
+
+TEST(TokenGraphTest, ParallelPoolsAllowed) {
+  TokenGraph g;
+  const TokenId a = g.add_token("A");
+  const TokenId b = g.add_token("B");
+  g.add_pool(a, b, 10.0, 20.0);
+  g.add_pool(a, b, 11.0, 19.0);
+  EXPECT_EQ(g.pools_of(a).size(), 2u);
+}
+
+TEST(TokenGraphTest, TokensListsAll) {
+  TokenGraph g;
+  g.add_token("A");
+  g.add_token("B");
+  const auto tokens = g.tokens();
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[1].value(), 1u);
+}
+
+TEST(TokenGraphTest, FindTokenBySymbol) {
+  TokenGraph g;
+  g.add_token("WETH");
+  const TokenId usdc = g.add_token("USDC");
+  auto found = g.find_token("USDC");
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(*found, usdc);
+  EXPECT_FALSE(g.find_token("NOPE").ok());
+}
+
+}  // namespace
+}  // namespace arb::graph

@@ -1,0 +1,114 @@
+// CPMM homogeneity: scaling every reserve of a loop by c scales the
+// optimal input and the profit by exactly c (the swap function is
+// positively homogeneous: F(c·d | c·x, c·y) = c·F(d | x, y)). These
+// tests pin that invariance across strategies and check the library
+// stays numerically sound at extreme reserve/price scales.
+
+#include <gtest/gtest.h>
+
+#include "core/comparison.hpp"
+#include "core/plan.hpp"
+#include "sim/engine.hpp"
+
+namespace arb {
+namespace {
+
+struct ScaledMarket {
+  graph::TokenGraph graph;
+  market::CexPriceFeed prices;
+  graph::Cycle loop;
+
+  explicit ScaledMarket(double reserve_scale, double price_scale = 1.0)
+      : loop(make(graph, prices, reserve_scale, price_scale)) {}
+
+  static graph::Cycle make(graph::TokenGraph& g, market::CexPriceFeed& p,
+                           double c, double q) {
+    const TokenId x = g.add_token("X");
+    const TokenId y = g.add_token("Y");
+    const TokenId z = g.add_token("Z");
+    const PoolId xy = g.add_pool(x, y, 100.0 * c, 200.0 * c);
+    const PoolId yz = g.add_pool(y, z, 300.0 * c, 200.0 * c);
+    const PoolId zx = g.add_pool(z, x, 200.0 * c, 400.0 * c);
+    p.set_price(x, 2.0 * q);
+    p.set_price(y, 10.2 * q);
+    p.set_price(z, 20.0 * q);
+    return *graph::Cycle::create(g, {x, y, z}, {xy, yz, zx});
+  }
+};
+
+class ReserveScaleTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ReserveScaleTest, ProfitsScaleLinearly) {
+  const double c = GetParam();
+  const ScaledMarket base(1.0);
+  const ScaledMarket scaled(c);
+  const auto base_mm =
+      core::evaluate_max_max(base.graph, base.prices, base.loop).value();
+  const auto scaled_mm =
+      core::evaluate_max_max(scaled.graph, scaled.prices, scaled.loop)
+          .value();
+  EXPECT_NEAR(scaled_mm.input, base_mm.input * c, 1e-6 * base_mm.input * c);
+  EXPECT_NEAR(scaled_mm.monetized_usd, base_mm.monetized_usd * c,
+              1e-6 * base_mm.monetized_usd * c);
+
+  const auto base_cv =
+      core::solve_convex(base.graph, base.prices, base.loop).value();
+  const auto scaled_cv =
+      core::solve_convex(scaled.graph, scaled.prices, scaled.loop).value();
+  EXPECT_NEAR(scaled_cv.outcome.monetized_usd,
+              base_cv.outcome.monetized_usd * c,
+              1e-4 * base_cv.outcome.monetized_usd * c);
+}
+
+TEST_P(ReserveScaleTest, PriceProductIsScaleInvariant) {
+  const ScaledMarket base(1.0);
+  const ScaledMarket scaled(GetParam());
+  EXPECT_NEAR(scaled.loop.price_product(scaled.graph),
+              base.loop.price_product(base.graph), 1e-12);
+}
+
+TEST_P(ReserveScaleTest, ExecutionStillRealizesAtScale) {
+  ScaledMarket m(GetParam());
+  const auto solution =
+      core::solve_convex(m.graph, m.prices, m.loop).value();
+  const auto plan = core::plan_from_convex(m.graph, m.loop, solution).value();
+  const auto report =
+      sim::ExecutionEngine().execute(m.graph, m.prices, plan).value();
+  EXPECT_NEAR(report.realized_usd, solution.outcome.monetized_usd,
+              1e-5 * std::max(1.0, solution.outcome.monetized_usd));
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, ReserveScaleTest,
+                         ::testing::Values(1e-4, 1e-2, 1e2, 1e5, 1e8));
+
+class PriceScaleTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(PriceScaleTest, MonetizationScalesWithPrices) {
+  // USD prices scale the objective but not the token-space optimum.
+  const double q = GetParam();
+  const ScaledMarket base(1.0, 1.0);
+  const ScaledMarket scaled(1.0, q);
+  const auto base_mm =
+      core::evaluate_max_max(base.graph, base.prices, base.loop).value();
+  const auto scaled_mm =
+      core::evaluate_max_max(scaled.graph, scaled.prices, scaled.loop)
+          .value();
+  EXPECT_EQ(scaled_mm.start_token, base_mm.start_token);
+  EXPECT_NEAR(scaled_mm.input, base_mm.input, 1e-7 * base_mm.input);
+  EXPECT_NEAR(scaled_mm.monetized_usd, base_mm.monetized_usd * q,
+              1e-6 * base_mm.monetized_usd * q);
+
+  const auto base_cv =
+      core::solve_convex(base.graph, base.prices, base.loop).value();
+  const auto scaled_cv =
+      core::solve_convex(scaled.graph, scaled.prices, scaled.loop).value();
+  EXPECT_NEAR(scaled_cv.outcome.monetized_usd,
+              base_cv.outcome.monetized_usd * q,
+              1e-4 * base_cv.outcome.monetized_usd * q);
+}
+
+INSTANTIATE_TEST_SUITE_P(PriceScales, PriceScaleTest,
+                         ::testing::Values(1e-6, 1e-3, 1e3, 1e6));
+
+}  // namespace
+}  // namespace arb

@@ -1,0 +1,94 @@
+// Differential testing of the three convex-solver routes (barrier on the
+// reduced form, barrier on the full eq.-8 form, compensated coordinate
+// ascent) plus the MaxMax lower bound, on randomized loops of random
+// length — the strongest correctness evidence the library has for the
+// Convex Optimization strategy.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "core/convex.hpp"
+#include "core/coordinate.hpp"
+#include "core/single_start.hpp"
+#include "graph/cycle.hpp"
+
+namespace arb {
+namespace {
+
+struct RandomLoop {
+  graph::TokenGraph graph;
+  market::CexPriceFeed prices;
+  std::vector<TokenId> tokens;
+  std::vector<PoolId> pools;
+
+  RandomLoop(Rng& rng, std::size_t length) {
+    for (std::size_t i = 0; i < length; ++i) {
+      tokens.push_back(graph.add_token("T" + std::to_string(i)));
+      prices.set_price(tokens.back(),
+                       std::exp(rng.uniform(std::log(0.01), std::log(3000.0))));
+    }
+    for (std::size_t i = 0; i < length; ++i) {
+      // Log-uniform reserves over several decades.
+      const double r0 = std::exp(rng.uniform(std::log(50.0), std::log(5e6)));
+      const double r1 = std::exp(rng.uniform(std::log(50.0), std::log(5e6)));
+      pools.push_back(
+          graph.add_pool(tokens[i], tokens[(i + 1) % length], r0, r1));
+    }
+  }
+
+  [[nodiscard]] graph::Cycle cycle() const {
+    return *graph::Cycle::create(graph, tokens, pools);
+  }
+};
+
+class SolverDifferentialTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SolverDifferentialTest, AllRoutesAgreeOnRandomLoops) {
+  Rng rng(GetParam());
+  int profitable = 0;
+  for (int trial = 0; trial < 25; ++trial) {
+    const std::size_t length = 2 + rng.index(5);  // 2..6
+    const RandomLoop loop(rng, length);
+    const graph::Cycle cycle = loop.cycle();
+
+    const auto maxmax =
+        core::evaluate_max_max(loop.graph, loop.prices, cycle).value();
+    const auto reduced =
+        core::solve_convex(loop.graph, loop.prices, cycle).value();
+    core::ConvexOptions full_options;
+    full_options.use_full_formulation = true;
+    const auto full =
+        core::solve_convex(loop.graph, loop.prices, cycle, full_options)
+            .value();
+    const auto hops =
+        core::make_hop_data(loop.graph, loop.prices, cycle).value();
+    const auto coordinate = core::solve_reduced_coordinate(hops);
+
+    const double reference = reduced.outcome.monetized_usd;
+    if (cycle.price_product(loop.graph) <= 1.0) {
+      EXPECT_DOUBLE_EQ(maxmax.monetized_usd, 0.0);
+      EXPECT_DOUBLE_EQ(reference, 0.0);
+      EXPECT_DOUBLE_EQ(full.outcome.monetized_usd, 0.0);
+      EXPECT_DOUBLE_EQ(coordinate.profit_usd, 0.0);
+      continue;
+    }
+    ++profitable;
+    const double tol = 1e-4 * std::max(1e-9, reference);
+    EXPECT_NEAR(full.outcome.monetized_usd, reference, tol)
+        << "len=" << length << " trial=" << trial;
+    EXPECT_NEAR(coordinate.profit_usd, reference,
+                5e-3 * std::max(1e-9, reference))
+        << "len=" << length << " trial=" << trial;
+    // MaxMax is a valid lower bound for every route.
+    EXPECT_LE(maxmax.monetized_usd, reference + tol);
+    EXPECT_GE(reference, maxmax.monetized_usd * (1.0 - 1e-7) - 1e-12);
+  }
+  EXPECT_GT(profitable, 5);  // random pools are usually mispriced
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SolverDifferentialTest,
+                         ::testing::Values(101, 202, 303, 404));
+
+}  // namespace
+}  // namespace arb

@@ -1,0 +1,119 @@
+// Integration tests for the Section V price sweep (Figs. 2-4) and the
+// snapshot IO round trip feeding the strategy pipeline.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+
+#include "core/comparison.hpp"
+#include "market/generator.hpp"
+#include "market/io.hpp"
+#include "tests/core/fixtures.hpp"
+
+namespace arb {
+namespace {
+
+using core::testing::Section5Market;
+
+TEST(SweepTest, MaxMaxIsEnvelopeAcrossPriceSweep) {
+  // Fig. 2: as P_x sweeps 0..20, MaxMax equals the max of the three
+  // start-token curves at every point.
+  Section5Market m;
+  for (double px = 0.2; px <= 20.0; px += 0.4) {
+    m.prices.set_price(m.x, px);
+    auto rotations = core::evaluate_all_rotations(m.graph, m.prices, m.loop());
+    auto max_max = core::evaluate_max_max(m.graph, m.prices, m.loop());
+    ASSERT_TRUE(rotations.ok());
+    ASSERT_TRUE(max_max.ok());
+    double best = 0.0;
+    for (const auto& r : *rotations) best = std::max(best, r.monetized_usd);
+    EXPECT_DOUBLE_EQ(max_max->monetized_usd, best) << "px=" << px;
+  }
+}
+
+TEST(SweepTest, ConvexDominatesMaxMaxAcrossPriceSweep) {
+  // Fig. 3: Convex >= MaxMax at every P_x.
+  Section5Market m;
+  for (double px = 0.2; px <= 20.0; px += 0.4) {
+    m.prices.set_price(m.x, px);
+    auto max_max = core::evaluate_max_max(m.graph, m.prices, m.loop());
+    auto convex = core::solve_convex(m.graph, m.prices, m.loop());
+    ASSERT_TRUE(max_max.ok());
+    ASSERT_TRUE(convex.ok());
+    EXPECT_GE(convex->outcome.monetized_usd,
+              max_max->monetized_usd * (1.0 - 1e-9) - 1e-9)
+        << "px=" << px;
+  }
+}
+
+TEST(SweepTest, MaxPriceSwitchesStartTokenWithPrices) {
+  Section5Market m;
+  m.prices.set_price(m.x, 25.0);  // now X has the highest CEX price
+  auto outcome = core::evaluate_max_price(m.graph, m.prices, m.loop());
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome->start_token, m.x);
+}
+
+TEST(SweepTest, TokenCompositionHasFewDistinctOptima) {
+  // Fig. 4: across the sweep the optimal retention pattern clusters on a
+  // handful of positions (the paper reports ~6). Verify it is small and
+  // the composition switches at least once.
+  Section5Market m;
+  std::set<std::string> patterns;
+  for (double px = 0.2; px <= 20.0; px += 0.2) {
+    m.prices.set_price(m.x, px);
+    auto convex = core::solve_convex(m.graph, m.prices, m.loop());
+    ASSERT_TRUE(convex.ok());
+    std::string pattern;
+    for (const core::TokenProfit& p : convex->outcome.profits) {
+      pattern += p.amount > 0.05 ? '1' : '0';
+    }
+    patterns.insert(pattern);
+  }
+  EXPECT_GE(patterns.size(), 2u);
+  EXPECT_LE(patterns.size(), 8u);
+}
+
+TEST(SweepTest, ZeroPriceTokenStillHandled) {
+  // P_x -> 0 degenerates gracefully: profits held in X are worthless but
+  // the solve must not fail. (Feed forbids exactly zero, use epsilon.)
+  Section5Market m;
+  m.prices.set_price(m.x, 1e-9);
+  auto convex = core::solve_convex(m.graph, m.prices, m.loop());
+  ASSERT_TRUE(convex.ok());
+  auto max_max = core::evaluate_max_max(m.graph, m.prices, m.loop());
+  ASSERT_TRUE(max_max.ok());
+  EXPECT_GE(convex->outcome.monetized_usd,
+            max_max->monetized_usd * (1.0 - 1e-7) - 1e-9);
+  EXPECT_NE(max_max->start_token, m.x);
+}
+
+TEST(IoPipelineTest, StudyOnReloadedSnapshotMatchesOriginal) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("arb_sweep_io_" + std::to_string(::getpid()));
+  std::filesystem::create_directories(dir);
+
+  market::GeneratorConfig config;
+  config.token_count = 14;
+  config.pool_count = 30;
+  const auto snapshot = market::generate_snapshot(config);
+  ASSERT_TRUE(market::save_snapshot(snapshot, dir.string()).ok());
+  auto reloaded = market::load_snapshot(dir.string());
+  ASSERT_TRUE(reloaded.ok());
+
+  auto study_a = core::run_market_study(snapshot, 3);
+  auto study_b = core::run_market_study(*reloaded, 3);
+  ASSERT_TRUE(study_a.ok());
+  ASSERT_TRUE(study_b.ok());
+  ASSERT_EQ(study_a->loops.size(), study_b->loops.size());
+  for (std::size_t i = 0; i < study_a->loops.size(); ++i) {
+    EXPECT_DOUBLE_EQ(study_a->loops[i].max_max.monetized_usd,
+                     study_b->loops[i].max_max.monetized_usd);
+  }
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace arb

@@ -1,0 +1,143 @@
+#include "market/price_process.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+#include "market/generator.hpp"
+#include "sim/replay.hpp"
+
+namespace arb::market {
+namespace {
+
+MarketSnapshot small_snapshot(std::uint64_t seed = 3) {
+  GeneratorConfig config;
+  config.token_count = 10;
+  config.pool_count = 18;
+  config.seed = seed;
+  return generate_snapshot(config);
+}
+
+TEST(PriceProcessTest, FundamentalsInitializedFromCexQuotes) {
+  const MarketSnapshot snapshot = small_snapshot();
+  const PriceProcess process(snapshot, PriceProcessConfig{}, 1);
+  for (const TokenId token : snapshot.graph.tokens()) {
+    EXPECT_DOUBLE_EQ(process.fundamental(token),
+                     snapshot.prices.price_unchecked(token));
+  }
+}
+
+TEST(PriceProcessTest, StepPreservesConstantProduct) {
+  MarketSnapshot snapshot = small_snapshot();
+  std::vector<double> k_before;
+  for (const amm::CpmmPool& pool : snapshot.graph.pools()) {
+    k_before.push_back(pool.k());
+  }
+  PriceProcess process(snapshot, PriceProcessConfig{}, 2);
+  process.step(snapshot);
+  for (std::size_t i = 0; i < k_before.size(); ++i) {
+    EXPECT_NEAR(snapshot.graph.pool(PoolId{(unsigned)i}).k(), k_before[i],
+                k_before[i] * 1e-9);
+  }
+}
+
+TEST(PriceProcessTest, DriftlessGbmHasMatchingLogVolatility) {
+  MarketSnapshot snapshot = small_snapshot();
+  PriceProcessConfig config;
+  config.volatility = 0.01;
+  config.pool_tracking = 0.0;
+  config.pool_noise = 0.0;
+  config.cex_noise = 0.0;
+  PriceProcess process(snapshot, config, 5);
+  const TokenId token{0};
+  StreamingStats log_returns;
+  double previous = process.fundamental(token);
+  for (int block = 0; block < 4000; ++block) {
+    process.step(snapshot);
+    const double current = process.fundamental(token);
+    log_returns.add(std::log(current / previous));
+    previous = current;
+  }
+  EXPECT_NEAR(log_returns.stddev(), 0.01, 0.001);
+  EXPECT_NEAR(log_returns.mean(), 0.0, 0.001);
+}
+
+TEST(PriceProcessTest, PoolsTrackFundamentals) {
+  MarketSnapshot snapshot = small_snapshot();
+  PriceProcessConfig config;
+  config.volatility = 0.0;   // freeze fundamentals
+  config.pool_noise = 0.0;   // no idiosyncratic noise
+  config.pool_tracking = 0.5;
+  config.cex_noise = 0.0;
+  PriceProcess process(snapshot, config, 6);
+  // After many blocks of pure tracking, every pool's implied ratio must
+  // converge to the fundamental ratio.
+  for (int block = 0; block < 40; ++block) process.step(snapshot);
+  for (const amm::CpmmPool& pool : snapshot.graph.pools()) {
+    const double fundamental_ratio =
+        process.fundamental(pool.token0()) /
+        process.fundamental(pool.token1());
+    const double pool_ratio = pool.reserve1() / pool.reserve0();
+    EXPECT_NEAR(std::log(pool_ratio / fundamental_ratio), 0.0, 1e-6)
+        << pool.to_string();
+  }
+}
+
+TEST(PriceProcessTest, CexQuotesFollowFundamentals) {
+  MarketSnapshot snapshot = small_snapshot();
+  PriceProcessConfig config;
+  config.cex_noise = 0.0;
+  PriceProcess process(snapshot, config, 7);
+  process.step(snapshot);
+  for (const TokenId token : snapshot.graph.tokens()) {
+    EXPECT_DOUBLE_EQ(snapshot.prices.price_unchecked(token),
+                     process.fundamental(token));
+  }
+}
+
+TEST(PriceProcessTest, InvalidConfigRejected) {
+  const MarketSnapshot snapshot = small_snapshot();
+  PriceProcessConfig config;
+  config.pool_tracking = 1.5;
+  EXPECT_THROW(PriceProcess(snapshot, config, 1), PreconditionError);
+  config = PriceProcessConfig{};
+  config.volatility = -1.0;
+  EXPECT_THROW(PriceProcess(snapshot, config, 1), PreconditionError);
+}
+
+TEST(PriceProcessReplayTest, ReplayRunsOnPriceProcess) {
+  sim::ReplayConfig config;
+  config.blocks = 12;
+  config.use_price_process = true;
+  config.price_process.volatility = 0.01;
+  auto result = sim::run_replay(small_snapshot(), config);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->blocks.size(), 12u);
+  // Volatile fundamentals with lagging pools keep producing loops.
+  std::size_t with_loops = 0;
+  for (const auto& row : result->blocks) {
+    if (row.arbitrage_loops > 0) ++with_loops;
+  }
+  EXPECT_GT(with_loops, 3u);
+  // Realized equals planned per block (plans execute on the same state).
+  for (const auto& row : result->blocks) {
+    EXPECT_NEAR(row.realized_usd, row.planned_usd,
+                1e-6 * std::max(1.0, row.planned_usd));
+  }
+}
+
+TEST(PriceProcessReplayTest, DeterministicForSeed) {
+  sim::ReplayConfig config;
+  config.blocks = 8;
+  config.use_price_process = true;
+  auto a = sim::run_replay(small_snapshot(), config);
+  auto b = sim::run_replay(small_snapshot(), config);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_DOUBLE_EQ(a->total_realized_usd, b->total_realized_usd);
+}
+
+}  // namespace
+}  // namespace arb::market

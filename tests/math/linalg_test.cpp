@@ -1,0 +1,218 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "math/linear_solve.hpp"
+#include "math/matrix.hpp"
+#include "math/vector.hpp"
+
+namespace arb::math {
+namespace {
+
+TEST(VectorTest, ConstructionAndIndexing) {
+  Vector v(3, 1.5);
+  EXPECT_EQ(v.size(), 3u);
+  EXPECT_DOUBLE_EQ(v[2], 1.5);
+  v[1] = -2.0;
+  EXPECT_DOUBLE_EQ(v[1], -2.0);
+  EXPECT_THROW((void)v[3], PreconditionError);
+}
+
+TEST(VectorTest, InitializerList) {
+  Vector v{1.0, 2.0, 3.0};
+  EXPECT_EQ(v.size(), 3u);
+  EXPECT_DOUBLE_EQ(v[1], 2.0);
+}
+
+TEST(VectorTest, Arithmetic) {
+  Vector a{1.0, 2.0};
+  Vector b{3.0, -1.0};
+  EXPECT_EQ(a + b, (Vector{4.0, 1.0}));
+  EXPECT_EQ(a - b, (Vector{-2.0, 3.0}));
+  EXPECT_EQ(2.0 * a, (Vector{2.0, 4.0}));
+  EXPECT_EQ(a * 2.0, (Vector{2.0, 4.0}));
+}
+
+TEST(VectorTest, SizeMismatchThrows) {
+  Vector a{1.0};
+  Vector b{1.0, 2.0};
+  EXPECT_THROW(a += b, PreconditionError);
+  EXPECT_THROW((void)a.dot(b), PreconditionError);
+}
+
+TEST(VectorTest, DotAndNorms) {
+  Vector a{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(a.dot(a), 25.0);
+  EXPECT_DOUBLE_EQ(a.norm(), 5.0);
+  EXPECT_DOUBLE_EQ(a.norm_inf(), 4.0);
+  EXPECT_DOUBLE_EQ((Vector{-7.0, 2.0}).norm_inf(), 7.0);
+}
+
+TEST(VectorTest, AllFinite) {
+  EXPECT_TRUE((Vector{1.0, 2.0}).all_finite());
+  Vector v{1.0, 2.0};
+  v[0] = std::nan("");
+  EXPECT_FALSE(v.all_finite());
+  v[0] = std::numeric_limits<double>::infinity();
+  EXPECT_FALSE(v.all_finite());
+}
+
+TEST(MatrixTest, IdentityAndDiagonal) {
+  const Matrix id = Matrix::identity(3);
+  EXPECT_DOUBLE_EQ(id(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(id(0, 1), 0.0);
+  const Matrix d = Matrix::diagonal(Vector{2.0, 3.0});
+  EXPECT_DOUBLE_EQ(d(1, 1), 3.0);
+  EXPECT_DOUBLE_EQ(d(0, 1), 0.0);
+}
+
+TEST(MatrixTest, MultiplyVector) {
+  Matrix m(2, 2);
+  m(0, 0) = 1.0;
+  m(0, 1) = 2.0;
+  m(1, 0) = 3.0;
+  m(1, 1) = 4.0;
+  const Vector r = m.multiply(Vector{1.0, 1.0});
+  EXPECT_EQ(r, (Vector{3.0, 7.0}));
+}
+
+TEST(MatrixTest, MultiplyMatrixAgainstHandComputed) {
+  Matrix a(2, 3);
+  Matrix b(3, 2);
+  int k = 1;
+  for (std::size_t r = 0; r < 2; ++r)
+    for (std::size_t c = 0; c < 3; ++c) a(r, c) = k++;
+  for (std::size_t r = 0; r < 3; ++r)
+    for (std::size_t c = 0; c < 2; ++c) b(r, c) = k++;
+  const Matrix p = a.multiply(b);
+  // a = [1 2 3; 4 5 6], b = [7 8; 9 10; 11 12] → p = [58 64; 139 154].
+  EXPECT_DOUBLE_EQ(p(0, 0), 58.0);
+  EXPECT_DOUBLE_EQ(p(0, 1), 64.0);
+  EXPECT_DOUBLE_EQ(p(1, 0), 139.0);
+  EXPECT_DOUBLE_EQ(p(1, 1), 154.0);
+}
+
+TEST(MatrixTest, Transpose) {
+  Matrix m(2, 3);
+  m(0, 2) = 5.0;
+  const Matrix t = m.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_DOUBLE_EQ(t(2, 0), 5.0);
+}
+
+TEST(MatrixTest, OuterProductUpdate) {
+  Matrix m(2, 2);
+  m.add_outer_product(Vector{1.0, 2.0}, Vector{3.0, 4.0}, 2.0);
+  EXPECT_DOUBLE_EQ(m(0, 0), 6.0);
+  EXPECT_DOUBLE_EQ(m(1, 1), 16.0);
+}
+
+TEST(MatrixTest, ShapeMismatchThrows) {
+  Matrix m(2, 3);
+  EXPECT_THROW(m.multiply(Vector{1.0, 2.0}), PreconditionError);
+  EXPECT_THROW((void)m(2, 0), PreconditionError);
+}
+
+TEST(CholeskyTest, FactorOfKnownSpdMatrix) {
+  Matrix a(2, 2);
+  a(0, 0) = 4.0;
+  a(0, 1) = 2.0;
+  a(1, 0) = 2.0;
+  a(1, 1) = 3.0;
+  auto l = cholesky_factor(a);
+  ASSERT_TRUE(l.ok());
+  EXPECT_DOUBLE_EQ((*l)(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ((*l)(1, 0), 1.0);
+  EXPECT_NEAR((*l)(1, 1), std::sqrt(2.0), 1e-15);
+}
+
+TEST(CholeskyTest, RejectsIndefinite) {
+  Matrix a(2, 2);
+  a(0, 0) = 1.0;
+  a(0, 1) = 2.0;
+  a(1, 0) = 2.0;
+  a(1, 1) = 1.0;  // eigenvalues 3, -1
+  EXPECT_FALSE(cholesky_factor(a).ok());
+}
+
+TEST(CholeskySolveTest, SolvesKnownSystem) {
+  Matrix a(2, 2);
+  a(0, 0) = 4.0;
+  a(0, 1) = 2.0;
+  a(1, 0) = 2.0;
+  a(1, 1) = 3.0;
+  auto x = cholesky_solve(a, Vector{10.0, 9.0});
+  ASSERT_TRUE(x.ok());
+  const Vector residual = a.multiply(*x) - Vector{10.0, 9.0};
+  EXPECT_LT(residual.norm_inf(), 1e-12);
+}
+
+TEST(LuSolveTest, SolvesNonSymmetric) {
+  Matrix a(3, 3);
+  const double data[3][3] = {{0.0, 2.0, 1.0}, {1.0, -1.0, 0.0}, {3.0, 0.0, 2.0}};
+  for (std::size_t r = 0; r < 3; ++r)
+    for (std::size_t c = 0; c < 3; ++c) a(r, c) = data[r][c];
+  const Vector b{5.0, 1.0, 10.0};
+  auto x = lu_solve(a, b);
+  ASSERT_TRUE(x.ok());
+  EXPECT_LT((a.multiply(*x) - b).norm_inf(), 1e-12);
+}
+
+TEST(LuSolveTest, PivotsOnZeroDiagonal) {
+  Matrix a(2, 2);
+  a(0, 0) = 0.0;
+  a(0, 1) = 1.0;
+  a(1, 0) = 1.0;
+  a(1, 1) = 0.0;
+  auto x = lu_solve(a, Vector{2.0, 3.0});
+  ASSERT_TRUE(x.ok());
+  EXPECT_DOUBLE_EQ((*x)[0], 3.0);
+  EXPECT_DOUBLE_EQ((*x)[1], 2.0);
+}
+
+TEST(LuSolveTest, SingularFails) {
+  Matrix a(2, 2);
+  a(0, 0) = 1.0;
+  a(0, 1) = 2.0;
+  a(1, 0) = 2.0;
+  a(1, 1) = 4.0;
+  EXPECT_FALSE(lu_solve(a, Vector{1.0, 2.0}).ok());
+}
+
+TEST(RegularizedSolveTest, FallsBackOnSemidefinite) {
+  Matrix a(2, 2);  // rank-1 PSD
+  a(0, 0) = 1.0;
+  a(0, 1) = 1.0;
+  a(1, 0) = 1.0;
+  a(1, 1) = 1.0;
+  auto x = regularized_spd_solve(a, Vector{1.0, 1.0});
+  ASSERT_TRUE(x.ok());
+  EXPECT_TRUE(x->all_finite());
+}
+
+TEST(LinalgPropertyTest, RandomSpdSystemsSolveAccurately) {
+  Rng rng(99);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t n = 1 + rng.index(8);
+    // A = Bᵀ B + I is SPD.
+    Matrix b(n, n);
+    for (std::size_t r = 0; r < n; ++r)
+      for (std::size_t c = 0; c < n; ++c) b(r, c) = rng.normal();
+    Matrix a = b.transposed().multiply(b);
+    for (std::size_t i = 0; i < n; ++i) a(i, i) += 1.0;
+    Vector rhs(n);
+    for (std::size_t i = 0; i < n; ++i) rhs[i] = rng.normal();
+
+    auto x_chol = cholesky_solve(a, rhs);
+    auto x_lu = lu_solve(a, rhs);
+    ASSERT_TRUE(x_chol.ok());
+    ASSERT_TRUE(x_lu.ok());
+    EXPECT_LT((a.multiply(*x_chol) - rhs).norm_inf(), 1e-9);
+    EXPECT_LT((*x_chol - *x_lu).norm_inf(), 1e-8);
+  }
+}
+
+}  // namespace
+}  // namespace arb::math

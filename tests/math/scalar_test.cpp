@@ -1,0 +1,147 @@
+// Tests for scalar_solve.hpp, derivative.hpp and dual.hpp.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "math/derivative.hpp"
+#include "math/dual.hpp"
+#include "math/scalar_solve.hpp"
+
+namespace arb::math {
+namespace {
+
+TEST(BisectTest, FindsSqrtTwo) {
+  auto root = bisect_root([](double x) { return x * x - 2.0; }, 0.0, 2.0);
+  ASSERT_TRUE(root.ok());
+  EXPECT_TRUE(root->converged);
+  EXPECT_NEAR(root->x, std::sqrt(2.0), 1e-10);
+}
+
+TEST(BisectTest, AcceptsRootAtEndpoint) {
+  auto root = bisect_root([](double x) { return x; }, 0.0, 1.0);
+  ASSERT_TRUE(root.ok());
+  EXPECT_DOUBLE_EQ(root->x, 0.0);
+}
+
+TEST(BisectTest, NoSignChangeFails) {
+  auto root = bisect_root([](double x) { return x * x + 1.0; }, -1.0, 1.0);
+  ASSERT_FALSE(root.ok());
+  EXPECT_EQ(root.error().code, ErrorCode::kInvalidArgument);
+}
+
+TEST(BisectTest, DecreasingFunction) {
+  auto root = bisect_root([](double x) { return 1.0 - x; }, 0.0, 3.0);
+  ASSERT_TRUE(root.ok());
+  EXPECT_NEAR(root->x, 1.0, 1e-10);
+}
+
+TEST(BrentTest, FindsRootFasterThanBisection) {
+  int brent_calls = 0;
+  int bisect_calls = 0;
+  const auto fn = [](double x) { return std::cos(x) - x; };
+  auto brent = brent_root([&](double x) { ++brent_calls; return fn(x); }, 0.0, 1.0);
+  auto bisect = bisect_root([&](double x) { ++bisect_calls; return fn(x); }, 0.0, 1.0);
+  ASSERT_TRUE(brent.ok());
+  ASSERT_TRUE(bisect.ok());
+  EXPECT_NEAR(brent->x, bisect->x, 1e-8);
+  EXPECT_LT(brent_calls, bisect_calls);
+}
+
+TEST(BrentTest, HandlesSteepFunction) {
+  auto root = brent_root([](double x) { return std::expm1(10.0 * (x - 0.3)); },
+                         0.0, 1.0);
+  ASSERT_TRUE(root.ok());
+  EXPECT_NEAR(root->x, 0.3, 1e-9);
+}
+
+TEST(BrentTest, NoSignChangeFails) {
+  EXPECT_FALSE(brent_root([](double) { return 1.0; }, 0.0, 1.0).ok());
+}
+
+TEST(GoldenSectionTest, MaximizesParabola) {
+  const auto report = golden_section_maximize(
+      [](double x) { return -(x - 2.5) * (x - 2.5); }, 0.0, 10.0);
+  EXPECT_TRUE(report.converged);
+  EXPECT_NEAR(report.x, 2.5, 1e-7);
+}
+
+TEST(GoldenSectionTest, MaximumAtBoundary) {
+  const auto report =
+      golden_section_maximize([](double x) { return x; }, 0.0, 1.0);
+  EXPECT_NEAR(report.x, 1.0, 1e-7);
+}
+
+TEST(ExpandBracketTest, FindsSignChange) {
+  auto bracket = expand_bracket_right(
+      [](double x) { return 100.0 - x; }, 0.0, 1.0, 1e9);
+  ASSERT_TRUE(bracket.ok());
+  EXPECT_LE(bracket->first, 100.0);
+  EXPECT_GE(bracket->second, 100.0);
+}
+
+TEST(ExpandBracketTest, FailsBeyondLimit) {
+  auto bracket =
+      expand_bracket_right([](double) { return 1.0; }, 0.0, 1.0, 1e3);
+  ASSERT_FALSE(bracket.ok());
+  EXPECT_EQ(bracket.error().code, ErrorCode::kNumericFailure);
+}
+
+TEST(ScalarPropertyTest, BisectAndBrentAgreeOnRandomCubics) {
+  Rng rng(5);
+  for (int trial = 0; trial < 100; ++trial) {
+    const double r = rng.uniform(-5.0, 5.0);
+    const double a = rng.uniform(0.5, 2.0);
+    // f(x) = a(x - r)(x² + 1): single real root at r.
+    const auto fn = [a, r](double x) { return a * (x - r) * (x * x + 1.0); };
+    auto b1 = bisect_root(fn, -10.0, 10.0);
+    auto b2 = brent_root(fn, -10.0, 10.0);
+    ASSERT_TRUE(b1.ok());
+    ASSERT_TRUE(b2.ok());
+    EXPECT_NEAR(b1->x, r, 1e-8);
+    EXPECT_NEAR(b2->x, r, 1e-8);
+  }
+}
+
+TEST(DerivativeTest, CentralDifferenceOnPolynomial) {
+  const auto fn = [](double x) { return x * x * x; };
+  EXPECT_NEAR(central_derivative(fn, 2.0), 12.0, 1e-5);
+  EXPECT_NEAR(central_second_derivative(fn, 2.0), 12.0, 1e-3);
+}
+
+TEST(DualTest, ArithmeticPropagatesDerivatives) {
+  const Dual x = Dual::variable(3.0);
+  const Dual y = x * x + Dual{2.0} * x + Dual{1.0};  // f = x²+2x+1, f' = 2x+2
+  EXPECT_DOUBLE_EQ(y.value, 16.0);
+  EXPECT_DOUBLE_EQ(y.deriv, 8.0);
+}
+
+TEST(DualTest, QuotientRule) {
+  const Dual x = Dual::variable(2.0);
+  const Dual y = Dual{1.0} / x;  // f' = -1/x²
+  EXPECT_DOUBLE_EQ(y.value, 0.5);
+  EXPECT_DOUBLE_EQ(y.deriv, -0.25);
+}
+
+TEST(DualTest, TranscendentalFunctions) {
+  const Dual x = Dual::variable(4.0);
+  EXPECT_DOUBLE_EQ(sqrt(x).value, 2.0);
+  EXPECT_DOUBLE_EQ(sqrt(x).deriv, 0.25);
+  EXPECT_DOUBLE_EQ(log(x).deriv, 0.25);
+  EXPECT_DOUBLE_EQ(exp(Dual::variable(0.0)).deriv, 1.0);
+}
+
+TEST(DualTest, MatchesNumericDerivativeOnComposite) {
+  const auto fn_dual = [](Dual x) {
+    return sqrt(x * x + Dual{1.0}) / (x + Dual{2.0});
+  };
+  const auto fn = [&](double x) { return fn_dual(Dual{x}).value; };
+  for (double x : {0.5, 1.0, 3.0, 10.0}) {
+    const Dual d = fn_dual(Dual::variable(x));
+    EXPECT_NEAR(d.deriv, central_derivative(fn, x), 1e-6) << "x=" << x;
+  }
+}
+
+}  // namespace
+}  // namespace arb::math

@@ -1,0 +1,74 @@
+#include <gtest/gtest.h>
+
+#include "optim/barrier_solver.hpp"
+#include "tests/optim/lambda_nlp.hpp"
+
+namespace arb::optim {
+namespace {
+
+using math::Matrix;
+using math::Vector;
+using testing::LambdaNlp;
+using testing::linear_constraint;
+
+/// min (x-5)² s.t. x <= 10, x >= 0 — unconstrained interior optimum 5.
+LambdaNlp simple_problem() {
+  return LambdaNlp(
+      1, [](const Vector& x) { return (x[0] - 5.0) * (x[0] - 5.0); },
+      [](const Vector& x) { return Vector{2.0 * (x[0] - 5.0)}; },
+      [](const Vector&) {
+        Matrix h(1, 1);
+        h(0, 0) = 2.0;
+        return h;
+      },
+      {linear_constraint(Vector{1.0}, -10.0),
+       linear_constraint(Vector{-1.0}, 0.0)});
+}
+
+TEST(BarrierEarlyStopTest, StopsAtFirstSatisfyingIterate) {
+  const auto problem = simple_problem();
+  BarrierOptions options;
+  int calls = 0;
+  options.early_stop = [&calls](const Vector&) {
+    ++calls;
+    return true;  // satisfied immediately
+  };
+  auto report = BarrierSolver(options).solve(problem, Vector{1.0});
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(report->outer_iterations, 1);
+}
+
+TEST(BarrierEarlyStopTest, NeverSatisfiedRunsToConvergence) {
+  const auto problem = simple_problem();
+  BarrierOptions plain;
+  auto reference = BarrierSolver(plain).solve(problem, Vector{1.0});
+  BarrierOptions options;
+  options.early_stop = [](const Vector&) { return false; };
+  auto report = BarrierSolver(options).solve(problem, Vector{1.0});
+  ASSERT_TRUE(reference.ok());
+  ASSERT_TRUE(report.ok());
+  EXPECT_NEAR(report->x[0], reference->x[0], 1e-9);
+  EXPECT_NEAR(report->x[0], 5.0, 1e-6);
+}
+
+TEST(BarrierEarlyStopTest, PredicateStopMidway) {
+  // Stop once the iterate is within 0.5 of the optimum: the result is
+  // close but the solver did less work than the full solve.
+  const auto problem = simple_problem();
+  BarrierOptions options;
+  options.early_stop = [](const Vector& x) {
+    return std::abs(x[0] - 5.0) < 0.5;
+  };
+  auto report = BarrierSolver(options).solve(problem, Vector{9.9});
+  ASSERT_TRUE(report.ok());
+  EXPECT_LT(std::abs(report->x[0] - 5.0), 0.5);
+
+  BarrierOptions plain;
+  auto full = BarrierSolver(plain).solve(problem, Vector{9.9});
+  ASSERT_TRUE(full.ok());
+  EXPECT_LE(report->outer_iterations, full->outer_iterations);
+}
+
+}  // namespace
+}  // namespace arb::optim

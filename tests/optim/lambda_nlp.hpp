@@ -1,0 +1,71 @@
+#pragma once
+
+// Test helper: an NlpProblem assembled from lambdas, so tests can state
+// small known problems inline.
+
+#include <functional>
+#include <vector>
+
+#include "optim/problem.hpp"
+
+namespace arb::optim::testing {
+
+struct ConstraintFns {
+  std::function<double(const math::Vector&)> value;
+  std::function<math::Vector(const math::Vector&)> gradient;
+  std::function<math::Matrix(const math::Vector&)> hessian;
+};
+
+class LambdaNlp final : public NlpProblem {
+ public:
+  LambdaNlp(std::size_t dim,
+            std::function<double(const math::Vector&)> f,
+            std::function<math::Vector(const math::Vector&)> grad,
+            std::function<math::Matrix(const math::Vector&)> hess,
+            std::vector<ConstraintFns> constraints)
+      : dim_(dim),
+        f_(std::move(f)),
+        grad_(std::move(grad)),
+        hess_(std::move(hess)),
+        constraints_(std::move(constraints)) {}
+
+  std::size_t dimension() const override { return dim_; }
+  std::size_t num_inequalities() const override { return constraints_.size(); }
+  double objective(const math::Vector& x) const override { return f_(x); }
+  math::Vector objective_gradient(const math::Vector& x) const override {
+    return grad_(x);
+  }
+  math::Matrix objective_hessian(const math::Vector& x) const override {
+    return hess_(x);
+  }
+  double constraint(std::size_t i, const math::Vector& x) const override {
+    return constraints_[i].value(x);
+  }
+  math::Vector constraint_gradient(std::size_t i,
+                                   const math::Vector& x) const override {
+    return constraints_[i].gradient(x);
+  }
+  math::Matrix constraint_hessian(std::size_t i,
+                                  const math::Vector& x) const override {
+    if (constraints_[i].hessian) return constraints_[i].hessian(x);
+    return math::Matrix(dim_, dim_);  // linear constraint
+  }
+
+ private:
+  std::size_t dim_;
+  std::function<double(const math::Vector&)> f_;
+  std::function<math::Vector(const math::Vector&)> grad_;
+  std::function<math::Matrix(const math::Vector&)> hess_;
+  std::vector<ConstraintFns> constraints_;
+};
+
+/// Linear constraint a·x + b <= 0.
+inline ConstraintFns linear_constraint(math::Vector a, double b) {
+  ConstraintFns fns;
+  auto a_copy = a;
+  fns.value = [a, b](const math::Vector& x) { return a.dot(x) + b; };
+  fns.gradient = [a_copy](const math::Vector&) { return a_copy; };
+  return fns;
+}
+
+}  // namespace arb::optim::testing

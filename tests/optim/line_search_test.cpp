@@ -1,0 +1,97 @@
+#include "optim/line_search.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace arb::optim {
+namespace {
+
+using math::Vector;
+
+double quadratic(const Vector& x) {
+  return (x[0] - 2.0) * (x[0] - 2.0);
+}
+
+TEST(LineSearchTest, FullStepAcceptedWhenSufficient) {
+  const Vector x{0.0};
+  const Vector direction{2.0};  // lands exactly on the minimum
+  const auto result = backtracking_line_search(
+      quadratic, nullptr, x, direction, quadratic(x), /*deriv=*/-8.0);
+  EXPECT_TRUE(result.success);
+  EXPECT_DOUBLE_EQ(result.step, 1.0);
+  EXPECT_DOUBLE_EQ(result.value, 0.0);
+}
+
+TEST(LineSearchTest, BacktracksOnOvershoot) {
+  const Vector x{0.0};
+  const Vector direction{100.0};  // way past the minimum
+  const auto result = backtracking_line_search(
+      quadratic, nullptr, x, direction, quadratic(x), -400.0);
+  EXPECT_TRUE(result.success);
+  EXPECT_LT(result.step, 1.0);
+  EXPECT_LT(result.value, quadratic(x));
+}
+
+TEST(LineSearchTest, NonDescentDirectionFailsImmediately) {
+  const Vector x{0.0};
+  const Vector direction{-1.0};  // uphill
+  const auto result = backtracking_line_search(
+      quadratic, nullptr, x, direction, quadratic(x), /*deriv=*/+4.0);
+  EXPECT_FALSE(result.success);
+  EXPECT_EQ(result.evaluations, 0);
+}
+
+TEST(LineSearchTest, DomainGuardShrinksStep) {
+  // Minimize -log(x) moving right from 0.5 with a huge step; the guard
+  // x < 1 forces backtracking even though the objective keeps falling.
+  const auto objective = [](const Vector& x) { return -std::log(x[0]); };
+  const auto in_domain = [](const Vector& x) {
+    return x[0] > 0.0 && x[0] < 1.0;
+  };
+  const Vector x{0.5};
+  const Vector direction{10.0};
+  const auto result = backtracking_line_search(
+      objective, in_domain, x, direction, objective(x), -20.0);
+  EXPECT_TRUE(result.success);
+  EXPECT_LT(x[0] + result.step * direction[0], 1.0);
+}
+
+TEST(LineSearchTest, ImpossibleDomainFails) {
+  const auto never = [](const Vector&) { return false; };
+  const Vector x{0.0};
+  const Vector direction{1.0};
+  const auto result = backtracking_line_search(quadratic, never, x,
+                                               direction, 4.0, -4.0);
+  EXPECT_FALSE(result.success);
+}
+
+TEST(LineSearchTest, ArmijoConditionEnforced) {
+  // A function that decreases slower than its initial slope promises:
+  // f(x) = |x| - 0.9·x for x >= 0 has slope 0.1 but we claim -1.
+  const auto objective = [](const Vector& x) { return 0.1 * x[0]; };
+  const Vector x{0.0};
+  const Vector direction{1.0};
+  LineSearchOptions options;
+  options.max_backtracks = 10;
+  const auto result = backtracking_line_search(
+      objective, nullptr, x, direction, 0.0, -1.0, options);
+  // Function increases along the direction → Armijo never satisfied.
+  EXPECT_FALSE(result.success);
+}
+
+TEST(LineSearchTest, InfiniteValuesRejected) {
+  const auto objective = [](const Vector& x) {
+    return x[0] > 0.5 ? std::numeric_limits<double>::infinity()
+                      : x[0] * -1.0;
+  };
+  const Vector x{0.0};
+  const Vector direction{1.0};
+  const auto result = backtracking_line_search(objective, nullptr, x,
+                                               direction, 0.0, -1.0);
+  EXPECT_TRUE(result.success);
+  EXPECT_LE(result.step, 0.5);
+}
+
+}  // namespace
+}  // namespace arb::optim

@@ -1,0 +1,126 @@
+#include "optim/newton.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "math/matrix.hpp"
+#include "math/vector.hpp"
+
+namespace arb::optim {
+namespace {
+
+using math::Matrix;
+using math::Vector;
+
+SmoothFunction quadratic_bowl() {
+  // f(x) = (x0-1)² + 2(x1+3)², minimum at (1, -3).
+  SmoothFunction fn;
+  fn.value = [](const Vector& x) {
+    return (x[0] - 1.0) * (x[0] - 1.0) + 2.0 * (x[1] + 3.0) * (x[1] + 3.0);
+  };
+  fn.gradient = [](const Vector& x) {
+    return Vector{2.0 * (x[0] - 1.0), 4.0 * (x[1] + 3.0)};
+  };
+  fn.hessian = [](const Vector&) {
+    Matrix h(2, 2);
+    h(0, 0) = 2.0;
+    h(1, 1) = 4.0;
+    return h;
+  };
+  return fn;
+}
+
+TEST(NewtonTest, QuadraticConvergesInOneStep) {
+  auto report = newton_minimize(quadratic_bowl(), Vector{10.0, 10.0});
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->converged);
+  EXPECT_LE(report->iterations, 2);
+  EXPECT_NEAR(report->x[0], 1.0, 1e-9);
+  EXPECT_NEAR(report->x[1], -3.0, 1e-9);
+}
+
+TEST(NewtonTest, StartAtOptimumStaysPut) {
+  auto report = newton_minimize(quadratic_bowl(), Vector{1.0, -3.0});
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->converged);
+  EXPECT_EQ(report->iterations, 0);
+}
+
+TEST(NewtonTest, LogSumExpSmoothConvex) {
+  // f(x) = log(e^x + e^-x) — minimum at 0, non-quadratic.
+  SmoothFunction fn;
+  fn.value = [](const Vector& x) {
+    return std::log(std::exp(x[0]) + std::exp(-x[0]));
+  };
+  fn.gradient = [](const Vector& x) {
+    return Vector{std::tanh(x[0])};
+  };
+  fn.hessian = [](const Vector& x) {
+    Matrix h(1, 1);
+    const double t = std::tanh(x[0]);
+    h(0, 0) = 1.0 - t * t;
+    return h;
+  };
+  auto report = newton_minimize(fn, Vector{3.0});
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->converged);
+  EXPECT_NEAR(report->x[0], 0.0, 1e-7);
+}
+
+TEST(NewtonTest, DomainGuardKeepsIterateInside) {
+  // f(x) = x - log(x) on x > 0, minimum at 1.
+  SmoothFunction fn;
+  fn.value = [](const Vector& x) { return x[0] - std::log(x[0]); };
+  fn.gradient = [](const Vector& x) { return Vector{1.0 - 1.0 / x[0]}; };
+  fn.hessian = [](const Vector& x) {
+    Matrix h(1, 1);
+    h(0, 0) = 1.0 / (x[0] * x[0]);
+    return h;
+  };
+  fn.in_domain = [](const Vector& x) { return x[0] > 0.0; };
+  auto report = newton_minimize(fn, Vector{0.01});
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->converged);
+  EXPECT_NEAR(report->x[0], 1.0, 1e-8);
+}
+
+TEST(NewtonTest, StartOutsideDomainFails) {
+  SmoothFunction fn = quadratic_bowl();
+  fn.in_domain = [](const Vector& x) { return x[0] > 0.0; };
+  auto report = newton_minimize(fn, Vector{-1.0, 0.0});
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.error().code, ErrorCode::kInvalidArgument);
+}
+
+TEST(NewtonTest, MissingCallbacksThrow) {
+  SmoothFunction fn;
+  EXPECT_THROW(
+      { auto r = newton_minimize(fn, Vector{0.0}); (void)r; },
+      PreconditionError);
+}
+
+TEST(NewtonTest, IllConditionedQuadraticStillConverges) {
+  // Condition number 1e8.
+  SmoothFunction fn;
+  fn.value = [](const Vector& x) {
+    return 1e8 * x[0] * x[0] + x[1] * x[1];
+  };
+  fn.gradient = [](const Vector& x) {
+    return Vector{2e8 * x[0], 2.0 * x[1]};
+  };
+  fn.hessian = [](const Vector&) {
+    Matrix h(2, 2);
+    h(0, 0) = 2e8;
+    h(1, 1) = 2.0;
+    return h;
+  };
+  auto report = newton_minimize(fn, Vector{1.0, 1.0});
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->converged);
+  EXPECT_NEAR(report->x[0], 0.0, 1e-8);
+  EXPECT_NEAR(report->x[1], 0.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace arb::optim

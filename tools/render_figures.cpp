@@ -1,0 +1,142 @@
+// Renders every figure CSV the bench harness produced into a standalone
+// SVG, approximating the paper's plots:
+//
+//   $ cd build/bench && for b in ./bench_*; do "$b"; done
+//   $ ../tools/render_figures .
+//
+// Unknown/missing CSVs are skipped with a note; nothing fails.
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "common/csv.hpp"
+#include "common/strings.hpp"
+#include "common/svg.hpp"
+
+using namespace arb;
+
+namespace {
+
+struct SeriesSpec {
+  std::string column;
+  std::string label;
+  bool line = true;
+};
+
+struct FigureSpec {
+  std::string csv;
+  std::string title;
+  std::string x_column;
+  std::string x_label;
+  std::string y_label;
+  std::vector<SeriesSpec> series;
+  bool diagonal = false;
+};
+
+const std::vector<FigureSpec> kFigures = {
+    {"fig1.csv", "Fig. 1 — profit vs input", "input_x", "input (token X)",
+     "profit (token X)", {{"profit_x", "profit", true}}, false},
+    {"fig2.csv", "Fig. 2 — per-start profit + MaxMax envelope", "P_x",
+     "P_x (USD)", "monetized profit (USD)",
+     {{"start_X_usd", "start X", true},
+      {"start_Y_usd", "start Y", true},
+      {"start_Z_usd", "start Z", true},
+      {"maxmax_usd", "MaxMax", true}},
+     false},
+    {"fig3.csv", "Fig. 3 — Convex vs MaxMax across the P_x sweep", "P_x",
+     "P_x (USD)", "monetized profit (USD)",
+     {{"maxmax_usd", "MaxMax", true}, {"convex_usd", "Convex", true}},
+     false},
+    {"fig4.csv", "Fig. 4 — profit token composition", "P_x", "P_x (USD)",
+     "net tokens retained",
+     {{"net_X", "net X", true},
+      {"net_Y", "net Y", true},
+      {"net_Z", "net Z", true}},
+     false},
+    {"fig5.csv", "Fig. 5 — MaxMax vs traditional", "maxmax_usd",
+     "MaxMax (USD)", "traditional (USD)",
+     {{"traditional_usd", "traditional starts", false}}, true},
+    {"fig6.csv", "Fig. 6 — MaxPrice vs MaxMax", "maxmax_usd",
+     "MaxMax (USD)", "MaxPrice (USD)",
+     {{"maxprice_usd", "MaxPrice", false}}, true},
+    {"fig7.csv", "Fig. 7 — Convex vs MaxMax (empirical)", "convex_usd",
+     "Convex (USD)", "MaxMax (USD)",
+     {{"maxmax_usd", "MaxMax", false}}, true},
+    {"fig8.csv", "Fig. 8 — per-token net profit", "convex_tokens",
+     "Convex (tokens)", "MaxMax (tokens)",
+     {{"maxmax_tokens", "MaxMax", false}}, true},
+    {"fig9.csv", "Fig. 9 — Convex vs traditional (length 4)", "convex_usd",
+     "Convex (USD)", "traditional (USD)",
+     {{"traditional_usd", "traditional starts", false}}, true},
+    {"fig10.csv", "Fig. 10 — Convex vs MaxMax (length 4)", "convex_usd",
+     "Convex (USD)", "MaxMax (USD)",
+     {{"maxmax_usd", "MaxMax", false}}, true},
+    {"ablation_gas.csv", "Ablation — loops alive vs gas price",
+     "gas_price_gwei", "gas price (gwei)", "loops profitable after gas",
+     {{"maxmax_loops_alive", "MaxMax", true},
+      {"convex_loops_alive", "Convex", true}},
+     false},
+    {"ablation_routing.csv", "Ablation — order splitting", "budget",
+     "trade size", "output (token B)",
+     {{"split_output", "water-filling split", true},
+      {"single_output", "best single path", true}},
+     false},
+    {"ablation_stable.csv", "Ablation — StableSwap amplification",
+     "amplification", "amplification A", "profit (USDC)",
+     {{"profit_usdc", "stable-leg loop profit", true}}, false},
+    {"seed_sweep.csv", "Robustness — loops per seed", "seed", "seed #",
+     "length-3 arbitrage loops", {{"arb_loops", "loops", false}}, false},
+};
+
+int render_one(const std::filesystem::path& dir, const FigureSpec& spec) {
+  const auto path = dir / spec.csv;
+  if (!std::filesystem::exists(path)) {
+    std::printf("  skip %-22s (not found — run the bench first)\n",
+                spec.csv.c_str());
+    return 0;
+  }
+  auto table = read_csv_file(path.string());
+  if (!table.ok()) {
+    std::fprintf(stderr, "  %s: %s\n", spec.csv.c_str(),
+                 table.error().to_string().c_str());
+    return 1;
+  }
+  SvgPlot plot(spec.title, spec.x_label, spec.y_label);
+  const std::size_t x_col = table->column_index(spec.x_column);
+  for (const SeriesSpec& series_spec : spec.series) {
+    const std::size_t y_col = table->column_index(series_spec.column);
+    SvgSeries series;
+    series.name = series_spec.label;
+    series.line = series_spec.line;
+    for (const auto& row : table->rows) {
+      auto x = parse_double(row[x_col]);
+      auto y = parse_double(row[y_col]);
+      if (x.ok() && y.ok()) series.points.emplace_back(*x, *y);
+    }
+    plot.add_series(std::move(series));
+  }
+  if (spec.diagonal) plot.add_diagonal();
+  const std::string out =
+      (dir / (spec.csv.substr(0, spec.csv.size() - 4) + ".svg")).string();
+  if (auto written = plot.write(out); !written.ok()) {
+    std::fprintf(stderr, "  %s: %s\n", out.c_str(),
+                 written.error().to_string().c_str());
+    return 1;
+  }
+  std::printf("  wrote %s\n", out.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::filesystem::path dir = argc > 1 ? argv[1] : ".";
+  std::printf("rendering figure CSVs in %s:\n", dir.string().c_str());
+  int failures = 0;
+  for (const FigureSpec& spec : kFigures) {
+    failures += render_one(dir, spec);
+  }
+  return failures == 0 ? 0 : 1;
+}
