@@ -1,0 +1,164 @@
+// Streaming-runtime throughput on the Section VI sample market:
+//   (a) full scan_market rescan latency (the batch baseline),
+//   (b) incremental re-price latency under single-pool updates via the
+//       pool→cycle index (the runtime's claim: work ∝ affected loops),
+//   (c) end-to-end events/sec through the ScannerService with its
+//       metrics layer reporting p50/p99 re-price latency.
+// Emits runtime_throughput.csv plus runtime_throughput.svg (per-event
+// incremental latency against the full-rescan baseline).
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "common/stats.hpp"
+#include "common/svg.hpp"
+#include "core/scanner.hpp"
+#include "market/snapshot.hpp"
+#include "runtime/incremental_scanner.hpp"
+#include "runtime/replay_stream.hpp"
+#include "runtime/service.hpp"
+
+using namespace arb;
+
+namespace {
+
+double now_us() {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+int main() {
+  const market::MarketSnapshot snapshot =
+      market::generate_snapshot(market::GeneratorConfig{})
+          .filtered(market::PoolFilter{});
+  core::ScannerConfig config;
+  config.loop_lengths = {3};
+  std::printf("market: %zu tokens, %zu pools\n", snapshot.graph.token_count(),
+              snapshot.graph.pool_count());
+
+  bench::FigureSink sink("runtime_throughput",
+                         "streaming runtime vs batch rescan",
+                         {"metric", "value"});
+
+  // (a) Full-rescan baseline: enumerate + filter + optimize everything.
+  constexpr int kFullRuns = 20;
+  StreamingStats full_us;
+  for (int i = 0; i < kFullRuns; ++i) {
+    const double start = now_us();
+    const auto opportunities =
+        bench::expect_ok(core::scan_market(snapshot.graph, snapshot.prices,
+                                           config),
+                         "scan_market");
+    full_us.add(now_us() - start);
+    if (i == 0) {
+      std::printf("full scan: %zu opportunities\n", opportunities.size());
+    }
+  }
+
+  // (b) Incremental re-pricing under single-pool updates.
+  auto scanner = bench::expect_ok(
+      runtime::IncrementalScanner::create(snapshot, config, nullptr),
+      "IncrementalScanner::create");
+  runtime::ReplayStreamConfig stream_config;
+  stream_config.blocks = 400;
+  stream_config.pools_per_block = 1;
+  stream_config.seed = 99;
+  runtime::ReplayUpdateStream stream(snapshot, stream_config);
+  StreamingStats incremental_us;
+  std::vector<double> incremental_series;
+  while (auto event = stream.next()) {
+    std::vector<runtime::PoolUpdateEvent> batch{*event};
+    const double start = now_us();
+    (void)bench::expect_ok(scanner.apply(batch), "IncrementalScanner::apply");
+    const double micros = now_us() - start;
+    incremental_us.add(micros);
+    incremental_series.push_back(micros);
+  }
+
+  const double speedup = full_us.mean() / incremental_us.mean();
+  const auto& index = scanner.index();
+
+  // (c) Service throughput: replay blocks shocking every pool, pushed
+  // through the bounded queue + worker pool.
+  runtime::ServiceConfig service_config;
+  service_config.scanner = config;
+  service_config.worker_threads = 4;
+  service_config.max_batch = 256;
+  auto service = bench::expect_ok(
+      runtime::ScannerService::start(snapshot, service_config),
+      "ScannerService::start");
+  runtime::ReplayStreamConfig burst_config;
+  burst_config.blocks = 20;
+  burst_config.seed = 7;
+  runtime::ReplayUpdateStream burst(snapshot, burst_config);
+  std::size_t published = 0;
+  const double burst_start = now_us();
+  while (auto event = burst.next()) {
+    if (service->publish(*event)) ++published;
+  }
+  service->drain();
+  const double burst_us = now_us() - burst_start;
+  const double events_per_sec =
+      static_cast<double>(published) / (burst_us * 1e-6);
+  const runtime::MetricsSnapshot metrics = service->metrics();
+  service->stop();
+
+  sink.labeled_row("full_scan_mean_us", {full_us.mean()});
+  sink.labeled_row("incremental_mean_us", {incremental_us.mean()});
+  sink.labeled_row("incremental_p99_us",
+                   {percentile(incremental_series, 0.99)});
+  sink.labeled_row("speedup_x", {speedup});
+  sink.labeled_row("universe_cycles",
+                   {static_cast<double>(index.cycles().size())});
+  sink.labeled_row("index_mean_fanout", {index.mean_fanout()});
+  sink.labeled_row("index_max_fanout",
+                   {static_cast<double>(index.max_fanout())});
+  sink.labeled_row("service_events_per_sec", {events_per_sec});
+  sink.labeled_row("service_batches", {static_cast<double>(metrics.batches)});
+  sink.labeled_row("service_coalesced",
+                   {static_cast<double>(metrics.events_coalesced)});
+  sink.labeled_row("service_reprice_p50_us", {metrics.reprice_p50_us});
+  sink.labeled_row("service_reprice_p99_us", {metrics.reprice_p99_us});
+
+  std::printf("\nincremental vs full rescan speedup: %.1fx\n", speedup);
+  std::printf("service: %.0f events/sec, reprice p50=%.1fus p99=%.1fus\n",
+              events_per_sec, metrics.reprice_p50_us, metrics.reprice_p99_us);
+  std::printf("metrics: %s\n", metrics.summary().c_str());
+
+  SvgPlot plot("Streaming runtime: incremental re-price vs full rescan",
+               "update event", "latency (µs)");
+  SvgSeries incremental_points;
+  incremental_points.name = "incremental apply";
+  incremental_points.line = false;
+  for (std::size_t i = 0; i < incremental_series.size(); ++i) {
+    incremental_points.points.emplace_back(static_cast<double>(i),
+                                           incremental_series[i]);
+  }
+  SvgSeries baseline;
+  baseline.name = "full rescan (mean)";
+  baseline.points.emplace_back(0.0, full_us.mean());
+  baseline.points.emplace_back(
+      static_cast<double>(incremental_series.size()), full_us.mean());
+  plot.add_series(std::move(incremental_points));
+  plot.add_series(std::move(baseline));
+  if (Status status = plot.write("runtime_throughput.svg"); !status.ok()) {
+    std::fprintf(stderr, "svg write failed: %s\n",
+                 status.error().to_string().c_str());
+    return 1;
+  }
+  std::printf("figure written to runtime_throughput.svg\n");
+
+  if (speedup < 5.0) {
+    std::fprintf(stderr,
+                 "FAIL: incremental speedup %.1fx below the 5x bar\n",
+                 speedup);
+    return 1;
+  }
+  return 0;
+}

@@ -89,7 +89,8 @@ T expect_ok(Result<T> result, const char* what) {
                  result.error().to_string().c_str());
     std::exit(1);
   }
-  return *std::move(result);
+  // value()&& moves the payload out (works for move-only types too).
+  return std::move(result).value();
 }
 
 }  // namespace arb::bench

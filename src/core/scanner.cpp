@@ -1,6 +1,8 @@
 #include "core/scanner.hpp"
 
 #include <algorithm>
+#include <numeric>
+#include <string>
 
 #include "common/error.hpp"
 #include "core/convex.hpp"
@@ -8,9 +10,8 @@
 #include "graph/cycle_enumeration.hpp"
 
 namespace arb::core {
-namespace {
 
-Result<std::optional<Opportunity>> evaluate(
+Result<std::optional<Opportunity>> evaluate_opportunity(
     const graph::TokenGraph& graph, const market::CexPriceFeed& prices,
     const graph::Cycle& loop, const ScannerConfig& config) {
   Opportunity opportunity(loop);
@@ -51,7 +52,37 @@ Result<std::optional<Opportunity>> evaluate(
   return std::optional<Opportunity>{std::move(opportunity)};
 }
 
-}  // namespace
+bool opportunity_before(const Opportunity& a, const Opportunity& b) {
+  if (a.net_profit_usd != b.net_profit_usd) {
+    return a.net_profit_usd > b.net_profit_usd;
+  }
+  return a.cycle.rotation_key() < b.cycle.rotation_key();
+}
+
+void rank_opportunities(std::vector<Opportunity>& opportunities) {
+  std::vector<std::string> keys;
+  keys.reserve(opportunities.size());
+  for (const Opportunity& op : opportunities) {
+    keys.push_back(op.cycle.rotation_key());
+  }
+  std::vector<std::size_t> order(opportunities.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t i, std::size_t j) {
+              if (opportunities[i].net_profit_usd !=
+                  opportunities[j].net_profit_usd) {
+                return opportunities[i].net_profit_usd >
+                       opportunities[j].net_profit_usd;
+              }
+              return keys[i] < keys[j];
+            });
+  std::vector<Opportunity> ranked;
+  ranked.reserve(opportunities.size());
+  for (const std::size_t i : order) {
+    ranked.push_back(std::move(opportunities[i]));
+  }
+  opportunities = std::move(ranked);
+}
 
 Result<std::vector<Opportunity>> scan_market(
     const graph::TokenGraph& graph, const market::CexPriceFeed& prices,
@@ -69,17 +100,14 @@ Result<std::vector<Opportunity>> scan_market(
     const auto loops = graph::filter_arbitrage(
         graph, graph::enumerate_fixed_length_cycles(graph, length));
     for (const graph::Cycle& loop : loops) {
-      auto opportunity = evaluate(graph, prices, loop, config);
+      auto opportunity = evaluate_opportunity(graph, prices, loop, config);
       if (!opportunity) return opportunity.error();
       if (opportunity->has_value()) {
         opportunities.push_back(*std::move(*opportunity));
       }
     }
   }
-  std::sort(opportunities.begin(), opportunities.end(),
-            [](const Opportunity& a, const Opportunity& b) {
-              return a.net_profit_usd > b.net_profit_usd;
-            });
+  rank_opportunities(opportunities);
   return opportunities;
 }
 

@@ -44,9 +44,29 @@ struct Opportunity {
   explicit Opportunity(graph::Cycle c) : cycle(std::move(c)) {}
 };
 
+/// Prices one loop under the scanner config: runs the configured
+/// strategy, nets gas, builds the plan and diagnostics. Returns an empty
+/// optional when the loop does not clear min_net_profit_usd. Exposed so
+/// the streaming runtime re-prices dirty loops through exactly the same
+/// code path as a full scan.
+[[nodiscard]] Result<std::optional<Opportunity>> evaluate_opportunity(
+    const graph::TokenGraph& graph, const market::CexPriceFeed& prices,
+    const graph::Cycle& loop, const ScannerConfig& config);
+
+/// Strict total order used to rank opportunities: net profit descending,
+/// ties broken by the cycle's canonical rotation key. Because no two
+/// distinct cycles share a key, the ranking is fully deterministic — two
+/// scans of identical market state produce identical sequences.
+[[nodiscard]] bool opportunity_before(const Opportunity& a,
+                                      const Opportunity& b);
+
+/// Sorts opportunities with opportunity_before (keys are computed once
+/// per element, not once per comparison).
+void rank_opportunities(std::vector<Opportunity>& opportunities);
+
 /// Scans the market and returns opportunities sorted by net profit,
-/// best first. Loops whose strategy profit does not clear the threshold
-/// are omitted.
+/// best first (ties broken deterministically by cycle identity). Loops
+/// whose strategy profit does not clear the threshold are omitted.
 [[nodiscard]] Result<std::vector<Opportunity>> scan_market(
     const graph::TokenGraph& graph, const market::CexPriceFeed& prices,
     const ScannerConfig& config = {});

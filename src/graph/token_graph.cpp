@@ -36,6 +36,13 @@ amm::CpmmPool& TokenGraph::mutable_pool(PoolId id) {
   return pools_[id.value()];
 }
 
+void TokenGraph::set_pool_reserves(PoolId id, Amount reserve0,
+                                   Amount reserve1) {
+  amm::CpmmPool& pool = mutable_pool(id);
+  pool = amm::CpmmPool(pool.id(), pool.token0(), pool.token1(), reserve0,
+                       reserve1, pool.fee());
+}
+
 const std::vector<PoolId>& TokenGraph::pools_of(TokenId token) const {
   ARB_REQUIRE(token.value() < adjacency_.size(), "unknown token");
   return adjacency_[token.value()];

@@ -33,6 +33,13 @@ class TokenGraph {
   [[nodiscard]] const std::string& symbol(TokenId token) const;
   [[nodiscard]] const amm::CpmmPool& pool(PoolId id) const;
   [[nodiscard]] amm::CpmmPool& mutable_pool(PoolId id);
+
+  /// Replaces a pool's reserves in place (an exogenous state change
+  /// observed from the chain — the streaming runtime's update primitive).
+  /// Tokens and fee are preserved. Preconditions: known pool, positive
+  /// reserves.
+  void set_pool_reserves(PoolId id, Amount reserve0, Amount reserve1);
+
   [[nodiscard]] const std::vector<amm::CpmmPool>& pools() const {
     return pools_;
   }

@@ -1,0 +1,39 @@
+#pragma once
+
+/// \file event.hpp
+/// The streaming runtime's event vocabulary.
+///
+/// A `PoolUpdateEvent` carries the *absolute* post-update reserves of one
+/// pool, not a delta. Absolute state makes event application idempotent
+/// and lets a burst of updates to the same pool coalesce to the last one
+/// with no loss of information — the property the service's batching
+/// relies on.
+
+#include <cstdint>
+#include <optional>
+
+#include "common/types.hpp"
+
+namespace arb::runtime {
+
+/// One observed pool state change.
+struct PoolUpdateEvent {
+  PoolId pool;
+  Amount reserve0 = 0.0;
+  Amount reserve1 = 0.0;
+  /// Producer-assigned, monotone per stream (diagnostics only; ordering
+  /// is established by queue position).
+  std::uint64_t sequence = 0;
+};
+
+/// Pull-based producer of pool updates (a chain indexer, a replay of a
+/// historical snapshot, a synthetic load generator, ...).
+class UpdateStream {
+ public:
+  virtual ~UpdateStream() = default;
+
+  /// Next event, or nullopt once the stream is exhausted.
+  [[nodiscard]] virtual std::optional<PoolUpdateEvent> next() = 0;
+};
+
+}  // namespace arb::runtime

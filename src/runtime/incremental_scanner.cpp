@@ -1,0 +1,156 @@
+#include "runtime/incremental_scanner.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace arb::runtime {
+
+IncrementalScanner::IncrementalScanner(market::MarketSnapshot snapshot,
+                                       core::ScannerConfig config,
+                                       PoolCycleIndex index,
+                                       WorkerPool* workers)
+    : snapshot_(std::move(snapshot)),
+      config_(std::move(config)),
+      index_(std::move(index)),
+      workers_(workers) {
+  slots_.resize(index_.cycles().size());
+}
+
+Result<IncrementalScanner> IncrementalScanner::create(
+    market::MarketSnapshot snapshot, core::ScannerConfig config,
+    WorkerPool* workers) {
+  auto index = PoolCycleIndex::build(snapshot.graph, config.loop_lengths);
+  if (!index) return index.error();
+  IncrementalScanner scanner(std::move(snapshot), std::move(config),
+                             *std::move(index), workers);
+  std::vector<std::uint32_t> all(scanner.index_.cycles().size());
+  std::iota(all.begin(), all.end(), 0u);
+  if (Status status = scanner.reprice(all); !status.ok()) {
+    return status.error();
+  }
+  scanner.rebuild_ranking();
+  return scanner;
+}
+
+Result<ApplyReport> IncrementalScanner::apply(
+    const std::vector<PoolUpdateEvent>& batch) {
+  ApplyReport report;
+  report.events = batch.size();
+
+  // Last-wins coalescing: events carry absolute reserves, so applying
+  // only each pool's final event is equivalent to applying all of them
+  // in order.
+  std::vector<std::uint32_t> last_event(snapshot_.graph.pool_count(),
+                                        UINT32_MAX);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const PoolId pool = batch[i].pool;
+    if (pool.value() >= snapshot_.graph.pool_count()) {
+      return make_error(ErrorCode::kNotFound,
+                        "update for unknown " + to_string(pool));
+    }
+    last_event[pool.value()] = static_cast<std::uint32_t>(i);
+  }
+
+  std::vector<char> dirty_flag(index_.cycles().size(), 0);
+  std::vector<std::uint32_t> dirty;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    if (last_event[batch[i].pool.value()] != i) continue;  // superseded
+    const PoolUpdateEvent& event = batch[i];
+    if (!(event.reserve0 > 0.0) || !(event.reserve1 > 0.0)) {
+      return make_error(ErrorCode::kInvalidArgument,
+                        "non-positive reserves for " + to_string(event.pool));
+    }
+    ++report.unique_pools;
+    snapshot_.graph.set_pool_reserves(event.pool, event.reserve0,
+                                      event.reserve1);
+    for (const std::uint32_t cycle : index_.cycles_of(event.pool)) {
+      if (!dirty_flag[cycle]) {
+        dirty_flag[cycle] = 1;
+        dirty.push_back(cycle);
+      }
+    }
+  }
+  std::sort(dirty.begin(), dirty.end());
+  report.repriced = dirty.size();
+
+  if (Status status = reprice(dirty); !status.ok()) return status.error();
+  rebuild_ranking();
+  return report;
+}
+
+Status IncrementalScanner::reprice(const std::vector<std::uint32_t>& dirty) {
+  if (dirty.empty()) return Status::success();
+
+  // Each task owns one universe slot, so tasks never contend; the graph
+  // is only read. The pool's wait_idle() provides the happens-before
+  // edge back to this thread.
+  std::vector<Status> statuses(dirty.size());
+  auto price_one = [this, &dirty, &statuses](std::size_t position) {
+    const std::uint32_t slot = dirty[position];
+    const graph::Cycle& cycle = index_.cycles()[slot];
+    std::optional<core::Opportunity>& out = slots_[slot];
+    // scan_market's filter_arbitrage gate: only the profitable
+    // orientation (price product > 1) is priced at all.
+    if (!(cycle.price_product(snapshot_.graph) > 1.0)) {
+      out.reset();
+      return;
+    }
+    auto priced = core::evaluate_opportunity(snapshot_.graph,
+                                             snapshot_.prices, cycle, config_);
+    if (!priced) {
+      statuses[position] = priced.error();
+      out.reset();
+      return;
+    }
+    out = *std::move(priced);
+  };
+
+  if (workers_ == nullptr || dirty.size() == 1) {
+    for (std::size_t i = 0; i < dirty.size(); ++i) price_one(i);
+  } else {
+    for (std::size_t i = 0; i < dirty.size(); ++i) {
+      if (!workers_->submit([&price_one, i] { price_one(i); })) {
+        // Pool shutting down or rejecting: fall back to inline execution
+        // so the invariant (slots match current reserves) still holds.
+        price_one(i);
+      }
+    }
+    workers_->wait_idle();
+  }
+
+  for (const Status& status : statuses) {
+    if (!status.ok()) return status;
+  }
+  return Status::success();
+}
+
+void IncrementalScanner::rebuild_ranking() {
+  std::vector<std::uint32_t> present;
+  present.reserve(slots_.size());
+  for (std::uint32_t i = 0; i < slots_.size(); ++i) {
+    if (slots_[i].has_value()) present.push_back(i);
+  }
+  const std::vector<std::string>& keys = index_.rotation_keys();
+  std::sort(present.begin(), present.end(),
+            [&](std::uint32_t a, std::uint32_t b) {
+              const double pa = slots_[a]->net_profit_usd;
+              const double pb = slots_[b]->net_profit_usd;
+              if (pa != pb) return pa > pb;
+              return keys[a] < keys[b];
+            });
+  ranked_.clear();
+  ranked_.reserve(present.size());
+  for (const std::uint32_t i : present) ranked_.push_back(&*slots_[i]);
+}
+
+std::vector<core::Opportunity> IncrementalScanner::collect() const {
+  std::vector<core::Opportunity> out;
+  out.reserve(ranked_.size());
+  for (const core::Opportunity* op : ranked_) out.push_back(*op);
+  return out;
+}
+
+}  // namespace arb::runtime

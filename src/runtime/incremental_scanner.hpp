@@ -1,0 +1,88 @@
+#pragma once
+
+/// \file incremental_scanner.hpp
+/// Maintains core::scan_market's output incrementally under pool-reserve
+/// updates.
+///
+/// Dirty-set invariant: a cycle's valuation reads nothing but its own
+/// pools' reserves and the (immutable) CEX feed, so after apply() returns
+/// every universe slot equals what core::evaluate_opportunity would
+/// produce from scratch on the current reserves — yet only cycles
+/// traversing an updated pool were re-priced. The ranked view is
+/// therefore bit-identical to a full scan_market on the same state.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/result.hpp"
+#include "core/scanner.hpp"
+#include "market/snapshot.hpp"
+#include "runtime/event.hpp"
+#include "runtime/pool_index.hpp"
+#include "runtime/worker_pool.hpp"
+
+namespace arb::runtime {
+
+/// What one apply() round did (feeds the metrics layer).
+struct ApplyReport {
+  std::size_t events = 0;        ///< batch size received
+  std::size_t unique_pools = 0;  ///< after last-wins coalescing
+  std::size_t repriced = 0;      ///< dirty cycles re-evaluated
+};
+
+class IncrementalScanner {
+ public:
+  /// Builds the pool→cycle index and prices every universe cycle once.
+  /// `workers` (optional, not owned, must outlive the scanner) sizes
+  /// dirty loops in parallel; with nullptr everything runs inline.
+  [[nodiscard]] static Result<IncrementalScanner> create(
+      market::MarketSnapshot snapshot, core::ScannerConfig config,
+      WorkerPool* workers = nullptr);
+
+  IncrementalScanner(IncrementalScanner&&) = default;
+  IncrementalScanner& operator=(IncrementalScanner&&) = default;
+
+  /// Applies a batch of reserve updates and re-prices affected loops.
+  /// Events carry absolute reserves; within a batch the last event per
+  /// pool wins (earlier ones are coalesced away).
+  [[nodiscard]] Result<ApplyReport> apply(
+      const std::vector<PoolUpdateEvent>& batch);
+
+  /// Ranked opportunities (best first), pointers into internal slots.
+  /// Invalidated by the next apply().
+  [[nodiscard]] const std::vector<const core::Opportunity*>& ranked() const {
+    return ranked_;
+  }
+
+  /// Deep copy of the ranked set — element-for-element what
+  /// core::scan_market would return on the current reserves.
+  [[nodiscard]] std::vector<core::Opportunity> collect() const;
+
+  [[nodiscard]] const market::MarketSnapshot& snapshot() const {
+    return snapshot_;
+  }
+  [[nodiscard]] const PoolCycleIndex& index() const { return index_; }
+  [[nodiscard]] const core::ScannerConfig& config() const { return config_; }
+
+ private:
+  IncrementalScanner(market::MarketSnapshot snapshot,
+                     core::ScannerConfig config, PoolCycleIndex index,
+                     WorkerPool* workers);
+
+  /// Re-evaluates the given universe cycles (ascending indices).
+  [[nodiscard]] Status reprice(const std::vector<std::uint32_t>& dirty);
+  void rebuild_ranking();
+
+  market::MarketSnapshot snapshot_;
+  core::ScannerConfig config_;
+  PoolCycleIndex index_;
+  WorkerPool* workers_;  ///< nullable, not owned
+
+  /// One slot per universe cycle; empty = not currently an opportunity
+  /// (wrong orientation, unprofitable, or below the net threshold).
+  std::vector<std::optional<core::Opportunity>> slots_;
+  std::vector<const core::Opportunity*> ranked_;
+};
+
+}  // namespace arb::runtime

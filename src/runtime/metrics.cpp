@@ -1,0 +1,132 @@
+#include "runtime/metrics.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include "common/csv.hpp"
+#include "common/error.hpp"
+
+namespace arb::runtime {
+namespace {
+
+std::size_t bucket_of(double microseconds) {
+  if (!(microseconds >= 1.0)) return 0;
+  const auto us = static_cast<std::uint64_t>(microseconds);
+  const std::size_t b = std::bit_width(us) - 1;  // floor(log2(us))
+  return std::min(b, LatencyHistogram::kBuckets - 1);
+}
+
+}  // namespace
+
+void LatencyHistogram::record(double microseconds) {
+  if (microseconds < 0.0 || std::isnan(microseconds)) return;
+  counts_[bucket_of(microseconds)].fetch_add(1, std::memory_order_relaxed);
+  total_.fetch_add(1, std::memory_order_relaxed);
+  std::uint64_t seen = max_us_bits_.load(std::memory_order_relaxed);
+  while (microseconds > std::bit_cast<double>(seen) &&
+         !max_us_bits_.compare_exchange_weak(
+             seen, std::bit_cast<std::uint64_t>(microseconds),
+             std::memory_order_relaxed)) {
+  }
+}
+
+std::uint64_t LatencyHistogram::samples() const {
+  return total_.load(std::memory_order_relaxed);
+}
+
+double LatencyHistogram::max_us() const {
+  return std::bit_cast<double>(max_us_bits_.load(std::memory_order_relaxed));
+}
+
+double LatencyHistogram::quantile(double q) const {
+  q = std::clamp(q, 0.0, 1.0);
+  std::array<std::uint64_t, kBuckets> counts;
+  std::uint64_t total = 0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    counts[b] = counts_[b].load(std::memory_order_relaxed);
+    total += counts[b];
+  }
+  if (total == 0) return 0.0;
+  const double rank = q * static_cast<double>(total);
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    if (counts[b] == 0) continue;
+    if (static_cast<double>(seen + counts[b]) >= rank) {
+      const double lo = b == 0 ? 0.0 : std::ldexp(1.0, static_cast<int>(b));
+      const double hi = std::ldexp(1.0, static_cast<int>(b) + 1);
+      const double within =
+          (rank - static_cast<double>(seen)) / static_cast<double>(counts[b]);
+      // The true sample never exceeds the observed maximum; clamp the
+      // bucket interpolation so high quantiles stay <= max_us().
+      return std::min(lo + within * (hi - lo), max_us());
+    }
+    seen += counts[b];
+  }
+  return max_us();
+}
+
+std::string MetricsSnapshot::summary() const {
+  char buffer[256];
+  std::snprintf(buffer, sizeof(buffer),
+                "ingested=%llu dropped=%llu coalesced=%llu batches=%llu "
+                "repriced=%llu depth=%llu reprice_us{p50=%.1f p90=%.1f "
+                "p99=%.1f max=%.1f n=%llu}",
+                static_cast<unsigned long long>(events_ingested),
+                static_cast<unsigned long long>(events_dropped),
+                static_cast<unsigned long long>(events_coalesced),
+                static_cast<unsigned long long>(batches),
+                static_cast<unsigned long long>(loops_repriced),
+                static_cast<unsigned long long>(queue_depth), reprice_p50_us,
+                reprice_p90_us, reprice_p99_us, reprice_max_us,
+                static_cast<unsigned long long>(reprice_samples));
+  return buffer;
+}
+
+std::vector<std::string> MetricsSnapshot::csv_columns() {
+  return {"events_ingested", "events_dropped",  "events_coalesced",
+          "batches",         "loops_repriced",  "queue_depth",
+          "reprice_samples", "reprice_p50_us",  "reprice_p90_us",
+          "reprice_p99_us",  "reprice_max_us"};
+}
+
+MetricsSnapshot RuntimeMetrics::snapshot() const {
+  MetricsSnapshot snap;
+  snap.events_ingested = events_ingested_.load(std::memory_order_relaxed);
+  snap.events_dropped = events_dropped_.load(std::memory_order_relaxed);
+  snap.events_coalesced = events_coalesced_.load(std::memory_order_relaxed);
+  snap.batches = batches_.load(std::memory_order_relaxed);
+  snap.loops_repriced = loops_repriced_.load(std::memory_order_relaxed);
+  snap.queue_depth = queue_depth_.load(std::memory_order_relaxed);
+  snap.reprice_samples = reprice_latency_.samples();
+  snap.reprice_p50_us = reprice_latency_.quantile(0.50);
+  snap.reprice_p90_us = reprice_latency_.quantile(0.90);
+  snap.reprice_p99_us = reprice_latency_.quantile(0.99);
+  snap.reprice_max_us = reprice_latency_.max_us();
+  return snap;
+}
+
+Status write_metrics_csv(const std::vector<MetricsSnapshot>& snapshots,
+                         const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return make_error(ErrorCode::kIoError, "cannot open " + path);
+  }
+  CsvWriter csv(out);
+  csv.header(MetricsSnapshot::csv_columns());
+  for (const MetricsSnapshot& s : snapshots) {
+    csv.row(static_cast<std::size_t>(s.events_ingested),
+            static_cast<std::size_t>(s.events_dropped),
+            static_cast<std::size_t>(s.events_coalesced),
+            static_cast<std::size_t>(s.batches),
+            static_cast<std::size_t>(s.loops_repriced),
+            static_cast<std::size_t>(s.queue_depth),
+            static_cast<std::size_t>(s.reprice_samples), s.reprice_p50_us,
+            s.reprice_p90_us, s.reprice_p99_us, s.reprice_max_us);
+  }
+  return Status::success();
+}
+
+}  // namespace arb::runtime

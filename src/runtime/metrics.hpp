@@ -1,0 +1,92 @@
+#pragma once
+
+/// \file metrics.hpp
+/// Built-in observability for the scanner service: lock-free counters, a
+/// log-bucketed latency histogram, and a periodic snapshot struct that
+/// serializes to CSV. Everything is safe to read from any thread while
+/// the service is running.
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+
+namespace arb::runtime {
+
+/// Histogram over positive latencies with power-of-two bucket bounds:
+/// bucket b counts samples in [2^b, 2^{b+1}) microseconds (bucket 0 also
+/// absorbs sub-microsecond samples). Quantiles interpolate linearly
+/// inside the containing bucket, so they are estimates with bounded
+/// relative error (a factor of 2 worst case), which is plenty to tell a
+/// 50 µs re-price from a 5 ms one.
+class LatencyHistogram {
+ public:
+  static constexpr std::size_t kBuckets = 40;
+
+  void record(double microseconds);
+
+  [[nodiscard]] std::uint64_t samples() const;
+  /// q in [0, 1]. Returns 0 with no samples.
+  [[nodiscard]] double quantile(double q) const;
+  [[nodiscard]] double max_us() const;
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> counts_{};
+  std::atomic<std::uint64_t> total_{0};
+  std::atomic<std::uint64_t> max_us_bits_{0};  ///< bit_cast'ed double
+};
+
+/// Point-in-time copy of every metric the runtime exports.
+struct MetricsSnapshot {
+  std::uint64_t events_ingested = 0;   ///< accepted into the queue
+  std::uint64_t events_dropped = 0;    ///< rejected/evicted by backpressure
+  std::uint64_t events_coalesced = 0;  ///< superseded inside a batch
+  std::uint64_t batches = 0;           ///< apply() rounds executed
+  std::uint64_t loops_repriced = 0;    ///< dirty cycles re-optimized
+  std::uint64_t queue_depth = 0;       ///< events waiting at snapshot time
+  std::uint64_t reprice_samples = 0;   ///< latency histogram sample count
+  double reprice_p50_us = 0.0;
+  double reprice_p90_us = 0.0;
+  double reprice_p99_us = 0.0;
+  double reprice_max_us = 0.0;
+
+  /// One-line human-readable rendering.
+  [[nodiscard]] std::string summary() const;
+
+  /// CSV column names, matching append_csv_row's cell order.
+  [[nodiscard]] static std::vector<std::string> csv_columns();
+};
+
+/// The live, thread-shared metric registry.
+class RuntimeMetrics {
+ public:
+  void add_ingested(std::uint64_t n) { events_ingested_ += n; }
+  void add_dropped(std::uint64_t n) { events_dropped_ += n; }
+  void add_coalesced(std::uint64_t n) { events_coalesced_ += n; }
+  void add_batch() { ++batches_; }
+  void add_repriced(std::uint64_t n) { loops_repriced_ += n; }
+  void set_queue_depth(std::uint64_t depth) { queue_depth_ = depth; }
+  void record_reprice_latency(double microseconds) {
+    reprice_latency_.record(microseconds);
+  }
+
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+ private:
+  std::atomic<std::uint64_t> events_ingested_{0};
+  std::atomic<std::uint64_t> events_dropped_{0};
+  std::atomic<std::uint64_t> events_coalesced_{0};
+  std::atomic<std::uint64_t> batches_{0};
+  std::atomic<std::uint64_t> loops_repriced_{0};
+  std::atomic<std::uint64_t> queue_depth_{0};
+  LatencyHistogram reprice_latency_;
+};
+
+/// Writes snapshots as CSV (header + one row per snapshot).
+[[nodiscard]] Status write_metrics_csv(
+    const std::vector<MetricsSnapshot>& snapshots, const std::string& path);
+
+}  // namespace arb::runtime

@@ -1,0 +1,67 @@
+#include "runtime/replay_stream.hpp"
+
+#include <algorithm>
+
+#include "sim/replay.hpp"
+
+namespace arb::runtime {
+
+ReplayUpdateStream::ReplayUpdateStream(const market::MarketSnapshot& snapshot,
+                                       const ReplayStreamConfig& config)
+    : config_(config), rng_(config.seed) {
+  reserves_.reserve(snapshot.graph.pool_count());
+  fees_.reserve(snapshot.graph.pool_count());
+  for (const amm::CpmmPool& pool : snapshot.graph.pools()) {
+    reserves_.emplace_back(pool.reserve0(), pool.reserve1());
+    fees_.push_back(pool.fee());
+  }
+  if (reserves_.empty()) exhausted_ = true;
+}
+
+void ReplayUpdateStream::refill() {
+  if (config_.blocks != 0 && block_ >= config_.blocks) {
+    exhausted_ = true;
+    return;
+  }
+  ++block_;
+  std::vector<PoolId> targets;
+  if (config_.pools_per_block == 0) {
+    targets.reserve(reserves_.size());
+    for (std::size_t i = 0; i < reserves_.size(); ++i) {
+      targets.emplace_back(static_cast<PoolId::underlying_type>(i));
+    }
+  } else {
+    targets.reserve(config_.pools_per_block);
+    for (std::size_t i = 0; i < config_.pools_per_block; ++i) {
+      targets.emplace_back(static_cast<PoolId::underlying_type>(
+          rng_.uniform_int(0, static_cast<std::int64_t>(reserves_.size()) - 1)));
+    }
+  }
+  for (const PoolId id : targets) {
+    auto& [r0, r1] = reserves_[id.value()];
+    const amm::CpmmPool pool(id, TokenId{0}, TokenId{1}, r0, r1,
+                             fees_[id.value()]);
+    const auto [n0, n1] =
+        sim::shocked_reserves(pool, rng_.normal(0.0, config_.block_noise_sigma));
+    r0 = n0;
+    r1 = n1;
+    PoolUpdateEvent event;
+    event.pool = id;
+    event.reserve0 = n0;
+    event.reserve1 = n1;
+    event.sequence = sequence_++;
+    pending_.push_back(event);
+  }
+  // next() pops from the back; keep block-internal order.
+  std::reverse(pending_.begin(), pending_.end());
+}
+
+std::optional<PoolUpdateEvent> ReplayUpdateStream::next() {
+  while (pending_.empty() && !exhausted_) refill();
+  if (pending_.empty()) return std::nullopt;
+  const PoolUpdateEvent event = pending_.back();
+  pending_.pop_back();
+  return event;
+}
+
+}  // namespace arb::runtime

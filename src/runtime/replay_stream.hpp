@@ -1,0 +1,57 @@
+#pragma once
+
+/// \file replay_stream.hpp
+/// Turns a market snapshot into a deterministic stream of pool updates:
+/// block after block, pools receive the same log-normal exogenous-flow
+/// shocks sim::run_replay applies, but emitted one `PoolUpdateEvent` at a
+/// time so the scanner service can consume them incrementally.
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "market/snapshot.hpp"
+#include "runtime/event.hpp"
+
+namespace arb::runtime {
+
+struct ReplayStreamConfig {
+  std::uint64_t seed = 7;
+  /// Number of blocks to emit; 0 means unbounded.
+  std::size_t blocks = 50;
+  /// Log-price shock per pool per block (sim::ReplayConfig's noise).
+  double block_noise_sigma = 0.01;
+  /// Pools shocked per block: 0 = every pool once (replay semantics),
+  /// otherwise that many pools drawn uniformly at random (single-pool
+  /// update workloads use 1).
+  std::size_t pools_per_block = 0;
+};
+
+/// Deterministic replay of exogenous trading flow as an update stream.
+/// Tracks reserve state internally so consecutive shocks compound exactly
+/// as they do in sim::run_replay.
+class ReplayUpdateStream final : public UpdateStream {
+ public:
+  ReplayUpdateStream(const market::MarketSnapshot& snapshot,
+                     const ReplayStreamConfig& config = {});
+
+  [[nodiscard]] std::optional<PoolUpdateEvent> next() override;
+
+  [[nodiscard]] std::size_t blocks_emitted() const { return block_; }
+
+ private:
+  void refill();
+
+  ReplayStreamConfig config_;
+  Rng rng_;
+  /// Current reserve state per pool (by PoolId value).
+  std::vector<std::pair<Amount, Amount>> reserves_;
+  std::vector<double> fees_;
+  std::vector<PoolUpdateEvent> pending_;  ///< current block, reversed
+  std::size_t block_ = 0;
+  std::uint64_t sequence_ = 0;
+  bool exhausted_ = false;
+};
+
+}  // namespace arb::runtime

@@ -1,0 +1,153 @@
+#include "runtime/service.hpp"
+
+#include <chrono>
+
+#include "common/logging.hpp"
+
+namespace arb::runtime {
+
+ScannerService::ScannerService(const ServiceConfig& config)
+    : config_(config),
+      workers_(WorkerPool::Config{
+          .threads = config.worker_threads,
+          // Re-price tasks are produced by the consumer thread only and
+          // bounded by the dirty-set size; kBlock keeps submission
+          // lossless if a burst ever outruns the task queue.
+          .queue_capacity = 4096,
+          .overflow = WorkerPool::Overflow::kBlock}) {}
+
+Result<std::unique_ptr<ScannerService>> ScannerService::start(
+    const market::MarketSnapshot& snapshot, const ServiceConfig& config) {
+  if (config.max_batch == 0 || config.queue_capacity == 0 ||
+      config.worker_threads == 0) {
+    return make_error(ErrorCode::kInvalidArgument,
+                      "service needs positive max_batch, queue_capacity and "
+                      "worker_threads");
+  }
+  std::unique_ptr<ScannerService> service(new ScannerService(config));
+  auto scanner = IncrementalScanner::create(snapshot, config.scanner,
+                                            &service->workers_);
+  if (!scanner) return scanner.error();
+  service->scanner_ =
+      std::make_unique<IncrementalScanner>(std::move(scanner).value());
+  service->consumer_ = std::thread([raw = service.get()] { raw->run(); });
+  return service;
+}
+
+ScannerService::~ScannerService() { stop(); }
+
+bool ScannerService::publish(const PoolUpdateEvent& event) {
+  bool dropped_oldest = false;
+  {
+    std::unique_lock lock(queue_mutex_);
+    if (config_.backpressure == BackpressurePolicy::kBlock) {
+      queue_not_full_.wait(lock, [this] {
+        return stopping_ || queue_.size() < config_.queue_capacity;
+      });
+    }
+    if (stopping_) return false;
+    if (queue_.size() >= config_.queue_capacity) {
+      switch (config_.backpressure) {
+        case BackpressurePolicy::kBlock:
+          return false;  // unreachable: the wait above guarantees space
+        case BackpressurePolicy::kDropNewest:
+          metrics_.add_dropped(1);
+          return false;
+        case BackpressurePolicy::kDropOldest:
+          queue_.pop_front();
+          dropped_oldest = true;
+          break;
+      }
+    }
+    queue_.push_back(event);
+    metrics_.set_queue_depth(queue_.size());
+  }
+  metrics_.add_ingested(1);
+  if (dropped_oldest) metrics_.add_dropped(1);
+  queue_not_empty_.notify_one();
+  return true;
+}
+
+void ScannerService::drain() {
+  std::unique_lock lock(queue_mutex_);
+  queue_drained_.wait(lock, [this] {
+    return failed_ || (queue_.empty() && !applying_);
+  });
+}
+
+void ScannerService::stop() {
+  {
+    std::lock_guard lock(queue_mutex_);
+    stopping_ = true;
+  }
+  queue_not_empty_.notify_all();
+  queue_not_full_.notify_all();
+  if (consumer_.joinable()) consumer_.join();
+  workers_.shutdown();
+}
+
+Status ScannerService::status() const {
+  std::lock_guard lock(scanner_mutex_);
+  return status_;
+}
+
+MetricsSnapshot ScannerService::metrics() const { return metrics_.snapshot(); }
+
+std::vector<core::Opportunity> ScannerService::opportunities() const {
+  std::lock_guard lock(scanner_mutex_);
+  return scanner_->collect();
+}
+
+void ScannerService::run() {
+  std::vector<PoolUpdateEvent> batch;
+  for (;;) {
+    batch.clear();
+    {
+      std::unique_lock lock(queue_mutex_);
+      queue_not_empty_.wait(lock,
+                            [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping and fully drained
+      const std::size_t take = std::min(config_.max_batch, queue_.size());
+      for (std::size_t i = 0; i < take; ++i) {
+        batch.push_back(queue_.front());
+        queue_.pop_front();
+      }
+      applying_ = true;
+      metrics_.set_queue_depth(queue_.size());
+    }
+    queue_not_full_.notify_all();
+
+    const auto start = std::chrono::steady_clock::now();
+    Result<ApplyReport> report = [&] {
+      std::lock_guard lock(scanner_mutex_);
+      return scanner_->apply(batch);
+    }();
+    const double micros =
+        std::chrono::duration<double, std::micro>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+
+    bool ok = report.ok();
+    if (ok) {
+      metrics_.add_batch();
+      metrics_.add_coalesced(report->events - report->unique_pools);
+      metrics_.add_repriced(report->repriced);
+      metrics_.record_reprice_latency(micros);
+    } else {
+      ARB_LOG_WARN("scanner service stopping on error: "
+                   << report.error().to_string());
+      std::lock_guard lock(scanner_mutex_);
+      status_ = report.error();
+    }
+
+    {
+      std::lock_guard lock(queue_mutex_);
+      applying_ = false;
+      if (!ok) failed_ = true;
+      if (failed_ || queue_.empty()) queue_drained_.notify_all();
+      if (!ok) return;  // fail fast; queued events are abandoned
+    }
+  }
+}
+
+}  // namespace arb::runtime

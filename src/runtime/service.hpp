@@ -1,0 +1,103 @@
+#pragma once
+
+/// \file service.hpp
+/// The event-driven scanner service: a bounded event queue feeding one
+/// consumer thread that batches/coalesces bursts, applies them to the
+/// incremental scanner (which fans dirty loops out to a worker pool),
+/// and keeps the ranked opportunity set continuously fresh. Producers
+/// call publish() from any thread; observers read opportunities() and
+/// metrics() from any thread.
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/result.hpp"
+#include "core/scanner.hpp"
+#include "market/snapshot.hpp"
+#include "runtime/event.hpp"
+#include "runtime/incremental_scanner.hpp"
+#include "runtime/metrics.hpp"
+#include "runtime/worker_pool.hpp"
+
+namespace arb::runtime {
+
+/// What publish() does when the event queue is at capacity.
+enum class BackpressurePolicy {
+  kBlock,       ///< producer waits for space (lossless)
+  kDropNewest,  ///< publish returns false, event discarded
+  kDropOldest,  ///< oldest queued event evicted, new one accepted
+};
+
+struct ServiceConfig {
+  core::ScannerConfig scanner;
+  std::size_t worker_threads = 4;
+  std::size_t queue_capacity = 4096;
+  /// Events drained per apply() round; bursts beyond this are split
+  /// across rounds (and within a round, per-pool last-wins coalescing
+  /// collapses duplicates).
+  std::size_t max_batch = 256;
+  BackpressurePolicy backpressure = BackpressurePolicy::kBlock;
+};
+
+class ScannerService {
+ public:
+  /// Prices the initial snapshot and starts the consumer thread.
+  [[nodiscard]] static Result<std::unique_ptr<ScannerService>> start(
+      const market::MarketSnapshot& snapshot, const ServiceConfig& config = {});
+
+  ~ScannerService();
+
+  ScannerService(const ScannerService&) = delete;
+  ScannerService& operator=(const ScannerService&) = delete;
+
+  /// Publishes one event. Returns false when the event was not accepted
+  /// (kDropNewest with a full queue, or the service is stopping).
+  bool publish(const PoolUpdateEvent& event);
+
+  /// Blocks until every accepted event has been applied (or the service
+  /// stopped on an error).
+  void drain();
+
+  /// Stops intake, drains the queue, joins the consumer and workers.
+  /// Idempotent.
+  void stop();
+
+  /// First error the consumer hit (the service stops consuming on error).
+  [[nodiscard]] Status status() const;
+
+  [[nodiscard]] MetricsSnapshot metrics() const;
+
+  /// Thread-safe deep copy of the current ranked opportunity set.
+  [[nodiscard]] std::vector<core::Opportunity> opportunities() const;
+
+ private:
+  ScannerService(const ServiceConfig& config);
+
+  void run();
+
+  ServiceConfig config_;
+  RuntimeMetrics metrics_;
+  WorkerPool workers_;
+
+  mutable std::mutex scanner_mutex_;
+  std::unique_ptr<IncrementalScanner> scanner_;  ///< guarded by scanner_mutex_
+  Status status_;                                ///< guarded by scanner_mutex_
+
+  mutable std::mutex queue_mutex_;
+  std::condition_variable queue_not_empty_;
+  std::condition_variable queue_not_full_;
+  std::condition_variable queue_drained_;
+  std::deque<PoolUpdateEvent> queue_;  ///< guarded by queue_mutex_
+  bool applying_ = false;              ///< consumer mid-batch
+  bool stopping_ = false;
+  bool failed_ = false;  ///< consumer stopped on error
+
+  std::thread consumer_;
+};
+
+}  // namespace arb::runtime

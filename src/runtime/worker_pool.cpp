@@ -1,0 +1,81 @@
+#include "runtime/worker_pool.hpp"
+
+#include "common/error.hpp"
+
+namespace arb::runtime {
+
+WorkerPool::WorkerPool() : WorkerPool(Config{}) {}
+
+WorkerPool::WorkerPool(const Config& config)
+    : capacity_(config.queue_capacity), overflow_(config.overflow) {
+  ARB_REQUIRE(config.threads >= 1, "worker pool needs at least one thread");
+  ARB_REQUIRE(capacity_ >= 1, "worker pool needs a non-empty queue");
+  threads_.reserve(config.threads);
+  for (std::size_t i = 0; i < config.threads; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+WorkerPool::~WorkerPool() { shutdown(); }
+
+bool WorkerPool::submit(std::function<void()> task) {
+  std::unique_lock lock(mutex_);
+  if (overflow_ == Overflow::kBlock) {
+    not_full_.wait(lock,
+                   [this] { return stopping_ || queue_.size() < capacity_; });
+  }
+  if (stopping_ || queue_.size() >= capacity_) return false;
+  queue_.push_back(std::move(task));
+  lock.unlock();
+  not_empty_.notify_one();
+  return true;
+}
+
+void WorkerPool::wait_idle() {
+  std::unique_lock lock(mutex_);
+  idle_.wait(lock, [this] { return queue_.empty() && running_ == 0; });
+}
+
+void WorkerPool::shutdown() {
+  {
+    std::lock_guard lock(mutex_);
+    if (stopping_) {
+      // Second call: threads are already winding down; fall through to
+      // join whatever is left.
+    }
+    stopping_ = true;
+  }
+  not_empty_.notify_all();
+  not_full_.notify_all();
+  for (std::thread& thread : threads_) {
+    if (thread.joinable()) thread.join();
+  }
+}
+
+std::size_t WorkerPool::queue_depth() const {
+  std::lock_guard lock(mutex_);
+  return queue_.size();
+}
+
+void WorkerPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      not_empty_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++running_;
+    }
+    not_full_.notify_one();
+    task();
+    {
+      std::lock_guard lock(mutex_);
+      --running_;
+      if (queue_.empty() && running_ == 0) idle_.notify_all();
+    }
+  }
+}
+
+}  // namespace arb::runtime

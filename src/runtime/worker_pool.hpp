@@ -1,0 +1,74 @@
+#pragma once
+
+/// \file worker_pool.hpp
+/// Fixed-size thread pool over a bounded MPMC task queue — the repo's
+/// first multi-threaded substrate. Deliberately minimal: mutex + two
+/// condition variables, no lock-free cleverness, because the tasks it
+/// carries (loop re-pricing) are microseconds to milliseconds each and
+/// the queue is never the bottleneck.
+///
+/// Shutdown is graceful: intake stops, already-queued tasks run to
+/// completion, then the threads join. The destructor shuts down.
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace arb::runtime {
+
+class WorkerPool {
+ public:
+  /// What submit() does when the queue is at capacity.
+  enum class Overflow {
+    kBlock,   ///< producer waits for a slot (backpressure)
+    kReject,  ///< submit returns false immediately
+  };
+
+  struct Config {
+    std::size_t threads = 4;
+    std::size_t queue_capacity = 1024;
+    Overflow overflow = Overflow::kBlock;
+  };
+
+  WorkerPool();  ///< default Config
+  explicit WorkerPool(const Config& config);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  /// Enqueues a task. Returns false when rejected (kReject policy with a
+  /// full queue, or the pool is shutting down); the task is then dropped.
+  [[nodiscard]] bool submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and every running task has finished.
+  void wait_idle();
+
+  /// Stops intake, drains queued tasks, joins the threads. Idempotent.
+  void shutdown();
+
+  [[nodiscard]] std::size_t thread_count() const { return threads_.size(); }
+  [[nodiscard]] std::size_t queue_depth() const;
+
+ private:
+  void worker_loop();
+
+  const std::size_t capacity_;
+  const Overflow overflow_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::condition_variable idle_;
+  std::deque<std::function<void()>> queue_;
+  std::size_t running_ = 0;  ///< tasks currently executing
+  bool stopping_ = false;
+
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace arb::runtime

@@ -14,17 +14,19 @@ namespace {
 /// rest of the market).
 void perturb_pools(graph::TokenGraph& graph, Rng& rng, double sigma) {
   for (const amm::CpmmPool& pool : graph.pools()) {
-    const double shock = rng.normal(0.0, sigma);
-    // Scale reserves (r0·s, r1/s): price moves by s², k unchanged.
-    const double s = std::exp(shock / 2.0);
-    amm::CpmmPool& mutable_pool = graph.mutable_pool(pool.id());
-    mutable_pool =
-        amm::CpmmPool(pool.id(), pool.token0(), pool.token1(),
-                      pool.reserve0() * s, pool.reserve1() / s, pool.fee());
+    const auto [r0, r1] = shocked_reserves(pool, rng.normal(0.0, sigma));
+    graph.set_pool_reserves(pool.id(), r0, r1);
   }
 }
 
 }  // namespace
+
+std::pair<Amount, Amount> shocked_reserves(const amm::CpmmPool& pool,
+                                           double shock) {
+  // Scale reserves (r0·s, r1/s): price moves by s², k unchanged.
+  const double s = std::exp(shock / 2.0);
+  return {pool.reserve0() * s, pool.reserve1() / s};
+}
 
 Result<ReplayResult> run_replay(const market::MarketSnapshot& snapshot,
                                 const ReplayConfig& config) {

@@ -7,6 +7,7 @@
 /// Used by the live-bot example and the strategy-ablation bench.
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "common/result.hpp"
@@ -47,6 +48,13 @@ struct ReplayResult {
   std::vector<BlockResult> blocks;
   double total_realized_usd = 0.0;
 };
+
+/// Reserves after a fee-free exogenous trade that moves the pool's
+/// internal price by e^shock while preserving the constant product
+/// (reserve0·s, reserve1/s with s = e^{shock/2}). Shared by run_replay's
+/// per-block noise and the streaming runtime's replay event stream.
+[[nodiscard]] std::pair<Amount, Amount> shocked_reserves(
+    const amm::CpmmPool& pool, double shock);
 
 /// Runs the replay on a copy of the snapshot (the input is not mutated).
 [[nodiscard]] Result<ReplayResult> run_replay(

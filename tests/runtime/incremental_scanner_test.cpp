@@ -1,0 +1,211 @@
+#include "runtime/incremental_scanner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/scanner.hpp"
+#include "market/generator.hpp"
+#include "sim/replay.hpp"
+#include "tests/core/fixtures.hpp"
+
+namespace arb::runtime {
+namespace {
+
+using core::testing::Section5Market;
+
+/// Draws one pool-update event by shocking the reference graph's current
+/// reserves (so consecutive shocks compound), applies it to the
+/// reference, and returns it for the incremental scanner.
+PoolUpdateEvent random_event(graph::TokenGraph& reference, Rng& rng,
+                             double sigma, std::uint64_t sequence) {
+  const auto pool_value = static_cast<PoolId::underlying_type>(rng.uniform_int(
+      0, static_cast<std::int64_t>(reference.pool_count()) - 1));
+  const PoolId id{pool_value};
+  const auto [r0, r1] =
+      sim::shocked_reserves(reference.pool(id), rng.normal(0.0, sigma));
+  reference.set_pool_reserves(id, r0, r1);
+  PoolUpdateEvent event;
+  event.pool = id;
+  event.reserve0 = r0;
+  event.reserve1 = r1;
+  event.sequence = sequence;
+  return event;
+}
+
+/// Asserts the incremental scanner's ranked set is element-for-element
+/// bit-identical to a from-scratch scan_market: same cycles in the same
+/// order with exactly equal profits.
+void expect_identical(const std::vector<core::Opportunity>& full,
+                      const std::vector<core::Opportunity>& incremental) {
+  ASSERT_EQ(full.size(), incremental.size());
+  for (std::size_t i = 0; i < full.size(); ++i) {
+    EXPECT_EQ(full[i].cycle.rotation_key(), incremental[i].cycle.rotation_key())
+        << "rank " << i;
+    // EXPECT_EQ on doubles is exact: both sides must run the same
+    // arithmetic on the same reserves.
+    EXPECT_EQ(full[i].net_profit_usd, incremental[i].net_profit_usd);
+    EXPECT_EQ(full[i].outcome.monetized_usd,
+              incremental[i].outcome.monetized_usd);
+    EXPECT_EQ(full[i].outcome.input, incremental[i].outcome.input);
+    EXPECT_EQ(full[i].outcome.output, incremental[i].outcome.output);
+    EXPECT_EQ(full[i].plan.steps.size(), incremental[i].plan.steps.size());
+    EXPECT_EQ(full[i].diagnostics.price_product,
+              incremental[i].diagnostics.price_product);
+  }
+}
+
+/// Runs `total_events` random updates in random-sized batches against
+/// both scanners and compares after every batch.
+void run_differential(const market::MarketSnapshot& snapshot,
+                      const core::ScannerConfig& config,
+                      std::size_t total_events, std::uint64_t seed,
+                      WorkerPool* workers = nullptr) {
+  auto scanner =
+      IncrementalScanner::create(snapshot, config, workers).value();
+  market::MarketSnapshot reference = snapshot;
+
+  // Initial state must already agree.
+  expect_identical(
+      core::scan_market(reference.graph, reference.prices, config).value(),
+      scanner.collect());
+
+  Rng rng(seed);
+  std::uint64_t sequence = 0;
+  std::size_t emitted = 0;
+  while (emitted < total_events) {
+    const std::size_t batch_size = std::min<std::size_t>(
+        static_cast<std::size_t>(rng.uniform_int(1, 8)),
+        total_events - emitted);
+    std::vector<PoolUpdateEvent> batch;
+    batch.reserve(batch_size);
+    for (std::size_t i = 0; i < batch_size; ++i) {
+      batch.push_back(random_event(reference.graph, rng, 0.02, sequence++));
+    }
+    emitted += batch_size;
+
+    const ApplyReport report = scanner.apply(batch).value();
+    EXPECT_EQ(report.events, batch_size);
+    EXPECT_LE(report.unique_pools, batch_size);
+
+    expect_identical(
+        core::scan_market(reference.graph, reference.prices, config).value(),
+        scanner.collect());
+    if (::testing::Test::HasFailure()) {
+      FAIL() << "diverged after " << emitted << " events";
+    }
+  }
+}
+
+market::MarketSnapshot test_snapshot() {
+  market::GeneratorConfig gen;
+  gen.token_count = 18;
+  gen.pool_count = 40;
+  return market::generate_snapshot(gen);
+}
+
+TEST(IncrementalScannerTest, DifferentialThousandEventsMaxMax) {
+  core::ScannerConfig config;
+  config.loop_lengths = {3};
+  run_differential(test_snapshot(), config, 1000, /*seed=*/11);
+}
+
+TEST(IncrementalScannerTest, DifferentialMultiLengthWithGasAndThreshold) {
+  core::ScannerConfig config;
+  config.loop_lengths = {2, 3};
+  config.gas = core::GasModel{};
+  config.min_net_profit_usd = 1.0;
+  run_differential(test_snapshot(), config, 300, /*seed=*/12);
+}
+
+TEST(IncrementalScannerTest, DifferentialConvexStrategy) {
+  core::ScannerConfig config;
+  config.loop_lengths = {3};
+  config.strategy = core::StrategyKind::kConvexOptimization;
+  run_differential(test_snapshot(), config, 60, /*seed=*/13);
+}
+
+TEST(IncrementalScannerTest, DifferentialWithWorkerPool) {
+  WorkerPool workers(
+      WorkerPool::Config{.threads = 3, .queue_capacity = 1024});
+  core::ScannerConfig config;
+  config.loop_lengths = {3};
+  run_differential(test_snapshot(), config, 300, /*seed=*/14, &workers);
+}
+
+TEST(IncrementalScannerTest, CoalescesDuplicatePoolsInBatch) {
+  const Section5Market m;
+  market::MarketSnapshot snapshot;
+  snapshot.graph = m.graph;
+  snapshot.prices = m.prices;
+  core::ScannerConfig config;
+  config.loop_lengths = {3};
+  auto scanner = IncrementalScanner::create(snapshot, config, nullptr).value();
+
+  // Three updates, two to the same pool: only the last one per pool may
+  // count, and the intermediate (absurd) state must never be observed.
+  std::vector<PoolUpdateEvent> batch;
+  batch.push_back({m.xy, 1.0, 1e9, 0});  // superseded
+  batch.push_back({m.yz, 310.0, 205.0, 1});
+  batch.push_back({m.xy, 105.0, 195.0, 2});
+  const ApplyReport report = scanner.apply(batch).value();
+  EXPECT_EQ(report.events, 3u);
+  EXPECT_EQ(report.unique_pools, 2u);
+  EXPECT_GT(report.repriced, 0u);
+
+  market::MarketSnapshot reference = snapshot;
+  reference.graph.set_pool_reserves(m.yz, 310.0, 205.0);
+  reference.graph.set_pool_reserves(m.xy, 105.0, 195.0);
+  expect_identical(
+      core::scan_market(reference.graph, reference.prices, config).value(),
+      scanner.collect());
+}
+
+TEST(IncrementalScannerTest, UntouchedPoolsAreNotRepriced) {
+  const Section5Market m;
+  market::MarketSnapshot snapshot;
+  snapshot.graph = m.graph;
+  snapshot.prices = m.prices;
+  core::ScannerConfig config;
+  config.loop_lengths = {3};
+  auto scanner = IncrementalScanner::create(snapshot, config, nullptr).value();
+
+  // The triangle has 2 universe cycles, both through every pool; a
+  // single-pool update dirties exactly those 2.
+  std::vector<PoolUpdateEvent> batch;
+  batch.push_back({m.xy, 101.0, 199.0, 0});
+  const ApplyReport report = scanner.apply(batch).value();
+  EXPECT_EQ(report.repriced, 2u);
+}
+
+TEST(IncrementalScannerTest, RejectsBadEvents) {
+  const Section5Market m;
+  market::MarketSnapshot snapshot;
+  snapshot.graph = m.graph;
+  snapshot.prices = m.prices;
+  core::ScannerConfig config;
+  config.loop_lengths = {3};
+  auto scanner = IncrementalScanner::create(snapshot, config, nullptr).value();
+
+  std::vector<PoolUpdateEvent> unknown;
+  unknown.push_back({PoolId{99}, 1.0, 1.0, 0});
+  EXPECT_FALSE(scanner.apply(unknown).ok());
+
+  std::vector<PoolUpdateEvent> negative;
+  negative.push_back({m.xy, -1.0, 5.0, 0});
+  EXPECT_FALSE(scanner.apply(negative).ok());
+}
+
+TEST(IncrementalScannerTest, CreateValidatesConfig) {
+  const auto snapshot = test_snapshot();
+  core::ScannerConfig empty;
+  empty.loop_lengths = {};
+  EXPECT_FALSE(IncrementalScanner::create(snapshot, empty).ok());
+  core::ScannerConfig bad;
+  bad.loop_lengths = {1};
+  EXPECT_FALSE(IncrementalScanner::create(snapshot, bad).ok());
+}
+
+}  // namespace
+}  // namespace arb::runtime

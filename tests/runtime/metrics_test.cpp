@@ -1,0 +1,103 @@
+#include "runtime/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "common/csv.hpp"
+
+namespace arb::runtime {
+namespace {
+
+TEST(LatencyHistogramTest, EmptyHistogram) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.samples(), 0u);
+  EXPECT_EQ(h.quantile(0.5), 0.0);
+  EXPECT_EQ(h.max_us(), 0.0);
+}
+
+TEST(LatencyHistogramTest, QuantilesAreMonotoneAndBracketed) {
+  LatencyHistogram h;
+  for (int i = 1; i <= 1000; ++i) h.record(static_cast<double>(i));
+  EXPECT_EQ(h.samples(), 1000u);
+  const double p50 = h.quantile(0.50);
+  const double p90 = h.quantile(0.90);
+  const double p99 = h.quantile(0.99);
+  EXPECT_LE(p50, p90);
+  EXPECT_LE(p90, p99);
+  // Power-of-two buckets: estimates are within a factor of 2.
+  EXPECT_GE(p50, 250.0);
+  EXPECT_LE(p50, 1024.0);
+  EXPECT_GE(p99, 512.0);
+  EXPECT_LE(p99, 2048.0);
+  EXPECT_DOUBLE_EQ(h.max_us(), 1000.0);
+}
+
+TEST(LatencyHistogramTest, SubMicrosecondAndNegativeSamples) {
+  LatencyHistogram h;
+  h.record(0.25);   // lands in bucket 0
+  h.record(-5.0);   // dropped
+  EXPECT_EQ(h.samples(), 1u);
+  // Bucket 0 spans [0, 2) µs, so the estimate stays below 2.
+  EXPECT_LE(h.quantile(1.0), 2.0);
+}
+
+TEST(LatencyHistogramTest, ConcurrentRecordingLosesNothing) {
+  LatencyHistogram h;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&h] {
+      for (int i = 0; i < 10'000; ++i) h.record(100.0);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(h.samples(), 40'000u);
+}
+
+TEST(RuntimeMetricsTest, SnapshotReflectsCounters) {
+  RuntimeMetrics metrics;
+  metrics.add_ingested(10);
+  metrics.add_dropped(2);
+  metrics.add_coalesced(3);
+  metrics.add_batch();
+  metrics.add_batch();
+  metrics.add_repriced(7);
+  metrics.set_queue_depth(5);
+  metrics.record_reprice_latency(128.0);
+
+  const MetricsSnapshot snap = metrics.snapshot();
+  EXPECT_EQ(snap.events_ingested, 10u);
+  EXPECT_EQ(snap.events_dropped, 2u);
+  EXPECT_EQ(snap.events_coalesced, 3u);
+  EXPECT_EQ(snap.batches, 2u);
+  EXPECT_EQ(snap.loops_repriced, 7u);
+  EXPECT_EQ(snap.queue_depth, 5u);
+  EXPECT_EQ(snap.reprice_samples, 1u);
+  EXPECT_GT(snap.reprice_p50_us, 0.0);
+  EXPECT_DOUBLE_EQ(snap.reprice_max_us, 128.0);
+
+  const std::string line = snap.summary();
+  EXPECT_NE(line.find("ingested=10"), std::string::npos);
+  EXPECT_NE(line.find("repriced=7"), std::string::npos);
+}
+
+TEST(RuntimeMetricsTest, CsvRoundTrip) {
+  RuntimeMetrics metrics;
+  metrics.add_ingested(42);
+  metrics.record_reprice_latency(64.0);
+  const std::vector<MetricsSnapshot> rows = {metrics.snapshot(),
+                                             metrics.snapshot()};
+  const std::string path = ::testing::TempDir() + "runtime_metrics_test.csv";
+  ASSERT_TRUE(write_metrics_csv(rows, path).ok());
+
+  const auto table = read_csv_file(path).value();
+  EXPECT_EQ(table.header, MetricsSnapshot::csv_columns());
+  ASSERT_EQ(table.rows.size(), 2u);
+  EXPECT_EQ(table.rows[0][table.column_index("events_ingested")], "42");
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace arb::runtime

@@ -1,0 +1,216 @@
+#include "runtime/service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/scanner.hpp"
+#include "market/generator.hpp"
+#include "runtime/replay_stream.hpp"
+
+namespace arb::runtime {
+namespace {
+
+market::MarketSnapshot test_snapshot() {
+  market::GeneratorConfig gen;
+  gen.token_count = 18;
+  gen.pool_count = 40;
+  return market::generate_snapshot(gen);
+}
+
+TEST(ScannerServiceTest, ConvergesToFullScanOfFinalState) {
+  const auto snapshot = test_snapshot();
+  ServiceConfig config;
+  config.scanner.loop_lengths = {3};
+  config.worker_threads = 2;
+  config.max_batch = 16;
+  auto service = ScannerService::start(snapshot, config).value();
+
+  // Stream three blocks of updates; track the final absolute state on
+  // the side.
+  market::MarketSnapshot reference = snapshot;
+  ReplayStreamConfig stream_config;
+  stream_config.blocks = 3;
+  stream_config.seed = 21;
+  ReplayUpdateStream stream(snapshot, stream_config);
+  std::size_t published = 0;
+  while (auto event = stream.next()) {
+    reference.graph.set_pool_reserves(event->pool, event->reserve0,
+                                      event->reserve1);
+    ASSERT_TRUE(service->publish(*event));
+    ++published;
+  }
+  EXPECT_EQ(published, 3u * snapshot.graph.pool_count());
+  service->drain();
+  ASSERT_TRUE(service->status().ok());
+
+  // Regardless of how events were batched/coalesced on the way, the
+  // final ranked set must equal a from-scratch scan of the final state.
+  const auto full =
+      core::scan_market(reference.graph, reference.prices, config.scanner)
+          .value();
+  const auto incremental = service->opportunities();
+  ASSERT_EQ(full.size(), incremental.size());
+  for (std::size_t i = 0; i < full.size(); ++i) {
+    EXPECT_EQ(full[i].cycle.rotation_key(),
+              incremental[i].cycle.rotation_key());
+    EXPECT_EQ(full[i].net_profit_usd, incremental[i].net_profit_usd);
+  }
+
+  const MetricsSnapshot metrics = service->metrics();
+  EXPECT_EQ(metrics.events_ingested, published);
+  EXPECT_EQ(metrics.events_dropped, 0u);
+  EXPECT_GE(metrics.batches, 1u);
+  EXPECT_GT(metrics.loops_repriced, 0u);
+  EXPECT_EQ(metrics.reprice_samples, metrics.batches);
+  EXPECT_GT(metrics.reprice_p50_us, 0.0);
+  EXPECT_LE(metrics.reprice_p50_us, metrics.reprice_max_us);
+  service->stop();
+}
+
+TEST(ScannerServiceTest, DropNewestCountsDrops) {
+  const auto snapshot = test_snapshot();
+  ServiceConfig config;
+  config.scanner.loop_lengths = {3};
+  config.worker_threads = 1;
+  config.queue_capacity = 2;
+  config.max_batch = 2;
+  config.backpressure = BackpressurePolicy::kDropNewest;
+  auto service = ScannerService::start(snapshot, config).value();
+
+  // Publish a burst far beyond capacity from this thread; some must be
+  // accepted, and every publish must report its fate truthfully.
+  const amm::CpmmPool& pool = snapshot.graph.pool(PoolId{0});
+  std::size_t accepted = 0;
+  std::size_t rejected = 0;
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    PoolUpdateEvent event;
+    event.pool = pool.id();
+    event.reserve0 = pool.reserve0() * (1.0 + 1e-6 * static_cast<double>(i));
+    event.reserve1 = pool.reserve1();
+    event.sequence = i;
+    if (service->publish(event)) {
+      ++accepted;
+    } else {
+      ++rejected;
+    }
+  }
+  service->drain();
+  const MetricsSnapshot metrics = service->metrics();
+  EXPECT_EQ(metrics.events_ingested, accepted);
+  EXPECT_EQ(metrics.events_dropped, rejected);
+  EXPECT_GT(accepted, 0u);
+  service->stop();
+}
+
+TEST(ScannerServiceTest, DropOldestAcceptsEverything) {
+  const auto snapshot = test_snapshot();
+  ServiceConfig config;
+  config.scanner.loop_lengths = {3};
+  config.worker_threads = 1;
+  config.queue_capacity = 2;
+  config.max_batch = 2;
+  config.backpressure = BackpressurePolicy::kDropOldest;
+  auto service = ScannerService::start(snapshot, config).value();
+
+  const amm::CpmmPool& pool = snapshot.graph.pool(PoolId{0});
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    PoolUpdateEvent event;
+    event.pool = pool.id();
+    event.reserve0 = pool.reserve0();
+    event.reserve1 = pool.reserve1();
+    event.sequence = i;
+    EXPECT_TRUE(service->publish(event));
+  }
+  service->drain();
+  const MetricsSnapshot metrics = service->metrics();
+  EXPECT_EQ(metrics.events_ingested, 100u);
+  service->stop();
+}
+
+TEST(ScannerServiceTest, PublishAfterStopIsRejected) {
+  const auto snapshot = test_snapshot();
+  ServiceConfig config;
+  config.scanner.loop_lengths = {3};
+  config.worker_threads = 1;
+  auto service = ScannerService::start(snapshot, config).value();
+  service->stop();
+  service->stop();  // idempotent
+  PoolUpdateEvent event;
+  event.pool = PoolId{0};
+  event.reserve0 = 1.0;
+  event.reserve1 = 1.0;
+  EXPECT_FALSE(service->publish(event));
+}
+
+TEST(ScannerServiceTest, StopsOnBadEvent) {
+  const auto snapshot = test_snapshot();
+  ServiceConfig config;
+  config.scanner.loop_lengths = {3};
+  config.worker_threads = 1;
+  auto service = ScannerService::start(snapshot, config).value();
+
+  PoolUpdateEvent bad;
+  bad.pool = PoolId{static_cast<PoolId::underlying_type>(
+      snapshot.graph.pool_count() + 7)};
+  bad.reserve0 = 1.0;
+  bad.reserve1 = 1.0;
+  ASSERT_TRUE(service->publish(bad));
+  service->drain();
+  EXPECT_FALSE(service->status().ok());
+  service->stop();
+}
+
+TEST(ScannerServiceTest, ValidatesConfig) {
+  const auto snapshot = test_snapshot();
+  ServiceConfig config;
+  config.max_batch = 0;
+  EXPECT_FALSE(ScannerService::start(snapshot, config).ok());
+  // A zero-thread worker pool could never drain reprice tasks; the
+  // service must reject it up front instead of tripping the pool's
+  // precondition.
+  ServiceConfig no_threads;
+  no_threads.worker_threads = 0;
+  EXPECT_FALSE(ScannerService::start(snapshot, no_threads).ok());
+}
+
+TEST(ReplayStreamTest, DeterministicAndBounded) {
+  const auto snapshot = test_snapshot();
+  ReplayStreamConfig config;
+  config.blocks = 2;
+  config.seed = 5;
+  ReplayUpdateStream a(snapshot, config);
+  ReplayUpdateStream b(snapshot, config);
+  std::size_t count = 0;
+  while (true) {
+    const auto ea = a.next();
+    const auto eb = b.next();
+    ASSERT_EQ(ea.has_value(), eb.has_value());
+    if (!ea.has_value()) break;
+    EXPECT_EQ(ea->pool, eb->pool);
+    EXPECT_EQ(ea->reserve0, eb->reserve0);
+    EXPECT_EQ(ea->reserve1, eb->reserve1);
+    EXPECT_EQ(ea->sequence, eb->sequence);
+    ++count;
+  }
+  EXPECT_EQ(count, 2u * snapshot.graph.pool_count());
+}
+
+TEST(ReplayStreamTest, SinglePoolMode) {
+  const auto snapshot = test_snapshot();
+  ReplayStreamConfig config;
+  config.blocks = 10;
+  config.pools_per_block = 1;
+  ReplayUpdateStream stream(snapshot, config);
+  std::size_t count = 0;
+  while (auto event = stream.next()) {
+    EXPECT_LT(event->pool.value(), snapshot.graph.pool_count());
+    EXPECT_GT(event->reserve0, 0.0);
+    EXPECT_GT(event->reserve1, 0.0);
+    ++count;
+  }
+  EXPECT_EQ(count, 10u);
+}
+
+}  // namespace
+}  // namespace arb::runtime
