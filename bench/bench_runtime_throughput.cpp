@@ -2,10 +2,14 @@
 //   (a) full scan_market rescan latency (the batch baseline),
 //   (b) incremental re-price latency under single-pool updates via the
 //       pool→cycle index (the runtime's claim: work ∝ affected loops),
-//   (c) end-to-end events/sec through the ScannerService with its
+//   (c) the same stream under the Convex strategy with warm-started
+//       barrier solves, reporting hit rate and Newton iterations through
+//       RuntimeMetrics,
+//   (d) end-to-end events/sec through the ScannerService with its
 //       metrics layer reporting p50/p99 re-price latency.
-// Emits runtime_throughput.csv plus runtime_throughput.svg (per-event
-// incremental latency against the full-rescan baseline).
+// All latencies are warmed-up order statistics (median/p99), not
+// single-shot means. Emits runtime_throughput.csv, runtime_throughput.svg
+// and the machine-readable BENCH_runtime.json.
 
 #include <chrono>
 #include <cstdio>
@@ -31,9 +35,49 @@ double now_us() {
       .count();
 }
 
+/// Replays a single-pool-per-block stream through a fresh
+/// IncrementalScanner, discarding the first \p warmup events (first-touch
+/// page faults, cache fill, cycle-cache population) and returning the
+/// per-event apply latencies of the rest plus the aggregated counters.
+struct StreamResult {
+  std::vector<double> series_us;
+  std::uint64_t solver_iterations = 0;
+  std::size_t warm_hits = 0;
+  std::size_t warm_misses = 0;
+};
+
+StreamResult replay_stream(const market::MarketSnapshot& snapshot,
+                           const core::ScannerConfig& config, int blocks,
+                           int warmup) {
+  auto scanner = bench::expect_ok(
+      runtime::IncrementalScanner::create(snapshot, config, nullptr),
+      "IncrementalScanner::create");
+  runtime::ReplayStreamConfig stream_config;
+  stream_config.blocks = blocks;
+  stream_config.pools_per_block = 1;
+  stream_config.seed = 99;
+  runtime::ReplayUpdateStream stream(snapshot, stream_config);
+  StreamResult result;
+  int seen = 0;
+  while (auto event = stream.next()) {
+    std::vector<runtime::PoolUpdateEvent> batch{*event};
+    const double start = now_us();
+    const auto report = bench::expect_ok(scanner.apply(batch),
+                                         "IncrementalScanner::apply");
+    const double micros = now_us() - start;
+    if (++seen <= warmup) continue;
+    result.series_us.push_back(micros);
+    result.solver_iterations += report.solver_iterations;
+    result.warm_hits += report.warm_hits;
+    result.warm_misses += report.warm_misses;
+  }
+  return result;
+}
+
 }  // namespace
 
 int main() {
+  const bool relaxed = std::getenv("ARB_BENCH_RELAXED") != nullptr;
   const market::MarketSnapshot snapshot =
       market::generate_snapshot(market::GeneratorConfig{})
           .filtered(market::PoolFilter{});
@@ -45,46 +89,45 @@ int main() {
   bench::FigureSink sink("runtime_throughput",
                          "streaming runtime vs batch rescan",
                          {"metric", "value"});
+  bench::BenchJson json;
 
   // (a) Full-rescan baseline: enumerate + filter + optimize everything.
-  constexpr int kFullRuns = 20;
-  StreamingStats full_us;
-  for (int i = 0; i < kFullRuns; ++i) {
-    const double start = now_us();
-    const auto opportunities =
-        bench::expect_ok(core::scan_market(snapshot.graph, snapshot.prices,
-                                           config),
-                         "scan_market");
-    full_us.add(now_us() - start);
-    if (i == 0) {
-      std::printf("full scan: %zu opportunities\n", opportunities.size());
-    }
-  }
+  std::size_t full_opportunities = 0;
+  const bench::Timing full = bench::measure(
+      [&] {
+        full_opportunities =
+            bench::expect_ok(core::scan_market(snapshot.graph,
+                                               snapshot.prices, config),
+                             "scan_market")
+                .size();
+      },
+      /*warmup=*/3, /*runs=*/20);
+  std::printf("full scan: %zu opportunities\n", full_opportunities);
 
   // (b) Incremental re-pricing under single-pool updates.
-  auto scanner = bench::expect_ok(
-      runtime::IncrementalScanner::create(snapshot, config, nullptr),
-      "IncrementalScanner::create");
-  runtime::ReplayStreamConfig stream_config;
-  stream_config.blocks = 400;
-  stream_config.pools_per_block = 1;
-  stream_config.seed = 99;
-  runtime::ReplayUpdateStream stream(snapshot, stream_config);
-  StreamingStats incremental_us;
-  std::vector<double> incremental_series;
-  while (auto event = stream.next()) {
-    std::vector<runtime::PoolUpdateEvent> batch{*event};
-    const double start = now_us();
-    (void)bench::expect_ok(scanner.apply(batch), "IncrementalScanner::apply");
-    const double micros = now_us() - start;
-    incremental_us.add(micros);
-    incremental_series.push_back(micros);
-  }
+  const StreamResult incremental =
+      replay_stream(snapshot, config, /*blocks=*/400, /*warmup=*/32);
+  const double incremental_median_us = percentile(incremental.series_us, 0.50);
+  const double incremental_p99_us = percentile(incremental.series_us, 0.99);
+  const double full_median_us = full.median_ns * 1e-3;
+  const double speedup = full_median_us / incremental_median_us;
 
-  const double speedup = full_us.mean() / incremental_us.mean();
-  const auto& index = scanner.index();
+  // (c) The same stream under Convex with warm-started barrier solves.
+  core::ScannerConfig convex_config = config;
+  convex_config.strategy = core::StrategyKind::kConvexOptimization;
+  convex_config.convex_warm_start = true;
+  const StreamResult convex_stream =
+      replay_stream(snapshot, convex_config, /*blocks=*/400, /*warmup=*/32);
+  const double convex_median_us = percentile(convex_stream.series_us, 0.50);
+  const std::size_t convex_solves =
+      convex_stream.warm_hits + convex_stream.warm_misses;
+  const double warm_hit_rate =
+      convex_solves == 0
+          ? 0.0
+          : static_cast<double>(convex_stream.warm_hits) /
+                static_cast<double>(convex_solves);
 
-  // (c) Service throughput: replay blocks shocking every pool, pushed
+  // (d) Service throughput: replay blocks shocking every pool, pushed
   // through the bounded queue + worker pool.
   runtime::ServiceConfig service_config;
   service_config.scanner = config;
@@ -109,11 +152,20 @@ int main() {
   const runtime::MetricsSnapshot metrics = service->metrics();
   service->stop();
 
-  sink.labeled_row("full_scan_mean_us", {full_us.mean()});
-  sink.labeled_row("incremental_mean_us", {incremental_us.mean()});
-  sink.labeled_row("incremental_p99_us",
-                   {percentile(incremental_series, 0.99)});
+  auto scanner = bench::expect_ok(
+      runtime::IncrementalScanner::create(snapshot, config, nullptr),
+      "IncrementalScanner::create");
+  const auto& index = scanner.index();
+
+  sink.labeled_row("full_scan_median_us", {full_median_us});
+  sink.labeled_row("full_scan_p99_us", {full.p99_ns * 1e-3});
+  sink.labeled_row("incremental_median_us", {incremental_median_us});
+  sink.labeled_row("incremental_p99_us", {incremental_p99_us});
   sink.labeled_row("speedup_x", {speedup});
+  sink.labeled_row("convex_median_us", {convex_median_us});
+  sink.labeled_row("convex_warm_hit_rate", {warm_hit_rate});
+  sink.labeled_row("convex_newton_iters",
+                   {static_cast<double>(convex_stream.solver_iterations)});
   sink.labeled_row("universe_cycles",
                    {static_cast<double>(index.cycles().size())});
   sink.labeled_row("index_mean_fanout", {index.mean_fanout()});
@@ -126,7 +178,32 @@ int main() {
   sink.labeled_row("service_reprice_p50_us", {metrics.reprice_p50_us});
   sink.labeled_row("service_reprice_p99_us", {metrics.reprice_p99_us});
 
-  std::printf("\nincremental vs full rescan speedup: %.1fx\n", speedup);
+  json.set("full_scan", full);
+  json.set("incremental.median_us", incremental_median_us);
+  json.set("incremental.p99_us", incremental_p99_us);
+  json.set("incremental.events",
+           static_cast<double>(incremental.series_us.size()));
+  json.set("incremental.speedup_x", speedup);
+  json.set("convex.median_us", convex_median_us);
+  json.set("convex.warm_hit_rate", warm_hit_rate);
+  json.set("convex.warm_hits", static_cast<double>(convex_stream.warm_hits));
+  json.set("convex.warm_misses",
+           static_cast<double>(convex_stream.warm_misses));
+  json.set("convex.newton_iterations",
+           static_cast<double>(convex_stream.solver_iterations));
+  json.set("service.events_per_sec", events_per_sec);
+  json.set("service.reprice_p50_us", metrics.reprice_p50_us);
+  json.set("service.reprice_p99_us", metrics.reprice_p99_us);
+  json.set("universe.cycles", static_cast<double>(index.cycles().size()));
+  if (!json.write("BENCH_runtime.json")) return 1;
+
+  std::printf("\nincremental vs full rescan speedup: %.1fx (median)\n",
+              speedup);
+  std::printf("convex stream: median %.1fus, warm hit rate %.1f%%, "
+              "%llu Newton iters\n",
+              convex_median_us, 100.0 * warm_hit_rate,
+              static_cast<unsigned long long>(
+                  convex_stream.solver_iterations));
   std::printf("service: %.0f events/sec, reprice p50=%.1fus p99=%.1fus\n",
               events_per_sec, metrics.reprice_p50_us, metrics.reprice_p99_us);
   std::printf("metrics: %s\n", metrics.summary().c_str());
@@ -136,15 +213,15 @@ int main() {
   SvgSeries incremental_points;
   incremental_points.name = "incremental apply";
   incremental_points.line = false;
-  for (std::size_t i = 0; i < incremental_series.size(); ++i) {
+  for (std::size_t i = 0; i < incremental.series_us.size(); ++i) {
     incremental_points.points.emplace_back(static_cast<double>(i),
-                                           incremental_series[i]);
+                                           incremental.series_us[i]);
   }
   SvgSeries baseline;
-  baseline.name = "full rescan (mean)";
-  baseline.points.emplace_back(0.0, full_us.mean());
+  baseline.name = "full rescan (median)";
+  baseline.points.emplace_back(0.0, full_median_us);
   baseline.points.emplace_back(
-      static_cast<double>(incremental_series.size()), full_us.mean());
+      static_cast<double>(incremental.series_us.size()), full_median_us);
   plot.add_series(std::move(incremental_points));
   plot.add_series(std::move(baseline));
   if (Status status = plot.write("runtime_throughput.svg"); !status.ok()) {
@@ -154,10 +231,24 @@ int main() {
   }
   std::printf("figure written to runtime_throughput.svg\n");
 
-  if (speedup < 5.0) {
+  const double speedup_bar = relaxed ? 2.0 : 5.0;
+  if (speedup < speedup_bar) {
     std::fprintf(stderr,
-                 "FAIL: incremental speedup %.1fx below the 5x bar\n",
-                 speedup);
+                 "FAIL: incremental speedup %.1fx below the %.1fx bar\n",
+                 speedup, speedup_bar);
+    return 1;
+  }
+  // The replay stream is adversarial for warm starts: pool shocks are
+  // large enough to flip loops between profitable and profitless, and a
+  // profitless visit invalidates the cycle's slot (there is no optimum to
+  // store). The controlled small-perturbation workload in
+  // bench_solver_hotpath holds the ≥95% bar; here the bar only checks the
+  // cache engages meaningfully on realistic traffic.
+  const double hit_bar = relaxed ? 0.2 : 0.3;
+  if (convex_solves > 0 && warm_hit_rate < hit_bar) {
+    std::fprintf(stderr,
+                 "FAIL: convex stream warm hit rate %.2f below %.2f bar\n",
+                 warm_hit_rate, hit_bar);
     return 1;
   }
   return 0;

@@ -5,16 +5,102 @@
 // and writes the same rows to a CSV file next to the binary, so the
 // figures can be re-plotted externally.
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/csv.hpp"
+#include "common/stats.hpp"
 #include "core/comparison.hpp"
 #include "market/generator.hpp"
 
 namespace arb::bench {
+
+/// Robust summary of repeated timed runs (nanoseconds).
+struct Timing {
+  double median_ns = 0.0;
+  double p99_ns = 0.0;
+  double min_ns = 0.0;
+  int runs = 0;
+};
+
+/// Times \p fn with warm-up iterations (discarded: first-touch page
+/// faults, cache fill, branch training) followed by \p runs measured
+/// iterations, and summarizes with order statistics instead of a single
+/// wall-clock — medians are insensitive to the scheduler hiccups that
+/// used to make single-shot numbers jump around.
+template <typename Fn>
+Timing measure(Fn&& fn, int warmup = 5, int runs = 50) {
+  for (int i = 0; i < warmup; ++i) fn();
+  std::vector<double> ns;
+  ns.reserve(static_cast<std::size_t>(runs));
+  for (int i = 0; i < runs; ++i) {
+    const auto start = std::chrono::steady_clock::now();
+    fn();
+    ns.push_back(std::chrono::duration<double, std::nano>(
+                     std::chrono::steady_clock::now() - start)
+                     .count());
+  }
+  Timing t;
+  t.runs = runs;
+  t.min_ns = *std::min_element(ns.begin(), ns.end());
+  t.median_ns = percentile(ns, 0.50);
+  t.p99_ns = percentile(ns, 0.99);
+  return t;
+}
+
+/// Flat key→value JSON sink for machine-readable bench results (the
+/// BENCH_*.json artifacts CI uploads). Keys are written in insertion
+/// order; use dotted keys ("cold.median_ns") for grouping.
+class BenchJson {
+ public:
+  void set(const std::string& key, double value) {
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+    fields_.emplace_back(key, buffer);
+  }
+
+  void set(const std::string& key, const Timing& timing) {
+    set(key + ".median_ns", timing.median_ns);
+    set(key + ".p99_ns", timing.p99_ns);
+    set(key + ".min_ns", timing.min_ns);
+    set(key + ".runs", static_cast<double>(timing.runs));
+  }
+
+  void set_string(const std::string& key, const std::string& value) {
+    std::string escaped;
+    for (const char c : value) {
+      if (c == '"' || c == '\\') escaped.push_back('\\');
+      escaped.push_back(c);
+    }
+    fields_.emplace_back(key, "\"" + escaped + "\"");
+  }
+
+  /// Writes the object to \p path and reports the location on stdout.
+  [[nodiscard]] bool write(const std::string& path) const {
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s\n", path.c_str());
+      return false;
+    }
+    out << "{\n";
+    for (std::size_t i = 0; i < fields_.size(); ++i) {
+      out << "  \"" << fields_[i].first << "\": " << fields_[i].second;
+      if (i + 1 < fields_.size()) out << ",";
+      out << "\n";
+    }
+    out << "}\n";
+    std::printf("bench json written to %s\n", path.c_str());
+    return true;
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> fields_;  ///< rendered
+};
 
 /// Column-aligned stdout table + CSV sink.
 class FigureSink {

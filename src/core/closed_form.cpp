@@ -1,0 +1,86 @@
+#include "core/closed_form.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "amm/path.hpp"
+
+namespace arb::core {
+namespace {
+
+/// Monetized profit of the separable objective at inputs (d0, d1).
+double pair_profit(const std::vector<LoopHopData>& hops, double d0,
+                   double d1) {
+  return hops[0].price_out * hops[0].swap(d0) - hops[0].price_in * d0 +
+         hops[1].price_out * hops[1].swap(d1) - hops[1].price_in * d1;
+}
+
+bool hop_degenerate(const LoopHopData& hop) {
+  return !(hop.reserve_in > 0.0) || !(hop.reserve_out > 0.0) ||
+         !(hop.gamma > 0.0) || !(hop.price_in > 0.0) ||
+         !(hop.price_out > 0.0);
+}
+
+}  // namespace
+
+double optimal_single_hop_input(const LoopHopData& hop) {
+  // Stationarity of P_out·F(d) − P_in·d:  F'(d) = P_in/P_out with
+  // F'(d) = γ·x·y/(x + γ·d)², so (x + γ·d)² = γ·x·y·P_out/P_in.
+  const double target =
+      hop.gamma * hop.reserve_in * hop.reserve_out * hop.price_out /
+      hop.price_in;
+  if (!(target > 0.0) || !std::isfinite(target)) return 0.0;
+  const double d = (std::sqrt(target) - hop.reserve_in) / hop.gamma;
+  return std::max(0.0, d);
+}
+
+std::optional<ClosedFormSolution> solve_length2_closed_form(
+    const std::vector<LoopHopData>& hops) {
+  if (hops.size() != 2) return std::nullopt;
+  if (hop_degenerate(hops[0]) || hop_degenerate(hops[1])) return std::nullopt;
+
+  // Candidate D / baseline: the zero trade.
+  ClosedFormSolution best;
+
+  // Candidate A: per-hop unconstrained optima, valid only if the pair
+  // happens to satisfy both flow constraints.
+  {
+    const double d0 = optimal_single_hop_input(hops[0]);
+    const double d1 = optimal_single_hop_input(hops[1]);
+    if (d1 <= hops[0].swap(d0) && d0 <= hops[1].swap(d1)) {
+      const double profit = pair_profit(hops, d0, d1);
+      if (profit > best.profit_usd) {
+        best.inputs[0] = d0;
+        best.inputs[1] = d1;
+        best.profit_usd = profit;
+      }
+    }
+  }
+
+  // Candidates B and C: single-start trades via the Möbius composition,
+  // starting from token 0 and token 1 respectively.
+  for (int start = 0; start < 2; ++start) {
+    const LoopHopData& first = hops[start];
+    const LoopHopData& second = hops[1 - start];
+    const amm::MobiusCoefficients loop =
+        amm::MobiusCoefficients::identity()
+            .then_hop(first.reserve_in, first.reserve_out, first.gamma)
+            .then_hop(second.reserve_in, second.reserve_out, second.gamma);
+    const double d_first = loop.optimal_input();
+    if (!(d_first > 0.0)) continue;
+    const double d_second = first.swap(d_first);
+    const double profit =
+        first.price_in * (loop.evaluate(d_first) - d_first);
+    if (profit > best.profit_usd) {
+      best.inputs[start] = d_first;
+      best.inputs[1 - start] = d_second;
+      best.profit_usd = profit;
+    }
+  }
+
+  best.outputs[0] = hops[0].swap(best.inputs[0]);
+  best.outputs[1] = hops[1].swap(best.inputs[1]);
+  return best;
+}
+
+}  // namespace arb::core

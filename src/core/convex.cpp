@@ -1,9 +1,12 @@
 #include "core/convex.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "amm/path.hpp"
 #include "common/logging.hpp"
+#include "core/closed_form.hpp"
+#include "optim/phase1.hpp"
 
 namespace arb::core {
 namespace {
@@ -99,63 +102,215 @@ struct LoopNormalization {
   }
 };
 
+/// Projects a previous optimum back into the strict interior of the
+/// reduced feasible set after a reserve perturbation. The stored iterate
+/// typically sits ON the perturbed flow boundaries (active constraints
+/// were tight at the old optimum), so a forward pass re-establishes a
+/// strict margin: d'_{i+1} = min(d_{i+1}, (1−ε)·F_i(d'_i)). The margin
+/// is matched by the caller to the restart sharpness (≈1/t₀), keeping
+/// the start near the central path instead of wedged against the
+/// boundary. If the wrap-around constraint d_0 < F_{n−1}(d_{n−1}) ends
+/// up violated, the whole vector is scaled down geometrically: each
+/// F_i is concave through the origin, so F_i(s·d) ≥ s·F_i(d) for
+/// s ∈ (0,1] and the flow margins survive the scaling while the wrap
+/// slack grows. Returns false — caller cold-starts — when any input is
+/// non-positive or no scale restores strict wrap slack.
+bool project_interior(const std::vector<LoopHopData>& hops, math::Vector& d,
+                      double margin) {
+  const std::size_t n = hops.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!(d[i] > 0.0) || !std::isfinite(d[i])) return false;
+  }
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    const double cap = hops[i].swap(d[i]) * (1.0 - margin);
+    if (!(cap > 0.0)) return false;
+    d[i + 1] = std::min(d[i + 1], cap);
+  }
+  const auto wrap_ok = [&](double s) {
+    return s * d[0] < hops[n - 1].swap(s * d[n - 1]) * (1.0 - margin);
+  };
+  if (wrap_ok(1.0)) return true;
+  // Find the LARGEST feasible scale: any distance we give up here is
+  // tangential travel the first centering must re-earn crawling along
+  // the barrier valley, so a crude fixed back-off (e.g. 0.7) would wreck
+  // the restart far more than the wrap violation itself (~δ) warrants.
+  double lo = 0.5;
+  for (int probe = 0; probe < 40 && !wrap_ok(lo); ++probe) lo *= 0.5;
+  if (!wrap_ok(lo)) return false;
+  double hi = 1.0;
+  for (int bisect = 0; bisect < 30; ++bisect) {
+    const double mid = 0.5 * (lo + hi);
+    (wrap_ok(mid) ? lo : hi) = mid;
+  }
+  for (std::size_t i = 0; i < n; ++i) d[i] *= lo;
+  return true;
+}
+
 }  // namespace
 
 Result<ConvexSolution> solve_convex(const graph::TokenGraph& graph,
                                     const market::CexPriceFeed& prices,
                                     const graph::Cycle& cycle,
-                                    const ConvexOptions& options) {
+                                    const ConvexOptions& options,
+                                    ConvexContext& ctx) {
+  ctx.warm_hit = false;
+  ctx.used_closed_form = false;
+  // Iteration counters stay meaningful even on the analytic early-return
+  // paths below, so callers can read ctx.report after any outcome.
+  ctx.report.outer_iterations = 0;
+  ctx.report.total_newton_iterations = 0;
+
   // Theorem (Section IV): no arbitrage under MaxMax ⇒ none under Convex.
   // Detect via the loop price product and skip the solver outright.
   if (cycle.price_product(graph) <= 1.0 + options.no_arbitrage_margin) {
+    if (ctx.warm) ctx.warm->valid = false;  // zero optimum has no interior
     return zero_solution(cycle);
   }
 
   auto original_hops = make_hop_data(graph, prices, cycle);
   if (!original_hops) return original_hops.error();
-  const LoopNormalization norm = LoopNormalization::create(*original_hops);
-  const auto normalized = norm.normalize(*original_hops);
-  const Result<std::vector<LoopHopData>> hops = normalized;
-  const std::size_t n = hops->size();
+  const std::size_t n = original_hops->size();
 
-  const optim::BarrierSolver solver(options.barrier);
   ConvexSolution solution;
   solution.outcome.kind = StrategyKind::kConvexOptimization;
   solution.outcome.start_token = cycle.tokens().front();
   solution.inputs.resize(n);
   solution.outputs.resize(n);
 
+  // Analytic kernel: 2-pool loops under the reduced transcription have a
+  // closed-form optimum — no normalization, no iterations, zero gap.
+  if (!options.use_full_formulation && options.use_closed_form_length2 &&
+      n == 2) {
+    if (const auto closed = solve_length2_closed_form(*original_hops)) {
+      ctx.used_closed_form = true;
+      if (ctx.warm) ctx.warm->valid = false;  // nothing to warm-start
+      for (std::size_t i = 0; i < 2; ++i) {
+        solution.inputs[i] = closed->inputs[i];
+        solution.outputs[i] = closed->outputs[i];
+      }
+      solution.duality_gap_usd = 0.0;
+      fill_profits(*original_hops, solution.inputs, solution.outputs,
+                   solution.outcome);
+      return solution;
+    }
+  }
+
+  const LoopNormalization norm = LoopNormalization::create(*original_hops);
+  const auto hops = norm.normalize(*original_hops);
+
+  optim::BarrierOptions barrier_options = options.barrier;
+
   if (options.use_full_formulation) {
-    const FullLoopProblem problem(*hops);
-    auto start = full_interior_start(*hops);
+    const FullLoopProblem problem(hops);
+    auto start = full_interior_start(hops);
     if (!start) {
       // Profitable by price product but numerically interior-less:
       // the attainable profit is indistinguishable from zero.
       return zero_solution(cycle);
     }
-    auto report = solver.solve(problem, *start);
-    if (!report) return report.error();
+    const optim::BarrierSolver solver(barrier_options);
+    auto status = solver.solve_into(problem, *start, ctx.workspace, ctx.report);
+    if (!status) return status.error();
     for (std::size_t i = 0; i < n; ++i) {
-      solution.inputs[i] = std::max(0.0, report->x[i]);
-      solution.outputs[i] = std::max(0.0, report->x[n + i]);
+      solution.inputs[i] = std::max(0.0, ctx.report.x[i]);
+      solution.outputs[i] = std::max(0.0, ctx.report.x[n + i]);
     }
-    solution.duality_gap_usd = report->duality_gap;
-    solution.outcome.solver_iterations = report->total_newton_iterations;
   } else {
-    const ReducedLoopProblem problem(*hops);
-    auto start = reduced_interior_start(*hops);
-    if (!start) {
-      return zero_solution(cycle);
+    const ReducedLoopProblem problem(hops);
+
+    // Warm start: re-express the previous optimum (raw token units) in
+    // this solve's normalization and push it strictly inside the
+    // perturbed feasible set. The restart sharpness certifies a gap of
+    // warm_restart_gap — matching the O(δ²) suboptimality the projected
+    // iterate actually has after a δ-perturbation — so the barrier skips
+    // most of the μ-climb without wedging the first centering against
+    // the moved boundary. The interior margin tracks 1/t₀ (central-path
+    // slack at the restart sharpness).
+    bool warm_used = false;
+    math::Vector& start_point = ctx.workspace.candidate;
+    if (ctx.warm && ctx.warm->valid && ctx.warm->x.size() == n) {
+      const double restart_t = std::max(
+          options.barrier.initial_t,
+          std::min(static_cast<double>(problem.num_inequalities()) /
+                       options.warm_restart_gap,
+                   ctx.warm->t / options.barrier.mu));
+      const double margin = std::clamp(1.0 / restart_t, 1e-9, 1e-3);
+      start_point.resize(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        start_point[i] = ctx.warm->x[i] / norm.token_unit[i];
+      }
+      const bool proj = project_interior(hops, start_point, margin);
+      const bool feas = proj && problem.strictly_feasible(start_point);
+      if (feas) {
+        warm_used = true;
+        barrier_options.initial_t = restart_t;
+        barrier_options.gap_tolerance = std::max(
+            options.barrier.gap_tolerance, options.warm_gap_tolerance);
+        barrier_options.mu = std::max(options.barrier.mu, options.warm_mu);
+      }
     }
-    auto report = solver.solve(problem, *start);
-    if (!report) return report.error();
+    if (!warm_used) {
+      auto start = reduced_interior_start(hops);
+      if (start) {
+        start_point = *start;
+      } else {
+        // Analytic interior construction failed although the price
+        // product says an interior exists — let phase-I search for one
+        // before declaring the loop profitless.
+        optim::Phase1Options phase1;
+        phase1.barrier = options.barrier;
+        auto found = optim::find_strictly_feasible(
+            problem, math::Vector(n, 0.0), phase1, ctx.workspace);
+        if (!found || !problem.strictly_feasible(*found)) {
+          if (ctx.warm) ctx.warm->valid = false;
+          return zero_solution(cycle);
+        }
+        start_point = *found;
+      }
+    }
+
+    const optim::BarrierSolver solver(barrier_options);
+    auto status =
+        solver.solve_into(problem, start_point, ctx.workspace, ctx.report);
+    if (warm_used && (!status || !ctx.report.centerings_converged)) {
+      // The projected warm iterate can sit close enough to the perturbed
+      // boundary that centering breaks down — either as a hard numeric
+      // failure or as inner Newton stalls that silently invalidate the
+      // m/t certificate. Both cases retry cold.
+      warm_used = false;
+      auto start = reduced_interior_start(hops);
+      if (!start) {
+        if (ctx.warm) ctx.warm->valid = false;
+        return zero_solution(cycle);
+      }
+      barrier_options.initial_t = options.barrier.initial_t;
+      barrier_options.gap_tolerance = options.barrier.gap_tolerance;
+      barrier_options.mu = options.barrier.mu;
+      const optim::BarrierSolver cold_solver(barrier_options);
+      status = cold_solver.solve_into(problem, *start, ctx.workspace,
+                                      ctx.report);
+    }
+    if (!status) return status.error();
+    ctx.warm_hit = warm_used;
+
     for (std::size_t i = 0; i < n; ++i) {
-      solution.inputs[i] = std::max(0.0, report->x[i]);
-      solution.outputs[i] = (*hops)[i].swap(solution.inputs[i]);
+      solution.inputs[i] = std::max(0.0, ctx.report.x[i]);
+      solution.outputs[i] = hops[i].swap(solution.inputs[i]);
     }
-    solution.duality_gap_usd = report->duality_gap;
-    solution.outcome.solver_iterations = report->total_newton_iterations;
+
+    // Refresh the warm slot with this solve's terminal state, in raw
+    // token units so the cache survives the next re-normalization.
+    if (ctx.warm) {
+      ctx.warm->x.resize(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        ctx.warm->x[i] = ctx.report.x[i] * norm.token_unit[i];
+      }
+      ctx.warm->t = ctx.report.final_t;
+      ctx.warm->valid = true;
+    }
   }
+  solution.duality_gap_usd = ctx.report.duality_gap;
+  solution.outcome.solver_iterations = ctx.report.total_newton_iterations;
 
   // Back to the caller's token units and USD.
   for (std::size_t i = 0; i < n; ++i) {
@@ -170,6 +325,14 @@ Result<ConvexSolution> solve_convex(const graph::TokenGraph& graph,
                                          << " gap $"
                                          << solution.duality_gap_usd);
   return solution;
+}
+
+Result<ConvexSolution> solve_convex(const graph::TokenGraph& graph,
+                                    const market::CexPriceFeed& prices,
+                                    const graph::Cycle& cycle,
+                                    const ConvexOptions& options) {
+  ConvexContext ctx;
+  return solve_convex(graph, prices, cycle, options, ctx);
 }
 
 Result<StrategyOutcome> evaluate_convex(const graph::TokenGraph& graph,

@@ -13,6 +13,7 @@
 #include "graph/token_graph.hpp"
 #include "market/price_feed.hpp"
 #include "optim/barrier_solver.hpp"
+#include "optim/workspace.hpp"
 
 namespace arb::core {
 
@@ -24,10 +25,62 @@ struct ConvexOptions {
   /// eq. (8). Both reach the same optimum (tested).
   bool use_full_formulation = false;
 
+  /// Length-2 loops under the reduced transcription are solved by the
+  /// analytic active-set kernel (core/closed_form.hpp) instead of the
+  /// barrier solver. Agrees with the barrier optimum to ≤1e-9 relative
+  /// (tested); turn off to force the iterative path.
+  bool use_closed_form_length2 = true;
+
   /// Loops whose price product is within this margin of 1 are declared
   /// profitless without invoking the solver (Section IV theorem: when
   /// MaxMax finds nothing, Convex finds nothing).
   double no_arbitrage_margin = 1e-12;
+
+  /// Barrier sharpness for warm restarts, expressed as the duality gap
+  /// (normalized profit units) the restart t certifies: t₀ = m / gap.
+  /// After a reserve perturbation of relative size δ the old optimum is
+  /// O(δ²) suboptimal, so resuming sharper than this wedges the first
+  /// centering against the perturbed boundary (Newton crawls and the m/t
+  /// certificate goes stale). 1e-3 absorbs reserve moves up to a few
+  /// percent while still skipping the low-t climb; the restart t is
+  /// additionally capped at one μ-step below the previous terminal
+  /// sharpness and floored at barrier.initial_t.
+  double warm_restart_gap = 1e-3;
+
+  /// Gap tolerance for warm-started solves (normalized units: relative
+  /// to the loop's profit scale). The cold certificate chases
+  /// barrier.gap_tolerance (1e-9); a warm resume stops its μ-climb at
+  /// this looser — still economically irrelevant — gap, saving the last
+  /// few outer iterations. Never tighter than barrier.gap_tolerance.
+  double warm_gap_tolerance = 1e-6;
+
+  /// Outer μ for warm resumes. A cold climb keeps μ moderate because an
+  /// off-center iterate at freshly-raised t makes centerings expensive;
+  /// a warm resume starts next to the optimum, so each centering lands
+  /// in a few Newton steps even across 100x jumps in sharpness.
+  double warm_mu = 1000.0;
+};
+
+/// Per-thread reusable solver state for solve_convex, plus the optional
+/// warm-start hook. A context may be reused across cycles of any length;
+/// buffers grow to the largest problem seen and then stay put, so a
+/// steady-state barrier solve allocates nothing.
+struct ConvexContext {
+  optim::SolveWorkspace workspace;
+  optim::BarrierReport report;
+
+  /// Optional per-cycle warm-start slot owned by the caller (the
+  /// streaming runtime keeps one per tracked cycle). When valid, the
+  /// previous optimum — stored in RAW token units so it survives
+  /// re-normalization — is projected back into the strict interior and
+  /// the barrier restarts at a sharpness near the previous final t.
+  /// On exit the slot is refreshed with this solve's terminal state.
+  /// Null: always cold-start.
+  optim::WarmStart* warm = nullptr;
+
+  // Per-solve outputs (valid after solve_convex returns).
+  bool warm_hit = false;          ///< warm iterate accepted this solve
+  bool used_closed_form = false;  ///< length-2 kernel bypassed the solver
 };
 
 /// Solution detail beyond the common StrategyOutcome.
@@ -46,6 +99,14 @@ struct ConvexSolution {
 [[nodiscard]] Result<ConvexSolution> solve_convex(
     const graph::TokenGraph& graph, const market::CexPriceFeed& prices,
     const graph::Cycle& cycle, const ConvexOptions& options = {});
+
+/// Context variant: identical numerics when ctx.warm is null (the
+/// plain overload delegates here with a fresh context); with a valid
+/// warm slot the solve may start from the previous optimum.
+[[nodiscard]] Result<ConvexSolution> solve_convex(
+    const graph::TokenGraph& graph, const market::CexPriceFeed& prices,
+    const graph::Cycle& cycle, const ConvexOptions& options,
+    ConvexContext& ctx);
 
 /// Convenience wrapper returning only the StrategyOutcome.
 [[nodiscard]] Result<StrategyOutcome> evaluate_convex(

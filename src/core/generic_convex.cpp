@@ -15,25 +15,28 @@ namespace {
 /// only the wrap constraint swap_{n−1}(d_{n−1}) ≥ s couples coordinates.
 struct GenericChain {
   const std::vector<GenericHop>& hops;
+  /// Forward-pass scratch: refilled on every inputs() call so the sweep's
+  /// many profit/wrap evaluations reuse one buffer instead of allocating.
+  mutable std::vector<double> scratch;
 
-  [[nodiscard]] std::vector<double> inputs(double s,
-                                           const std::vector<double>& rho) const {
-    std::vector<double> d(hops.size());
-    d[0] = s;
+  [[nodiscard]] const std::vector<double>& inputs(
+      double s, const std::vector<double>& rho) const {
+    scratch.resize(hops.size());
+    scratch[0] = s;
     for (std::size_t i = 1; i < hops.size(); ++i) {
-      d[i] = rho[i - 1] * hops[i - 1].swap(d[i - 1]);
+      scratch[i] = rho[i - 1] * hops[i - 1].swap(scratch[i - 1]);
     }
-    return d;
+    return scratch;
   }
 
   [[nodiscard]] double wrap_output(double s,
                                    const std::vector<double>& rho) const {
-    const std::vector<double> d = inputs(s, rho);
+    const std::vector<double>& d = inputs(s, rho);
     return hops.back().swap(d.back());
   }
 
   [[nodiscard]] double profit(double s, const std::vector<double>& rho) const {
-    const std::vector<double> d = inputs(s, rho);
+    const std::vector<double>& d = inputs(s, rho);
     double usd = hops[0].price_in * (hops.back().swap(d.back()) - s);
     for (std::size_t i = 1; i < hops.size(); ++i) {
       usd += hops[i].price_in * (1.0 - rho[i - 1]) *
@@ -94,7 +97,7 @@ GenericConvexReport solve_anchored(const std::vector<GenericHop>& hops,
     return report;
   }
 
-  const GenericChain chain{hops};
+  const GenericChain chain{hops, {}};
   double s = seed->input;
   std::vector<double> rho(n - 1, 1.0);
   double best = chain.profit(s, rho);
@@ -105,12 +108,19 @@ GenericConvexReport solve_anchored(const std::vector<GenericHop>& hops,
   math::ScalarSolveOptions rho_line;
   rho_line.x_tolerance = options.coordinate.line_tolerance;
 
+  // Candidate buffers reused across the many line-search evaluations
+  // below (rho_comp is nested inside evaluations that use rho_eval, so
+  // the two must stay distinct).
+  std::vector<double> rho_eval(n - 1);
+  std::vector<double> rho_comp(n - 1);
+
   const auto compensated_profit = [&](double s_value,
-                                      std::vector<double> rho_value,
+                                      const std::vector<double>& rho_value,
                                       std::size_t comp) {
+    rho_comp = rho_value;
     const auto slack = [&](double v) {
-      rho_value[comp] = v;
-      return chain.wrap_output(s_value, rho_value) - s_value;
+      rho_comp[comp] = v;
+      return chain.wrap_output(s_value, rho_comp) - s_value;
     };
     if (slack(1.0) < 0.0) {
       return -std::numeric_limits<double>::infinity();
@@ -118,17 +128,17 @@ GenericConvexReport solve_anchored(const std::vector<GenericHop>& hops,
     if (slack(0.0) < 0.0) {
       auto root = math::bisect_root([&](double v) { return slack(v); },
                                     0.0, 1.0);
-      rho_value[comp] = root.ok() ? root->x : 1.0;
+      rho_comp[comp] = root.ok() ? root->x : 1.0;
     } else {
-      rho_value[comp] = 0.0;
+      rho_comp[comp] = 0.0;
     }
-    return chain.profit(s_value, rho_value);
+    return chain.profit(s_value, rho_comp);
   };
   const auto resolve_comp = [&](std::size_t comp) {
     const auto slack = [&](double v) {
-      std::vector<double> candidate = rho;
-      candidate[comp] = v;
-      return chain.wrap_output(s, candidate) - s;
+      rho_eval = rho;
+      rho_eval[comp] = v;
+      return chain.wrap_output(s, rho_eval) - s;
     };
     if (slack(0.0) < 0.0) {
       auto root = math::bisect_root(slack, 0.0, 1.0);
@@ -154,9 +164,9 @@ GenericConvexReport solve_anchored(const std::vector<GenericHop>& hops,
     for (std::size_t i = 0; i < n - 1; ++i) {
       const double lo = min_feasible_rho(chain, s, rho, i);
       const auto objective = [&](double v) {
-        std::vector<double> candidate = rho;
-        candidate[i] = v;
-        return chain.profit(s, candidate);
+        rho_eval = rho;
+        rho_eval[i] = v;
+        return chain.profit(s, rho_eval);
       };
       const auto peak =
           math::golden_section_maximize(objective, lo, 1.0, rho_line);
@@ -181,9 +191,9 @@ GenericConvexReport solve_anchored(const std::vector<GenericHop>& hops,
       for (std::size_t i = 0; i < n - 1; ++i) {
         if (i == comp) continue;
         const auto objective = [&](double v) {
-          std::vector<double> candidate = rho;
-          candidate[i] = v;
-          return compensated_profit(s, candidate, comp);
+          rho_eval = rho;
+          rho_eval[i] = v;
+          return compensated_profit(s, rho_eval, comp);
         };
         const auto peak =
             math::golden_section_maximize(objective, 0.0, 1.0, rho_line);

@@ -72,21 +72,33 @@ double ReducedLoopProblem::objective(const math::Vector& d) const {
 
 math::Vector ReducedLoopProblem::objective_gradient(
     const math::Vector& d) const {
-  math::Vector grad(hops_.size());
-  for (std::size_t i = 0; i < hops_.size(); ++i) {
-    grad[i] = -(hops_[i].price_out * hops_[i].swap_deriv(d[i]) -
-                hops_[i].price_in);
-  }
+  math::Vector grad;
+  objective_gradient_into(d, grad);
   return grad;
 }
 
 math::Matrix ReducedLoopProblem::objective_hessian(
     const math::Vector& d) const {
-  math::Matrix hess(hops_.size(), hops_.size());
+  math::Matrix hess;
+  objective_hessian_into(d, hess);
+  return hess;
+}
+
+void ReducedLoopProblem::objective_gradient_into(const math::Vector& d,
+                                                 math::Vector& grad) const {
+  grad.assign(hops_.size(), 0.0);
+  for (std::size_t i = 0; i < hops_.size(); ++i) {
+    grad[i] = -(hops_[i].price_out * hops_[i].swap_deriv(d[i]) -
+                hops_[i].price_in);
+  }
+}
+
+void ReducedLoopProblem::objective_hessian_into(const math::Vector& d,
+                                                math::Matrix& hess) const {
+  hess.assign(hops_.size(), hops_.size(), 0.0);
   for (std::size_t i = 0; i < hops_.size(); ++i) {
     hess(i, i) = -hops_[i].price_out * hops_[i].swap_deriv2(d[i]);
   }
-  return hess;
 }
 
 double ReducedLoopProblem::constraint(std::size_t i,
@@ -102,27 +114,41 @@ double ReducedLoopProblem::constraint(std::size_t i,
 
 math::Vector ReducedLoopProblem::constraint_gradient(
     std::size_t i, const math::Vector& d) const {
-  const std::size_t n = hops_.size();
-  math::Vector grad(n);
-  if (i < n) {
-    grad[i] = -1.0;
-    return grad;
-  }
-  const std::size_t k = i - n;
-  grad[(k + 1) % n] += 1.0;
-  grad[k] -= hops_[k].swap_deriv(d[k]);
+  math::Vector grad;
+  constraint_gradient_into(i, d, grad);
   return grad;
 }
 
 math::Matrix ReducedLoopProblem::constraint_hessian(
     std::size_t i, const math::Vector& d) const {
+  math::Matrix hess;
+  constraint_hessian_into(i, d, hess);
+  return hess;
+}
+
+void ReducedLoopProblem::constraint_gradient_into(std::size_t i,
+                                                  const math::Vector& d,
+                                                  math::Vector& grad) const {
   const std::size_t n = hops_.size();
-  math::Matrix hess(n, n);
+  grad.assign(n, 0.0);
+  if (i < n) {
+    grad[i] = -1.0;
+    return;
+  }
+  const std::size_t k = i - n;
+  grad[(k + 1) % n] += 1.0;
+  grad[k] -= hops_[k].swap_deriv(d[k]);
+}
+
+void ReducedLoopProblem::constraint_hessian_into(std::size_t i,
+                                                 const math::Vector& d,
+                                                 math::Matrix& hess) const {
+  const std::size_t n = hops_.size();
+  hess.assign(n, n, 0.0);
   if (i >= n) {
     const std::size_t k = i - n;
     hess(k, k) = -hops_[k].swap_deriv2(d[k]);
   }
-  return hess;
 }
 
 // ---------------------------------------------------------------------------
@@ -146,19 +172,32 @@ double FullLoopProblem::objective(const math::Vector& z) const {
 }
 
 math::Vector FullLoopProblem::objective_gradient(const math::Vector& z) const {
-  const std::size_t n = hops_.size();
-  ARB_REQUIRE(z.size() == 2 * n, "dimension mismatch");
-  math::Vector grad(2 * n);
-  for (std::size_t i = 0; i < n; ++i) {
-    grad[n + i] += -hops_[i].price_out;     // d/d out_i
-    grad[(i + 1) % n] += hops_[i].price_out;  // d/d in_{i+1}
-  }
+  math::Vector grad;
+  objective_gradient_into(z, grad);
   return grad;
 }
 
 math::Matrix FullLoopProblem::objective_hessian(const math::Vector& z) const {
+  math::Matrix hess;
+  objective_hessian_into(z, hess);
+  return hess;
+}
+
+void FullLoopProblem::objective_gradient_into(const math::Vector& z,
+                                              math::Vector& grad) const {
+  const std::size_t n = hops_.size();
+  ARB_REQUIRE(z.size() == 2 * n, "dimension mismatch");
+  grad.assign(2 * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    grad[n + i] += -hops_[i].price_out;     // d/d out_i
+    grad[(i + 1) % n] += hops_[i].price_out;  // d/d in_{i+1}
+  }
+}
+
+void FullLoopProblem::objective_hessian_into(const math::Vector& z,
+                                             math::Matrix& hess) const {
   ARB_REQUIRE(z.size() == 2 * hops_.size(), "dimension mismatch");
-  return math::Matrix(2 * hops_.size(), 2 * hops_.size());  // linear objective
+  hess.assign(2 * hops_.size(), 2 * hops_.size(), 0.0);  // linear objective
 }
 
 double FullLoopProblem::constraint(std::size_t i, const math::Vector& z) const {
@@ -177,33 +216,47 @@ double FullLoopProblem::constraint(std::size_t i, const math::Vector& z) const {
 
 math::Vector FullLoopProblem::constraint_gradient(std::size_t i,
                                                   const math::Vector& z) const {
-  const std::size_t n = hops_.size();
-  math::Vector grad(2 * n);
-  if (i < n) {
-    grad[i] = -1.0;
-    return grad;
-  }
-  if (i < 2 * n) {
-    const std::size_t k = i - n;
-    grad[n + k] = 1.0;
-    grad[k] = -hops_[k].swap_deriv(z[k]);
-    return grad;
-  }
-  const std::size_t k = i - 2 * n;
-  grad[(k + 1) % n] += 1.0;
-  grad[n + k] -= 1.0;
+  math::Vector grad;
+  constraint_gradient_into(i, z, grad);
   return grad;
 }
 
 math::Matrix FullLoopProblem::constraint_hessian(std::size_t i,
                                                  const math::Vector& z) const {
+  math::Matrix hess;
+  constraint_hessian_into(i, z, hess);
+  return hess;
+}
+
+void FullLoopProblem::constraint_gradient_into(std::size_t i,
+                                               const math::Vector& z,
+                                               math::Vector& grad) const {
   const std::size_t n = hops_.size();
-  math::Matrix hess(2 * n, 2 * n);
+  grad.assign(2 * n, 0.0);
+  if (i < n) {
+    grad[i] = -1.0;
+    return;
+  }
+  if (i < 2 * n) {
+    const std::size_t k = i - n;
+    grad[n + k] = 1.0;
+    grad[k] = -hops_[k].swap_deriv(z[k]);
+    return;
+  }
+  const std::size_t k = i - 2 * n;
+  grad[(k + 1) % n] += 1.0;
+  grad[n + k] -= 1.0;
+}
+
+void FullLoopProblem::constraint_hessian_into(std::size_t i,
+                                              const math::Vector& z,
+                                              math::Matrix& hess) const {
+  const std::size_t n = hops_.size();
+  hess.assign(2 * n, 2 * n, 0.0);
   if (i >= n && i < 2 * n) {
     const std::size_t k = i - n;
     hess(k, k) = -hops_[k].swap_deriv2(z[k]);
   }
-  return hess;
 }
 
 // ---------------------------------------------------------------------------

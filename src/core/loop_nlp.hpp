@@ -78,6 +78,16 @@ class ReducedLoopProblem final : public optim::NlpProblem {
   [[nodiscard]] math::Matrix constraint_hessian(
       std::size_t i, const math::Vector& d) const override;
 
+  // Allocation-free variants used by the solver fast path.
+  void objective_gradient_into(const math::Vector& d,
+                               math::Vector& grad) const override;
+  void objective_hessian_into(const math::Vector& d,
+                              math::Matrix& hess) const override;
+  void constraint_gradient_into(std::size_t i, const math::Vector& d,
+                                math::Vector& grad) const override;
+  void constraint_hessian_into(std::size_t i, const math::Vector& d,
+                               math::Matrix& hess) const override;
+
   [[nodiscard]] const std::vector<LoopHopData>& hops() const { return hops_; }
 
   /// Monetized profit (positive sign) at inputs d.
@@ -112,6 +122,16 @@ class FullLoopProblem final : public optim::NlpProblem {
       std::size_t i, const math::Vector& z) const override;
   [[nodiscard]] math::Matrix constraint_hessian(
       std::size_t i, const math::Vector& z) const override;
+
+  // Allocation-free variants used by the solver fast path.
+  void objective_gradient_into(const math::Vector& z,
+                               math::Vector& grad) const override;
+  void objective_hessian_into(const math::Vector& z,
+                              math::Matrix& hess) const override;
+  void constraint_gradient_into(std::size_t i, const math::Vector& z,
+                                math::Vector& grad) const override;
+  void constraint_hessian_into(std::size_t i, const math::Vector& z,
+                               math::Matrix& hess) const override;
 
   [[nodiscard]] const std::vector<LoopHopData>& hops() const { return hops_; }
   [[nodiscard]] double profit_usd(const math::Vector& z) const {

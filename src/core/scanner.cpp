@@ -14,10 +14,24 @@ namespace arb::core {
 Result<std::optional<Opportunity>> evaluate_opportunity(
     const graph::TokenGraph& graph, const market::CexPriceFeed& prices,
     const graph::Cycle& loop, const ScannerConfig& config) {
+  ConvexContext ctx;
+  return evaluate_opportunity(graph, prices, loop, config, ctx);
+}
+
+Result<std::optional<Opportunity>> evaluate_opportunity(
+    const graph::TokenGraph& graph, const market::CexPriceFeed& prices,
+    const graph::Cycle& loop, const ScannerConfig& config,
+    ConvexContext& ctx) {
   Opportunity opportunity(loop);
 
   if (config.strategy == StrategyKind::kConvexOptimization) {
-    auto solution = solve_convex(graph, prices, loop, config.options.convex);
+    // Warm-starting is opt-in via the config flag; a caller-provided warm
+    // slot is ignored (not cleared) when the flag is off.
+    optim::WarmStart* warm = ctx.warm;
+    if (!config.convex_warm_start) ctx.warm = nullptr;
+    auto solution =
+        solve_convex(graph, prices, loop, config.options.convex, ctx);
+    ctx.warm = warm;
     if (!solution) return solution.error();
     opportunity.outcome = solution->outcome;
     auto plan = plan_from_convex(graph, loop, *solution);

@@ -12,6 +12,7 @@
 #include "common/result.hpp"
 #include "core/analysis.hpp"
 #include "core/comparison.hpp"
+#include "core/convex.hpp"
 #include "core/gas.hpp"
 #include "core/plan.hpp"
 
@@ -28,6 +29,11 @@ struct ScannerConfig {
   /// When set, profits are netted against bundle cost and ranking uses
   /// the net value.
   std::optional<GasModel> gas;
+  /// Convex strategy only: let the streaming runtime warm-start each
+  /// cycle's barrier solve from its previous optimum (see ConvexContext).
+  /// Off by default so batch scans and differential tests stay on the
+  /// single cold-start arithmetic path.
+  bool convex_warm_start = false;
   ComparisonOptions options;
 };
 
@@ -52,6 +58,15 @@ struct Opportunity {
 [[nodiscard]] Result<std::optional<Opportunity>> evaluate_opportunity(
     const graph::TokenGraph& graph, const market::CexPriceFeed& prices,
     const graph::Cycle& loop, const ScannerConfig& config);
+
+/// Context variant: the convex strategy reuses ctx's workspace across
+/// calls (and, when ctx.warm is set and config.convex_warm_start is on,
+/// warm-starts the barrier solve). Numerically identical to the plain
+/// overload when warm-starting is off or misses.
+[[nodiscard]] Result<std::optional<Opportunity>> evaluate_opportunity(
+    const graph::TokenGraph& graph, const market::CexPriceFeed& prices,
+    const graph::Cycle& loop, const ScannerConfig& config,
+    ConvexContext& ctx);
 
 /// Strict total order used to rank opportunities: net profit descending,
 /// ties broken by the cycle's canonical rotation key. Because no two

@@ -1,0 +1,10 @@
+#include "math/alloc_stats.hpp"
+
+namespace arb::math::detail {
+
+std::atomic<std::uint64_t>& allocation_counter() {
+  static std::atomic<std::uint64_t> counter{0};
+  return counter;
+}
+
+}  // namespace arb::math::detail

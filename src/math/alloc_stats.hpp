@@ -1,0 +1,61 @@
+#pragma once
+
+/// \file alloc_stats.hpp
+/// Heap-allocation instrumentation for the math layer. Every buffer
+/// acquisition made by math::Vector / math::Matrix (construction, growth
+/// past capacity, copies) bumps a process-wide counter, so tests and
+/// benches can assert that a steady-state solver path performs zero heap
+/// allocations. The counter is a single relaxed atomic increment taken
+/// only when the underlying std::vector actually calls allocate(), i.e.
+/// its cost is negligible next to the allocation it observes.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace arb::math {
+
+namespace detail {
+std::atomic<std::uint64_t>& allocation_counter();
+}  // namespace detail
+
+/// Number of math-layer heap allocations since process start (or the
+/// last reset). Monotone except for reset_allocation_count().
+[[nodiscard]] inline std::uint64_t allocation_count() {
+  return detail::allocation_counter().load(std::memory_order_relaxed);
+}
+
+inline void reset_allocation_count() {
+  detail::allocation_counter().store(0, std::memory_order_relaxed);
+}
+
+namespace detail {
+
+/// std::allocator<T> that counts successful allocations. Equality
+/// semantics are those of the stateless std::allocator, so containers
+/// propagate/swap it freely.
+template <typename T>
+struct CountingAllocator {
+  using value_type = T;
+
+  CountingAllocator() = default;
+  template <typename U>
+  CountingAllocator(const CountingAllocator<U>&) {}  // NOLINT(implicit)
+
+  [[nodiscard]] T* allocate(std::size_t n) {
+    T* p = std::allocator<T>{}.allocate(n);
+    allocation_counter().fetch_add(1, std::memory_order_relaxed);
+    return p;
+  }
+  void deallocate(T* p, std::size_t n) {
+    std::allocator<T>{}.deallocate(p, n);
+  }
+
+  friend bool operator==(const CountingAllocator&, const CountingAllocator&) {
+    return true;
+  }
+};
+
+}  // namespace detail
+
+}  // namespace arb::math

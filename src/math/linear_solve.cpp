@@ -6,17 +6,20 @@
 
 namespace arb::math {
 
-Result<Matrix> cholesky_factor(const Matrix& a) {
-  ARB_REQUIRE(a.rows() == a.cols(), "Cholesky requires square matrix");
+namespace {
+
+/// Core Cholesky kernel. Returns the pivot index at which the matrix
+/// failed to be positive definite, or a negative value on success.
+/// Error-object construction is kept out of this kernel so the
+/// regularized retry loop stays allocation-free on the happy path.
+long cholesky_factor_kernel(const Matrix& a, Matrix& l) {
   const std::size_t n = a.rows();
-  Matrix l(n, n);
+  l.assign(n, n, 0.0);
   for (std::size_t j = 0; j < n; ++j) {
     double diag = a(j, j);
     for (std::size_t k = 0; k < j; ++k) diag -= l(j, k) * l(j, k);
     if (!(diag > 0.0) || !std::isfinite(diag)) {
-      return make_error(ErrorCode::kNumericFailure,
-                        "matrix not positive definite at pivot " +
-                            std::to_string(j));
+      return static_cast<long>(j);
     }
     l(j, j) = std::sqrt(diag);
     for (std::size_t i = j + 1; i < n; ++i) {
@@ -25,31 +28,62 @@ Result<Matrix> cholesky_factor(const Matrix& a) {
       l(i, j) = acc / l(j, j);
     }
   }
-  return l;
+  return -1;
 }
 
-Result<Vector> cholesky_solve(const Matrix& a, const Vector& b) {
-  ARB_REQUIRE(a.rows() == b.size(), "shape mismatch in cholesky_solve");
-  auto factor = cholesky_factor(a);
-  if (!factor) return factor.error();
-  const Matrix& l = *factor;
+/// Forward + back substitution with the factor from the kernel above.
+void cholesky_substitute(const Matrix& l, const Vector& b, Vector& x,
+                         Vector& y) {
   const std::size_t n = b.size();
-
-  // Forward substitution: L y = b.
-  Vector y(n);
+  y.resize(n);
   for (std::size_t i = 0; i < n; ++i) {
     double acc = b[i];
     for (std::size_t k = 0; k < i; ++k) acc -= l(i, k) * y[k];
     y[i] = acc / l(i, i);
   }
-  // Back substitution: Lᵀ x = y.
-  Vector x(n);
+  x.resize(n);
   for (std::size_t ii = n; ii > 0; --ii) {
     const std::size_t i = ii - 1;
     double acc = y[i];
     for (std::size_t k = i + 1; k < n; ++k) acc -= l(k, i) * x[k];
     x[i] = acc / l(i, i);
   }
+}
+
+}  // namespace
+
+Status cholesky_factor_into(const Matrix& a, Matrix& l) {
+  ARB_REQUIRE(a.rows() == a.cols(), "Cholesky requires square matrix");
+  const long bad_pivot = cholesky_factor_kernel(a, l);
+  if (bad_pivot >= 0) {
+    return make_error(ErrorCode::kNumericFailure,
+                      "matrix not positive definite at pivot " +
+                          std::to_string(bad_pivot));
+  }
+  return Status::success();
+}
+
+Result<Matrix> cholesky_factor(const Matrix& a) {
+  Matrix l;
+  auto status = cholesky_factor_into(a, l);
+  if (!status) return status.error();
+  return l;
+}
+
+Status cholesky_solve_into(const Matrix& a, const Vector& b, Vector& x,
+                           LinearSolveScratch& scratch) {
+  ARB_REQUIRE(a.rows() == b.size(), "shape mismatch in cholesky_solve");
+  auto factored = cholesky_factor_into(a, scratch.factor);
+  if (!factored) return factored;
+  cholesky_substitute(scratch.factor, b, x, scratch.y);
+  return Status::success();
+}
+
+Result<Vector> cholesky_solve(const Matrix& a, const Vector& b) {
+  LinearSolveScratch scratch;
+  Vector x;
+  auto status = cholesky_solve_into(a, b, x, scratch);
+  if (!status) return status.error();
   return x;
 }
 
@@ -101,10 +135,14 @@ Result<Vector> lu_solve(const Matrix& a, const Vector& b) {
   return x;
 }
 
-Result<Vector> regularized_spd_solve(const Matrix& a, const Vector& b,
-                                     double initial_tau, int max_attempts) {
-  auto direct = cholesky_solve(a, b);
-  if (direct) return direct;
+Status regularized_spd_solve_into(const Matrix& a, const Vector& b, Vector& x,
+                                  LinearSolveScratch& scratch,
+                                  double initial_tau, int max_attempts) {
+  ARB_REQUIRE(a.rows() == b.size(), "shape mismatch in regularized_spd_solve");
+  if (cholesky_factor_kernel(a, scratch.factor) < 0) {
+    cholesky_substitute(scratch.factor, b, x, scratch.y);
+    return Status::success();
+  }
   // Scale the shift to the matrix: an absolute tau is meaningless when
   // diagonal entries are 1e20 (barrier Hessians at large t) or 1e-12.
   double diag_scale = 0.0;
@@ -114,10 +152,12 @@ Result<Vector> regularized_spd_solve(const Matrix& a, const Vector& b,
   if (!(diag_scale > 0.0) || !std::isfinite(diag_scale)) diag_scale = 1.0;
   double tau = initial_tau * diag_scale;
   for (int attempt = 0; attempt < max_attempts; ++attempt) {
-    Matrix shifted = a;
-    for (std::size_t i = 0; i < a.rows(); ++i) shifted(i, i) += tau;
-    auto solved = cholesky_solve(shifted, b);
-    if (solved) return solved;
+    scratch.shifted = a;
+    for (std::size_t i = 0; i < a.rows(); ++i) scratch.shifted(i, i) += tau;
+    if (cholesky_factor_kernel(scratch.shifted, scratch.factor) < 0) {
+      cholesky_substitute(scratch.factor, b, x, scratch.y);
+      return Status::success();
+    }
     tau *= 10.0;
   }
   return make_error(ErrorCode::kNumericFailure,
@@ -125,6 +165,16 @@ Result<Vector> regularized_spd_solve(const Matrix& a, const Vector& b,
                         std::to_string(initial_tau) + " * 10^" +
                         std::to_string(max_attempts) + " * diag " +
                         std::to_string(diag_scale));
+}
+
+Result<Vector> regularized_spd_solve(const Matrix& a, const Vector& b,
+                                     double initial_tau, int max_attempts) {
+  LinearSolveScratch scratch;
+  Vector x;
+  auto status =
+      regularized_spd_solve_into(a, b, x, scratch, initial_tau, max_attempts);
+  if (!status) return status.error();
+  return x;
 }
 
 }  // namespace arb::math

@@ -32,4 +32,38 @@ namespace arb::math {
                                                    double initial_tau = 1e-10,
                                                    int max_attempts = 20);
 
+/// Reusable buffers for the in-place solver variants below. Once the
+/// buffers have grown to the largest problem size they are reused verbatim,
+/// so repeated solves of same-or-smaller systems perform no allocations.
+struct LinearSolveScratch {
+  Matrix factor;   ///< Cholesky factor L.
+  Matrix shifted;  ///< A + τI copy for the regularized fallback.
+  Vector y;        ///< Forward-substitution intermediate.
+
+  /// Pre-grows every buffer for systems of dimension ≤ n.
+  void reserve(std::size_t n) {
+    factor.reserve(n, n);
+    shifted.reserve(n, n);
+    y.reserve(n);
+  }
+};
+
+/// Cholesky factorization writing L into \p l (reshaped as needed,
+/// capacity-preserving). Allocation-free once \p l has capacity n².
+[[nodiscard]] Status cholesky_factor_into(const Matrix& a, Matrix& l);
+
+/// Solves A x = b via Cholesky using preallocated buffers. \p x may alias
+/// \p b is NOT supported; \p x is reshaped to b.size().
+[[nodiscard]] Status cholesky_solve_into(const Matrix& a, const Vector& b,
+                                         Vector& x,
+                                         LinearSolveScratch& scratch);
+
+/// In-place counterpart of regularized_spd_solve: identical numerics,
+/// but all temporaries live in \p scratch.
+[[nodiscard]] Status regularized_spd_solve_into(const Matrix& a,
+                                                const Vector& b, Vector& x,
+                                                LinearSolveScratch& scratch,
+                                                double initial_tau = 1e-10,
+                                                int max_attempts = 20);
+
 }  // namespace arb::math

@@ -10,6 +10,31 @@ namespace arb::math {
 Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
     : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
 
+Matrix::Matrix(Matrix&& other) noexcept
+    : rows_(other.rows_), cols_(other.cols_), data_(std::move(other.data_)) {
+  other.rows_ = 0;
+  other.cols_ = 0;
+}
+
+Matrix& Matrix::operator=(Matrix&& other) noexcept {
+  rows_ = other.rows_;
+  cols_ = other.cols_;
+  data_ = std::move(other.data_);
+  other.rows_ = 0;
+  other.cols_ = 0;
+  return *this;
+}
+
+void Matrix::assign(std::size_t rows, std::size_t cols, double fill) {
+  rows_ = rows;
+  cols_ = cols;
+  data_.assign(rows * cols, fill);
+}
+
+void Matrix::fill(double value) {
+  for (double& x : data_) x = value;
+}
+
 Matrix Matrix::identity(std::size_t n) {
   Matrix m(n, n);
   for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;

@@ -1,20 +1,31 @@
 #pragma once
 
 /// \file matrix.hpp
-/// Dense row-major matrix companion to math::Vector.
+/// Dense row-major matrix companion to math::Vector. Like Vector, its
+/// buffer is allocation-instrumented and size changes preserve capacity
+/// so solver workspaces can reuse matrices allocation-free.
 
 #include <cstddef>
 #include <string>
 #include <vector>
 
+#include "math/alloc_stats.hpp"
 #include "math/vector.hpp"
 
 namespace arb::math {
 
 class Matrix {
  public:
+  using Buffer = std::vector<double, detail::CountingAllocator<double>>;
+
   Matrix() = default;
   Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  Matrix(const Matrix&) = default;
+  Matrix& operator=(const Matrix&) = default;
+  /// Moves steal the buffer: the source is left 0×0, no allocation.
+  Matrix(Matrix&&) noexcept;
+  Matrix& operator=(Matrix&&) noexcept;
 
   [[nodiscard]] static Matrix identity(std::size_t n);
   /// Builds diag(d).
@@ -22,6 +33,18 @@ class Matrix {
 
   [[nodiscard]] std::size_t rows() const { return rows_; }
   [[nodiscard]] std::size_t cols() const { return cols_; }
+  [[nodiscard]] std::size_t capacity() const { return data_.capacity(); }
+
+  /// Capacity-preserving reshape + fill of every element: only allocates
+  /// when rows·cols exceeds the buffer's current capacity.
+  void assign(std::size_t rows, std::size_t cols, double fill);
+  /// Grows capacity without changing shape.
+  void reserve(std::size_t rows, std::size_t cols) {
+    data_.reserve(rows * cols);
+  }
+
+  void fill(double value);
+  void set_zero() { fill(0.0); }
 
   [[nodiscard]] double& operator()(std::size_t r, std::size_t c);
   [[nodiscard]] double operator()(std::size_t r, std::size_t c) const;
@@ -44,7 +67,7 @@ class Matrix {
  private:
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;
-  std::vector<double> data_;
+  Buffer data_;
 };
 
 }  // namespace arb::math

@@ -9,7 +9,12 @@ namespace arb::math {
 
 Vector::Vector(std::size_t n, double fill) : data_(n, fill) {}
 
-Vector::Vector(std::initializer_list<double> values) : data_(values) {}
+Vector::Vector(std::initializer_list<double> values)
+    : data_(values.begin(), values.end()) {}
+
+void Vector::fill(double value) {
+  for (double& x : data_) x = value;
+}
 
 double& Vector::operator[](std::size_t i) {
   ARB_REQUIRE(i < data_.size(), "Vector index out of range");
@@ -36,6 +41,13 @@ Vector& Vector::operator-=(const Vector& rhs) {
 Vector& Vector::operator*=(double scalar) {
   for (double& x : data_) x *= scalar;
   return *this;
+}
+
+void Vector::add_scaled(const Vector& v, double scale) {
+  ARB_REQUIRE(size() == v.size(), "Vector size mismatch in add_scaled");
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    data_[i] += scale * v.data_[i];
+  }
 }
 
 Vector operator+(Vector lhs, const Vector& rhs) {

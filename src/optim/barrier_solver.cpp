@@ -1,5 +1,6 @@
 #include "optim/barrier_solver.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 
@@ -8,15 +9,138 @@
 #include "math/linear_solve.hpp"
 
 namespace arb::optim {
+namespace {
+
+/// Plain Newton objective for the unconstrained (m == 0) case.
+class ObjectiveOnly final : public SmoothObjective {
+ public:
+  explicit ObjectiveOnly(const NlpProblem& problem) : problem_(problem) {}
+
+  [[nodiscard]] double value(const math::Vector& x) const override {
+    return problem_.objective(x);
+  }
+  void gradient_into(const math::Vector& x,
+                     math::Vector& grad) const override {
+    problem_.objective_gradient_into(x, grad);
+  }
+  void hessian_into(const math::Vector& x,
+                    math::Matrix& hess) const override {
+    problem_.objective_hessian_into(x, hess);
+  }
+
+ private:
+  const NlpProblem& problem_;
+};
+
+/// The centering objective  t·f(x) − Σᵢ log(−gᵢ(x))  for one outer
+/// iteration. Per-constraint gradient/Hessian terms are accumulated in
+/// workspace buffers, so evaluation is allocation-free. The same instance
+/// serves every outer iteration via set_t.
+class CenteringObjective final : public SmoothObjective {
+ public:
+  CenteringObjective(const NlpProblem& problem, SolveWorkspace& ws)
+      : problem_(problem), ws_(ws) {}
+
+  void set_t(double t) { t_ = t; }
+
+  [[nodiscard]] double value(const math::Vector& point) const override {
+    const std::size_t m = problem_.num_inequalities();
+    double value = t_ * problem_.objective(point);
+    for (std::size_t i = 0; i < m; ++i) {
+      const double g = problem_.constraint(i, point);
+      if (!(g < 0.0)) return std::numeric_limits<double>::infinity();
+      value -= std::log(-g);
+    }
+    return value;
+  }
+
+  void gradient_into(const math::Vector& point,
+                     math::Vector& grad) const override {
+    const std::size_t m = problem_.num_inequalities();
+    const std::size_t n = problem_.dimension();
+    problem_.objective_gradient_into(point, grad);
+    grad *= t_;
+    for (std::size_t i = 0; i < m; ++i) {
+      const double g = problem_.constraint(i, point);
+      problem_.constraint_gradient_into(i, point, ws_.constraint_grad);
+      // d/dx [-log(-g)] = -g'/g  (g < 0).
+      for (std::size_t k = 0; k < n; ++k) {
+        grad[k] += ws_.constraint_grad[k] / (-g);
+      }
+    }
+  }
+
+  void hessian_into(const math::Vector& point,
+                    math::Matrix& hess) const override {
+    const std::size_t m = problem_.num_inequalities();
+    const std::size_t n = problem_.dimension();
+    problem_.objective_hessian_into(point, hess);
+    hess *= t_;
+    for (std::size_t i = 0; i < m; ++i) {
+      const double g = problem_.constraint(i, point);
+      problem_.constraint_gradient_into(i, point, ws_.constraint_grad);
+      problem_.constraint_hessian_into(i, point, ws_.constraint_hess);
+      // ∇²[-log(-g)] = (g' g'ᵀ)/g² + (-1/g)·∇²g.
+      const double inv_g = 1.0 / g;
+      hess.add_outer_product(ws_.constraint_grad, ws_.constraint_grad,
+                             inv_g * inv_g);
+      for (std::size_t r = 0; r < n; ++r) {
+        for (std::size_t c = 0; c < n; ++c) {
+          hess(r, c) += (-inv_g) * ws_.constraint_hess(r, c);
+        }
+      }
+    }
+  }
+
+  [[nodiscard]] bool in_domain(const math::Vector& point) const override {
+    return point.all_finite() && problem_.strictly_feasible(point);
+  }
+
+  [[nodiscard]] bool step_ok(const math::Vector& from,
+                             const math::Vector& to) const override {
+    // Cap the per-step collapse of the tightest constraint slack at
+    // 100x. Without this, Armijo happily accepts profit-chasing steps
+    // that land just inside the boundary (each backtracking trial sits
+    // at the feasibility edge), the tightest slack shrinks geometrically
+    // far below its central-path value, and the (1/s²)-scaled barrier
+    // Hessian becomes so ill-conditioned that Newton degenerates into a
+    // tangential crawl. Warm restarts at moderate-to-high t hit this
+    // reliably; the guard keeps every accepted iterate within two
+    // decades of the previous slack, which damped Newton handles.
+    const std::size_t m = problem_.num_inequalities();
+    double min_from = std::numeric_limits<double>::infinity();
+    double min_to = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < m; ++i) {
+      min_from = std::min(min_from, -problem_.constraint(i, from));
+      min_to = std::min(min_to, -problem_.constraint(i, to));
+    }
+    return min_to * 100.0 >= min_from;
+  }
+
+ private:
+  const NlpProblem& problem_;
+  SolveWorkspace& ws_;
+  double t_ = 1.0;
+};
+
+}  // namespace
 
 BarrierSolver::BarrierSolver(BarrierOptions options)
     : options_(std::move(options)) {}
 
-Result<BarrierReport> BarrierSolver::solve(const NlpProblem& problem,
-                                           const math::Vector& x0) const {
+Status BarrierSolver::solve_into(const NlpProblem& problem,
+                                 const math::Vector& x0, SolveWorkspace& ws,
+                                 BarrierReport& report) const {
   const std::size_t n = problem.dimension();
   const std::size_t m = problem.num_inequalities();
   ARB_REQUIRE(x0.size() == n, "x0 dimension mismatch");
+
+  report.objective = 0.0;
+  report.duality_gap = 0.0;
+  report.final_t = options_.initial_t;
+  report.outer_iterations = 0;
+  report.total_newton_iterations = 0;
+  report.centerings_converged = true;
 
   if (!problem.strictly_feasible(x0)) {
     return make_error(ErrorCode::kInfeasible,
@@ -26,93 +150,45 @@ Result<BarrierReport> BarrierSolver::solve(const NlpProblem& problem,
   }
   if (m == 0) {
     // Pure Newton on f.
-    SmoothFunction fn;
-    fn.value = [&](const math::Vector& x) { return problem.objective(x); };
-    fn.gradient = [&](const math::Vector& x) {
-      return problem.objective_gradient(x);
-    };
-    fn.hessian = [&](const math::Vector& x) {
-      return problem.objective_hessian(x);
-    };
-    auto inner = newton_minimize(fn, x0, options_.newton);
-    if (!inner) return inner.error();
-    BarrierReport report;
-    report.x = inner->x;
-    report.objective = inner->value;
-    report.total_newton_iterations = inner->iterations;
-    return report;
+    const ObjectiveOnly fn(problem);
+    NewtonStats stats;
+    auto inner = newton_minimize_into(fn, x0, options_.newton, ws, stats);
+    if (!inner) return inner;
+    report.x = ws.x;
+    report.dual.assign(0, 0.0);
+    report.objective = stats.value;
+    report.total_newton_iterations = stats.iterations;
+    report.centerings_converged = stats.converged;
+    return Status::success();
   }
 
   double t = options_.initial_t;
-  math::Vector x = x0;
-  BarrierReport report;
-
-  const auto in_domain = [&](const math::Vector& candidate) {
-    return candidate.all_finite() && problem.strictly_feasible(candidate);
-  };
+  ws.x = x0;  // capacity-preserving; x0 may alias ws.x
+  CenteringObjective fn(problem, ws);
 
   for (int outer = 0; outer < options_.max_outer_iterations; ++outer) {
     report.outer_iterations = outer + 1;
+    fn.set_t(t);
 
-    SmoothFunction fn;
-    fn.in_domain = in_domain;
-    fn.value = [&problem, t, m](const math::Vector& point) {
-      double value = t * problem.objective(point);
-      for (std::size_t i = 0; i < m; ++i) {
-        const double g = problem.constraint(i, point);
-        if (!(g < 0.0)) return std::numeric_limits<double>::infinity();
-        value -= std::log(-g);
-      }
-      return value;
-    };
-    fn.gradient = [&problem, t, m, n](const math::Vector& point) {
-      math::Vector grad = problem.objective_gradient(point);
-      grad *= t;
-      for (std::size_t i = 0; i < m; ++i) {
-        const double g = problem.constraint(i, point);
-        const math::Vector gi = problem.constraint_gradient(i, point);
-        // d/dx [-log(-g)] = -g'/g  (g < 0).
-        for (std::size_t k = 0; k < n; ++k) grad[k] += gi[k] / (-g);
-      }
-      return grad;
-    };
-    fn.hessian = [&problem, t, m, n](const math::Vector& point) {
-      math::Matrix hess = problem.objective_hessian(point);
-      hess *= t;
-      for (std::size_t i = 0; i < m; ++i) {
-        const double g = problem.constraint(i, point);
-        const math::Vector gi = problem.constraint_gradient(i, point);
-        const math::Matrix hi = problem.constraint_hessian(i, point);
-        // ∇²[-log(-g)] = (g' g'ᵀ)/g² + (-1/g)·∇²g.
-        const double inv_g = 1.0 / g;
-        hess.add_outer_product(gi, gi, inv_g * inv_g);
-        for (std::size_t r = 0; r < n; ++r) {
-          for (std::size_t c = 0; c < n; ++c) {
-            hess(r, c) += (-inv_g) * hi(r, c);
-          }
-        }
-      }
-      return hess;
-    };
-
-    auto inner = newton_minimize(fn, x, options_.newton);
+    NewtonStats stats;
+    auto inner = newton_minimize_into(fn, ws.x, options_.newton, ws, stats);
     if (!inner) {
       return make_error(ErrorCode::kNumericFailure,
                         "barrier inner Newton failed at t=" +
                             std::to_string(t) + ": " +
                             inner.error().message);
     }
-    x = inner->x;
-    report.total_newton_iterations += inner->iterations;
+    report.total_newton_iterations += stats.iterations;
+    if (!stats.converged) report.centerings_converged = false;
 
-    if (options_.early_stop && options_.early_stop(x)) {
+    if (options_.early_stop && options_.early_stop(ws.x)) {
       report.duality_gap = static_cast<double>(m) / t;
       break;
     }
 
     const double gap = static_cast<double>(m) / t;
     ARB_LOG_DEBUG("barrier outer=" << outer << " t=" << t << " gap=" << gap
-                                   << " f=" << problem.objective(x));
+                                   << " f=" << problem.objective(ws.x));
     if (gap <= options_.gap_tolerance) {
       report.duality_gap = gap;
       break;
@@ -121,13 +197,23 @@ Result<BarrierReport> BarrierSolver::solve(const NlpProblem& problem,
     report.duality_gap = static_cast<double>(m) / t;
   }
 
-  report.x = x;
-  report.objective = problem.objective(x);
-  report.dual = math::Vector(m);
+  report.final_t = t;
+  report.x = ws.x;
+  report.objective = problem.objective(ws.x);
+  report.dual.assign(m, 0.0);
   for (std::size_t i = 0; i < m; ++i) {
-    report.dual[i] = 1.0 / (-t * problem.constraint(i, x));
+    report.dual[i] = 1.0 / (-t * problem.constraint(i, ws.x));
   }
-  refine_duals(problem, x, report.dual);
+  if (options_.refine_duals) refine_duals(problem, ws.x, report.dual);
+  return Status::success();
+}
+
+Result<BarrierReport> BarrierSolver::solve(const NlpProblem& problem,
+                                           const math::Vector& x0) const {
+  SolveWorkspace ws;
+  BarrierReport report;
+  auto status = solve_into(problem, x0, ws, report);
+  if (!status) return status.error();
   return report;
 }
 

@@ -9,12 +9,17 @@
 /// inner minimization is a damped Newton with a strict-feasibility domain
 /// guard. For convex f and gᵢ the iterate is within m/t of the global
 /// optimum, so the duality gap at exit is below `gap_tolerance`.
+///
+/// solve_into is the hot entry point: it reuses a caller-owned
+/// SolveWorkspace and BarrierReport, so a steady-state solve performs no
+/// heap allocations. solve() wraps it with per-call state.
 
 #include <functional>
 
 #include "common/result.hpp"
 #include "optim/newton.hpp"
 #include "optim/problem.hpp"
+#include "optim/workspace.hpp"
 
 namespace arb::optim {
 
@@ -24,6 +29,10 @@ struct BarrierOptions {
   double gap_tolerance = 1e-9;   ///< stop when m/t below this
   int max_outer_iterations = 60;
   NewtonOptions newton;          ///< inner solver options
+  /// Post-solve least-squares refinement of the dual estimates. Improves
+  /// KKT residuals reported to tests, but allocates; the runtime hot path
+  /// turns it off (the primal solution and objective are unaffected).
+  bool refine_duals = true;
   /// Optional early exit, checked after each centering step. Used by
   /// callers that need *a* point with a property rather than the
   /// optimum — phase-I stops as soon as strict feasibility is reached,
@@ -37,8 +46,13 @@ struct BarrierReport {
   math::Vector dual;              ///< multiplier estimates λᵢ = 1/(−t·gᵢ)
   double objective = 0.0;         ///< f(x) at the solution
   double duality_gap = 0.0;       ///< m/t certificate at exit
+  double final_t = 0.0;           ///< barrier sharpness at exit (warm-start seed)
   int outer_iterations = 0;
   int total_newton_iterations = 0;
+  /// True iff every inner centering met its convergence criterion. When
+  /// false the m/t gap certificate is not trustworthy — warm-started
+  /// callers use this to detect a bad restart and fall back to cold.
+  bool centerings_converged = true;
 };
 
 class BarrierSolver {
@@ -50,6 +64,13 @@ class BarrierSolver {
   /// if an inner Newton solve breaks down.
   [[nodiscard]] Result<BarrierReport> solve(const NlpProblem& problem,
                                             const math::Vector& x0) const;
+
+  /// Workspace variant with identical numerics: all solver temporaries
+  /// live in \p ws and the result is written into \p report
+  /// (capacity-preserving). \p x0 may alias ws.x.
+  [[nodiscard]] Status solve_into(const NlpProblem& problem,
+                                  const math::Vector& x0, SolveWorkspace& ws,
+                                  BarrierReport& report) const;
 
  private:
   /// Post-solve least-squares dual refinement on the active set (the raw

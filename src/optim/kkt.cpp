@@ -17,29 +17,35 @@ bool KktResiduals::satisfied(double tolerance) const {
 }
 
 KktResiduals evaluate_kkt(const NlpProblem& problem, const math::Vector& x,
-                          const math::Vector& dual) {
+                          const math::Vector& dual, SolveWorkspace& ws) {
   const std::size_t n = problem.dimension();
   const std::size_t m = problem.num_inequalities();
   ARB_REQUIRE(x.size() == n, "x dimension mismatch in evaluate_kkt");
   ARB_REQUIRE(dual.size() == m, "dual dimension mismatch in evaluate_kkt");
 
   KktResiduals res;
-  math::Vector lagrangian_grad = problem.objective_gradient(x);
+  problem.objective_gradient_into(x, ws.grad);
   for (std::size_t i = 0; i < m; ++i) {
     const double g = problem.constraint(i, x);
     res.primal_feasibility = std::max(res.primal_feasibility, g);
     res.dual_feasibility = std::max(res.dual_feasibility, -dual[i]);
     res.complementarity =
         std::max(res.complementarity, std::abs(dual[i] * g));
-    const math::Vector gi = problem.constraint_gradient(i, x);
+    problem.constraint_gradient_into(i, x, ws.constraint_grad);
     for (std::size_t k = 0; k < n; ++k) {
-      lagrangian_grad[k] += dual[i] * gi[k];
+      ws.grad[k] += dual[i] * ws.constraint_grad[k];
     }
   }
   res.primal_feasibility = std::max(res.primal_feasibility, 0.0);
   res.dual_feasibility = std::max(res.dual_feasibility, 0.0);
-  res.stationarity = lagrangian_grad.norm_inf();
+  res.stationarity = ws.grad.norm_inf();
   return res;
+}
+
+KktResiduals evaluate_kkt(const NlpProblem& problem, const math::Vector& x,
+                          const math::Vector& dual) {
+  SolveWorkspace ws;
+  return evaluate_kkt(problem, x, dual, ws);
 }
 
 }  // namespace arb::optim

@@ -7,6 +7,7 @@
 
 #include "math/vector.hpp"
 #include "optim/problem.hpp"
+#include "optim/workspace.hpp"
 
 namespace arb::optim {
 
@@ -25,5 +26,13 @@ struct KktResiduals {
 [[nodiscard]] KktResiduals evaluate_kkt(const NlpProblem& problem,
                                         const math::Vector& x,
                                         const math::Vector& dual);
+
+/// Workspace variant: the Lagrangian gradient is accumulated in ws.grad
+/// and constraint gradients in ws.constraint_grad, so repeated
+/// certification (e.g. per repriced cycle) allocates nothing.
+[[nodiscard]] KktResiduals evaluate_kkt(const NlpProblem& problem,
+                                        const math::Vector& x,
+                                        const math::Vector& dual,
+                                        SolveWorkspace& ws);
 
 }  // namespace arb::optim

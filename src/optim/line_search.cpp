@@ -3,20 +3,28 @@
 #include <cmath>
 
 namespace arb::optim {
+namespace {
 
-LineSearchResult backtracking_line_search(
-    const std::function<double(const math::Vector&)>& objective,
-    const std::function<bool(const math::Vector&)>& in_domain,
-    const math::Vector& x, const math::Vector& direction, double value_at_x,
-    double directional_derivative, const LineSearchOptions& options) {
+/// Shared kernel: both public overloads run exactly this loop, so the
+/// callback and workspace paths cannot drift numerically.
+template <typename ValueFn, typename DomainFn>
+LineSearchResult search_kernel(const ValueFn& objective,
+                               const DomainFn& in_domain,
+                               const math::Vector& x,
+                               const math::Vector& direction,
+                               double value_at_x,
+                               double directional_derivative,
+                               math::Vector& candidate,
+                               const LineSearchOptions& options) {
   LineSearchResult result;
   if (!(directional_derivative < 0.0)) {
     return result;  // not a descent direction
   }
   double step = options.initial_step;
   for (int k = 0; k < options.max_backtracks; ++k) {
-    const math::Vector candidate = x + step * direction;
-    if (!in_domain || in_domain(candidate)) {
+    candidate = x;
+    candidate.add_scaled(direction, step);
+    if (in_domain(candidate)) {
       const double value = objective(candidate);
       ++result.evaluations;
       if (std::isfinite(value) &&
@@ -31,6 +39,39 @@ LineSearchResult backtracking_line_search(
     step *= options.shrink;
   }
   return result;
+}
+
+}  // namespace
+
+LineSearchResult backtracking_line_search(
+    const std::function<double(const math::Vector&)>& objective,
+    const std::function<bool(const math::Vector&)>& in_domain,
+    const math::Vector& x, const math::Vector& direction, double value_at_x,
+    double directional_derivative, const LineSearchOptions& options) {
+  math::Vector candidate;
+  const auto value_fn = [&](const math::Vector& p) { return objective(p); };
+  const auto domain_fn = [&](const math::Vector& p) {
+    return !in_domain || in_domain(p);
+  };
+  return search_kernel(value_fn, domain_fn, x, direction, value_at_x,
+                       directional_derivative, candidate, options);
+}
+
+LineSearchResult backtracking_line_search(const SmoothObjective& objective,
+                                          const math::Vector& x,
+                                          const math::Vector& direction,
+                                          double value_at_x,
+                                          double directional_derivative,
+                                          math::Vector& candidate,
+                                          const LineSearchOptions& options) {
+  const auto value_fn = [&](const math::Vector& p) {
+    return objective.value(p);
+  };
+  const auto domain_fn = [&](const math::Vector& p) {
+    return objective.in_domain(p) && objective.step_ok(x, p);
+  };
+  return search_kernel(value_fn, domain_fn, x, direction, value_at_x,
+                       directional_derivative, candidate, options);
 }
 
 }  // namespace arb::optim

@@ -9,6 +9,7 @@
 #include <functional>
 
 #include "math/vector.hpp"
+#include "optim/objective.hpp"
 
 namespace arb::optim {
 
@@ -35,5 +36,15 @@ struct LineSearchResult {
     const std::function<bool(const math::Vector&)>& in_domain,
     const math::Vector& x, const math::Vector& direction, double value_at_x,
     double directional_derivative, const LineSearchOptions& options = {});
+
+/// Workspace variant: the trial point is built in \p candidate (reshaped,
+/// capacity-preserving) instead of a fresh vector per backtrack, and the
+/// accepted point — x + result.step·direction — is left in \p candidate
+/// on success. Identical numerics to the callback overload.
+[[nodiscard]] LineSearchResult backtracking_line_search(
+    const SmoothObjective& objective, const math::Vector& x,
+    const math::Vector& direction, double value_at_x,
+    double directional_derivative, math::Vector& candidate,
+    const LineSearchOptions& options = {});
 
 }  // namespace arb::optim

@@ -1,5 +1,6 @@
 #include "optim/newton.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/error.hpp"
@@ -8,6 +9,118 @@
 #include "optim/line_search.hpp"
 
 namespace arb::optim {
+namespace {
+
+/// Adapts the std::function-based SmoothFunction to the virtual
+/// interface so the legacy entry point shares the workspace kernel.
+class FunctionObjective final : public SmoothObjective {
+ public:
+  explicit FunctionObjective(const SmoothFunction& fn) : fn_(fn) {}
+
+  [[nodiscard]] double value(const math::Vector& x) const override {
+    return fn_.value(x);
+  }
+  void gradient_into(const math::Vector& x,
+                     math::Vector& grad) const override {
+    grad = fn_.gradient(x);
+  }
+  void hessian_into(const math::Vector& x,
+                    math::Matrix& hess) const override {
+    hess = fn_.hessian(x);
+  }
+  [[nodiscard]] bool in_domain(const math::Vector& x) const override {
+    return !fn_.in_domain || fn_.in_domain(x);
+  }
+
+ private:
+  const SmoothFunction& fn_;
+};
+
+}  // namespace
+
+Status newton_minimize_into(const SmoothObjective& fn, const math::Vector& x0,
+                            const NewtonOptions& options, SolveWorkspace& ws,
+                            NewtonStats& stats) {
+  if (!fn.in_domain(x0)) {
+    return make_error(ErrorCode::kInvalidArgument,
+                      "newton_minimize: x0 outside domain");
+  }
+
+  stats = NewtonStats{};
+  ws.x = x0;  // capacity-preserving copy; x0 may alias ws.x
+  stats.value = fn.value(ws.x);
+
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    stats.iterations = iter;
+    fn.gradient_into(ws.x, ws.grad);
+    stats.gradient_norm = ws.grad.norm_inf();
+    if (!ws.grad.all_finite()) {
+      return make_error(ErrorCode::kNumericFailure,
+                        "newton_minimize: non-finite gradient");
+    }
+    if (stats.gradient_norm <= options.gradient_tolerance) {
+      stats.converged = true;
+      return Status::success();
+    }
+
+    fn.hessian_into(ws.x, ws.hess);
+    // Newton step solves H d = -grad.
+    ws.neg_grad = ws.grad;
+    ws.neg_grad *= -1.0;
+    auto step = math::regularized_spd_solve_into(ws.hess, ws.neg_grad,
+                                                 ws.direction, ws.linear);
+    if (!step) {
+      return make_error(ErrorCode::kNumericFailure,
+                        "newton_minimize: Hessian solve failed: " +
+                            step.error().message);
+    }
+
+    // Newton decrement: λ² = -gradᵀd; stop when the predicted decrease
+    // λ²/2 is negligible — in absolute terms or relative to the
+    // magnitude of f (below which decreases are floating-point noise).
+    const double decrement_sq = -ws.grad.dot(ws.direction);
+    const double noise_floor =
+        options.decrement_tolerance +
+        options.relative_decrement_tolerance * std::abs(stats.value);
+    if (decrement_sq * 0.5 <= noise_floor) {
+      stats.converged = true;
+      return Status::success();
+    }
+
+    const auto search = backtracking_line_search(
+        fn, ws.x, ws.direction, stats.value, ws.grad.dot(ws.direction),
+        ws.candidate);
+    if (!search.success) {
+      // A failed line search at a tiny decrement is convergence in
+      // disguise (floating-point floor); otherwise it is a genuine error.
+      if (decrement_sq * 0.5 <= std::max(1e-8, noise_floor)) {
+        stats.converged = true;
+        return Status::success();
+      }
+      ARB_LOG_DEBUG("newton_minimize line search failed: iter="
+                    << iter << " f=" << stats.value << " |g|="
+                    << stats.gradient_norm << " |d|="
+                    << ws.direction.norm_inf() << " gTd="
+                    << ws.grad.dot(ws.direction) << " decrement2="
+                    << decrement_sq << " x=" << ws.x.to_string());
+      return make_error(ErrorCode::kNumericFailure,
+                        "newton_minimize: line search failed at iteration " +
+                            std::to_string(iter));
+    }
+    // The accepted trial point x + step·direction is already built in
+    // ws.candidate.
+    ws.x = ws.candidate;
+    stats.value = search.value;
+  }
+
+  fn.gradient_into(ws.x, ws.grad);
+  stats.converged = ws.grad.norm_inf() <= options.gradient_tolerance * 1e3;
+  if (!stats.converged) {
+    ARB_LOG_DEBUG("newton_minimize: hit max_iterations with ||g||="
+                  << stats.gradient_norm);
+  }
+  return Status::success();
+}
 
 Result<NewtonReport> newton_minimize(const SmoothFunction& fn,
                                      const math::Vector& x0,
@@ -15,77 +128,18 @@ Result<NewtonReport> newton_minimize(const SmoothFunction& fn,
   ARB_REQUIRE(static_cast<bool>(fn.value) && static_cast<bool>(fn.gradient) &&
                   static_cast<bool>(fn.hessian),
               "newton_minimize requires value/gradient/hessian callbacks");
-  if (fn.in_domain && !fn.in_domain(x0)) {
-    return make_error(ErrorCode::kInvalidArgument,
-                      "newton_minimize: x0 outside domain");
-  }
+  const FunctionObjective objective(fn);
+  SolveWorkspace ws;
+  NewtonStats stats;
+  auto status = newton_minimize_into(objective, x0, options, ws, stats);
+  if (!status) return status.error();
 
   NewtonReport report;
-  report.x = x0;
-  report.value = fn.value(x0);
-
-  for (int iter = 0; iter < options.max_iterations; ++iter) {
-    report.iterations = iter;
-    const math::Vector grad = fn.gradient(report.x);
-    report.gradient_norm = grad.norm_inf();
-    if (!grad.all_finite()) {
-      return make_error(ErrorCode::kNumericFailure,
-                        "newton_minimize: non-finite gradient");
-    }
-    if (report.gradient_norm <= options.gradient_tolerance) {
-      report.converged = true;
-      return report;
-    }
-
-    const math::Matrix hess = fn.hessian(report.x);
-    // Newton step solves H d = -grad.
-    math::Vector negative_grad = grad;
-    negative_grad *= -1.0;
-    auto step = math::regularized_spd_solve(hess, negative_grad);
-    if (!step) {
-      return make_error(ErrorCode::kNumericFailure,
-                        "newton_minimize: Hessian solve failed: " +
-                            step.error().message);
-    }
-    const math::Vector& direction = *step;
-
-    // Newton decrement: λ² = -gradᵀd; stop when the predicted decrease
-    // λ²/2 is negligible.
-    const double decrement_sq = -grad.dot(direction);
-    if (decrement_sq * 0.5 <= options.decrement_tolerance) {
-      report.converged = true;
-      return report;
-    }
-
-    const auto search = backtracking_line_search(
-        fn.value, fn.in_domain, report.x, direction, report.value,
-        grad.dot(direction));
-    if (!search.success) {
-      // A failed line search at a tiny decrement is convergence in
-      // disguise (floating-point floor); otherwise it is a genuine error.
-      if (decrement_sq * 0.5 <= 1e-8) {
-        report.converged = true;
-        return report;
-      }
-      ARB_LOG_DEBUG("newton_minimize line search failed: iter="
-                    << iter << " f=" << report.value << " |g|="
-                    << report.gradient_norm << " |d|=" << direction.norm_inf()
-                    << " gTd=" << grad.dot(direction) << " decrement2="
-                    << decrement_sq << " x=" << report.x.to_string());
-      return make_error(ErrorCode::kNumericFailure,
-                        "newton_minimize: line search failed at iteration " +
-                            std::to_string(iter));
-    }
-    report.x += search.step * direction;
-    report.value = search.value;
-  }
-
-  report.converged =
-      fn.gradient(report.x).norm_inf() <= options.gradient_tolerance * 1e3;
-  if (!report.converged) {
-    ARB_LOG_DEBUG("newton_minimize: hit max_iterations with ||g||="
-                  << report.gradient_norm);
-  }
+  report.x = std::move(ws.x);
+  report.value = stats.value;
+  report.gradient_norm = stats.gradient_norm;
+  report.iterations = stats.iterations;
+  report.converged = stats.converged;
   return report;
 }
 

@@ -4,23 +4,48 @@
 /// Damped Newton minimizer for smooth (preferably convex) functions with a
 /// domain guard. This is the inner engine of the barrier interior-point
 /// solver but is exposed on its own for unconstrained problems and tests.
+///
+/// Two entry points share one implementation:
+///  - newton_minimize_into: hot path. Takes a SmoothObjective and a
+///    SolveWorkspace; performs no allocations once the workspace buffers
+///    have grown to the problem dimension.
+///  - newton_minimize: convenience wrapper over std::function callbacks,
+///    allocating a workspace per call. Identical numerics.
 
 #include <functional>
 
 #include "common/result.hpp"
 #include "math/matrix.hpp"
 #include "math/vector.hpp"
+#include "optim/objective.hpp"
+#include "optim/workspace.hpp"
 
 namespace arb::optim {
 
 struct NewtonOptions {
   double gradient_tolerance = 1e-10;  ///< stop when ||grad||_inf below this
   double decrement_tolerance = 1e-12; ///< stop when λ²/2 below this
+  /// Scale-relative part of the decrement stop: converged when
+  /// λ²/2 ≤ decrement_tolerance + relative_decrement_tolerance·|f|.
+  /// When |f| is large (barrier centerings at t ≥ 1e9 sit at |f| ~ 1e11)
+  /// a predicted decrease this small is below the floating-point
+  /// granularity of f itself — Armijo would accept bit-identical values
+  /// forever while the absolute test never fires. ~20 ulp.
+  double relative_decrement_tolerance = 4e-15;
   int max_iterations = 100;
 };
 
 struct NewtonReport {
   math::Vector x;
+  double value = 0.0;
+  double gradient_norm = 0.0;
+  int iterations = 0;
+  bool converged = false;
+};
+
+/// Allocation-free per-solve statistics for the workspace entry point;
+/// the final iterate lives in SolveWorkspace::x.
+struct NewtonStats {
   double value = 0.0;
   double gradient_norm = 0.0;
   int iterations = 0;
@@ -42,5 +67,14 @@ struct SmoothFunction {
 [[nodiscard]] Result<NewtonReport> newton_minimize(
     const SmoothFunction& fn, const math::Vector& x0,
     const NewtonOptions& options = {});
+
+/// Workspace variant: minimizes \p fn starting at \p x0, leaving the
+/// final iterate in \p ws.x (x0 may alias ws.x). Zero allocations once
+/// the workspace has capacity for the problem dimension.
+[[nodiscard]] Status newton_minimize_into(const SmoothObjective& fn,
+                                          const math::Vector& x0,
+                                          const NewtonOptions& options,
+                                          SolveWorkspace& ws,
+                                          NewtonStats& stats);
 
 }  // namespace arb::optim

@@ -1,0 +1,47 @@
+#pragma once
+
+/// \file objective.hpp
+/// Virtual-dispatch description of a smooth function for the hot solver
+/// path. The original std::function-based SmoothFunction (newton.hpp)
+/// remains for tests and one-off callers, but closures that capture state
+/// may heap-allocate on construction and force the minimizer to return
+/// freshly allocated vectors; this interface writes derivatives into
+/// caller-owned buffers so a steady-state solve performs no allocations.
+
+#include "math/matrix.hpp"
+#include "math/vector.hpp"
+
+namespace arb::optim {
+
+class SmoothObjective {
+ public:
+  virtual ~SmoothObjective() = default;
+
+  [[nodiscard]] virtual double value(const math::Vector& x) const = 0;
+  /// Writes ∇f(x) into \p grad (reshaped to x.size(), capacity-preserving).
+  virtual void gradient_into(const math::Vector& x,
+                             math::Vector& grad) const = 0;
+  /// Writes ∇²f(x) into \p hess.
+  virtual void hessian_into(const math::Vector& x,
+                            math::Matrix& hess) const = 0;
+  /// Domain membership (barrier: strict feasibility). Default: all of Rⁿ.
+  [[nodiscard]] virtual bool in_domain(const math::Vector& x) const {
+    (void)x;
+    return true;
+  }
+
+  /// Extra acceptance test for a line-search trial step from \p from to
+  /// \p to, checked in addition to in_domain(to). Default: accept.
+  /// The barrier centering objective uses this to veto steps that
+  /// collapse a constraint slack by orders of magnitude in one iteration
+  /// (an Armijo-approved dive toward the boundary wrecks the Hessian
+  /// conditioning and traps Newton in a tangential crawl).
+  [[nodiscard]] virtual bool step_ok(const math::Vector& from,
+                                     const math::Vector& to) const {
+    (void)from;
+    (void)to;
+    return true;
+  }
+};
+
+}  // namespace arb::optim

@@ -39,6 +39,16 @@ class Phase1Problem final : public NlpProblem {
     return math::Matrix(z.size(), z.size());
   }
 
+  void objective_gradient_into(const math::Vector& z,
+                               math::Vector& grad) const override {
+    grad.assign(z.size(), 0.0);
+    grad[original_.dimension()] = 1.0;
+  }
+  void objective_hessian_into(const math::Vector& z,
+                              math::Matrix& hess) const override {
+    hess.assign(z.size(), z.size(), 0.0);
+  }
+
   [[nodiscard]] double constraint(std::size_t i,
                                   const math::Vector& z) const override {
     if (i == original_.num_inequalities()) {
@@ -49,28 +59,41 @@ class Phase1Problem final : public NlpProblem {
   [[nodiscard]] math::Vector constraint_gradient(
       std::size_t i, const math::Vector& z) const override {
     math::Vector grad(z.size());
-    if (i == original_.num_inequalities()) {
-      grad[original_.dimension()] = -1.0;
-      return grad;
-    }
-    const math::Vector inner = original_.constraint_gradient(i, strip(z));
-    for (std::size_t k = 0; k < inner.size(); ++k) grad[k] = inner[k];
-    grad[original_.dimension()] = -1.0;
+    constraint_gradient_into(i, z, grad);
     return grad;
   }
   [[nodiscard]] math::Matrix constraint_hessian(
       std::size_t i, const math::Vector& z) const override {
     math::Matrix hess(z.size(), z.size());
+    constraint_hessian_into(i, z, hess);
+    return hess;
+  }
+
+  void constraint_gradient_into(std::size_t i, const math::Vector& z,
+                                math::Vector& grad) const override {
+    grad.assign(z.size(), 0.0);
     if (i == original_.num_inequalities()) {
-      return hess;  // linear bound
+      grad[original_.dimension()] = -1.0;
+      return;
     }
-    const math::Matrix inner = original_.constraint_hessian(i, strip(z));
-    for (std::size_t r = 0; r < inner.rows(); ++r) {
-      for (std::size_t c = 0; c < inner.cols(); ++c) {
-        hess(r, c) = inner(r, c);
+    original_.constraint_gradient_into(i, strip(z), inner_grad_);
+    for (std::size_t k = 0; k < inner_grad_.size(); ++k) {
+      grad[k] = inner_grad_[k];
+    }
+    grad[original_.dimension()] = -1.0;
+  }
+  void constraint_hessian_into(std::size_t i, const math::Vector& z,
+                               math::Matrix& hess) const override {
+    hess.assign(z.size(), z.size(), 0.0);
+    if (i == original_.num_inequalities()) {
+      return;  // linear bound
+    }
+    original_.constraint_hessian_into(i, strip(z), inner_hess_);
+    for (std::size_t r = 0; r < inner_hess_.rows(); ++r) {
+      for (std::size_t c = 0; c < inner_hess_.cols(); ++c) {
+        hess(r, c) = inner_hess_(r, c);
       }
     }
-    return hess;
   }
 
   [[nodiscard]] static math::Vector augment(const math::Vector& x, double t) {
@@ -81,21 +104,29 @@ class Phase1Problem final : public NlpProblem {
   }
 
  private:
-  [[nodiscard]] math::Vector strip(const math::Vector& z) const {
-    math::Vector x(original_.dimension());
-    for (std::size_t i = 0; i < x.size(); ++i) x[i] = z[i];
-    return x;
+  /// Extracts the original variables into a reused scratch buffer (one
+  /// evaluation at a time — evaluations never nest).
+  [[nodiscard]] const math::Vector& strip(const math::Vector& z) const {
+    strip_scratch_.resize(original_.dimension());
+    for (std::size_t i = 0; i < strip_scratch_.size(); ++i) {
+      strip_scratch_[i] = z[i];
+    }
+    return strip_scratch_;
   }
 
   const NlpProblem& original_;
   double lower_bound_;
+  mutable math::Vector strip_scratch_;
+  mutable math::Vector inner_grad_;
+  mutable math::Matrix inner_hess_;
 };
 
 }  // namespace
 
 Result<math::Vector> find_strictly_feasible(const NlpProblem& problem,
                                             const math::Vector& x0,
-                                            const Phase1Options& options) {
+                                            const Phase1Options& options,
+                                            SolveWorkspace& ws) {
   ARB_REQUIRE(x0.size() == problem.dimension(), "x0 dimension mismatch");
   if (problem.strictly_feasible(x0, options.margin)) {
     return x0;  // nothing to do
@@ -126,27 +157,47 @@ Result<math::Vector> find_strictly_feasible(const NlpProblem& problem,
     return problem.strictly_feasible(x, margin);
   };
   const BarrierSolver solver(barrier);
-  auto report = solver.solve(phase1, Phase1Problem::augment(x0, t0));
-  if (!report) return report.error();
+  BarrierReport report;
+  auto status =
+      solver.solve_into(phase1, Phase1Problem::augment(x0, t0), ws, report);
+  if (!status) return status.error();
 
   math::Vector x(problem.dimension());
-  for (std::size_t i = 0; i < x.size(); ++i) x[i] = report->x[i];
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] = report.x[i];
   if (!problem.strictly_feasible(x, options.margin)) {
     return make_error(ErrorCode::kInfeasible,
                       "phase-I optimum t=" +
-                          std::to_string(report->objective) +
+                          std::to_string(report.objective) +
                           " certifies no strictly feasible point");
   }
   return x;
 }
 
+Result<math::Vector> find_strictly_feasible(const NlpProblem& problem,
+                                            const math::Vector& x0,
+                                            const Phase1Options& options) {
+  SolveWorkspace ws;
+  return find_strictly_feasible(problem, x0, options, ws);
+}
+
+Status solve_with_phase1_into(const NlpProblem& problem,
+                              const math::Vector& x0,
+                              const Phase1Options& options, SolveWorkspace& ws,
+                              BarrierReport& report) {
+  auto start = find_strictly_feasible(problem, x0, options, ws);
+  if (!start) return start.error();
+  const BarrierSolver solver(options.barrier);
+  return solver.solve_into(problem, *start, ws, report);
+}
+
 Result<BarrierReport> solve_with_phase1(const NlpProblem& problem,
                                         const math::Vector& x0,
                                         const Phase1Options& options) {
-  auto start = find_strictly_feasible(problem, x0, options);
-  if (!start) return start.error();
-  const BarrierSolver solver(options.barrier);
-  return solver.solve(problem, *start);
+  SolveWorkspace ws;
+  BarrierReport report;
+  auto status = solve_with_phase1_into(problem, x0, options, ws, report);
+  if (!status) return status.error();
+  return report;
 }
 
 }  // namespace arb::optim

@@ -22,6 +22,7 @@
 #include "common/result.hpp"
 #include "optim/barrier_solver.hpp"
 #include "optim/problem.hpp"
+#include "optim/workspace.hpp"
 
 namespace arb::optim {
 
@@ -38,10 +39,23 @@ struct Phase1Options {
     const NlpProblem& problem, const math::Vector& x0,
     const Phase1Options& options = {});
 
+/// Workspace variant reusing \p ws for the augmented (n+1)-dimensional
+/// barrier solve.
+[[nodiscard]] Result<math::Vector> find_strictly_feasible(
+    const NlpProblem& problem, const math::Vector& x0,
+    const Phase1Options& options, SolveWorkspace& ws);
+
 /// Convenience: solve the problem end-to-end — phase-I from x0 if x0 is
 /// not already strictly feasible, then the barrier solve.
 [[nodiscard]] Result<BarrierReport> solve_with_phase1(
     const NlpProblem& problem, const math::Vector& x0,
     const Phase1Options& options = {});
+
+/// Workspace variant of solve_with_phase1 writing into \p report.
+[[nodiscard]] Status solve_with_phase1_into(const NlpProblem& problem,
+                                            const math::Vector& x0,
+                                            const Phase1Options& options,
+                                            SolveWorkspace& ws,
+                                            BarrierReport& report);
 
 }  // namespace arb::optim

@@ -4,6 +4,26 @@
 
 namespace arb::optim {
 
+void NlpProblem::objective_gradient_into(const math::Vector& x,
+                                         math::Vector& grad) const {
+  grad = objective_gradient(x);
+}
+
+void NlpProblem::objective_hessian_into(const math::Vector& x,
+                                        math::Matrix& hess) const {
+  hess = objective_hessian(x);
+}
+
+void NlpProblem::constraint_gradient_into(std::size_t i, const math::Vector& x,
+                                          math::Vector& grad) const {
+  grad = constraint_gradient(i, x);
+}
+
+void NlpProblem::constraint_hessian_into(std::size_t i, const math::Vector& x,
+                                         math::Matrix& hess) const {
+  hess = constraint_hessian(i, x);
+}
+
 bool NlpProblem::strictly_feasible(const math::Vector& x,
                                    double margin) const {
   for (std::size_t i = 0; i < num_inequalities(); ++i) {

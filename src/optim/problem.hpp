@@ -39,6 +39,19 @@ class NlpProblem {
   [[nodiscard]] virtual math::Matrix constraint_hessian(
       std::size_t i, const math::Vector& x) const = 0;
 
+  // Buffer-writing variants used by the allocation-free solver path.
+  // Defaults delegate to the allocating virtuals above, so existing
+  // problems keep working; hot transcriptions (loop_nlp, phase-1)
+  // override these to write directly into the caller's buffer.
+  virtual void objective_gradient_into(const math::Vector& x,
+                                       math::Vector& grad) const;
+  virtual void objective_hessian_into(const math::Vector& x,
+                                      math::Matrix& hess) const;
+  virtual void constraint_gradient_into(std::size_t i, const math::Vector& x,
+                                        math::Vector& grad) const;
+  virtual void constraint_hessian_into(std::size_t i, const math::Vector& x,
+                                       math::Matrix& hess) const;
+
   /// True iff every g_i(x) < -margin (strict interior).
   [[nodiscard]] bool strictly_feasible(const math::Vector& x,
                                        double margin = 0.0) const;

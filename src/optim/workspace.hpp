@@ -1,0 +1,69 @@
+#pragma once
+
+/// \file workspace.hpp
+/// Reusable solver state threaded through the barrier interior-point
+/// stack (newton → barrier_solver → phase1 → core strategies).
+///
+/// All buffers grow monotonically: after the first solve at the largest
+/// problem dimension, subsequent solves of same-or-smaller problems touch
+/// no allocator at all (verified by tests/optim/workspace_test.cpp using
+/// math::allocation_count()). One workspace serves one thread; the
+/// runtime keeps a workspace per worker.
+
+#include <cstddef>
+
+#include "math/linear_solve.hpp"
+#include "math/matrix.hpp"
+#include "math/vector.hpp"
+
+namespace arb::optim {
+
+class SolveWorkspace {
+ public:
+  /// Pre-grows every buffer for problems of dimension ≤ n. Optional —
+  /// buffers also grow on demand — but calling it up front moves all
+  /// allocations out of the solve.
+  void reserve(std::size_t n) {
+    x.reserve(n);
+    grad.reserve(n);
+    neg_grad.reserve(n);
+    direction.reserve(n);
+    candidate.reserve(n);
+    constraint_grad.reserve(n);
+    problem_scratch.reserve(n);
+    hess.reserve(n, n);
+    constraint_hess.reserve(n, n);
+    linear.reserve(n);
+  }
+
+  // Newton-level state. `x` is the current iterate; newton_minimize_into
+  // leaves the final iterate here.
+  math::Vector x;
+  math::Vector grad;       ///< gradient of the (centering) objective
+  math::Vector neg_grad;   ///< right-hand side of the Newton system
+  math::Vector direction;  ///< Newton step
+  math::Vector candidate;  ///< line-search trial point
+  math::Matrix hess;
+
+  // Barrier-level accumulation buffers for per-constraint terms.
+  math::Vector constraint_grad;
+  math::Matrix constraint_hess;
+
+  // Scratch for problem transcriptions that need a per-evaluation
+  // temporary (phase-1 variable stripping, generic chains).
+  math::Vector problem_scratch;
+
+  math::LinearSolveScratch linear;
+};
+
+/// Terminal state of a previous barrier solve on the same cycle, reused
+/// to warm-start the next solve when only pool reserves changed. The
+/// caller defines the units of `x` (the runtime stores raw token amounts
+/// so the cache survives re-normalization).
+struct WarmStart {
+  math::Vector x;      ///< primal iterate at the previous optimum
+  double t = 0.0;      ///< final barrier sharpness of the previous solve
+  bool valid = false;  ///< false until the first successful solve
+};
+
+}  // namespace arb::optim

@@ -17,6 +17,7 @@ IncrementalScanner::IncrementalScanner(market::MarketSnapshot snapshot,
       index_(std::move(index)),
       workers_(workers) {
   slots_.resize(index_.cycles().size());
+  warm_.resize(index_.cycles().size());
 }
 
 Result<IncrementalScanner> IncrementalScanner::create(
@@ -28,7 +29,8 @@ Result<IncrementalScanner> IncrementalScanner::create(
                              *std::move(index), workers);
   std::vector<std::uint32_t> all(scanner.index_.cycles().size());
   std::iota(all.begin(), all.end(), 0u);
-  if (Status status = scanner.reprice(all); !status.ok()) {
+  ApplyReport initial;  // stats of the initial full pricing are discarded
+  if (Status status = scanner.reprice(all, initial); !status.ok()) {
     return status.error();
   }
   scanner.rebuild_ranking();
@@ -76,46 +78,87 @@ Result<ApplyReport> IncrementalScanner::apply(
   std::sort(dirty.begin(), dirty.end());
   report.repriced = dirty.size();
 
-  if (Status status = reprice(dirty); !status.ok()) return status.error();
+  if (Status status = reprice(dirty, report); !status.ok()) {
+    return status.error();
+  }
   rebuild_ranking();
   return report;
 }
 
-Status IncrementalScanner::reprice(const std::vector<std::uint32_t>& dirty) {
+Status IncrementalScanner::reprice(const std::vector<std::uint32_t>& dirty,
+                                   ApplyReport& report) {
   if (dirty.empty()) return Status::success();
 
-  // Each task owns one universe slot, so tasks never contend; the graph
-  // is only read. The pool's wait_idle() provides the happens-before
-  // edge back to this thread.
+  // The dirty set is partitioned into contiguous chunks, one per lane;
+  // each lane owns a disjoint range of universe slots (and their warm
+  // slots) plus its own solver context, so lanes never contend; the
+  // graph is only read. The pool's wait_idle() provides the
+  // happens-before edge back to this thread.
+  const std::size_t lanes =
+      (workers_ == nullptr || dirty.size() == 1)
+          ? 1
+          : std::min(workers_->thread_count(), dirty.size());
+  if (contexts_.size() < lanes) contexts_.resize(lanes);
+
+  struct LaneStats {
+    std::size_t warm_hits = 0;
+    std::size_t warm_misses = 0;
+    std::uint64_t solver_iterations = 0;
+  };
+  std::vector<LaneStats> lane_stats(lanes);
   std::vector<Status> statuses(dirty.size());
-  auto price_one = [this, &dirty, &statuses](std::size_t position) {
-    const std::uint32_t slot = dirty[position];
-    const graph::Cycle& cycle = index_.cycles()[slot];
-    std::optional<core::Opportunity>& out = slots_[slot];
-    // scan_market's filter_arbitrage gate: only the profitable
-    // orientation (price product > 1) is priced at all.
-    if (!(cycle.price_product(snapshot_.graph) > 1.0)) {
-      out.reset();
-      return;
+
+  auto price_range = [this, &dirty, &statuses, &lane_stats](
+                         std::size_t begin, std::size_t end,
+                         std::size_t lane) {
+    core::ConvexContext& ctx = contexts_[lane];
+    LaneStats& stats = lane_stats[lane];
+    const bool convex =
+        config_.strategy == core::StrategyKind::kConvexOptimization;
+    for (std::size_t position = begin; position < end; ++position) {
+      const std::uint32_t slot = dirty[position];
+      const graph::Cycle& cycle = index_.cycles()[slot];
+      std::optional<core::Opportunity>& out = slots_[slot];
+      // scan_market's filter_arbitrage gate: only the profitable
+      // orientation (price product > 1) is priced at all.
+      if (!(cycle.price_product(snapshot_.graph) > 1.0)) {
+        out.reset();
+        warm_[slot].valid = false;  // zero optimum has no interior
+        continue;
+      }
+      ctx.warm = &warm_[slot];
+      auto priced = core::evaluate_opportunity(
+          snapshot_.graph, snapshot_.prices, cycle, config_, ctx);
+      ctx.warm = nullptr;
+      if (!priced) {
+        statuses[position] = priced.error();
+        out.reset();
+        continue;
+      }
+      if (convex) {
+        stats.solver_iterations += static_cast<std::uint64_t>(
+            std::max(0, ctx.report.total_newton_iterations));
+        if (config_.convex_warm_start && !ctx.used_closed_form) {
+          ++(ctx.warm_hit ? stats.warm_hits : stats.warm_misses);
+        }
+      }
+      out = *std::move(priced);
     }
-    auto priced = core::evaluate_opportunity(snapshot_.graph,
-                                             snapshot_.prices, cycle, config_);
-    if (!priced) {
-      statuses[position] = priced.error();
-      out.reset();
-      return;
-    }
-    out = *std::move(priced);
   };
 
-  if (workers_ == nullptr || dirty.size() == 1) {
-    for (std::size_t i = 0; i < dirty.size(); ++i) price_one(i);
+  if (lanes == 1) {
+    price_range(0, dirty.size(), 0);
   } else {
-    for (std::size_t i = 0; i < dirty.size(); ++i) {
-      if (!workers_->submit([&price_one, i] { price_one(i); })) {
+    const std::size_t len = dirty.size();
+    for (std::size_t lane = 0; lane < lanes; ++lane) {
+      const std::size_t begin = lane * len / lanes;
+      const std::size_t end = (lane + 1) * len / lanes;
+      if (begin == end) continue;
+      if (!workers_->submit(
+              [&price_range, begin, end, lane] { price_range(begin, end, lane); })) {
         // Pool shutting down or rejecting: fall back to inline execution
         // so the invariant (slots match current reserves) still holds.
-        price_one(i);
+        price_range(begin, end, lane);
       }
     }
     workers_->wait_idle();
@@ -123,6 +166,11 @@ Status IncrementalScanner::reprice(const std::vector<std::uint32_t>& dirty) {
 
   for (const Status& status : statuses) {
     if (!status.ok()) return status;
+  }
+  for (const LaneStats& stats : lane_stats) {
+    report.warm_hits += stats.warm_hits;
+    report.warm_misses += stats.warm_misses;
+    report.solver_iterations += stats.solver_iterations;
   }
   return Status::success();
 }

@@ -29,6 +29,14 @@ struct ApplyReport {
   std::size_t events = 0;        ///< batch size received
   std::size_t unique_pools = 0;  ///< after last-wins coalescing
   std::size_t repriced = 0;      ///< dirty cycles re-evaluated
+  /// Convex strategy with convex_warm_start only: barrier solves that
+  /// resumed from the cycle's previous optimum vs. ones that cold-started
+  /// (closed-form and price-product-gated cycles count as neither).
+  std::size_t warm_hits = 0;
+  std::size_t warm_misses = 0;
+  /// Convex strategy only: total Newton iterations across this round's
+  /// barrier solves (0 for analytic solves).
+  std::uint64_t solver_iterations = 0;
 };
 
 class IncrementalScanner {
@@ -70,8 +78,10 @@ class IncrementalScanner {
                      core::ScannerConfig config, PoolCycleIndex index,
                      WorkerPool* workers);
 
-  /// Re-evaluates the given universe cycles (ascending indices).
-  [[nodiscard]] Status reprice(const std::vector<std::uint32_t>& dirty);
+  /// Re-evaluates the given universe cycles (ascending indices),
+  /// accumulating warm-start / iteration stats into \p report.
+  [[nodiscard]] Status reprice(const std::vector<std::uint32_t>& dirty,
+                               ApplyReport& report);
   void rebuild_ranking();
 
   market::MarketSnapshot snapshot_;
@@ -83,6 +93,17 @@ class IncrementalScanner {
   /// (wrong orientation, unprofitable, or below the net threshold).
   std::vector<std::optional<core::Opportunity>> slots_;
   std::vector<const core::Opportunity*> ranked_;
+
+  /// Per-cycle warm-start cache (previous barrier optimum in raw token
+  /// units + terminal sharpness). Consulted only when
+  /// config_.convex_warm_start is set; entries invalidate themselves
+  /// whenever a cycle leaves the profitable orientation.
+  std::vector<optim::WarmStart> warm_;
+  /// Per-lane solver contexts: reprice() partitions the dirty set into
+  /// contiguous chunks, one context per chunk, so workspaces are reused
+  /// without contention. Buffers grow to the largest loop seen and then
+  /// steady-state solves allocate nothing.
+  std::vector<core::ConvexContext> contexts_;
 };
 
 }  // namespace arb::runtime

@@ -72,24 +72,29 @@ std::string MetricsSnapshot::summary() const {
   char buffer[256];
   std::snprintf(buffer, sizeof(buffer),
                 "ingested=%llu dropped=%llu coalesced=%llu batches=%llu "
-                "repriced=%llu depth=%llu reprice_us{p50=%.1f p90=%.1f "
-                "p99=%.1f max=%.1f n=%llu}",
+                "repriced=%llu depth=%llu newton=%llu warm=%llu/%llu "
+                "reprice_us{p50=%.1f p90=%.1f p99=%.1f max=%.1f n=%llu}",
                 static_cast<unsigned long long>(events_ingested),
                 static_cast<unsigned long long>(events_dropped),
                 static_cast<unsigned long long>(events_coalesced),
                 static_cast<unsigned long long>(batches),
                 static_cast<unsigned long long>(loops_repriced),
-                static_cast<unsigned long long>(queue_depth), reprice_p50_us,
-                reprice_p90_us, reprice_p99_us, reprice_max_us,
+                static_cast<unsigned long long>(queue_depth),
+                static_cast<unsigned long long>(solver_iterations),
+                static_cast<unsigned long long>(warm_hits),
+                static_cast<unsigned long long>(warm_hits + warm_misses),
+                reprice_p50_us, reprice_p90_us, reprice_p99_us,
+                reprice_max_us,
                 static_cast<unsigned long long>(reprice_samples));
   return buffer;
 }
 
 std::vector<std::string> MetricsSnapshot::csv_columns() {
-  return {"events_ingested", "events_dropped",  "events_coalesced",
-          "batches",         "loops_repriced",  "queue_depth",
-          "reprice_samples", "reprice_p50_us",  "reprice_p90_us",
-          "reprice_p99_us",  "reprice_max_us"};
+  return {"events_ingested",   "events_dropped", "events_coalesced",
+          "batches",           "loops_repriced", "queue_depth",
+          "solver_iterations", "warm_hits",      "warm_misses",
+          "reprice_samples",   "reprice_p50_us", "reprice_p90_us",
+          "reprice_p99_us",    "reprice_max_us"};
 }
 
 MetricsSnapshot RuntimeMetrics::snapshot() const {
@@ -100,6 +105,9 @@ MetricsSnapshot RuntimeMetrics::snapshot() const {
   snap.batches = batches_.load(std::memory_order_relaxed);
   snap.loops_repriced = loops_repriced_.load(std::memory_order_relaxed);
   snap.queue_depth = queue_depth_.load(std::memory_order_relaxed);
+  snap.solver_iterations = solver_iterations_.load(std::memory_order_relaxed);
+  snap.warm_hits = warm_hits_.load(std::memory_order_relaxed);
+  snap.warm_misses = warm_misses_.load(std::memory_order_relaxed);
   snap.reprice_samples = reprice_latency_.samples();
   snap.reprice_p50_us = reprice_latency_.quantile(0.50);
   snap.reprice_p90_us = reprice_latency_.quantile(0.90);
@@ -123,6 +131,9 @@ Status write_metrics_csv(const std::vector<MetricsSnapshot>& snapshots,
             static_cast<std::size_t>(s.batches),
             static_cast<std::size_t>(s.loops_repriced),
             static_cast<std::size_t>(s.queue_depth),
+            static_cast<std::size_t>(s.solver_iterations),
+            static_cast<std::size_t>(s.warm_hits),
+            static_cast<std::size_t>(s.warm_misses),
             static_cast<std::size_t>(s.reprice_samples), s.reprice_p50_us,
             s.reprice_p90_us, s.reprice_p99_us, s.reprice_max_us);
   }

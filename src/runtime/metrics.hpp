@@ -47,6 +47,9 @@ struct MetricsSnapshot {
   std::uint64_t batches = 0;           ///< apply() rounds executed
   std::uint64_t loops_repriced = 0;    ///< dirty cycles re-optimized
   std::uint64_t queue_depth = 0;       ///< events waiting at snapshot time
+  std::uint64_t solver_iterations = 0; ///< Newton iterations (convex only)
+  std::uint64_t warm_hits = 0;         ///< warm-started barrier solves
+  std::uint64_t warm_misses = 0;       ///< cold-started barrier solves
   std::uint64_t reprice_samples = 0;   ///< latency histogram sample count
   double reprice_p50_us = 0.0;
   double reprice_p90_us = 0.0;
@@ -68,6 +71,9 @@ class RuntimeMetrics {
   void add_coalesced(std::uint64_t n) { events_coalesced_ += n; }
   void add_batch() { ++batches_; }
   void add_repriced(std::uint64_t n) { loops_repriced_ += n; }
+  void add_solver_iterations(std::uint64_t n) { solver_iterations_ += n; }
+  void add_warm_hits(std::uint64_t n) { warm_hits_ += n; }
+  void add_warm_misses(std::uint64_t n) { warm_misses_ += n; }
   void set_queue_depth(std::uint64_t depth) { queue_depth_ = depth; }
   void record_reprice_latency(double microseconds) {
     reprice_latency_.record(microseconds);
@@ -82,6 +88,9 @@ class RuntimeMetrics {
   std::atomic<std::uint64_t> batches_{0};
   std::atomic<std::uint64_t> loops_repriced_{0};
   std::atomic<std::uint64_t> queue_depth_{0};
+  std::atomic<std::uint64_t> solver_iterations_{0};
+  std::atomic<std::uint64_t> warm_hits_{0};
+  std::atomic<std::uint64_t> warm_misses_{0};
   LatencyHistogram reprice_latency_;
 };
 

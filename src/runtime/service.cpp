@@ -132,6 +132,9 @@ void ScannerService::run() {
       metrics_.add_batch();
       metrics_.add_coalesced(report->events - report->unique_pools);
       metrics_.add_repriced(report->repriced);
+      metrics_.add_solver_iterations(report->solver_iterations);
+      metrics_.add_warm_hits(report->warm_hits);
+      metrics_.add_warm_misses(report->warm_misses);
       metrics_.record_reprice_latency(micros);
     } else {
       ARB_LOG_WARN("scanner service stopping on error: "

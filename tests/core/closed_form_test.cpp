@@ -1,0 +1,142 @@
+#include "core/closed_form.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "core/convex.hpp"
+#include "core/loop_nlp.hpp"
+#include "graph/token_graph.hpp"
+#include "market/price_feed.hpp"
+
+namespace arb::core {
+namespace {
+
+/// Two-pool market over the same token pair with a reserve imbalance:
+/// pool 0 prices A cheap, pool 1 prices it dear, so A -> B -> A profits.
+struct TwoPoolMarket {
+  graph::TokenGraph graph;
+  market::CexPriceFeed prices;
+  TokenId a, b;
+  PoolId p0, p1;
+
+  TwoPoolMarket(double x0 = 100.0, double y0 = 220.0, double x1 = 200.0,
+                double y1 = 100.0, double fee = 0.003) {
+    a = graph.add_token("A");
+    b = graph.add_token("B");
+    p0 = graph.add_pool(a, b, x0, y0, fee);
+    p1 = graph.add_pool(b, a, x1, y1, fee);
+    prices.set_price(a, 1.0);
+    prices.set_price(b, 0.5);
+  }
+
+  [[nodiscard]] graph::Cycle loop() const {
+    return *graph::Cycle::create(graph, {a, b}, {p0, p1});
+  }
+};
+
+TEST(ClosedFormTest, SingleHopOptimumMatchesFirstOrderCondition) {
+  LoopHopData hop;
+  hop.reserve_in = 100.0;
+  hop.reserve_out = 220.0;
+  hop.gamma = 0.997;
+  hop.price_in = 1.0;
+  hop.price_out = 0.5;
+  const double d = optimal_single_hop_input(hop);
+  ASSERT_GT(d, 0.0);
+  // Interior optimum: marginal revenue equals marginal cost.
+  EXPECT_NEAR(hop.price_out * hop.swap_deriv(d), hop.price_in, 1e-9);
+}
+
+TEST(ClosedFormTest, LosingHopTradesNothing) {
+  LoopHopData hop;
+  hop.reserve_in = 100.0;
+  hop.reserve_out = 100.0;
+  hop.gamma = 0.997;
+  hop.price_in = 1.0;
+  hop.price_out = 1.0;  // marginal rate at zero is gamma < 1: a loss
+  EXPECT_DOUBLE_EQ(optimal_single_hop_input(hop), 0.0);
+}
+
+TEST(ClosedFormTest, GoldenSymmetricLoop) {
+  // Hand-derived optimum: both hops trade against (100, 150) reserves at
+  // unit CEX prices, fee 0.3%. Each hop alone is profitable
+  // (gamma·150/100 > 1) and the symmetric per-hop optima
+  //   d* = (sqrt(gamma·100·150) − 100) / gamma ≈ 22.36
+  // satisfy both flow constraints (F(d*) ≈ 27.3 > d*), so the interior
+  // candidate with both flow constraints slack is the global optimum and
+  // the profit is 2·(F(d*) − d*).
+  graph::TokenGraph graph;
+  market::CexPriceFeed prices;
+  const TokenId a = graph.add_token("A");
+  const TokenId b = graph.add_token("B");
+  const PoolId p0 = graph.add_pool(a, b, 100.0, 150.0, 0.003);
+  const PoolId p1 = graph.add_pool(b, a, 100.0, 150.0, 0.003);
+  prices.set_price(a, 1.0);
+  prices.set_price(b, 1.0);
+  const auto loop = *graph::Cycle::create(graph, {a, b}, {p0, p1});
+
+  auto hops = make_hop_data(graph, prices, loop);
+  ASSERT_TRUE(hops.ok());
+  const auto solution = solve_length2_closed_form(*hops);
+  ASSERT_TRUE(solution.has_value());
+
+  const double g = 0.997;
+  const double d = (std::sqrt(g * 100.0 * 150.0) - 100.0) / g;
+  const double out = (*hops)[0].swap(d);
+  ASSERT_GT(out, d);          // each hop profits
+  ASSERT_GT(out, d + 1e-12);  // flow constraints strictly slack
+  EXPECT_NEAR(solution->inputs[0], d, 1e-12 * d);
+  EXPECT_NEAR(solution->inputs[1], d, 1e-12 * d);
+  EXPECT_NEAR(solution->outputs[0], out, 1e-12 * out);
+  EXPECT_NEAR(solution->profit_usd, 2.0 * (out - d),
+              1e-12 * 2.0 * (out - d));
+}
+
+TEST(ClosedFormTest, AgreesWithBarrierAcrossRandomMarkets) {
+  std::mt19937_64 rng(20240807);
+  std::uniform_real_distribution<double> reserve(50.0, 5000.0);
+  std::uniform_real_distribution<double> fee(0.0, 0.01);
+  int profitable = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    const TwoPoolMarket m(reserve(rng), reserve(rng), reserve(rng),
+                          reserve(rng), fee(rng));
+
+    ConvexOptions analytic;
+    analytic.use_closed_form_length2 = true;
+    auto fast = solve_convex(m.graph, m.prices, m.loop(), analytic);
+    ASSERT_TRUE(fast.ok()) << "trial " << trial;
+
+    ConvexOptions iterative;
+    iterative.use_closed_form_length2 = false;
+    auto slow = solve_convex(m.graph, m.prices, m.loop(), iterative);
+    ASSERT_TRUE(slow.ok()) << "trial " << trial;
+
+    const double scale =
+        std::max(1e-12, std::abs(slow->outcome.monetized_usd));
+    EXPECT_NEAR(fast->outcome.monetized_usd, slow->outcome.monetized_usd,
+                1e-9 * scale)
+        << "trial " << trial;
+    if (slow->outcome.monetized_usd > 1e-6) ++profitable;
+  }
+  // The random family must actually exercise the profitable branch.
+  EXPECT_GT(profitable, 20);
+}
+
+TEST(ClosedFormTest, RejectsDegenerateAndWrongLengthInputs) {
+  const TwoPoolMarket m;
+  auto hops = make_hop_data(m.graph, m.prices, m.loop());
+  ASSERT_TRUE(hops.ok());
+
+  auto three = *hops;
+  three.push_back((*hops)[0]);
+  EXPECT_FALSE(solve_length2_closed_form(three).has_value());
+
+  auto degenerate = *hops;
+  degenerate[0].reserve_in = 0.0;
+  EXPECT_FALSE(solve_length2_closed_form(degenerate).has_value());
+}
+
+}  // namespace
+}  // namespace arb::core

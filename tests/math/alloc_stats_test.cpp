@@ -1,0 +1,95 @@
+// Allocation instrumentation and the capacity-preserving contracts that
+// the solver fast path relies on: moves steal buffers, shrinking resizes
+// keep capacity, and the counter observes exactly the math-layer heap
+// traffic.
+
+#include "math/alloc_stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <utility>
+
+#include "math/matrix.hpp"
+#include "math/vector.hpp"
+
+namespace arb::math {
+namespace {
+
+TEST(AllocStatsTest, CounterObservesVectorAndMatrixAllocations) {
+  reset_allocation_count();
+  const Vector v(8, 1.0);
+  EXPECT_EQ(allocation_count(), 1u);
+  const Matrix m(4, 4);
+  EXPECT_EQ(allocation_count(), 2u);
+  const Vector copy = v;  // copies allocate their own buffer
+  EXPECT_EQ(allocation_count(), 3u);
+  EXPECT_EQ(copy.size(), 8u);
+}
+
+TEST(AllocStatsTest, VectorMoveStealsBufferWithoutAllocating) {
+  Vector source(16, 3.0);
+  reset_allocation_count();
+  const Vector moved(std::move(source));
+  EXPECT_EQ(allocation_count(), 0u);
+  EXPECT_EQ(moved.size(), 16u);
+  EXPECT_DOUBLE_EQ(moved[15], 3.0);
+  EXPECT_TRUE(source.empty());  // NOLINT(bugprone-use-after-move): documented
+
+  Vector target;
+  Vector other(4, 2.0);
+  reset_allocation_count();
+  target = std::move(other);
+  EXPECT_EQ(allocation_count(), 0u);
+  EXPECT_EQ(target.size(), 4u);
+}
+
+TEST(AllocStatsTest, MatrixMoveStealsBufferWithoutAllocating) {
+  Matrix source(5, 5, 2.0);
+  reset_allocation_count();
+  const Matrix moved(std::move(source));
+  EXPECT_EQ(allocation_count(), 0u);
+  EXPECT_EQ(moved.rows(), 5u);
+  EXPECT_EQ(moved.cols(), 5u);
+  EXPECT_DOUBLE_EQ(moved(4, 4), 2.0);
+  // NOLINTNEXTLINE(bugprone-use-after-move): moved-from state is specified
+  EXPECT_EQ(source.rows(), 0u);
+  EXPECT_EQ(source.cols(), 0u);
+}
+
+TEST(AllocStatsTest, ResizeWithinCapacityDoesNotAllocate) {
+  Vector v(12);
+  reset_allocation_count();
+  v.resize(5);   // shrink: capacity kept
+  v.resize(12);  // regrow within capacity
+  v.assign(8, 7.0);
+  EXPECT_EQ(allocation_count(), 0u);
+  EXPECT_GE(v.capacity(), 12u);
+  EXPECT_DOUBLE_EQ(v[7], 7.0);
+
+  v.resize(v.capacity() + 1);  // genuine growth allocates
+  EXPECT_EQ(allocation_count(), 1u);
+}
+
+TEST(AllocStatsTest, MatrixAssignWithinCapacityDoesNotAllocate) {
+  Matrix m(6, 6);
+  reset_allocation_count();
+  m.assign(3, 4, 1.0);  // 12 <= 36: reshape in place
+  m.assign(6, 6, 0.0);
+  EXPECT_EQ(allocation_count(), 0u);
+  m.assign(7, 7, 0.0);  // 49 > 36: grows
+  EXPECT_EQ(allocation_count(), 1u);
+}
+
+TEST(AllocStatsTest, ReserveThenGrowIsAllocationFree) {
+  Vector v;
+  Matrix m;
+  v.reserve(10);
+  m.reserve(10, 10);
+  reset_allocation_count();
+  v.resize(10);
+  m.assign(10, 10, 0.0);
+  EXPECT_EQ(allocation_count(), 0u);
+}
+
+}  // namespace
+}  // namespace arb::math

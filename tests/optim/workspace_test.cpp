@@ -1,0 +1,135 @@
+// SolveWorkspace contract: buffers grow to the largest problem seen and
+// then stay put, so steady-state barrier solves — including across
+// heterogeneous problem sizes — perform zero math-layer heap
+// allocations, and reuse never changes the answer.
+
+#include "optim/workspace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "core/loop_nlp.hpp"
+#include "math/alloc_stats.hpp"
+#include "optim/barrier_solver.hpp"
+
+namespace arb::optim {
+namespace {
+
+/// Symmetric profitable ring of length n: every hop trades against
+/// (100, 150) reserves at unit CEX prices, so d = (1, ..., 1) is a
+/// strictly feasible interior point for the reduced transcription.
+std::vector<core::LoopHopData> ring(std::size_t n) {
+  std::vector<core::LoopHopData> hops(n);
+  for (auto& hop : hops) {
+    hop.reserve_in = 100.0;
+    hop.reserve_out = 150.0;
+    hop.gamma = 0.997;
+    hop.price_in = 1.0;
+    hop.price_out = 1.0;
+  }
+  return hops;
+}
+
+BarrierOptions hot_path_options() {
+  BarrierOptions options;
+  options.refine_duals = false;  // the documented hot-path setting
+  return options;
+}
+
+TEST(SolveWorkspaceTest, SteadyStateSolvesAreAllocationFree) {
+  const core::ReducedLoopProblem problem(ring(3));
+  const BarrierSolver solver(hot_path_options());
+  SolveWorkspace ws;
+  BarrierReport report;
+  const math::Vector start(3, 1.0);
+
+  // Warm-up grows every buffer (workspace and report) to capacity.
+  ASSERT_TRUE(solver.solve_into(problem, start, ws, report).ok());
+
+  math::reset_allocation_count();
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(solver.solve_into(problem, start, ws, report).ok());
+  }
+  EXPECT_EQ(math::allocation_count(), 0u);
+  EXPECT_GT(-report.objective, 0.0);  // the ring is profitable
+}
+
+TEST(SolveWorkspaceTest, ReuseAcrossHeterogeneousSizesStaysAllocationFree) {
+  const BarrierSolver solver(hot_path_options());
+  SolveWorkspace ws;
+  BarrierReport report;
+
+  // Warm up at the largest size; every smaller problem then fits in the
+  // existing buffers.
+  {
+    const core::ReducedLoopProblem largest(ring(6));
+    ASSERT_TRUE(
+        solver.solve_into(largest, math::Vector(6, 1.0), ws, report).ok());
+  }
+
+  // The start point is staged in a workspace buffer (solve_into allows
+  // x0 to alias ws members), so the whole round is allocation-free.
+  math::reset_allocation_count();
+  for (const std::size_t n : {std::size_t{2}, std::size_t{5}, std::size_t{3},
+                              std::size_t{6}, std::size_t{4}}) {
+    const core::ReducedLoopProblem problem(ring(n));
+    ws.candidate.assign(n, 1.0);
+    ASSERT_TRUE(solver.solve_into(problem, ws.candidate, ws, report).ok())
+        << n;
+    EXPECT_EQ(report.x.size(), n);
+  }
+  EXPECT_EQ(math::allocation_count(), 0u);
+}
+
+TEST(SolveWorkspaceTest, ReuseDoesNotChangeTheAnswer) {
+  const BarrierSolver solver(hot_path_options());
+
+  // Fresh workspace per solve: the reference.
+  std::vector<double> reference;
+  for (const std::size_t n :
+       {std::size_t{2}, std::size_t{4}, std::size_t{3}}) {
+    const core::ReducedLoopProblem problem(ring(n));
+    SolveWorkspace ws;
+    BarrierReport report;
+    ASSERT_TRUE(
+        solver.solve_into(problem, math::Vector(n, 1.0), ws, report).ok());
+    reference.push_back(report.objective);
+  }
+
+  // One reused workspace: bit-identical objectives in any order.
+  SolveWorkspace ws;
+  BarrierReport report;
+  std::size_t k = 0;
+  for (const std::size_t n :
+       {std::size_t{2}, std::size_t{4}, std::size_t{3}}) {
+    const core::ReducedLoopProblem problem(ring(n));
+    ASSERT_TRUE(
+        solver.solve_into(problem, math::Vector(n, 1.0), ws, report).ok());
+    EXPECT_EQ(report.objective, reference[k++]) << "size " << n;
+  }
+}
+
+TEST(SolveWorkspaceTest, ReservePreallocatesEveryBuffer) {
+  SolveWorkspace ws;
+  ws.reserve(8);
+  const std::uint64_t after_reserve = math::allocation_count();
+
+  // Touching every buffer at the reserved size must not allocate.
+  math::reset_allocation_count();
+  ws.x.resize(8);
+  ws.grad.resize(8);
+  ws.neg_grad.resize(8);
+  ws.direction.resize(8);
+  ws.candidate.resize(8);
+  ws.constraint_grad.resize(8);
+  ws.problem_scratch.resize(8);
+  ws.hess.assign(8, 8, 0.0);
+  ws.constraint_hess.assign(8, 8, 0.0);
+  EXPECT_EQ(math::allocation_count(), 0u);
+  (void)after_reserve;
+}
+
+}  // namespace
+}  // namespace arb::optim

@@ -83,6 +83,44 @@ TEST(RuntimeMetricsTest, SnapshotReflectsCounters) {
   EXPECT_NE(line.find("repriced=7"), std::string::npos);
 }
 
+TEST(RuntimeMetricsTest, SolverCountersFlowThroughSnapshotAndSummary) {
+  RuntimeMetrics metrics;
+  metrics.add_solver_iterations(100);
+  metrics.add_solver_iterations(23);
+  metrics.add_warm_hits(9);
+  metrics.add_warm_misses(3);
+  metrics.add_warm_misses(1);
+
+  const MetricsSnapshot snap = metrics.snapshot();
+  EXPECT_EQ(snap.solver_iterations, 123u);
+  EXPECT_EQ(snap.warm_hits, 9u);
+  EXPECT_EQ(snap.warm_misses, 4u);
+
+  const std::string line = snap.summary();
+  EXPECT_NE(line.find("newton=123"), std::string::npos);
+  // Rendered as hits over total solves.
+  EXPECT_NE(line.find("warm=9/13"), std::string::npos);
+}
+
+TEST(RuntimeMetricsTest, SolverCountersRoundTripThroughCsv) {
+  RuntimeMetrics metrics;
+  metrics.add_solver_iterations(77);
+  metrics.add_warm_hits(5);
+  metrics.add_warm_misses(2);
+  const std::vector<MetricsSnapshot> rows = {metrics.snapshot()};
+  const std::string path =
+      ::testing::TempDir() + "runtime_metrics_solver_test.csv";
+  ASSERT_TRUE(write_metrics_csv(rows, path).ok());
+
+  const auto table = read_csv_file(path).value();
+  EXPECT_EQ(table.header, MetricsSnapshot::csv_columns());
+  ASSERT_EQ(table.rows.size(), 1u);
+  EXPECT_EQ(table.rows[0][table.column_index("solver_iterations")], "77");
+  EXPECT_EQ(table.rows[0][table.column_index("warm_hits")], "5");
+  EXPECT_EQ(table.rows[0][table.column_index("warm_misses")], "2");
+  std::remove(path.c_str());
+}
+
 TEST(RuntimeMetricsTest, CsvRoundTrip) {
   RuntimeMetrics metrics;
   metrics.add_ingested(42);
