@@ -44,6 +44,10 @@ struct StreamResult {
   std::uint64_t solver_iterations = 0;
   std::size_t warm_hits = 0;
   std::size_t warm_misses = 0;
+  std::size_t repriced_cpmm = 0;
+  std::size_t repriced_mixed = 0;
+  double reprice_cpmm_us = 0.0;
+  double reprice_mixed_us = 0.0;
 };
 
 StreamResult replay_stream(const market::MarketSnapshot& snapshot,
@@ -70,6 +74,10 @@ StreamResult replay_stream(const market::MarketSnapshot& snapshot,
     result.solver_iterations += report.solver_iterations;
     result.warm_hits += report.warm_hits;
     result.warm_misses += report.warm_misses;
+    result.repriced_cpmm += report.repriced_cpmm;
+    result.repriced_mixed += report.repriced_mixed;
+    result.reprice_cpmm_us += report.reprice_cpmm_us;
+    result.reprice_mixed_us += report.reprice_mixed_us;
   }
   return result;
 }
@@ -152,6 +160,29 @@ int main() {
   const runtime::MetricsSnapshot metrics = service->metrics();
   service->stop();
 
+  // (e) Mixed-venue stream: the same convex workload on a market where a
+  // fifth of the pools are StableSwap and a fifth concentrated, so a
+  // slice of the loop universe routes through the generic solver. The
+  // per-kind counters split the cost of that slice out of the aggregate.
+  market::GeneratorConfig mixed_gen;
+  mixed_gen.stable_fraction = 0.2;
+  mixed_gen.concentrated_fraction = 0.2;
+  const market::MarketSnapshot mixed_snapshot =
+      market::generate_snapshot(mixed_gen).filtered(market::PoolFilter{});
+  const StreamResult mixed_stream = replay_stream(
+      mixed_snapshot, convex_config, /*blocks=*/200, /*warmup=*/32);
+  const double mixed_median_us = percentile(mixed_stream.series_us, 0.50);
+  const double mixed_loop_cpmm_us =
+      mixed_stream.repriced_cpmm == 0
+          ? 0.0
+          : mixed_stream.reprice_cpmm_us /
+                static_cast<double>(mixed_stream.repriced_cpmm);
+  const double mixed_loop_mixed_us =
+      mixed_stream.repriced_mixed == 0
+          ? 0.0
+          : mixed_stream.reprice_mixed_us /
+                static_cast<double>(mixed_stream.repriced_mixed);
+
   auto scanner = bench::expect_ok(
       runtime::IncrementalScanner::create(snapshot, config, nullptr),
       "IncrementalScanner::create");
@@ -177,6 +208,13 @@ int main() {
                    {static_cast<double>(metrics.events_coalesced)});
   sink.labeled_row("service_reprice_p50_us", {metrics.reprice_p50_us});
   sink.labeled_row("service_reprice_p99_us", {metrics.reprice_p99_us});
+  sink.labeled_row("mixed_apply_median_us", {mixed_median_us});
+  sink.labeled_row("mixed_loops_cpmm",
+                   {static_cast<double>(mixed_stream.repriced_cpmm)});
+  sink.labeled_row("mixed_loops_mixed",
+                   {static_cast<double>(mixed_stream.repriced_mixed)});
+  sink.labeled_row("mixed_loop_cpmm_us", {mixed_loop_cpmm_us});
+  sink.labeled_row("mixed_loop_mixed_us", {mixed_loop_mixed_us});
 
   json.set("full_scan", full);
   json.set("incremental.median_us", incremental_median_us);
@@ -195,6 +233,14 @@ int main() {
   json.set("service.reprice_p50_us", metrics.reprice_p50_us);
   json.set("service.reprice_p99_us", metrics.reprice_p99_us);
   json.set("universe.cycles", static_cast<double>(index.cycles().size()));
+  json.set("mixed.apply_median_us", mixed_median_us);
+  json.set("mixed.events", static_cast<double>(mixed_stream.series_us.size()));
+  json.set("mixed.loops_cpmm",
+           static_cast<double>(mixed_stream.repriced_cpmm));
+  json.set("mixed.loops_mixed",
+           static_cast<double>(mixed_stream.repriced_mixed));
+  json.set("mixed.loop_cpmm_us", mixed_loop_cpmm_us);
+  json.set("mixed.loop_mixed_us", mixed_loop_mixed_us);
   if (!json.write("BENCH_runtime.json")) return 1;
 
   std::printf("\nincremental vs full rescan speedup: %.1fx (median)\n",
@@ -206,6 +252,10 @@ int main() {
                   convex_stream.solver_iterations));
   std::printf("service: %.0f events/sec, reprice p50=%.1fus p99=%.1fus\n",
               events_per_sec, metrics.reprice_p50_us, metrics.reprice_p99_us);
+  std::printf("mixed venue: apply median %.1fus, loops cpmm=%zu (%.1fus) "
+              "mixed=%zu (%.1fus)\n",
+              mixed_median_us, mixed_stream.repriced_cpmm, mixed_loop_cpmm_us,
+              mixed_stream.repriced_mixed, mixed_loop_mixed_us);
   std::printf("metrics: %s\n", metrics.summary().c_str());
 
   SvgPlot plot("Streaming runtime: incremental re-price vs full rescan",

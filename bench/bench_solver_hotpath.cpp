@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "bench/bench_util.hpp"
+#include "common/error.hpp"
 #include "common/stats.hpp"
 #include "core/convex.hpp"
 #include "core/loop_nlp.hpp"
@@ -258,9 +259,13 @@ int main() {
     const std::vector<PoolId> pools = {market.xy, market.yz, market.zx};
     for (int event = 0; event < kEvents; ++event) {
       for (const PoolId pool : pools) {
-        const amm::CpmmPool& p = market.graph.pool(pool);
-        market.graph.set_pool_reserves(pool, p.reserve0() * rng.jitter(kSpread),
-                                       p.reserve1() * rng.jitter(kSpread));
+        const amm::AnyPool& p = market.graph.pool(pool);
+        ARB_REQUIRE(market.graph
+                        .set_pool_reserves(pool,
+                                           p.reserve0() * rng.jitter(kSpread),
+                                           p.reserve1() * rng.jitter(kSpread))
+                        .ok(),
+                    "jittered reserves invalid");
       }
 
       const auto warm_start_time = std::chrono::steady_clock::now();

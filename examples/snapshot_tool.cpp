@@ -1,6 +1,7 @@
 // Snapshot tool: generate, persist, reload and inspect market snapshots.
 //
-//   $ ./snapshot_tool gen <dir> [seed] [tokens] [pools]   # generate + save
+//   $ ./snapshot_tool gen <dir> [seed] [tokens] [pools] [stable_frac]
+//                     [concentrated_frac]                 # generate + save
 //   $ ./snapshot_tool info <dir>                          # inspect a saved one
 //   $ ./snapshot_tool study <dir> <out.csv> [length]      # run + export study
 //
@@ -23,13 +24,17 @@ namespace {
 
 int cmd_gen(int argc, char** argv) {
   if (argc < 3) {
-    std::fprintf(stderr, "usage: snapshot_tool gen <dir> [seed] [tokens] [pools]\n");
+    std::fprintf(stderr,
+                 "usage: snapshot_tool gen <dir> [seed] [tokens] [pools] "
+                 "[stable_frac] [concentrated_frac]\n");
     return 2;
   }
   market::GeneratorConfig config;
   if (argc > 3) config.seed = std::strtoull(argv[3], nullptr, 10);
   if (argc > 4) config.token_count = std::strtoul(argv[4], nullptr, 10);
   if (argc > 5) config.pool_count = std::strtoul(argv[5], nullptr, 10);
+  if (argc > 6) config.stable_fraction = std::strtod(argv[6], nullptr);
+  if (argc > 7) config.concentrated_fraction = std::strtod(argv[7], nullptr);
   const market::MarketSnapshot snapshot = market::generate_snapshot(config);
   auto saved = market::save_snapshot(snapshot, argv[2]);
   if (!saved.ok()) {
@@ -58,10 +63,14 @@ int cmd_info(int argc, char** argv) {
               snapshot->graph.token_count(), snapshot->graph.pool_count(),
               filtered.graph.token_count(), filtered.graph.pool_count());
   double tvl = 0.0;
-  for (const amm::CpmmPool& pool : snapshot->graph.pools()) {
+  std::size_t kinds[3] = {0, 0, 0};
+  for (const amm::AnyPool& pool : snapshot->graph.pools()) {
     tvl += snapshot->pool_tvl_usd(pool.id());
+    ++kinds[static_cast<std::size_t>(pool.kind())];
   }
   std::printf("total TVL: $%.0f\n", tvl);
+  std::printf("venue kinds: cpmm=%zu stable=%zu concentrated=%zu\n",
+              kinds[0], kinds[1], kinds[2]);
   for (std::size_t len : {2, 3, 4}) {
     const auto loops = graph::filter_arbitrage(
         filtered.graph,

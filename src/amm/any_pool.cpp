@@ -1,0 +1,182 @@
+#include "amm/any_pool.hpp"
+
+#include "common/error.hpp"
+
+namespace arb::amm {
+
+const char* to_string(PoolKind kind) {
+  switch (kind) {
+    case PoolKind::kCpmm:
+      return "cpmm";
+    case PoolKind::kStable:
+      return "stable";
+    case PoolKind::kConcentrated:
+      return "concentrated";
+  }
+  return "unknown";
+}
+
+const CpmmPool& AnyPool::cpmm() const {
+  ARB_REQUIRE(is_cpmm(), "pool is not constant-product");
+  return std::get<CpmmPool>(pool_);
+}
+
+CpmmPool& AnyPool::cpmm() {
+  ARB_REQUIRE(is_cpmm(), "pool is not constant-product");
+  return std::get<CpmmPool>(pool_);
+}
+
+const StablePool& AnyPool::stable() const {
+  ARB_REQUIRE(kind() == PoolKind::kStable, "pool is not StableSwap");
+  return std::get<StablePool>(pool_);
+}
+
+StablePool& AnyPool::stable() {
+  ARB_REQUIRE(kind() == PoolKind::kStable, "pool is not StableSwap");
+  return std::get<StablePool>(pool_);
+}
+
+const ConcentratedPool& AnyPool::concentrated() const {
+  ARB_REQUIRE(kind() == PoolKind::kConcentrated,
+              "pool is not concentrated-liquidity");
+  return std::get<ConcentratedPool>(pool_);
+}
+
+ConcentratedPool& AnyPool::concentrated() {
+  ARB_REQUIRE(kind() == PoolKind::kConcentrated,
+              "pool is not concentrated-liquidity");
+  return std::get<ConcentratedPool>(pool_);
+}
+
+PoolId AnyPool::id() const {
+  return std::visit([](const auto& p) { return p.id(); }, pool_);
+}
+
+TokenId AnyPool::token0() const {
+  return std::visit([](const auto& p) { return p.token0(); }, pool_);
+}
+
+TokenId AnyPool::token1() const {
+  return std::visit([](const auto& p) { return p.token1(); }, pool_);
+}
+
+Amount AnyPool::reserve0() const {
+  return std::visit([](const auto& p) -> Amount { return p.reserve0(); },
+                    pool_);
+}
+
+Amount AnyPool::reserve1() const {
+  return std::visit([](const auto& p) -> Amount { return p.reserve1(); },
+                    pool_);
+}
+
+Amount AnyPool::reserve_of(TokenId token) const {
+  return std::visit(
+      [token](const auto& p) -> Amount { return p.reserve_of(token); },
+      pool_);
+}
+
+double AnyPool::fee() const {
+  return std::visit([](const auto& p) { return p.fee(); }, pool_);
+}
+
+bool AnyPool::contains(TokenId token) const {
+  return std::visit([token](const auto& p) { return p.contains(token); },
+                    pool_);
+}
+
+TokenId AnyPool::other(TokenId token) const {
+  return std::visit([token](const auto& p) { return p.other(token); },
+                    pool_);
+}
+
+double AnyPool::relative_price_of(TokenId token_in) const {
+  return std::visit(
+      [token_in](const auto& p) { return p.relative_price_of(token_in); },
+      pool_);
+}
+
+SwapQuote AnyPool::quote(TokenId token_in, Amount amount_in) const {
+  return std::visit(
+      [token_in, amount_in](const auto& p) {
+        return p.quote(token_in, amount_in);
+      },
+      pool_);
+}
+
+Result<SwapQuote> AnyPool::apply_swap(TokenId token_in, Amount amount_in) {
+  return std::visit(
+      [token_in, amount_in](auto& p) {
+        return p.apply_swap(token_in, amount_in);
+      },
+      pool_);
+}
+
+Status AnyPool::set_reserves(Amount reserve0, Amount reserve1) {
+  if (!(reserve0 > 0.0 && reserve1 > 0.0)) {
+    return make_error(ErrorCode::kInvalidArgument,
+                      "reserves must be positive");
+  }
+  switch (kind()) {
+    case PoolKind::kCpmm: {
+      CpmmPool& p = cpmm();
+      p = CpmmPool(p.id(), p.token0(), p.token1(), reserve0, reserve1,
+                   p.fee());
+      return Status::success();
+    }
+    case PoolKind::kStable: {
+      StablePool& p = stable();
+      p = StablePool(p.id(), p.token0(), p.token1(), reserve0, reserve1,
+                     p.amplification(), p.fee());
+      return Status::success();
+    }
+    case PoolKind::kConcentrated: {
+      ConcentratedPool& p = concentrated();
+      Result<ConcentratedPool> rebuilt = ConcentratedPool::from_reserves(
+          p.id(), p.token0(), p.token1(), reserve0, reserve1, p.p_lo(),
+          p.p_hi(), p.fee());
+      if (!rebuilt.ok()) return rebuilt.error();
+      p = *std::move(rebuilt);
+      return Status::success();
+    }
+  }
+  return make_error(ErrorCode::kInvalidArgument, "unknown pool kind");
+}
+
+Status AnyPool::set_concentrated_state(double liquidity, double price) {
+  if (kind() != PoolKind::kConcentrated) {
+    return make_error(ErrorCode::kInvalidArgument,
+                      "pool is not concentrated-liquidity");
+  }
+  if (!(liquidity > 0.0)) {
+    return make_error(ErrorCode::kInvalidArgument,
+                      "liquidity must be positive");
+  }
+  ConcentratedPool& p = concentrated();
+  if (!(price > p.p_lo() && price < p.p_hi())) {
+    return make_error(ErrorCode::kInvalidArgument,
+                      "price outside the position range");
+  }
+  p = ConcentratedPool(p.id(), p.token0(), p.token1(), liquidity, price,
+                       p.p_lo(), p.p_hi(), p.fee());
+  return Status::success();
+}
+
+std::string AnyPool::to_string() const {
+  return std::visit([](const auto& p) { return p.to_string(); }, pool_);
+}
+
+SwapFn swap_fn(const AnyPool& pool, TokenId token_in) {
+  switch (pool.kind()) {
+    case PoolKind::kCpmm:
+      return swap_fn(pool.cpmm(), token_in);
+    case PoolKind::kStable:
+      return swap_fn(pool.stable(), token_in);
+    case PoolKind::kConcentrated:
+      return swap_fn(pool.concentrated(), token_in);
+  }
+  ARB_REQUIRE(false, "unknown pool kind");
+  return {};
+}
+
+}  // namespace arb::amm

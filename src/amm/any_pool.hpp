@@ -1,0 +1,117 @@
+#pragma once
+
+/// \file any_pool.hpp
+/// The heterogeneous venue type: one pool that is a CPMM, a StableSwap,
+/// or a concentrated-liquidity position.
+///
+/// AnyPool is a value type over std::variant — no heap allocation, no
+/// virtual dispatch, sizeof is the largest alternative plus a tag. The
+/// uniform surface (id/tokens/reserves/fee/quote/apply_swap/price) is
+/// implemented with std::visit, which compiles to a jump table; the hot
+/// CPMM scan paths never pay it because they first branch on kind() and
+/// then work on the unwrapped cpmm() reference (see core/scanner
+/// dispatch and DESIGN.md §9).
+///
+/// State updates are kind-aware: a CPMM or StableSwap pool is fully
+/// described by its two reserves, while a concentrated position carries
+/// (liquidity, price, range) and reconstructs from observed reserves
+/// only when the implied price stays inside the range — so
+/// set_reserves returns a Status instead of asserting.
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "amm/concentrated_pool.hpp"
+#include "amm/generic_path.hpp"
+#include "amm/pool.hpp"
+#include "amm/stable_pool.hpp"
+#include "common/result.hpp"
+#include "common/types.hpp"
+
+namespace arb::amm {
+
+/// Which curve an AnyPool holds. Values are the CSV schema's `kind`
+/// column (market/io.cpp) — keep them stable.
+enum class PoolKind : std::uint8_t {
+  kCpmm = 0,
+  kStable = 1,
+  kConcentrated = 2,
+};
+
+[[nodiscard]] const char* to_string(PoolKind kind);
+
+class AnyPool {
+ public:
+  /// Implicit by design: every CpmmPool call site keeps compiling when a
+  /// function takes or stores AnyPool.
+  AnyPool(CpmmPool pool) : pool_(std::move(pool)) {}          // NOLINT
+  AnyPool(StablePool pool) : pool_(std::move(pool)) {}        // NOLINT
+  AnyPool(ConcentratedPool pool) : pool_(std::move(pool)) {}  // NOLINT
+
+  [[nodiscard]] PoolKind kind() const {
+    return static_cast<PoolKind>(pool_.index());
+  }
+  [[nodiscard]] bool is_cpmm() const { return kind() == PoolKind::kCpmm; }
+
+  /// Checked unwrap. Precondition: kind() matches.
+  [[nodiscard]] const CpmmPool& cpmm() const;
+  [[nodiscard]] CpmmPool& cpmm();
+  [[nodiscard]] const StablePool& stable() const;
+  [[nodiscard]] StablePool& stable();
+  [[nodiscard]] const ConcentratedPool& concentrated() const;
+  [[nodiscard]] ConcentratedPool& concentrated();
+
+  // ---- Uniform surface (every alternative implements these) ----
+
+  [[nodiscard]] PoolId id() const;
+  [[nodiscard]] TokenId token0() const;
+  [[nodiscard]] TokenId token1() const;
+  /// Real (usable) reserves; for a concentrated position these are the
+  /// in-range amounts, not the virtual CPMM reserves.
+  [[nodiscard]] Amount reserve0() const;
+  [[nodiscard]] Amount reserve1() const;
+  [[nodiscard]] Amount reserve_of(TokenId token) const;
+  [[nodiscard]] double fee() const;
+
+  [[nodiscard]] bool contains(TokenId token) const;
+  /// Precondition: contains(token).
+  [[nodiscard]] TokenId other(TokenId token) const;
+
+  /// Relative price of `token_in` in units of the other token at zero
+  /// trade size (fee included) — the paper's p_ij, defined for every
+  /// curve because each swap function is differentiable at 0.
+  [[nodiscard]] double relative_price_of(TokenId token_in) const;
+
+  /// Quotes a swap without mutating state.
+  [[nodiscard]] SwapQuote quote(TokenId token_in, Amount amount_in) const;
+
+  /// Executes a swap, updating pool state.
+  [[nodiscard]] Result<SwapQuote> apply_swap(TokenId token_in,
+                                             Amount amount_in);
+
+  /// Kind-aware exogenous state update from observed reserves (the
+  /// streaming runtime's primitive). CPMM / StableSwap: replaces both
+  /// reserves (positive amounts required). Concentrated: re-derives
+  /// (liquidity, price) from the reserves holding the range fixed, and
+  /// fails when the implied price leaves the range.
+  [[nodiscard]] Status set_reserves(Amount reserve0, Amount reserve1);
+
+  /// Exogenous state update for a concentrated position: move the price
+  /// in place (liquidity and range unchanged). Fails on non-concentrated
+  /// pools or when the price is outside the range.
+  [[nodiscard]] Status set_concentrated_state(double liquidity,
+                                              double price);
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::variant<CpmmPool, StablePool, ConcentratedPool> pool_;
+};
+
+/// GenericPath adapter: snapshot quote-only hop for any curve. The
+/// returned function owns a copy of the pool's state.
+[[nodiscard]] SwapFn swap_fn(const AnyPool& pool, TokenId token_in);
+
+}  // namespace arb::amm

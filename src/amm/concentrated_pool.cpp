@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 
 #include "common/error.hpp"
 
@@ -79,6 +80,23 @@ double ConcentratedPool::reserve_of(TokenId token) const {
   return token == token0_ ? reserve0() : reserve1();
 }
 
+double ConcentratedPool::relative_price_of(TokenId token_in) const {
+  ARB_REQUIRE(contains(token_in), "token not in pool");
+  const double gamma = 1.0 - fee_;
+  const double p = sqrt_price_ * sqrt_price_;
+  return token_in == token0_ ? gamma * p : gamma / p;
+}
+
+Status ConcentratedPool::set_price(double price) {
+  const double sqrt_price = std::sqrt(price);
+  if (!(sqrt_price > sqrt_lo_ && sqrt_price < sqrt_hi_)) {
+    return make_error(ErrorCode::kInvalidArgument,
+                      "price outside the position range");
+  }
+  sqrt_price_ = sqrt_price;
+  return Status::success();
+}
+
 ConcentratedPool::Move ConcentratedPool::move_for(TokenId token_in,
                                                   double effective_in) const {
   Move move;
@@ -117,7 +135,10 @@ SwapQuote ConcentratedPool::quote(TokenId token_in, Amount amount_in) const {
   SwapQuote q;
   q.amount_in = amount_in;
   if (token_in == token0_) {
-    q.amount_out = liquidity_ * (sqrt_price_ - move.new_sqrt_price);
+    // max(0, ·): 1/(1/√P) does not round-trip exactly, so a tiny input
+    // can otherwise yield a one-ulp negative output.
+    q.amount_out =
+        std::max(0.0, liquidity_ * (sqrt_price_ - move.new_sqrt_price));
     // d out / d in at this size: out = L·(√P − 1/(1/√P + γ·in/L)),
     // derivative = γ·(√P')².
     q.marginal_rate =
@@ -125,8 +146,8 @@ SwapQuote ConcentratedPool::quote(TokenId token_in, Amount amount_in) const {
             ? 0.0
             : gamma * move.new_sqrt_price * move.new_sqrt_price;
   } else {
-    q.amount_out = liquidity_ * (1.0 / sqrt_price_ -
-                                 1.0 / move.new_sqrt_price);
+    q.amount_out = std::max(0.0, liquidity_ * (1.0 / sqrt_price_ -
+                                               1.0 / move.new_sqrt_price));
     q.marginal_rate =
         move.consumed_effective < gamma * amount_in
             ? 0.0
@@ -149,6 +170,16 @@ Result<SwapQuote> ConcentratedPool::apply_swap(TokenId token_in,
   // The fee share of the input accrues to the position owner out of
   // band (V3 fee growth); the price state alone defines the reserves.
   return q;
+}
+
+std::string ConcentratedPool::to_string() const {
+  char buffer[160];
+  std::snprintf(buffer, sizeof(buffer),
+                "ConcentratedPool{id=%u, %u<->%u, L=%.6g, P=%.6g, "
+                "range=[%.6g, %.6g], fee=%.4f}",
+                id_.value(), token0_.value(), token1_.value(), liquidity_,
+                price(), p_lo(), p_hi(), fee_);
+  return buffer;
 }
 
 SwapFn swap_fn(const ConcentratedPool& pool, TokenId token_in) {

@@ -20,6 +20,8 @@
 /// how concentration changes arbitrage capacity. Multi-tick crossing is
 /// out of scope (DESIGN.md).
 
+#include <string>
+
 #include "amm/generic_path.hpp"
 #include "amm/pool.hpp"
 #include "common/result.hpp"
@@ -48,6 +50,9 @@ class ConcentratedPool {
   [[nodiscard]] double liquidity() const { return liquidity_; }
   /// Current price: token1 per token0.
   [[nodiscard]] double price() const { return sqrt_price_ * sqrt_price_; }
+  /// Position range bounds (token1 per token0).
+  [[nodiscard]] double p_lo() const { return sqrt_lo_ * sqrt_lo_; }
+  [[nodiscard]] double p_hi() const { return sqrt_hi_ * sqrt_hi_; }
   [[nodiscard]] double fee() const { return fee_; }
 
   [[nodiscard]] bool contains(TokenId token) const;
@@ -58,6 +63,16 @@ class ConcentratedPool {
   [[nodiscard]] double reserve1() const;
   [[nodiscard]] double reserve_of(TokenId token) const;
 
+  /// Relative price of `token_in` in units of the other token at zero
+  /// trade size: γ·P for token0 in, γ/P for token1 in (matching the
+  /// marginal rate of quote at 0).
+  [[nodiscard]] double relative_price_of(TokenId token_in) const;
+
+  /// Moves the pool to a new observed price (an exogenous state change;
+  /// liquidity is unchanged). Fails with kInvalidArgument when the price
+  /// falls outside the open range (p_lo, p_hi).
+  [[nodiscard]] Status set_price(double price);
+
   /// Quotes a swap (pure); output clamps when the price would leave the
   /// range. Preconditions: contains(token_in), amount_in >= 0.
   [[nodiscard]] SwapQuote quote(TokenId token_in, Amount amount_in) const;
@@ -66,6 +81,8 @@ class ConcentratedPool {
   /// kCapacityExceeded (a real router would split across positions).
   [[nodiscard]] Result<SwapQuote> apply_swap(TokenId token_in,
                                              Amount amount_in);
+
+  [[nodiscard]] std::string to_string() const;
 
  private:
   /// New sqrt price after an effective (fee-adjusted) input, clamped to

@@ -1,6 +1,7 @@
 #include "amm/stable_pool.hpp"
 
 #include <cmath>
+#include <cstdio>
 
 #include "common/error.hpp"
 
@@ -130,6 +131,16 @@ Result<SwapQuote> StablePool::apply_swap(TokenId token_in, Amount amount_in) {
 
 double StablePool::spot_rate(TokenId token_in) const {
   return quote(token_in, 0.0).marginal_rate;
+}
+
+std::string StablePool::to_string() const {
+  char buffer[128];
+  std::snprintf(buffer, sizeof(buffer),
+                "StablePool{id=%u, %u<->%u, r=(%.6g, %.6g), A=%.6g, "
+                "fee=%.4f}",
+                id_.value(), token0_.value(), token1_.value(), reserve0_,
+                reserve1_, amplification_, fee_);
+  return buffer;
 }
 
 }  // namespace arb::amm

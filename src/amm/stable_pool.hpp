@@ -18,6 +18,8 @@
 /// (bisection / golden-section / the generic path optimizer) works on
 /// it unchanged — which is exactly what the stable-pool ablation shows.
 
+#include <string>
+
 #include "amm/pool.hpp"
 #include "common/result.hpp"
 #include "common/types.hpp"
@@ -59,6 +61,15 @@ class StablePool {
   /// Marginal rate at zero input (numeric; the curve has no closed-form
   /// derivative worth maintaining).
   [[nodiscard]] double spot_rate(TokenId token_in) const;
+
+  /// Relative price of `token_in` in units of the other token at zero
+  /// trade size (the paper's p_ij, fee included). Same quantity as
+  /// spot_rate; named to match CpmmPool's surface for AnyPool dispatch.
+  [[nodiscard]] double relative_price_of(TokenId token_in) const {
+    return spot_rate(token_in);
+  }
+
+  [[nodiscard]] std::string to_string() const;
 
  private:
   /// Solves the post-trade balance of the *other* side given the input

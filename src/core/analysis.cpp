@@ -4,6 +4,8 @@
 #include <cmath>
 #include <limits>
 
+#include "amm/any_pool.hpp"
+#include "amm/generic_path.hpp"
 #include "amm/path.hpp"
 #include "core/single_start.hpp"
 
@@ -20,7 +22,7 @@ Result<LoopDiagnostics> analyze_loop(const graph::TokenGraph& graph,
   // Pool TVLs at CEX prices.
   diag.bottleneck_tvl_usd = std::numeric_limits<double>::infinity();
   for (const PoolId pool_id : cycle.pools()) {
-    const amm::CpmmPool& pool = graph.pool(pool_id);
+    const amm::AnyPool& pool = graph.pool(pool_id);
     double tvl = 0.0;
     for (const TokenId token : {pool.token0(), pool.token1()}) {
       auto price = prices.price(token);
@@ -38,8 +40,19 @@ Result<LoopDiagnostics> analyze_loop(const graph::TokenGraph& graph,
   if (!best) return best.error();
   diag.best_profit_usd = best->monetized_usd;
 
-  const amm::PoolPath path = cycle.path(graph, 0);
-  const amm::OptimalTrade trade = amm::optimize_input_analytic(path);
+  amm::OptimalTrade trade;
+  if (cycle.all_cpmm(graph)) {
+    trade = amm::optimize_input_analytic(cycle.path(graph, 0));
+  } else {
+    amm::GenericOptimizeOptions generic;
+    generic.initial_scale = std::max(
+        generic.initial_scale,
+        1e-3 * graph.pool(cycle.pools()[0]).reserve_of(cycle.tokens()[0]));
+    auto solved =
+        amm::optimize_input_generic(cycle.generic_path(graph, 0), generic);
+    if (!solved) return solved.error();
+    trade = *solved;
+  }
   diag.optimal_input = trade.input;
   diag.input_to_reserve_ratio =
       trade.input / graph.pool(cycle.pools()[0]).reserve_of(

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "amm/any_pool.hpp"
 #include "amm/path.hpp"
 #include "common/logging.hpp"
 #include "core/closed_form.hpp"
@@ -146,6 +147,54 @@ bool project_interior(const std::vector<LoopHopData>& hops, math::Vector& d,
   return true;
 }
 
+/// Mixed-venue route: eq. (8) sized by the derivative-free coordinate
+/// solver over black-box SwapFn hops. No duality certificate (the gap
+/// reported is 0), no warm starts.
+Result<ConvexSolution> solve_convex_generic(const graph::TokenGraph& graph,
+                                            const market::CexPriceFeed& prices,
+                                            const graph::Cycle& cycle,
+                                            const ConvexOptions& options,
+                                            ConvexContext& ctx) {
+  ctx.used_generic = true;
+  if (ctx.warm) ctx.warm->valid = false;  // warm starts are CPMM-only
+
+  const std::size_t n = cycle.length();
+  std::vector<GenericHop> hops(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    auto price = prices.price(cycle.tokens()[i]);
+    if (!price) return price.error();
+    hops[i] = GenericHop{
+        amm::swap_fn(graph.pool(cycle.pools()[i]), cycle.tokens()[i]),
+        *price};
+  }
+  GenericConvexOptions generic_options = options.generic;
+  // Seed the bracket search at a fraction of the first hop's input-side
+  // depth so the expansion starts at the right order of magnitude.
+  generic_options.initial_scale = std::max(
+      generic_options.initial_scale,
+      1e-3 * graph.pool(cycle.pools()[0]).reserve_of(cycle.tokens()[0]));
+
+  auto report = solve_generic_convex(hops, generic_options);
+  if (!report) return report.error();
+
+  ConvexSolution solution;
+  solution.outcome.kind = StrategyKind::kConvexOptimization;
+  solution.outcome.start_token = cycle.tokens().front();
+  solution.inputs = std::move(report->inputs);
+  solution.outputs = std::move(report->outputs);
+  solution.duality_gap_usd = 0.0;
+  solution.outcome.solver_iterations = report->sweeps;
+  solution.outcome.monetized_usd = 0.0;
+  for (std::size_t j = 0; j < n; ++j) {
+    const std::size_t prev = (j + n - 1) % n;
+    const double retained = solution.outputs[prev] - solution.inputs[j];
+    solution.outcome.profits.push_back(
+        TokenProfit{cycle.tokens()[j], retained});
+    solution.outcome.monetized_usd += hops[j].price_in * retained;
+  }
+  return solution;
+}
+
 }  // namespace
 
 Result<ConvexSolution> solve_convex(const graph::TokenGraph& graph,
@@ -155,6 +204,7 @@ Result<ConvexSolution> solve_convex(const graph::TokenGraph& graph,
                                     ConvexContext& ctx) {
   ctx.warm_hit = false;
   ctx.used_closed_form = false;
+  ctx.used_generic = false;
   // Iteration counters stay meaningful even on the analytic early-return
   // paths below, so callers can read ctx.report after any outcome.
   ctx.report.outer_iterations = 0;
@@ -165,6 +215,12 @@ Result<ConvexSolution> solve_convex(const graph::TokenGraph& graph,
   if (cycle.price_product(graph) <= 1.0 + options.no_arbitrage_margin) {
     if (ctx.warm) ctx.warm->valid = false;  // zero optimum has no interior
     return zero_solution(cycle);
+  }
+
+  // Any non-CPMM hop: the analytic barrier transcription does not apply;
+  // route through the derivative-free generic solver.
+  if (!cycle.all_cpmm(graph)) {
+    return solve_convex_generic(graph, prices, cycle, options, ctx);
   }
 
   auto original_hops = make_hop_data(graph, prices, cycle);

@@ -7,6 +7,7 @@
 /// barrier interior-point solver.
 
 #include "common/result.hpp"
+#include "core/generic_convex.hpp"
 #include "core/loop_nlp.hpp"
 #include "core/outcome.hpp"
 #include "graph/cycle.hpp"
@@ -59,6 +60,11 @@ struct ConvexOptions {
   /// a warm resume starts next to the optimum, so each centering lands
   /// in a few Newton steps even across 100x jumps in sharpness.
   double warm_mu = 1000.0;
+
+  /// Options for the derivative-free generic solver that mixed-venue
+  /// loops (any non-CPMM hop) are routed through. All-CPMM loops never
+  /// read this — they stay on the barrier/closed-form path above.
+  GenericConvexOptions generic;
 };
 
 /// Per-thread reusable solver state for solve_convex, plus the optional
@@ -81,6 +87,7 @@ struct ConvexContext {
   // Per-solve outputs (valid after solve_convex returns).
   bool warm_hit = false;          ///< warm iterate accepted this solve
   bool used_closed_form = false;  ///< length-2 kernel bypassed the solver
+  bool used_generic = false;      ///< mixed loop went through generic_convex
 };
 
 /// Solution detail beyond the common StrategyOutcome.
@@ -96,6 +103,15 @@ struct ConvexSolution {
 
 /// Runs the Convex Optimization strategy on a loop. The rotation anchor
 /// is tokens()[0]; the optimum is rotation-invariant (tested).
+///
+/// Dispatch: all-CPMM loops use the barrier interior-point solver (with
+/// the closed-form length-2 kernel and optional warm starts) on the
+/// analytic transcription — the fast path, bit-identical to the
+/// pre-heterogeneous scanner. Loops with any StableSwap or concentrated
+/// hop are routed through the derivative-free generic solver
+/// (core/generic_convex.hpp); ctx.used_generic reports which path ran,
+/// and warm slots are invalidated on the generic path (warm starts are
+/// CPMM-only).
 [[nodiscard]] Result<ConvexSolution> solve_convex(
     const graph::TokenGraph& graph, const market::CexPriceFeed& prices,
     const graph::Cycle& cycle, const ConvexOptions& options = {});

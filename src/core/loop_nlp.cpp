@@ -30,7 +30,9 @@ Result<std::vector<LoopHopData>> make_hop_data(
   const std::size_t n = rotated.length();
   std::vector<LoopHopData> hops(n);
   for (std::size_t i = 0; i < n; ++i) {
-    const amm::CpmmPool& pool = graph.pool(rotated.pools()[i]);
+    // Barrier transcription is CPMM-only; callers route mixed loops to
+    // the generic solver first. cpmm() enforces the precondition.
+    const amm::CpmmPool& pool = graph.pool(rotated.pools()[i]).cpmm();
     const TokenId token_in = rotated.tokens()[i];
     const TokenId token_out = rotated.tokens()[(i + 1) % n];
     auto price_in = prices.price(token_in);

@@ -4,7 +4,7 @@
 #include <sstream>
 #include <unordered_map>
 
-#include "amm/path.hpp"
+#include "amm/any_pool.hpp"
 #include "common/error.hpp"
 
 namespace arb::core {
@@ -61,14 +61,18 @@ Result<ArbitragePlan> plan_from_single_start(const graph::TokenGraph& graph,
                       "outcome start token not in cycle");
   }
 
-  const amm::PoolPath path = cycle.path(graph, offset);
+  // Walk the rotated cycle quoting each pool through the uniform surface
+  // (works for any venue kind; identical quotes on all-CPMM loops).
+  const graph::Cycle rotated = cycle.rotated(offset);
   ArbitragePlan plan;
   double amount = outcome.input;
-  for (const amm::Hop& hop : path.hops()) {
-    const amm::SwapQuote quote = hop.pool->quote(hop.token_in, amount);
-    plan.steps.push_back(PlanStep{hop.pool->id(), hop.token_in,
-                                  hop.token_out(), quote.amount_in,
-                                  quote.amount_out});
+  for (std::size_t i = 0; i < rotated.length(); ++i) {
+    const amm::AnyPool& pool = graph.pool(rotated.pools()[i]);
+    const TokenId token_in = rotated.tokens()[i];
+    const TokenId token_out = rotated.tokens()[(i + 1) % rotated.length()];
+    const amm::SwapQuote quote = pool.quote(token_in, amount);
+    plan.steps.push_back(PlanStep{pool.id(), token_in, token_out,
+                                  quote.amount_in, quote.amount_out});
     amount = quote.amount_out;
   }
   plan.expected_profits = outcome.profits;

@@ -1,5 +1,8 @@
 #include "core/single_start.hpp"
 
+#include <algorithm>
+
+#include "amm/generic_path.hpp"
 #include "amm/path.hpp"
 
 namespace arb::core {
@@ -13,15 +16,29 @@ Result<StrategyOutcome> evaluate_traditional(
   auto price = prices.price(start);
   if (!price) return price.error();
 
-  const amm::PoolPath path = cycle.path(graph, start_offset % n);
   amm::OptimalTrade trade;
-  if (options.use_bisection) {
-    auto solved = amm::optimize_input_bisection(path,
-                                                options.bisection_tolerance);
+  if (cycle.all_cpmm(graph)) {
+    // All-CPMM: the exact Möbius closed form / bisection, unchanged.
+    const amm::PoolPath path = cycle.path(graph, start_offset % n);
+    if (options.use_bisection) {
+      auto solved = amm::optimize_input_bisection(path,
+                                                  options.bisection_tolerance);
+      if (!solved) return solved.error();
+      trade = *solved;
+    } else {
+      trade = amm::optimize_input_analytic(path);
+    }
+  } else {
+    // Mixed venues: derivative-free optimizer over black-box hops,
+    // bracket search seeded at a fraction of the start-side depth.
+    amm::GenericOptimizeOptions generic;
+    generic.initial_scale = std::max(
+        generic.initial_scale,
+        1e-3 * graph.pool(cycle.pools()[start_offset % n]).reserve_of(start));
+    auto solved = amm::optimize_input_generic(
+        cycle.generic_path(graph, start_offset % n), generic);
     if (!solved) return solved.error();
     trade = *solved;
-  } else {
-    trade = amm::optimize_input_analytic(path);
   }
 
   StrategyOutcome outcome;

@@ -24,7 +24,7 @@ Result<Cycle> Cycle::create(const TokenGraph& graph,
     if (!seen_pools.insert(pools[i]).second) {
       return make_error(ErrorCode::kInvalidArgument, "repeated pool in cycle");
     }
-    const amm::CpmmPool& pool = graph.pool(pools[i]);
+    const amm::AnyPool& pool = graph.pool(pools[i]);
     const TokenId in = tokens[i];
     const TokenId out = tokens[(i + 1) % n];
     if (!pool.contains(in) || pool.other(in) != out) {
@@ -89,16 +89,34 @@ std::string Cycle::loop_key() const {
   return std::min(forward, backward);
 }
 
+bool Cycle::all_cpmm(const TokenGraph& graph) const {
+  for (const PoolId pool : pools_) {
+    if (!graph.pool(pool).is_cpmm()) return false;
+  }
+  return true;
+}
+
 amm::PoolPath Cycle::path(const TokenGraph& graph, std::size_t offset) const {
   const Cycle r = rotated(offset);
   std::vector<amm::Hop> hops;
   hops.reserve(r.length());
   for (std::size_t i = 0; i < r.length(); ++i) {
-    hops.push_back(amm::Hop{&graph.pool(r.pools_[i]), r.tokens_[i]});
+    hops.push_back(amm::Hop{&graph.pool(r.pools_[i]).cpmm(), r.tokens_[i]});
   }
   auto path = amm::PoolPath::create(std::move(hops));
   // A validated Cycle always yields a valid path.
   return *std::move(path);
+}
+
+amm::GenericPath Cycle::generic_path(const TokenGraph& graph,
+                                     std::size_t offset) const {
+  const Cycle r = rotated(offset);
+  std::vector<amm::SwapFn> hops;
+  hops.reserve(r.length());
+  for (std::size_t i = 0; i < r.length(); ++i) {
+    hops.push_back(amm::swap_fn(graph.pool(r.pools_[i]), r.tokens_[i]));
+  }
+  return amm::GenericPath(std::move(hops));
 }
 
 double Cycle::price_product(const TokenGraph& graph) const {

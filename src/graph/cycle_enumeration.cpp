@@ -35,7 +35,7 @@ class CycleDfs {
   void extend() {
     const TokenId current = token_stack_.back();
     for (const PoolId pool_id : graph_.pools_of(current)) {
-      const amm::CpmmPool& pool = graph_.pool(pool_id);
+      const amm::AnyPool& pool = graph_.pool(pool_id);
       const TokenId next = pool.other(current);
 
       // Close the cycle?
@@ -129,7 +129,7 @@ std::optional<Cycle> find_negative_cycle(const TokenGraph& graph) {
   TokenId last_improved = TokenId::invalid();
   for (std::size_t round = 0; round < n; ++round) {
     last_improved = TokenId::invalid();
-    for (const amm::CpmmPool& pool : graph.pools()) {
+    for (const amm::AnyPool& pool : graph.pools()) {
       for (const TokenId from : {pool.token0(), pool.token1()}) {
         const TokenId to = pool.other(from);
         const double weight = -std::log(pool.relative_price_of(from));

@@ -40,7 +40,7 @@ class JohnsonEnumerator {
 
     for (const PoolId pool_id : graph_.pools_of(v)) {
       if (result_.truncated) break;
-      const amm::CpmmPool& pool = graph_.pool(pool_id);
+      const amm::AnyPool& pool = graph_.pool(pool_id);
       const TokenId w = pool.other(v);
       if (w < start_) continue;  // induced subgraph on {start_, ...}
 

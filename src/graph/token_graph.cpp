@@ -1,5 +1,7 @@
 #include "graph/token_graph.hpp"
 
+#include <utility>
+
 namespace arb::graph {
 
 TokenId TokenGraph::add_token(std::string symbol) {
@@ -9,16 +11,41 @@ TokenId TokenGraph::add_token(std::string symbol) {
   return id;
 }
 
-PoolId TokenGraph::add_pool(TokenId token0, TokenId token1, Amount reserve0,
-                            Amount reserve1, double fee) {
+PoolId TokenGraph::register_pool(amm::AnyPool pool) {
+  const TokenId token0 = pool.token0();
+  const TokenId token1 = pool.token1();
   ARB_REQUIRE(token0.value() < symbols_.size() &&
                   token1.value() < symbols_.size(),
               "pool references unknown token");
-  const PoolId id{static_cast<PoolId::underlying_type>(pools_.size())};
-  pools_.emplace_back(id, token0, token1, reserve0, reserve1, fee);
+  const PoolId id = pool.id();
+  pools_.push_back(std::move(pool));
   adjacency_[token0.value()].push_back(id);
   adjacency_[token1.value()].push_back(id);
   return id;
+}
+
+PoolId TokenGraph::add_pool(TokenId token0, TokenId token1, Amount reserve0,
+                            Amount reserve1, double fee) {
+  const PoolId id{static_cast<PoolId::underlying_type>(pools_.size())};
+  return register_pool(
+      amm::CpmmPool(id, token0, token1, reserve0, reserve1, fee));
+}
+
+PoolId TokenGraph::add_stable_pool(TokenId token0, TokenId token1,
+                                   Amount reserve0, Amount reserve1,
+                                   double amplification, double fee) {
+  const PoolId id{static_cast<PoolId::underlying_type>(pools_.size())};
+  return register_pool(amm::StablePool(id, token0, token1, reserve0,
+                                       reserve1, amplification, fee));
+}
+
+PoolId TokenGraph::add_concentrated_pool(TokenId token0, TokenId token1,
+                                         double liquidity, double price,
+                                         double p_lo, double p_hi,
+                                         double fee) {
+  const PoolId id{static_cast<PoolId::underlying_type>(pools_.size())};
+  return register_pool(amm::ConcentratedPool(id, token0, token1, liquidity,
+                                             price, p_lo, p_hi, fee));
 }
 
 const std::string& TokenGraph::symbol(TokenId token) const {
@@ -26,21 +53,26 @@ const std::string& TokenGraph::symbol(TokenId token) const {
   return symbols_[token.value()];
 }
 
-const amm::CpmmPool& TokenGraph::pool(PoolId id) const {
+const amm::AnyPool& TokenGraph::pool(PoolId id) const {
   ARB_REQUIRE(id.value() < pools_.size(), "unknown pool");
   return pools_[id.value()];
 }
 
-amm::CpmmPool& TokenGraph::mutable_pool(PoolId id) {
+amm::AnyPool& TokenGraph::mutable_pool(PoolId id) {
   ARB_REQUIRE(id.value() < pools_.size(), "unknown pool");
   return pools_[id.value()];
 }
 
-void TokenGraph::set_pool_reserves(PoolId id, Amount reserve0,
-                                   Amount reserve1) {
-  amm::CpmmPool& pool = mutable_pool(id);
-  pool = amm::CpmmPool(pool.id(), pool.token0(), pool.token1(), reserve0,
-                       reserve1, pool.fee());
+Status TokenGraph::set_pool_reserves(PoolId id, Amount reserve0,
+                                     Amount reserve1) {
+  return mutable_pool(id).set_reserves(reserve0, reserve1);
+}
+
+bool TokenGraph::all_cpmm() const {
+  for (const amm::AnyPool& pool : pools_) {
+    if (!pool.is_cpmm()) return false;
+  }
+  return true;
 }
 
 const std::vector<PoolId>& TokenGraph::pools_of(TokenId token) const {

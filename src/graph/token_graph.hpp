@@ -5,11 +5,17 @@
 /// (a multigraph — nothing prevents two venues from listing the same
 /// pair). Owns the pool state; everything downstream references pools by
 /// PoolId through this class.
+///
+/// Edges are heterogeneous: each pool is an amm::AnyPool (constant
+/// product, StableSwap, or concentrated liquidity). Topology queries and
+/// the uniform price/quote surface work on any kind; code that needs the
+/// CPMM closed forms first checks kind() and unwraps (see
+/// graph::Cycle::all_cpmm and the scanner dispatch).
 
 #include <string>
 #include <vector>
 
-#include "amm/pool.hpp"
+#include "amm/any_pool.hpp"
 #include "common/result.hpp"
 #include "common/types.hpp"
 
@@ -22,25 +28,46 @@ class TokenGraph {
   /// Registers a token. Symbols need not be unique (they are labels).
   TokenId add_token(std::string symbol);
 
-  /// Registers a pool between two previously added tokens.
+  /// Registers a constant-product pool between two previously added
+  /// tokens.
   /// Preconditions: valid distinct tokens, positive reserves, fee ∈ [0,1).
   PoolId add_pool(TokenId token0, TokenId token1, Amount reserve0,
                   Amount reserve1, double fee = kUniswapV2Fee);
+
+  /// Registers a StableSwap pool.
+  /// Preconditions: as add_pool, plus amplification > 0.
+  PoolId add_stable_pool(TokenId token0, TokenId token1, Amount reserve0,
+                         Amount reserve1, double amplification = 100.0,
+                         double fee = 0.0004);
+
+  /// Registers a concentrated-liquidity position on [p_lo, p_hi].
+  /// Preconditions: valid distinct tokens, liquidity > 0,
+  /// 0 < p_lo < price < p_hi, fee ∈ [0, 1).
+  PoolId add_concentrated_pool(TokenId token0, TokenId token1,
+                               double liquidity, double price, double p_lo,
+                               double p_hi, double fee = 0.003);
 
   [[nodiscard]] std::size_t token_count() const { return symbols_.size(); }
   [[nodiscard]] std::size_t pool_count() const { return pools_.size(); }
 
   [[nodiscard]] const std::string& symbol(TokenId token) const;
-  [[nodiscard]] const amm::CpmmPool& pool(PoolId id) const;
-  [[nodiscard]] amm::CpmmPool& mutable_pool(PoolId id);
+  [[nodiscard]] const amm::AnyPool& pool(PoolId id) const;
+  [[nodiscard]] amm::AnyPool& mutable_pool(PoolId id);
 
   /// Replaces a pool's reserves in place (an exogenous state change
   /// observed from the chain — the streaming runtime's update primitive).
-  /// Tokens and fee are preserved. Preconditions: known pool, positive
-  /// reserves.
-  void set_pool_reserves(PoolId id, Amount reserve0, Amount reserve1);
+  /// Kind-aware: tokens, fee, and curve parameters (amplification, tick
+  /// range) are preserved. Fails on non-positive reserves, and for a
+  /// concentrated position whose implied price would leave its range.
+  /// Precondition: known pool.
+  [[nodiscard]] Status set_pool_reserves(PoolId id, Amount reserve0,
+                                         Amount reserve1);
 
-  [[nodiscard]] const std::vector<amm::CpmmPool>& pools() const {
+  /// True iff every pool is constant-product (the paper's setting); the
+  /// scanner uses this to keep all fast paths on homogeneous markets.
+  [[nodiscard]] bool all_cpmm() const;
+
+  [[nodiscard]] const std::vector<amm::AnyPool>& pools() const {
     return pools_;
   }
 
@@ -54,8 +81,10 @@ class TokenGraph {
   [[nodiscard]] Result<TokenId> find_token(const std::string& symbol) const;
 
  private:
+  PoolId register_pool(amm::AnyPool pool);
+
   std::vector<std::string> symbols_;
-  std::vector<amm::CpmmPool> pools_;
+  std::vector<amm::AnyPool> pools_;
   std::vector<std::vector<PoolId>> adjacency_;
 };
 

@@ -75,8 +75,14 @@ MarketSnapshot generate_snapshot(const GeneratorConfig& config) {
     const std::string symbol =
         (is_hub ? "HUB" : "TKN") + std::to_string(t);
     snapshot.graph.add_token(symbol);
-    fundamental[t] = std::exp(rng.uniform(std::log(config.min_price_usd),
-                                          std::log(config.max_price_usd)));
+    if (is_hub && config.stable_fraction > 0.0) {
+      // Stablecoin-like hubs: pegged near $1 so hub-hub pairs are
+      // realistic StableSwap candidates.
+      fundamental[t] = std::exp(rng.normal(0.0, 0.01));
+    } else {
+      fundamental[t] = std::exp(rng.uniform(std::log(config.min_price_usd),
+                                            std::log(config.max_price_usd)));
+    }
   }
 
   // CEX quotes: fundamental price with independent noise.
@@ -87,6 +93,13 @@ MarketSnapshot generate_snapshot(const GeneratorConfig& config) {
         TokenId{static_cast<TokenId::underlying_type>(t)}, quote);
   }
 
+  const double mixed_fraction =
+      config.stable_fraction + config.concentrated_fraction;
+  ARB_REQUIRE(config.stable_fraction >= 0.0 &&
+                  config.concentrated_fraction >= 0.0 &&
+                  mixed_fraction <= 1.0,
+              "venue fractions must be non-negative and sum to <= 1");
+
   const auto add_pool = [&](std::uint32_t a, std::uint32_t b, double tvl_usd) {
     const double mispricing =
         rng.normal(0.0, config.pool_price_noise_sigma);
@@ -96,6 +109,41 @@ MarketSnapshot generate_snapshot(const GeneratorConfig& config) {
         (tvl_usd / 2.0) / fundamental[a] * std::exp(-mispricing / 2.0);
     double reserve_b =
         (tvl_usd / 2.0) / fundamental[b] * std::exp(+mispricing / 2.0);
+
+    if (mixed_fraction > 0.0) {
+      // One kind draw per pool; the all-CPMM default consumes no extra
+      // randomness, so fractions == 0 reproduces the original market.
+      const double u = rng.uniform(0.0, 1.0);
+      const bool near_peg =
+          std::abs(std::log(fundamental[a] / fundamental[b])) <=
+          config.stable_peg_tolerance;
+      if (u < config.stable_fraction && near_peg) {
+        const double amplification =
+            std::exp(rng.uniform(std::log(config.min_amplification),
+                                 std::log(config.max_amplification)));
+        snapshot.graph.add_stable_pool(TokenId{a}, TokenId{b}, reserve_a,
+                                       reserve_b, amplification,
+                                       config.stable_fee);
+        return;
+      }
+      if (u < mixed_fraction && u >= config.stable_fraction) {
+        // Symmetric log-range around the spot price keeps the implied
+        // in-range price exactly at spot: with √lo = √p/√w and
+        // √hi = √p·√w the reserve ratio at √p equals p, so the
+        // position holds exactly (reserve_a, reserve_b).
+        const double width =
+            std::exp(rng.uniform(std::log(config.min_range_width),
+                                 std::log(config.max_range_width)));
+        const double spot = reserve_b / reserve_a;  // token1 per token0
+        const double sqrt_spot = std::sqrt(spot);
+        const double liquidity =
+            reserve_b / (sqrt_spot * (1.0 - 1.0 / std::sqrt(width)));
+        snapshot.graph.add_concentrated_pool(
+            TokenId{a}, TokenId{b}, liquidity, spot, spot / width,
+            spot * width, config.concentrated_fee);
+        return;
+      }
+    }
     snapshot.graph.add_pool(TokenId{a}, TokenId{b}, reserve_a, reserve_b,
                             config.fee);
   };

@@ -53,6 +53,31 @@ struct GeneratorConfig {
 
   double fee = kUniswapV2Fee;
 
+  /// Mixed-venue knobs. With both fractions zero (default) the generator
+  /// emits the original all-CPMM market, bit-identical draw for draw.
+  /// Otherwise each pool is independently designated StableSwap with
+  /// probability stable_fraction (only between near-pegged pairs — a
+  /// stable curve between unpegged assets would be a free money printer)
+  /// or concentrated with probability concentrated_fraction. When
+  /// stable_fraction > 0 the hub tokens become stablecoin-like (pegged
+  /// near $1) so the hub clique supplies realistic stable pairs.
+  double stable_fraction = 0.0;
+  double concentrated_fraction = 0.0;
+
+  /// StableSwap amplification range (log-uniform draw), Curve-realistic.
+  double min_amplification = 10.0;
+  double max_amplification = 2000.0;
+  double stable_fee = 0.0004;
+
+  /// Concentrated position width: p_lo = spot/width, p_hi = spot·width
+  /// with width log-uniform in this range.
+  double min_range_width = 1.5;
+  double max_range_width = 4.0;
+  double concentrated_fee = 0.003;
+
+  /// Pairs farther than this in log-price are ineligible for StableSwap.
+  double stable_peg_tolerance = 0.05;
+
   /// Generation-time floors keeping the main population above the
   /// paper's quality filter.
   double min_pool_tvl_usd = 35'000.0;

@@ -1,5 +1,7 @@
 #include "market/io.hpp"
 
+#include <algorithm>
+#include <filesystem>
 #include <fstream>
 
 #include "common/csv.hpp"
@@ -11,9 +13,26 @@ namespace {
 constexpr const char* kTokensFile = "/tokens.csv";
 constexpr const char* kPoolsFile = "/pools.csv";
 
+/// Optional-column lookup (column_index asserts on absence; absence is
+/// legal here — pre-heterogeneous snapshots have no `kind` column).
+std::size_t find_column(const CsvTable& table, const std::string& name) {
+  const auto it = std::find(table.header.begin(), table.header.end(), name);
+  return it == table.header.end()
+             ? table.header.size()
+             : static_cast<std::size_t>(it - table.header.begin());
+}
+
 }  // namespace
 
 Status save_snapshot(const MarketSnapshot& snapshot, const std::string& dir) {
+  {
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (ec) {
+      return make_error(ErrorCode::kIoError, "cannot create directory " +
+                                                 dir + ": " + ec.message());
+    }
+  }
   {
     std::ofstream out(dir + kTokensFile);
     if (!out) {
@@ -37,12 +56,39 @@ Status save_snapshot(const MarketSnapshot& snapshot, const std::string& dir) {
                         "cannot write " + dir + kPoolsFile);
     }
     CsvWriter csv(out);
-    csv.header({"pool_id", "token0", "token1", "reserve0", "reserve1", "fee"});
-    for (const amm::CpmmPool& pool : snapshot.graph.pools()) {
+    // Kind-specific parameters ride in four generic columns:
+    //   stable:       param_a = amplification
+    //   concentrated: param_a = liquidity, param_b = price,
+    //                 param_c = p_lo, param_d = p_hi
+    // For concentrated positions (liquidity, price) are stored directly —
+    // not re-derived from reserves on load — so the round-trip is exact.
+    csv.header({"pool_id", "token0", "token1", "reserve0", "reserve1", "fee",
+                "kind", "param_a", "param_b", "param_c", "param_d"});
+    for (const amm::AnyPool& pool : snapshot.graph.pools()) {
+      double a = 0.0;
+      double b = 0.0;
+      double c = 0.0;
+      double d = 0.0;
+      switch (pool.kind()) {
+        case amm::PoolKind::kCpmm:
+          break;
+        case amm::PoolKind::kStable:
+          a = pool.stable().amplification();
+          break;
+        case amm::PoolKind::kConcentrated: {
+          const amm::ConcentratedPool& clp = pool.concentrated();
+          a = clp.liquidity();
+          b = clp.price();
+          c = clp.p_lo();
+          d = clp.p_hi();
+          break;
+        }
+      }
       csv.row(static_cast<std::size_t>(pool.id().value()),
               static_cast<std::size_t>(pool.token0().value()),
               static_cast<std::size_t>(pool.token1().value()),
-              pool.reserve0(), pool.reserve1(), pool.fee());
+              pool.reserve0(), pool.reserve1(), pool.fee(),
+              amm::to_string(pool.kind()), a, b, c, d);
     }
   }
   return Status::success();
@@ -71,6 +117,21 @@ Result<MarketSnapshot> load_snapshot(const std::string& dir) {
   const std::size_t r0_col = pools->column_index("reserve0");
   const std::size_t r1_col = pools->column_index("reserve1");
   const std::size_t fee_col = pools->column_index("fee");
+  // Pre-heterogeneous files lack the kind/param columns: all CPMM.
+  const std::size_t kind_col = find_column(*pools, "kind");
+  const std::size_t a_col = find_column(*pools, "param_a");
+  const std::size_t b_col = find_column(*pools, "param_b");
+  const std::size_t c_col = find_column(*pools, "param_c");
+  const std::size_t d_col = find_column(*pools, "param_d");
+  const bool has_kind = kind_col < pools->header.size();
+  if (has_kind &&
+      (a_col >= pools->header.size() || b_col >= pools->header.size() ||
+       c_col >= pools->header.size() || d_col >= pools->header.size())) {
+    return make_error(ErrorCode::kParseError,
+                      "pools.csv has a kind column but incomplete "
+                      "param_a..param_d columns");
+  }
+
   for (const auto& row : pools->rows) {
     auto t0 = parse_u64(row[t0_col]);
     auto t1 = parse_u64(row[t1_col]);
@@ -87,9 +148,37 @@ Result<MarketSnapshot> load_snapshot(const std::string& dir) {
       return make_error(ErrorCode::kParseError,
                         "pool references unknown token id");
     }
-    snapshot.graph.add_pool(
-        TokenId{static_cast<TokenId::underlying_type>(*t0)},
-        TokenId{static_cast<TokenId::underlying_type>(*t1)}, *r0, *r1, *fee);
+    const TokenId token0{static_cast<TokenId::underlying_type>(*t0)};
+    const TokenId token1{static_cast<TokenId::underlying_type>(*t1)};
+
+    const std::string kind = has_kind ? row[kind_col] : "cpmm";
+    if (kind == "cpmm") {
+      snapshot.graph.add_pool(token0, token1, *r0, *r1, *fee);
+    } else if (kind == "stable") {
+      auto amplification = parse_double(row[a_col]);
+      if (!amplification) return amplification.error();
+      snapshot.graph.add_stable_pool(token0, token1, *r0, *r1,
+                                     *amplification, *fee);
+    } else if (kind == "concentrated") {
+      auto liquidity = parse_double(row[a_col]);
+      auto price = parse_double(row[b_col]);
+      auto p_lo = parse_double(row[c_col]);
+      auto p_hi = parse_double(row[d_col]);
+      if (!liquidity) return liquidity.error();
+      if (!price) return price.error();
+      if (!p_lo) return p_lo.error();
+      if (!p_hi) return p_hi.error();
+      if (!(*liquidity > 0.0) ||
+          !(*p_lo > 0.0 && *p_lo < *price && *price < *p_hi)) {
+        return make_error(ErrorCode::kParseError,
+                          "concentrated pool parameters out of domain");
+      }
+      snapshot.graph.add_concentrated_pool(token0, token1, *liquidity,
+                                           *price, *p_lo, *p_hi, *fee);
+    } else {
+      return make_error(ErrorCode::kParseError,
+                        "unknown pool kind '" + kind + "'");
+    }
   }
   return snapshot;
 }

@@ -1,5 +1,6 @@
 #include "market/price_process.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/error.hpp"
@@ -37,11 +38,32 @@ void PriceProcess::step(MarketSnapshot& snapshot) {
   }
 
   // 2. Retail flow drags each pool toward its fundamental ratio, plus
-  //    idiosyncratic noise; k is preserved by the (r0·s, r1/s) move.
-  for (const amm::CpmmPool& pool : snapshot.graph.pools()) {
+  //    idiosyncratic noise. CPMM/StableSwap pools move their reserves
+  //    ((r0/s, r1·s) preserves k on a CPMM); concentrated positions move
+  //    their price state directly, clamped inside the range.
+  for (const amm::AnyPool& pool : snapshot.graph.pools()) {
     const double fundamental_ratio =
         fundamentals_[pool.token0().value()] /
         fundamentals_[pool.token1().value()];
+    if (pool.kind() == amm::PoolKind::kConcentrated) {
+      const amm::ConcentratedPool& clp = pool.concentrated();
+      const double gap =
+          std::log(fundamental_ratio) - std::log(clp.price());
+      const double shift = config_.pool_tracking * gap +
+                           config_.pool_noise * rng_.normal();
+      // Clamp strictly inside the range; at the edge the position is
+      // one-sided and quotes go flat.
+      const double margin =
+          1e-6 * (std::log(clp.p_hi()) - std::log(clp.p_lo()));
+      const double log_price = std::clamp(
+          std::log(clp.price()) + shift, std::log(clp.p_lo()) + margin,
+          std::log(clp.p_hi()) - margin);
+      const Status moved =
+          snapshot.graph.mutable_pool(pool.id()).set_concentrated_state(
+              clp.liquidity(), std::exp(log_price));
+      ARB_REQUIRE(moved.ok(), "clamped price left the position range");
+      continue;
+    }
     // Pool-implied price of token0 in token1 units: r1/r0.
     const double pool_ratio = pool.reserve1() / pool.reserve0();
     const double gap = std::log(fundamental_ratio) - std::log(pool_ratio);
@@ -49,10 +71,9 @@ void PriceProcess::step(MarketSnapshot& snapshot) {
                          config_.pool_noise * rng_.normal();
     // Scaling (r0/s, r1·s) multiplies r1/r0 by s²; solve s for `shift`.
     const double s = std::exp(shift / 2.0);
-    amm::CpmmPool& mutable_pool = snapshot.graph.mutable_pool(pool.id());
-    mutable_pool =
-        amm::CpmmPool(pool.id(), pool.token0(), pool.token1(),
-                      pool.reserve0() / s, pool.reserve1() * s, pool.fee());
+    const Status moved = snapshot.graph.set_pool_reserves(
+        pool.id(), pool.reserve0() / s, pool.reserve1() * s);
+    ARB_REQUIRE(moved.ok(), "reserve scaling produced invalid reserves");
   }
 
   // 3. CEX re-quotes fundamentals with noise.

@@ -5,7 +5,7 @@
 namespace arb::market {
 
 double MarketSnapshot::pool_tvl_usd(PoolId id) const {
-  const amm::CpmmPool& pool = graph.pool(id);
+  const amm::AnyPool& pool = graph.pool(id);
   double tvl = 0.0;
   for (const TokenId token : {pool.token0(), pool.token1()}) {
     if (prices.has_price(token)) {
@@ -16,7 +16,7 @@ double MarketSnapshot::pool_tvl_usd(PoolId id) const {
 }
 
 bool MarketSnapshot::pool_passes(PoolId id, const PoolFilter& filter) const {
-  const amm::CpmmPool& pool = graph.pool(id);
+  const amm::AnyPool& pool = graph.pool(id);
   if (pool.reserve0() < filter.min_token_reserve ||
       pool.reserve1() < filter.min_token_reserve) {
     return false;
@@ -40,10 +40,28 @@ MarketSnapshot MarketSnapshot::filtered(const PoolFilter& filter) const {
     return new_id;
   };
 
-  for (const amm::CpmmPool& pool : graph.pools()) {
+  for (const amm::AnyPool& pool : graph.pools()) {
     if (!pool_passes(pool.id(), filter)) continue;
-    out.graph.add_pool(remap_token(pool.token0()), remap_token(pool.token1()),
-                       pool.reserve0(), pool.reserve1(), pool.fee());
+    const TokenId token0 = remap_token(pool.token0());
+    const TokenId token1 = remap_token(pool.token1());
+    switch (pool.kind()) {
+      case amm::PoolKind::kCpmm:
+        out.graph.add_pool(token0, token1, pool.reserve0(), pool.reserve1(),
+                           pool.fee());
+        break;
+      case amm::PoolKind::kStable:
+        out.graph.add_stable_pool(token0, token1, pool.reserve0(),
+                                  pool.reserve1(),
+                                  pool.stable().amplification(), pool.fee());
+        break;
+      case amm::PoolKind::kConcentrated: {
+        const amm::ConcentratedPool& clp = pool.concentrated();
+        out.graph.add_concentrated_pool(token0, token1, clp.liquidity(),
+                                        clp.price(), clp.p_lo(), clp.p_hi(),
+                                        clp.fee());
+        break;
+      }
+    }
   }
   return out;
 }

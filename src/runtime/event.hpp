@@ -24,6 +24,13 @@ struct PoolUpdateEvent {
   /// Producer-assigned, monotone per stream (diagnostics only; ordering
   /// is established by queue position).
   std::uint64_t sequence = 0;
+  /// Per-kind payload. Reserve-based pools (CPMM, StableSwap) use the
+  /// reserve fields above and leave these at zero. A concentrated
+  /// position update instead carries its absolute (liquidity, price)
+  /// state here; liquidity > 0 marks the event as concentrated. Trailing
+  /// position keeps `{pool, r0, r1, seq}` aggregate initialization valid.
+  double liquidity = 0.0;
+  double price = 0.0;
 };
 
 /// Pull-based producer of pool updates (a chain indexer, a replay of a

@@ -1,6 +1,7 @@
 #include "runtime/incremental_scanner.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <numeric>
 #include <utility>
 
@@ -18,6 +19,10 @@ IncrementalScanner::IncrementalScanner(market::MarketSnapshot snapshot,
       workers_(workers) {
   slots_.resize(index_.cycles().size());
   warm_.resize(index_.cycles().size());
+  mixed_.resize(index_.cycles().size());
+  for (std::size_t i = 0; i < index_.cycles().size(); ++i) {
+    mixed_[i] = index_.cycles()[i].all_cpmm(snapshot_.graph) ? 0 : 1;
+  }
 }
 
 Result<IncrementalScanner> IncrementalScanner::create(
@@ -61,13 +66,26 @@ Result<ApplyReport> IncrementalScanner::apply(
   for (std::size_t i = 0; i < batch.size(); ++i) {
     if (last_event[batch[i].pool.value()] != i) continue;  // superseded
     const PoolUpdateEvent& event = batch[i];
-    if (!(event.reserve0 > 0.0) || !(event.reserve1 > 0.0)) {
-      return make_error(ErrorCode::kInvalidArgument,
-                        "non-positive reserves for " + to_string(event.pool));
-    }
     ++report.unique_pools;
-    snapshot_.graph.set_pool_reserves(event.pool, event.reserve0,
-                                      event.reserve1);
+    if (event.liquidity > 0.0) {
+      // Concentrated payload: absolute (liquidity, price) state.
+      if (Status applied =
+              snapshot_.graph.mutable_pool(event.pool).set_concentrated_state(
+                  event.liquidity, event.price);
+          !applied.ok()) {
+        return applied.error();
+      }
+    } else {
+      if (!(event.reserve0 > 0.0) || !(event.reserve1 > 0.0)) {
+        return make_error(ErrorCode::kInvalidArgument,
+                          "non-positive reserves for " + to_string(event.pool));
+      }
+      if (Status applied = snapshot_.graph.set_pool_reserves(
+              event.pool, event.reserve0, event.reserve1);
+          !applied.ok()) {
+        return applied.error();
+      }
+    }
     for (const std::uint32_t cycle : index_.cycles_of(event.pool)) {
       if (!dirty_flag[cycle]) {
         dirty_flag[cycle] = 1;
@@ -104,6 +122,10 @@ Status IncrementalScanner::reprice(const std::vector<std::uint32_t>& dirty,
     std::size_t warm_hits = 0;
     std::size_t warm_misses = 0;
     std::uint64_t solver_iterations = 0;
+    std::size_t repriced_cpmm = 0;
+    std::size_t repriced_mixed = 0;
+    double cpmm_us = 0.0;
+    double mixed_us = 0.0;
   };
   std::vector<LaneStats> lane_stats(lanes);
   std::vector<Status> statuses(dirty.size());
@@ -119,11 +141,21 @@ Status IncrementalScanner::reprice(const std::vector<std::uint32_t>& dirty,
       const std::uint32_t slot = dirty[position];
       const graph::Cycle& cycle = index_.cycles()[slot];
       std::optional<core::Opportunity>& out = slots_[slot];
+      const bool mixed = mixed_[slot] != 0;
+      const auto t0 = std::chrono::steady_clock::now();
+      const auto account = [&] {
+        const double us = std::chrono::duration<double, std::micro>(
+                              std::chrono::steady_clock::now() - t0)
+                              .count();
+        (mixed ? stats.mixed_us : stats.cpmm_us) += us;
+        ++(mixed ? stats.repriced_mixed : stats.repriced_cpmm);
+      };
       // scan_market's filter_arbitrage gate: only the profitable
       // orientation (price product > 1) is priced at all.
       if (!(cycle.price_product(snapshot_.graph) > 1.0)) {
         out.reset();
         warm_[slot].valid = false;  // zero optimum has no interior
+        account();
         continue;
       }
       ctx.warm = &warm_[slot];
@@ -133,16 +165,21 @@ Status IncrementalScanner::reprice(const std::vector<std::uint32_t>& dirty,
       if (!priced) {
         statuses[position] = priced.error();
         out.reset();
+        account();
         continue;
       }
       if (convex) {
         stats.solver_iterations += static_cast<std::uint64_t>(
             std::max(0, ctx.report.total_newton_iterations));
-        if (config_.convex_warm_start && !ctx.used_closed_form) {
+        // Warm starts are CPMM-only; generic (mixed) solves are neither
+        // hit nor miss.
+        if (config_.convex_warm_start && !ctx.used_closed_form &&
+            !ctx.used_generic) {
           ++(ctx.warm_hit ? stats.warm_hits : stats.warm_misses);
         }
       }
       out = *std::move(priced);
+      account();
     }
   };
 
@@ -171,6 +208,10 @@ Status IncrementalScanner::reprice(const std::vector<std::uint32_t>& dirty,
     report.warm_hits += stats.warm_hits;
     report.warm_misses += stats.warm_misses;
     report.solver_iterations += stats.solver_iterations;
+    report.repriced_cpmm += stats.repriced_cpmm;
+    report.repriced_mixed += stats.repriced_mixed;
+    report.reprice_cpmm_us += stats.cpmm_us;
+    report.reprice_mixed_us += stats.mixed_us;
   }
   return Status::success();
 }

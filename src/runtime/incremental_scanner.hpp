@@ -31,12 +31,21 @@ struct ApplyReport {
   std::size_t repriced = 0;      ///< dirty cycles re-evaluated
   /// Convex strategy with convex_warm_start only: barrier solves that
   /// resumed from the cycle's previous optimum vs. ones that cold-started
-  /// (closed-form and price-product-gated cycles count as neither).
+  /// (closed-form, generic and price-product-gated cycles count as
+  /// neither — warm starts are CPMM-only).
   std::size_t warm_hits = 0;
   std::size_t warm_misses = 0;
   /// Convex strategy only: total Newton iterations across this round's
-  /// barrier solves (0 for analytic solves).
+  /// barrier solves (0 for analytic and generic solves).
   std::uint64_t solver_iterations = 0;
+  /// Per-kind split of `repriced`: loops whose hops are all CPMM vs.
+  /// loops crossing at least one StableSwap/concentrated pool (the
+  /// latter route through the derivative-free generic solver under the
+  /// Convex strategy), plus wall time spent pricing each class.
+  std::size_t repriced_cpmm = 0;
+  std::size_t repriced_mixed = 0;
+  double reprice_cpmm_us = 0.0;
+  double reprice_mixed_us = 0.0;
 };
 
 class IncrementalScanner {
@@ -99,6 +108,10 @@ class IncrementalScanner {
   /// config_.convex_warm_start is set; entries invalidate themselves
   /// whenever a cycle leaves the profitable orientation.
   std::vector<optim::WarmStart> warm_;
+  /// Per-cycle "crosses a non-CPMM pool" flag. Pool kinds are fixed at
+  /// construction (updates change state, never kind), so this is
+  /// precomputed once and drives the per-kind reprice accounting.
+  std::vector<char> mixed_;
   /// Per-lane solver contexts: reprice() partitions the dirty set into
   /// contiguous chunks, one context per chunk, so workspaces are reused
   /// without contention. Buffers grow to the largest loop seen and then

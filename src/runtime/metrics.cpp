@@ -69,32 +69,44 @@ double LatencyHistogram::quantile(double q) const {
 }
 
 std::string MetricsSnapshot::summary() const {
-  char buffer[256];
+  char buffer[512];
   std::snprintf(buffer, sizeof(buffer),
                 "ingested=%llu dropped=%llu coalesced=%llu batches=%llu "
-                "repriced=%llu depth=%llu newton=%llu warm=%llu/%llu "
-                "reprice_us{p50=%.1f p90=%.1f p99=%.1f max=%.1f n=%llu}",
+                "repriced=%llu (cpmm=%llu mixed=%llu) depth=%llu "
+                "newton=%llu warm=%llu/%llu "
+                "reprice_us{p50=%.1f p90=%.1f p99=%.1f max=%.1f n=%llu} "
+                "loop_us{cpmm_p50=%.1f mixed_p50=%.1f}",
                 static_cast<unsigned long long>(events_ingested),
                 static_cast<unsigned long long>(events_dropped),
                 static_cast<unsigned long long>(events_coalesced),
                 static_cast<unsigned long long>(batches),
                 static_cast<unsigned long long>(loops_repriced),
+                static_cast<unsigned long long>(loops_repriced_cpmm),
+                static_cast<unsigned long long>(loops_repriced_mixed),
                 static_cast<unsigned long long>(queue_depth),
                 static_cast<unsigned long long>(solver_iterations),
                 static_cast<unsigned long long>(warm_hits),
                 static_cast<unsigned long long>(warm_hits + warm_misses),
                 reprice_p50_us, reprice_p90_us, reprice_p99_us,
                 reprice_max_us,
-                static_cast<unsigned long long>(reprice_samples));
+                static_cast<unsigned long long>(reprice_samples),
+                cpmm_reprice_p50_us, mixed_reprice_p50_us);
   return buffer;
 }
 
 std::vector<std::string> MetricsSnapshot::csv_columns() {
-  return {"events_ingested",   "events_dropped", "events_coalesced",
-          "batches",           "loops_repriced", "queue_depth",
-          "solver_iterations", "warm_hits",      "warm_misses",
-          "reprice_samples",   "reprice_p50_us", "reprice_p90_us",
-          "reprice_p99_us",    "reprice_max_us"};
+  return {"events_ingested",      "events_dropped",
+          "events_coalesced",     "batches",
+          "loops_repriced",       "queue_depth",
+          "solver_iterations",    "warm_hits",
+          "warm_misses",          "reprice_samples",
+          "reprice_p50_us",       "reprice_p90_us",
+          "reprice_p99_us",       "reprice_max_us",
+          "loops_repriced_cpmm",  "loops_repriced_mixed",
+          "cpmm_reprice_samples", "cpmm_reprice_p50_us",
+          "cpmm_reprice_p99_us",  "cpmm_reprice_max_us",
+          "mixed_reprice_samples", "mixed_reprice_p50_us",
+          "mixed_reprice_p99_us", "mixed_reprice_max_us"};
 }
 
 MetricsSnapshot RuntimeMetrics::snapshot() const {
@@ -113,6 +125,18 @@ MetricsSnapshot RuntimeMetrics::snapshot() const {
   snap.reprice_p90_us = reprice_latency_.quantile(0.90);
   snap.reprice_p99_us = reprice_latency_.quantile(0.99);
   snap.reprice_max_us = reprice_latency_.max_us();
+  snap.loops_repriced_cpmm =
+      loops_repriced_cpmm_.load(std::memory_order_relaxed);
+  snap.loops_repriced_mixed =
+      loops_repriced_mixed_.load(std::memory_order_relaxed);
+  snap.cpmm_reprice_samples = cpmm_reprice_latency_.samples();
+  snap.cpmm_reprice_p50_us = cpmm_reprice_latency_.quantile(0.50);
+  snap.cpmm_reprice_p99_us = cpmm_reprice_latency_.quantile(0.99);
+  snap.cpmm_reprice_max_us = cpmm_reprice_latency_.max_us();
+  snap.mixed_reprice_samples = mixed_reprice_latency_.samples();
+  snap.mixed_reprice_p50_us = mixed_reprice_latency_.quantile(0.50);
+  snap.mixed_reprice_p99_us = mixed_reprice_latency_.quantile(0.99);
+  snap.mixed_reprice_max_us = mixed_reprice_latency_.max_us();
   return snap;
 }
 
@@ -135,7 +159,15 @@ Status write_metrics_csv(const std::vector<MetricsSnapshot>& snapshots,
             static_cast<std::size_t>(s.warm_hits),
             static_cast<std::size_t>(s.warm_misses),
             static_cast<std::size_t>(s.reprice_samples), s.reprice_p50_us,
-            s.reprice_p90_us, s.reprice_p99_us, s.reprice_max_us);
+            s.reprice_p90_us, s.reprice_p99_us, s.reprice_max_us,
+            static_cast<std::size_t>(s.loops_repriced_cpmm),
+            static_cast<std::size_t>(s.loops_repriced_mixed),
+            static_cast<std::size_t>(s.cpmm_reprice_samples),
+            s.cpmm_reprice_p50_us, s.cpmm_reprice_p99_us,
+            s.cpmm_reprice_max_us,
+            static_cast<std::size_t>(s.mixed_reprice_samples),
+            s.mixed_reprice_p50_us, s.mixed_reprice_p99_us,
+            s.mixed_reprice_max_us);
   }
   return Status::success();
 }

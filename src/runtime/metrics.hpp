@@ -56,6 +56,23 @@ struct MetricsSnapshot {
   double reprice_p99_us = 0.0;
   double reprice_max_us = 0.0;
 
+  /// Per-kind split of loops_repriced: all-CPMM loops vs. loops crossing
+  /// at least one StableSwap/concentrated pool (routed through the
+  /// generic solver under the Convex strategy).
+  std::uint64_t loops_repriced_cpmm = 0;
+  std::uint64_t loops_repriced_mixed = 0;
+  /// Per-loop repricing latency by kind, sampled once per batch as that
+  /// batch's mean (total kind wall time / loops of that kind). Zero when
+  /// the market has no loops of that kind.
+  std::uint64_t cpmm_reprice_samples = 0;
+  double cpmm_reprice_p50_us = 0.0;
+  double cpmm_reprice_p99_us = 0.0;
+  double cpmm_reprice_max_us = 0.0;
+  std::uint64_t mixed_reprice_samples = 0;
+  double mixed_reprice_p50_us = 0.0;
+  double mixed_reprice_p99_us = 0.0;
+  double mixed_reprice_max_us = 0.0;
+
   /// One-line human-readable rendering.
   [[nodiscard]] std::string summary() const;
 
@@ -78,6 +95,14 @@ class RuntimeMetrics {
   void record_reprice_latency(double microseconds) {
     reprice_latency_.record(microseconds);
   }
+  void add_repriced_cpmm(std::uint64_t n) { loops_repriced_cpmm_ += n; }
+  void add_repriced_mixed(std::uint64_t n) { loops_repriced_mixed_ += n; }
+  void record_cpmm_reprice_latency(double microseconds) {
+    cpmm_reprice_latency_.record(microseconds);
+  }
+  void record_mixed_reprice_latency(double microseconds) {
+    mixed_reprice_latency_.record(microseconds);
+  }
 
   [[nodiscard]] MetricsSnapshot snapshot() const;
 
@@ -91,7 +116,11 @@ class RuntimeMetrics {
   std::atomic<std::uint64_t> solver_iterations_{0};
   std::atomic<std::uint64_t> warm_hits_{0};
   std::atomic<std::uint64_t> warm_misses_{0};
+  std::atomic<std::uint64_t> loops_repriced_cpmm_{0};
+  std::atomic<std::uint64_t> loops_repriced_mixed_{0};
   LatencyHistogram reprice_latency_;
+  LatencyHistogram cpmm_reprice_latency_;
+  LatencyHistogram mixed_reprice_latency_;
 };
 
 /// Writes snapshots as CSV (header + one row per snapshot).

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/error.hpp"
 #include "sim/replay.hpp"
 
 namespace arb::runtime {
@@ -9,13 +10,11 @@ namespace arb::runtime {
 ReplayUpdateStream::ReplayUpdateStream(const market::MarketSnapshot& snapshot,
                                        const ReplayStreamConfig& config)
     : config_(config), rng_(config.seed) {
-  reserves_.reserve(snapshot.graph.pool_count());
-  fees_.reserve(snapshot.graph.pool_count());
-  for (const amm::CpmmPool& pool : snapshot.graph.pools()) {
-    reserves_.emplace_back(pool.reserve0(), pool.reserve1());
-    fees_.push_back(pool.fee());
+  pools_.reserve(snapshot.graph.pool_count());
+  for (const amm::AnyPool& pool : snapshot.graph.pools()) {
+    pools_.push_back(pool);
   }
-  if (reserves_.empty()) exhausted_ = true;
+  if (pools_.empty()) exhausted_ = true;
 }
 
 void ReplayUpdateStream::refill() {
@@ -26,30 +25,37 @@ void ReplayUpdateStream::refill() {
   ++block_;
   std::vector<PoolId> targets;
   if (config_.pools_per_block == 0) {
-    targets.reserve(reserves_.size());
-    for (std::size_t i = 0; i < reserves_.size(); ++i) {
+    targets.reserve(pools_.size());
+    for (std::size_t i = 0; i < pools_.size(); ++i) {
       targets.emplace_back(static_cast<PoolId::underlying_type>(i));
     }
   } else {
     targets.reserve(config_.pools_per_block);
     for (std::size_t i = 0; i < config_.pools_per_block; ++i) {
       targets.emplace_back(static_cast<PoolId::underlying_type>(
-          rng_.uniform_int(0, static_cast<std::int64_t>(reserves_.size()) - 1)));
+          rng_.uniform_int(0, static_cast<std::int64_t>(pools_.size()) - 1)));
     }
   }
   for (const PoolId id : targets) {
-    auto& [r0, r1] = reserves_[id.value()];
-    const amm::CpmmPool pool(id, TokenId{0}, TokenId{1}, r0, r1,
-                             fees_[id.value()]);
-    const auto [n0, n1] =
-        sim::shocked_reserves(pool, rng_.normal(0.0, config_.block_noise_sigma));
-    r0 = n0;
-    r1 = n1;
+    amm::AnyPool& pool = pools_[id.value()];
+    // Exactly one draw per selected pool, independent of kind.
+    const double shock = rng_.normal(0.0, config_.block_noise_sigma);
     PoolUpdateEvent event;
     event.pool = id;
-    event.reserve0 = n0;
-    event.reserve1 = n1;
     event.sequence = sequence_++;
+    if (pool.kind() == amm::PoolKind::kConcentrated) {
+      const double price = sim::shocked_price(pool, shock);
+      const double liquidity = pool.concentrated().liquidity();
+      ARB_REQUIRE(pool.set_concentrated_state(liquidity, price).ok(),
+                  "clamped shock left the position range");
+      event.liquidity = liquidity;
+      event.price = price;
+    } else {
+      const auto [n0, n1] = sim::shocked_reserves(pool, shock);
+      ARB_REQUIRE(pool.set_reserves(n0, n1).ok(), "shocked reserves invalid");
+      event.reserve0 = n0;
+      event.reserve1 = n1;
+    }
     pending_.push_back(event);
   }
   // next() pops from the back; keep block-internal order.

@@ -7,9 +7,9 @@
 /// time so the scanner service can consume them incrementally.
 
 #include <cstdint>
-#include <utility>
 #include <vector>
 
+#include "amm/any_pool.hpp"
 #include "common/rng.hpp"
 #include "market/snapshot.hpp"
 #include "runtime/event.hpp"
@@ -29,8 +29,12 @@ struct ReplayStreamConfig {
 };
 
 /// Deterministic replay of exogenous trading flow as an update stream.
-/// Tracks reserve state internally so consecutive shocks compound exactly
-/// as they do in sim::run_replay.
+/// Tracks pool state internally so consecutive shocks compound exactly
+/// as they do in sim::run_replay. Every venue kind draws exactly one
+/// shock per selected pool, so the RNG call sequence — and hence the
+/// emitted event stream on all-CPMM markets — is independent of pool
+/// kinds. Reserve-based pools emit reserve events; concentrated
+/// positions emit (liquidity, price) events.
 class ReplayUpdateStream final : public UpdateStream {
  public:
   ReplayUpdateStream(const market::MarketSnapshot& snapshot,
@@ -45,9 +49,8 @@ class ReplayUpdateStream final : public UpdateStream {
 
   ReplayStreamConfig config_;
   Rng rng_;
-  /// Current reserve state per pool (by PoolId value).
-  std::vector<std::pair<Amount, Amount>> reserves_;
-  std::vector<double> fees_;
+  /// Current pool state, by PoolId value (value copies of the snapshot).
+  std::vector<amm::AnyPool> pools_;
   std::vector<PoolUpdateEvent> pending_;  ///< current block, reversed
   std::size_t block_ = 0;
   std::uint64_t sequence_ = 0;

@@ -136,6 +136,19 @@ void ScannerService::run() {
       metrics_.add_warm_hits(report->warm_hits);
       metrics_.add_warm_misses(report->warm_misses);
       metrics_.record_reprice_latency(micros);
+      metrics_.add_repriced_cpmm(report->repriced_cpmm);
+      metrics_.add_repriced_mixed(report->repriced_mixed);
+      // Per-kind per-loop latency, one sample per batch (the batch mean).
+      if (report->repriced_cpmm > 0) {
+        metrics_.record_cpmm_reprice_latency(
+            report->reprice_cpmm_us /
+            static_cast<double>(report->repriced_cpmm));
+      }
+      if (report->repriced_mixed > 0) {
+        metrics_.record_mixed_reprice_latency(
+            report->reprice_mixed_us /
+            static_cast<double>(report->repriced_mixed));
+      }
     } else {
       ARB_LOG_WARN("scanner service stopping on error: "
                    << report.error().to_string());

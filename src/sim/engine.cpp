@@ -8,31 +8,28 @@
 namespace arb::sim {
 namespace {
 
-/// Snapshot of the reserves touched by a plan, for rollback.
+/// Copies of the pools touched by a plan, for rollback. Whole-value
+/// copies (not just reserves) so every venue kind restores exactly.
 class PoolCheckpoint {
  public:
   PoolCheckpoint(graph::TokenGraph& graph, const core::ArbitragePlan& plan)
       : graph_(graph) {
     for (const core::PlanStep& step : plan.steps) {
       if (saved_.find(step.pool) == saved_.end()) {
-        const amm::CpmmPool& pool = graph.pool(step.pool);
-        saved_.emplace(step.pool,
-                       std::make_pair(pool.reserve0(), pool.reserve1()));
+        saved_.emplace(step.pool, graph.pool(step.pool));
       }
     }
   }
 
   void rollback() {
-    for (const auto& [id, reserves] : saved_) {
-      amm::CpmmPool& pool = graph_.mutable_pool(id);
-      pool = amm::CpmmPool(pool.id(), pool.token0(), pool.token1(),
-                           reserves.first, reserves.second, pool.fee());
+    for (const auto& [id, pool] : saved_) {
+      graph_.mutable_pool(id) = pool;
     }
   }
 
  private:
   graph::TokenGraph& graph_;
-  std::unordered_map<PoolId, std::pair<Amount, Amount>> saved_;
+  std::unordered_map<PoolId, amm::AnyPool> saved_;
 };
 
 }  // namespace
@@ -58,7 +55,7 @@ Result<ExecutionReport> ExecutionEngine::execute(
   };
 
   for (const core::PlanStep& step : plan.steps) {
-    amm::CpmmPool& pool = graph.mutable_pool(step.pool);
+    amm::AnyPool& pool = graph.mutable_pool(step.pool);
     if (!pool.contains(step.token_in) ||
         pool.other(step.token_in) != step.token_out) {
       return fail(ErrorCode::kInvalidArgument,
@@ -73,10 +70,14 @@ Result<ExecutionReport> ExecutionEngine::execute(
                       graph.symbol(step.token_in));
     }
 
-    const double k_before = pool.k();
+    // The k = r0·r1 invariant is a CPMM notion; StableSwap conserves its
+    // own D and concentrated positions their liquidity, both enforced by
+    // the pool types themselves.
+    const bool check_k = pool.is_cpmm();
+    const double k_before = check_k ? pool.cpmm().k() : 0.0;
     auto quote = pool.apply_swap(step.token_in, step.amount_in);
     if (!quote) return fail(quote.error().code, quote.error().message);
-    if (pool.k() < k_before * (1.0 - 1e-12)) {
+    if (check_k && pool.cpmm().k() < k_before * (1.0 - 1e-12)) {
       return fail(ErrorCode::kInvariantViolated,
                   "constant product decreased in " + to_string(step.pool));
     }

@@ -33,9 +33,14 @@ Result<IntegerCheckReport> check_plan_integer(
   std::unordered_map<PoolId, amm::IntegerPool> pools;
   for (const core::PlanStep& step : plan.steps) {
     if (pools.find(step.pool) == pools.end()) {
-      pools.emplace(step.pool,
-                    amm::IntegerPool::from_real(graph.pool(step.pool),
-                                                options.units_per_token));
+      const amm::AnyPool& pool = graph.pool(step.pool);
+      if (!pool.is_cpmm()) {
+        return make_error(ErrorCode::kInvalidArgument,
+                          "integer check models CPMM arithmetic only; plan "
+                          "touches a non-CPMM pool " + to_string(step.pool));
+      }
+      pools.emplace(step.pool, amm::IntegerPool::from_real(
+                                   pool.cpmm(), options.units_per_token));
     }
   }
 

@@ -1,7 +1,9 @@
 #include "sim/replay.hpp"
 
+#include <algorithm>
 #include <cmath>
 
+#include "common/error.hpp"
 #include "common/logging.hpp"
 #include "core/plan.hpp"
 #include "graph/cycle_enumeration.hpp"
@@ -10,22 +12,39 @@ namespace arb::sim {
 namespace {
 
 /// Exogenous flow: nudges each pool's internal price by a log-normal
-/// shock while preserving its constant product (a fee-free trade by the
-/// rest of the market).
+/// shock (a fee-free trade by the rest of the market). Reserve-based
+/// pools scale their reserves; concentrated positions move their price.
 void perturb_pools(graph::TokenGraph& graph, Rng& rng, double sigma) {
-  for (const amm::CpmmPool& pool : graph.pools()) {
-    const auto [r0, r1] = shocked_reserves(pool, rng.normal(0.0, sigma));
-    graph.set_pool_reserves(pool.id(), r0, r1);
+  for (const amm::AnyPool& pool : graph.pools()) {
+    const double shock = rng.normal(0.0, sigma);
+    if (pool.kind() == amm::PoolKind::kConcentrated) {
+      const Status moved = graph.mutable_pool(pool.id()).set_concentrated_state(
+          pool.concentrated().liquidity(), shocked_price(pool, shock));
+      ARB_REQUIRE(moved.ok(), "clamped shock left the position range");
+      continue;
+    }
+    const auto [r0, r1] = shocked_reserves(pool, shock);
+    const Status moved = graph.set_pool_reserves(pool.id(), r0, r1);
+    ARB_REQUIRE(moved.ok(), "shocked reserves invalid");
   }
 }
 
 }  // namespace
 
-std::pair<Amount, Amount> shocked_reserves(const amm::CpmmPool& pool,
+std::pair<Amount, Amount> shocked_reserves(const amm::AnyPool& pool,
                                            double shock) {
-  // Scale reserves (r0·s, r1/s): price moves by s², k unchanged.
+  // Scale reserves (r0·s, r1/s): price moves by s², k unchanged on a CPMM.
   const double s = std::exp(shock / 2.0);
   return {pool.reserve0() * s, pool.reserve1() / s};
+}
+
+double shocked_price(const amm::AnyPool& pool, double shock) {
+  const amm::ConcentratedPool& clp = pool.concentrated();
+  const double margin = 1e-6 * (std::log(clp.p_hi()) - std::log(clp.p_lo()));
+  const double log_price =
+      std::clamp(std::log(clp.price()) + shock, std::log(clp.p_lo()) + margin,
+                 std::log(clp.p_hi()) - margin);
+  return std::exp(log_price);
 }
 
 Result<ReplayResult> run_replay(const market::MarketSnapshot& snapshot,

@@ -50,11 +50,19 @@ struct ReplayResult {
 };
 
 /// Reserves after a fee-free exogenous trade that moves the pool's
-/// internal price by e^shock while preserving the constant product
-/// (reserve0·s, reserve1/s with s = e^{shock/2}). Shared by run_replay's
-/// per-block noise and the streaming runtime's replay event stream.
+/// internal price by e^shock (reserve0·s, reserve1/s with
+/// s = e^{shock/2}; on a CPMM this preserves the constant product).
+/// Valid for reserve-based pools (CPMM, StableSwap); concentrated
+/// positions move their price state instead — see shocked_price. Shared
+/// by run_replay's per-block noise and the streaming runtime's replay
+/// event stream.
 [[nodiscard]] std::pair<Amount, Amount> shocked_reserves(
-    const amm::CpmmPool& pool, double shock);
+    const amm::AnyPool& pool, double shock);
+
+/// Price after a log shock, clamped strictly inside a concentrated
+/// position's range (at the edge the position is one-sided and quotes
+/// go flat). Precondition: pool is concentrated.
+[[nodiscard]] double shocked_price(const amm::AnyPool& pool, double shock);
 
 /// Runs the replay on a copy of the snapshot (the input is not mutated).
 [[nodiscard]] Result<ReplayResult> run_replay(

@@ -26,9 +26,11 @@ void perturb(Section5Market& m, std::mt19937_64& rng, double magnitude) {
                                                1.0 + magnitude);
   for (std::size_t p = 0; p < m.graph.pool_count(); ++p) {
     const auto& pool = m.graph.pool(PoolId{static_cast<std::uint32_t>(p)});
-    m.graph.set_pool_reserves(PoolId{static_cast<std::uint32_t>(p)},
-                              pool.reserve0() * shock(rng),
-                              pool.reserve1() * shock(rng));
+    ASSERT_TRUE(m.graph
+                    .set_pool_reserves(PoolId{static_cast<std::uint32_t>(p)},
+                                       pool.reserve0() * shock(rng),
+                                       pool.reserve1() * shock(rng))
+                    .ok());
   }
 }
 
@@ -104,7 +106,7 @@ TEST(WarmStartTest, SlotInvalidatedWhenLoopTurnsProfitless) {
   ASSERT_TRUE(slot.valid);
 
   // Flip the XY pool so hard the loop loses money in this orientation.
-  m.graph.set_pool_reserves(m.xy, 10000.0, 2.0);
+  ASSERT_TRUE(m.graph.set_pool_reserves(m.xy, 10000.0, 2.0).ok());
   auto second = solve_convex(m.graph, m.prices, m.loop(), options, ctx);
   ASSERT_TRUE(second.ok());
   EXPECT_DOUBLE_EQ(second->outcome.monetized_usd, 0.0);

@@ -36,8 +36,9 @@ TEST(TokenGraphTest, PoolLookup) {
   const TokenId a = g.add_token("A");
   const TokenId b = g.add_token("B");
   const PoolId id = g.add_pool(a, b, 10.0, 20.0, 0.001);
-  const amm::CpmmPool& pool = g.pool(id);
+  const amm::AnyPool& pool = g.pool(id);
   EXPECT_EQ(pool.id(), id);
+  EXPECT_EQ(pool.kind(), amm::PoolKind::kCpmm);
   EXPECT_DOUBLE_EQ(pool.fee(), 0.001);
   EXPECT_THROW((void)g.pool(PoolId{5}), PreconditionError);
 }

@@ -157,7 +157,7 @@ TEST(GeneratorTest, CexPricesTrackPoolPrices) {
   // (within the configured noise).
   GeneratorConfig config;
   const MarketSnapshot s = generate_snapshot(config);
-  for (const amm::CpmmPool& pool : s.graph.pools()) {
+  for (const amm::AnyPool& pool : s.graph.pools()) {
     const double pool_ratio = pool.reserve1() / pool.reserve0();  // t0 per t1... price of t0 in t1
     const double cex_ratio = s.prices.price_unchecked(pool.token0()) /
                              s.prices.price_unchecked(pool.token1());
@@ -214,10 +214,21 @@ TEST_F(SnapshotIoTest, RoundTripExact) {
   }
 }
 
-TEST_F(SnapshotIoTest, MissingDirectoryFails) {
+TEST_F(SnapshotIoTest, MissingDirectoryIsCreatedOnSave) {
   EXPECT_FALSE(load_snapshot((dir_ / "nope").string()).ok());
   MarketSnapshot s = tiny_snapshot();
-  EXPECT_FALSE(save_snapshot(s, (dir_ / "nope").string()).ok());
+  // save_snapshot creates missing directories recursively...
+  const auto nested = dir_ / "deeply" / "nested" / "out";
+  ASSERT_TRUE(save_snapshot(s, nested.string()).ok());
+  EXPECT_TRUE(load_snapshot(nested.string()).ok());
+  // ...but reports an error when the path cannot be a directory (a
+  // regular file is in the way).
+  FILE* f = fopen((dir_ / "blocked").string().c_str(), "w");
+  fputs("x", f);
+  fclose(f);
+  const Status blocked = save_snapshot(s, (dir_ / "blocked").string());
+  ASSERT_FALSE(blocked.ok());
+  EXPECT_EQ(blocked.error().code, ErrorCode::kIoError);
 }
 
 TEST_F(SnapshotIoTest, CorruptPoolRowFails) {

@@ -32,14 +32,14 @@ TEST(PriceProcessTest, FundamentalsInitializedFromCexQuotes) {
 TEST(PriceProcessTest, StepPreservesConstantProduct) {
   MarketSnapshot snapshot = small_snapshot();
   std::vector<double> k_before;
-  for (const amm::CpmmPool& pool : snapshot.graph.pools()) {
-    k_before.push_back(pool.k());
+  for (const amm::AnyPool& pool : snapshot.graph.pools()) {
+    k_before.push_back(pool.cpmm().k());
   }
   PriceProcess process(snapshot, PriceProcessConfig{}, 2);
   process.step(snapshot);
   for (std::size_t i = 0; i < k_before.size(); ++i) {
-    EXPECT_NEAR(snapshot.graph.pool(PoolId{(unsigned)i}).k(), k_before[i],
-                k_before[i] * 1e-9);
+    EXPECT_NEAR(snapshot.graph.pool(PoolId{(unsigned)i}).cpmm().k(),
+                k_before[i], k_before[i] * 1e-9);
   }
 }
 
@@ -75,7 +75,7 @@ TEST(PriceProcessTest, PoolsTrackFundamentals) {
   // After many blocks of pure tracking, every pool's implied ratio must
   // converge to the fundamental ratio.
   for (int block = 0; block < 40; ++block) process.step(snapshot);
-  for (const amm::CpmmPool& pool : snapshot.graph.pools()) {
+  for (const amm::AnyPool& pool : snapshot.graph.pools()) {
     const double fundamental_ratio =
         process.fundamental(pool.token0()) /
         process.fundamental(pool.token1());

@@ -25,7 +25,7 @@ PoolUpdateEvent random_event(graph::TokenGraph& reference, Rng& rng,
   const PoolId id{pool_value};
   const auto [r0, r1] =
       sim::shocked_reserves(reference.pool(id), rng.normal(0.0, sigma));
-  reference.set_pool_reserves(id, r0, r1);
+  EXPECT_TRUE(reference.set_pool_reserves(id, r0, r1).ok());
   PoolUpdateEvent event;
   event.pool = id;
   event.reserve0 = r0;
@@ -155,8 +155,8 @@ TEST(IncrementalScannerTest, CoalescesDuplicatePoolsInBatch) {
   EXPECT_GT(report.repriced, 0u);
 
   market::MarketSnapshot reference = snapshot;
-  reference.graph.set_pool_reserves(m.yz, 310.0, 205.0);
-  reference.graph.set_pool_reserves(m.xy, 105.0, 195.0);
+  ASSERT_TRUE(reference.graph.set_pool_reserves(m.yz, 310.0, 205.0).ok());
+  ASSERT_TRUE(reference.graph.set_pool_reserves(m.xy, 105.0, 195.0).ok());
   expect_identical(
       core::scan_market(reference.graph, reference.prices, config).value(),
       scanner.collect());

@@ -35,8 +35,10 @@ TEST(ScannerServiceTest, ConvergesToFullScanOfFinalState) {
   ReplayUpdateStream stream(snapshot, stream_config);
   std::size_t published = 0;
   while (auto event = stream.next()) {
-    reference.graph.set_pool_reserves(event->pool, event->reserve0,
-                                      event->reserve1);
+    ASSERT_TRUE(reference.graph
+                    .set_pool_reserves(event->pool, event->reserve0,
+                                       event->reserve1)
+                    .ok());
     ASSERT_TRUE(service->publish(*event));
     ++published;
   }
@@ -80,7 +82,7 @@ TEST(ScannerServiceTest, DropNewestCountsDrops) {
 
   // Publish a burst far beyond capacity from this thread; some must be
   // accepted, and every publish must report its fate truthfully.
-  const amm::CpmmPool& pool = snapshot.graph.pool(PoolId{0});
+  const amm::AnyPool& pool = snapshot.graph.pool(PoolId{0});
   std::size_t accepted = 0;
   std::size_t rejected = 0;
   for (std::uint64_t i = 0; i < 200; ++i) {
@@ -113,7 +115,7 @@ TEST(ScannerServiceTest, DropOldestAcceptsEverything) {
   config.backpressure = BackpressurePolicy::kDropOldest;
   auto service = ScannerService::start(snapshot, config).value();
 
-  const amm::CpmmPool& pool = snapshot.graph.pool(PoolId{0});
+  const amm::AnyPool& pool = snapshot.graph.pool(PoolId{0});
   for (std::uint64_t i = 0; i < 100; ++i) {
     PoolUpdateEvent event;
     event.pool = pool.id();

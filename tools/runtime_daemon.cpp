@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "amm/any_pool.hpp"
 #include "market/io.hpp"
 #include "market/snapshot.hpp"
 #include "runtime/replay_stream.hpp"
@@ -46,9 +47,21 @@ int main(int argc, char** argv) {
   if (!loaded) die("load_snapshot(" + dir + ")", loaded.error());
   const market::MarketSnapshot snapshot =
       loaded->filtered(market::PoolFilter{});
-  std::printf("snapshot: %s — %zu tokens, %zu pools after filter\n",
+  std::size_t cpmm_pools = 0;
+  std::size_t stable_pools = 0;
+  std::size_t concentrated_pools = 0;
+  for (const amm::AnyPool& pool : snapshot.graph.pools()) {
+    switch (pool.kind()) {
+      case amm::PoolKind::kCpmm: ++cpmm_pools; break;
+      case amm::PoolKind::kStable: ++stable_pools; break;
+      case amm::PoolKind::kConcentrated: ++concentrated_pools; break;
+    }
+  }
+  std::printf("snapshot: %s — %zu tokens, %zu pools after filter "
+              "(cpmm=%zu stable=%zu concentrated=%zu)\n",
               snapshot.label.c_str(), snapshot.graph.token_count(),
-              snapshot.graph.pool_count());
+              snapshot.graph.pool_count(), cpmm_pools, stable_pools,
+              concentrated_pools);
 
   runtime::ServiceConfig config;
   config.scanner.loop_lengths = {3};
@@ -83,6 +96,15 @@ int main(int argc, char** argv) {
 
   std::printf("published %zu events over %zu blocks\n", published, blocks);
   std::printf("metrics: %s\n", metrics.summary().c_str());
+  std::printf("repricing by venue kind:\n");
+  std::printf("  cpmm : %llu loops, per-loop us p50=%.1f p99=%.1f max=%.1f\n",
+              static_cast<unsigned long long>(metrics.loops_repriced_cpmm),
+              metrics.cpmm_reprice_p50_us, metrics.cpmm_reprice_p99_us,
+              metrics.cpmm_reprice_max_us);
+  std::printf("  mixed: %llu loops, per-loop us p50=%.1f p99=%.1f max=%.1f\n",
+              static_cast<unsigned long long>(metrics.loops_repriced_mixed),
+              metrics.mixed_reprice_p50_us, metrics.mixed_reprice_p99_us,
+              metrics.mixed_reprice_max_us);
   std::printf("\ntop opportunities after final block:\n");
   const std::size_t top = std::min<std::size_t>(5, opportunities.size());
   for (std::size_t i = 0; i < top; ++i) {
