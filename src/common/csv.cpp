@@ -148,7 +148,13 @@ Result<CsvTable> parse_csv(const std::string& text) {
         end_field();
         break;
       case '\r':
-        break;  // tolerate CRLF
+        // Record terminator: the CR of a CRLF pair (the LF is consumed
+        // as part of the same terminator) or a bare classic-Mac CR.
+        // Treating it as plain whitespace instead would silently merge
+        // adjacent records of CR-only files.
+        end_record();
+        if (i + 1 < text.size() && text[i + 1] == '\n') ++i;
+        break;
       case '\n':
         end_record();
         break;
@@ -169,10 +175,21 @@ Result<CsvTable> parse_csv(const std::string& text) {
     return make_error(ErrorCode::kParseError, "empty CSV input");
   }
 
+  // Spreadsheet exports routinely end lines with a separator, producing
+  // empty cells past the last real column. Accept them: trailing empty
+  // cells are trimmed (never below the header width for data rows), so
+  // only rows with missing or extra NON-empty cells stay hard errors.
+  const auto trim_trailing_empty = [](std::vector<std::string>& cells,
+                                      std::size_t min_size) {
+    while (cells.size() > min_size && cells.back().empty()) cells.pop_back();
+  };
+
   CsvTable table;
   table.header = std::move(records.front());
+  trim_trailing_empty(table.header, 1);
   for (std::size_t r = 1; r < records.size(); ++r) {
     if (records[r].size() == 1 && records[r][0].empty()) continue;  // blank line
+    trim_trailing_empty(records[r], table.header.size());
     if (records[r].size() != table.header.size()) {
       return make_error(ErrorCode::kParseError,
                         "row " + std::to_string(r) + " has " +

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 
 #include "amm/any_pool.hpp"
 #include "amm/path.hpp"
@@ -205,6 +206,7 @@ Result<ConvexSolution> solve_convex(const graph::TokenGraph& graph,
   ctx.warm_hit = false;
   ctx.used_closed_form = false;
   ctx.used_generic = false;
+  ctx.used_fallback = false;
   // Iteration counters stay meaningful even on the analytic early-return
   // paths below, so callers can read ctx.report after any outcome.
   ctx.report.outer_iterations = 0;
@@ -212,7 +214,9 @@ Result<ConvexSolution> solve_convex(const graph::TokenGraph& graph,
 
   // Theorem (Section IV): no arbitrage under MaxMax ⇒ none under Convex.
   // Detect via the loop price product and skip the solver outright.
-  if (cycle.price_product(graph) <= 1.0 + options.no_arbitrage_margin) {
+  // Negated-comparison form so a NaN product (corrupted reserves) lands
+  // here as "no opportunity" instead of falling through to the solver.
+  if (!(cycle.price_product(graph) > 1.0 + options.no_arbitrage_margin)) {
     if (ctx.warm) ctx.warm->valid = false;  // zero optimum has no interior
     return zero_solution(cycle);
   }
@@ -226,6 +230,37 @@ Result<ConvexSolution> solve_convex(const graph::TokenGraph& graph,
   auto original_hops = make_hop_data(graph, prices, cycle);
   if (!original_hops) return original_hops.error();
   const std::size_t n = original_hops->size();
+  // The barrier transcription divides by reserves and takes logs of
+  // prices; reject corrupted inputs here with a typed diagnostic instead
+  // of letting NaN propagate into the Newton iteration.
+  for (std::size_t i = 0; i < n; ++i) {
+    const LoopHopData& hop = (*original_hops)[i];
+    if (!std::isfinite(hop.reserve_in) || !std::isfinite(hop.reserve_out) ||
+        !std::isfinite(hop.price_in) || !std::isfinite(hop.price_out) ||
+        !std::isfinite(hop.gamma) || !(hop.reserve_in > 0.0) ||
+        !(hop.reserve_out > 0.0) || !(hop.price_in > 0.0) ||
+        !(hop.price_out > 0.0) || !(hop.gamma > 0.0)) {
+      return make_error(ErrorCode::kNumericFailure,
+                        "non-finite or non-positive state on hop " +
+                            std::to_string(i) + " of loop " +
+                            cycle.rotation_key());
+    }
+  }
+
+  // Last rung of the containment ladder (warm → cold barrier → generic →
+  // typed error): the derivative-free generic solver needs no Hessian,
+  // so it survives curvature that breaks the barrier's Newton centering.
+  const auto rescue = [&](const Error& barrier_error)
+      -> Result<ConvexSolution> {
+    ctx.used_fallback = true;
+    if (ctx.warm) ctx.warm->valid = false;
+    auto rescued = solve_convex_generic(graph, prices, cycle, options, ctx);
+    if (rescued) return rescued;
+    return make_error(ErrorCode::kNumericFailure,
+                      "convex solve failed on loop " + cycle.rotation_key() +
+                          ": barrier: " + barrier_error.message +
+                          "; generic fallback: " + rescued.error().message);
+  };
 
   ConvexSolution solution;
   solution.outcome.kind = StrategyKind::kConvexOptimization;
@@ -266,7 +301,7 @@ Result<ConvexSolution> solve_convex(const graph::TokenGraph& graph,
     }
     const optim::BarrierSolver solver(barrier_options);
     auto status = solver.solve_into(problem, *start, ctx.workspace, ctx.report);
-    if (!status) return status.error();
+    if (!status) return rescue(status.error());
     for (std::size_t i = 0; i < n; ++i) {
       solution.inputs[i] = std::max(0.0, ctx.report.x[i]);
       solution.outputs[i] = std::max(0.0, ctx.report.x[n + i]);
@@ -346,7 +381,7 @@ Result<ConvexSolution> solve_convex(const graph::TokenGraph& graph,
       status = cold_solver.solve_into(problem, *start, ctx.workspace,
                                       ctx.report);
     }
-    if (!status) return status.error();
+    if (!status) return rescue(status.error());
     ctx.warm_hit = warm_used;
 
     for (std::size_t i = 0; i < n; ++i) {

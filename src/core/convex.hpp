@@ -88,6 +88,11 @@ struct ConvexContext {
   bool warm_hit = false;          ///< warm iterate accepted this solve
   bool used_closed_form = false;  ///< length-2 kernel bypassed the solver
   bool used_generic = false;      ///< mixed loop went through generic_convex
+  /// The barrier failed even from a cold start and the derivative-free
+  /// generic solver rescued the solve — the last rung of the containment
+  /// ladder (warm → cold barrier → generic → typed error). Feeds the
+  /// runtime's solver_fallbacks metric.
+  bool used_fallback = false;
 };
 
 /// Solution detail beyond the common StrategyOutcome.

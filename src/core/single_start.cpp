@@ -1,9 +1,11 @@
 #include "core/single_start.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "amm/generic_path.hpp"
 #include "amm/path.hpp"
+#include "common/error.hpp"
 
 namespace arb::core {
 
@@ -39,6 +41,16 @@ Result<StrategyOutcome> evaluate_traditional(
         cycle.generic_path(graph, start_offset % n), generic);
     if (!solved) return solved.error();
     trade = *solved;
+  }
+
+  // Containment: corrupted reserves can drive the Möbius algebra or the
+  // bracket search to NaN; surface a typed error instead of emitting an
+  // Opportunity whose profit silently poisons the ranking.
+  if (!std::isfinite(trade.input) || !std::isfinite(trade.output) ||
+      !std::isfinite(trade.profit)) {
+    return make_error(ErrorCode::kNumericFailure,
+                      "non-finite optimal trade on loop " +
+                          cycle.rotation_key());
   }
 
   StrategyOutcome outcome;

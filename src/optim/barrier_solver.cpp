@@ -200,6 +200,15 @@ Status BarrierSolver::solve_into(const NlpProblem& problem,
   report.final_t = t;
   report.x = ws.x;
   report.objective = problem.objective(ws.x);
+  // Containment: never hand a non-finite iterate or objective back to
+  // the caller as a "success" — the inner Newton guards should make this
+  // unreachable, but a corrupted problem could still slip a NaN through
+  // a converged-looking exit.
+  if (!report.x.all_finite() || !std::isfinite(report.objective)) {
+    return make_error(ErrorCode::kNumericFailure,
+                      "barrier solve produced non-finite iterate at t=" +
+                          std::to_string(t));
+  }
   report.dual.assign(m, 0.0);
   for (std::size_t i = 0; i < m; ++i) {
     report.dual[i] = 1.0 / (-t * problem.constraint(i, ws.x));

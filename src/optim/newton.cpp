@@ -49,6 +49,10 @@ Status newton_minimize_into(const SmoothObjective& fn, const math::Vector& x0,
   stats = NewtonStats{};
   ws.x = x0;  // capacity-preserving copy; x0 may alias ws.x
   stats.value = fn.value(ws.x);
+  if (!std::isfinite(stats.value)) {
+    return make_error(ErrorCode::kNumericFailure,
+                      "newton_minimize: non-finite objective at x0");
+  }
 
   for (int iter = 0; iter < options.max_iterations; ++iter) {
     stats.iterations = iter;
@@ -111,6 +115,12 @@ Status newton_minimize_into(const SmoothObjective& fn, const math::Vector& x0,
     // ws.candidate.
     ws.x = ws.candidate;
     stats.value = search.value;
+    if (!std::isfinite(stats.value)) {
+      return make_error(ErrorCode::kNumericFailure,
+                        "newton_minimize: objective went non-finite at "
+                        "iteration " +
+                            std::to_string(iter));
+    }
   }
 
   fn.gradient_into(ws.x, ws.grad);

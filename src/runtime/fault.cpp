@@ -1,0 +1,139 @@
+#include "runtime/fault.hpp"
+
+#include <limits>
+
+namespace arb::runtime {
+
+FaultProfile FaultProfile::uniform(double rate, std::uint64_t seed) {
+  FaultProfile profile;
+  profile.seed = seed;
+  profile.corrupt_rate = rate;
+  profile.duplicate_rate = rate;
+  profile.drop_rate = rate;
+  profile.reorder_rate = rate;
+  profile.stale_rate = rate;
+  return profile;
+}
+
+FaultInjector::FaultInjector(UpdateStream& inner, FaultProfile profile,
+                             std::size_t pool_count)
+    : inner_(&inner),
+      profile_(profile),
+      pool_count_(pool_count),
+      rng_(profile.seed) {}
+
+PoolUpdateEvent FaultInjector::corrupt(PoolUpdateEvent event) {
+  constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+  const bool concentrated = event.liquidity > 0.0;
+  switch (rng_.index(5)) {
+    case 0:  // NaN in the live field of the payload
+      (concentrated ? event.price : event.reserve0) = kNan;
+      break;
+    case 1:  // sign flip
+      if (concentrated) {
+        event.liquidity = -event.liquidity;
+      } else {
+        event.reserve1 = -event.reserve1;
+      }
+      break;
+    case 2:  // zeroed state
+      if (concentrated) {
+        event.price = 0.0;
+      } else {
+        event.reserve0 = 0.0;
+        event.reserve1 = 0.0;
+      }
+      break;
+    case 3:  // wrong-kind payload for the target pool
+      if (concentrated) {
+        event.liquidity = 0.0;
+        event.price = 0.0;
+        event.reserve0 = 1.0;
+        event.reserve1 = 1.0;
+      } else {
+        event.liquidity = 1.0;
+        event.price = 1.0;
+      }
+      break;
+    default: {  // unknown pool id, just past the snapshot's range
+      const std::uint32_t base =
+          pool_count_ > 0 ? static_cast<std::uint32_t>(pool_count_)
+                          : 1u << 20;
+      event.pool = PoolId(base + event.pool.value());
+      break;
+    }
+  }
+  return event;
+}
+
+void FaultInjector::remember(const PoolUpdateEvent& event) {
+  if (history_.size() < kHistoryCapacity) {
+    history_.push_back(event);
+  } else {
+    history_[history_next_] = event;
+    history_next_ = (history_next_ + 1) % kHistoryCapacity;
+  }
+}
+
+std::optional<PoolUpdateEvent> FaultInjector::next() {
+  for (;;) {
+    if (!pending_.empty()) {
+      PoolUpdateEvent event = pending_.front();
+      pending_.pop_front();
+      ++counts_.delivered;
+      return event;
+    }
+    std::optional<PoolUpdateEvent> pulled = inner_->next();
+    if (!pulled.has_value()) {
+      if (held_.has_value()) {  // flush a reorder held at end of stream
+        PoolUpdateEvent event = *held_;
+        held_.reset();
+        ++counts_.delivered;
+        return event;
+      }
+      return std::nullopt;
+    }
+    ++counts_.pulled;
+    PoolUpdateEvent event = *pulled;
+
+    // Fixed draw order per pulled event: five Bernoullis, then any
+    // draws the fired faults need. This is what makes a run a pure
+    // function of (seed, profile, inner stream).
+    const bool fire_corrupt = rng_.bernoulli(profile_.corrupt_rate);
+    const bool fire_duplicate = rng_.bernoulli(profile_.duplicate_rate);
+    const bool fire_drop = rng_.bernoulli(profile_.drop_rate);
+    const bool fire_reorder = rng_.bernoulli(profile_.reorder_rate);
+    const bool fire_stale = rng_.bernoulli(profile_.stale_rate);
+
+    if (fire_corrupt) {
+      event = corrupt(event);
+      ++counts_.corrupted;
+    }
+    if (fire_stale && !history_.empty()) {
+      pending_.push_back(history_[rng_.index(history_.size())]);
+      ++counts_.stale_replayed;
+    }
+    if (fire_duplicate) {
+      pending_.push_back(event);
+      ++counts_.duplicated;
+    }
+    if (fire_drop) {
+      ++counts_.dropped;
+      continue;  // duplicates/stale replays queued above still flow
+    }
+    remember(event);
+    if (fire_reorder && !held_.has_value()) {
+      held_ = event;  // emitted right after its successor
+      ++counts_.reordered;
+      continue;
+    }
+    if (held_.has_value()) {
+      pending_.push_back(*held_);
+      held_.reset();
+    }
+    ++counts_.delivered;
+    return event;
+  }
+}
+
+}  // namespace arb::runtime

@@ -1,0 +1,95 @@
+#pragma once
+
+/// \file fault.hpp
+/// Deterministic fault injection for update streams.
+///
+/// `FaultInjector` wraps any `UpdateStream` and perturbs its output the
+/// way a flaky indexer or a lossy transport would: corrupted payloads
+/// (NaN / negative / zero reserves, wrong-kind payloads, unknown pool
+/// ids), duplicated events, dropped events, adjacent reorders, and stale
+/// retransmissions of past events — each at an independently configurable
+/// rate. All randomness flows through one seeded `Rng` with a fixed draw
+/// order per pulled event, so a failing run is reproduced exactly by the
+/// (seed, profile, inner stream) triple printed in the failure message —
+/// the contract docs/TESTING.md documents.
+///
+/// With every rate at zero the injector is a pure pass-through: the
+/// emitted sequence is bit-identical to reading the inner stream
+/// directly (asserted by the fault-injection suite).
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "runtime/event.hpp"
+
+namespace arb::runtime {
+
+/// Per-fault-class injection rates (independent Bernoulli draws per
+/// pulled event), plus the seed that makes a run reproducible.
+struct FaultProfile {
+  std::uint64_t seed = 1;
+  double corrupt_rate = 0.0;    ///< mangle the payload in place
+  double duplicate_rate = 0.0;  ///< emit the event twice
+  double drop_rate = 0.0;       ///< swallow the event entirely
+  double reorder_rate = 0.0;    ///< swap the event with its successor
+  double stale_rate = 0.0;      ///< re-emit a past event (old sequence)
+
+  /// All five classes at the same rate — the "X% fault rate" used by the
+  /// test suite.
+  [[nodiscard]] static FaultProfile uniform(double rate, std::uint64_t seed);
+};
+
+/// How many faults of each class actually fired.
+struct FaultCounts {
+  std::uint64_t pulled = 0;     ///< events read from the inner stream
+  std::uint64_t delivered = 0;  ///< events emitted downstream
+  std::uint64_t corrupted = 0;
+  std::uint64_t duplicated = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t reordered = 0;
+  std::uint64_t stale_replayed = 0;
+
+  [[nodiscard]] std::uint64_t faults() const {
+    return corrupted + duplicated + dropped + reordered + stale_replayed;
+  }
+};
+
+class FaultInjector final : public UpdateStream {
+ public:
+  /// Wraps \p inner (not owned, must outlive the injector). \p pool_count
+  /// lets unknown-pool corruption target an id just past the snapshot's
+  /// range; pass 0 when unknown and a large offset is used instead.
+  FaultInjector(UpdateStream& inner, FaultProfile profile,
+                std::size_t pool_count = 0);
+
+  [[nodiscard]] std::optional<PoolUpdateEvent> next() override;
+
+  [[nodiscard]] const FaultCounts& counts() const { return counts_; }
+  [[nodiscard]] const FaultProfile& profile() const { return profile_; }
+
+ private:
+  [[nodiscard]] PoolUpdateEvent corrupt(PoolUpdateEvent event);
+  void remember(const PoolUpdateEvent& event);
+
+  UpdateStream* inner_;
+  FaultProfile profile_;
+  std::size_t pool_count_;
+  Rng rng_;
+  FaultCounts counts_;
+  /// Events queued ahead of the next inner pull (duplicates, stale
+  /// replays, and the flushed half of a reorder).
+  std::deque<PoolUpdateEvent> pending_;
+  /// Reorder carry slot: a held event is emitted right after its
+  /// successor, swapping the adjacent pair.
+  std::optional<PoolUpdateEvent> held_;
+  /// Ring of recently delivered events feeding stale retransmissions.
+  std::vector<PoolUpdateEvent> history_;
+  std::size_t history_next_ = 0;
+
+  static constexpr std::size_t kHistoryCapacity = 64;
+};
+
+}  // namespace arb::runtime

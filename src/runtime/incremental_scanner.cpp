@@ -20,6 +20,8 @@ IncrementalScanner::IncrementalScanner(market::MarketSnapshot snapshot,
   slots_.resize(index_.cycles().size());
   warm_.resize(index_.cycles().size());
   mixed_.resize(index_.cycles().size());
+  cycle_quarantine_count_.resize(index_.cycles().size(), 0);
+  pool_quarantined_.resize(snapshot_.graph.pool_count(), 0);
   for (std::size_t i = 0; i < index_.cycles().size(); ++i) {
     mixed_[i] = index_.cycles()[i].all_cpmm(snapshot_.graph) ? 0 : 1;
   }
@@ -94,13 +96,42 @@ Result<ApplyReport> IncrementalScanner::apply(
     }
   }
   std::sort(dirty.begin(), dirty.end());
-  report.repriced = dirty.size();
 
   if (Status status = reprice(dirty, report); !status.ok()) {
     return status.error();
   }
+  // Cycles skipped because they traverse a quarantined pool are not
+  // counted as repriced, so the total stays the sum of the per-kind
+  // splits (the parity the metrics tests pin down).
+  report.repriced = report.repriced_cpmm + report.repriced_mixed;
   rebuild_ranking();
   return report;
+}
+
+void IncrementalScanner::set_quarantined(PoolId pool, bool quarantined) {
+  ARB_REQUIRE(pool.value() < pool_quarantined_.size(),
+              "unknown " + to_string(pool));
+  char& flag = pool_quarantined_[pool.value()];
+  if (static_cast<bool>(flag) == quarantined) return;
+  flag = quarantined ? 1 : 0;
+  for (const std::uint32_t cycle : index_.cycles_of(pool)) {
+    if (quarantined) {
+      if (++cycle_quarantine_count_[cycle] == 1) {
+        slots_[cycle].reset();
+        warm_[cycle].valid = false;
+      }
+    } else {
+      ARB_REQUIRE(cycle_quarantine_count_[cycle] > 0,
+                  "quarantine count underflow");
+      --cycle_quarantine_count_[cycle];
+    }
+  }
+}
+
+bool IncrementalScanner::pool_quarantined(PoolId pool) const {
+  ARB_REQUIRE(pool.value() < pool_quarantined_.size(),
+              "unknown " + to_string(pool));
+  return pool_quarantined_[pool.value()] != 0;
 }
 
 Status IncrementalScanner::reprice(const std::vector<std::uint32_t>& dirty,
@@ -126,6 +157,7 @@ Status IncrementalScanner::reprice(const std::vector<std::uint32_t>& dirty,
     std::size_t repriced_mixed = 0;
     double cpmm_us = 0.0;
     double mixed_us = 0.0;
+    std::uint64_t solver_fallbacks = 0;
   };
   std::vector<LaneStats> lane_stats(lanes);
   std::vector<Status> statuses(dirty.size());
@@ -139,6 +171,14 @@ Status IncrementalScanner::reprice(const std::vector<std::uint32_t>& dirty,
         config_.strategy == core::StrategyKind::kConvexOptimization;
     for (std::size_t position = begin; position < end; ++position) {
       const std::uint32_t slot = dirty[position];
+      if (cycle_quarantine_count_[slot] != 0) {
+        // Excluded while any of its pools is quarantined: keep the slot
+        // empty (and no warm start) so the ranked set matches scan_market
+        // on the surviving pool set. Not accounted as repriced.
+        slots_[slot].reset();
+        warm_[slot].valid = false;
+        continue;
+      }
       const graph::Cycle& cycle = index_.cycles()[slot];
       std::optional<core::Opportunity>& out = slots_[slot];
       const bool mixed = mixed_[slot] != 0;
@@ -171,6 +211,7 @@ Status IncrementalScanner::reprice(const std::vector<std::uint32_t>& dirty,
       if (convex) {
         stats.solver_iterations += static_cast<std::uint64_t>(
             std::max(0, ctx.report.total_newton_iterations));
+        if (ctx.used_fallback) ++stats.solver_fallbacks;
         // Warm starts are CPMM-only; generic (mixed) solves are neither
         // hit nor miss.
         if (config_.convex_warm_start && !ctx.used_closed_form &&
@@ -212,6 +253,7 @@ Status IncrementalScanner::reprice(const std::vector<std::uint32_t>& dirty,
     report.repriced_mixed += stats.repriced_mixed;
     report.reprice_cpmm_us += stats.cpmm_us;
     report.reprice_mixed_us += stats.mixed_us;
+    report.solver_fallbacks += stats.solver_fallbacks;
   }
   return Status::success();
 }

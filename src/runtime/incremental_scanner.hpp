@@ -46,6 +46,9 @@ struct ApplyReport {
   std::size_t repriced_mixed = 0;
   double reprice_cpmm_us = 0.0;
   double reprice_mixed_us = 0.0;
+  /// Convex strategy only: barrier solves rescued by the generic
+  /// derivative-free fallback rung of the containment ladder.
+  std::uint64_t solver_fallbacks = 0;
 };
 
 class IncrementalScanner {
@@ -75,6 +78,16 @@ class IncrementalScanner {
   /// Deep copy of the ranked set — element-for-element what
   /// core::scan_market would return on the current reserves.
   [[nodiscard]] std::vector<core::Opportunity> collect() const;
+
+  /// Marks a pool (un)quarantined. Every cycle traversing a quarantined
+  /// pool is excluded from the ranked set: its slot empties and its warm
+  /// start invalidates on entry, and it stays skipped by reprice() until
+  /// every quarantined pool on it is released. The ranked view updates on
+  /// the next apply() (an empty batch suffices). Un-quarantining alone
+  /// does not re-price — the caller follows up with an update event for
+  /// the pool (the resync), which dirties exactly its cycles.
+  void set_quarantined(PoolId pool, bool quarantined);
+  [[nodiscard]] bool pool_quarantined(PoolId pool) const;
 
   [[nodiscard]] const market::MarketSnapshot& snapshot() const {
     return snapshot_;
@@ -112,6 +125,11 @@ class IncrementalScanner {
   /// construction (updates change state, never kind), so this is
   /// precomputed once and drives the per-kind reprice accounting.
   std::vector<char> mixed_;
+  /// Per-pool quarantine flag plus, per cycle, how many of its pools are
+  /// quarantined — a cycle is excluded exactly while its count is
+  /// non-zero, which handles cycles traversing several quarantined pools.
+  std::vector<char> pool_quarantined_;
+  std::vector<std::uint32_t> cycle_quarantine_count_;
   /// Per-lane solver contexts: reprice() partitions the dirty set into
   /// contiguous chunks, one context per chunk, so workspaces are reused
   /// without contention. Buffers grow to the largest loop seen and then

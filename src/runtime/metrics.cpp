@@ -68,14 +68,22 @@ double LatencyHistogram::quantile(double q) const {
   return max_us();
 }
 
+std::uint64_t MetricsSnapshot::events_rejected_total() const {
+  std::uint64_t total = 0;
+  for (const std::uint64_t n : events_rejected) total += n;
+  return total;
+}
+
 std::string MetricsSnapshot::summary() const {
-  char buffer[512];
+  char buffer[640];
   std::snprintf(buffer, sizeof(buffer),
                 "ingested=%llu dropped=%llu coalesced=%llu batches=%llu "
                 "repriced=%llu (cpmm=%llu mixed=%llu) depth=%llu "
                 "newton=%llu warm=%llu/%llu "
                 "reprice_us{p50=%.1f p90=%.1f p99=%.1f max=%.1f n=%llu} "
-                "loop_us{cpmm_p50=%.1f mixed_p50=%.1f}",
+                "loop_us{cpmm_p50=%.1f mixed_p50=%.1f} "
+                "rejected=%llu quarantined=%llu/%llu resyncs=%llu "
+                "fallbacks=%llu",
                 static_cast<unsigned long long>(events_ingested),
                 static_cast<unsigned long long>(events_dropped),
                 static_cast<unsigned long long>(events_coalesced),
@@ -90,7 +98,12 @@ std::string MetricsSnapshot::summary() const {
                 reprice_p50_us, reprice_p90_us, reprice_p99_us,
                 reprice_max_us,
                 static_cast<unsigned long long>(reprice_samples),
-                cpmm_reprice_p50_us, mixed_reprice_p50_us);
+                cpmm_reprice_p50_us, mixed_reprice_p50_us,
+                static_cast<unsigned long long>(events_rejected_total()),
+                static_cast<unsigned long long>(pools_quarantined_now),
+                static_cast<unsigned long long>(pools_quarantined),
+                static_cast<unsigned long long>(resyncs),
+                static_cast<unsigned long long>(solver_fallbacks));
   return buffer;
 }
 
@@ -106,7 +119,13 @@ std::vector<std::string> MetricsSnapshot::csv_columns() {
           "cpmm_reprice_samples", "cpmm_reprice_p50_us",
           "cpmm_reprice_p99_us",  "cpmm_reprice_max_us",
           "mixed_reprice_samples", "mixed_reprice_p50_us",
-          "mixed_reprice_p99_us", "mixed_reprice_max_us"};
+          "mixed_reprice_p99_us", "mixed_reprice_max_us",
+          // One column per RejectReason, in enum order.
+          "rejected_unknown_pool", "rejected_non_finite",
+          "rejected_non_positive", "rejected_wrong_kind",
+          "rejected_out_of_range", "rejected_stale_sequence",
+          "pools_quarantined",     "pools_quarantined_now",
+          "resyncs",               "solver_fallbacks"};
 }
 
 MetricsSnapshot RuntimeMetrics::snapshot() const {
@@ -137,6 +156,15 @@ MetricsSnapshot RuntimeMetrics::snapshot() const {
   snap.mixed_reprice_p50_us = mixed_reprice_latency_.quantile(0.50);
   snap.mixed_reprice_p99_us = mixed_reprice_latency_.quantile(0.99);
   snap.mixed_reprice_max_us = mixed_reprice_latency_.max_us();
+  for (std::size_t r = 0; r < kRejectReasonCount; ++r) {
+    snap.events_rejected[r] =
+        events_rejected_[r].load(std::memory_order_relaxed);
+  }
+  snap.pools_quarantined = pools_quarantined_.load(std::memory_order_relaxed);
+  snap.pools_quarantined_now =
+      pools_quarantined_now_.load(std::memory_order_relaxed);
+  snap.resyncs = resyncs_.load(std::memory_order_relaxed);
+  snap.solver_fallbacks = solver_fallbacks_.load(std::memory_order_relaxed);
   return snap;
 }
 
@@ -167,7 +195,17 @@ Status write_metrics_csv(const std::vector<MetricsSnapshot>& snapshots,
             s.cpmm_reprice_max_us,
             static_cast<std::size_t>(s.mixed_reprice_samples),
             s.mixed_reprice_p50_us, s.mixed_reprice_p99_us,
-            s.mixed_reprice_max_us);
+            s.mixed_reprice_max_us,
+            static_cast<std::size_t>(s.events_rejected[0]),
+            static_cast<std::size_t>(s.events_rejected[1]),
+            static_cast<std::size_t>(s.events_rejected[2]),
+            static_cast<std::size_t>(s.events_rejected[3]),
+            static_cast<std::size_t>(s.events_rejected[4]),
+            static_cast<std::size_t>(s.events_rejected[5]),
+            static_cast<std::size_t>(s.pools_quarantined),
+            static_cast<std::size_t>(s.pools_quarantined_now),
+            static_cast<std::size_t>(s.resyncs),
+            static_cast<std::size_t>(s.solver_fallbacks));
   }
   return Status::success();
 }

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "common/result.hpp"
+#include "runtime/validation.hpp"
 
 namespace arb::runtime {
 
@@ -73,6 +74,18 @@ struct MetricsSnapshot {
   double mixed_reprice_p99_us = 0.0;
   double mixed_reprice_max_us = 0.0;
 
+  /// Validation / fault-containment counters (DESIGN.md §10). Rejected
+  /// events are split by RejectReason, indexed by its enum value.
+  std::array<std::uint64_t, kRejectReasonCount> events_rejected{};
+  std::uint64_t pools_quarantined = 0;      ///< quarantine entries (cumulative)
+  std::uint64_t pools_quarantined_now = 0;  ///< in quarantine at snapshot time
+  std::uint64_t resyncs = 0;                ///< quarantine releases (repricings)
+  /// Barrier solves rescued by the generic derivative-free fallback (the
+  /// last rung of the solver containment ladder before a typed error).
+  std::uint64_t solver_fallbacks = 0;
+
+  [[nodiscard]] std::uint64_t events_rejected_total() const;
+
   /// One-line human-readable rendering.
   [[nodiscard]] std::string summary() const;
 
@@ -103,6 +116,13 @@ class RuntimeMetrics {
   void record_mixed_reprice_latency(double microseconds) {
     mixed_reprice_latency_.record(microseconds);
   }
+  void add_rejected(RejectReason reason) {
+    ++events_rejected_[static_cast<std::size_t>(reason)];
+  }
+  void add_quarantine_entered() { ++pools_quarantined_; }
+  void set_quarantined_now(std::uint64_t n) { pools_quarantined_now_ = n; }
+  void add_resync() { ++resyncs_; }
+  void add_solver_fallbacks(std::uint64_t n) { solver_fallbacks_ += n; }
 
   [[nodiscard]] MetricsSnapshot snapshot() const;
 
@@ -118,6 +138,12 @@ class RuntimeMetrics {
   std::atomic<std::uint64_t> warm_misses_{0};
   std::atomic<std::uint64_t> loops_repriced_cpmm_{0};
   std::atomic<std::uint64_t> loops_repriced_mixed_{0};
+  std::array<std::atomic<std::uint64_t>, kRejectReasonCount>
+      events_rejected_{};
+  std::atomic<std::uint64_t> pools_quarantined_{0};
+  std::atomic<std::uint64_t> pools_quarantined_now_{0};
+  std::atomic<std::uint64_t> resyncs_{0};
+  std::atomic<std::uint64_t> solver_fallbacks_{0};
   LatencyHistogram reprice_latency_;
   LatencyHistogram cpmm_reprice_latency_;
   LatencyHistogram mixed_reprice_latency_;

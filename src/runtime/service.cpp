@@ -30,6 +30,10 @@ Result<std::unique_ptr<ScannerService>> ScannerService::start(
   if (!scanner) return scanner.error();
   service->scanner_ =
       std::make_unique<IncrementalScanner>(std::move(scanner).value());
+  if (config.validate) {
+    service->validator_ = std::make_unique<EventValidator>(
+        service->scanner_->snapshot().graph, config.validation);
+  }
   service->consumer_ = std::thread([raw = service.get()] { raw->run(); });
   return service;
 }
@@ -98,8 +102,15 @@ std::vector<core::Opportunity> ScannerService::opportunities() const {
   return scanner_->collect();
 }
 
+std::vector<PoolId> ScannerService::quarantined_pools() const {
+  std::lock_guard lock(scanner_mutex_);
+  if (validator_ == nullptr) return {};
+  return validator_->quarantined_pools();
+}
+
 void ScannerService::run() {
   std::vector<PoolUpdateEvent> batch;
+  std::vector<PoolUpdateEvent> filtered;
   for (;;) {
     batch.clear();
     {
@@ -120,7 +131,32 @@ void ScannerService::run() {
     const auto start = std::chrono::steady_clock::now();
     Result<ApplyReport> report = [&] {
       std::lock_guard lock(scanner_mutex_);
-      return scanner_->apply(batch);
+      if (validator_ == nullptr) return scanner_->apply(batch);
+      // Validation stage: reject malformed events, apply quarantine
+      // transitions, and hand the scanner only the survivors. An empty
+      // surviving batch still goes through apply() so the ranked view
+      // reflects quarantine entries immediately.
+      filtered.clear();
+      for (const PoolUpdateEvent& event : batch) {
+        const EventVerdict verdict = validator_->check(event);
+        if (verdict.entered_quarantine) {
+          scanner_->set_quarantined(event.pool, true);
+          metrics_.add_quarantine_entered();
+        }
+        if (verdict.released_quarantine) {
+          // The releasing event rides in the surviving batch, dirtying
+          // exactly this pool's cycles — the full-repricing resync.
+          scanner_->set_quarantined(event.pool, false);
+          metrics_.add_resync();
+        }
+        if (!verdict.accepted) {
+          metrics_.add_rejected(verdict.reason);
+          continue;
+        }
+        filtered.push_back(event);
+      }
+      metrics_.set_quarantined_now(validator_->quarantined_count());
+      return scanner_->apply(filtered);
     }();
     const double micros =
         std::chrono::duration<double, std::micro>(
@@ -133,6 +169,7 @@ void ScannerService::run() {
       metrics_.add_coalesced(report->events - report->unique_pools);
       metrics_.add_repriced(report->repriced);
       metrics_.add_solver_iterations(report->solver_iterations);
+      metrics_.add_solver_fallbacks(report->solver_fallbacks);
       metrics_.add_warm_hits(report->warm_hits);
       metrics_.add_warm_misses(report->warm_misses);
       metrics_.record_reprice_latency(micros);

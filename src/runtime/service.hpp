@@ -22,6 +22,7 @@
 #include "runtime/event.hpp"
 #include "runtime/incremental_scanner.hpp"
 #include "runtime/metrics.hpp"
+#include "runtime/validation.hpp"
 #include "runtime/worker_pool.hpp"
 
 namespace arb::runtime {
@@ -42,6 +43,14 @@ struct ServiceConfig {
   /// collapses duplicates).
   std::size_t max_batch = 256;
   BackpressurePolicy backpressure = BackpressurePolicy::kBlock;
+  /// Run every event through the EventValidator before applying it
+  /// (DESIGN.md §10): malformed events are rejected and counted by
+  /// RejectReason, repeat offenders quarantine, and the service keeps
+  /// running. With validate=false the pre-validation contract applies —
+  /// the first bad event stops the service with an error status (useful
+  /// for trusted in-process streams where a bad event is a bug).
+  bool validate = true;
+  ValidationConfig validation;
 };
 
 class ScannerService {
@@ -75,6 +84,10 @@ class ScannerService {
   /// Thread-safe deep copy of the current ranked opportunity set.
   [[nodiscard]] std::vector<core::Opportunity> opportunities() const;
 
+  /// Pools currently in quarantine (ascending ids). Empty when the
+  /// service runs with validate=false.
+  [[nodiscard]] std::vector<PoolId> quarantined_pools() const;
+
  private:
   ScannerService(const ServiceConfig& config);
 
@@ -86,6 +99,7 @@ class ScannerService {
 
   mutable std::mutex scanner_mutex_;
   std::unique_ptr<IncrementalScanner> scanner_;  ///< guarded by scanner_mutex_
+  std::unique_ptr<EventValidator> validator_;    ///< guarded by scanner_mutex_
   Status status_;                                ///< guarded by scanner_mutex_
 
   mutable std::mutex queue_mutex_;

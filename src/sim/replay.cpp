@@ -34,7 +34,10 @@ void perturb_pools(graph::TokenGraph& graph, Rng& rng, double sigma) {
 std::pair<Amount, Amount> shocked_reserves(const amm::AnyPool& pool,
                                            double shock) {
   // Scale reserves (r0·s, r1/s): price moves by s², k unchanged on a CPMM.
-  const double s = std::exp(shock / 2.0);
+  // The log shock is clamped so an extreme sigma cannot overflow one side
+  // to inf (or underflow it to a subnormal) — set_pool_reserves would
+  // reject the result and abort the whole replay.
+  const double s = std::exp(std::clamp(shock, -600.0, 600.0) / 2.0);
   return {pool.reserve0() * s, pool.reserve1() / s};
 }
 

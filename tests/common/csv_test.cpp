@@ -73,6 +73,54 @@ TEST(CsvParseTest, CrlfLineEndings) {
   EXPECT_EQ(table->rows[0][0], "1");
 }
 
+TEST(CsvParseTest, ClassicMacCrLineEndings) {
+  // CR-only files used to merge adjacent records ("1,23,4"); every CR
+  // is a record terminator now.
+  auto table = parse_csv("a,b\r1,2\r3,4\r");
+  ASSERT_TRUE(table.ok());
+  ASSERT_EQ(table->rows.size(), 2u);
+  EXPECT_EQ(table->rows[0], (std::vector<std::string>{"1", "2"}));
+  EXPECT_EQ(table->rows[1], (std::vector<std::string>{"3", "4"}));
+}
+
+TEST(CsvParseTest, CrInsideQuotesIsPreserved) {
+  auto table = parse_csv("a\n\"x\ry\"\n");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->rows[0][0], "x\ry");
+}
+
+TEST(CsvParseTest, TrailingEmptyFieldsAccepted) {
+  // Spreadsheet-style export: rows (and the header) end with a stray
+  // separator. Trailing empty cells are trimmed to the header width.
+  auto table = parse_csv("a,b,\n1,2,\n3,4,,\n");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->header, (std::vector<std::string>{"a", "b"}));
+  ASSERT_EQ(table->rows.size(), 2u);
+  EXPECT_EQ(table->rows[0], (std::vector<std::string>{"1", "2"}));
+  EXPECT_EQ(table->rows[1], (std::vector<std::string>{"3", "4"}));
+}
+
+TEST(CsvParseTest, TrailingEmptyFieldsWithCrlf) {
+  auto table = parse_csv("a,b\r\n1,2,\r\n");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->rows[0], (std::vector<std::string>{"1", "2"}));
+}
+
+TEST(CsvParseTest, EmptyInteriorCellsAreKept) {
+  // Trimming is strictly trailing: an interior empty cell (or a trailing
+  // one within the header width) still counts.
+  auto table = parse_csv("a,b,c\n1,,3\n1,2,\n");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->rows[0], (std::vector<std::string>{"1", "", "3"}));
+  EXPECT_EQ(table->rows[1], (std::vector<std::string>{"1", "2", ""}));
+}
+
+TEST(CsvParseTest, ExtraNonEmptyCellStillError) {
+  auto table = parse_csv("a,b\n1,2,3\n");
+  EXPECT_FALSE(table.ok());
+  EXPECT_EQ(table.error().code, ErrorCode::kParseError);
+}
+
 TEST(CsvParseTest, MissingTrailingNewline) {
   auto table = parse_csv("a\n42");
   ASSERT_TRUE(table.ok());

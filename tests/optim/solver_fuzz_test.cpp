@@ -2,8 +2,13 @@
 // quadratic programs with random linear inequality constraints, solve,
 // and certify the result through the KKT residuals plus an independent
 // projected check. Parameterized over seeds.
+//
+// Setting ARB_LONG_TESTS=1 in the environment multiplies the trial
+// counts by 5 — the nightly-style deep fuzz CI's long-tests job runs.
 
 #include <gtest/gtest.h>
+
+#include <cstdlib>
 
 #include "common/rng.hpp"
 #include "optim/barrier_solver.hpp"
@@ -67,11 +72,17 @@ struct RandomQp {
   }
 };
 
+/// 5x trials when ARB_LONG_TESTS=1 (any non-empty value but "0").
+int trial_multiplier() {
+  const char* flag = std::getenv("ARB_LONG_TESTS");
+  return (flag != nullptr && flag[0] != '\0' && flag[0] != '0') ? 5 : 1;
+}
+
 class BarrierFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(BarrierFuzzTest, RandomQpsSolveToKktCertificate) {
   Rng rng(GetParam());
-  for (int trial = 0; trial < 20; ++trial) {
+  for (int trial = 0; trial < 20 * trial_multiplier(); ++trial) {
     const RandomQp qp(rng);
     const LambdaNlp problem = qp.problem();
     const Vector start(qp.dim, 0.0);
@@ -104,7 +115,7 @@ TEST_P(BarrierFuzzTest, RandomQpsSolveToKktCertificate) {
 
 TEST_P(BarrierFuzzTest, Phase1RecoversFromRandomInfeasibleStarts) {
   Rng rng(GetParam() + 1000);
-  for (int trial = 0; trial < 10; ++trial) {
+  for (int trial = 0; trial < 10 * trial_multiplier(); ++trial) {
     const RandomQp qp(rng);
     const LambdaNlp problem = qp.problem();
     // Random (likely infeasible) start far from the origin.

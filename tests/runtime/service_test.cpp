@@ -145,11 +145,49 @@ TEST(ScannerServiceTest, PublishAfterStopIsRejected) {
   EXPECT_FALSE(service->publish(event));
 }
 
-TEST(ScannerServiceTest, StopsOnBadEvent) {
+// Default contract since the validation stage landed: a malformed event
+// is rejected and counted, and the service keeps consuming.
+TEST(ScannerServiceTest, RejectsBadEventAndContinues) {
   const auto snapshot = test_snapshot();
   ServiceConfig config;
   config.scanner.loop_lengths = {3};
   config.worker_threads = 1;
+  auto service = ScannerService::start(snapshot, config).value();
+
+  PoolUpdateEvent bad;
+  bad.pool = PoolId{static_cast<PoolId::underlying_type>(
+      snapshot.graph.pool_count() + 7)};
+  bad.reserve0 = 1.0;
+  bad.reserve1 = 1.0;
+  ASSERT_TRUE(service->publish(bad));
+  service->drain();
+  EXPECT_TRUE(service->status().ok());
+  const MetricsSnapshot metrics = service->metrics();
+  EXPECT_EQ(metrics.events_rejected[static_cast<std::size_t>(
+                RejectReason::kUnknownPool)],
+            1u);
+
+  // A good event after the bad one still lands.
+  PoolUpdateEvent good;
+  good.pool = PoolId{0};
+  good.reserve0 = snapshot.graph.pool(PoolId{0}).reserve0() * 1.01;
+  good.reserve1 = snapshot.graph.pool(PoolId{0}).reserve1();
+  good.sequence = 1;
+  ASSERT_TRUE(service->publish(good));
+  service->drain();
+  EXPECT_TRUE(service->status().ok());
+  EXPECT_GE(service->metrics().batches, 1u);
+  service->stop();
+}
+
+// validate=false restores the pre-validation fail-fast contract for
+// trusted in-process streams: the first bad event stops the service.
+TEST(ScannerServiceTest, StopsOnBadEventWithoutValidation) {
+  const auto snapshot = test_snapshot();
+  ServiceConfig config;
+  config.scanner.loop_lengths = {3};
+  config.worker_threads = 1;
+  config.validate = false;
   auto service = ScannerService::start(snapshot, config).value();
 
   PoolUpdateEvent bad;

@@ -1,0 +1,158 @@
+#pragma once
+
+/// \file oracle.hpp
+/// Exact rational swap oracle for property tests.
+///
+/// The analytical layer models swaps in doubles; the chain computes them
+/// in uint256 with flooring division. This kit evaluates the same swap
+/// (and multi-hop chains of swaps) in exact integer arithmetic — on top
+/// of get_amount_out_exact, the bit-for-bit V2 pipeline — and derives a
+/// sound per-case error bound the double model must satisfy.
+///
+/// Error model. The real-valued hop output F(Δ) = γΔy/(x+γΔ) with
+/// γ = fn/fd equals Δ·fn·y / (x·fd + Δ·fn) — the *same* rational the
+/// contract floors — so per hop
+///
+///   exact = floor(real)  ⇒  0 <= real − exact < 1 unit.
+///
+/// Errors are propagated in absolute units. If the model's running
+/// amount differs from the exact chain's by at most E entering a hop,
+/// then after the hop it differs by at most
+///
+///   E' = ( E · sup F' + 1 + kRelPerHop·(out + 1) ) · (1 + kRelPerHop)
+///
+/// — the carried error amplified by the hop's steepest slope over the
+/// uncertainty interval (F' = γxy/(x+γΔ)² is decreasing, so the sup
+/// sits at max(Δ−E, 0)), plus the hop's own floor loss (< 1 unit) and
+/// its double-arithmetic noise. kRelPerHop = 1e-12 is ~3 orders of
+/// magnitude above the actual float noise (~8·2⁻⁵³ ≈ 1.8e-15 per hop).
+/// For realistic magnitudes (intermediate amounts ≫ 1 unit) the bound
+/// stays at ppm-of-output scale; for degenerate dust chains — an
+/// intermediate hop flooring to zero, then a high-price hop blowing the
+/// sub-unit remainder up again — it grows with the price product, which
+/// is exactly the true worst case of the double model.
+///
+/// Reserves are uint112 on-chain; with fee denominators <= 2¹⁰ every
+/// intermediate product stays under 234 bits, so U256 never overflows.
+
+#include <cstdint>
+#include <vector>
+
+#include "amm/pool.hpp"
+#include "amm/swap_math.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/uint256.hpp"
+
+namespace arb::testkit {
+
+/// Per-hop float-noise allowance (see file comment).
+inline constexpr double kRelPerHop = 1e-12;
+/// Flat absolute headroom in units on top of the propagated bound.
+inline constexpr double kAbsSlack = 2.0;
+
+/// One hop of exact integer state, oriented input → output.
+struct ExactHop {
+  U256 reserve_in;
+  U256 reserve_out;
+  std::uint64_t fee_numerator = 997;
+  std::uint64_t fee_denominator = 1000;
+
+  [[nodiscard]] double gamma() const {
+    return static_cast<double>(fee_numerator) /
+           static_cast<double>(fee_denominator);
+  }
+};
+
+/// Exact output of a chain of hops plus the admissible model deviation.
+struct ExactChainResult {
+  U256 amount_out;
+  std::vector<U256> hop_outputs;
+  /// Admissible |model − exact| in output units for a double model of
+  /// the same chain.
+  double tolerance = 0.0;
+};
+
+/// Evaluates a swap chain in exact integer arithmetic and accumulates
+/// the error bound for a real-valued model of the same chain.
+inline ExactChainResult exact_chain_out(const std::vector<ExactHop>& hops,
+                                        const U256& amount_in) {
+  ARB_REQUIRE(!hops.empty(), "oracle chain needs at least one hop");
+  ExactChainResult result;
+  result.hop_outputs.reserve(hops.size());
+  U256 amount = amount_in;
+  double error = kRelPerHop * amount_in.to_double();  // input rounding
+  for (const ExactHop& hop : hops) {
+    const double x = hop.reserve_in.to_double();
+    const double y = hop.reserve_out.to_double();
+    const double g = hop.gamma();
+    const double a = amount.to_double();
+    // Steepest slope over the uncertainty interval: F' decreases in Δ.
+    const double low = a > error ? a - error : 0.0;
+    const double denom = x + g * low;
+    const double slope = g * x * y / (denom * denom);
+    amount = amm::get_amount_out_exact(amount, hop.reserve_in,
+                                       hop.reserve_out, hop.fee_numerator,
+                                       hop.fee_denominator);
+    result.hop_outputs.push_back(amount);
+    const double out = amount.to_double();
+    error = (error * slope + 1.0 + kRelPerHop * (out + 1.0)) *
+            (1.0 + kRelPerHop);
+  }
+  result.amount_out = amount;
+  result.tolerance = error + kAbsSlack;
+  return result;
+}
+
+/// Single-hop convenience.
+inline ExactChainResult exact_out(const ExactHop& hop, const U256& amount_in) {
+  return exact_chain_out({hop}, amount_in);
+}
+
+/// True iff a double model's output is within the oracle's bound.
+inline bool within_bound(double model_out, const ExactChainResult& exact) {
+  const double deviation = model_out - exact.amount_out.to_double();
+  return (deviation < 0.0 ? -deviation : deviation) <= exact.tolerance;
+}
+
+/// The real-valued CpmmPool mirroring a hop: reserves converted to
+/// double (rounds above 2⁵³ — that loss is inside the bound).
+inline amm::CpmmPool real_pool_of(const ExactHop& hop, PoolId id) {
+  const double fee =
+      1.0 - static_cast<double>(hop.fee_numerator) /
+                static_cast<double>(hop.fee_denominator);
+  return amm::CpmmPool(id, TokenId{0}, TokenId{1},
+                       hop.reserve_in.to_double(), hop.reserve_out.to_double(),
+                       fee);
+}
+
+/// Log-uniform random magnitude in [1, 2^max_bits): picks a bit length
+/// uniformly, then uniform bits below it. Covers 1 wei through
+/// 2¹¹²-scale reserves with equal weight per decade instead of piling
+/// all mass at the top.
+inline U256 random_magnitude(Rng& rng, int max_bits) {
+  ARB_REQUIRE(max_bits >= 1 && max_bits <= 128, "bad magnitude range");
+  const int bits = static_cast<int>(rng.uniform_int(1, max_bits));
+  U256 value = U256(1) << (bits - 1);
+  if (bits > 1) {
+    const int low = bits - 1 < 64 ? bits - 1 : 64;
+    const std::uint64_t mask =
+        low == 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << low) - 1);
+    value = value + U256(rng.next_u64() & mask);
+    if (bits - 1 > 64) {
+      value = value + (U256(rng.next_u64() &
+                            ((std::uint64_t{1} << (bits - 1 - 64)) - 1))
+                       << 64);
+    }
+  }
+  return value;
+}
+
+/// The fee menu the property tests draw from (numerator over 1000):
+/// mainnet 997, plus spreads from fee-free to 5%.
+inline std::uint64_t random_fee_numerator(Rng& rng) {
+  static constexpr std::uint64_t kMenu[] = {1000, 997, 995, 990, 970, 950};
+  return kMenu[rng.index(sizeof(kMenu) / sizeof(kMenu[0]))];
+}
+
+}  // namespace arb::testkit

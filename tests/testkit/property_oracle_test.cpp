@@ -1,0 +1,196 @@
+#include "tests/testkit/oracle.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "amm/integer_pool.hpp"
+#include "amm/path.hpp"
+#include "amm/pool.hpp"
+#include "common/rng.hpp"
+#include "common/uint256.hpp"
+
+namespace arb::testkit {
+namespace {
+
+constexpr std::uint64_t kSeed = 20260807;
+constexpr int kReserveBits = 112;  // uint112 on-chain reserve width
+constexpr std::size_t kTriples = 10'000;
+
+ExactHop random_hop(Rng& rng) {
+  ExactHop hop;
+  hop.reserve_in = random_magnitude(rng, kReserveBits);
+  hop.reserve_out = random_magnitude(rng, kReserveBits);
+  hop.fee_numerator = random_fee_numerator(rng);
+  return hop;
+}
+
+// 10k seeded (reserve, fee, input) triples: the double quote must land
+// within the oracle's accumulated bound of the exact integer output.
+TEST(PropertyOracleTest, QuoteMatchesExactOverTenThousandTriples) {
+  Rng rng(kSeed);
+  for (std::size_t i = 0; i < kTriples; ++i) {
+    const ExactHop hop = random_hop(rng);
+    const U256 amount = random_magnitude(rng, kReserveBits);
+    const ExactChainResult exact = exact_out(hop, amount);
+
+    const amm::CpmmPool pool = real_pool_of(hop, PoolId{0});
+    const amm::SwapQuote quote = pool.quote(TokenId{0}, amount.to_double());
+    ASSERT_TRUE(within_bound(quote.amount_out, exact))
+        << "case " << i << " seed " << kSeed << ": model "
+        << quote.amount_out << " vs exact " << exact.amount_out.to_decimal()
+        << " (tolerance " << exact.tolerance << ", reserves "
+        << hop.reserve_in.to_decimal() << "/" << hop.reserve_out.to_decimal()
+        << ", fee " << hop.fee_numerator << "/1000, in "
+        << amount.to_decimal() << ")";
+  }
+}
+
+// apply_swap must agree with the exact pair-contract state transition:
+// same output (within bound), input-side reserve grows by the full
+// input, output-side reserve shrinks by the emitted amount.
+TEST(PropertyOracleTest, ApplySwapMatchesExactStateTransition) {
+  Rng rng(kSeed + 1);
+  for (std::size_t i = 0; i < kTriples; ++i) {
+    const ExactHop hop = random_hop(rng);
+    const U256 amount = random_magnitude(rng, kReserveBits);
+    const ExactChainResult exact = exact_out(hop, amount);
+
+    amm::IntegerPool exact_pool(PoolId{0}, TokenId{0}, TokenId{1},
+                                hop.reserve_in, hop.reserve_out,
+                                hop.fee_numerator, hop.fee_denominator);
+    const auto exact_swapped = exact_pool.apply_swap(TokenId{0}, amount);
+    ASSERT_TRUE(exact_swapped.ok());
+    ASSERT_EQ(*exact_swapped, exact.amount_out)
+        << "IntegerPool disagrees with the raw oracle on case " << i;
+
+    amm::CpmmPool model_pool = real_pool_of(hop, PoolId{0});
+    const auto model_swapped =
+        model_pool.apply_swap(TokenId{0}, amount.to_double());
+    if (!model_swapped.ok()) {
+      // Near-drain boundary: the double output rounded up to the whole
+      // reserve and the model pool rightly refused the swap, while the
+      // integer pool always leaves at least one unit. Legitimate only
+      // when the exact swap empties the reserve to within the bound.
+      EXPECT_LE(hop.reserve_out.to_double() - exact.amount_out.to_double(),
+                exact.tolerance)
+          << "case " << i << " seed " << kSeed + 1;
+      continue;
+    }
+    EXPECT_TRUE(within_bound(model_swapped->amount_out, exact))
+        << "case " << i << " seed " << kSeed + 1;
+
+    // Reserve deltas: input side is exact up to float rounding of the
+    // operands; output side additionally inherits the swap bound.
+    const double in_scale =
+        hop.reserve_in.to_double() + amount.to_double();
+    EXPECT_NEAR(model_pool.reserve0(), exact_pool.reserve0().to_double(),
+                1e-9 * in_scale + 1.0)
+        << "case " << i;
+    EXPECT_NEAR(model_pool.reserve1(), exact_pool.reserve1().to_double(),
+                exact.tolerance + 1e-9 * hop.reserve_out.to_double())
+        << "case " << i;
+  }
+}
+
+// Multi-hop composition: hop-by-hop evaluation and the Möbius closed
+// form must both track the exact integer chain within the bound the
+// oracle accumulates across hops.
+TEST(PropertyOracleTest, PathCompositionMatchesExactChain) {
+  Rng rng(kSeed + 2);
+  for (std::size_t i = 0; i < 2'000; ++i) {
+    const std::size_t hops = 2 + rng.index(3);  // 2..4 hops
+    std::vector<ExactHop> chain;
+    chain.reserve(hops);
+    for (std::size_t h = 0; h < hops; ++h) chain.push_back(random_hop(rng));
+    const U256 amount = random_magnitude(rng, kReserveBits);
+    const ExactChainResult exact = exact_chain_out(chain, amount);
+
+    // Mirror the chain as CPMM pools along tokens 0 → 1 → … → hops.
+    std::vector<amm::CpmmPool> pools;
+    pools.reserve(hops);
+    for (std::size_t h = 0; h < hops; ++h) {
+      const double fee =
+          1.0 - static_cast<double>(chain[h].fee_numerator) /
+                    static_cast<double>(chain[h].fee_denominator);
+      pools.emplace_back(PoolId{static_cast<std::uint32_t>(h)},
+                         TokenId{static_cast<std::uint32_t>(h)},
+                         TokenId{static_cast<std::uint32_t>(h + 1)},
+                         chain[h].reserve_in.to_double(),
+                         chain[h].reserve_out.to_double(), fee);
+    }
+    std::vector<amm::Hop> path_hops;
+    path_hops.reserve(hops);
+    for (std::size_t h = 0; h < hops; ++h) {
+      path_hops.push_back(
+          amm::Hop{&pools[h], TokenId{static_cast<std::uint32_t>(h)}});
+    }
+    const auto path = amm::PoolPath::create(std::move(path_hops));
+    ASSERT_TRUE(path.ok());
+
+    const double stepwise = path->evaluate(amount.to_double());
+    const double composed = path->compose().evaluate(amount.to_double());
+    EXPECT_TRUE(within_bound(stepwise, exact))
+        << "stepwise, case " << i << " seed " << kSeed + 2 << ": " << stepwise
+        << " vs " << exact.amount_out.to_decimal() << " (tolerance "
+        << exact.tolerance << ", " << hops << " hops)";
+    EXPECT_TRUE(within_bound(composed, exact))
+        << "composed, case " << i << " seed " << kSeed + 2 << ": " << composed
+        << " vs " << exact.amount_out.to_decimal() << " (tolerance "
+        << exact.tolerance << ", " << hops << " hops)";
+  }
+}
+
+// Hand-picked extreme magnitudes: 1-wei pools, 1-wei inputs against
+// uint112-scale reserves, and uint112-scale inputs against tiny pools.
+TEST(PropertyOracleTest, ExtremeMagnitudes) {
+  const U256 kMax112 = (U256(1) << 112) - U256(1);
+  struct Case {
+    U256 reserve_in;
+    U256 reserve_out;
+    U256 amount_in;
+  };
+  const Case cases[] = {
+      {U256(1), U256(1), U256(1)},
+      {U256(1), kMax112, U256(1)},
+      {kMax112, U256(1), U256(1)},
+      {kMax112, kMax112, U256(1)},
+      {U256(1), U256(1), kMax112},
+      {U256(1), kMax112, kMax112},
+      {kMax112, kMax112, kMax112},
+      {U256(3), (U256(1) << 60), U256(7)},
+  };
+  for (std::size_t i = 0; i < sizeof(cases) / sizeof(cases[0]); ++i) {
+    ExactHop hop;
+    hop.reserve_in = cases[i].reserve_in;
+    hop.reserve_out = cases[i].reserve_out;
+    const ExactChainResult exact = exact_out(hop, cases[i].amount_in);
+    const amm::CpmmPool pool = real_pool_of(hop, PoolId{0});
+    const amm::SwapQuote quote =
+        pool.quote(TokenId{0}, cases[i].amount_in.to_double());
+    EXPECT_TRUE(within_bound(quote.amount_out, exact))
+        << "extreme case " << i << ": model " << quote.amount_out
+        << " vs exact " << exact.amount_out.to_decimal() << " (tolerance "
+        << exact.tolerance << ")";
+  }
+}
+
+// The oracle itself must respect the constant-product law: k never
+// decreases across an exact swap, and strictly grows with a fee.
+TEST(PropertyOracleTest, OracleRespectsConstantProduct) {
+  Rng rng(kSeed + 3);
+  for (std::size_t i = 0; i < 1'000; ++i) {
+    const ExactHop hop = random_hop(rng);
+    const U256 amount = random_magnitude(rng, kReserveBits);
+    amm::IntegerPool pool(PoolId{0}, TokenId{0}, TokenId{1}, hop.reserve_in,
+                          hop.reserve_out, hop.fee_numerator,
+                          hop.fee_denominator);
+    const U256 k_before = pool.k();
+    ASSERT_TRUE(pool.apply_swap(TokenId{0}, amount).ok());
+    EXPECT_GE(pool.k(), k_before) << "case " << i;
+  }
+}
+
+}  // namespace
+}  // namespace arb::testkit

@@ -3,19 +3,27 @@
 // ranked opportunity set plus the metrics layer's view of the run.
 //
 // Usage: runtime_daemon [snapshot_dir] [blocks] [worker_threads]
-// Defaults: the repo's data/sample_snapshot, 50 blocks, 4 threads.
+//                       [fault_rate] [fault_seed]
+// Defaults: the repo's data/sample_snapshot, 50 blocks, 4 threads, no
+// fault injection. A positive fault_rate wraps the stream in a seeded
+// FaultInjector (uniform rate across all five fault classes) to exercise
+// the validation/quarantine stage; the run then reports the injector's
+// fault counts next to the service's rejection metrics.
 // Writes runtime_metrics.csv (one metrics snapshot per block).
 
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "amm/any_pool.hpp"
 #include "market/io.hpp"
 #include "market/snapshot.hpp"
+#include "runtime/fault.hpp"
 #include "runtime/replay_stream.hpp"
 #include "runtime/service.hpp"
+#include "runtime/validation.hpp"
 
 using namespace arb;
 
@@ -33,11 +41,15 @@ int main(int argc, char** argv) {
       argc > 1 ? argv[1] : std::string(ARB_REPO_DIR) + "/data/sample_snapshot";
   const int blocks_arg = argc > 2 ? std::atoi(argv[2]) : 50;
   const int threads_arg = argc > 3 ? std::atoi(argv[3]) : 4;
-  if (blocks_arg <= 0 || threads_arg <= 0) {
+  const double fault_rate = argc > 4 ? std::atof(argv[4]) : 0.0;
+  const long long fault_seed = argc > 5 ? std::atoll(argv[5]) : 1;
+  if (blocks_arg <= 0 || threads_arg <= 0 || fault_rate < 0.0 ||
+      fault_rate > 1.0) {
     std::fprintf(stderr,
                  "usage: runtime_daemon [snapshot_dir] [blocks] "
-                 "[worker_threads]\nblocks and worker_threads must be "
-                 "positive integers\n");
+                 "[worker_threads] [fault_rate] [fault_seed]\nblocks and "
+                 "worker_threads must be positive integers, fault_rate in "
+                 "[0, 1]\n");
     return 2;
   }
   const auto blocks = static_cast<std::size_t>(blocks_arg);
@@ -71,15 +83,28 @@ int main(int argc, char** argv) {
 
   runtime::ReplayStreamConfig stream_config;
   stream_config.blocks = blocks;
-  runtime::ReplayUpdateStream stream(snapshot, stream_config);
+  runtime::ReplayUpdateStream replay(snapshot, stream_config);
+
+  std::unique_ptr<runtime::FaultInjector> injector;
+  runtime::UpdateStream* stream = &replay;
+  if (fault_rate > 0.0) {
+    const auto profile = runtime::FaultProfile::uniform(
+        fault_rate, static_cast<std::uint64_t>(fault_seed));
+    injector = std::make_unique<runtime::FaultInjector>(
+        replay, profile, snapshot.graph.pool_count());
+    stream = injector.get();
+    std::printf("fault injection: rate %.3f seed %llu on all classes\n",
+                fault_rate, static_cast<unsigned long long>(profile.seed));
+  }
 
   std::vector<runtime::MetricsSnapshot> per_block;
   std::size_t published = 0;
   std::size_t block_events = 0;
-  while (auto event = stream.next()) {
+  while (auto event = stream->next()) {
     if ((*service)->publish(*event)) ++published;
-    // One metrics snapshot per block (every pool shocked once per block).
-    if (++block_events == snapshot.graph.pool_count()) {
+    // One metrics snapshot per block (every pool shocked once per block;
+    // under fault injection drops/duplicates make this approximate).
+    if (++block_events >= snapshot.graph.pool_count()) {
       (*service)->drain();
       per_block.push_back((*service)->metrics());
       block_events = 0;
@@ -91,11 +116,44 @@ int main(int argc, char** argv) {
   }
 
   const auto opportunities = (*service)->opportunities();
+  const auto quarantined = (*service)->quarantined_pools();
   const runtime::MetricsSnapshot metrics = (*service)->metrics();
   (*service)->stop();
 
   std::printf("published %zu events over %zu blocks\n", published, blocks);
   std::printf("metrics: %s\n", metrics.summary().c_str());
+  if (injector != nullptr) {
+    const runtime::FaultCounts& counts = injector->counts();
+    std::printf("injected faults: corrupted=%llu duplicated=%llu "
+                "dropped=%llu reordered=%llu stale=%llu "
+                "(pulled=%llu delivered=%llu)\n",
+                static_cast<unsigned long long>(counts.corrupted),
+                static_cast<unsigned long long>(counts.duplicated),
+                static_cast<unsigned long long>(counts.dropped),
+                static_cast<unsigned long long>(counts.reordered),
+                static_cast<unsigned long long>(counts.stale_replayed),
+                static_cast<unsigned long long>(counts.pulled),
+                static_cast<unsigned long long>(counts.delivered));
+  }
+  if (metrics.events_rejected_total() > 0 || injector != nullptr) {
+    std::printf("rejected by reason:");
+    for (std::size_t r = 0; r < runtime::kRejectReasonCount; ++r) {
+      std::printf(" %s=%llu",
+                  runtime::to_string(static_cast<runtime::RejectReason>(r)),
+                  static_cast<unsigned long long>(metrics.events_rejected[r]));
+    }
+    std::printf("\n");
+    std::printf("quarantine: entered=%llu now=%zu resyncs=%llu "
+                "solver_fallbacks=%llu\n",
+                static_cast<unsigned long long>(metrics.pools_quarantined),
+                quarantined.size(),
+                static_cast<unsigned long long>(metrics.resyncs),
+                static_cast<unsigned long long>(metrics.solver_fallbacks));
+    for (const PoolId pool : quarantined) {
+      std::printf("  quarantined: %s\n",
+                  snapshot.graph.pool(pool).to_string().c_str());
+    }
+  }
   std::printf("repricing by venue kind:\n");
   std::printf("  cpmm : %llu loops, per-loop us p50=%.1f p99=%.1f max=%.1f\n",
               static_cast<unsigned long long>(metrics.loops_repriced_cpmm),
