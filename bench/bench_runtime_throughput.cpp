@@ -6,14 +6,20 @@
 //       barrier solves, reporting hit rate and Newton iterations through
 //       RuntimeMetrics,
 //   (d) end-to-end events/sec through the ScannerService with its
-//       metrics layer reporting p50/p99 re-price latency.
+//       metrics layer reporting p50/p99 re-price latency,
+//   (e) the convex workload on a mixed-venue market (per-kind split),
+//   (f) a shard sweep: deterministic batch replay through the sharded
+//       scanner at K ∈ {1, 2, 4, 8}, with a K=4 ≥ K=1-median throughput
+//       bar under ARB_BENCH_SHARD_STRICT.
 // All latencies are warmed-up order statistics (median/p99), not
 // single-shot means. Emits runtime_throughput.csv, runtime_throughput.svg
 // and the machine-readable BENCH_runtime.json.
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 #include <vector>
 
 #include "bench/bench_util.hpp"
@@ -183,6 +189,88 @@ int main() {
           : mixed_stream.reprice_mixed_us /
                 static_cast<double>(mixed_stream.repriced_mixed);
 
+  // (f) Shard sweep: identical precomputed event batches applied straight
+  // through the IncrementalScanner at K ∈ {1, 2, 4, 8} shards on a shared
+  // worker pool. Driving the scanner directly (no publish/drain race)
+  // makes the per-K work deterministic — every K coalesces and re-prices
+  // exactly the same dirty sets — so the sweep isolates the sharding
+  // overhead instead of queue-timing noise. The ranked output is
+  // bit-identical across K (the differential suite proves it); the
+  // cross-K check below pins the ranked-set size as a cheap canary.
+  struct SweepPoint {
+    std::size_t shards = 1;
+    double events_per_sec = 0.0;         ///< best of kSweepReps
+    double median_events_per_sec = 0.0;  ///< median of kSweepReps
+    double imbalance = 0.0;
+    std::size_t ranked = 0;
+  };
+  // max_batch-sized slices of the same burst replay section (d) pushed
+  // through the service.
+  std::vector<std::vector<runtime::PoolUpdateEvent>> sweep_batches;
+  {
+    runtime::ReplayUpdateStream replay(snapshot, burst_config);
+    std::vector<runtime::PoolUpdateEvent> current;
+    while (auto event = replay.next()) {
+      current.push_back(*event);
+      if (current.size() == service_config.max_batch) {
+        sweep_batches.push_back(std::move(current));
+        current.clear();
+      }
+    }
+    if (!current.empty()) sweep_batches.push_back(std::move(current));
+  }
+  std::size_t sweep_events = 0;
+  for (const auto& batch : sweep_batches) sweep_events += batch.size();
+
+  runtime::WorkerPool::Config sweep_pool_config;
+  sweep_pool_config.threads = service_config.worker_threads;
+  runtime::WorkerPool sweep_pool(sweep_pool_config);
+  // Reps are interleaved round-robin across K so slow machine drift
+  // (thermal, cache, background load) hits every K equally instead of
+  // biasing whichever K happened to run first.
+  constexpr int kSweepReps = 7;
+  const std::vector<std::size_t> sweep_ks = {1, 2, 4, 8};
+  std::vector<SweepPoint> sweep(sweep_ks.size());
+  std::vector<std::vector<double>> sweep_rates(sweep_ks.size());
+  std::vector<core::Opportunity> poll;  // capacity reused across polls
+  for (int rep = 0; rep < kSweepReps; ++rep) {
+    for (std::size_t i = 0; i < sweep_ks.size(); ++i) {
+      auto sharded = bench::expect_ok(
+          runtime::IncrementalScanner::create(snapshot, config, &sweep_pool,
+                                              sweep_ks[i]),
+          "IncrementalScanner::create (shard sweep)");
+      const double t0 = now_us();
+      for (const auto& batch : sweep_batches) {
+        (void)bench::expect_ok(sharded.apply(batch), "apply (shard sweep)");
+      }
+      sharded.collect_into(poll);
+      const double elapsed_us = now_us() - t0;
+      sweep_rates[i].push_back(static_cast<double>(sweep_events) /
+                               (elapsed_us * 1e-6));
+      sweep[i].shards = sweep_ks[i];
+      sweep[i].imbalance = sharded.plan().imbalance();
+      sweep[i].ranked = poll.size();
+    }
+  }
+  for (std::size_t i = 0; i < sweep_ks.size(); ++i) {
+    std::vector<double>& rates = sweep_rates[i];
+    std::sort(rates.begin(), rates.end());
+    sweep[i].events_per_sec = rates.back();
+    sweep[i].median_events_per_sec = rates[rates.size() / 2];
+  }
+  // Cheap cross-K sanity: every K must publish a ranked set of the same
+  // size (the differential tests pin down full bit-identity).
+  for (const SweepPoint& point : sweep) {
+    if (point.ranked != sweep.front().ranked) {
+      std::fprintf(stderr,
+                   "FAIL: shard sweep ranked-set size diverged (K=%zu: %zu "
+                   "vs K=%zu: %zu)\n",
+                   point.shards, point.ranked, sweep.front().shards,
+                   sweep.front().ranked);
+      return 1;
+    }
+  }
+
   auto scanner = bench::expect_ok(
       runtime::IncrementalScanner::create(snapshot, config, nullptr),
       "IncrementalScanner::create");
@@ -215,6 +303,10 @@ int main() {
                    {static_cast<double>(mixed_stream.repriced_mixed)});
   sink.labeled_row("mixed_loop_cpmm_us", {mixed_loop_cpmm_us});
   sink.labeled_row("mixed_loop_mixed_us", {mixed_loop_mixed_us});
+  for (const SweepPoint& point : sweep) {
+    sink.labeled_row("shard" + std::to_string(point.shards) + "_events_per_sec",
+                     {point.events_per_sec});
+  }
 
   json.set("full_scan", full);
   json.set("incremental.median_us", incremental_median_us);
@@ -241,6 +333,13 @@ int main() {
            static_cast<double>(mixed_stream.repriced_mixed));
   json.set("mixed.loop_cpmm_us", mixed_loop_cpmm_us);
   json.set("mixed.loop_mixed_us", mixed_loop_mixed_us);
+  for (const SweepPoint& point : sweep) {
+    const std::string prefix = "shard_sweep.k" + std::to_string(point.shards);
+    json.set(prefix + ".events_per_sec", point.events_per_sec);
+    json.set(prefix + ".median_events_per_sec", point.median_events_per_sec);
+    json.set(prefix + ".imbalance", point.imbalance);
+    json.set(prefix + ".ranked", static_cast<double>(point.ranked));
+  }
   if (!json.write("BENCH_runtime.json")) return 1;
 
   std::printf("\nincremental vs full rescan speedup: %.1fx (median)\n",
@@ -256,6 +355,13 @@ int main() {
               "mixed=%zu (%.1fus)\n",
               mixed_median_us, mixed_stream.repriced_cpmm, mixed_loop_cpmm_us,
               mixed_stream.repriced_mixed, mixed_loop_mixed_us);
+  std::printf("shard sweep (best/median of %d):\n", kSweepReps);
+  for (const SweepPoint& point : sweep) {
+    std::printf(
+        "  K=%zu: %.0f/%.0f events/sec, plan imbalance %.3f, %zu ranked\n",
+        point.shards, point.events_per_sec, point.median_events_per_sec,
+        point.imbalance, point.ranked);
+  }
   std::printf("metrics: %s\n", metrics.summary().c_str());
 
   SvgPlot plot("Streaming runtime: incremental re-price vs full rescan",
@@ -300,6 +406,25 @@ int main() {
                  "FAIL: convex stream warm hit rate %.2f below %.2f bar\n",
                  warm_hit_rate, hit_bar);
     return 1;
+  }
+  // Shard-throughput bar: K=4 must keep up with K=1 — the best sharded
+  // rep against the single-shard *median*, so a genuine regression fails
+  // while same-distribution scheduler jitter does not. Perf-smoke exports
+  // ARB_BENCH_SHARD_STRICT=1 and demands sharded ≥ 1.0× the single-shard
+  // median; un-relaxed local runs get 10% slack; plain relaxed runs
+  // (slow/instrumented builds) skip the ratio entirely.
+  const bool shard_strict = std::getenv("ARB_BENCH_SHARD_STRICT") != nullptr;
+  const double k1_median = sweep[0].median_events_per_sec;
+  const double k4_rate = sweep[2].events_per_sec;
+  if (shard_strict || !relaxed) {
+    const double shard_bar = shard_strict ? 1.0 : 0.9;
+    if (k4_rate < shard_bar * k1_median) {
+      std::fprintf(stderr,
+                   "FAIL: 4-shard throughput %.0f ev/s below %.2fx the "
+                   "single-shard median %.0f ev/s\n",
+                   k4_rate, shard_bar, k1_median);
+      return 1;
+    }
   }
   return 0;
 }

@@ -18,9 +18,11 @@ PoolId TokenGraph::register_pool(amm::AnyPool pool) {
                   token1.value() < symbols_.size(),
               "pool references unknown token");
   const PoolId id = pool.id();
+  if (!pool.is_cpmm()) ++non_cpmm_pools_;
   pools_.push_back(std::move(pool));
   adjacency_[token0.value()].push_back(id);
   adjacency_[token1.value()].push_back(id);
+  ++epoch_;
   return id;
 }
 
@@ -60,6 +62,7 @@ const amm::AnyPool& TokenGraph::pool(PoolId id) const {
 
 amm::AnyPool& TokenGraph::mutable_pool(PoolId id) {
   ARB_REQUIRE(id.value() < pools_.size(), "unknown pool");
+  ++epoch_;  // the reference may be written through; assume it is
   return pools_[id.value()];
 }
 
@@ -68,11 +71,9 @@ Status TokenGraph::set_pool_reserves(PoolId id, Amount reserve0,
   return mutable_pool(id).set_reserves(reserve0, reserve1);
 }
 
-bool TokenGraph::all_cpmm() const {
-  for (const amm::AnyPool& pool : pools_) {
-    if (!pool.is_cpmm()) return false;
-  }
-  return true;
+Status TokenGraph::set_concentrated_state(PoolId id, double liquidity,
+                                          double price) {
+  return mutable_pool(id).set_concentrated_state(liquidity, price);
 }
 
 const std::vector<PoolId>& TokenGraph::pools_of(TokenId token) const {

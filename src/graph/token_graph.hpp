@@ -11,7 +11,15 @@
 /// the uniform price/quote surface work on any kind; code that needs the
 /// CPMM closed forms first checks kind() and unwraps (see
 /// graph::Cycle::all_cpmm and the scanner dispatch).
+///
+/// The graph is the market's *single writer*: every mutation — adding a
+/// pool, replacing reserves, moving a concentrated price, or handing out
+/// a mutable pool reference — bumps a monotone epoch. Read-only
+/// projections (market::MarketView) copy the epoch they were refreshed
+/// at, so shared readers can assert they are looking at current state
+/// without comparing any pool bytes.
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -63,9 +71,24 @@ class TokenGraph {
   [[nodiscard]] Status set_pool_reserves(PoolId id, Amount reserve0,
                                          Amount reserve1);
 
+  /// Replaces a concentrated position's (liquidity, price) state in
+  /// place (the streaming runtime's concentrated update primitive).
+  /// Fails on non-concentrated pools or a price outside the range.
+  /// Precondition: known pool.
+  [[nodiscard]] Status set_concentrated_state(PoolId id, double liquidity,
+                                              double price);
+
   /// True iff every pool is constant-product (the paper's setting); the
   /// scanner uses this to keep all fast paths on homogeneous markets.
-  [[nodiscard]] bool all_cpmm() const;
+  /// O(1): a non-CPMM counter is maintained at registration (pool kinds
+  /// never change after construction).
+  [[nodiscard]] bool all_cpmm() const { return non_cpmm_pools_ == 0; }
+
+  /// Monotone state-change counter: bumped by every pool registration,
+  /// reserve/state write, and mutable_pool() access (handing out a
+  /// mutable reference counts as a write — the graph cannot observe what
+  /// the caller does with it). Never decreases.
+  [[nodiscard]] std::uint64_t epoch() const { return epoch_; }
 
   [[nodiscard]] const std::vector<amm::AnyPool>& pools() const {
     return pools_;
@@ -86,6 +109,8 @@ class TokenGraph {
   std::vector<std::string> symbols_;
   std::vector<amm::AnyPool> pools_;
   std::vector<std::vector<PoolId>> adjacency_;
+  std::size_t non_cpmm_pools_ = 0;
+  std::uint64_t epoch_ = 0;
 };
 
 }  // namespace arb::graph

@@ -1,0 +1,74 @@
+#include "market/view.hpp"
+
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace arb::market {
+
+MarketView MarketView::build(const graph::TokenGraph& graph,
+                             const CexPriceFeed& prices) {
+  MarketView view;
+  const std::size_t pools = graph.pool_count();
+  view.kind_.reserve(pools);
+  view.token0_.reserve(pools);
+  view.token1_.reserve(pools);
+  view.fee_.reserve(pools);
+  view.amplification_.assign(pools, 0.0);
+  view.price_lo_.assign(pools, 0.0);
+  view.price_hi_.assign(pools, 0.0);
+  view.reserve0_.resize(pools);
+  view.reserve1_.resize(pools);
+  view.rel_price0_.resize(pools);
+  view.rel_price1_.resize(pools);
+  for (const amm::AnyPool& pool : graph.pools()) {
+    const std::size_t i = view.kind_.size();
+    view.kind_.push_back(pool.kind());
+    view.token0_.push_back(pool.token0());
+    view.token1_.push_back(pool.token1());
+    view.fee_.push_back(pool.fee());
+    switch (pool.kind()) {
+      case amm::PoolKind::kCpmm:
+        break;
+      case amm::PoolKind::kStable:
+        view.amplification_[i] = pool.stable().amplification();
+        ++view.non_cpmm_pools_;
+        break;
+      case amm::PoolKind::kConcentrated:
+        view.price_lo_[i] = pool.concentrated().p_lo();
+        view.price_hi_[i] = pool.concentrated().p_hi();
+        ++view.non_cpmm_pools_;
+        break;
+    }
+  }
+  view.usd_price_.assign(graph.token_count(),
+                         std::numeric_limits<double>::quiet_NaN());
+  for (const TokenId token : graph.tokens()) {
+    if (prices.has_price(token)) {
+      view.usd_price_[token.value()] = prices.price_unchecked(token);
+    }
+  }
+  view.refresh(graph);
+  return view;
+}
+
+void MarketView::refresh_pool(const graph::TokenGraph& graph, PoolId pool) {
+  ARB_REQUIRE(pool.value() < kind_.size(), "view refresh for unknown pool");
+  const amm::AnyPool& state = graph.pool(pool);
+  const std::size_t i = pool.value();
+  reserve0_[i] = state.reserve0();
+  reserve1_[i] = state.reserve1();
+  rel_price0_[i] = state.relative_price_of(token0_[i]);
+  rel_price1_[i] = state.relative_price_of(token1_[i]);
+}
+
+void MarketView::refresh(const graph::TokenGraph& graph) {
+  ARB_REQUIRE(graph.pool_count() == kind_.size(),
+              "view refresh against a different graph");
+  for (std::size_t i = 0; i < kind_.size(); ++i) {
+    refresh_pool(graph, PoolId{static_cast<PoolId::underlying_type>(i)});
+  }
+  epoch_ = graph.epoch();
+}
+
+}  // namespace arb::market

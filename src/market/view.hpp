@@ -1,0 +1,132 @@
+#pragma once
+
+/// \file view.hpp
+/// Dense, read-only projection of one market: per-pool state and curve
+/// parameters plus per-token CEX prices, in contiguous arrays indexed by
+/// the (already dense) PoolId / TokenId values.
+///
+/// The view exists so many readers — the sharded runtime's per-shard
+/// scanners above all — can share one market without each deep-copying a
+/// `MarketSnapshot`. The owning `graph::TokenGraph` stays the single
+/// writer: every graph mutation bumps its epoch, and a refresh copies
+/// the mutable pool state back into the arrays and adopts that epoch.
+/// Readers compare `view.epoch() == graph.epoch()` to assert freshness
+/// without touching any pool bytes.
+///
+/// Cached values are taken verbatim from the pool objects (the same
+/// `relative_price_of` the batch scanner calls), so `price_product` is
+/// bit-identical to `graph::Cycle::price_product` on the backing graph
+/// at the view's epoch — the property the sharded scanner's profitable-
+/// orientation gate relies on.
+
+#include <cstdint>
+#include <vector>
+
+#include "amm/any_pool.hpp"
+#include "common/types.hpp"
+#include "graph/cycle.hpp"
+#include "graph/token_graph.hpp"
+#include "market/price_feed.hpp"
+
+namespace arb::market {
+
+class MarketView {
+ public:
+  MarketView() = default;
+
+  /// Materializes the dense arrays from the graph's current state and
+  /// the price feed. Tokens without a CEX quote get a NaN price.
+  [[nodiscard]] static MarketView build(const graph::TokenGraph& graph,
+                                        const CexPriceFeed& prices);
+
+  /// Re-reads one pool's mutable state (reserves, price, cached relative
+  /// prices) after the writer updated it. Immutable facts (tokens, fee,
+  /// kind, curve parameters) are not re-read — they cannot change.
+  /// Precondition: `graph` is the graph the view was built from.
+  void refresh_pool(const graph::TokenGraph& graph, PoolId pool);
+
+  /// Re-reads every pool's mutable state and adopts the graph's epoch.
+  void refresh(const graph::TokenGraph& graph);
+
+  /// Adopts the writer's epoch after a round of refresh_pool calls has
+  /// caught the arrays up with the graph.
+  void set_epoch(std::uint64_t epoch) { epoch_ = epoch; }
+  [[nodiscard]] std::uint64_t epoch() const { return epoch_; }
+
+  [[nodiscard]] std::size_t pool_count() const { return kind_.size(); }
+  [[nodiscard]] std::size_t token_count() const { return usd_price_.size(); }
+  [[nodiscard]] bool all_cpmm() const { return non_cpmm_pools_ == 0; }
+
+  [[nodiscard]] amm::PoolKind kind(PoolId pool) const {
+    return kind_[pool.value()];
+  }
+  [[nodiscard]] TokenId token0(PoolId pool) const {
+    return token0_[pool.value()];
+  }
+  [[nodiscard]] TokenId token1(PoolId pool) const {
+    return token1_[pool.value()];
+  }
+  [[nodiscard]] double fee(PoolId pool) const { return fee_[pool.value()]; }
+  [[nodiscard]] Amount reserve0(PoolId pool) const {
+    return reserve0_[pool.value()];
+  }
+  [[nodiscard]] Amount reserve1(PoolId pool) const {
+    return reserve1_[pool.value()];
+  }
+  /// StableSwap amplification (0 for other kinds).
+  [[nodiscard]] double amplification(PoolId pool) const {
+    return amplification_[pool.value()];
+  }
+  /// Concentrated range bounds (0 for other kinds).
+  [[nodiscard]] double price_lo(PoolId pool) const {
+    return price_lo_[pool.value()];
+  }
+  [[nodiscard]] double price_hi(PoolId pool) const {
+    return price_hi_[pool.value()];
+  }
+
+  /// USD price of a token; NaN when the feed carries no quote.
+  [[nodiscard]] double usd_price(TokenId token) const {
+    return usd_price_[token.value()];
+  }
+
+  /// Zero-size relative price of `token_in` (fee included) — the cached
+  /// value of `pool.relative_price_of(token_in)` at the view's epoch.
+  [[nodiscard]] double relative_price(PoolId pool, TokenId token_in) const {
+    return token_in == token0_[pool.value()] ? rel_price0_[pool.value()]
+                                             : rel_price1_[pool.value()];
+  }
+
+  /// Product of relative prices around the cycle — bit-identical to
+  /// `cycle.price_product(graph)` at the view's epoch, computed from the
+  /// dense arrays (no variant dispatch, no division).
+  [[nodiscard]] double price_product(const graph::Cycle& cycle) const {
+    double product = 1.0;
+    const std::size_t n = cycle.length();
+    for (std::size_t i = 0; i < n; ++i) {
+      product *= relative_price(cycle.pools()[i], cycle.tokens()[i]);
+    }
+    return product;
+  }
+
+ private:
+  std::uint64_t epoch_ = 0;
+  std::size_t non_cpmm_pools_ = 0;
+  // Per-pool, indexed by PoolId value. Immutable after build():
+  std::vector<amm::PoolKind> kind_;
+  std::vector<TokenId> token0_;
+  std::vector<TokenId> token1_;
+  std::vector<double> fee_;
+  std::vector<double> amplification_;
+  std::vector<double> price_lo_;
+  std::vector<double> price_hi_;
+  // Mutable pool state, rewritten by refresh_pool():
+  std::vector<Amount> reserve0_;
+  std::vector<Amount> reserve1_;
+  std::vector<double> rel_price0_;  ///< relative_price_of(token0)
+  std::vector<double> rel_price1_;  ///< relative_price_of(token1)
+  // Per-token, indexed by TokenId value:
+  std::vector<double> usd_price_;
+};
+
+}  // namespace arb::market

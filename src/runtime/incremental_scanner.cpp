@@ -11,36 +11,48 @@ namespace arb::runtime {
 
 IncrementalScanner::IncrementalScanner(market::MarketSnapshot snapshot,
                                        core::ScannerConfig config,
-                                       PoolCycleIndex index,
+                                       PoolCycleIndex index, ShardPlan plan,
                                        WorkerPool* workers)
     : snapshot_(std::move(snapshot)),
       config_(std::move(config)),
       index_(std::move(index)),
+      plan_(std::move(plan)),
       workers_(workers) {
-  slots_.resize(index_.cycles().size());
-  warm_.resize(index_.cycles().size());
-  mixed_.resize(index_.cycles().size());
-  cycle_quarantine_count_.resize(index_.cycles().size(), 0);
+  view_ = market::MarketView::build(snapshot_.graph, snapshot_.prices);
   pool_quarantined_.resize(snapshot_.graph.pool_count(), 0);
-  for (std::size_t i = 0; i < index_.cycles().size(); ++i) {
-    mixed_[i] = index_.cycles()[i].all_cpmm(snapshot_.graph) ? 0 : 1;
+  shards_.resize(plan_.shard_count());
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    Shard& shard = shards_[s];
+    const std::vector<std::uint32_t>& universe = plan_.cycles_of(s);
+    shard.slots.resize(universe.size());
+    shard.warm.resize(universe.size());
+    shard.mixed.resize(universe.size());
+    shard.quarantine_count.assign(universe.size(), 0);
+    shard.dirty_flag.assign(universe.size(), 0);
+    for (std::size_t i = 0; i < universe.size(); ++i) {
+      shard.mixed[i] =
+          index_.cycles()[universe[i]].all_cpmm(snapshot_.graph) ? 0 : 1;
+    }
   }
 }
 
 Result<IncrementalScanner> IncrementalScanner::create(
     market::MarketSnapshot snapshot, core::ScannerConfig config,
-    WorkerPool* workers) {
+    WorkerPool* workers, std::size_t shards) {
   auto index = PoolCycleIndex::build(snapshot.graph, config.loop_lengths);
   if (!index) return index.error();
+  auto plan = ShardPlan::build(*index, shards);
+  if (!plan) return plan.error();
   IncrementalScanner scanner(std::move(snapshot), std::move(config),
-                             *std::move(index), workers);
-  std::vector<std::uint32_t> all(scanner.index_.cycles().size());
-  std::iota(all.begin(), all.end(), 0u);
+                             *std::move(index), *std::move(plan), workers);
+  for (Shard& shard : scanner.shards_) {
+    shard.dirty.resize(shard.slots.size());
+    std::iota(shard.dirty.begin(), shard.dirty.end(), 0u);
+  }
   ApplyReport initial;  // stats of the initial full pricing are discarded
-  if (Status status = scanner.reprice(all, initial); !status.ok()) {
+  if (Status status = scanner.reprice_dirty(initial); !status.ok()) {
     return status.error();
   }
-  scanner.rebuild_ranking();
   return scanner;
 }
 
@@ -63,48 +75,67 @@ Result<ApplyReport> IncrementalScanner::apply(
     last_event[pool.value()] = static_cast<std::uint32_t>(i);
   }
 
-  std::vector<char> dirty_flag(index_.cycles().size(), 0);
-  std::vector<std::uint32_t> dirty;
+  // Discards pending dirty scratch so a failed batch leaves the next
+  // apply() with a clean slate (slots still match the current reserves).
+  const auto fail = [this](Error error) -> Result<ApplyReport> {
+    for (Shard& shard : shards_) {
+      for (const std::uint32_t local : shard.dirty) shard.dirty_flag[local] = 0;
+      shard.dirty.clear();
+    }
+    return error;
+  };
+
   for (std::size_t i = 0; i < batch.size(); ++i) {
     if (last_event[batch[i].pool.value()] != i) continue;  // superseded
     const PoolUpdateEvent& event = batch[i];
     ++report.unique_pools;
     if (event.liquidity > 0.0) {
       // Concentrated payload: absolute (liquidity, price) state.
-      if (Status applied =
-              snapshot_.graph.mutable_pool(event.pool).set_concentrated_state(
-                  event.liquidity, event.price);
+      if (Status applied = snapshot_.graph.set_concentrated_state(
+              event.pool, event.liquidity, event.price);
           !applied.ok()) {
-        return applied.error();
+        return fail(applied.error());
       }
     } else {
       if (!(event.reserve0 > 0.0) || !(event.reserve1 > 0.0)) {
-        return make_error(ErrorCode::kInvalidArgument,
-                          "non-positive reserves for " + to_string(event.pool));
+        return fail(make_error(
+            ErrorCode::kInvalidArgument,
+            "non-positive reserves for " + to_string(event.pool)));
       }
       if (Status applied = snapshot_.graph.set_pool_reserves(
               event.pool, event.reserve0, event.reserve1);
           !applied.ok()) {
-        return applied.error();
+        return fail(applied.error());
       }
     }
-    for (const std::uint32_t cycle : index_.cycles_of(event.pool)) {
-      if (!dirty_flag[cycle]) {
-        dirty_flag[cycle] = 1;
-        dirty.push_back(cycle);
+    // The graph is the single writer; catch the view up pool-by-pool so
+    // every shard's gate reads the post-write state.
+    view_.refresh_pool(snapshot_.graph, event.pool);
+    // Route the update to every shard whose cycles traverse the pool.
+    for (const std::uint32_t s : plan_.shards_of_pool(event.pool)) {
+      Shard& shard = shards_[s];
+      for (const std::uint32_t local : plan_.sub_index(s, event.pool)) {
+        if (!shard.dirty_flag[local]) {
+          shard.dirty_flag[local] = 1;
+          shard.dirty.push_back(local);
+        }
       }
     }
   }
-  std::sort(dirty.begin(), dirty.end());
+  view_.set_epoch(snapshot_.graph.epoch());
+  for (Shard& shard : shards_) {
+    std::sort(shard.dirty.begin(), shard.dirty.end());
+  }
 
-  if (Status status = reprice(dirty, report); !status.ok()) {
+  if (Status status = reprice_dirty(report); !status.ok()) {
     return status.error();
   }
   // Cycles skipped because they traverse a quarantined pool are not
   // counted as repriced, so the total stays the sum of the per-kind
   // splits (the parity the metrics tests pin down).
   report.repriced = report.repriced_cpmm + report.repriced_mixed;
-  rebuild_ranking();
+  // The ranking is NOT rebuilt here: reprice marked the touched shards
+  // stale, and the next collect()/ranked() call re-sorts and merges.
   return report;
 }
 
@@ -115,15 +146,18 @@ void IncrementalScanner::set_quarantined(PoolId pool, bool quarantined) {
   if (static_cast<bool>(flag) == quarantined) return;
   flag = quarantined ? 1 : 0;
   for (const std::uint32_t cycle : index_.cycles_of(pool)) {
+    Shard& shard = shards_[plan_.shard_of(cycle)];
+    const std::uint32_t local = plan_.local_of(cycle);
     if (quarantined) {
-      if (++cycle_quarantine_count_[cycle] == 1) {
-        slots_[cycle].reset();
-        warm_[cycle].valid = false;
+      if (++shard.quarantine_count[local] == 1) {
+        shard.slots[local].reset();
+        shard.warm[local].valid = false;
+        shard.ranking_stale = true;
       }
     } else {
-      ARB_REQUIRE(cycle_quarantine_count_[cycle] > 0,
+      ARB_REQUIRE(shard.quarantine_count[local] > 0,
                   "quarantine count underflow");
-      --cycle_quarantine_count_[cycle];
+      --shard.quarantine_count[local];
     }
   }
 }
@@ -134,20 +168,13 @@ bool IncrementalScanner::pool_quarantined(PoolId pool) const {
   return pool_quarantined_[pool.value()] != 0;
 }
 
-Status IncrementalScanner::reprice(const std::vector<std::uint32_t>& dirty,
-                                   ApplyReport& report) {
-  if (dirty.empty()) return Status::success();
-
-  // The dirty set is partitioned into contiguous chunks, one per lane;
-  // each lane owns a disjoint range of universe slots (and their warm
-  // slots) plus its own solver context, so lanes never contend; the
-  // graph is only read. The pool's wait_idle() provides the
-  // happens-before edge back to this thread.
-  const std::size_t lanes =
-      (workers_ == nullptr || dirty.size() == 1)
-          ? 1
-          : std::min(workers_->thread_count(), dirty.size());
-  if (contexts_.size() < lanes) contexts_.resize(lanes);
+Status IncrementalScanner::reprice_dirty(ApplyReport& report) {
+  report.shard_repriced.assign(shards_.size(), 0);
+  std::size_t dirty_shards = 0;
+  for (const Shard& shard : shards_) {
+    if (!shard.dirty.empty()) ++dirty_shards;
+  }
+  if (dirty_shards == 0) return Status::success();
 
   struct LaneStats {
     std::size_t warm_hits = 0;
@@ -159,29 +186,38 @@ Status IncrementalScanner::reprice(const std::vector<std::uint32_t>& dirty,
     double mixed_us = 0.0;
     std::uint64_t solver_fallbacks = 0;
   };
-  std::vector<LaneStats> lane_stats(lanes);
-  std::vector<Status> statuses(dirty.size());
+  struct ShardWork {
+    std::vector<LaneStats> stats;
+    std::vector<Status> statuses;
+  };
+  std::vector<ShardWork> work(shards_.size());
 
-  auto price_range = [this, &dirty, &statuses, &lane_stats](
-                         std::size_t begin, std::size_t end,
-                         std::size_t lane) {
-    core::ConvexContext& ctx = contexts_[lane];
-    LaneStats& stats = lane_stats[lane];
+  // Each lane owns a contiguous chunk of one shard's dirty list — a
+  // disjoint set of that shard's slots and warm entries — plus its own
+  // solver context, so lanes never contend; the graph and view are only
+  // read. The pool's wait_idle() provides the happens-before edge back
+  // to this thread.
+  auto price_range = [this, &work](std::size_t s, std::size_t begin,
+                                   std::size_t end, std::size_t lane) {
+    Shard& shard = shards_[s];
+    const std::vector<std::uint32_t>& universe = plan_.cycles_of(s);
+    core::ConvexContext& ctx = shard.contexts[lane];
+    LaneStats& stats = work[s].stats[lane];
     const bool convex =
         config_.strategy == core::StrategyKind::kConvexOptimization;
     for (std::size_t position = begin; position < end; ++position) {
-      const std::uint32_t slot = dirty[position];
-      if (cycle_quarantine_count_[slot] != 0) {
+      const std::uint32_t local = shard.dirty[position];
+      if (shard.quarantine_count[local] != 0) {
         // Excluded while any of its pools is quarantined: keep the slot
         // empty (and no warm start) so the ranked set matches scan_market
         // on the surviving pool set. Not accounted as repriced.
-        slots_[slot].reset();
-        warm_[slot].valid = false;
+        shard.slots[local].reset();
+        shard.warm[local].valid = false;
         continue;
       }
-      const graph::Cycle& cycle = index_.cycles()[slot];
-      std::optional<core::Opportunity>& out = slots_[slot];
-      const bool mixed = mixed_[slot] != 0;
+      const graph::Cycle& cycle = index_.cycles()[universe[local]];
+      std::optional<core::Opportunity>& out = shard.slots[local];
+      const bool mixed = shard.mixed[local] != 0;
       const auto t0 = std::chrono::steady_clock::now();
       const auto account = [&] {
         const double us = std::chrono::duration<double, std::micro>(
@@ -191,19 +227,21 @@ Status IncrementalScanner::reprice(const std::vector<std::uint32_t>& dirty,
         ++(mixed ? stats.repriced_mixed : stats.repriced_cpmm);
       };
       // scan_market's filter_arbitrage gate: only the profitable
-      // orientation (price product > 1) is priced at all.
-      if (!(cycle.price_product(snapshot_.graph) > 1.0)) {
+      // orientation (price product > 1) is priced at all. The view's
+      // cached relative prices make this bit-identical to reading the
+      // pools directly.
+      if (!(view_.price_product(cycle) > 1.0)) {
         out.reset();
-        warm_[slot].valid = false;  // zero optimum has no interior
+        shard.warm[local].valid = false;  // zero optimum has no interior
         account();
         continue;
       }
-      ctx.warm = &warm_[slot];
+      ctx.warm = &shard.warm[local];
       auto priced = core::evaluate_opportunity(
           snapshot_.graph, snapshot_.prices, cycle, config_, ctx);
       ctx.warm = nullptr;
       if (!priced) {
-        statuses[position] = priced.error();
+        work[s].statuses[position] = priced.error();
         out.reset();
         account();
         continue;
@@ -224,63 +262,157 @@ Status IncrementalScanner::reprice(const std::vector<std::uint32_t>& dirty,
     }
   };
 
-  if (lanes == 1) {
-    price_range(0, dirty.size(), 0);
-  } else {
-    const std::size_t len = dirty.size();
+  // Lane sizing: chunk every shard's dirty list so the whole round
+  // yields ~4 tasks per pool thread. Oversubscribing lets the pool's
+  // queue balance load dynamically — without it each dirty shard runs as
+  // one task and wait_idle() stalls on the slowest shard (per-batch
+  // dirty sets are not as balanced as the static plan). Chunking is
+  // performance-only: each cycle's solve is independent and warm state
+  // is per-cycle, so the results never depend on the lane split.
+  const std::size_t threads = workers_ ? workers_->thread_count() : 0;
+  std::size_t total_dirty = 0;
+  for (const Shard& shard : shards_) total_dirty += shard.dirty.size();
+  const std::size_t chunk =
+      threads == 0
+          ? total_dirty
+          : std::max<std::size_t>(1, total_dirty / (threads * 4));
+  bool parallel = false;
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    Shard& shard = shards_[s];
+    if (shard.dirty.empty()) continue;
+    const std::size_t lanes =
+        workers_ == nullptr ? 1 : (shard.dirty.size() + chunk - 1) / chunk;
+    if (shard.contexts.size() < lanes) shard.contexts.resize(lanes);
+    work[s].stats.resize(lanes);
+    work[s].statuses.resize(shard.dirty.size());
+    shard.ranking_stale = true;
+    if (workers_ == nullptr || (dirty_shards == 1 && lanes == 1)) {
+      price_range(s, 0, shard.dirty.size(), 0);
+      continue;
+    }
+    const std::size_t len = shard.dirty.size();
     for (std::size_t lane = 0; lane < lanes; ++lane) {
       const std::size_t begin = lane * len / lanes;
       const std::size_t end = (lane + 1) * len / lanes;
       if (begin == end) continue;
-      if (!workers_->submit(
-              [&price_range, begin, end, lane] { price_range(begin, end, lane); })) {
+      if (workers_->submit([&price_range, s, begin, end, lane] {
+            price_range(s, begin, end, lane);
+          })) {
+        parallel = true;
+      } else {
         // Pool shutting down or rejecting: fall back to inline execution
         // so the invariant (slots match current reserves) still holds.
-        price_range(begin, end, lane);
+        price_range(s, begin, end, lane);
       }
     }
-    workers_->wait_idle();
   }
+  if (parallel) workers_->wait_idle();
 
-  for (const Status& status : statuses) {
-    if (!status.ok()) return status;
+  for (Shard& shard : shards_) {
+    for (const std::uint32_t local : shard.dirty) shard.dirty_flag[local] = 0;
+    shard.dirty.clear();
   }
-  for (const LaneStats& stats : lane_stats) {
-    report.warm_hits += stats.warm_hits;
-    report.warm_misses += stats.warm_misses;
-    report.solver_iterations += stats.solver_iterations;
-    report.repriced_cpmm += stats.repriced_cpmm;
-    report.repriced_mixed += stats.repriced_mixed;
-    report.reprice_cpmm_us += stats.cpmm_us;
-    report.reprice_mixed_us += stats.mixed_us;
-    report.solver_fallbacks += stats.solver_fallbacks;
+  for (const ShardWork& w : work) {
+    for (const Status& status : w.statuses) {
+      if (!status.ok()) return status;
+    }
+  }
+  for (std::size_t s = 0; s < work.size(); ++s) {
+    for (const LaneStats& stats : work[s].stats) {
+      report.warm_hits += stats.warm_hits;
+      report.warm_misses += stats.warm_misses;
+      report.solver_iterations += stats.solver_iterations;
+      report.repriced_cpmm += stats.repriced_cpmm;
+      report.repriced_mixed += stats.repriced_mixed;
+      report.reprice_cpmm_us += stats.cpmm_us;
+      report.reprice_mixed_us += stats.mixed_us;
+      report.solver_fallbacks += stats.solver_fallbacks;
+      report.shard_repriced[s] += stats.repriced_cpmm + stats.repriced_mixed;
+    }
   }
   return Status::success();
 }
 
 void IncrementalScanner::rebuild_ranking() {
-  std::vector<std::uint32_t> present;
-  present.reserve(slots_.size());
-  for (std::uint32_t i = 0; i < slots_.size(); ++i) {
-    if (slots_[i].has_value()) present.push_back(i);
-  }
   const std::vector<std::string>& keys = index_.rotation_keys();
-  std::sort(present.begin(), present.end(),
-            [&](std::uint32_t a, std::uint32_t b) {
-              const double pa = slots_[a]->net_profit_usd;
-              const double pb = slots_[b]->net_profit_usd;
-              if (pa != pb) return pa > pb;
-              return keys[a] < keys[b];
-            });
+  // Only shards whose slots changed re-sort; clean shards keep their
+  // ranking from the previous round. If no shard changed since the last
+  // merge the global view is still valid and the whole call is a no-op.
+  bool changed = merge_stale_;
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    Shard& shard = shards_[s];
+    if (!shard.ranking_stale) continue;
+    changed = true;
+    const std::vector<std::uint32_t>& universe = plan_.cycles_of(s);
+    shard.ranked.clear();
+    for (std::uint32_t i = 0; i < shard.slots.size(); ++i) {
+      if (shard.slots[i].has_value()) shard.ranked.push_back(i);
+    }
+    std::sort(shard.ranked.begin(), shard.ranked.end(),
+              [&](std::uint32_t a, std::uint32_t b) {
+                const double pa = shard.slots[a]->net_profit_usd;
+                const double pb = shard.slots[b]->net_profit_usd;
+                if (pa != pb) return pa > pb;
+                return keys[universe[a]] < keys[universe[b]];
+              });
+    shard.ranking_stale = false;
+  }
+  if (!changed) return;
+  merge_stale_ = false;
+
+  // K-way merge under the same comparator. Rotation keys are unique, so
+  // the comparator is a strict total order and merging the per-shard
+  // sorted runs reproduces the K=1 global sort exactly.
   ranked_.clear();
-  ranked_.reserve(present.size());
-  for (const std::uint32_t i : present) ranked_.push_back(&*slots_[i]);
+  std::size_t total = 0;
+  for (const Shard& shard : shards_) total += shard.ranked.size();
+  ranked_.reserve(total);
+  if (shards_.size() == 1) {
+    const Shard& shard = shards_[0];
+    for (const std::uint32_t local : shard.ranked) {
+      ranked_.push_back(&*shard.slots[local]);
+    }
+    return;
+  }
+  std::vector<std::size_t> head(shards_.size(), 0);
+  while (ranked_.size() < total) {
+    std::size_t best = shards_.size();
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      if (head[s] >= shards_[s].ranked.size()) continue;
+      if (best == shards_.size()) {
+        best = s;
+        continue;
+      }
+      const core::Opportunity& cand =
+          *shards_[s].slots[shards_[s].ranked[head[s]]];
+      const core::Opportunity& lead =
+          *shards_[best].slots[shards_[best].ranked[head[best]]];
+      if (cand.net_profit_usd != lead.net_profit_usd) {
+        if (cand.net_profit_usd > lead.net_profit_usd) best = s;
+        continue;
+      }
+      const std::string& cand_key =
+          index_.rotation_keys()[plan_.cycles_of(s)[shards_[s].ranked[head[s]]]];
+      const std::string& lead_key =
+          index_.rotation_keys()[plan_.cycles_of(best)
+                                     [shards_[best].ranked[head[best]]]];
+      if (cand_key < lead_key) best = s;
+    }
+    ranked_.push_back(&*shards_[best].slots[shards_[best].ranked[head[best]]]);
+    ++head[best];
+  }
 }
 
-std::vector<core::Opportunity> IncrementalScanner::collect() const {
-  std::vector<core::Opportunity> out;
+void IncrementalScanner::collect_into(std::vector<core::Opportunity>& out) {
+  rebuild_ranking();
+  out.clear();
   out.reserve(ranked_.size());
   for (const core::Opportunity* op : ranked_) out.push_back(*op);
+}
+
+std::vector<core::Opportunity> IncrementalScanner::collect() {
+  std::vector<core::Opportunity> out;
+  collect_into(out);
   return out;
 }
 

@@ -2,7 +2,7 @@
 
 /// \file incremental_scanner.hpp
 /// Maintains core::scan_market's output incrementally under pool-reserve
-/// updates.
+/// updates, across K parallel shards.
 ///
 /// Dirty-set invariant: a cycle's valuation reads nothing but its own
 /// pools' reserves and the (immutable) CEX feed, so after apply() returns
@@ -10,6 +10,18 @@
 /// produce from scratch on the current reserves — yet only cycles
 /// traversing an updated pool were re-priced. The ranked view is
 /// therefore bit-identical to a full scan_market on the same state.
+///
+/// Sharding (DESIGN.md §11): a `ShardPlan` partitions the cycle universe
+/// into K disjoint shards; each shard exclusively owns its cycles' slots,
+/// warm-start entries and quarantine counters, and re-prices its own
+/// dirty set on the shared `WorkerPool`. All shards read one
+/// `market::MarketView` — a dense projection the scanner refreshes
+/// per-pool after each graph write — so no shard deep-copies the
+/// snapshot. The global ranked set is a K-way merge of the per-shard
+/// rankings under the single-shard comparator (net profit descending,
+/// canonical rotation key ascending); rotation keys are unique, the
+/// order is strictly total, and the merge is therefore bit-identical to
+/// the K=1 ranking for any K.
 
 #include <cstdint>
 #include <optional>
@@ -18,8 +30,10 @@
 #include "common/result.hpp"
 #include "core/scanner.hpp"
 #include "market/snapshot.hpp"
+#include "market/view.hpp"
 #include "runtime/event.hpp"
 #include "runtime/pool_index.hpp"
+#include "runtime/shard_plan.hpp"
 #include "runtime/worker_pool.hpp"
 
 namespace arb::runtime {
@@ -49,35 +63,48 @@ struct ApplyReport {
   /// Convex strategy only: barrier solves rescued by the generic
   /// derivative-free fallback rung of the containment ladder.
   std::uint64_t solver_fallbacks = 0;
+  /// Per-shard share of `repriced` (size = shard count).
+  std::vector<std::size_t> shard_repriced;
 };
 
 class IncrementalScanner {
  public:
-  /// Builds the pool→cycle index and prices every universe cycle once.
-  /// `workers` (optional, not owned, must outlive the scanner) sizes
-  /// dirty loops in parallel; with nullptr everything runs inline.
+  /// Builds the pool→cycle index, partitions the universe into `shards`
+  /// shards and prices every cycle once. `workers` (optional, not owned,
+  /// must outlive the scanner) sizes dirty loops in parallel; with
+  /// nullptr everything runs inline. `shards` = 1 is the classic
+  /// single-shard engine; any K produces bit-identical ranked sets.
   [[nodiscard]] static Result<IncrementalScanner> create(
       market::MarketSnapshot snapshot, core::ScannerConfig config,
-      WorkerPool* workers = nullptr);
+      WorkerPool* workers = nullptr, std::size_t shards = 1);
 
   IncrementalScanner(IncrementalScanner&&) = default;
   IncrementalScanner& operator=(IncrementalScanner&&) = default;
 
   /// Applies a batch of reserve updates and re-prices affected loops.
   /// Events carry absolute reserves; within a batch the last event per
-  /// pool wins (earlier ones are coalesced away).
+  /// pool wins (earlier ones are coalesced away). Updated pools are
+  /// routed to every shard whose cycles traverse them.
   [[nodiscard]] Result<ApplyReport> apply(
       const std::vector<PoolUpdateEvent>& batch);
 
   /// Ranked opportunities (best first), pointers into internal slots.
-  /// Invalidated by the next apply().
-  [[nodiscard]] const std::vector<const core::Opportunity*>& ranked() const {
+  /// Invalidated by the next apply(). Non-const: the ranking is
+  /// finalized lazily here — apply() only marks shards stale, and the
+  /// per-shard re-sorts plus the K-way merge run on first observation,
+  /// keeping the merge cost out of the event hot path.
+  [[nodiscard]] const std::vector<const core::Opportunity*>& ranked() {
+    rebuild_ranking();
     return ranked_;
   }
 
   /// Deep copy of the ranked set — element-for-element what
   /// core::scan_market would return on the current reserves.
-  [[nodiscard]] std::vector<core::Opportunity> collect() const;
+  [[nodiscard]] std::vector<core::Opportunity> collect();
+
+  /// Same, but into a caller-owned vector whose capacity is reused
+  /// across polls (the allocation-free polling path).
+  void collect_into(std::vector<core::Opportunity>& out);
 
   /// Marks a pool (un)quarantined. Every cycle traversing a quarantined
   /// pool is excluded from the ranked set: its slot empties and its warm
@@ -94,47 +121,71 @@ class IncrementalScanner {
   }
   [[nodiscard]] const PoolCycleIndex& index() const { return index_; }
   [[nodiscard]] const core::ScannerConfig& config() const { return config_; }
+  /// Dense read-only market projection, fresh as of the last apply().
+  [[nodiscard]] const market::MarketView& view() const { return view_; }
+  [[nodiscard]] const ShardPlan& plan() const { return plan_; }
+  [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
 
  private:
+  /// Everything one shard exclusively owns, indexed by the shard-local
+  /// cycle position (plan_.cycles_of(s)[local] is the universe index).
+  struct Shard {
+    /// One slot per owned cycle; empty = not currently an opportunity
+    /// (wrong orientation, unprofitable, or below the net threshold).
+    std::vector<std::optional<core::Opportunity>> slots;
+    /// Per-cycle warm-start cache (previous barrier optimum in raw token
+    /// units + terminal sharpness). Consulted only when
+    /// config_.convex_warm_start is set; entries invalidate themselves
+    /// whenever a cycle leaves the profitable orientation.
+    std::vector<optim::WarmStart> warm;
+    /// Per-cycle "crosses a non-CPMM pool" flag, precomputed once (pool
+    /// kinds never change).
+    std::vector<char> mixed;
+    /// How many of the cycle's pools are quarantined — excluded exactly
+    /// while non-zero.
+    std::vector<std::uint32_t> quarantine_count;
+    /// Local positions of present slots, best first. Rebuilt lazily:
+    /// only when `ranking_stale` (set by reprice or quarantine entry).
+    std::vector<std::uint32_t> ranked;
+    /// Scratch for apply(): dirty local positions and their flags.
+    std::vector<std::uint32_t> dirty;
+    std::vector<char> dirty_flag;
+    /// Per-lane solver contexts: the shard's dirty set is split into
+    /// contiguous chunks, one context per chunk, so workspaces are
+    /// reused without contention.
+    std::vector<core::ConvexContext> contexts;
+    bool ranking_stale = true;
+  };
+
   IncrementalScanner(market::MarketSnapshot snapshot,
                      core::ScannerConfig config, PoolCycleIndex index,
-                     WorkerPool* workers);
+                     ShardPlan plan, WorkerPool* workers);
 
-  /// Re-evaluates the given universe cycles (ascending indices),
-  /// accumulating warm-start / iteration stats into \p report.
-  [[nodiscard]] Status reprice(const std::vector<std::uint32_t>& dirty,
-                               ApplyReport& report);
+  /// Re-evaluates every shard's pending `dirty` list (ascending local
+  /// positions), fanning lanes out over the worker pool, and accumulates
+  /// warm-start / iteration stats into \p report.
+  [[nodiscard]] Status reprice_dirty(ApplyReport& report);
+  /// Re-sorts stale per-shard rankings and K-way merges them into the
+  /// global ranked view. No-op when nothing changed since the last call;
+  /// the collect paths invoke it lazily so apply() never pays for
+  /// rankings nobody observes between batches.
   void rebuild_ranking();
 
   market::MarketSnapshot snapshot_;
   core::ScannerConfig config_;
   PoolCycleIndex index_;
+  ShardPlan plan_;
   WorkerPool* workers_;  ///< nullable, not owned
+  market::MarketView view_;
 
-  /// One slot per universe cycle; empty = not currently an opportunity
-  /// (wrong orientation, unprofitable, or below the net threshold).
-  std::vector<std::optional<core::Opportunity>> slots_;
+  std::vector<Shard> shards_;
   std::vector<const core::Opportunity*> ranked_;
-
-  /// Per-cycle warm-start cache (previous barrier optimum in raw token
-  /// units + terminal sharpness). Consulted only when
-  /// config_.convex_warm_start is set; entries invalidate themselves
-  /// whenever a cycle leaves the profitable orientation.
-  std::vector<optim::WarmStart> warm_;
-  /// Per-cycle "crosses a non-CPMM pool" flag. Pool kinds are fixed at
-  /// construction (updates change state, never kind), so this is
-  /// precomputed once and drives the per-kind reprice accounting.
-  std::vector<char> mixed_;
-  /// Per-pool quarantine flag plus, per cycle, how many of its pools are
-  /// quarantined — a cycle is excluded exactly while its count is
-  /// non-zero, which handles cycles traversing several quarantined pools.
+  /// True until the first merge; per-shard staleness drives re-merges
+  /// after that.
+  bool merge_stale_ = true;
+  /// Per-pool quarantine flag (pool → 0/1), shared by all shards; the
+  /// per-cycle counts live with their owning shard.
   std::vector<char> pool_quarantined_;
-  std::vector<std::uint32_t> cycle_quarantine_count_;
-  /// Per-lane solver contexts: reprice() partitions the dirty set into
-  /// contiguous chunks, one context per chunk, so workspaces are reused
-  /// without contention. Buffers grow to the largest loop seen and then
-  /// steady-state solves allocate nothing.
-  std::vector<core::ConvexContext> contexts_;
 };
 
 }  // namespace arb::runtime

@@ -74,6 +74,26 @@ std::uint64_t MetricsSnapshot::events_rejected_total() const {
   return total;
 }
 
+std::uint64_t MetricsSnapshot::shard_repriced_min() const {
+  std::uint64_t lo = UINT64_MAX;
+  for (const std::uint64_t n : shard_repriced) lo = std::min(lo, n);
+  return shard_repriced.empty() ? 0 : lo;
+}
+
+std::uint64_t MetricsSnapshot::shard_repriced_max() const {
+  std::uint64_t hi = 0;
+  for (const std::uint64_t n : shard_repriced) hi = std::max(hi, n);
+  return hi;
+}
+
+void RuntimeMetrics::set_shard_plan(std::size_t shards, double imbalance) {
+  shards_ = shards;
+  shard_imbalance_ = imbalance;
+  // Atomics are neither copyable nor movable; swap in a fresh buffer of
+  // value-initialized counters instead of resizing element-wise.
+  shard_repriced_ = std::vector<std::atomic<std::uint64_t>>(shards);
+}
+
 std::string MetricsSnapshot::summary() const {
   char buffer[640];
   std::snprintf(buffer, sizeof(buffer),
@@ -83,7 +103,8 @@ std::string MetricsSnapshot::summary() const {
                 "reprice_us{p50=%.1f p90=%.1f p99=%.1f max=%.1f n=%llu} "
                 "loop_us{cpmm_p50=%.1f mixed_p50=%.1f} "
                 "rejected=%llu quarantined=%llu/%llu resyncs=%llu "
-                "fallbacks=%llu",
+                "fallbacks=%llu "
+                "shards=%llu imbalance=%.2f shard_repriced=[%llu..%llu]",
                 static_cast<unsigned long long>(events_ingested),
                 static_cast<unsigned long long>(events_dropped),
                 static_cast<unsigned long long>(events_coalesced),
@@ -103,7 +124,10 @@ std::string MetricsSnapshot::summary() const {
                 static_cast<unsigned long long>(pools_quarantined_now),
                 static_cast<unsigned long long>(pools_quarantined),
                 static_cast<unsigned long long>(resyncs),
-                static_cast<unsigned long long>(solver_fallbacks));
+                static_cast<unsigned long long>(solver_fallbacks),
+                static_cast<unsigned long long>(shards), shard_imbalance,
+                static_cast<unsigned long long>(shard_repriced_min()),
+                static_cast<unsigned long long>(shard_repriced_max()));
   return buffer;
 }
 
@@ -125,7 +149,11 @@ std::vector<std::string> MetricsSnapshot::csv_columns() {
           "rejected_non_positive", "rejected_wrong_kind",
           "rejected_out_of_range", "rejected_stale_sequence",
           "pools_quarantined",     "pools_quarantined_now",
-          "resyncs",               "solver_fallbacks"};
+          "resyncs",               "solver_fallbacks",
+          // Sharded engine: the per-shard vector is collapsed to its
+          // extremes so the schema stays fixed for any K.
+          "shards",                "shard_imbalance",
+          "shard_repriced_min",    "shard_repriced_max"};
 }
 
 MetricsSnapshot RuntimeMetrics::snapshot() const {
@@ -165,6 +193,12 @@ MetricsSnapshot RuntimeMetrics::snapshot() const {
       pools_quarantined_now_.load(std::memory_order_relaxed);
   snap.resyncs = resyncs_.load(std::memory_order_relaxed);
   snap.solver_fallbacks = solver_fallbacks_.load(std::memory_order_relaxed);
+  snap.shards = shards_;
+  snap.shard_imbalance = shard_imbalance_;
+  snap.shard_repriced.reserve(shard_repriced_.size());
+  for (const std::atomic<std::uint64_t>& n : shard_repriced_) {
+    snap.shard_repriced.push_back(n.load(std::memory_order_relaxed));
+  }
   return snap;
 }
 
@@ -205,7 +239,10 @@ Status write_metrics_csv(const std::vector<MetricsSnapshot>& snapshots,
             static_cast<std::size_t>(s.pools_quarantined),
             static_cast<std::size_t>(s.pools_quarantined_now),
             static_cast<std::size_t>(s.resyncs),
-            static_cast<std::size_t>(s.solver_fallbacks));
+            static_cast<std::size_t>(s.solver_fallbacks),
+            static_cast<std::size_t>(s.shards), s.shard_imbalance,
+            static_cast<std::size_t>(s.shard_repriced_min()),
+            static_cast<std::size_t>(s.shard_repriced_max()));
   }
   return Status::success();
 }

@@ -84,6 +84,18 @@ struct MetricsSnapshot {
   /// last rung of the solver containment ladder before a typed error).
   std::uint64_t solver_fallbacks = 0;
 
+  /// Sharded-engine observability (DESIGN.md §11). `shards` and
+  /// `shard_imbalance` (max/mean pool fan-out over the ShardPlan, 1.0 =
+  /// perfect split) are fixed at service start; `shard_repriced` is the
+  /// cumulative per-shard share of loops_repriced. The CSV keeps a fixed
+  /// schema by exporting only the min/max of the per-shard counters; the
+  /// full vector is available here and in summary().
+  std::uint64_t shards = 1;
+  double shard_imbalance = 0.0;
+  std::vector<std::uint64_t> shard_repriced;
+
+  [[nodiscard]] std::uint64_t shard_repriced_min() const;
+  [[nodiscard]] std::uint64_t shard_repriced_max() const;
   [[nodiscard]] std::uint64_t events_rejected_total() const;
 
   /// One-line human-readable rendering.
@@ -124,6 +136,14 @@ class RuntimeMetrics {
   void add_resync() { ++resyncs_; }
   void add_solver_fallbacks(std::uint64_t n) { solver_fallbacks_ += n; }
 
+  /// Sizes the per-shard counters and records the plan's static gauges.
+  /// Must be called before the consumer thread starts (the vector of
+  /// atomics is resized, not locked).
+  void set_shard_plan(std::size_t shards, double imbalance);
+  void add_shard_repriced(std::size_t shard, std::uint64_t n) {
+    shard_repriced_[shard] += n;
+  }
+
   [[nodiscard]] MetricsSnapshot snapshot() const;
 
  private:
@@ -144,6 +164,9 @@ class RuntimeMetrics {
   std::atomic<std::uint64_t> pools_quarantined_now_{0};
   std::atomic<std::uint64_t> resyncs_{0};
   std::atomic<std::uint64_t> solver_fallbacks_{0};
+  std::uint64_t shards_ = 1;
+  double shard_imbalance_ = 0.0;
+  std::vector<std::atomic<std::uint64_t>> shard_repriced_;
   LatencyHistogram reprice_latency_;
   LatencyHistogram cpmm_reprice_latency_;
   LatencyHistogram mixed_reprice_latency_;

@@ -19,20 +19,22 @@ ScannerService::ScannerService(const ServiceConfig& config)
 Result<std::unique_ptr<ScannerService>> ScannerService::start(
     const market::MarketSnapshot& snapshot, const ServiceConfig& config) {
   if (config.max_batch == 0 || config.queue_capacity == 0 ||
-      config.worker_threads == 0) {
+      config.worker_threads == 0 || config.shards == 0) {
     return make_error(ErrorCode::kInvalidArgument,
-                      "service needs positive max_batch, queue_capacity and "
-                      "worker_threads");
+                      "service needs positive max_batch, queue_capacity, "
+                      "worker_threads and shards");
   }
   std::unique_ptr<ScannerService> service(new ScannerService(config));
   auto scanner = IncrementalScanner::create(snapshot, config.scanner,
-                                            &service->workers_);
+                                            &service->workers_, config.shards);
   if (!scanner) return scanner.error();
   service->scanner_ =
       std::make_unique<IncrementalScanner>(std::move(scanner).value());
+  service->metrics_.set_shard_plan(service->scanner_->shard_count(),
+                                   service->scanner_->plan().imbalance());
   if (config.validate) {
     service->validator_ = std::make_unique<EventValidator>(
-        service->scanner_->snapshot().graph, config.validation);
+        service->scanner_->view(), config.validation);
   }
   service->consumer_ = std::thread([raw = service.get()] { raw->run(); });
   return service;
@@ -100,6 +102,12 @@ MetricsSnapshot ScannerService::metrics() const { return metrics_.snapshot(); }
 std::vector<core::Opportunity> ScannerService::opportunities() const {
   std::lock_guard lock(scanner_mutex_);
   return scanner_->collect();
+}
+
+void ScannerService::opportunities_into(
+    std::vector<core::Opportunity>& out) const {
+  std::lock_guard lock(scanner_mutex_);
+  scanner_->collect_into(out);
 }
 
 std::vector<PoolId> ScannerService::quarantined_pools() const {
@@ -175,6 +183,9 @@ void ScannerService::run() {
       metrics_.record_reprice_latency(micros);
       metrics_.add_repriced_cpmm(report->repriced_cpmm);
       metrics_.add_repriced_mixed(report->repriced_mixed);
+      for (std::size_t s = 0; s < report->shard_repriced.size(); ++s) {
+        metrics_.add_shard_repriced(s, report->shard_repriced[s]);
+      }
       // Per-kind per-loop latency, one sample per batch (the batch mean).
       if (report->repriced_cpmm > 0) {
         metrics_.record_cpmm_reprice_latency(

@@ -37,6 +37,11 @@ enum class BackpressurePolicy {
 struct ServiceConfig {
   core::ScannerConfig scanner;
   std::size_t worker_threads = 4;
+  /// Shards the cycle universe is partitioned into (DESIGN.md §11).
+  /// Batches are validated once, split per shard and repriced in
+  /// parallel; the published ranked set is bit-identical for any value.
+  /// 1 = the classic single-shard engine.
+  std::size_t shards = 1;
   std::size_t queue_capacity = 4096;
   /// Events drained per apply() round; bursts beyond this are split
   /// across rounds (and within a round, per-pool last-wins coalescing
@@ -83,6 +88,11 @@ class ScannerService {
 
   /// Thread-safe deep copy of the current ranked opportunity set.
   [[nodiscard]] std::vector<core::Opportunity> opportunities() const;
+
+  /// Same, but into a caller-owned vector whose capacity survives across
+  /// polls — the steady-state observer path allocates nothing once the
+  /// vector has grown to the working-set size.
+  void opportunities_into(std::vector<core::Opportunity>& out) const;
 
   /// Pools currently in quarantine (ascending ids). Empty when the
   /// service runs with validate=false.

@@ -1,0 +1,138 @@
+#include "runtime/shard_plan.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace arb::runtime {
+namespace {
+
+/// FNV-1a over the canonical rotation key: stable across platforms and
+/// runs (the key is a plain string), so shard assignment is part of the
+/// reproducibility contract.
+std::uint64_t fnv1a(const std::string& key) {
+  std::uint64_t hash = 1469598103934665603ull;
+  for (const char c : key) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+}  // namespace
+
+Result<ShardPlan> ShardPlan::build(const PoolCycleIndex& index,
+                                   std::size_t shards) {
+  if (shards == 0) {
+    return make_error(ErrorCode::kInvalidArgument,
+                      "shard plan needs at least one shard");
+  }
+  ShardPlan plan;
+  const std::size_t cycles = index.cycles().size();
+  plan.shard_of_.resize(cycles);
+  plan.local_of_.resize(cycles);
+  plan.loads_.assign(shards, 0);
+
+  // Initial assignment: hash of the rotation key. Spreads any pool's
+  // fan-out across shards without looking at reserves or load.
+  for (std::size_t i = 0; i < cycles; ++i) {
+    plan.shard_of_[i] = static_cast<std::uint32_t>(
+        fnv1a(index.rotation_keys()[i]) % shards);
+    plan.loads_[plan.shard_of_[i]] += index.cycles()[i].length();
+  }
+
+  // Greedy balance pass: move one cycle at a time from the heaviest to
+  // the lightest shard while that strictly narrows the spread. Each
+  // move picks the largest movable cycle (ties → lowest universe index)
+  // so the pass terminates quickly; the iteration cap is a safety net,
+  // not a tuning knob. Everything here is a deterministic function of
+  // the universe, so two builds always agree.
+  if (shards > 1 && cycles > 0) {
+    for (std::size_t iteration = 0; iteration < cycles; ++iteration) {
+      std::size_t heavy = 0;
+      std::size_t light = 0;
+      for (std::size_t s = 1; s < shards; ++s) {
+        if (plan.loads_[s] > plan.loads_[heavy]) heavy = s;
+        if (plan.loads_[s] < plan.loads_[light]) light = s;
+      }
+      const std::size_t spread = plan.loads_[heavy] - plan.loads_[light];
+      // Moving a cycle of length L changes the spread to |spread - 2L|
+      // at best; only L < spread strictly improves.
+      std::size_t best_cycle = cycles;
+      std::size_t best_length = 0;
+      for (std::size_t i = 0; i < cycles; ++i) {
+        if (plan.shard_of_[i] != heavy) continue;
+        const std::size_t length = index.cycles()[i].length();
+        if (length < spread && length > best_length) {
+          best_length = length;
+          best_cycle = i;
+        }
+      }
+      if (best_cycle == cycles) break;  // no improving move left
+      plan.shard_of_[best_cycle] = static_cast<std::uint32_t>(light);
+      plan.loads_[heavy] -= best_length;
+      plan.loads_[light] += best_length;
+    }
+  }
+
+  // Materialize per-shard cycle lists (ascending universe order — the
+  // same relative order the single-shard scanner walks) and the local
+  // positions.
+  plan.cycles_of_.assign(shards, {});
+  for (std::size_t i = 0; i < cycles; ++i) {
+    std::vector<std::uint32_t>& list = plan.cycles_of_[plan.shard_of_[i]];
+    plan.local_of_[i] = static_cast<std::uint32_t>(list.size());
+    list.push_back(static_cast<std::uint32_t>(i));
+  }
+
+  // Routing tables: pool → shards touching it, and per-shard pool →
+  // local dirty set. Built from the inverted index so they inherit its
+  // ascending order.
+  const std::size_t pools = index.pool_count();
+  plan.shards_of_pool_.assign(pools, {});
+  plan.sub_index_.assign(shards, std::vector<std::vector<std::uint32_t>>(pools));
+  for (std::size_t p = 0; p < pools; ++p) {
+    const PoolId pool{static_cast<PoolId::underlying_type>(p)};
+    for (const std::uint32_t cycle : index.cycles_of(pool)) {
+      const std::uint32_t s = plan.shard_of_[cycle];
+      std::vector<std::uint32_t>& routed = plan.shards_of_pool_[p];
+      if (routed.empty() || routed.back() != s) {
+        if (std::find(routed.begin(), routed.end(), s) == routed.end()) {
+          routed.push_back(s);
+        }
+      }
+      plan.sub_index_[s][p].push_back(plan.local_of_[cycle]);
+    }
+    std::sort(plan.shards_of_pool_[p].begin(), plan.shards_of_pool_[p].end());
+  }
+  return plan;
+}
+
+const std::vector<std::uint32_t>& ShardPlan::shards_of_pool(
+    PoolId pool) const {
+  ARB_REQUIRE(pool.value() < shards_of_pool_.size(), "unknown pool");
+  return shards_of_pool_[pool.value()];
+}
+
+const std::vector<std::uint32_t>& ShardPlan::sub_index(std::size_t s,
+                                                       PoolId pool) const {
+  ARB_REQUIRE(s < sub_index_.size(), "unknown shard");
+  ARB_REQUIRE(pool.value() < sub_index_[s].size(), "unknown pool");
+  return sub_index_[s][pool.value()];
+}
+
+double ShardPlan::imbalance() const {
+  std::size_t total = 0;
+  std::size_t max_load = 0;
+  for (const std::size_t load : loads_) {
+    total += load;
+    max_load = std::max(max_load, load);
+  }
+  if (total == 0) return 0.0;
+  const double mean =
+      static_cast<double>(total) / static_cast<double>(loads_.size());
+  return static_cast<double>(max_load) / mean;
+}
+
+}  // namespace arb::runtime

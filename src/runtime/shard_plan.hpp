@@ -1,0 +1,88 @@
+#pragma once
+
+/// \file shard_plan.hpp
+/// Deterministic partitioning of the enumerated cycle universe into K
+/// shards, plus the per-shard routing tables the shard router needs.
+///
+/// Disjoint cycle sets re-price independently (a cycle's valuation reads
+/// nothing but its own pools and the immutable CEX feed), so the
+/// universe can be split across parallel per-shard scanners that share
+/// one read-only market view. Ownership is exclusive: every universe
+/// cycle lives in exactly one shard, which owns its slot, its warm-start
+/// entry and its quarantine counter — that is what makes the sharded
+/// trajectory bit-identical to the single-shard one for any K.
+///
+/// Assignment is a pure function of (universe, K): an FNV-1a hash of
+/// each cycle's canonical rotation key picks the initial shard, then a
+/// greedy balance pass moves whole cycles from the heaviest to the
+/// lightest shard while that strictly narrows the load spread, where a
+/// shard's load is its pool fan-out (the sum of its cycles' lengths —
+/// the number of (pool, cycle) incidences it re-prices in the worst
+/// case). Pools touched by cycles in several shards are routed to each
+/// of them via `shards_of_pool` / `sub_index`.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.hpp"
+#include "common/types.hpp"
+#include "runtime/pool_index.hpp"
+
+namespace arb::runtime {
+
+class ShardPlan {
+ public:
+  /// Partitions `index`'s universe into `shards` ≥ 1 shards. Shards may
+  /// be empty when K exceeds the cycle count. Deterministic: the same
+  /// (index, shards) always yields the same plan.
+  [[nodiscard]] static Result<ShardPlan> build(const PoolCycleIndex& index,
+                                               std::size_t shards);
+
+  [[nodiscard]] std::size_t shard_count() const { return cycles_of_.size(); }
+
+  /// Owning shard of a universe cycle.
+  [[nodiscard]] std::uint32_t shard_of(std::uint32_t cycle) const {
+    return shard_of_[cycle];
+  }
+  /// Position of a universe cycle inside its owning shard's cycle list.
+  [[nodiscard]] std::uint32_t local_of(std::uint32_t cycle) const {
+    return local_of_[cycle];
+  }
+
+  /// Universe cycle indices owned by shard `s`, ascending.
+  [[nodiscard]] const std::vector<std::uint32_t>& cycles_of(
+      std::size_t s) const {
+    return cycles_of_[s];
+  }
+
+  /// Shards owning at least one cycle that traverses `pool`, ascending.
+  /// A multi-shard pool's update fans out to every listed shard.
+  [[nodiscard]] const std::vector<std::uint32_t>& shards_of_pool(
+      PoolId pool) const;
+
+  /// Per-shard sub-index: local positions (into cycles_of(s)) of shard
+  /// s's cycles traversing `pool`, ascending. Empty when the shard does
+  /// not touch the pool.
+  [[nodiscard]] const std::vector<std::uint32_t>& sub_index(
+      std::size_t s, PoolId pool) const;
+
+  /// Per-shard pool fan-out (Σ cycle length over owned cycles).
+  [[nodiscard]] const std::vector<std::size_t>& loads() const {
+    return loads_;
+  }
+
+  /// Max load over mean load — 1.0 is a perfect split, 0.0 an empty
+  /// universe. Exported as the `shard_imbalance` metric.
+  [[nodiscard]] double imbalance() const;
+
+ private:
+  std::vector<std::uint32_t> shard_of_;
+  std::vector<std::uint32_t> local_of_;
+  std::vector<std::vector<std::uint32_t>> cycles_of_;
+  std::vector<std::vector<std::uint32_t>> shards_of_pool_;
+  /// [shard][pool] → ascending local cycle positions.
+  std::vector<std::vector<std::vector<std::uint32_t>>> sub_index_;
+  std::vector<std::size_t> loads_;
+};
+
+}  // namespace arb::runtime

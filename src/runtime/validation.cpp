@@ -41,6 +41,23 @@ EventValidator::EventValidator(const graph::TokenGraph& graph,
   states_.resize(shapes_.size());
 }
 
+EventValidator::EventValidator(const market::MarketView& view,
+                               const ValidationConfig& config)
+    : config_(config) {
+  shapes_.reserve(view.pool_count());
+  for (std::size_t i = 0; i < view.pool_count(); ++i) {
+    const PoolId pool{static_cast<PoolId::underlying_type>(i)};
+    PoolShape shape;
+    shape.kind = view.kind(pool);
+    if (shape.kind == amm::PoolKind::kConcentrated) {
+      shape.p_lo = view.price_lo(pool);
+      shape.p_hi = view.price_hi(pool);
+    }
+    shapes_.push_back(shape);
+  }
+  states_.resize(shapes_.size());
+}
+
 bool EventValidator::payload_invalid(const PoolUpdateEvent& event,
                                      const PoolShape& shape,
                                      RejectReason& reason) const {

@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "graph/token_graph.hpp"
+#include "market/view.hpp"
 #include "runtime/event.hpp"
 
 namespace arb::runtime {
@@ -92,6 +93,11 @@ class EventValidator {
   /// never change a pool's shape, so the capture stays valid for the
   /// stream's lifetime.
   explicit EventValidator(const graph::TokenGraph& graph,
+                          const ValidationConfig& config = {});
+
+  /// Same capture from a dense MarketView — the sharded service uses
+  /// this so validation never touches the pool variants.
+  explicit EventValidator(const market::MarketView& view,
                           const ValidationConfig& config = {});
 
   /// Validates one event and advances the per-pool state machine.

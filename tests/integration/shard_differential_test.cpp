@@ -1,0 +1,246 @@
+// Shard-sweep differential suite: the sharded engine's contract is that
+// the shard count K is unobservable from the outside. The identical
+// event stream — clean and fault-injected — is replayed through services
+// at K ∈ {1, 2, 4, 8}; the ranked sets, per-reason reject counts and
+// quarantine states must be bit-identical across K, and (via the K=1
+// engine's established parity) equal a fresh scan_market of the mirror
+// reference with quarantined pools' loops filtered out. Run on an
+// all-CPMM market and on a mixed StableSwap/concentrated market, plus a
+// warm-start-enabled sweep (across-K only: warm starts perturb nothing
+// because each shard owns its cycles' warm slots exclusively).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <memory>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "core/scanner.hpp"
+#include "market/generator.hpp"
+#include "runtime/fault.hpp"
+#include "runtime/replay_stream.hpp"
+#include "runtime/service.hpp"
+#include "runtime/validation.hpp"
+
+namespace arb {
+namespace {
+
+constexpr std::uint64_t kFaultSeed = 424242;
+constexpr std::uint64_t kStreamSeed = 77;
+const std::vector<std::size_t> kShardSweep = {1, 2, 4, 8};
+
+/// Everything observable about one service run.
+struct RunResult {
+  std::vector<core::Opportunity> opportunities;
+  std::array<std::uint64_t, runtime::kRejectReasonCount> rejected{};
+  std::vector<PoolId> quarantined;
+  std::uint64_t repriced = 0;
+  std::vector<std::uint64_t> shard_repriced;
+};
+
+/// Exact-equality comparison of two ranked opportunity sets.
+void expect_identical(const std::vector<core::Opportunity>& expected,
+                      const std::vector<core::Opportunity>& actual) {
+  ASSERT_EQ(expected.size(), actual.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(expected[i].cycle.rotation_key(), actual[i].cycle.rotation_key())
+        << "rank " << i;
+    EXPECT_EQ(expected[i].net_profit_usd, actual[i].net_profit_usd)
+        << "rank " << i;
+  }
+}
+
+/// Replays `blocks` blocks (optionally fault-injected) through a service
+/// with `shards` shards and returns the observable outcome.
+RunResult run_stream(const market::MarketSnapshot& snapshot,
+                     const core::ScannerConfig& scanner_config,
+                     std::size_t shards, double fault_rate,
+                     std::size_t blocks) {
+  runtime::ServiceConfig config;
+  config.scanner = scanner_config;
+  config.worker_threads = 2;
+  config.shards = shards;
+  config.max_batch = 32;
+  auto service = runtime::ScannerService::start(snapshot, config).value();
+
+  runtime::ReplayStreamConfig stream_config;
+  stream_config.blocks = blocks;
+  stream_config.seed = kStreamSeed;
+  runtime::ReplayUpdateStream inner(snapshot, stream_config);
+  runtime::UpdateStream* stream = &inner;
+  std::unique_ptr<runtime::FaultInjector> injector;
+  if (fault_rate > 0.0) {
+    injector = std::make_unique<runtime::FaultInjector>(
+        inner, runtime::FaultProfile::uniform(fault_rate, kFaultSeed),
+        snapshot.graph.pool_count());
+    stream = injector.get();
+  }
+  std::size_t events = 0;
+  while (auto event = stream->next()) {
+    EXPECT_TRUE(service->publish(*event));
+    ++events;
+  }
+  // The clean stream delivers exactly blocks * pool_count (>= 1000)
+  // events; the faulted one drops/duplicates a few percent around that.
+  EXPECT_GE(events, 900u) << "the sweep is specified over ~1000 events";
+  service->drain();
+  EXPECT_TRUE(service->status().ok()) << service->status().error().message;
+
+  RunResult result;
+  service->opportunities_into(result.opportunities);
+  result.quarantined = service->quarantined_pools();
+  const runtime::MetricsSnapshot metrics = service->metrics();
+  result.rejected = metrics.events_rejected;
+  result.repriced = metrics.loops_repriced;
+  result.shard_repriced = metrics.shard_repriced;
+  service->stop();
+  return result;
+}
+
+/// Mirror reference: the accepted-event state and quarantine trajectory
+/// the service should end at, replayed on the side (same construction as
+/// the chaos differential).
+market::MarketSnapshot mirror_reference(
+    const market::MarketSnapshot& snapshot,
+    const runtime::ValidationConfig& validation, double fault_rate,
+    std::size_t blocks, std::vector<PoolId>& quarantined_out) {
+  runtime::ReplayStreamConfig stream_config;
+  stream_config.blocks = blocks;
+  stream_config.seed = kStreamSeed;
+  runtime::ReplayUpdateStream inner(snapshot, stream_config);
+  runtime::UpdateStream* stream = &inner;
+  std::unique_ptr<runtime::FaultInjector> injector;
+  if (fault_rate > 0.0) {
+    injector = std::make_unique<runtime::FaultInjector>(
+        inner, runtime::FaultProfile::uniform(fault_rate, kFaultSeed),
+        snapshot.graph.pool_count());
+    stream = injector.get();
+  }
+  market::MarketSnapshot reference = snapshot;
+  runtime::EventValidator mirror(reference.graph, validation);
+  while (auto event = stream->next()) {
+    if (!mirror.check(*event).accepted) continue;
+    if (event->liquidity > 0.0) {
+      EXPECT_TRUE(reference.graph
+                      .set_concentrated_state(event->pool, event->liquidity,
+                                              event->price)
+                      .ok());
+    } else {
+      EXPECT_TRUE(reference.graph
+                      .set_pool_reserves(event->pool, event->reserve0,
+                                         event->reserve1)
+                      .ok());
+    }
+  }
+  quarantined_out = mirror.quarantined_pools();
+  return reference;
+}
+
+/// The full sweep: identical streams at every K, cross-compared and
+/// (when `check_scan` is set) compared against the fresh-scan oracle.
+void run_shard_sweep(const market::MarketSnapshot& snapshot,
+                     const core::ScannerConfig& scanner_config,
+                     double fault_rate, std::size_t blocks, bool check_scan) {
+  SCOPED_TRACE("fault rate " + std::to_string(fault_rate));
+  std::vector<RunResult> runs;
+  for (const std::size_t k : kShardSweep) {
+    SCOPED_TRACE("shards " + std::to_string(k));
+    runs.push_back(
+        run_stream(snapshot, scanner_config, k, fault_rate, blocks));
+    ASSERT_EQ(runs.back().shard_repriced.size(), k);
+  }
+  const RunResult& base = runs.front();
+  for (std::size_t i = 1; i < runs.size(); ++i) {
+    SCOPED_TRACE("K=" + std::to_string(kShardSweep[i]) + " vs K=1");
+    expect_identical(base.opportunities, runs[i].opportunities);
+    EXPECT_EQ(base.rejected, runs[i].rejected);
+    EXPECT_EQ(base.quarantined, runs[i].quarantined);
+    EXPECT_EQ(base.repriced, runs[i].repriced);
+    // The per-shard counters partition the global one.
+    std::uint64_t shard_total = 0;
+    for (const std::uint64_t n : runs[i].shard_repriced) shard_total += n;
+    EXPECT_EQ(shard_total, runs[i].repriced);
+  }
+  if (!check_scan) return;
+
+  std::vector<PoolId> quarantined;
+  const market::MarketSnapshot reference = mirror_reference(
+      snapshot, runtime::ValidationConfig{}, fault_rate, blocks, quarantined);
+  EXPECT_EQ(base.quarantined, quarantined);
+  std::unordered_set<std::uint32_t> dead;
+  for (const PoolId pool : quarantined) dead.insert(pool.value());
+  auto expected =
+      core::scan_market(reference.graph, reference.prices, scanner_config)
+          .value();
+  std::erase_if(expected, [&dead](const core::Opportunity& op) {
+    return std::any_of(op.cycle.pools().begin(), op.cycle.pools().end(),
+                       [&dead](PoolId pool) {
+                         return dead.count(pool.value()) != 0;
+                       });
+  });
+  expect_identical(expected, base.opportunities);
+}
+
+TEST(ShardDifferentialTest, AllCpmmMarket) {
+  market::GeneratorConfig gen;
+  gen.token_count = 18;
+  gen.pool_count = 40;
+  const market::MarketSnapshot snapshot = market::generate_snapshot(gen);
+  ASSERT_TRUE(snapshot.graph.all_cpmm());
+
+  core::ScannerConfig scanner;
+  scanner.loop_lengths = {3};
+  // 40 pools x 25 blocks = 1000 clean events; the faulted replay pulls
+  // the same stream through the injector.
+  for (const double rate : {0.0, 0.10}) {
+    run_shard_sweep(snapshot, scanner, rate, /*blocks=*/25,
+                    /*check_scan=*/true);
+  }
+}
+
+TEST(ShardDifferentialTest, MixedVenueMarket) {
+  market::GeneratorConfig gen;
+  gen.token_count = 20;
+  gen.pool_count = 48;
+  gen.stable_fraction = 0.2;
+  gen.concentrated_fraction = 0.2;
+  const market::MarketSnapshot snapshot = market::generate_snapshot(gen);
+  ASSERT_FALSE(snapshot.graph.all_cpmm());
+
+  // Convex with warm starts off keeps every reprice bit-comparable to
+  // the from-scratch scan (the K=1 parity the chaos suite established).
+  core::ScannerConfig scanner;
+  scanner.loop_lengths = {3};
+  scanner.strategy = core::StrategyKind::kConvexOptimization;
+  for (const double rate : {0.0, 0.10}) {
+    run_shard_sweep(snapshot, scanner, rate, /*blocks=*/21,
+                    /*check_scan=*/true);
+  }
+}
+
+TEST(ShardDifferentialTest, WarmStartsIdenticalAcrossShards) {
+  market::GeneratorConfig gen;
+  gen.token_count = 18;
+  gen.pool_count = 40;
+  const market::MarketSnapshot snapshot = market::generate_snapshot(gen);
+
+  // Warm starts make each solve depend on the cycle's *own* history,
+  // which shards preserve exactly (exclusive slot ownership) — so the
+  // sweep must still agree across K. The fresh-scan oracle is skipped:
+  // a warm-started trajectory legitimately differs from a cold scan at
+  // the last-ulp level.
+  core::ScannerConfig scanner;
+  scanner.loop_lengths = {3};
+  scanner.strategy = core::StrategyKind::kConvexOptimization;
+  scanner.convex_warm_start = true;
+  for (const double rate : {0.0, 0.10}) {
+    run_shard_sweep(snapshot, scanner, rate, /*blocks=*/25,
+                    /*check_scan=*/false);
+  }
+}
+
+}  // namespace
+}  // namespace arb

@@ -121,6 +121,46 @@ TEST(RuntimeMetricsTest, SolverCountersRoundTripThroughCsv) {
   std::remove(path.c_str());
 }
 
+TEST(RuntimeMetricsTest, ShardCountersFlowThroughSnapshotAndCsv) {
+  RuntimeMetrics metrics;
+  metrics.set_shard_plan(4, 1.25);
+  metrics.add_shard_repriced(0, 10);
+  metrics.add_shard_repriced(1, 4);
+  metrics.add_shard_repriced(2, 7);
+  metrics.add_shard_repriced(1, 2);
+
+  const MetricsSnapshot snap = metrics.snapshot();
+  EXPECT_EQ(snap.shards, 4u);
+  EXPECT_DOUBLE_EQ(snap.shard_imbalance, 1.25);
+  ASSERT_EQ(snap.shard_repriced.size(), 4u);
+  EXPECT_EQ(snap.shard_repriced[0], 10u);
+  EXPECT_EQ(snap.shard_repriced[1], 6u);
+  EXPECT_EQ(snap.shard_repriced[2], 7u);
+  EXPECT_EQ(snap.shard_repriced[3], 0u);
+  EXPECT_EQ(snap.shard_repriced_min(), 0u);
+  EXPECT_EQ(snap.shard_repriced_max(), 10u);
+  EXPECT_NE(snap.summary().find("shards=4"), std::string::npos);
+
+  const std::string path = ::testing::TempDir() + "runtime_metrics_shard.csv";
+  ASSERT_TRUE(write_metrics_csv({snap}, path).ok());
+  const auto table = read_csv_file(path).value();
+  EXPECT_EQ(table.header, MetricsSnapshot::csv_columns());
+  ASSERT_EQ(table.rows.size(), 1u);
+  EXPECT_EQ(table.rows[0][table.column_index("shards")], "4");
+  EXPECT_EQ(table.rows[0][table.column_index("shard_repriced_min")], "0");
+  EXPECT_EQ(table.rows[0][table.column_index("shard_repriced_max")], "10");
+  std::remove(path.c_str());
+}
+
+TEST(RuntimeMetricsTest, DefaultSnapshotHasSingleShardGauges) {
+  RuntimeMetrics metrics;
+  const MetricsSnapshot snap = metrics.snapshot();
+  EXPECT_EQ(snap.shards, 1u);
+  EXPECT_TRUE(snap.shard_repriced.empty());
+  EXPECT_EQ(snap.shard_repriced_min(), 0u);
+  EXPECT_EQ(snap.shard_repriced_max(), 0u);
+}
+
 TEST(RuntimeMetricsTest, CsvRoundTrip) {
   RuntimeMetrics metrics;
   metrics.add_ingested(42);

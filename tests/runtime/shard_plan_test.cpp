@@ -1,0 +1,147 @@
+// ShardPlan unit tests: the partition is deterministic, covers the
+// universe exactly once, routes multi-shard pools to every owner, and
+// the greedy balance pass keeps the load spread tight.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "market/generator.hpp"
+#include "market/snapshot.hpp"
+#include "runtime/pool_index.hpp"
+#include "runtime/shard_plan.hpp"
+
+namespace arb {
+namespace {
+
+runtime::PoolCycleIndex sample_index(std::size_t tokens, std::size_t pools) {
+  market::GeneratorConfig gen;
+  gen.token_count = tokens;
+  gen.pool_count = pools;
+  const market::MarketSnapshot snapshot = market::generate_snapshot(gen);
+  return runtime::PoolCycleIndex::build(snapshot.graph, {2, 3}).value();
+}
+
+TEST(ShardPlanTest, RejectsZeroShards) {
+  const auto index = sample_index(12, 24);
+  EXPECT_FALSE(runtime::ShardPlan::build(index, 0).ok());
+}
+
+TEST(ShardPlanTest, ExclusiveCoverage) {
+  const auto index = sample_index(16, 36);
+  for (const std::size_t k : {1u, 2u, 4u, 8u}) {
+    const auto plan = runtime::ShardPlan::build(index, k).value();
+    ASSERT_EQ(plan.shard_count(), k);
+    // Every universe cycle appears in exactly one shard, at the local
+    // position shard_of/local_of claim.
+    std::vector<std::size_t> seen(index.cycles().size(), 0);
+    for (std::size_t s = 0; s < k; ++s) {
+      const auto& cycles = plan.cycles_of(s);
+      EXPECT_TRUE(std::is_sorted(cycles.begin(), cycles.end()));
+      for (std::size_t local = 0; local < cycles.size(); ++local) {
+        const std::uint32_t universe = cycles[local];
+        ++seen[universe];
+        EXPECT_EQ(plan.shard_of(universe), s);
+        EXPECT_EQ(plan.local_of(universe), local);
+      }
+    }
+    for (const std::size_t count : seen) EXPECT_EQ(count, 1u);
+    // Loads are the per-shard pool fan-out.
+    std::size_t total_load = 0;
+    for (std::size_t s = 0; s < k; ++s) {
+      std::size_t load = 0;
+      for (const std::uint32_t universe : plan.cycles_of(s)) {
+        load += index.cycles()[universe].length();
+      }
+      EXPECT_EQ(plan.loads()[s], load);
+      total_load += load;
+    }
+    std::size_t universe_load = 0;
+    for (const auto& cycle : index.cycles()) universe_load += cycle.length();
+    EXPECT_EQ(total_load, universe_load);
+  }
+}
+
+TEST(ShardPlanTest, PoolRoutingMatchesInvertedIndex) {
+  const auto index = sample_index(16, 36);
+  const auto plan = runtime::ShardPlan::build(index, 4).value();
+  for (std::size_t p = 0; p < index.pool_count(); ++p) {
+    const PoolId pool{static_cast<PoolId::underlying_type>(p)};
+    // shards_of_pool = exactly the owners of the pool's cycles.
+    std::vector<std::uint32_t> expected_shards;
+    for (const std::uint32_t cycle : index.cycles_of(pool)) {
+      expected_shards.push_back(plan.shard_of(cycle));
+    }
+    std::sort(expected_shards.begin(), expected_shards.end());
+    expected_shards.erase(
+        std::unique(expected_shards.begin(), expected_shards.end()),
+        expected_shards.end());
+    EXPECT_EQ(plan.shards_of_pool(pool), expected_shards);
+    // The per-shard sub-index lists exactly the pool's local positions.
+    for (std::size_t s = 0; s < plan.shard_count(); ++s) {
+      std::vector<std::uint32_t> expected_locals;
+      for (const std::uint32_t cycle : index.cycles_of(pool)) {
+        if (plan.shard_of(cycle) == s) {
+          expected_locals.push_back(plan.local_of(cycle));
+        }
+      }
+      std::sort(expected_locals.begin(), expected_locals.end());
+      EXPECT_EQ(plan.sub_index(s, pool), expected_locals);
+    }
+  }
+}
+
+TEST(ShardPlanTest, Deterministic) {
+  const auto index = sample_index(16, 36);
+  for (const std::size_t k : {2u, 4u, 8u}) {
+    const auto a = runtime::ShardPlan::build(index, k).value();
+    const auto b = runtime::ShardPlan::build(index, k).value();
+    ASSERT_EQ(a.shard_count(), b.shard_count());
+    for (std::size_t i = 0; i < index.cycles().size(); ++i) {
+      EXPECT_EQ(a.shard_of(static_cast<std::uint32_t>(i)),
+                b.shard_of(static_cast<std::uint32_t>(i)));
+      EXPECT_EQ(a.local_of(static_cast<std::uint32_t>(i)),
+                b.local_of(static_cast<std::uint32_t>(i)));
+    }
+    EXPECT_EQ(a.loads(), b.loads());
+  }
+}
+
+TEST(ShardPlanTest, BalancePassKeepsSpreadTight) {
+  const auto index = sample_index(20, 48);
+  std::size_t universe_load = 0;
+  for (const auto& cycle : index.cycles()) universe_load += cycle.length();
+  for (const std::size_t k : {2u, 4u}) {
+    const auto plan = runtime::ShardPlan::build(index, k).value();
+    const auto [lo, hi] =
+        std::minmax_element(plan.loads().begin(), plan.loads().end());
+    // After the greedy pass no single move can narrow the spread, which
+    // bounds max-min by the largest cycle length (3 hops here).
+    EXPECT_LE(*hi - *lo, 3u);
+    EXPECT_GE(plan.imbalance(), 1.0);
+    EXPECT_LT(plan.imbalance(),
+              1.0 + 3.0 * static_cast<double>(k) /
+                        static_cast<double>(universe_load));
+  }
+}
+
+TEST(ShardPlanTest, MoreShardsThanCycles) {
+  market::GeneratorConfig gen;
+  gen.token_count = 5;
+  gen.pool_count = 7;
+  gen.hub_count = 3;
+  const market::MarketSnapshot snapshot = market::generate_snapshot(gen);
+  const auto index =
+      runtime::PoolCycleIndex::build(snapshot.graph, {3}).value();
+  ASSERT_LT(index.cycles().size(), 64u);
+  const auto plan = runtime::ShardPlan::build(index, 64).value();
+  EXPECT_EQ(plan.shard_count(), 64u);
+  std::size_t assigned = 0;
+  for (std::size_t s = 0; s < 64; ++s) assigned += plan.cycles_of(s).size();
+  EXPECT_EQ(assigned, index.cycles().size());
+}
+
+}  // namespace
+}  // namespace arb

@@ -1,4 +1,4 @@
-#include "tests/testkit/oracle.hpp"
+#include "testkit/oracle.hpp"
 
 #include <gtest/gtest.h>
 

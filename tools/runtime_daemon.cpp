@@ -2,10 +2,12 @@
 // it as a pool-update stream through the ScannerService, and reports the
 // ranked opportunity set plus the metrics layer's view of the run.
 //
-// Usage: runtime_daemon [snapshot_dir] [blocks] [worker_threads]
-//                       [fault_rate] [fault_seed]
-// Defaults: the repo's data/sample_snapshot, 50 blocks, 4 threads, no
-// fault injection. A positive fault_rate wraps the stream in a seeded
+// Usage: runtime_daemon [--shards N] [snapshot_dir] [blocks]
+//                       [worker_threads] [fault_rate] [fault_seed]
+// Defaults: the repo's data/sample_snapshot, 50 blocks, 4 threads, one
+// shard, no fault injection. --shards N partitions the cycle universe
+// across N parallel shard scanners (the ranked output is bit-identical
+// for any N). A positive fault_rate wraps the stream in a seeded
 // FaultInjector (uniform rate across all five fault classes) to exercise
 // the validation/quarantine stage; the run then reports the injector's
 // fault counts next to the service's rejection metrics.
@@ -37,19 +39,37 @@ namespace {
 }  // namespace
 
 int main(int argc, char** argv) {
+  int shards_arg = 1;
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--shards") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--shards needs a value\n");
+        return 2;
+      }
+      shards_arg = std::atoi(argv[++i]);
+      continue;
+    }
+    positional.emplace_back(argv[i]);
+  }
   const std::string dir =
-      argc > 1 ? argv[1] : std::string(ARB_REPO_DIR) + "/data/sample_snapshot";
-  const int blocks_arg = argc > 2 ? std::atoi(argv[2]) : 50;
-  const int threads_arg = argc > 3 ? std::atoi(argv[3]) : 4;
-  const double fault_rate = argc > 4 ? std::atof(argv[4]) : 0.0;
-  const long long fault_seed = argc > 5 ? std::atoll(argv[5]) : 1;
-  if (blocks_arg <= 0 || threads_arg <= 0 || fault_rate < 0.0 ||
-      fault_rate > 1.0) {
+      !positional.empty() ? positional[0]
+                          : std::string(ARB_REPO_DIR) + "/data/sample_snapshot";
+  const int blocks_arg =
+      positional.size() > 1 ? std::atoi(positional[1].c_str()) : 50;
+  const int threads_arg =
+      positional.size() > 2 ? std::atoi(positional[2].c_str()) : 4;
+  const double fault_rate =
+      positional.size() > 3 ? std::atof(positional[3].c_str()) : 0.0;
+  const long long fault_seed =
+      positional.size() > 4 ? std::atoll(positional[4].c_str()) : 1;
+  if (blocks_arg <= 0 || threads_arg <= 0 || shards_arg <= 0 ||
+      fault_rate < 0.0 || fault_rate > 1.0) {
     std::fprintf(stderr,
-                 "usage: runtime_daemon [snapshot_dir] [blocks] "
-                 "[worker_threads] [fault_rate] [fault_seed]\nblocks and "
-                 "worker_threads must be positive integers, fault_rate in "
-                 "[0, 1]\n");
+                 "usage: runtime_daemon [--shards N] [snapshot_dir] [blocks] "
+                 "[worker_threads] [fault_rate] [fault_seed]\nblocks, "
+                 "worker_threads and shards must be positive integers, "
+                 "fault_rate in [0, 1]\n");
     return 2;
   }
   const auto blocks = static_cast<std::size_t>(blocks_arg);
@@ -78,6 +98,7 @@ int main(int argc, char** argv) {
   runtime::ServiceConfig config;
   config.scanner.loop_lengths = {3};
   config.worker_threads = threads;
+  config.shards = static_cast<std::size_t>(shards_arg);
   auto service = runtime::ScannerService::start(snapshot, config);
   if (!service) die("ScannerService::start", service.error());
 
@@ -115,7 +136,8 @@ int main(int argc, char** argv) {
     die("service", status.error());
   }
 
-  const auto opportunities = (*service)->opportunities();
+  std::vector<core::Opportunity> opportunities;
+  (*service)->opportunities_into(opportunities);
   const auto quarantined = (*service)->quarantined_pools();
   const runtime::MetricsSnapshot metrics = (*service)->metrics();
   (*service)->stop();
@@ -163,6 +185,13 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(metrics.loops_repriced_mixed),
               metrics.mixed_reprice_p50_us, metrics.mixed_reprice_p99_us,
               metrics.mixed_reprice_max_us);
+  std::printf("shard router: %llu shards, plan imbalance %.3f\n",
+              static_cast<unsigned long long>(metrics.shards),
+              metrics.shard_imbalance);
+  for (std::size_t s = 0; s < metrics.shard_repriced.size(); ++s) {
+    std::printf("  shard %zu: %llu loops repriced\n", s,
+                static_cast<unsigned long long>(metrics.shard_repriced[s]));
+  }
   std::printf("\ntop opportunities after final block:\n");
   const std::size_t top = std::min<std::size_t>(5, opportunities.size());
   for (std::size_t i = 0; i < top; ++i) {
