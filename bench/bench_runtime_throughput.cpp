@@ -10,7 +10,12 @@
 //   (e) the convex workload on a mixed-venue market (per-kind split),
 //   (f) a shard sweep: deterministic batch replay through the sharded
 //       scanner at K ∈ {1, 2, 4, 8}, with a K=4 ≥ K=1-median throughput
-//       bar under ARB_BENCH_SHARD_STRICT.
+//       bar under ARB_BENCH_SHARD_STRICT,
+//   (g) a pipelined sweep: the same batches driven through the staged
+//       epoch API (begin N+1 overlapped with reprice N) at the same K
+//       grid, against an inline serial K=1 baseline; perf-smoke exports
+//       ARB_BENCH_PIPELINE_STRICT demanding monotone scaling and K=8
+//       pipelined ≥ 2.0× the serial median.
 // All latencies are warmed-up order statistics (median/p99), not
 // single-shot means. Emits runtime_throughput.csv, runtime_throughput.svg
 // and the machine-readable BENCH_runtime.json.
@@ -271,6 +276,80 @@ int main() {
     }
   }
 
+  // (g) Pipelined sweep: identical batches through the staged epoch API —
+  // begin_epoch(N+1) writes the back buffer while epoch N's lanes still
+  // read the frozen front — at the same K grid, plus an inline serial
+  // K=1 run (no worker pool at all) as the scaling denominator. Reps are
+  // interleaved with the serial baseline for the same drift-fairness as
+  // the (f) sweep.
+  std::vector<SweepPoint> pipelined(sweep_ks.size());
+  std::vector<std::vector<double>> pipelined_rates(sweep_ks.size());
+  std::vector<double> serial_rates;
+  for (int rep = 0; rep < kSweepReps; ++rep) {
+    {
+      auto serial = bench::expect_ok(
+          runtime::IncrementalScanner::create(snapshot, config, nullptr),
+          "IncrementalScanner::create (serial baseline)");
+      const double t0 = now_us();
+      for (const auto& batch : sweep_batches) {
+        (void)bench::expect_ok(serial.apply(batch), "apply (serial)");
+      }
+      serial.collect_into(poll);
+      serial_rates.push_back(static_cast<double>(sweep_events) /
+                             ((now_us() - t0) * 1e-6));
+    }
+    for (std::size_t i = 0; i < sweep_ks.size(); ++i) {
+      auto staged = bench::expect_ok(
+          runtime::IncrementalScanner::create(snapshot, config, &sweep_pool,
+                                              sweep_ks[i]),
+          "IncrementalScanner::create (pipelined sweep)");
+      const double t0 = now_us();
+      bool inflight = false;
+      for (const auto& batch : sweep_batches) {
+        (void)bench::expect_ok(staged.begin_epoch(batch),
+                               "begin_epoch (pipelined sweep)");
+        if (inflight) {
+          (void)bench::expect_ok(staged.wait_reprice(),
+                                 "wait_reprice (pipelined sweep)");
+        }
+        staged.commit_epoch();
+        staged.launch_reprice();
+        inflight = true;
+      }
+      if (inflight) {
+        (void)bench::expect_ok(staged.wait_reprice(),
+                               "wait_reprice (pipelined sweep drain)");
+      }
+      staged.collect_into(poll);
+      const double elapsed_us = now_us() - t0;
+      pipelined_rates[i].push_back(static_cast<double>(sweep_events) /
+                                   (elapsed_us * 1e-6));
+      pipelined[i].shards = sweep_ks[i];
+      pipelined[i].imbalance = staged.plan().imbalance();
+      pipelined[i].ranked = poll.size();
+    }
+  }
+  std::sort(serial_rates.begin(), serial_rates.end());
+  const double serial_median = serial_rates[serial_rates.size() / 2];
+  for (std::size_t i = 0; i < sweep_ks.size(); ++i) {
+    std::vector<double>& rates = pipelined_rates[i];
+    std::sort(rates.begin(), rates.end());
+    pipelined[i].events_per_sec = rates.back();
+    pipelined[i].median_events_per_sec = rates[rates.size() / 2];
+  }
+  // The pipelined path must publish the same ranked set as the plain
+  // sharded path — the differential suite proves bit-identity; the size
+  // check here is the cheap canary.
+  for (const SweepPoint& point : pipelined) {
+    if (point.ranked != sweep.front().ranked) {
+      std::fprintf(stderr,
+                   "FAIL: pipelined sweep ranked-set size diverged (K=%zu: "
+                   "%zu vs %zu)\n",
+                   point.shards, point.ranked, sweep.front().ranked);
+      return 1;
+    }
+  }
+
   auto scanner = bench::expect_ok(
       runtime::IncrementalScanner::create(snapshot, config, nullptr),
       "IncrementalScanner::create");
@@ -340,6 +419,13 @@ int main() {
     json.set(prefix + ".imbalance", point.imbalance);
     json.set(prefix + ".ranked", static_cast<double>(point.ranked));
   }
+  json.set("shard_sweep.serial_k1.median_events_per_sec", serial_median);
+  for (const SweepPoint& point : pipelined) {
+    const std::string prefix = "shard_sweep.k" + std::to_string(point.shards);
+    json.set(prefix + ".pipelined_events_per_sec", point.events_per_sec);
+    json.set(prefix + ".pipelined_median_events_per_sec",
+             point.median_events_per_sec);
+  }
   if (!json.write("BENCH_runtime.json")) return 1;
 
   std::printf("\nincremental vs full rescan speedup: %.1fx (median)\n",
@@ -361,6 +447,12 @@ int main() {
         "  K=%zu: %.0f/%.0f events/sec, plan imbalance %.3f, %zu ranked\n",
         point.shards, point.events_per_sec, point.median_events_per_sec,
         point.imbalance, point.ranked);
+  }
+  std::printf("pipelined sweep (serial inline K=1 median %.0f ev/s):\n",
+              serial_median);
+  for (const SweepPoint& point : pipelined) {
+    std::printf("  K=%zu: %.0f/%.0f events/sec pipelined\n", point.shards,
+                point.events_per_sec, point.median_events_per_sec);
   }
   std::printf("metrics: %s\n", metrics.summary().c_str());
 
@@ -394,13 +486,13 @@ int main() {
                  speedup, speedup_bar);
     return 1;
   }
-  // The replay stream is adversarial for warm starts: pool shocks are
-  // large enough to flip loops between profitable and profitless, and a
-  // profitless visit invalidates the cycle's slot (there is no optimum to
-  // store). The controlled small-perturbation workload in
-  // bench_solver_hotpath holds the ≥95% bar; here the bar only checks the
-  // cache engages meaningfully on realistic traffic.
-  const double hit_bar = relaxed ? 0.2 : 0.3;
+  // Warm slots now survive profitless visits and the interior projection
+  // rebuilds the tight Möbius chain on the perturbed pools, so even the
+  // flickering loops of this replay stream should mostly resume warm.
+  // The controlled small-perturbation workload in bench_solver_hotpath
+  // holds the ≥95% bar; this bar checks realistic flickering traffic
+  // keeps the cache engaged well past the old invalidate-on-gate ~46%.
+  const double hit_bar = relaxed ? 0.5 : 0.6;
   if (convex_solves > 0 && warm_hit_rate < hit_bar) {
     std::fprintf(stderr,
                  "FAIL: convex stream warm hit rate %.2f below %.2f bar\n",
@@ -423,6 +515,33 @@ int main() {
                    "FAIL: 4-shard throughput %.0f ev/s below %.2fx the "
                    "single-shard median %.0f ev/s\n",
                    k4_rate, shard_bar, k1_median);
+      return 1;
+    }
+  }
+  // Pipelined-scaling bar: only perf-smoke (multi-core, quiet) exports
+  // ARB_BENCH_PIPELINE_STRICT. Medians must not collapse as K grows
+  // (0.95 tolerance absorbs same-distribution jitter), and K=8 pipelined
+  // must beat 2.0× the serial inline median — the write/reprice overlap
+  // plus lane parallelism has to buy real wall-clock, not just hide in
+  // the shard bar above.
+  if (std::getenv("ARB_BENCH_PIPELINE_STRICT") != nullptr) {
+    for (std::size_t i = 1; i < pipelined.size(); ++i) {
+      if (pipelined[i].median_events_per_sec <
+          0.95 * pipelined[i - 1].median_events_per_sec) {
+        std::fprintf(stderr,
+                     "FAIL: pipelined throughput not monotone (K=%zu median "
+                     "%.0f < 0.95x K=%zu median %.0f)\n",
+                     pipelined[i].shards, pipelined[i].median_events_per_sec,
+                     pipelined[i - 1].shards,
+                     pipelined[i - 1].median_events_per_sec);
+        return 1;
+      }
+    }
+    if (pipelined.back().events_per_sec < 2.0 * serial_median) {
+      std::fprintf(stderr,
+                   "FAIL: K=8 pipelined %.0f ev/s below 2.0x the serial "
+                   "inline median %.0f ev/s\n",
+                   pipelined.back().events_per_sec, serial_median);
       return 1;
     }
   }

@@ -179,4 +179,13 @@ T expect_ok(Result<T> result, const char* what) {
   return std::move(result).value();
 }
 
+/// Status overload for payload-free operations (staged epoch calls, ...).
+inline void expect_ok(const Status& status, const char* what) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s failed: %s\n", what,
+                 status.error().to_string().c_str());
+    std::exit(1);
+  }
+}
+
 }  // namespace arb::bench

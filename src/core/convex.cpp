@@ -105,46 +105,49 @@ struct LoopNormalization {
 };
 
 /// Projects a previous optimum back into the strict interior of the
-/// reduced feasible set after a reserve perturbation. The stored iterate
-/// typically sits ON the perturbed flow boundaries (active constraints
-/// were tight at the old optimum), so a forward pass re-establishes a
-/// strict margin: d'_{i+1} = min(d_{i+1}, (1−ε)·F_i(d'_i)). The margin
-/// is matched by the caller to the restart sharpness (≈1/t₀), keeping
-/// the start near the central path instead of wedged against the
-/// boundary. If the wrap-around constraint d_0 < F_{n−1}(d_{n−1}) ends
-/// up violated, the whole vector is scaled down geometrically: each
-/// F_i is concave through the origin, so F_i(s·d) ≥ s·F_i(d) for
-/// s ∈ (0,1] and the flow margins survive the scaling while the wrap
-/// slack grows. Returns false — caller cold-starts — when any input is
-/// non-positive or no scale restores strict wrap slack.
+/// reduced feasible set after a reserve perturbation. At a convex
+/// optimum every intermediate flow constraint is tight (forwarding more
+/// through a monotone F_i is always better), so the stored iterate is —
+/// up to the perturbation δ — the tight chain d_{i+1} = F_i(d_i) grown
+/// from its own first component. The projection rebuilds exactly that
+/// chain on the perturbed pools, anchored at a₀ = min(d₀, ¾·Δ̄) where Δ̄
+/// is the loop's break-even input (the fixed point of the whole-loop
+/// Möbius map G; the cap keeps the anchor interior when the perturbation
+/// pushed d₀ past break-even). Each link is shaved by
+///   ε = min(margin, 1 − (a₀/G(a₀))^{1/2n}),
+/// which makes every flow constraint strict while provably preserving
+/// wrap slack: concavity of each F_i through the origin gives
+/// F_{n−1}(d_{n−1}) ≥ (1−ε)^{n−1}·G(a₀) > a₀ because
+/// (1−ε)^{2n} ≥ a₀/G(a₀). Scaling ε with the loop's own profitability is
+/// what earlier margin-first schemes missed: a fixed shave larger than
+/// the wrap slack leaves a barely-profitable loop with NO margin-
+/// feasible point at all, cold-starting exactly the flickering loops
+/// warm restarts are for. Returns false — caller cold-starts — when the
+/// anchor is non-positive or the perturbed loop is numerically
+/// profitless end-to-end.
 bool project_interior(const std::vector<LoopHopData>& hops, math::Vector& d,
                       double margin) {
   const std::size_t n = hops.size();
-  for (std::size_t i = 0; i < n; ++i) {
-    if (!(d[i] > 0.0) || !std::isfinite(d[i])) return false;
+  if (!(d[0] > 0.0) || !std::isfinite(d[0])) return false;
+  amm::MobiusCoefficients loop = amm::MobiusCoefficients::identity();
+  for (const LoopHopData& hop : hops) {
+    loop = loop.then_hop(hop.reserve_in, hop.reserve_out, hop.gamma);
   }
+  // G(Δ) = aΔ/(b+cΔ); profitable loops have a > b, break-even (a−b)/c.
+  if (!(loop.a > loop.b) || !(loop.c > 0.0)) return false;
+  const double break_even = (loop.a - loop.b) / loop.c;
+  const double anchor = std::min(d[0], 0.75 * break_even);
+  const double gain = loop.evaluate(anchor);
+  if (!(anchor > 0.0) || !(gain > anchor)) return false;
+  const double shave = std::min(
+      margin,
+      1.0 - std::pow(anchor / gain, 1.0 / (2.0 * static_cast<double>(n))));
+  if (!(shave > 0.0)) return false;
+  d[0] = anchor;
   for (std::size_t i = 0; i + 1 < n; ++i) {
-    const double cap = hops[i].swap(d[i]) * (1.0 - margin);
-    if (!(cap > 0.0)) return false;
-    d[i + 1] = std::min(d[i + 1], cap);
+    d[i + 1] = hops[i].swap(d[i]) * (1.0 - shave);
+    if (!(d[i + 1] > 0.0)) return false;
   }
-  const auto wrap_ok = [&](double s) {
-    return s * d[0] < hops[n - 1].swap(s * d[n - 1]) * (1.0 - margin);
-  };
-  if (wrap_ok(1.0)) return true;
-  // Find the LARGEST feasible scale: any distance we give up here is
-  // tangential travel the first centering must re-earn crawling along
-  // the barrier valley, so a crude fixed back-off (e.g. 0.7) would wreck
-  // the restart far more than the wrap violation itself (~δ) warrants.
-  double lo = 0.5;
-  for (int probe = 0; probe < 40 && !wrap_ok(lo); ++probe) lo *= 0.5;
-  if (!wrap_ok(lo)) return false;
-  double hi = 1.0;
-  for (int bisect = 0; bisect < 30; ++bisect) {
-    const double mid = 0.5 * (lo + hi);
-    (wrap_ok(mid) ? lo : hi) = mid;
-  }
-  for (std::size_t i = 0; i < n; ++i) d[i] *= lo;
   return true;
 }
 
@@ -217,7 +220,14 @@ Result<ConvexSolution> solve_convex(const graph::TokenGraph& graph,
   // Negated-comparison form so a NaN product (corrupted reserves) lands
   // here as "no opportunity" instead of falling through to the solver.
   if (!(cycle.price_product(graph) > 1.0 + options.no_arbitrage_margin)) {
-    if (ctx.warm) ctx.warm->valid = false;  // zero optimum has no interior
+    // The warm slot is deliberately KEPT. A profitless visit proves the
+    // current state has a zero optimum, not that the cached iterate is
+    // bad: when the loop swings profitable again the previous interior
+    // point is still an excellent restart (the interior projection and
+    // strict-feasibility check already guard against a genuinely stale
+    // iterate, falling back to cold). Invalidating here is what starved
+    // the streaming warm-hit rate — every gated visit forced the next
+    // profitable solve cold.
     return zero_solution(cycle);
   }
 
@@ -330,9 +340,8 @@ Result<ConvexSolution> solve_convex(const graph::TokenGraph& graph,
       for (std::size_t i = 0; i < n; ++i) {
         start_point[i] = ctx.warm->x[i] / norm.token_unit[i];
       }
-      const bool proj = project_interior(hops, start_point, margin);
-      const bool feas = proj && problem.strictly_feasible(start_point);
-      if (feas) {
+      if (project_interior(hops, start_point, margin) &&
+          problem.strictly_feasible(start_point)) {
         warm_used = true;
         barrier_options.initial_t = restart_t;
         barrier_options.gap_tolerance = std::max(

@@ -97,6 +97,18 @@ class MarketView {
                                              : rel_price1_[pool.value()];
   }
 
+  /// Raw cached relative-price arrays (indexed by PoolId value) backing
+  /// relative_price(). The runtime's SoA gate sweep walks these
+  /// contiguously — reading the same doubles relative_price() returns,
+  /// so any product computed from them in cycle order stays bit-identical
+  /// to price_product().
+  [[nodiscard]] const double* rel_price0_data() const {
+    return rel_price0_.data();
+  }
+  [[nodiscard]] const double* rel_price1_data() const {
+    return rel_price1_.data();
+  }
+
   /// Product of relative prices around the cycle — bit-identical to
   /// `cycle.price_product(graph)` at the view's epoch, computed from the
   /// dense arrays (no variant dispatch, no division).

@@ -1,0 +1,75 @@
+#include "runtime/epoch_market.hpp"
+
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace arb::runtime {
+
+EpochMarket::EpochMarket(market::MarketSnapshot snapshot) {
+  snaps_[0] = std::move(snapshot);
+  snaps_[1] = snaps_[0];
+  views_[0] = market::MarketView::build(snaps_[0].graph, snaps_[0].prices);
+  views_[1] = views_[0];
+}
+
+void EpochMarket::begin_writes() {
+  for (const PoolUpdateEvent& event : catch_up_) {
+    // The event already applied cleanly to the other buffer from the
+    // same starting state, so the replay cannot fail.
+    Status replayed = apply_to_back(event);
+    ARB_REQUIRE(replayed.ok(), "epoch catch-up replay failed");
+  }
+  catch_up_.clear();
+}
+
+Status EpochMarket::write(const PoolUpdateEvent& event) {
+  if (Status applied = apply_to_back(event); !applied.ok()) return applied;
+  journal_.push_back(event);
+  return Status::success();
+}
+
+Status EpochMarket::apply_to_back(const PoolUpdateEvent& event) {
+  market::MarketSnapshot& back = snaps_[front_ ^ 1];
+  if (event.liquidity > 0.0) {
+    // Concentrated payload: absolute (liquidity, price) state.
+    if (Status applied = back.graph.set_concentrated_state(
+            event.pool, event.liquidity, event.price);
+        !applied.ok()) {
+      return applied;
+    }
+  } else {
+    if (!(event.reserve0 > 0.0) || !(event.reserve1 > 0.0)) {
+      return make_error(ErrorCode::kInvalidArgument,
+                        "non-positive reserves for " + to_string(event.pool));
+    }
+    if (Status applied = back.graph.set_pool_reserves(
+            event.pool, event.reserve0, event.reserve1);
+        !applied.ok()) {
+      return applied;
+    }
+  }
+  views_[front_ ^ 1].refresh_pool(back.graph, event.pool);
+  return Status::success();
+}
+
+void EpochMarket::commit() {
+  const std::size_t back = front_ ^ 1;
+  views_[back].set_epoch(snaps_[back].graph.epoch());
+  front_ = back;
+  // This epoch's journal becomes the next begin_writes() catch-up; the
+  // buffers trade places so the vectors just swap (catch_up_ was
+  // cleared by begin_writes()).
+  journal_.swap(catch_up_);
+  journal_.clear();
+  ++epoch_;
+}
+
+void EpochMarket::rollback() {
+  snaps_[front_ ^ 1] = snaps_[front_];
+  views_[front_ ^ 1] = views_[front_];
+  journal_.clear();
+  catch_up_.clear();  // the copy already includes everything committed
+}
+
+}  // namespace arb::runtime

@@ -95,13 +95,15 @@ void RuntimeMetrics::set_shard_plan(std::size_t shards, double imbalance) {
 }
 
 std::string MetricsSnapshot::summary() const {
-  char buffer[640];
+  char buffer[896];
   std::snprintf(buffer, sizeof(buffer),
                 "ingested=%llu dropped=%llu coalesced=%llu batches=%llu "
                 "repriced=%llu (cpmm=%llu mixed=%llu) depth=%llu "
-                "newton=%llu warm=%llu/%llu "
+                "newton=%llu warm=%llu/%llu warm_inval=%llu "
                 "reprice_us{p50=%.1f p90=%.1f p99=%.1f max=%.1f n=%llu} "
                 "loop_us{cpmm_p50=%.1f mixed_p50=%.1f} "
+                "stage_us{validate_p50=%.1f write_p50=%.1f} "
+                "pipeline{depth=%llu lag=%llu wq=%llu} "
                 "rejected=%llu quarantined=%llu/%llu resyncs=%llu "
                 "fallbacks=%llu "
                 "shards=%llu imbalance=%.2f shard_repriced=[%llu..%llu]",
@@ -116,10 +118,15 @@ std::string MetricsSnapshot::summary() const {
                 static_cast<unsigned long long>(solver_iterations),
                 static_cast<unsigned long long>(warm_hits),
                 static_cast<unsigned long long>(warm_hits + warm_misses),
+                static_cast<unsigned long long>(warm_invalidations),
                 reprice_p50_us, reprice_p90_us, reprice_p99_us,
                 reprice_max_us,
                 static_cast<unsigned long long>(reprice_samples),
                 cpmm_reprice_p50_us, mixed_reprice_p50_us,
+                stage_validate_p50_us, stage_write_p50_us,
+                static_cast<unsigned long long>(pipeline_depth),
+                static_cast<unsigned long long>(epoch_lag),
+                static_cast<unsigned long long>(worker_queue_depth),
                 static_cast<unsigned long long>(events_rejected_total()),
                 static_cast<unsigned long long>(pools_quarantined_now),
                 static_cast<unsigned long long>(pools_quarantined),
@@ -153,7 +160,13 @@ std::vector<std::string> MetricsSnapshot::csv_columns() {
           // Sharded engine: the per-shard vector is collapsed to its
           // extremes so the schema stays fixed for any K.
           "shards",                "shard_imbalance",
-          "shard_repriced_min",    "shard_repriced_max"};
+          "shard_repriced_min",    "shard_repriced_max",
+          // Pipelined engine (appended to keep old consumers' column
+          // positions stable).
+          "warm_invalidations",    "worker_queue_depth",
+          "pipeline_depth",        "epoch_lag",
+          "stage_validate_p50_us", "stage_validate_p99_us",
+          "stage_write_p50_us",    "stage_write_p99_us"};
 }
 
 MetricsSnapshot RuntimeMetrics::snapshot() const {
@@ -199,6 +212,18 @@ MetricsSnapshot RuntimeMetrics::snapshot() const {
   for (const std::atomic<std::uint64_t>& n : shard_repriced_) {
     snap.shard_repriced.push_back(n.load(std::memory_order_relaxed));
   }
+  snap.pipeline_depth = pipeline_depth_;
+  snap.epoch_lag = epoch_lag_.load(std::memory_order_relaxed);
+  snap.warm_invalidations =
+      warm_invalidations_.load(std::memory_order_relaxed);
+  snap.worker_queue_depth =
+      worker_queue_depth_.load(std::memory_order_relaxed);
+  snap.stage_validate_samples = stage_validate_latency_.samples();
+  snap.stage_validate_p50_us = stage_validate_latency_.quantile(0.50);
+  snap.stage_validate_p99_us = stage_validate_latency_.quantile(0.99);
+  snap.stage_write_samples = stage_write_latency_.samples();
+  snap.stage_write_p50_us = stage_write_latency_.quantile(0.50);
+  snap.stage_write_p99_us = stage_write_latency_.quantile(0.99);
   return snap;
 }
 
@@ -242,7 +267,13 @@ Status write_metrics_csv(const std::vector<MetricsSnapshot>& snapshots,
             static_cast<std::size_t>(s.solver_fallbacks),
             static_cast<std::size_t>(s.shards), s.shard_imbalance,
             static_cast<std::size_t>(s.shard_repriced_min()),
-            static_cast<std::size_t>(s.shard_repriced_max()));
+            static_cast<std::size_t>(s.shard_repriced_max()),
+            static_cast<std::size_t>(s.warm_invalidations),
+            static_cast<std::size_t>(s.worker_queue_depth),
+            static_cast<std::size_t>(s.pipeline_depth),
+            static_cast<std::size_t>(s.epoch_lag), s.stage_validate_p50_us,
+            s.stage_validate_p99_us, s.stage_write_p50_us,
+            s.stage_write_p99_us);
   }
   return Status::success();
 }

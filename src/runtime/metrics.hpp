@@ -94,6 +94,26 @@ struct MetricsSnapshot {
   double shard_imbalance = 0.0;
   std::vector<std::uint64_t> shard_repriced;
 
+  /// Pipelined-engine observability (DESIGN.md §12). `pipeline_depth` is
+  /// fixed at service start; `epoch_lag` is the number of epochs staged
+  /// or in flight behind the committed front at snapshot time (0 =
+  /// fully settled); the stage histograms time the validate and
+  /// write(begin_epoch) stages per batch, complementing the existing
+  /// reprice histogram which times launch→harvest.
+  std::uint64_t pipeline_depth = 1;
+  std::uint64_t epoch_lag = 0;
+  std::uint64_t stage_validate_samples = 0;
+  double stage_validate_p50_us = 0.0;
+  double stage_validate_p99_us = 0.0;
+  std::uint64_t stage_write_samples = 0;
+  double stage_write_p50_us = 0.0;
+  double stage_write_p99_us = 0.0;
+  /// Warm slots that went valid → invalid (quarantine entries plus
+  /// solver-side invalidations); profitless gate visits no longer count.
+  std::uint64_t warm_invalidations = 0;
+  /// WorkerPool task-queue depth at snapshot time.
+  std::uint64_t worker_queue_depth = 0;
+
   [[nodiscard]] std::uint64_t shard_repriced_min() const;
   [[nodiscard]] std::uint64_t shard_repriced_max() const;
   [[nodiscard]] std::uint64_t events_rejected_total() const;
@@ -144,6 +164,20 @@ class RuntimeMetrics {
     shard_repriced_[shard] += n;
   }
 
+  /// Fixed at service start, like set_shard_plan.
+  void set_pipeline_depth(std::uint64_t depth) { pipeline_depth_ = depth; }
+  void set_epoch_lag(std::uint64_t lag) { epoch_lag_ = lag; }
+  void add_warm_invalidations(std::uint64_t n) { warm_invalidations_ += n; }
+  void set_worker_queue_depth(std::uint64_t depth) {
+    worker_queue_depth_ = depth;
+  }
+  void record_validate_latency(double microseconds) {
+    stage_validate_latency_.record(microseconds);
+  }
+  void record_write_latency(double microseconds) {
+    stage_write_latency_.record(microseconds);
+  }
+
   [[nodiscard]] MetricsSnapshot snapshot() const;
 
  private:
@@ -167,9 +201,15 @@ class RuntimeMetrics {
   std::uint64_t shards_ = 1;
   double shard_imbalance_ = 0.0;
   std::vector<std::atomic<std::uint64_t>> shard_repriced_;
+  std::uint64_t pipeline_depth_ = 1;
+  std::atomic<std::uint64_t> epoch_lag_{0};
+  std::atomic<std::uint64_t> warm_invalidations_{0};
+  std::atomic<std::uint64_t> worker_queue_depth_{0};
   LatencyHistogram reprice_latency_;
   LatencyHistogram cpmm_reprice_latency_;
   LatencyHistogram mixed_reprice_latency_;
+  LatencyHistogram stage_validate_latency_;
+  LatencyHistogram stage_write_latency_;
 };
 
 /// Writes snapshots as CSV (header + one row per snapshot).

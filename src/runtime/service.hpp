@@ -1,15 +1,24 @@
 #pragma once
 
 /// \file service.hpp
-/// The event-driven scanner service: a bounded event queue feeding one
-/// consumer thread that batches/coalesces bursts, applies them to the
-/// incremental scanner (which fans dirty loops out to a worker pool),
-/// and keeps the ranked opportunity set continuously fresh. Producers
-/// call publish() from any thread; observers read opportunities() and
-/// metrics() from any thread.
+/// The event-driven scanner service: sharded ingress queues feeding one
+/// consumer thread that batches/coalesces bursts and drives the
+/// incremental scanner's staged epochs as an overlapped pipeline
+/// (DESIGN.md §12) — validating and writing epoch N+1 into the back
+/// market buffer while epoch N's reprice lanes still run on the worker
+/// pool. Producers call publish() from any thread; observers read
+/// opportunities() and metrics() from any thread.
+///
+/// Observer consistency: the consumer holds the scanner lock while the
+/// pipeline is busy, so opportunities()/quarantined_pools() see only
+/// settled states — every observation is bit-identical to some state of
+/// the serial engine, and after drain() it is *the* serial state. Under
+/// sustained saturation observers therefore wait for the next queue
+/// drain; metrics() never blocks.
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <memory>
 #include <mutex>
@@ -38,17 +47,22 @@ struct ServiceConfig {
   core::ScannerConfig scanner;
   std::size_t worker_threads = 4;
   /// Shards the cycle universe is partitioned into (DESIGN.md §11).
-  /// Batches are validated once, split per shard and repriced in
-  /// parallel; the published ranked set is bit-identical for any value.
-  /// 1 = the classic single-shard engine.
+  /// Ingress queues and validator state shard with it; the published
+  /// ranked set is bit-identical for any value. 1 = the classic
+  /// single-shard engine.
   std::size_t shards = 1;
   std::size_t queue_capacity = 4096;
-  /// Events drained per apply() round; bursts beyond this are split
-  /// across rounds (and within a round, per-pool last-wins coalescing
-  /// collapses duplicates).
+  /// Events drained per epoch; bursts beyond this are split across
+  /// epochs (and within one, per-pool last-wins coalescing collapses
+  /// duplicates).
   std::size_t max_batch = 256;
+  /// Pipeline depth (DESIGN.md §12): 1 runs the stages serially (the
+  /// pre-pipeline engine), 2 overlaps writing epoch N+1 with repricing
+  /// epoch N, >2 additionally pre-validates up to depth-2 batches ahead
+  /// of the write stage. Results are bit-identical at every depth.
+  std::size_t pipeline_depth = 2;
   BackpressurePolicy backpressure = BackpressurePolicy::kBlock;
-  /// Run every event through the EventValidator before applying it
+  /// Run every event through the sharded validator before applying it
   /// (DESIGN.md §10): malformed events are rejected and counted by
   /// RejectReason, repeat offenders quarantine, and the service keeps
   /// running. With validate=false the pre-validation contract applies —
@@ -69,12 +83,13 @@ class ScannerService {
   ScannerService(const ScannerService&) = delete;
   ScannerService& operator=(const ScannerService&) = delete;
 
-  /// Publishes one event. Returns false when the event was not accepted
-  /// (kDropNewest with a full queue, or the service is stopping).
+  /// Publishes one event into its owner shard's ingress queue. Returns
+  /// false when the event was not accepted (kDropNewest with a full
+  /// queue, or the service is stopping).
   bool publish(const PoolUpdateEvent& event);
 
-  /// Blocks until every accepted event has been applied (or the service
-  /// stopped on an error).
+  /// Blocks until every accepted event has been applied and the
+  /// pipeline has settled (or the service stopped on an error).
   void drain();
 
   /// Stops intake, drains the queue, joins the consumer and workers.
@@ -99,27 +114,48 @@ class ScannerService {
   [[nodiscard]] std::vector<PoolId> quarantined_pools() const;
 
  private:
+  /// One queued event plus its global arrival ticket. The consumer
+  /// merges the per-shard queues by ticket, so batch composition is
+  /// identical to a single FIFO queue (and per-pool order is preserved
+  /// outright: a pool always lands in the same shard queue).
+  struct Ticketed {
+    PoolUpdateEvent event;
+    std::uint64_t ticket = 0;
+  };
+
   ScannerService(const ServiceConfig& config);
 
   void run();
+  /// Pops up to max_batch events in global ticket order. Caller holds
+  /// queue_mutex_.
+  void take_batch_locked(std::vector<PoolUpdateEvent>& out);
+  /// Evicts the globally oldest queued event (kDropOldest). Caller
+  /// holds queue_mutex_.
+  void evict_oldest_locked();
 
   ServiceConfig config_;
   RuntimeMetrics metrics_;
   WorkerPool workers_;
 
   mutable std::mutex scanner_mutex_;
-  std::unique_ptr<IncrementalScanner> scanner_;  ///< guarded by scanner_mutex_
-  std::unique_ptr<EventValidator> validator_;    ///< guarded by scanner_mutex_
-  Status status_;                                ///< guarded by scanner_mutex_
+  std::unique_ptr<IncrementalScanner> scanner_;   ///< guarded by scanner_mutex_
+  std::unique_ptr<ShardedValidator> validator_;   ///< guarded by scanner_mutex_
+  Status status_;                                 ///< guarded by scanner_mutex_
 
   mutable std::mutex queue_mutex_;
   std::condition_variable queue_not_empty_;
   std::condition_variable queue_not_full_;
   std::condition_variable queue_drained_;
-  std::deque<PoolUpdateEvent> queue_;  ///< guarded by queue_mutex_
-  bool applying_ = false;              ///< consumer mid-batch
+  /// Per-shard ingress queues; everything below guarded by queue_mutex_.
+  std::vector<std::deque<Ticketed>> shard_queues_;
+  std::size_t total_queued_ = 0;
+  std::uint64_t next_ticket_ = 0;
+  bool applying_ = false;  ///< consumer pipeline busy
   bool stopping_ = false;
   bool failed_ = false;  ///< consumer stopped on error
+  /// Pool value → owning ingress shard (ShardPlan::owner_of_pool),
+  /// immutable after start(); unknown ids route to shard 0.
+  std::vector<std::uint32_t> ingress_owner_;
 
   std::thread consumer_;
 };

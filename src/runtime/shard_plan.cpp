@@ -122,6 +122,12 @@ const std::vector<std::uint32_t>& ShardPlan::sub_index(std::size_t s,
   return sub_index_[s][pool.value()];
 }
 
+std::uint32_t ShardPlan::owner_of_pool(PoolId pool) const {
+  const std::vector<std::uint32_t>& routed = shards_of_pool(pool);
+  if (!routed.empty()) return routed.front();
+  return static_cast<std::uint32_t>(pool.value() % shard_count());
+}
+
 double ShardPlan::imbalance() const {
   std::size_t total = 0;
   std::size_t max_load = 0;

@@ -66,6 +66,12 @@ class ShardPlan {
   [[nodiscard]] const std::vector<std::uint32_t>& sub_index(
       std::size_t s, PoolId pool) const;
 
+  /// The single shard that *owns* a pool for ingress purposes (per-shard
+  /// event queues and sharded validator state): the first shard whose
+  /// cycles traverse it, or a deterministic modulo spread for pools no
+  /// cycle touches. Pure function of the plan — every session agrees.
+  [[nodiscard]] std::uint32_t owner_of_pool(PoolId pool) const;
+
   /// Per-shard pool fan-out (Σ cycle length over owned cycles).
   [[nodiscard]] const std::vector<std::size_t>& loads() const {
     return loads_;

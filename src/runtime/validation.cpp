@@ -186,4 +186,53 @@ std::uint64_t EventValidator::backoff_of(PoolId pool) const {
   return backoff_for(std::max<std::uint32_t>(1, state.quarantines));
 }
 
+ShardedValidator::ShardedValidator(const market::MarketView& view,
+                                   const ValidationConfig& config,
+                                   std::vector<std::uint32_t> owners,
+                                   std::size_t shards)
+    : owners_(std::move(owners)) {
+  ARB_REQUIRE(shards >= 1, "sharded validator needs at least one shard");
+  for (const std::uint32_t owner : owners_) {
+    ARB_REQUIRE(owner < shards, "pool owner beyond shard count");
+  }
+  // Every shard captures the full shape table (immutable, cheap); only
+  // the mutable per-pool state is exclusive, by construction of the
+  // owner routing below.
+  shards_.reserve(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    shards_.emplace_back(view, config);
+  }
+}
+
+EventVerdict ShardedValidator::check(const PoolUpdateEvent& event) {
+  return shards_[owner_of(event.pool)].check(event);
+}
+
+bool ShardedValidator::quarantined(PoolId pool) const {
+  return shards_[owner_of(pool)].quarantined(pool);
+}
+
+std::size_t ShardedValidator::quarantined_count() const {
+  std::size_t total = 0;
+  for (const EventValidator& shard : shards_) {
+    total += shard.quarantined_count();
+  }
+  return total;
+}
+
+std::vector<PoolId> ShardedValidator::quarantined_pools() const {
+  std::vector<PoolId> out;
+  for (const EventValidator& shard : shards_) {
+    const std::vector<PoolId> pools = shard.quarantined_pools();
+    out.insert(out.end(), pools.begin(), pools.end());
+  }
+  std::sort(out.begin(), out.end(),
+            [](PoolId a, PoolId b) { return a.value() < b.value(); });
+  return out;
+}
+
+std::uint64_t ShardedValidator::backoff_of(PoolId pool) const {
+  return shards_[owner_of(pool)].backoff_of(pool);
+}
+
 }  // namespace arb::runtime

@@ -28,7 +28,9 @@
 /// are counted in events, so every trajectory is reproducible from the
 /// event stream alone (the property the fault-injection suite relies on).
 
+#include <cstddef>
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "graph/token_graph.hpp"
@@ -140,6 +142,55 @@ class EventValidator {
   std::vector<PoolShape> shapes_;
   std::vector<PoolState> states_;
   std::size_t quarantined_ = 0;
+};
+
+/// Validation state sharded by pool owner (DESIGN.md §12): one
+/// EventValidator per shard, each exclusively owning the strike /
+/// sequence / quarantine state of the pools routed to it, so the
+/// validation stage carries no state shared across shards. Because the
+/// per-pool state machine reads nothing but that pool's own event
+/// subsequence, routing by owner leaves every verdict bit-identical to
+/// a single shared validator — the differential suite's contract.
+///
+/// Like EventValidator, not thread-safe per shard; the service's
+/// consumer drives it in stream order (per-pool order is what the state
+/// machines observe, and the per-shard ingress queues preserve it).
+class ShardedValidator {
+ public:
+  /// `owners[p]` names the owning shard of pool p (the ShardPlan's
+  /// `owner_of_pool`); ids beyond the vector route to shard 0, whose
+  /// validator rejects them as kUnknownPool.
+  ShardedValidator(const market::MarketView& view,
+                   const ValidationConfig& config,
+                   std::vector<std::uint32_t> owners, std::size_t shards);
+
+  /// Validates one event against its owner shard's state machine.
+  [[nodiscard]] EventVerdict check(const PoolUpdateEvent& event);
+
+  [[nodiscard]] std::uint32_t owner_of(PoolId pool) const {
+    return pool.value() < owners_.size() ? owners_[pool.value()] : 0;
+  }
+  [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
+  /// The per-shard validator (diagnostics and tests).
+  [[nodiscard]] const EventValidator& shard(std::size_t s) const {
+    return shards_[s];
+  }
+
+  [[nodiscard]] bool quarantined(PoolId pool) const;
+  /// Total pools in quarantine across all shards.
+  [[nodiscard]] std::size_t quarantined_count() const;
+  /// Ascending pool ids currently in quarantine (ownership partitions
+  /// the pools, so the per-shard lists merge without duplicates).
+  [[nodiscard]] std::vector<PoolId> quarantined_pools() const;
+  [[nodiscard]] std::uint64_t backoff_of(PoolId pool) const;
+
+  [[nodiscard]] const ValidationConfig& config() const {
+    return shards_.front().config();
+  }
+
+ private:
+  std::vector<EventValidator> shards_;
+  std::vector<std::uint32_t> owners_;  ///< pool value → owning shard
 };
 
 }  // namespace arb::runtime

@@ -1,8 +1,31 @@
 #include "runtime/worker_pool.hpp"
 
+#include <algorithm>
+
 #include "common/error.hpp"
 
 namespace arb::runtime {
+
+void TaskGroup::wait() {
+  std::unique_lock lock(mutex_);
+  done_.wait(lock, [this] {
+    return pending_.load(std::memory_order_acquire) == 0;
+  });
+}
+
+void TaskGroup::finish() {
+  // The decrement and the notify both happen under the mutex, and wait()
+  // has no lock-free fast path: a waiter can only observe pending_ == 0
+  // while holding the mutex, which means the last finisher has already
+  // left its critical section. That makes the common lifetime pattern —
+  // wait() returns, the owner destroys the group — safe; with an
+  // unlocked decrement the waiter could destroy the condition variable
+  // while the finisher was still between its fetch_sub and its notify.
+  std::lock_guard lock(mutex_);
+  if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    done_.notify_all();
+  }
+}
 
 WorkerPool::WorkerPool() : WorkerPool(Config{}) {}
 
@@ -18,16 +41,40 @@ WorkerPool::WorkerPool(const Config& config)
 
 WorkerPool::~WorkerPool() { shutdown(); }
 
-bool WorkerPool::submit(std::function<void()> task) {
+bool WorkerPool::submit(std::function<void()> task, TaskGroup* group) {
   std::unique_lock lock(mutex_);
   if (overflow_ == Overflow::kBlock) {
     not_full_.wait(lock,
                    [this] { return stopping_ || queue_.size() < capacity_; });
   }
   if (stopping_ || queue_.size() >= capacity_) return false;
-  queue_.push_back(std::move(task));
+  if (group != nullptr) group->add(1);
+  queue_.push_back(Task{std::move(task), group});
   lock.unlock();
   not_empty_.notify_one();
+  return true;
+}
+
+bool WorkerPool::submit_many(std::vector<std::function<void()>>& tasks,
+                             TaskGroup* group) {
+  if (tasks.empty()) return true;
+  const std::size_t n = tasks.size();
+  if (n > capacity_) return false;  // can never fit; caller runs inline
+  std::unique_lock lock(mutex_);
+  if (overflow_ == Overflow::kBlock) {
+    not_full_.wait(lock, [this, n] {
+      return stopping_ || queue_.size() + n <= capacity_;
+    });
+  }
+  if (stopping_ || queue_.size() + n > capacity_) return false;
+  if (group != nullptr) group->add(n);
+  for (std::function<void()>& task : tasks) {
+    queue_.push_back(Task{std::move(task), group});
+  }
+  lock.unlock();
+  tasks.clear();
+  const std::size_t wakeups = std::min(n, threads_.size());
+  for (std::size_t i = 0; i < wakeups; ++i) not_empty_.notify_one();
   return true;
 }
 
@@ -59,7 +106,7 @@ std::size_t WorkerPool::queue_depth() const {
 
 void WorkerPool::worker_loop() {
   for (;;) {
-    std::function<void()> task;
+    Task task;
     {
       std::unique_lock lock(mutex_);
       not_empty_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
@@ -69,7 +116,8 @@ void WorkerPool::worker_loop() {
       ++running_;
     }
     not_full_.notify_one();
-    task();
+    task.fn();
+    if (task.group != nullptr) task.group->finish();
     {
       std::lock_guard lock(mutex_);
       --running_;

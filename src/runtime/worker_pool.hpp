@@ -7,9 +7,16 @@
 /// carries (loop re-pricing) are microseconds to milliseconds each and
 /// the queue is never the bottleneck.
 ///
+/// Completion tracking: a caller that needs to join on *its own* tasks —
+/// not the whole pool — tags them with a `TaskGroup` and waits on the
+/// group. The pipelined scanner relies on this: the reprice lanes of
+/// epoch N are harvested by group, while the pool keeps accepting work
+/// for later epochs.
+///
 /// Shutdown is graceful: intake stops, already-queued tasks run to
 /// completion, then the threads join. The destructor shuts down.
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -19,6 +26,36 @@
 #include <vector>
 
 namespace arb::runtime {
+
+/// Counts outstanding tasks submitted against it; wait() blocks until
+/// every one finished. A group may be reused across rounds (submit,
+/// wait, submit, ...). The release/acquire pair on the internal counter
+/// is the happens-before edge from each task's writes to the waiter.
+class TaskGroup {
+ public:
+  TaskGroup() = default;
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  /// Blocks until every task submitted against this group has run.
+  /// Returns immediately when none are outstanding.
+  void wait();
+
+  [[nodiscard]] bool idle() const {
+    return pending_.load(std::memory_order_acquire) == 0;
+  }
+
+ private:
+  friend class WorkerPool;
+  void add(std::size_t n) {
+    pending_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void finish();
+
+  std::atomic<std::size_t> pending_{0};
+  std::mutex mutex_;
+  std::condition_variable done_;
+};
 
 class WorkerPool {
  public:
@@ -43,7 +80,19 @@ class WorkerPool {
 
   /// Enqueues a task. Returns false when rejected (kReject policy with a
   /// full queue, or the pool is shutting down); the task is then dropped.
-  [[nodiscard]] bool submit(std::function<void()> task);
+  /// With a non-null `group` the task counts against it until it runs.
+  [[nodiscard]] bool submit(std::function<void()> task,
+                            TaskGroup* group = nullptr);
+
+  /// Enqueues a whole round of tasks under one lock acquisition, waking
+  /// only as many workers as there are tasks (batch wakeups: a burst of
+  /// N chunks rings N bells, not N broadcasts). All-or-nothing: returns
+  /// false — and enqueues nothing, leaving `tasks` untouched — when the
+  /// pool is stopping or the batch cannot fit (kReject policy); the
+  /// caller then runs the tasks inline. On success the tasks are moved
+  /// from and `tasks` is cleared.
+  [[nodiscard]] bool submit_many(std::vector<std::function<void()>>& tasks,
+                                 TaskGroup* group = nullptr);
 
   /// Blocks until the queue is empty and every running task has finished.
   void wait_idle();
@@ -55,6 +104,11 @@ class WorkerPool {
   [[nodiscard]] std::size_t queue_depth() const;
 
  private:
+  struct Task {
+    std::function<void()> fn;
+    TaskGroup* group = nullptr;
+  };
+
   void worker_loop();
 
   const std::size_t capacity_;
@@ -64,7 +118,7 @@ class WorkerPool {
   std::condition_variable not_empty_;
   std::condition_variable not_full_;
   std::condition_variable idle_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<Task> queue_;
   std::size_t running_ = 0;  ///< tasks currently executing
   bool stopping_ = false;
 

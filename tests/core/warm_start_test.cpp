@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <random>
 
@@ -94,7 +95,7 @@ TEST(WarmStartTest, InvalidSlotIsEquivalentToCold) {
   EXPECT_GT(slot.t, 0.0);
 }
 
-TEST(WarmStartTest, SlotInvalidatedWhenLoopTurnsProfitless) {
+TEST(WarmStartTest, SlotSurvivesProfitlessVisit) {
   Section5Market m;
   ConvexOptions options;
   ConvexContext ctx;
@@ -104,14 +105,33 @@ TEST(WarmStartTest, SlotInvalidatedWhenLoopTurnsProfitless) {
   auto first = solve_convex(m.graph, m.prices, m.loop(), options, ctx);
   ASSERT_TRUE(first.ok());
   ASSERT_TRUE(slot.valid);
+  const double remembered_t = slot.t;
 
   // Flip the XY pool so hard the loop loses money in this orientation.
+  // The price-product gate zeroes the solve without touching the slot:
+  // profitless visits used to clear it, which made every flicker around
+  // the profitability boundary pay a cold restart when the loop came
+  // back (the live warm-hit-rate leak).
+  const auto& xy = m.graph.pool(m.xy);
+  const double r0 = xy.reserve0();
+  const double r1 = xy.reserve1();
   ASSERT_TRUE(m.graph.set_pool_reserves(m.xy, 10000.0, 2.0).ok());
   auto second = solve_convex(m.graph, m.prices, m.loop(), options, ctx);
   ASSERT_TRUE(second.ok());
   EXPECT_DOUBLE_EQ(second->outcome.monetized_usd, 0.0);
-  EXPECT_FALSE(slot.valid);
   EXPECT_FALSE(ctx.warm_hit);
+  EXPECT_TRUE(slot.valid);
+  EXPECT_EQ(slot.t, remembered_t);
+
+  // When profitability returns to the original state, the kept slot
+  // warm-starts and agrees with a cold solve of the same state.
+  ASSERT_TRUE(m.graph.set_pool_reserves(m.xy, r0, r1).ok());
+  auto third = solve_convex(m.graph, m.prices, m.loop(), options, ctx);
+  ASSERT_TRUE(third.ok());
+  EXPECT_TRUE(ctx.warm_hit);
+  const double scale = std::max(1.0, std::abs(first->outcome.monetized_usd));
+  EXPECT_NEAR(third->outcome.monetized_usd, first->outcome.monetized_usd,
+              1e-6 * scale);
 }
 
 TEST(WarmStartTest, SteadyStateSolvesAreAllocationFree) {

@@ -1,13 +1,22 @@
-// Shard-sweep differential suite: the sharded engine's contract is that
-// the shard count K is unobservable from the outside. The identical
-// event stream — clean and fault-injected — is replayed through services
-// at K ∈ {1, 2, 4, 8}; the ranked sets, per-reason reject counts and
-// quarantine states must be bit-identical across K, and (via the K=1
-// engine's established parity) equal a fresh scan_market of the mirror
-// reference with quarantined pools' loops filtered out. Run on an
+// Shard/pipeline-sweep differential suite: the sharded engine's contract
+// is that the shard count K and the pipeline depth are unobservable from
+// the outside. The identical event stream — clean and fault-injected —
+// is replayed through services at K ∈ {1, 2, 4, 8} and pipeline depths
+// {1, 2, 3}; the ranked sets, per-reason reject counts and quarantine
+// states must be bit-identical across every (K, depth) pair, and (via
+// the K=1 engine's established parity) equal a fresh scan_market of the
+// mirror reference with quarantined pools' loops filtered out. Run on an
 // all-CPMM market and on a mixed StableSwap/concentrated market, plus a
-// warm-start-enabled sweep (across-K only: warm starts perturb nothing
-// because each shard owns its cycles' warm slots exclusively).
+// warm-start-enabled sweep (across-K/depth only: warm starts perturb
+// nothing because each shard owns its cycles' warm slots exclusively).
+//
+// The harness pins max_batch = 1 so batch composition is exactly stream
+// order regardless of consumer/producer timing — that makes even the
+// repriced counters and warm-start trajectories bit-comparable across
+// runs. (With larger batches the *results* stay identical but batch
+// boundaries — and therefore per-batch counters — depend on thread
+// timing; multi-event batch bit-identity is covered deterministically by
+// the scanner-level staged-vs-apply tests.)
 
 #include <gtest/gtest.h>
 
@@ -53,17 +62,27 @@ void expect_identical(const std::vector<core::Opportunity>& expected,
   }
 }
 
+/// Full observable equality between two runs.
+void expect_same_run(const RunResult& expected, const RunResult& actual) {
+  expect_identical(expected.opportunities, actual.opportunities);
+  EXPECT_EQ(expected.rejected, actual.rejected);
+  EXPECT_EQ(expected.quarantined, actual.quarantined);
+  EXPECT_EQ(expected.repriced, actual.repriced);
+}
+
 /// Replays `blocks` blocks (optionally fault-injected) through a service
-/// with `shards` shards and returns the observable outcome.
+/// with `shards` shards at pipeline depth `depth` and returns the
+/// observable outcome.
 RunResult run_stream(const market::MarketSnapshot& snapshot,
                      const core::ScannerConfig& scanner_config,
-                     std::size_t shards, double fault_rate,
+                     std::size_t shards, std::size_t depth, double fault_rate,
                      std::size_t blocks) {
   runtime::ServiceConfig config;
   config.scanner = scanner_config;
   config.worker_threads = 2;
   config.shards = shards;
-  config.max_batch = 32;
+  config.pipeline_depth = depth;
+  config.max_batch = 1;  // batch composition == stream order (see header)
   auto service = runtime::ScannerService::start(snapshot, config).value();
 
   runtime::ReplayStreamConfig stream_config;
@@ -139,32 +158,35 @@ market::MarketSnapshot mirror_reference(
   return reference;
 }
 
-/// The full sweep: identical streams at every K, cross-compared and
-/// (when `check_scan` is set) compared against the fresh-scan oracle.
-void run_shard_sweep(const market::MarketSnapshot& snapshot,
-                     const core::ScannerConfig& scanner_config,
-                     double fault_rate, std::size_t blocks, bool check_scan) {
-  SCOPED_TRACE("fault rate " + std::to_string(fault_rate));
+/// The full sweep at one pipeline depth: identical streams at every K,
+/// cross-compared and (when `check_scan` is set) compared against the
+/// fresh-scan oracle. Returns the K=1 run for cross-depth comparison.
+RunResult run_shard_sweep(const market::MarketSnapshot& snapshot,
+                          const core::ScannerConfig& scanner_config,
+                          std::size_t depth, double fault_rate,
+                          std::size_t blocks, bool check_scan) {
+  SCOPED_TRACE("fault rate " + std::to_string(fault_rate) + ", depth " +
+               std::to_string(depth));
   std::vector<RunResult> runs;
   for (const std::size_t k : kShardSweep) {
     SCOPED_TRACE("shards " + std::to_string(k));
     runs.push_back(
-        run_stream(snapshot, scanner_config, k, fault_rate, blocks));
-    ASSERT_EQ(runs.back().shard_repriced.size(), k);
+        run_stream(snapshot, scanner_config, k, depth, fault_rate, blocks));
+    if (runs.back().shard_repriced.size() != k) {
+      ADD_FAILURE() << "expected " << k << " shard counters";
+      return runs.front();
+    }
   }
   const RunResult& base = runs.front();
   for (std::size_t i = 1; i < runs.size(); ++i) {
     SCOPED_TRACE("K=" + std::to_string(kShardSweep[i]) + " vs K=1");
-    expect_identical(base.opportunities, runs[i].opportunities);
-    EXPECT_EQ(base.rejected, runs[i].rejected);
-    EXPECT_EQ(base.quarantined, runs[i].quarantined);
-    EXPECT_EQ(base.repriced, runs[i].repriced);
+    expect_same_run(base, runs[i]);
     // The per-shard counters partition the global one.
     std::uint64_t shard_total = 0;
     for (const std::uint64_t n : runs[i].shard_repriced) shard_total += n;
     EXPECT_EQ(shard_total, runs[i].repriced);
   }
-  if (!check_scan) return;
+  if (!check_scan) return base;
 
   std::vector<PoolId> quarantined;
   const market::MarketSnapshot reference = mirror_reference(
@@ -182,6 +204,7 @@ void run_shard_sweep(const market::MarketSnapshot& snapshot,
                        });
   });
   expect_identical(expected, base.opportunities);
+  return base;
 }
 
 TEST(ShardDifferentialTest, AllCpmmMarket) {
@@ -194,10 +217,19 @@ TEST(ShardDifferentialTest, AllCpmmMarket) {
   core::ScannerConfig scanner;
   scanner.loop_lengths = {3};
   // 40 pools x 25 blocks = 1000 clean events; the faulted replay pulls
-  // the same stream through the injector.
+  // the same stream through the injector. The full depth x K matrix runs
+  // here (the cheap market); the heavier markets below sample it.
   for (const double rate : {0.0, 0.10}) {
-    run_shard_sweep(snapshot, scanner, rate, /*blocks=*/25,
-                    /*check_scan=*/true);
+    std::vector<RunResult> per_depth;
+    for (const std::size_t depth : {1, 2, 3}) {
+      per_depth.push_back(run_shard_sweep(snapshot, scanner, depth, rate,
+                                          /*blocks=*/25, /*check_scan=*/true));
+    }
+    for (std::size_t i = 1; i < per_depth.size(); ++i) {
+      SCOPED_TRACE("fault rate " + std::to_string(rate) + ": depth " +
+                   std::to_string(i + 1) + " vs depth 1");
+      expect_same_run(per_depth.front(), per_depth[i]);
+    }
   }
 }
 
@@ -216,8 +248,15 @@ TEST(ShardDifferentialTest, MixedVenueMarket) {
   scanner.loop_lengths = {3};
   scanner.strategy = core::StrategyKind::kConvexOptimization;
   for (const double rate : {0.0, 0.10}) {
-    run_shard_sweep(snapshot, scanner, rate, /*blocks=*/21,
-                    /*check_scan=*/true);
+    const RunResult base = run_shard_sweep(snapshot, scanner, /*depth=*/2,
+                                           rate, /*blocks=*/21,
+                                           /*check_scan=*/true);
+    // One deeper-pipeline probe per rate (the generic solver makes the
+    // full matrix too slow for tier 1): K=4 at depth 3 must match.
+    SCOPED_TRACE("fault rate " + std::to_string(rate) +
+                 ": K=4 depth 3 vs K=1 depth 2");
+    expect_same_run(base, run_stream(snapshot, scanner, /*shards=*/4,
+                                     /*depth=*/3, rate, /*blocks=*/21));
   }
 }
 
@@ -228,17 +267,23 @@ TEST(ShardDifferentialTest, WarmStartsIdenticalAcrossShards) {
   const market::MarketSnapshot snapshot = market::generate_snapshot(gen);
 
   // Warm starts make each solve depend on the cycle's *own* history,
-  // which shards preserve exactly (exclusive slot ownership) — so the
-  // sweep must still agree across K. The fresh-scan oracle is skipped:
-  // a warm-started trajectory legitimately differs from a cold scan at
-  // the last-ulp level.
+  // which shards preserve exactly (exclusive slot ownership) and the
+  // depth-pinned batching keeps identical across runs — so the sweep
+  // must still agree across K and depth. The fresh-scan oracle is
+  // skipped: a warm-started trajectory legitimately differs from a cold
+  // scan at the last-ulp level.
   core::ScannerConfig scanner;
   scanner.loop_lengths = {3};
   scanner.strategy = core::StrategyKind::kConvexOptimization;
   scanner.convex_warm_start = true;
   for (const double rate : {0.0, 0.10}) {
-    run_shard_sweep(snapshot, scanner, rate, /*blocks=*/25,
-                    /*check_scan=*/false);
+    const RunResult base = run_shard_sweep(snapshot, scanner, /*depth=*/2,
+                                           rate, /*blocks=*/25,
+                                           /*check_scan=*/false);
+    SCOPED_TRACE("fault rate " + std::to_string(rate) +
+                 ": K=8 depth 3 vs K=1 depth 2");
+    expect_same_run(base, run_stream(snapshot, scanner, /*shards=*/8,
+                                     /*depth=*/3, rate, /*blocks=*/25));
   }
 }
 

@@ -1,0 +1,157 @@
+#include "runtime/epoch_market.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tests/core/fixtures.hpp"
+
+namespace arb::runtime {
+namespace {
+
+using core::testing::Section5Market;
+
+market::MarketSnapshot section5_snapshot() {
+  const Section5Market m;
+  market::MarketSnapshot snapshot;
+  snapshot.graph = m.graph;
+  snapshot.prices = m.prices;
+  return snapshot;
+}
+
+PoolUpdateEvent reserve_event(PoolId pool, double r0, double r1,
+                              std::uint64_t sequence = 0) {
+  PoolUpdateEvent event;
+  event.pool = pool;
+  event.reserve0 = r0;
+  event.reserve1 = r1;
+  event.sequence = sequence;
+  return event;
+}
+
+TEST(EpochMarketTest, CommitSwapsBackToFront) {
+  const Section5Market m;
+  EpochMarket market(section5_snapshot());
+  EXPECT_EQ(market.epoch(), 0u);
+  const double original = market.front_view().reserve0(m.xy);
+
+  market.begin_writes();
+  ASSERT_TRUE(market.write(reserve_event(m.xy, 123.0, 456.0)).ok());
+  // Swap-barrier ordering: until commit(), readers of the front buffer
+  // see nothing of the staged epoch — graph and view alike.
+  EXPECT_EQ(market.front().graph.pool(m.xy).reserve0(), original);
+  EXPECT_EQ(market.front_view().reserve0(m.xy), original);
+  // ... while the back buffer already holds it.
+  EXPECT_EQ(market.back().graph.pool(m.xy).reserve0(), 123.0);
+  EXPECT_EQ(market.back_view().reserve0(m.xy), 123.0);
+
+  market.commit();
+  EXPECT_EQ(market.epoch(), 1u);
+  EXPECT_EQ(market.front().graph.pool(m.xy).reserve0(), 123.0);
+  EXPECT_EQ(market.front_view().reserve0(m.xy), 123.0);
+}
+
+TEST(EpochMarketTest, StaleReadDetectionViaEpochPair) {
+  const Section5Market m;
+  EpochMarket market(section5_snapshot());
+
+  // Committed buffers are always self-consistent: view epoch == graph
+  // epoch. A mid-write back buffer is detectably stale — its graph epoch
+  // has advanced past its view's.
+  EXPECT_EQ(market.front_view().epoch(), market.front().graph.epoch());
+
+  market.begin_writes();
+  ASSERT_TRUE(market.write(reserve_event(m.xy, 150.0, 150.0)).ok());
+  EXPECT_EQ(market.front_view().epoch(), market.front().graph.epoch());
+  EXPECT_LT(market.back_view().epoch(), market.back().graph.epoch());
+
+  market.commit();
+  // The commit seals the freshly swapped front (view adopts graph epoch)
+  // — and the new back is last epoch's front, still self-consistent.
+  EXPECT_EQ(market.front_view().epoch(), market.front().graph.epoch());
+  EXPECT_EQ(market.back_view().epoch(), market.back().graph.epoch());
+}
+
+TEST(EpochMarketTest, BeginWritesCatchesBackBufferUp) {
+  const Section5Market m;
+  EpochMarket market(section5_snapshot());
+
+  market.begin_writes();
+  ASSERT_TRUE(market.write(reserve_event(m.xy, 111.0, 222.0)).ok());
+  ASSERT_TRUE(market.write(reserve_event(m.yz, 333.0, 444.0)).ok());
+  market.commit();
+
+  // The new back buffer is the previous front: it has not seen epoch 1's
+  // writes yet. begin_writes() replays them (absolute state → exact),
+  // landing the back buffer bit-identically on the front state.
+  EXPECT_NE(market.back().graph.pool(m.xy).reserve0(), 111.0);
+  market.begin_writes();
+  EXPECT_EQ(market.back().graph.pool(m.xy).reserve0(), 111.0);
+  EXPECT_EQ(market.back().graph.pool(m.xy).reserve1(), 222.0);
+  EXPECT_EQ(market.back().graph.pool(m.yz).reserve0(), 333.0);
+  EXPECT_EQ(market.back_view().reserve0(m.yz), 333.0);
+
+  // Several epochs in a row stay consistent (journal swap each commit).
+  ASSERT_TRUE(market.write(reserve_event(m.zx, 50.0, 60.0)).ok());
+  market.commit();
+  market.begin_writes();
+  EXPECT_EQ(market.back().graph.pool(m.xy).reserve0(), 111.0);
+  EXPECT_EQ(market.back().graph.pool(m.zx).reserve0(), 50.0);
+  market.commit();
+  EXPECT_EQ(market.epoch(), 3u);
+  EXPECT_EQ(market.front().graph.pool(m.zx).reserve0(), 50.0);
+}
+
+TEST(EpochMarketTest, FrontReferencesStableAcrossBackWrites) {
+  const Section5Market m;
+  EpochMarket market(section5_snapshot());
+
+  // The pointer a reader captured before the writes began (what a
+  // repricing lane holds while the next epoch is staged) stays valid and
+  // frozen for the whole write phase.
+  const market::MarketView& frozen = market.front_view();
+  const double r0 = frozen.reserve0(m.xy);
+  const double* rel0 = frozen.rel_price0_data();
+  const double rel0_xy = rel0[m.xy.value()];
+
+  market.begin_writes();
+  ASSERT_TRUE(market.write(reserve_event(m.xy, 9999.0, 1.0)).ok());
+  EXPECT_EQ(frozen.reserve0(m.xy), r0);
+  EXPECT_EQ(frozen.rel_price0_data()[m.xy.value()], rel0_xy);
+}
+
+TEST(EpochMarketTest, RollbackRestoresFrontState) {
+  const Section5Market m;
+  EpochMarket market(section5_snapshot());
+  market.begin_writes();
+  ASSERT_TRUE(market.write(reserve_event(m.xy, 77.0, 88.0)).ok());
+  market.commit();
+
+  // Stage a partial epoch, then abandon it.
+  market.begin_writes();
+  ASSERT_TRUE(market.write(reserve_event(m.yz, 1.0, 2.0)).ok());
+  market.rollback();
+  EXPECT_EQ(market.epoch(), 1u);
+  EXPECT_EQ(market.back().graph.pool(m.yz).reserve0(),
+            market.front().graph.pool(m.yz).reserve0());
+  EXPECT_EQ(market.back().graph.pool(m.xy).reserve0(), 77.0);
+
+  // The store keeps working after a rollback: the next epoch commits
+  // cleanly and must not replay the discarded write.
+  market.begin_writes();
+  ASSERT_TRUE(market.write(reserve_event(m.zx, 10.0, 20.0)).ok());
+  market.commit();
+  EXPECT_EQ(market.epoch(), 2u);
+  EXPECT_EQ(market.front().graph.pool(m.zx).reserve0(), 10.0);
+  EXPECT_NE(market.front().graph.pool(m.yz).reserve0(), 1.0);
+}
+
+TEST(EpochMarketTest, WriteRejectsNonPositiveReserves) {
+  const Section5Market m;
+  EpochMarket market(section5_snapshot());
+  market.begin_writes();
+  EXPECT_FALSE(market.write(reserve_event(m.xy, -1.0, 5.0)).ok());
+  market.rollback();
+  EXPECT_EQ(market.front_view().epoch(), market.front().graph.epoch());
+}
+
+}  // namespace
+}  // namespace arb::runtime

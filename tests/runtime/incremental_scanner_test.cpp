@@ -179,6 +179,83 @@ TEST(IncrementalScannerTest, UntouchedPoolsAreNotRepriced) {
   EXPECT_EQ(report.repriced, 2u);
 }
 
+/// Drives the staged epoch API at pipeline depth 2 — begin_epoch(N+1)
+/// while epoch N's reprice is still in flight — against the serial
+/// apply() on a twin scanner, with identical random batches. The ranked
+/// sets must stay bit-identical after every harvest: the frozen-front /
+/// back-buffer protocol may never leak a half-written epoch into a lane.
+TEST(IncrementalScannerTest, StagedPipelineMatchesSerialApply) {
+  const market::MarketSnapshot snapshot = test_snapshot();
+  core::ScannerConfig config;
+  config.loop_lengths = {3};
+  config.strategy = core::StrategyKind::kConvexOptimization;
+  config.convex_warm_start = true;
+  WorkerPool workers(WorkerPool::Config{.threads = 2, .queue_capacity = 1024});
+
+  auto serial = IncrementalScanner::create(snapshot, config, nullptr).value();
+  auto staged =
+      IncrementalScanner::create(snapshot, config, &workers, 4).value();
+
+  Rng rng(21);
+  market::MarketSnapshot reference = snapshot;
+  std::uint64_t sequence = 0;
+  std::vector<std::vector<PoolUpdateEvent>> batches;
+  for (int b = 0; b < 40; ++b) {
+    std::vector<PoolUpdateEvent> batch;
+    const auto batch_size = static_cast<std::size_t>(rng.uniform_int(1, 6));
+    for (std::size_t i = 0; i < batch_size; ++i) {
+      batch.push_back(random_event(reference.graph, rng, 0.02, sequence++));
+    }
+    batches.push_back(std::move(batch));
+  }
+
+  bool inflight = false;
+  for (std::size_t b = 0; b < batches.size(); ++b) {
+    // Stage batch b while batch b-1's lanes are (potentially) running.
+    ASSERT_TRUE(staged.begin_epoch(batches[b]).ok());
+    if (inflight) {
+      ASSERT_TRUE(staged.wait_reprice().ok());
+      // Barrier crossed for b-1: both engines agree on its epoch.
+      ASSERT_TRUE(serial.apply(batches[b - 1]).ok());
+      expect_identical(serial.collect(), staged.collect());
+    }
+    staged.commit_epoch();
+    staged.launch_reprice();
+    EXPECT_TRUE(staged.reprice_in_flight());
+    inflight = true;
+  }
+  ASSERT_TRUE(staged.wait_reprice().ok());
+  ASSERT_TRUE(serial.apply(batches.back()).ok());
+  expect_identical(serial.collect(), staged.collect());
+}
+
+TEST(IncrementalScannerTest, BeginEpochFailureRollsBackWholeBatch) {
+  const Section5Market m;
+  market::MarketSnapshot snapshot;
+  snapshot.graph = m.graph;
+  snapshot.prices = m.prices;
+  core::ScannerConfig config;
+  config.loop_lengths = {3};
+  auto scanner = IncrementalScanner::create(snapshot, config, nullptr).value();
+  const auto before = scanner.collect();
+
+  // First event valid, second not: nothing of the batch may survive —
+  // neither in the market buffers nor as dirty state.
+  std::vector<PoolUpdateEvent> batch;
+  batch.push_back({m.xy, 123.0, 456.0, 0});
+  batch.push_back({m.yz, -5.0, 5.0, 1});
+  EXPECT_FALSE(scanner.begin_epoch(batch).ok());
+  EXPECT_EQ(scanner.snapshot().graph.pool(m.xy).reserve0(),
+            snapshot.graph.pool(m.xy).reserve0());
+
+  // The scanner keeps working: an empty apply leaves the ranked set
+  // exactly as it was.
+  const ApplyReport report =
+      scanner.apply(std::vector<PoolUpdateEvent>{}).value();
+  EXPECT_EQ(report.repriced, 0u);
+  expect_identical(before, scanner.collect());
+}
+
 TEST(IncrementalScannerTest, RejectsBadEvents) {
   const Section5Market m;
   market::MarketSnapshot snapshot;

@@ -161,6 +161,56 @@ TEST(RuntimeMetricsTest, DefaultSnapshotHasSingleShardGauges) {
   EXPECT_EQ(snap.shard_repriced_max(), 0u);
 }
 
+TEST(RuntimeMetricsTest, PipelineGaugesFlowThroughSnapshotSummaryAndCsv) {
+  RuntimeMetrics metrics;
+  metrics.set_pipeline_depth(3);
+  metrics.set_epoch_lag(2);
+  metrics.add_warm_invalidations(4);
+  metrics.add_warm_invalidations(1);
+  metrics.set_worker_queue_depth(6);
+  metrics.record_validate_latency(32.0);
+  metrics.record_validate_latency(48.0);
+  metrics.record_write_latency(16.0);
+
+  const MetricsSnapshot snap = metrics.snapshot();
+  EXPECT_EQ(snap.pipeline_depth, 3u);
+  EXPECT_EQ(snap.epoch_lag, 2u);
+  EXPECT_EQ(snap.warm_invalidations, 5u);
+  EXPECT_EQ(snap.worker_queue_depth, 6u);
+  EXPECT_EQ(snap.stage_validate_samples, 2u);
+  EXPECT_EQ(snap.stage_write_samples, 1u);
+  EXPECT_GT(snap.stage_validate_p50_us, 0.0);
+  EXPECT_LE(snap.stage_validate_p50_us, snap.stage_validate_p99_us);
+  EXPECT_GT(snap.stage_write_p50_us, 0.0);
+
+  const std::string line = snap.summary();
+  EXPECT_NE(line.find("warm_inval=5"), std::string::npos);
+  EXPECT_NE(line.find("pipeline{depth=3 lag=2 wq=6}"), std::string::npos);
+  EXPECT_NE(line.find("stage_us{"), std::string::npos);
+
+  const std::string path =
+      ::testing::TempDir() + "runtime_metrics_pipeline.csv";
+  ASSERT_TRUE(write_metrics_csv({snap}, path).ok());
+  const auto table = read_csv_file(path).value();
+  EXPECT_EQ(table.header, MetricsSnapshot::csv_columns());
+  ASSERT_EQ(table.rows.size(), 1u);
+  EXPECT_EQ(table.rows[0][table.column_index("pipeline_depth")], "3");
+  EXPECT_EQ(table.rows[0][table.column_index("epoch_lag")], "2");
+  EXPECT_EQ(table.rows[0][table.column_index("warm_invalidations")], "5");
+  EXPECT_EQ(table.rows[0][table.column_index("worker_queue_depth")], "6");
+  std::remove(path.c_str());
+}
+
+TEST(RuntimeMetricsTest, DefaultSnapshotIsSerialDepthOne) {
+  RuntimeMetrics metrics;
+  const MetricsSnapshot snap = metrics.snapshot();
+  EXPECT_EQ(snap.pipeline_depth, 1u);
+  EXPECT_EQ(snap.epoch_lag, 0u);
+  EXPECT_EQ(snap.warm_invalidations, 0u);
+  EXPECT_EQ(snap.stage_validate_samples, 0u);
+  EXPECT_EQ(snap.stage_write_samples, 0u);
+}
+
 TEST(RuntimeMetricsTest, CsvRoundTrip) {
   RuntimeMetrics metrics;
   metrics.add_ingested(42);

@@ -212,6 +212,101 @@ TEST(ScannerServiceTest, ValidatesConfig) {
   ServiceConfig no_threads;
   no_threads.worker_threads = 0;
   EXPECT_FALSE(ScannerService::start(snapshot, no_threads).ok());
+  // Depth 0 would mean "never run the stages" — rejected up front.
+  ServiceConfig no_depth;
+  no_depth.pipeline_depth = 0;
+  EXPECT_FALSE(ScannerService::start(snapshot, no_depth).ok());
+}
+
+TEST(ScannerServiceTest, PipelineDepthsConvergeIdentically) {
+  const auto snapshot = test_snapshot();
+
+  // The same stream at depths 1 (serial), 2 (write/reprice overlap) and
+  // 4 (plus prefetch) must land on identical ranked sets and identical
+  // pipeline-independent counters — the service-level face of the
+  // staged-epoch bit-identity contract.
+  std::vector<std::vector<core::Opportunity>> results;
+  std::vector<std::uint64_t> ingested;
+  for (const std::size_t depth : {1, 2, 4}) {
+    ServiceConfig config;
+    config.scanner.loop_lengths = {3};
+    config.worker_threads = 2;
+    config.shards = 2;
+    config.pipeline_depth = depth;
+    config.max_batch = 8;
+    auto service = ScannerService::start(snapshot, config).value();
+
+    ReplayStreamConfig stream_config;
+    stream_config.blocks = 3;
+    stream_config.seed = 33;
+    ReplayUpdateStream stream(snapshot, stream_config);
+    while (auto event = stream.next()) {
+      ASSERT_TRUE(service->publish(*event));
+    }
+    service->drain();
+    ASSERT_TRUE(service->status().ok());
+
+    const MetricsSnapshot metrics = service->metrics();
+    EXPECT_EQ(metrics.pipeline_depth, depth);
+    EXPECT_EQ(metrics.epoch_lag, 0u);  // drained == settled
+    EXPECT_GE(metrics.batches, 1u);
+    EXPECT_EQ(metrics.reprice_samples, metrics.batches);
+    EXPECT_EQ(metrics.stage_write_samples, metrics.batches);
+    EXPECT_GE(metrics.stage_validate_samples, metrics.batches);
+    results.push_back(service->opportunities());
+    ingested.push_back(metrics.events_ingested);
+    service->stop();
+  }
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    EXPECT_EQ(ingested[0], ingested[i]);
+    ASSERT_EQ(results[0].size(), results[i].size());
+    for (std::size_t r = 0; r < results[0].size(); ++r) {
+      EXPECT_EQ(results[0][r].cycle.rotation_key(),
+                results[i][r].cycle.rotation_key());
+      EXPECT_EQ(results[0][r].net_profit_usd, results[i][r].net_profit_usd);
+    }
+  }
+}
+
+TEST(ScannerServiceTest, WarmHitRateAboveEightyPercentInSteadyState) {
+  const auto snapshot = test_snapshot();
+  ServiceConfig config;
+  config.scanner.loop_lengths = {3};
+  config.scanner.strategy = core::StrategyKind::kConvexOptimization;
+  config.scanner.convex_warm_start = true;
+  config.worker_threads = 2;
+  config.shards = 2;
+  // One block (40 pools, one event each) per batch. The test thread
+  // floods the queue far faster than the consumer drains it, so the
+  // default max_batch would fold several blocks into one epoch and the
+  // universe would only be swept a handful of times — first-visit cold
+  // solves would dominate the ratio regardless of how well slots
+  // survive. Steady state means one reprice round per block.
+  config.max_batch = 40;
+  auto service = ScannerService::start(snapshot, config).value();
+
+  // A long clean stream of small reserve moves: after the first visit
+  // primes each slot, nearly every solve should resume warm. Keeping
+  // warm slots across profitless visits is what holds the rate up —
+  // loops flickering around the profitability boundary used to pay a
+  // cold restart on every return.
+  ReplayStreamConfig stream_config;
+  stream_config.blocks = 25;
+  stream_config.seed = 9;
+  ReplayUpdateStream stream(snapshot, stream_config);
+  while (auto event = stream.next()) {
+    ASSERT_TRUE(service->publish(*event));
+  }
+  service->drain();
+  ASSERT_TRUE(service->status().ok());
+
+  const MetricsSnapshot metrics = service->metrics();
+  const std::uint64_t solves = metrics.warm_hits + metrics.warm_misses;
+  ASSERT_GT(solves, 0u);
+  const double rate = static_cast<double>(metrics.warm_hits) /
+                      static_cast<double>(solves);
+  EXPECT_GE(rate, 0.80) << metrics.warm_hits << "/" << solves;
+  service->stop();
 }
 
 TEST(ReplayStreamTest, DeterministicAndBounded) {

@@ -5,6 +5,7 @@
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <functional>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -98,6 +99,70 @@ TEST(WorkerPoolTest, SubmitAfterShutdownIsRejected) {
   pool.shutdown();
   EXPECT_FALSE(pool.submit([] {}));
   pool.shutdown();  // idempotent
+}
+
+TEST(WorkerPoolTest, TaskGroupWaitsForItsOwnTasksOnly) {
+  WorkerPool pool(WorkerPool::Config{.threads = 2, .queue_capacity = 64});
+  Gate gate;
+  std::atomic<int> foreign{0};
+  std::atomic<int> mine{0};
+  // A foreign gated task keeps one worker busy indefinitely...
+  ASSERT_TRUE(pool.submit([&] {
+    gate.wait();
+    ++foreign;
+  }));
+  // ...while the group's own tasks run on the other worker. wait() must
+  // return once *the group's* tasks are done, not the whole pool.
+  TaskGroup group;
+  for (int i = 0; i < 16; ++i) {
+    ASSERT_TRUE(pool.submit([&mine] { ++mine; }, &group));
+  }
+  group.wait();
+  EXPECT_EQ(mine.load(), 16);
+  EXPECT_TRUE(group.idle());
+  EXPECT_EQ(foreign.load(), 0);  // still gated: wait() did not join it
+  gate.open();
+  pool.wait_idle();
+  EXPECT_EQ(foreign.load(), 1);
+}
+
+TEST(WorkerPoolTest, TaskGroupIsReusableAcrossRounds) {
+  WorkerPool pool(WorkerPool::Config{.threads = 3, .queue_capacity = 64});
+  TaskGroup group;
+  std::atomic<int> counter{0};
+  for (int round = 0; round < 20; ++round) {
+    for (int i = 0; i < 8; ++i) {
+      ASSERT_TRUE(pool.submit([&counter] { ++counter; }, &group));
+    }
+    group.wait();
+    EXPECT_EQ(counter.load(), (round + 1) * 8);
+  }
+}
+
+TEST(WorkerPoolTest, SubmitManyRunsAllOrNothing) {
+  WorkerPool pool(WorkerPool::Config{.threads = 2, .queue_capacity = 64});
+  TaskGroup group;
+  std::atomic<int> counter{0};
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < 32; ++i) {
+    tasks.push_back([&counter] { ++counter; });
+  }
+  ASSERT_TRUE(pool.submit_many(tasks, &group));
+  EXPECT_TRUE(tasks.empty());  // moved from on success
+  group.wait();
+  EXPECT_EQ(counter.load(), 32);
+
+  // A batch that can never fit is refused outright and left untouched —
+  // the caller's inline-fallback contract.
+  std::vector<std::function<void()>> oversized(65, [&counter] { ++counter; });
+  EXPECT_FALSE(pool.submit_many(oversized, &group));
+  EXPECT_EQ(oversized.size(), 65u);
+  EXPECT_TRUE(group.idle());
+
+  pool.shutdown();
+  std::vector<std::function<void()>> late(1, [&counter] { ++counter; });
+  EXPECT_FALSE(pool.submit_many(late));
+  EXPECT_EQ(late.size(), 1u);
 }
 
 TEST(WorkerPoolTest, ManyProducersOneCounter) {

@@ -2,16 +2,20 @@
 // it as a pool-update stream through the ScannerService, and reports the
 // ranked opportunity set plus the metrics layer's view of the run.
 //
-// Usage: runtime_daemon [--shards N] [snapshot_dir] [blocks]
-//                       [worker_threads] [fault_rate] [fault_seed]
+// Usage: runtime_daemon [--shards N] [--pipeline-depth N] [snapshot_dir]
+//                       [blocks] [worker_threads] [fault_rate] [fault_seed]
 // Defaults: the repo's data/sample_snapshot, 50 blocks, 4 threads, one
-// shard, no fault injection. --shards N partitions the cycle universe
-// across N parallel shard scanners (the ranked output is bit-identical
-// for any N). A positive fault_rate wraps the stream in a seeded
+// shard, pipeline depth 2, no fault injection. --shards N partitions the
+// cycle universe across N parallel shard scanners (the ranked output is
+// bit-identical for any N). --pipeline-depth N overlaps epoch N+1's
+// validate/write stages with epoch N's repricing (1 = fully serial;
+// >2 additionally prefetches validated batches; output is bit-identical
+// at any depth). A positive fault_rate wraps the stream in a seeded
 // FaultInjector (uniform rate across all five fault classes) to exercise
 // the validation/quarantine stage; the run then reports the injector's
 // fault counts next to the service's rejection metrics.
-// Writes runtime_metrics.csv (one metrics snapshot per block).
+// Writes runtime_metrics.csv (one metrics snapshot per block, including
+// the per-stage latency and epoch-lag columns).
 
 #include <cstdio>
 #include <cstdlib>
@@ -40,6 +44,7 @@ namespace {
 
 int main(int argc, char** argv) {
   int shards_arg = 1;
+  int depth_arg = 2;
   std::vector<std::string> positional;
   for (int i = 1; i < argc; ++i) {
     if (std::string(argv[i]) == "--shards") {
@@ -48,6 +53,14 @@ int main(int argc, char** argv) {
         return 2;
       }
       shards_arg = std::atoi(argv[++i]);
+      continue;
+    }
+    if (std::string(argv[i]) == "--pipeline-depth") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--pipeline-depth needs a value\n");
+        return 2;
+      }
+      depth_arg = std::atoi(argv[++i]);
       continue;
     }
     positional.emplace_back(argv[i]);
@@ -64,12 +77,13 @@ int main(int argc, char** argv) {
   const long long fault_seed =
       positional.size() > 4 ? std::atoll(positional[4].c_str()) : 1;
   if (blocks_arg <= 0 || threads_arg <= 0 || shards_arg <= 0 ||
-      fault_rate < 0.0 || fault_rate > 1.0) {
+      depth_arg <= 0 || fault_rate < 0.0 || fault_rate > 1.0) {
     std::fprintf(stderr,
-                 "usage: runtime_daemon [--shards N] [snapshot_dir] [blocks] "
-                 "[worker_threads] [fault_rate] [fault_seed]\nblocks, "
-                 "worker_threads and shards must be positive integers, "
-                 "fault_rate in [0, 1]\n");
+                 "usage: runtime_daemon [--shards N] [--pipeline-depth N] "
+                 "[snapshot_dir] [blocks] [worker_threads] [fault_rate] "
+                 "[fault_seed]\nblocks, worker_threads, shards and "
+                 "pipeline-depth must be positive integers, fault_rate in "
+                 "[0, 1]\n");
     return 2;
   }
   const auto blocks = static_cast<std::size_t>(blocks_arg);
@@ -99,6 +113,7 @@ int main(int argc, char** argv) {
   config.scanner.loop_lengths = {3};
   config.worker_threads = threads;
   config.shards = static_cast<std::size_t>(shards_arg);
+  config.pipeline_depth = static_cast<std::size_t>(depth_arg);
   auto service = runtime::ScannerService::start(snapshot, config);
   if (!service) die("ScannerService::start", service.error());
 
@@ -185,6 +200,20 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(metrics.loops_repriced_mixed),
               metrics.mixed_reprice_p50_us, metrics.mixed_reprice_p99_us,
               metrics.mixed_reprice_max_us);
+  std::printf("pipeline: depth %llu, epoch lag %llu, worker queue %llu, "
+              "warm invalidations %llu\n",
+              static_cast<unsigned long long>(metrics.pipeline_depth),
+              static_cast<unsigned long long>(metrics.epoch_lag),
+              static_cast<unsigned long long>(metrics.worker_queue_depth),
+              static_cast<unsigned long long>(metrics.warm_invalidations));
+  std::printf("  validate stage: us p50=%.1f p99=%.1f (%llu batches)\n",
+              metrics.stage_validate_p50_us, metrics.stage_validate_p99_us,
+              static_cast<unsigned long long>(metrics.stage_validate_samples));
+  std::printf("  write stage   : us p50=%.1f p99=%.1f (%llu epochs)\n",
+              metrics.stage_write_p50_us, metrics.stage_write_p99_us,
+              static_cast<unsigned long long>(metrics.stage_write_samples));
+  std::printf("  reprice stage : us p50=%.1f p99=%.1f\n",
+              metrics.reprice_p50_us, metrics.reprice_p99_us);
   std::printf("shard router: %llu shards, plan imbalance %.3f\n",
               static_cast<unsigned long long>(metrics.shards),
               metrics.shard_imbalance);
