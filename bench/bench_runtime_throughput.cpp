@@ -7,7 +7,9 @@
 //       RuntimeMetrics,
 //   (d) end-to-end events/sec through the ScannerService with its
 //       metrics layer reporting p50/p99 re-price latency,
-//   (e) the convex workload on a mixed-venue market (per-kind split),
+//   (e) the convex workload on a mixed-venue market: per-kind loop
+//       split (fast path vs generic route) and per-solve medians, with
+//       a mixed ≤ 5x CPMM median bar under ARB_BENCH_MIXED_STRICT,
 //   (f) a shard sweep: deterministic batch replay through the sharded
 //       scanner at K ∈ {1, 2, 4, 8}, with a K=4 ≥ K=1-median throughput
 //       bar under ARB_BENCH_SHARD_STRICT,
@@ -57,8 +59,15 @@ struct StreamResult {
   std::size_t warm_misses = 0;
   std::size_t repriced_cpmm = 0;
   std::size_t repriced_mixed = 0;
+  std::size_t repriced_mixed_fast = 0;
+  std::size_t repriced_mixed_generic = 0;
   double reprice_cpmm_us = 0.0;
   double reprice_mixed_us = 0.0;
+  /// Per-event per-loop cost samples by kind (the event's kind-total
+  /// divided by its loop count): the medians of these series are the
+  /// per-solve medians the mixed-vs-CPMM ratio bar compares.
+  std::vector<double> cpmm_loop_us_samples;
+  std::vector<double> mixed_loop_us_samples;
 };
 
 StreamResult replay_stream(const market::MarketSnapshot& snapshot,
@@ -87,8 +96,19 @@ StreamResult replay_stream(const market::MarketSnapshot& snapshot,
     result.warm_misses += report.warm_misses;
     result.repriced_cpmm += report.repriced_cpmm;
     result.repriced_mixed += report.repriced_mixed;
+    result.repriced_mixed_fast += report.repriced_mixed_fast;
+    result.repriced_mixed_generic += report.repriced_mixed_generic;
     result.reprice_cpmm_us += report.reprice_cpmm_us;
     result.reprice_mixed_us += report.reprice_mixed_us;
+    if (report.repriced_cpmm > 0) {
+      result.cpmm_loop_us_samples.push_back(
+          report.reprice_cpmm_us / static_cast<double>(report.repriced_cpmm));
+    }
+    if (report.repriced_mixed > 0) {
+      result.mixed_loop_us_samples.push_back(
+          report.reprice_mixed_us /
+          static_cast<double>(report.repriced_mixed));
+    }
   }
   return result;
 }
@@ -193,6 +213,21 @@ int main() {
           ? 0.0
           : mixed_stream.reprice_mixed_us /
                 static_cast<double>(mixed_stream.repriced_mixed);
+  // Per-solve medians by kind: with the analytic mixed kernels on the
+  // barrier fast path, a mixed solve should cost the same order as a
+  // CPMM one rather than the generic solver's ~100x.
+  const double mixed_loop_cpmm_median_us =
+      mixed_stream.cpmm_loop_us_samples.empty()
+          ? 0.0
+          : percentile(mixed_stream.cpmm_loop_us_samples, 0.50);
+  const double mixed_loop_mixed_median_us =
+      mixed_stream.mixed_loop_us_samples.empty()
+          ? 0.0
+          : percentile(mixed_stream.mixed_loop_us_samples, 0.50);
+  const double mixed_median_ratio =
+      mixed_loop_cpmm_median_us > 0.0
+          ? mixed_loop_mixed_median_us / mixed_loop_cpmm_median_us
+          : 0.0;
 
   // (f) Shard sweep: identical precomputed event batches applied straight
   // through the IncrementalScanner at K ∈ {1, 2, 4, 8} shards on a shared
@@ -382,6 +417,14 @@ int main() {
                    {static_cast<double>(mixed_stream.repriced_mixed)});
   sink.labeled_row("mixed_loop_cpmm_us", {mixed_loop_cpmm_us});
   sink.labeled_row("mixed_loop_mixed_us", {mixed_loop_mixed_us});
+  sink.labeled_row("mixed_loop_cpmm_median_us", {mixed_loop_cpmm_median_us});
+  sink.labeled_row("mixed_loop_mixed_median_us",
+                   {mixed_loop_mixed_median_us});
+  sink.labeled_row("mixed_median_ratio", {mixed_median_ratio});
+  sink.labeled_row("mixed_loops_fast",
+                   {static_cast<double>(mixed_stream.repriced_mixed_fast)});
+  sink.labeled_row("mixed_loops_generic",
+                   {static_cast<double>(mixed_stream.repriced_mixed_generic)});
   for (const SweepPoint& point : sweep) {
     sink.labeled_row("shard" + std::to_string(point.shards) + "_events_per_sec",
                      {point.events_per_sec});
@@ -412,6 +455,13 @@ int main() {
            static_cast<double>(mixed_stream.repriced_mixed));
   json.set("mixed.loop_cpmm_us", mixed_loop_cpmm_us);
   json.set("mixed.loop_mixed_us", mixed_loop_mixed_us);
+  json.set("mixed.loop_cpmm_median_us", mixed_loop_cpmm_median_us);
+  json.set("mixed.loop_mixed_median_us", mixed_loop_mixed_median_us);
+  json.set("mixed.median_ratio", mixed_median_ratio);
+  json.set("mixed.loops_fast",
+           static_cast<double>(mixed_stream.repriced_mixed_fast));
+  json.set("mixed.loops_generic",
+           static_cast<double>(mixed_stream.repriced_mixed_generic));
   for (const SweepPoint& point : sweep) {
     const std::string prefix = "shard_sweep.k" + std::to_string(point.shards);
     json.set(prefix + ".events_per_sec", point.events_per_sec);
@@ -438,9 +488,14 @@ int main() {
   std::printf("service: %.0f events/sec, reprice p50=%.1fus p99=%.1fus\n",
               events_per_sec, metrics.reprice_p50_us, metrics.reprice_p99_us);
   std::printf("mixed venue: apply median %.1fus, loops cpmm=%zu (%.1fus) "
-              "mixed=%zu (%.1fus)\n",
+              "mixed=%zu (%.1fus, fast=%zu generic=%zu)\n",
               mixed_median_us, mixed_stream.repriced_cpmm, mixed_loop_cpmm_us,
-              mixed_stream.repriced_mixed, mixed_loop_mixed_us);
+              mixed_stream.repriced_mixed, mixed_loop_mixed_us,
+              mixed_stream.repriced_mixed_fast,
+              mixed_stream.repriced_mixed_generic);
+  std::printf("mixed venue medians: cpmm %.1fus, mixed %.1fus (ratio %.2fx)\n",
+              mixed_loop_cpmm_median_us, mixed_loop_mixed_median_us,
+              mixed_median_ratio);
   std::printf("shard sweep (best/median of %d):\n", kSweepReps);
   for (const SweepPoint& point : sweep) {
     std::printf(
@@ -542,6 +597,38 @@ int main() {
                    "FAIL: K=8 pipelined %.0f ev/s below 2.0x the serial "
                    "inline median %.0f ev/s\n",
                    pipelined.back().events_per_sec, serial_median);
+      return 1;
+    }
+  }
+  // Mixed-venue fast-path bar: perf-smoke exports ARB_BENCH_MIXED_STRICT
+  // and demands the per-solve mixed median stay within 5x the CPMM one —
+  // the analytic stable/concentrated kernels on the barrier solver, not
+  // the ~100x derivative-free generic route, must carry the mixed load.
+  if (std::getenv("ARB_BENCH_MIXED_STRICT") != nullptr) {
+    if (mixed_stream.repriced_mixed == 0 ||
+        mixed_loop_cpmm_median_us <= 0.0) {
+      std::fprintf(stderr,
+                   "FAIL: mixed strict bar ran without mixed/CPMM samples "
+                   "(mixed=%zu, cpmm median %.1fus)\n",
+                   mixed_stream.repriced_mixed, mixed_loop_cpmm_median_us);
+      return 1;
+    }
+    const double mixed_bar = 5.0;
+    if (mixed_median_ratio > mixed_bar) {
+      std::fprintf(stderr,
+                   "FAIL: mixed per-solve median %.1fus is %.2fx the CPMM "
+                   "median %.1fus (bar %.1fx)\n",
+                   mixed_loop_mixed_median_us, mixed_median_ratio,
+                   mixed_loop_cpmm_median_us, mixed_bar);
+      return 1;
+    }
+    if (mixed_stream.repriced_mixed_fast <
+        mixed_stream.repriced_mixed_generic) {
+      std::fprintf(stderr,
+                   "FAIL: generic solves (%zu) outnumber fast-path solves "
+                   "(%zu) on the mixed stream\n",
+                   mixed_stream.repriced_mixed_generic,
+                   mixed_stream.repriced_mixed_fast);
       return 1;
     }
   }

@@ -104,23 +104,31 @@ ConcentratedPool::Move ConcentratedPool::move_for(TokenId token_in,
     // Selling token0 pushes the price down: 1/√P' = 1/√P + Δ/L.
     const double inv_new = 1.0 / sqrt_price_ + effective_in / liquidity_;
     const double inv_edge = 1.0 / sqrt_lo_;
-    if (inv_new <= inv_edge) {
+    // hit_edge is `>=`, not `>`: an input landing exactly on the tick
+    // boundary is at the kink, where the derivative must be the
+    // right-limit slope (0 — more input buys nothing). The float
+    // round-trip 1/(1/√lo) != √lo makes a price comparison unreliable
+    // here, hence the explicit flag.
+    move.hit_edge = inv_new >= inv_edge;
+    if (!move.hit_edge) {
       move.new_sqrt_price = 1.0 / inv_new;
       move.consumed_effective = effective_in;
     } else {
       move.new_sqrt_price = sqrt_lo_;
       move.consumed_effective =
-          liquidity_ * (inv_edge - 1.0 / sqrt_price_);
+          std::min(effective_in, liquidity_ * (inv_edge - 1.0 / sqrt_price_));
     }
   } else {
     // Selling token1 pushes the price up: √P' = √P + Δ/L.
     const double new_sqrt = sqrt_price_ + effective_in / liquidity_;
-    if (new_sqrt <= sqrt_hi_) {
+    move.hit_edge = new_sqrt >= sqrt_hi_;
+    if (!move.hit_edge) {
       move.new_sqrt_price = new_sqrt;
       move.consumed_effective = effective_in;
     } else {
       move.new_sqrt_price = sqrt_hi_;
-      move.consumed_effective = liquidity_ * (sqrt_hi_ - sqrt_price_);
+      move.consumed_effective =
+          std::min(effective_in, liquidity_ * (sqrt_hi_ - sqrt_price_));
     }
   }
   return move;
@@ -140,18 +148,17 @@ SwapQuote ConcentratedPool::quote(TokenId token_in, Amount amount_in) const {
     q.amount_out =
         std::max(0.0, liquidity_ * (sqrt_price_ - move.new_sqrt_price));
     // d out / d in at this size: out = L·(√P − 1/(1/√P + γ·in/L)),
-    // derivative = γ·(√P')².
+    // derivative = γ·(√P')². At the boundary (including exactly on it)
+    // the right-limit slope is 0: extra input buys nothing.
     q.marginal_rate =
-        move.consumed_effective < gamma * amount_in
-            ? 0.0
-            : gamma * move.new_sqrt_price * move.new_sqrt_price;
+        move.hit_edge ? 0.0
+                      : gamma * move.new_sqrt_price * move.new_sqrt_price;
   } else {
     q.amount_out = std::max(0.0, liquidity_ * (1.0 / sqrt_price_ -
                                                1.0 / move.new_sqrt_price));
     q.marginal_rate =
-        move.consumed_effective < gamma * amount_in
-            ? 0.0
-            : gamma / (move.new_sqrt_price * move.new_sqrt_price);
+        move.hit_edge ? 0.0
+                      : gamma / (move.new_sqrt_price * move.new_sqrt_price);
   }
   return q;
 }

@@ -55,6 +55,14 @@ class ConcentratedPool {
   [[nodiscard]] double p_hi() const { return sqrt_hi_ * sqrt_hi_; }
   [[nodiscard]] double fee() const { return fee_; }
 
+  /// Raw √-space state, exposed for the barrier solver's closed-form
+  /// in-range kernel (virtual reserves x_v = L/√P, y_v = L·√P and the
+  /// exact in-range input caps are all √-space quantities; squaring and
+  /// re-rooting the public prices would lose ulps the cap math needs).
+  [[nodiscard]] double sqrt_price() const { return sqrt_price_; }
+  [[nodiscard]] double sqrt_lo() const { return sqrt_lo_; }
+  [[nodiscard]] double sqrt_hi() const { return sqrt_hi_; }
+
   [[nodiscard]] bool contains(TokenId token) const;
   [[nodiscard]] TokenId other(TokenId token) const;
 
@@ -90,6 +98,7 @@ class ConcentratedPool {
   struct Move {
     double new_sqrt_price;
     double consumed_effective;  ///< effective input usable before the edge
+    bool hit_edge;  ///< price reached the range boundary (incl. exactly)
   };
   [[nodiscard]] Move move_for(TokenId token_in, double effective_in) const;
 

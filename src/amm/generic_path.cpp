@@ -51,8 +51,17 @@ std::vector<double> GenericPath::hop_inputs(double input) const {
 
 Result<OptimalTrade> optimize_input_generic(
     const GenericPath& path, const GenericOptimizeOptions& options) {
+  return optimize_input_generic(
+      std::function<double(double)>(
+          [&path](double d) { return path.evaluate(d); }),
+      options);
+}
+
+Result<OptimalTrade> optimize_input_generic(
+    const std::function<double(double)>& evaluate,
+    const GenericOptimizeOptions& options) {
   ARB_REQUIRE(options.initial_scale > 0.0, "initial_scale must be positive");
-  const auto profit = [&path](double d) { return path.evaluate(d) - d; };
+  const auto profit = [&evaluate](double d) { return evaluate(d) - d; };
 
   OptimalTrade trade;
   // Unprofitable at the margin? The profit function is concave with
@@ -85,7 +94,7 @@ Result<OptimalTrade> optimize_input_generic(
   line.x_tolerance = options.tolerance * hi;
   const auto peak = math::golden_section_maximize(profit, 0.0, hi, line);
   trade.input = peak.x;
-  trade.output = path.evaluate(peak.x);
+  trade.output = evaluate(peak.x);
   trade.profit = trade.output - trade.input;
   trade.iterations = peak.iterations;
   if (trade.profit <= 0.0) {

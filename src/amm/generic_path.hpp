@@ -63,4 +63,12 @@ struct GenericOptimizeOptions {
 [[nodiscard]] Result<OptimalTrade> optimize_input_generic(
     const GenericPath& path, const GenericOptimizeOptions& options = {});
 
+/// Black-box variant over a chain evaluator (input → whole-chain
+/// output). Same algorithm; lets callers that already hold the hops in
+/// their own buffers (the generic convex solver's workspace-threaded
+/// anchors) seed without constructing a GenericPath — no SwapFn copies.
+[[nodiscard]] Result<OptimalTrade> optimize_input_generic(
+    const std::function<double(double)>& evaluate,
+    const GenericOptimizeOptions& options = {});
+
 }  // namespace arb::amm

@@ -32,6 +32,34 @@ double solve_d(double x, double y, double amplification) {
 
 }  // namespace
 
+double StableCurve::y(double x) const {
+  const double b = x + d / ann - d;
+  const double c = d * d * d / (4.0 * ann * x);
+  const double r = std::sqrt(b * b + 4.0 * c);
+  // y = (−B + √(B²+4C)) / 2; when B > 0 the subtraction cancels, so use
+  // the conjugate form 2C / (B + √(B²+4C)) instead.
+  return b > 0.0 ? 2.0 * c / (b + r) : 0.5 * (r - b);
+}
+
+double StableCurve::dy_dx(double x) const {
+  // Implicit differentiation of y² + B·y = C with B' = 1, C' = −C/x:
+  //   y'·(2y + B) = −C/x − y.
+  const double b = x + d / ann - d;
+  const double c = d * d * d / (4.0 * ann * x);
+  const double yy = y(x);
+  return (-c / x - yy) / (2.0 * yy + b);
+}
+
+double StableCurve::d2y_dx2(double x) const {
+  // Differentiating once more, with C'' = 2C/x²:
+  //   y''·(2y + B) = 2C/x² − 2y'² − 2y'.
+  const double b = x + d / ann - d;
+  const double c = d * d * d / (4.0 * ann * x);
+  const double yy = y(x);
+  const double yp = (-c / x - yy) / (2.0 * yy + b);
+  return (2.0 * c / (x * x) - 2.0 * yp * yp - 2.0 * yp) / (2.0 * yy + b);
+}
+
 StablePool::StablePool(PoolId id, TokenId token0, TokenId token1,
                        Amount reserve0, Amount reserve1,
                        double amplification, double fee)
@@ -48,6 +76,7 @@ StablePool::StablePool(PoolId id, TokenId token0, TokenId token1,
               "stable pool requires positive reserves");
   ARB_REQUIRE(amplification > 0.0, "amplification must be positive");
   ARB_REQUIRE(fee >= 0.0 && fee < 1.0, "fee must be in [0, 1)");
+  invariant_d_ = solve_d(reserve0_, reserve1_, amplification_);
 }
 
 bool StablePool::contains(TokenId token) const {
@@ -62,10 +91,6 @@ TokenId StablePool::other(TokenId token) const {
 Amount StablePool::reserve_of(TokenId token) const {
   ARB_REQUIRE(contains(token), "token not in pool");
   return token == token0_ ? reserve0_ : reserve1_;
-}
-
-double StablePool::invariant() const {
-  return solve_d(reserve0_, reserve1_, amplification_);
 }
 
 double StablePool::solve_other_balance(double new_in_balance,
@@ -92,7 +117,7 @@ SwapQuote StablePool::quote(TokenId token_in, Amount amount_in) const {
   ARB_REQUIRE(amount_in >= 0.0, "amount_in must be non-negative");
   const double x = reserve_of(token_in);
   const double y = reserve_of(other(token_in));
-  const double d = solve_d(reserve0_, reserve1_, amplification_);
+  const double d = invariant_d_;
 
   const auto gross_out = [&](double dx) {
     if (dx == 0.0) return 0.0;
@@ -126,6 +151,7 @@ Result<SwapQuote> StablePool::apply_swap(TokenId token_in, Amount amount_in) {
     reserve1_ += amount_in;
     reserve0_ -= q.amount_out;
   }
+  invariant_d_ = solve_d(reserve0_, reserve1_, amplification_);
   return q;
 }
 

@@ -26,6 +26,29 @@
 
 namespace arb::amm {
 
+/// Closed-form view of the two-coin StableSwap curve at a *fixed*
+/// invariant D. Given the input-side balance x, the output-side balance
+/// is the positive root of
+///
+///   y² + B(x)·y = C(x),   B = x + D/Ann − D,   C = D³/(4·Ann·x),
+///
+/// with Ann = A·n² = 4A. The root and its first two derivatives have
+/// closed forms, so barrier-solver iterations over a stable hop need no
+/// inner Newton loop. `y()` uses the cancellation-safe branch of the
+/// quadratic formula (B can exceed √(B²+4C) − B by many digits when the
+/// pool is lopsided).
+struct StableCurve {
+  double d = 0.0;    ///< invariant D
+  double ann = 0.0;  ///< A·n² = 4A
+
+  /// Output-side balance at input-side balance `x` (> 0).
+  [[nodiscard]] double y(double x) const;
+  /// dy/dx < 0: the output balance falls as the input balance grows.
+  [[nodiscard]] double dy_dx(double x) const;
+  /// d²y/dx² > 0: y(x) is convex, so the swap function is concave.
+  [[nodiscard]] double d2y_dx2(double x) const;
+};
+
 class StablePool {
  public:
   /// Preconditions: distinct valid tokens, positive reserves,
@@ -46,8 +69,16 @@ class StablePool {
   [[nodiscard]] TokenId other(TokenId token) const;
   [[nodiscard]] Amount reserve_of(TokenId token) const;
 
-  /// The StableSwap invariant D at current reserves (Newton).
-  [[nodiscard]] double invariant() const;
+  /// The StableSwap invariant D at current reserves. Computed once per
+  /// reserve state (constructor / apply_swap) and cached, so quotes and
+  /// the solver kernel never re-run the D Newton.
+  [[nodiscard]] double invariant() const { return invariant_d_; }
+
+  /// Fixed-D closed-form curve at the current reserve state, for the
+  /// barrier solver's analytic stable-hop kernel.
+  [[nodiscard]] StableCurve curve() const {
+    return StableCurve{invariant_d_, 4.0 * amplification_};
+  }
 
   /// Quotes a swap without mutating state (fee charged on the output,
   /// as Curve does). Preconditions: contains(token_in), amount_in >= 0.
@@ -84,6 +115,8 @@ class StablePool {
   Amount reserve1_;
   double amplification_;
   double fee_;
+  /// Cached D for the current reserves; refreshed whenever they change.
+  double invariant_d_;
 };
 
 }  // namespace arb::amm

@@ -58,7 +58,13 @@ struct LoopNormalization {
     LoopNormalization norm;
     norm.token_unit.resize(n);
     for (std::size_t i = 0; i < n; ++i) {
-      norm.token_unit[i] = hops[i].reserve_in;
+      // Stable hops: the reserve fields hold the osculating proxy, whose
+      // depth can dwarf the actual balances near the flat region of the
+      // curve — normalize by the real input-side balance instead so the
+      // units stay physically meaningful.
+      norm.token_unit[i] = hops[i].kind == HopKind::kStable
+                               ? hops[i].stable_x0
+                               : hops[i].reserve_in;
     }
     // Scale prices by the loop's MaxMax optimum (closed form per
     // rotation), so the normalized optimal profit is ~1 and the solver's
@@ -99,6 +105,12 @@ struct LoopNormalization {
       out[i].reserve_out = hops[i].reserve_out / token_unit[next];
       out[i].price_in = hops[i].price_in * token_unit[i] / price_scale;
       out[i].price_out = hops[i].price_out * token_unit[next] / price_scale;
+      // Per-kind kernel state: the stable closed form evaluates in raw
+      // units through these factors; tick caps rescale like inputs
+      // (inf / u stays inf on CPMM/stable hops).
+      out[i].unit_in = token_unit[i];
+      out[i].unit_out = token_unit[next];
+      out[i].input_cap = hops[i].input_cap / token_unit[i];
     }
     return out;
   }
@@ -136,7 +148,11 @@ bool project_interior(const std::vector<LoopHopData>& hops, math::Vector& d,
   // G(Δ) = aΔ/(b+cΔ); profitable loops have a > b, break-even (a−b)/c.
   if (!(loop.a > loop.b) || !(loop.c > 0.0)) return false;
   const double break_even = (loop.a - loop.b) / loop.c;
-  const double anchor = std::min(d[0], 0.75 * break_even);
+  // Per-kind hop guard: the anchor must also clear the first hop's tick
+  // cap (min with +inf is the identity on CPMM/stable hops, so all-CPMM
+  // arithmetic is untouched).
+  const double anchor = std::min(
+      std::min(d[0], 0.75 * break_even), 0.9 * hops[0].input_cap);
   const double gain = loop.evaluate(anchor);
   if (!(anchor > 0.0) || !(gain > anchor)) return false;
   const double shave = std::min(
@@ -147,20 +163,28 @@ bool project_interior(const std::vector<LoopHopData>& hops, math::Vector& d,
   for (std::size_t i = 0; i + 1 < n; ++i) {
     d[i + 1] = hops[i].swap(d[i]) * (1.0 - shave);
     if (!(d[i + 1] > 0.0)) return false;
+    // A rebuilt link crossing the next hop's tick cap means the
+    // perturbation moved the range edge under the cached iterate: the
+    // caller cold-starts (strict feasibility would reject it anyway).
+    if (!(d[i + 1] < hops[i + 1].input_cap)) return false;
   }
   return true;
 }
 
-/// Mixed-venue route: eq. (8) sized by the derivative-free coordinate
+/// Generic route: eq. (8) sized by the derivative-free coordinate
 /// solver over black-box SwapFn hops. No duality certificate (the gap
-/// reported is 0), no warm starts.
+/// reported is 0), no warm starts — reached when the mixed fast path is
+/// disabled, on tick-crossing/degenerate mixed state, or as the rescue
+/// rung after a barrier failure.
 Result<ConvexSolution> solve_convex_generic(const graph::TokenGraph& graph,
                                             const market::CexPriceFeed& prices,
                                             const graph::Cycle& cycle,
                                             const ConvexOptions& options,
                                             ConvexContext& ctx) {
   ctx.used_generic = true;
-  if (ctx.warm) ctx.warm->valid = false;  // warm starts are CPMM-only
+  // The coordinate solver's iterates don't map back to the barrier's
+  // central path, so a cached warm slot is meaningless after this route.
+  if (ctx.warm) ctx.warm->valid = false;
 
   const std::size_t n = cycle.length();
   std::vector<GenericHop> hops(n);
@@ -178,7 +202,7 @@ Result<ConvexSolution> solve_convex_generic(const graph::TokenGraph& graph,
       generic_options.initial_scale,
       1e-3 * graph.pool(cycle.pools()[0]).reserve_of(cycle.tokens()[0]));
 
-  auto report = solve_generic_convex(hops, generic_options);
+  auto report = solve_generic_convex(hops, generic_options, ctx.workspace);
   if (!report) return report.error();
 
   ConvexSolution solution;
@@ -231,18 +255,36 @@ Result<ConvexSolution> solve_convex(const graph::TokenGraph& graph,
     return zero_solution(cycle);
   }
 
-  // Any non-CPMM hop: the analytic barrier transcription does not apply;
-  // route through the derivative-free generic solver.
-  if (!cycle.all_cpmm(graph)) {
+  // Mixed loops (any non-CPMM hop) take the same barrier path through
+  // the analytic per-kind hop kernels, unless the fast path is disabled
+  // or the full transcription was requested (the per-kind kernels are
+  // wired into the reduced form only).
+  const bool mixed = !cycle.all_cpmm(graph);
+  if (mixed &&
+      (!options.use_mixed_fast_path || options.use_full_formulation)) {
     return solve_convex_generic(graph, prices, cycle, options, ctx);
   }
 
   auto original_hops = make_hop_data(graph, prices, cycle);
   if (!original_hops) return original_hops.error();
   const std::size_t n = original_hops->size();
+  // Tick-crossing fallback: a concentrated hop pinned at (or numerically
+  // past) its range edge in the trade direction admits no input, so the
+  // cap constraint has no strict interior; the generic solver's clamped
+  // quotes handle the flat region instead.
+  if (mixed) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!((*original_hops)[i].input_cap > 0.0)) {
+        return solve_convex_generic(graph, prices, cycle, options, ctx);
+      }
+    }
+  }
   // The barrier transcription divides by reserves and takes logs of
   // prices; reject corrupted inputs here with a typed diagnostic instead
-  // of letting NaN propagate into the Newton iteration.
+  // of letting NaN propagate into the Newton iteration. On mixed loops
+  // this also catches degenerate kernel state (a stable osculating proxy
+  // blowing up on a perfectly flat curve), which the derivative-free
+  // generic solver tolerates — route there instead of erroring.
   for (std::size_t i = 0; i < n; ++i) {
     const LoopHopData& hop = (*original_hops)[i];
     if (!std::isfinite(hop.reserve_in) || !std::isfinite(hop.reserve_out) ||
@@ -250,6 +292,9 @@ Result<ConvexSolution> solve_convex(const graph::TokenGraph& graph,
         !std::isfinite(hop.gamma) || !(hop.reserve_in > 0.0) ||
         !(hop.reserve_out > 0.0) || !(hop.price_in > 0.0) ||
         !(hop.price_out > 0.0) || !(hop.gamma > 0.0)) {
+      if (mixed) {
+        return solve_convex_generic(graph, prices, cycle, options, ctx);
+      }
       return make_error(ErrorCode::kNumericFailure,
                         "non-finite or non-positive state on hop " +
                             std::to_string(i) + " of loop " +
@@ -278,10 +323,12 @@ Result<ConvexSolution> solve_convex(const graph::TokenGraph& graph,
   solution.inputs.resize(n);
   solution.outputs.resize(n);
 
-  // Analytic kernel: 2-pool loops under the reduced transcription have a
-  // closed-form optimum — no normalization, no iterations, zero gap.
-  if (!options.use_full_formulation && options.use_closed_form_length2 &&
-      n == 2) {
+  // Analytic kernel: 2-pool all-CPMM loops under the reduced
+  // transcription have a closed-form optimum — no normalization, no
+  // iterations, zero gap. (Mixed length-2 loops stay on the barrier: the
+  // active-set kernel's formulas are CPMM-exact only.)
+  if (!mixed && !options.use_full_formulation &&
+      options.use_closed_form_length2 && n == 2) {
     if (const auto closed = solve_length2_closed_form(*original_hops)) {
       ctx.used_closed_form = true;
       if (ctx.warm) ctx.warm->valid = false;  // nothing to warm-start
@@ -418,6 +465,22 @@ Result<ConvexSolution> solve_convex(const graph::TokenGraph& graph,
     solution.outputs[i] *= norm.token_unit[(i + 1) % n];
   }
   solution.duality_gap_usd *= norm.price_scale;
+
+  // Plan honesty on mixed hops: the kernel output (fixed-D closed form /
+  // virtual-reserve form) can differ from the pool's own quote by the
+  // quote Newton's convergence slack, which plan_from_convex would
+  // reject as an invariant violation on small outputs. Re-quote each
+  // non-CPMM hop at the solved input so the reported outputs are exactly
+  // what execution attains.
+  if (mixed) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const LoopHopData& hop = (*original_hops)[i];
+      if (hop.kind == HopKind::kCpmm) continue;
+      solution.outputs[i] = graph.pool(hop.pool)
+                                .quote(hop.token_in, solution.inputs[i])
+                                .amount_out;
+    }
+  }
 
   fill_profits(*original_hops, solution.inputs, solution.outputs,
                solution.outcome);

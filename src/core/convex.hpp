@@ -64,9 +64,20 @@ struct ConvexOptions {
   /// in a few Newton steps even across 100x jumps in sharpness.
   double warm_mu = 1000.0;
 
-  /// Options for the derivative-free generic solver that mixed-venue
-  /// loops (any non-CPMM hop) are routed through. All-CPMM loops never
-  /// read this — they stay on the barrier/closed-form path above.
+  /// Mixed-venue loops (any Stable/Concentrated hop) run on the barrier
+  /// interior-point solver through the analytic per-kind hop kernels
+  /// (fixed-D stable closed form, virtual-reserve concentrated form with
+  /// tick-cap constraints) — the same warm-start/workspace fast path as
+  /// all-CPMM loops. False: route every mixed loop through the
+  /// derivative-free generic solver, the pre-fast-path behavior. Either
+  /// way the generic solver remains the containment/rescue rung, and
+  /// all-CPMM loops are bit-identically unaffected by this flag.
+  bool use_mixed_fast_path = true;
+
+  /// Options for the derivative-free generic solver: the mixed-loop
+  /// route when use_mixed_fast_path is off, the tick-crossing fallback
+  /// for concentrated hops pinned at a range edge, and the rescue rung
+  /// of the containment ladder. All-CPMM loops only read this on rescue.
   GenericConvexOptions generic;
 };
 
@@ -115,11 +126,16 @@ struct ConvexSolution {
 /// Dispatch: all-CPMM loops use the barrier interior-point solver (with
 /// the closed-form length-2 kernel and optional warm starts) on the
 /// analytic transcription — the fast path, bit-identical to the
-/// pre-heterogeneous scanner. Loops with any StableSwap or concentrated
-/// hop are routed through the derivative-free generic solver
-/// (core/generic_convex.hpp); ctx.used_generic reports which path ran,
-/// and warm slots are invalidated on the generic path (warm starts are
-/// CPMM-only).
+/// pre-heterogeneous scanner. Mixed loops (any StableSwap or
+/// concentrated hop) take the same barrier path through analytic
+/// per-kind hop kernels when use_mixed_fast_path is on (the default),
+/// including warm starts; they fall back to the derivative-free generic
+/// solver (core/generic_convex.hpp) when the flag is off, when the full
+/// formulation is requested, when a concentrated hop is pinned at a
+/// range edge (tick-crossing), or as the rescue rung after a barrier
+/// failure. ctx.used_generic reports which path ran; warm slots are
+/// invalidated whenever the generic path runs (its iterates don't map
+/// back to the barrier's).
 [[nodiscard]] Result<ConvexSolution> solve_convex(
     const graph::TokenGraph& graph, const market::CexPriceFeed& prices,
     const graph::Cycle& cycle, const ConvexOptions& options = {});

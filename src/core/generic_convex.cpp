@@ -1,6 +1,7 @@
 #include "core/generic_convex.hpp"
 
 #include <cmath>
+#include <functional>
 #include <limits>
 
 #include "common/error.hpp"
@@ -13,42 +14,61 @@ namespace {
 /// head input s = d_0, forward fractions ρ_i with
 /// d_{i+1} = ρ_i · swap_i(d_i); flow constraints become the ρ box and
 /// only the wrap constraint swap_{n−1}(d_{n−1}) ≥ s couples coordinates.
+///
+/// The chain views the caller's hop array through a rotation index
+/// instead of holding a rotated copy — materializing n anchors over n
+/// hops used to copy n² std::functions per solve — and the forward-pass
+/// scratch lives in the caller's SolveWorkspace so steady-state solves
+/// stay off the allocator.
 struct GenericChain {
   const std::vector<GenericHop>& hops;
-  /// Forward-pass scratch: refilled on every inputs() call so the sweep's
-  /// many profit/wrap evaluations reuse one buffer instead of allocating.
-  mutable std::vector<double> scratch;
+  std::size_t anchor;
+  math::Vector& scratch;
 
-  [[nodiscard]] const std::vector<double>& inputs(
-      double s, const std::vector<double>& rho) const {
+  [[nodiscard]] const GenericHop& hop(std::size_t i) const {
+    return hops[(anchor + i) % hops.size()];
+  }
+
+  [[nodiscard]] const math::Vector& inputs(double s,
+                                           const math::Vector& rho) const {
     scratch.resize(hops.size());
     scratch[0] = s;
     for (std::size_t i = 1; i < hops.size(); ++i) {
-      scratch[i] = rho[i - 1] * hops[i - 1].swap(scratch[i - 1]);
+      scratch[i] = rho[i - 1] * hop(i - 1).swap(scratch[i - 1]);
     }
     return scratch;
   }
 
-  [[nodiscard]] double wrap_output(double s,
-                                   const std::vector<double>& rho) const {
-    const std::vector<double>& d = inputs(s, rho);
-    return hops.back().swap(d.back());
+  [[nodiscard]] double wrap_output(double s, const math::Vector& rho) const {
+    const math::Vector& d = inputs(s, rho);
+    const std::size_t last = hops.size() - 1;
+    return hop(last).swap(d[last]);
   }
 
-  [[nodiscard]] double profit(double s, const std::vector<double>& rho) const {
-    const std::vector<double>& d = inputs(s, rho);
-    double usd = hops[0].price_in * (hops.back().swap(d.back()) - s);
+  [[nodiscard]] double profit(double s, const math::Vector& rho) const {
+    const math::Vector& d = inputs(s, rho);
+    const std::size_t last = hops.size() - 1;
+    double usd = hop(0).price_in * (hop(last).swap(d[last]) - s);
     for (std::size_t i = 1; i < hops.size(); ++i) {
-      usd += hops[i].price_in * (1.0 - rho[i - 1]) *
-             hops[i - 1].swap(d[i - 1]);
+      usd += hop(i).price_in * (1.0 - rho[i - 1]) *
+             hop(i - 1).swap(d[i - 1]);
     }
     return usd;
   }
+
+  /// Whole-chain output for a head input — the seeding path's evaluator
+  /// (replaces constructing a GenericPath per anchor).
+  [[nodiscard]] double chain_output(double input) const {
+    double amount = input;
+    for (std::size_t i = 0; i < hops.size(); ++i) {
+      amount = hop(i).swap(amount);
+    }
+    return amount;
+  }
 };
 
-double max_feasible_head(const GenericChain& chain,
-                         const std::vector<double>& rho, double current_s,
-                         double scale) {
+double max_feasible_head(const GenericChain& chain, const math::Vector& rho,
+                         double current_s, double scale) {
   const auto slack = [&](double s) { return chain.wrap_output(s, rho) - s; };
   double lo = std::max(current_s, 1e-12 * scale);
   if (slack(lo) < 0.0) return current_s;
@@ -64,11 +84,13 @@ double max_feasible_head(const GenericChain& chain,
 }
 
 double min_feasible_rho(const GenericChain& chain, double s,
-                        std::vector<double> rho, std::size_t index) {
+                        const math::Vector& rho, std::size_t index,
+                        math::Vector& scratch) {
+  scratch = rho;
   const double current = rho[index];
   const auto slack = [&](double value) {
-    rho[index] = value;
-    return chain.wrap_output(s, rho) - s;
+    scratch[index] = value;
+    return chain.wrap_output(s, scratch) - s;
   };
   if (slack(0.0) >= 0.0) return 0.0;
   auto root = math::bisect_root(slack, 0.0, current);
@@ -78,28 +100,30 @@ double min_feasible_rho(const GenericChain& chain, double s,
 /// Anchored sweep (see coordinate.cpp for the commentary; the logic is
 /// identical with swap evaluations replacing the CPMM closed form).
 GenericConvexReport solve_anchored(const std::vector<GenericHop>& hops,
-                                   const GenericConvexOptions& options) {
+                                   std::size_t anchor,
+                                   const GenericConvexOptions& options,
+                                   optim::SolveWorkspace& ws) {
   const std::size_t n = hops.size();
   GenericConvexReport report;
   report.inputs.assign(n, 0.0);
   report.outputs.assign(n, 0.0);
 
+  const GenericChain chain{hops, anchor, ws.generic_chain};
+
   // Seed at the single-start optimum of this rotation.
-  std::vector<amm::SwapFn> fns;
-  fns.reserve(n);
-  for (const GenericHop& hop : hops) fns.push_back(hop.swap);
-  const amm::GenericPath path{std::move(fns)};
   amm::GenericOptimizeOptions seed_options;
   seed_options.initial_scale = options.initial_scale;
-  auto seed = amm::optimize_input_generic(path, seed_options);
+  const std::function<double(double)> chain_eval =
+      [&chain](double input) { return chain.chain_output(input); };
+  auto seed = amm::optimize_input_generic(chain_eval, seed_options);
   if (!seed.ok() || seed->input <= 0.0) {
     report.converged = true;  // profitless rotation: zero is optimal
     return report;
   }
 
-  const GenericChain chain{hops, {}};
   double s = seed->input;
-  std::vector<double> rho(n - 1, 1.0);
+  math::Vector& rho = ws.generic_rho;
+  rho.assign(n - 1, 1.0);
   double best = chain.profit(s, rho);
   const double scale = std::max(seed->input, options.initial_scale);
 
@@ -111,11 +135,13 @@ GenericConvexReport solve_anchored(const std::vector<GenericHop>& hops,
   // Candidate buffers reused across the many line-search evaluations
   // below (rho_comp is nested inside evaluations that use rho_eval, so
   // the two must stay distinct).
-  std::vector<double> rho_eval(n - 1);
-  std::vector<double> rho_comp(n - 1);
+  math::Vector& rho_eval = ws.generic_rho_eval;
+  math::Vector& rho_comp = ws.generic_rho_comp;
+  rho_eval.assign(n - 1, 0.0);
+  rho_comp.assign(n - 1, 0.0);
 
   const auto compensated_profit = [&](double s_value,
-                                      const std::vector<double>& rho_value,
+                                      const math::Vector& rho_value,
                                       std::size_t comp) {
     rho_comp = rho_value;
     const auto slack = [&](double v) {
@@ -162,7 +188,7 @@ GenericConvexReport solve_anchored(const std::vector<GenericHop>& hops,
       }
     }
     for (std::size_t i = 0; i < n - 1; ++i) {
-      const double lo = min_feasible_rho(chain, s, rho, i);
+      const double lo = min_feasible_rho(chain, s, rho, i, rho_eval);
       const auto objective = [&](double v) {
         rho_eval = rho;
         rho_eval[i] = v;
@@ -211,9 +237,10 @@ GenericConvexReport solve_anchored(const std::vector<GenericHop>& hops,
     }
   }
 
-  report.inputs = chain.inputs(s, rho);
+  const math::Vector& d = chain.inputs(s, rho);
   for (std::size_t i = 0; i < n; ++i) {
-    report.outputs[i] = hops[i].swap(report.inputs[i]);
+    report.inputs[i] = d[i];
+    report.outputs[i] = chain.hop(i).swap(d[i]);
   }
   report.profit_usd = chain.profit(s, rho);
   return report;
@@ -222,8 +249,8 @@ GenericConvexReport solve_anchored(const std::vector<GenericHop>& hops,
 }  // namespace
 
 Result<GenericConvexReport> solve_generic_convex(
-    const std::vector<GenericHop>& hops,
-    const GenericConvexOptions& options) {
+    const std::vector<GenericHop>& hops, const GenericConvexOptions& options,
+    optim::SolveWorkspace& workspace) {
   if (hops.size() < 2) {
     return make_error(ErrorCode::kInvalidArgument,
                       "loop needs at least 2 hops");
@@ -241,10 +268,10 @@ Result<GenericConvexReport> solve_generic_convex(
   GenericConvexReport best;
   bool first = true;
   for (std::size_t anchor = 0; anchor < n; ++anchor) {
-    std::vector<GenericHop> rotated(n);
-    for (std::size_t i = 0; i < n; ++i) rotated[i] = hops[(anchor + i) % n];
-    GenericConvexReport candidate = solve_anchored(rotated, options);
+    GenericConvexReport candidate = solve_anchored(hops, anchor, options,
+                                                  workspace);
     if (first || candidate.profit_usd > best.profit_usd) {
+      // Map the anchored coordinates back to the caller's hop order.
       GenericConvexReport mapped = candidate;
       mapped.inputs.assign(n, 0.0);
       mapped.outputs.assign(n, 0.0);
@@ -257,6 +284,13 @@ Result<GenericConvexReport> solve_generic_convex(
     }
   }
   return best;
+}
+
+Result<GenericConvexReport> solve_generic_convex(
+    const std::vector<GenericHop>& hops,
+    const GenericConvexOptions& options) {
+  optim::SolveWorkspace workspace;
+  return solve_generic_convex(hops, options, workspace);
 }
 
 }  // namespace arb::core

@@ -18,6 +18,7 @@
 #include "amm/generic_path.hpp"
 #include "common/result.hpp"
 #include "core/coordinate.hpp"
+#include "optim/workspace.hpp"
 
 namespace arb::core {
 
@@ -46,6 +47,17 @@ struct GenericConvexReport {
 /// Maximizes monetized retained profit over the loop. Preconditions via
 /// Result: at least 2 hops, callable swaps, positive prices. Returns the
 /// all-zero solution when no rotation holds single-start profit.
+///
+/// The workspace overload threads the caller's optim::SolveWorkspace
+/// through every internal buffer (forward-pass chain, coordinate-sweep
+/// fraction vectors), and the rotation anchors index the caller's hop
+/// array in place instead of copying it — steady-state solves reuse one
+/// set of monotonically-grown buffers. Both overloads compute the exact
+/// same arithmetic; the workspace-free one just pays a fresh workspace.
+[[nodiscard]] Result<GenericConvexReport> solve_generic_convex(
+    const std::vector<GenericHop>& hops, const GenericConvexOptions& options,
+    optim::SolveWorkspace& workspace);
+
 [[nodiscard]] Result<GenericConvexReport> solve_generic_convex(
     const std::vector<GenericHop>& hops,
     const GenericConvexOptions& options = {});

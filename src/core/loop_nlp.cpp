@@ -2,22 +2,43 @@
 
 #include <cmath>
 
+#include "amm/any_pool.hpp"
 #include "amm/path.hpp"
 #include "common/error.hpp"
 
 namespace arb::core {
 
 double LoopHopData::swap(double d) const {
+  if (kind == HopKind::kStable) {
+    // Fixed-D closed form in raw units (the stable curve is not
+    // scale-invariant): F(d) = γ·(y₀ − Y(x₀ + d)).
+    const amm::StableCurve curve{stable_d, stable_ann};
+    const double out_raw =
+        gamma * std::max(0.0, stable_y0 - curve.y(stable_x0 + d * unit_in));
+    return out_raw / unit_out;
+  }
+  // CPMM on real reserves; for concentrated hops the same formula on the
+  // virtual reserves is exactly the in-range V3 swap (the cap constraint
+  // keeps iterates in range).
   const double effective = gamma * d;
   return effective * reserve_out / (reserve_in + effective);
 }
 
 double LoopHopData::swap_deriv(double d) const {
+  if (kind == HopKind::kStable) {
+    const amm::StableCurve curve{stable_d, stable_ann};
+    return -gamma * curve.dy_dx(stable_x0 + d * unit_in) * unit_in / unit_out;
+  }
   const double denom = reserve_in + gamma * d;
   return gamma * reserve_in * reserve_out / (denom * denom);
 }
 
 double LoopHopData::swap_deriv2(double d) const {
+  if (kind == HopKind::kStable) {
+    const amm::StableCurve curve{stable_d, stable_ann};
+    return -gamma * curve.d2y_dx2(stable_x0 + d * unit_in) * unit_in *
+           unit_in / unit_out;
+  }
   const double denom = reserve_in + gamma * d;
   return -2.0 * gamma * gamma * reserve_in * reserve_out /
          (denom * denom * denom);
@@ -30,9 +51,7 @@ Result<std::vector<LoopHopData>> make_hop_data(
   const std::size_t n = rotated.length();
   std::vector<LoopHopData> hops(n);
   for (std::size_t i = 0; i < n; ++i) {
-    // Barrier transcription is CPMM-only; callers route mixed loops to
-    // the generic solver first. cpmm() enforces the precondition.
-    const amm::CpmmPool& pool = graph.pool(rotated.pools()[i]).cpmm();
+    const amm::AnyPool& any = graph.pool(rotated.pools()[i]);
     const TokenId token_in = rotated.tokens()[i];
     const TokenId token_out = rotated.tokens()[(i + 1) % n];
     auto price_in = prices.price(token_in);
@@ -40,14 +59,65 @@ Result<std::vector<LoopHopData>> make_hop_data(
     auto price_out = prices.price(token_out);
     if (!price_out) return price_out.error();
     LoopHopData& hop = hops[i];
-    hop.reserve_in = pool.reserve_of(token_in);
-    hop.reserve_out = pool.reserve_of(token_out);
-    hop.gamma = pool.gamma();
     hop.price_in = *price_in;
     hop.price_out = *price_out;
     hop.token_in = token_in;
     hop.token_out = token_out;
-    hop.pool = pool.id();
+    hop.pool = any.id();
+    switch (any.kind()) {
+      case amm::PoolKind::kCpmm: {
+        const amm::CpmmPool& pool = any.cpmm();
+        hop.kind = HopKind::kCpmm;
+        hop.reserve_in = pool.reserve_of(token_in);
+        hop.reserve_out = pool.reserve_of(token_out);
+        hop.gamma = pool.gamma();
+        break;
+      }
+      case amm::PoolKind::kStable: {
+        const amm::StablePool& pool = any.stable();
+        const amm::StableCurve curve = pool.curve();
+        hop.kind = HopKind::kStable;
+        hop.gamma = 1.0 - pool.fee();
+        hop.stable_d = curve.d;
+        hop.stable_ann = curve.ann;
+        hop.stable_x0 = pool.reserve_of(token_in);
+        hop.stable_y0 = pool.reserve_of(token_out);
+        // Osculating CPMM proxy: reserves (X_p, Y_p) whose CPMM swap
+        // matches F'(0) = γ·a and F''(0) = γ·b (a = −Y'(x₀) > 0,
+        // b = −Y''(x₀) < 0): X_p = −2γ·a/b, Y_p = a·X_p. Used only by
+        // the Möbius chain machinery (interior starts, warm projection);
+        // swap()/derivs evaluate the exact closed form.
+        {
+          const double a = -curve.dy_dx(hop.stable_x0);
+          const double b = -curve.d2y_dx2(hop.stable_x0);
+          hop.reserve_in = -2.0 * hop.gamma * a / b;
+          hop.reserve_out = a * hop.reserve_in;
+        }
+        break;
+      }
+      case amm::PoolKind::kConcentrated: {
+        const amm::ConcentratedPool& pool = any.concentrated();
+        hop.kind = HopKind::kConcentrated;
+        hop.gamma = 1.0 - pool.fee();
+        const double liq = pool.liquidity();
+        const double sp = pool.sqrt_price();
+        if (token_in == pool.token0()) {
+          // Selling token0: virtual reserves x_v = L/√P, y_v = L·√P;
+          // the CPMM formula on them is exactly L·(√P − √P'). In-range
+          // input cap: 1/√P + γ·d/L ≤ 1/√lo.
+          hop.reserve_in = liq / sp;
+          hop.reserve_out = liq * sp;
+          hop.input_cap =
+              liq * (1.0 / pool.sqrt_lo() - 1.0 / sp) / hop.gamma;
+        } else {
+          // Selling token1: x_v = L·√P, y_v = L/√P; cap at √hi.
+          hop.reserve_in = liq * sp;
+          hop.reserve_out = liq / sp;
+          hop.input_cap = liq * (pool.sqrt_hi() - sp) / hop.gamma;
+        }
+        break;
+      }
+    }
   }
   return hops;
 }
@@ -59,6 +129,9 @@ Result<std::vector<LoopHopData>> make_hop_data(
 ReducedLoopProblem::ReducedLoopProblem(std::vector<LoopHopData> hops)
     : hops_(std::move(hops)) {
   ARB_REQUIRE(hops_.size() >= 2, "loop needs at least 2 hops");
+  for (std::size_t i = 0; i < hops_.size(); ++i) {
+    if (std::isfinite(hops_[i].input_cap)) capped_.push_back(i);
+  }
 }
 
 double ReducedLoopProblem::objective(const math::Vector& d) const {
@@ -106,12 +179,16 @@ void ReducedLoopProblem::objective_hessian_into(const math::Vector& d,
 double ReducedLoopProblem::constraint(std::size_t i,
                                       const math::Vector& d) const {
   const std::size_t n = hops_.size();
-  ARB_REQUIRE(i < 2 * n, "constraint index out of range");
+  ARB_REQUIRE(i < 2 * n + capped_.size(), "constraint index out of range");
   if (i < n) {
     return -d[i];  // d_i >= 0
   }
-  const std::size_t k = i - n;  // flow: d_{k+1} <= F_k(d_k)
-  return d[(k + 1) % n] - hops_[k].swap(d[k]);
+  if (i < 2 * n) {
+    const std::size_t k = i - n;  // flow: d_{k+1} <= F_k(d_k)
+    return d[(k + 1) % n] - hops_[k].swap(d[k]);
+  }
+  const std::size_t k = capped_[i - 2 * n];  // tick cap: d_k <= cap_k
+  return d[k] - hops_[k].input_cap;
 }
 
 math::Vector ReducedLoopProblem::constraint_gradient(
@@ -137,9 +214,13 @@ void ReducedLoopProblem::constraint_gradient_into(std::size_t i,
     grad[i] = -1.0;
     return;
   }
-  const std::size_t k = i - n;
-  grad[(k + 1) % n] += 1.0;
-  grad[k] -= hops_[k].swap_deriv(d[k]);
+  if (i < 2 * n) {
+    const std::size_t k = i - n;
+    grad[(k + 1) % n] += 1.0;
+    grad[k] -= hops_[k].swap_deriv(d[k]);
+    return;
+  }
+  grad[capped_[i - 2 * n]] = 1.0;  // linear cap constraint
 }
 
 void ReducedLoopProblem::constraint_hessian_into(std::size_t i,
@@ -147,10 +228,11 @@ void ReducedLoopProblem::constraint_hessian_into(std::size_t i,
                                                  math::Matrix& hess) const {
   const std::size_t n = hops_.size();
   hess.assign(n, n, 0.0);
-  if (i >= n) {
+  if (i >= n && i < 2 * n) {
     const std::size_t k = i - n;
     hess(k, k) = -hops_[k].swap_deriv2(d[k]);
   }
+  // Cap constraints (i >= 2n) are linear: zero Hessian.
 }
 
 // ---------------------------------------------------------------------------
@@ -270,6 +352,10 @@ Result<math::Vector> reduced_interior_start(
   const std::size_t n = hops.size();
 
   // Single-start optimum of this rotation via the Möbius closed form.
+  // For non-CPMM hops the reserves are the osculating proxy, so
+  // best_input is approximate there — but its sign is exact (the proxy
+  // matches F'(0), hence the marginal price product at 0), which is all
+  // feasibility needs; the magnitude only seeds the halving search.
   amm::MobiusCoefficients m = amm::MobiusCoefficients::identity();
   for (const LoopHopData& hop : hops) {
     m = m.then_hop(hop.reserve_in, hop.reserve_out, hop.gamma);
@@ -284,16 +370,22 @@ Result<math::Vector> reduced_interior_start(
   // at each hop so every flow constraint holds strictly; shrink the scale
   // until the wrap-around constraint d_0 < F_{n-1}(d_{n-1}) is strict too.
   constexpr double kRetention = 1e-9;
+  constexpr double kCapHeadroom = 1.0 - 1e-6;
   double scale = 0.5;
   for (int attempt = 0; attempt < 80; ++attempt, scale *= 0.5) {
     math::Vector d(n);
     d[0] = best_input * scale;
-    bool valid = d[0] > 0.0;
-    for (std::size_t i = 0; i + 1 < n && valid; ++i) {
+    bool positive = d[0] > 0.0;
+    // Tick caps shrink with the inputs, so a violation is recoverable by
+    // halving (unlike positivity underflow, which never is).
+    bool in_caps = d[0] < hops[0].input_cap * kCapHeadroom;
+    for (std::size_t i = 0; i + 1 < n && positive && in_caps; ++i) {
       d[i + 1] = hops[i].swap(d[i]) * (1.0 - kRetention);
-      valid = d[i + 1] > 0.0;
+      positive = d[i + 1] > 0.0;
+      in_caps = d[i + 1] < hops[i + 1].input_cap * kCapHeadroom;
     }
-    if (!valid) break;
+    if (!positive) break;
+    if (!in_caps) continue;
     const double wrap_output = hops[n - 1].swap(d[n - 1]);
     if (wrap_output * (1.0 - kRetention) > d[0]) {
       return d;

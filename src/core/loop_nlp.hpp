@@ -26,6 +26,8 @@
 /// Both are exposed so tests can verify they attain the same optimum.
 /// Problems implement optim::NlpProblem in minimization form (f = −profit).
 
+#include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "common/result.hpp"
@@ -36,24 +38,62 @@
 
 namespace arb::core {
 
+/// Which analytic hop kernel `LoopHopData::swap` evaluates.
+enum class HopKind : std::uint8_t {
+  kCpmm = 0,          ///< F(d) = γ·d·y / (x + γ·d) on real reserves
+  kStable = 1,        ///< fixed-D StableSwap closed form (amm::StableCurve)
+  kConcentrated = 2,  ///< CPMM form on *virtual* reserves, capped in range
+};
+
 /// Per-hop data shared by both transcriptions.
+///
+/// CPMM hops use the real reserves. Concentrated hops store the virtual
+/// reserves (x_v = L/√P, y_v = L·√P oriented by trade direction), on
+/// which the CPMM formula is *exactly* the in-range V3 swap function;
+/// `input_cap` bounds the input to the range, and the barrier adds a
+/// cap constraint so iterates never cross a tick. Stable hops evaluate
+/// the fixed-D closed-form curve; their `reserve_in`/`reserve_out` hold
+/// an *osculating CPMM proxy* (matching F'(0) and F''(0)) so the Möbius
+/// chain machinery used for interior starts and warm-start projection
+/// keeps working, while swap()/derivs use the exact kernel.
 struct LoopHopData {
-  double reserve_in = 0.0;   ///< x_i
-  double reserve_out = 0.0;  ///< y_i
+  double reserve_in = 0.0;   ///< x_i (virtual / proxy for non-CPMM)
+  double reserve_out = 0.0;  ///< y_i (virtual / proxy for non-CPMM)
   double gamma = 0.0;        ///< 1 − fee
   double price_in = 0.0;     ///< P_{t_i}
   double price_out = 0.0;    ///< P_{t_{i+1}}
   TokenId token_in;
   TokenId token_out;
   PoolId pool;
+  HopKind kind = HopKind::kCpmm;
+
+  /// Stable kernel state (kind == kStable): invariant, Ann = 4A, and the
+  /// raw-unit balances of the input/output sides at solve time.
+  double stable_d = 0.0;
+  double stable_ann = 0.0;
+  double stable_x0 = 0.0;
+  double stable_y0 = 0.0;
+
+  /// Normalization units (raw tokens per normalized unit). The CPMM and
+  /// concentrated kernels are scale-equivariant so normalization simply
+  /// rescales their reserves; the stable curve is not, so its kernel
+  /// evaluates in raw units and converts through these factors.
+  double unit_in = 1.0;
+  double unit_out = 1.0;
+
+  /// Largest admissible input (normalized units). Finite only for
+  /// concentrated hops, where it is the exact in-range input bound.
+  double input_cap = std::numeric_limits<double>::infinity();
 
   [[nodiscard]] double swap(double d) const;         ///< F_i(d)
   [[nodiscard]] double swap_deriv(double d) const;   ///< F_i'(d)
   [[nodiscard]] double swap_deriv2(double d) const;  ///< F_i''(d) (< 0)
 };
 
-/// Extracts per-hop data for a cycle rotation. Fails with kNotFound when
-/// a CEX price is missing.
+/// Extracts per-hop data for a cycle rotation, dispatching on pool kind
+/// (CPMM real reserves / stable closed-form state + proxy / concentrated
+/// virtual reserves + cap). Fails with kNotFound when a CEX price is
+/// missing.
 [[nodiscard]] Result<std::vector<LoopHopData>> make_hop_data(
     const graph::TokenGraph& graph, const market::CexPriceFeed& prices,
     const graph::Cycle& cycle, std::size_t start_offset = 0);
@@ -63,8 +103,12 @@ class ReducedLoopProblem final : public optim::NlpProblem {
   explicit ReducedLoopProblem(std::vector<LoopHopData> hops);
 
   [[nodiscard]] std::size_t dimension() const override { return hops_.size(); }
+  /// 2n base constraints (n × d_i ≥ 0, n × flow) plus one cap constraint
+  /// per hop with a finite input_cap. All-CPMM loops have no caps, so
+  /// their constraint layout — and hence the solver's arithmetic — is
+  /// unchanged from the CPMM-only transcription.
   [[nodiscard]] std::size_t num_inequalities() const override {
-    return 2 * hops_.size();
+    return 2 * hops_.size() + capped_.size();
   }
   [[nodiscard]] double objective(const math::Vector& d) const override;
   [[nodiscard]] math::Vector objective_gradient(
@@ -97,6 +141,9 @@ class ReducedLoopProblem final : public optim::NlpProblem {
 
  private:
   std::vector<LoopHopData> hops_;
+  /// Hop indices with finite input_cap, in hop order; constraint
+  /// 2n + j is d[capped_[j]] − cap ≤ 0.
+  std::vector<std::size_t> capped_;
 };
 
 class FullLoopProblem final : public optim::NlpProblem {

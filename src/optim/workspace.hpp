@@ -34,6 +34,10 @@ class SolveWorkspace {
     hess.reserve(n, n);
     constraint_hess.reserve(n, n);
     linear.reserve(n);
+    generic_chain.reserve(n);
+    generic_rho.reserve(n);
+    generic_rho_eval.reserve(n);
+    generic_rho_comp.reserve(n);
   }
 
   // Newton-level state. `x` is the current iterate; newton_minimize_into
@@ -52,6 +56,14 @@ class SolveWorkspace {
   // Scratch for problem transcriptions that need a per-evaluation
   // temporary (phase-1 variable stripping, generic chains).
   math::Vector problem_scratch;
+
+  // Derivative-free generic-solver scratch (core/generic_convex): the
+  // forward-pass chain inputs and the coordinate-sweep fraction buffers.
+  // Same monotone-growth discipline as the barrier buffers.
+  math::Vector generic_chain;
+  math::Vector generic_rho;
+  math::Vector generic_rho_eval;
+  math::Vector generic_rho_comp;
 
   math::LinearSolveScratch linear;
 };

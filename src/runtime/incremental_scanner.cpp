@@ -256,11 +256,16 @@ void IncrementalScanner::price_range(std::size_t s, std::size_t begin,
       stats.solver_iterations += static_cast<std::uint64_t>(
           std::max(0, ctx.report.total_newton_iterations));
       if (ctx.used_fallback) ++stats.solver_fallbacks;
-      // Warm starts are CPMM-only; generic (mixed) solves are neither
-      // hit nor miss.
+      // Closed-form and generic-routed solves are neither warm hit nor
+      // miss; mixed loops that took the barrier fast path count like
+      // CPMM ones.
       if (config_.convex_warm_start && !ctx.used_closed_form &&
           !ctx.used_generic) {
         ++(ctx.warm_hit ? stats.warm_hits : stats.warm_misses);
+      }
+      if (mixed) {
+        ++(ctx.used_generic ? stats.repriced_mixed_generic
+                            : stats.repriced_mixed_fast);
       }
     }
     out = *std::move(priced);
@@ -350,6 +355,8 @@ Result<ApplyReport> IncrementalScanner::wait_reprice() {
       report.solver_iterations += stats.solver_iterations;
       report.repriced_cpmm += stats.repriced_cpmm;
       report.repriced_mixed += stats.repriced_mixed;
+      report.repriced_mixed_fast += stats.repriced_mixed_fast;
+      report.repriced_mixed_generic += stats.repriced_mixed_generic;
       report.reprice_cpmm_us += stats.cpmm_us;
       report.reprice_mixed_us += stats.mixed_us;
       report.solver_fallbacks += stats.solver_fallbacks;

@@ -75,8 +75,9 @@ struct ApplyReport {
   std::size_t repriced = 0;      ///< dirty cycles re-evaluated
   /// Convex strategy with convex_warm_start only: barrier solves that
   /// resumed from the cycle's previous optimum vs. ones that cold-started
-  /// (closed-form, generic and price-product-gated cycles count as
-  /// neither — warm starts are CPMM-only).
+  /// (closed-form, generic-routed and price-product-gated cycles count
+  /// as neither — both CPMM and mixed loops warm-start on the barrier
+  /// fast path).
   std::size_t warm_hits = 0;
   std::size_t warm_misses = 0;
   /// Warm slots that went valid → invalid this round: quarantine entries
@@ -88,13 +89,20 @@ struct ApplyReport {
   /// barrier solves (0 for analytic and generic solves).
   std::uint64_t solver_iterations = 0;
   /// Per-kind split of `repriced`: loops whose hops are all CPMM vs.
-  /// loops crossing at least one StableSwap/concentrated pool (the
-  /// latter route through the derivative-free generic solver under the
-  /// Convex strategy), plus wall time spent pricing each class.
+  /// loops crossing at least one StableSwap/concentrated pool, plus wall
+  /// time spent pricing each class.
   std::size_t repriced_cpmm = 0;
   std::size_t repriced_mixed = 0;
   double reprice_cpmm_us = 0.0;
   double reprice_mixed_us = 0.0;
+  /// Convex strategy only: split of the mixed solves that reached the
+  /// solver ladder (gate survivors) by route — the analytic-kernel
+  /// barrier fast path vs. the derivative-free generic solver (fast-path
+  /// disabled, tick-crossing caps, degenerate hop state, or rescue).
+  /// Gate-rejected mixed cycles count in `repriced_mixed` but in neither
+  /// split, so fast + generic ≤ repriced_mixed.
+  std::size_t repriced_mixed_fast = 0;
+  std::size_t repriced_mixed_generic = 0;
   /// Convex strategy only: barrier solves rescued by the generic
   /// derivative-free fallback rung of the containment ladder.
   std::uint64_t solver_fallbacks = 0;
@@ -205,6 +213,8 @@ class IncrementalScanner {
     std::uint64_t solver_iterations = 0;
     std::size_t repriced_cpmm = 0;
     std::size_t repriced_mixed = 0;
+    std::size_t repriced_mixed_fast = 0;
+    std::size_t repriced_mixed_generic = 0;
     double cpmm_us = 0.0;
     double mixed_us = 0.0;
     std::uint64_t solver_fallbacks = 0;

@@ -98,7 +98,8 @@ std::string MetricsSnapshot::summary() const {
   char buffer[896];
   std::snprintf(buffer, sizeof(buffer),
                 "ingested=%llu dropped=%llu coalesced=%llu batches=%llu "
-                "repriced=%llu (cpmm=%llu mixed=%llu) depth=%llu "
+                "repriced=%llu (cpmm=%llu mixed=%llu fast=%llu gen=%llu) "
+                "depth=%llu "
                 "newton=%llu warm=%llu/%llu warm_inval=%llu "
                 "reprice_us{p50=%.1f p90=%.1f p99=%.1f max=%.1f n=%llu} "
                 "loop_us{cpmm_p50=%.1f mixed_p50=%.1f} "
@@ -114,6 +115,8 @@ std::string MetricsSnapshot::summary() const {
                 static_cast<unsigned long long>(loops_repriced),
                 static_cast<unsigned long long>(loops_repriced_cpmm),
                 static_cast<unsigned long long>(loops_repriced_mixed),
+                static_cast<unsigned long long>(loops_repriced_mixed_fast),
+                static_cast<unsigned long long>(loops_repriced_mixed_generic),
                 static_cast<unsigned long long>(queue_depth),
                 static_cast<unsigned long long>(solver_iterations),
                 static_cast<unsigned long long>(warm_hits),
@@ -166,7 +169,10 @@ std::vector<std::string> MetricsSnapshot::csv_columns() {
           "warm_invalidations",    "worker_queue_depth",
           "pipeline_depth",        "epoch_lag",
           "stage_validate_p50_us", "stage_validate_p99_us",
-          "stage_write_p50_us",    "stage_write_p99_us"};
+          "stage_write_p50_us",    "stage_write_p99_us",
+          // Mixed-loop route split (appended — fixed column positions
+          // for existing consumers).
+          "loops_repriced_mixed_fast", "loops_repriced_mixed_generic"};
 }
 
 MetricsSnapshot RuntimeMetrics::snapshot() const {
@@ -189,6 +195,10 @@ MetricsSnapshot RuntimeMetrics::snapshot() const {
       loops_repriced_cpmm_.load(std::memory_order_relaxed);
   snap.loops_repriced_mixed =
       loops_repriced_mixed_.load(std::memory_order_relaxed);
+  snap.loops_repriced_mixed_fast =
+      loops_repriced_mixed_fast_.load(std::memory_order_relaxed);
+  snap.loops_repriced_mixed_generic =
+      loops_repriced_mixed_generic_.load(std::memory_order_relaxed);
   snap.cpmm_reprice_samples = cpmm_reprice_latency_.samples();
   snap.cpmm_reprice_p50_us = cpmm_reprice_latency_.quantile(0.50);
   snap.cpmm_reprice_p99_us = cpmm_reprice_latency_.quantile(0.99);
@@ -273,7 +283,9 @@ Status write_metrics_csv(const std::vector<MetricsSnapshot>& snapshots,
             static_cast<std::size_t>(s.pipeline_depth),
             static_cast<std::size_t>(s.epoch_lag), s.stage_validate_p50_us,
             s.stage_validate_p99_us, s.stage_write_p50_us,
-            s.stage_write_p99_us);
+            s.stage_write_p99_us,
+            static_cast<std::size_t>(s.loops_repriced_mixed_fast),
+            static_cast<std::size_t>(s.loops_repriced_mixed_generic));
   }
   return Status::success();
 }

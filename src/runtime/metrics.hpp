@@ -58,10 +58,16 @@ struct MetricsSnapshot {
   double reprice_max_us = 0.0;
 
   /// Per-kind split of loops_repriced: all-CPMM loops vs. loops crossing
-  /// at least one StableSwap/concentrated pool (routed through the
-  /// generic solver under the Convex strategy).
+  /// at least one StableSwap/concentrated pool.
   std::uint64_t loops_repriced_cpmm = 0;
   std::uint64_t loops_repriced_mixed = 0;
+  /// Route split of the mixed solves that survived the price gate
+  /// (Convex strategy): analytic-kernel barrier fast path vs. the
+  /// derivative-free generic solver (fast-path off, tick-crossing caps,
+  /// degenerate hop state, or rescue). fast + generic ≤ repriced mixed —
+  /// gate-rejected mixed cycles count in neither.
+  std::uint64_t loops_repriced_mixed_fast = 0;
+  std::uint64_t loops_repriced_mixed_generic = 0;
   /// Per-loop repricing latency by kind, sampled once per batch as that
   /// batch's mean (total kind wall time / loops of that kind). Zero when
   /// the market has no loops of that kind.
@@ -142,6 +148,12 @@ class RuntimeMetrics {
   }
   void add_repriced_cpmm(std::uint64_t n) { loops_repriced_cpmm_ += n; }
   void add_repriced_mixed(std::uint64_t n) { loops_repriced_mixed_ += n; }
+  void add_repriced_mixed_fast(std::uint64_t n) {
+    loops_repriced_mixed_fast_ += n;
+  }
+  void add_repriced_mixed_generic(std::uint64_t n) {
+    loops_repriced_mixed_generic_ += n;
+  }
   void record_cpmm_reprice_latency(double microseconds) {
     cpmm_reprice_latency_.record(microseconds);
   }
@@ -192,6 +204,8 @@ class RuntimeMetrics {
   std::atomic<std::uint64_t> warm_misses_{0};
   std::atomic<std::uint64_t> loops_repriced_cpmm_{0};
   std::atomic<std::uint64_t> loops_repriced_mixed_{0};
+  std::atomic<std::uint64_t> loops_repriced_mixed_fast_{0};
+  std::atomic<std::uint64_t> loops_repriced_mixed_generic_{0};
   std::array<std::atomic<std::uint64_t>, kRejectReasonCount>
       events_rejected_{};
   std::atomic<std::uint64_t> pools_quarantined_{0};

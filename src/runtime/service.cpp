@@ -273,6 +273,8 @@ void ScannerService::run() {
     metrics_.record_reprice_latency(micros);
     metrics_.add_repriced_cpmm(report->repriced_cpmm);
     metrics_.add_repriced_mixed(report->repriced_mixed);
+    metrics_.add_repriced_mixed_fast(report->repriced_mixed_fast);
+    metrics_.add_repriced_mixed_generic(report->repriced_mixed_generic);
     for (std::size_t s = 0; s < report->shard_repriced.size(); ++s) {
       metrics_.add_shard_repriced(s, report->shard_repriced[s]);
     }

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "common/error.hpp"
 #include "common/rng.hpp"
 
@@ -69,6 +71,41 @@ TEST(ConcentratedPoolTest, OutputClampsAtRangeEdge) {
   EXPECT_NEAR(huge, pool.reserve1(), 1e-6);
   // Marginal rate at the clamp is zero.
   EXPECT_DOUBLE_EQ(pool.quote(kX, 1e12).marginal_rate, 0.0);
+}
+
+TEST(ConcentratedPoolTest, DerivativeAtExactTickBoundaryIsRightLimit) {
+  // All quantities are powers of two so the edge-hitting input is exact
+  // in floating point: √P = 1, √ range [0.5, 2], L = 1024, no fee. The
+  // input that lands the price exactly on an edge is L·(1/√lo − 1/√P) =
+  // L·(√hi − √P) = 1024 on either side. The derivative is discontinuous
+  // there; the quote must report the *right* limit (the flat post-edge
+  // slope, zero), because the solver treats marginal_rate as the slope
+  // of further input — the left limit used to leak through and fed the
+  // barrier a positive slope in a direction with no output left.
+  const ConcentratedPool pool(PoolId{0}, kX, kY, 1024.0, 1.0, 0.25, 4.0,
+                              0.0);
+  const double edge_in = 1024.0;
+
+  // Token0 in, price driven down to √lo: output is the whole token1
+  // side, L·(√P − √lo) = 512, and the slope at the boundary is zero.
+  const SwapQuote at0 = pool.quote(kX, edge_in);
+  EXPECT_DOUBLE_EQ(at0.amount_out, 512.0);
+  EXPECT_DOUBLE_EQ(at0.marginal_rate, 0.0);
+  // Token1 in, price driven up to √hi: output is the whole token0 side,
+  // L·(1/√P − 1/√hi) = 512.
+  const SwapQuote at1 = pool.quote(kY, edge_in);
+  EXPECT_DOUBLE_EQ(at1.amount_out, 512.0);
+  EXPECT_DOUBLE_EQ(at1.marginal_rate, 0.0);
+
+  // Just inside the range the slope is still strictly positive and the
+  // output strictly below the clamp; just beyond, it stays flat.
+  const double eps = std::ldexp(1.0, -10);  // 2^-10, exact
+  const SwapQuote inside = pool.quote(kX, edge_in - eps);
+  EXPECT_GT(inside.marginal_rate, 0.0);
+  EXPECT_LT(inside.amount_out, 512.0);
+  const SwapQuote beyond = pool.quote(kX, edge_in + eps);
+  EXPECT_DOUBLE_EQ(beyond.amount_out, 512.0);
+  EXPECT_DOUBLE_EQ(beyond.marginal_rate, 0.0);
 }
 
 TEST(ConcentratedPoolTest, MonotoneAndConcave) {

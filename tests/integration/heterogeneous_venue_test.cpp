@@ -7,14 +7,16 @@
 //     the incremental scanner (whose slots go through the dispatch) and
 //     comparing against from-scratch scans, with exact equality.
 //  2. Coverage: a StableSwap hop can make a loop profitable that a
-//     CPMM-only view of the same reserves misses entirely; the generic
-//     solver route finds and plans it.
+//     CPMM-only view of the same reserves misses entirely; the mixed
+//     barrier fast path finds and plans it (and agrees with the generic
+//     solver when the fast path is forced off).
 //  3. Pipeline: a mixed-venue market survives generate -> save -> load
 //     round-trip exactly, scans, and streams 1000 events through the
 //     scanner service with mixed loops repriced along the way.
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
 #include <vector>
@@ -95,12 +97,27 @@ TEST(HeterogeneousVenueTest, ConvexDispatchReportsPathTaken) {
   const StableEdgeMarket cpmm(true);
   core::ConvexContext ctx;
 
+  // Mixed loops ride the analytic-kernel barrier fast path by default.
+  auto fast = core::solve_convex(mixed.graph, mixed.prices, mixed.loop(),
+                                 {}, ctx);
+  ASSERT_TRUE(fast.ok());
+  EXPECT_FALSE(ctx.used_generic);
+  EXPECT_FALSE(ctx.used_closed_form);
+  EXPECT_FALSE(ctx.warm_hit);
+  EXPECT_GT(fast->outcome.monetized_usd, 0.0);
+
+  // Turning the fast path off forces the derivative-free generic route;
+  // the two must agree on the monetized optimum.
+  core::ConvexOptions no_fast;
+  no_fast.use_mixed_fast_path = false;
   auto generic = core::solve_convex(mixed.graph, mixed.prices, mixed.loop(),
-                                    {}, ctx);
+                                    no_fast, ctx);
   ASSERT_TRUE(generic.ok());
   EXPECT_TRUE(ctx.used_generic);
   EXPECT_FALSE(ctx.warm_hit);
   EXPECT_GT(generic->outcome.monetized_usd, 0.0);
+  EXPECT_NEAR(fast->outcome.monetized_usd, generic->outcome.monetized_usd,
+              1e-6 * std::max(1.0, generic->outcome.monetized_usd));
 
   // All-CPMM loops stay on the barrier/closed-form path; a profitable
   // two-pool CPMM market proves the flag resets between solves.

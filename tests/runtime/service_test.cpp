@@ -309,6 +309,55 @@ TEST(ScannerServiceTest, WarmHitRateAboveEightyPercentInSteadyState) {
   service->stop();
 }
 
+TEST(ScannerServiceTest, MixedWarmHitRateAboveSixtyPercentInSteadyState) {
+  // The mixed-venue analogue of the test above: stable and concentrated
+  // hops run the same barrier fast path, so their cycles' warm slots
+  // must survive streaming too. The bar is lower than the all-CPMM 80%
+  // because mixed repricing occasionally detours through the generic
+  // solver (tick-crossing containment), and those solves don't count as
+  // hits — but on a clean in-range stream the barrier route dominates.
+  market::GeneratorConfig gen;
+  gen.token_count = 18;
+  gen.pool_count = 40;
+  gen.stable_fraction = 0.25;
+  gen.concentrated_fraction = 0.25;
+  const auto snapshot = market::generate_snapshot(gen);
+  ASSERT_FALSE(snapshot.graph.all_cpmm());
+
+  ServiceConfig config;
+  config.scanner.loop_lengths = {3};
+  config.scanner.strategy = core::StrategyKind::kConvexOptimization;
+  config.scanner.convex_warm_start = true;
+  config.worker_threads = 2;
+  config.shards = 2;
+  config.max_batch = 40;  // one block per batch (see the CPMM test)
+  auto service = ScannerService::start(snapshot, config).value();
+
+  ReplayStreamConfig stream_config;
+  stream_config.blocks = 25;
+  stream_config.seed = 9;
+  ReplayUpdateStream stream(snapshot, stream_config);
+  while (auto event = stream.next()) {
+    ASSERT_TRUE(service->publish(*event));
+  }
+  service->drain();
+  ASSERT_TRUE(service->status().ok());
+
+  const MetricsSnapshot metrics = service->metrics();
+  // The stream actually exercised mixed loops on the fast path.
+  EXPECT_GT(metrics.loops_repriced_mixed, 0u);
+  EXPECT_GT(metrics.loops_repriced_mixed_fast, 0u);
+  const std::uint64_t solves = metrics.warm_hits + metrics.warm_misses;
+  ASSERT_GT(solves, 0u);
+  const double rate = static_cast<double>(metrics.warm_hits) /
+                      static_cast<double>(solves);
+  EXPECT_GE(rate, 0.60) << metrics.warm_hits << "/" << solves;
+  // Clean stream, in-range moves: no slot ever goes valid → invalid
+  // (quarantines and generic-route invalidation are fault/edge events).
+  EXPECT_EQ(metrics.warm_invalidations, 0u);
+  service->stop();
+}
+
 TEST(ReplayStreamTest, DeterministicAndBounded) {
   const auto snapshot = test_snapshot();
   ReplayStreamConfig config;

@@ -38,7 +38,9 @@
 #include <cstdint>
 #include <vector>
 
+#include "amm/concentrated_pool.hpp"
 #include "amm/pool.hpp"
+#include "amm/stable_pool.hpp"
 #include "amm/swap_math.hpp"
 #include "common/error.hpp"
 #include "common/rng.hpp"
@@ -153,6 +155,267 @@ inline U256 random_magnitude(Rng& rng, int max_bits) {
 inline std::uint64_t random_fee_numerator(Rng& rng) {
   static constexpr std::uint64_t kMenu[] = {1000, 997, 995, 990, 970, 950};
   return kMenu[rng.index(sizeof(kMenu) / sizeof(kMenu[0]))];
+}
+
+// ---------------------------------------------------------------------------
+// StableSwap exact oracle
+//
+// Mirrors the Curve contract's two-coin integer pipeline: get_D's
+// monotone fixed-point iteration, get_y's Newton descent from D, the
+// 1-unit output haircut, and the output-side fee — all in U256 with
+// flooring division. Reserves are capped at 2⁶⁴ so every intermediate
+// product (≤ ~2¹⁹⁵ for the most imbalanced D_P) stays under 256 bits.
+//
+// Error model. Unlike the CPMM rational, the stable swap is the
+// difference of two iteratively-solved balances, so the bound has three
+// parts: (a) the integer iterations stop when successive iterates move
+// ≤ 1 unit, leaving the fixed point up to a few units away (amplified
+// through ∂y/∂D ∈ (1, 2)); (b) the double model's own Newton stops at
+// 1e-12 relative, so its absolute noise scales with the *balances*, not
+// the output — y₀ − Y(x₀+Δ) is a catastrophic cancellation for small
+// trades; (c) double rounding of 2⁶⁴-scale integer inputs. All three
+// scale with the reserve magnitude, hence the reserve-relative term.
+// kStableOracleRel is ~3 orders above the observed worst case, and a
+// genuine kernel bug (wrong Ann, fee on the wrong side, dropped D
+// refresh) shows up at ≥1e-6 of the reserve scale — far outside it.
+// ---------------------------------------------------------------------------
+
+/// Reserve-relative allowance for stable-swap models (see above).
+inline constexpr double kStableOracleRel = 1e-9;
+/// Flat unit headroom for the integer iterations' termination radius.
+inline constexpr double kStableOracleAbs = 32.0;
+/// Reserve cap (bits) keeping the integer D pipeline overflow-free.
+inline constexpr int kStableReserveBits = 64;
+
+/// One stable hop of exact integer state, oriented input → output.
+struct ExactStableHop {
+  U256 reserve_in;
+  U256 reserve_out;
+  std::uint64_t amplification = 100;  ///< Curve A (Ann = 4A for 2 coins)
+  std::uint64_t fee_numerator = 996;
+  std::uint64_t fee_denominator = 1000;
+
+  [[nodiscard]] double gamma() const {
+    return static_cast<double>(fee_numerator) /
+           static_cast<double>(fee_denominator);
+  }
+};
+
+struct ExactStableResult {
+  U256 amount_out;
+  /// Admissible |model − exact| in output units.
+  double tolerance = 0.0;
+};
+
+inline U256 u256_absdiff(const U256& a, const U256& b) {
+  return a > b ? a - b : b - a;
+}
+
+/// Curve's get_D for two coins: D ← (Ann·S + 2·D_P)·D /
+/// ((Ann−1)·D + 3·D_P) with D_P = D³/(4xy), floored at every division,
+/// from D₀ = S until successive iterates differ by ≤ 1 unit.
+inline U256 stable_d_exact(const U256& x, const U256& y,
+                           std::uint64_t amplification) {
+  ARB_REQUIRE(!x.is_zero() && !y.is_zero(), "stable oracle needs reserves");
+  const U256 s = x + y;
+  const U256 ann = U256(4 * amplification);
+  U256 d = s;
+  for (int i = 0; i < 255; ++i) {
+    U256 d_p = d * d / (x * U256(2));
+    d_p = d_p * d / (y * U256(2));
+    const U256 next = (ann * s + d_p * U256(2)) * d /
+                      ((ann - U256(1)) * d + d_p * U256(3));
+    const U256 diff = u256_absdiff(next, d);
+    d = next;
+    if (diff <= U256(1)) break;
+  }
+  return d;
+}
+
+/// Curve's get_y: the output-side balance solving the invariant at the
+/// new input-side balance, by Newton from y₀ = D:
+///   y ← (y² + c) / (2y + b − D),  b = x' + D/Ann,  c = D³/(4·x'·Ann).
+inline U256 stable_y_exact(const U256& new_x, const U256& d,
+                           std::uint64_t amplification) {
+  ARB_REQUIRE(!new_x.is_zero(), "stable oracle needs a positive balance");
+  const U256 ann = U256(4 * amplification);
+  U256 c = d * d / (new_x * U256(2));
+  c = c * d / (ann * U256(2));
+  const U256 b = new_x + d / ann;
+  U256 y = d;
+  for (int i = 0; i < 255; ++i) {
+    const U256 denom = y * U256(2) + b;
+    // Newton descends from above the root, where 2y + b − D > 0; a
+    // floor pushing past it would underflow the subtraction — at that
+    // point the iterate is already within the termination radius.
+    if (denom <= d) break;
+    const U256 next = (y * y + c) / (denom - d);
+    const U256 diff = u256_absdiff(next, y);
+    y = next;
+    if (diff <= U256(1)) break;
+  }
+  return y;
+}
+
+/// Exact stable swap: D from the current reserves, the post-trade
+/// output balance from get_y, Curve's 1-unit rounding haircut, then the
+/// output-side fee γ = fn/fd — floored, as the contract does.
+inline ExactStableResult exact_stable_out(const ExactStableHop& hop,
+                                          const U256& amount_in) {
+  const U256 d =
+      stable_d_exact(hop.reserve_in, hop.reserve_out, hop.amplification);
+  const U256 new_y =
+      stable_y_exact(hop.reserve_in + amount_in, d, hop.amplification);
+  U256 dy = hop.reserve_out > new_y ? hop.reserve_out - new_y : U256(0);
+  if (!dy.is_zero()) dy = dy - U256(1);
+  ExactStableResult result;
+  result.amount_out =
+      dy * U256(hop.fee_numerator) / U256(hop.fee_denominator);
+  const double scale = hop.reserve_in.to_double() +
+                       hop.reserve_out.to_double() + amount_in.to_double();
+  result.tolerance = kStableOracleRel * scale + kStableOracleAbs;
+  return result;
+}
+
+inline bool within_stable_bound(double model_out,
+                                const ExactStableResult& exact) {
+  const double deviation = model_out - exact.amount_out.to_double();
+  return (deviation < 0.0 ? -deviation : deviation) <= exact.tolerance;
+}
+
+/// The real-valued StablePool mirroring a hop (reserves round above
+/// 2⁵³ — that loss is inside the bound).
+inline amm::StablePool real_stable_pool_of(const ExactStableHop& hop,
+                                           PoolId id) {
+  const double fee =
+      1.0 - static_cast<double>(hop.fee_numerator) /
+                static_cast<double>(hop.fee_denominator);
+  return amm::StablePool(id, TokenId{0}, TokenId{1},
+                         hop.reserve_in.to_double(),
+                         hop.reserve_out.to_double(),
+                         static_cast<double>(hop.amplification), fee);
+}
+
+/// The amplification menu the property tests draw from: flat-curve
+/// 5000 down to the near-CPMM A=1 corner.
+inline std::uint64_t random_amplification(Rng& rng) {
+  static constexpr std::uint64_t kMenu[] = {1, 5, 20, 100, 200, 1000, 5000};
+  return kMenu[rng.index(sizeof(kMenu) / sizeof(kMenu[0]))];
+}
+
+// ---------------------------------------------------------------------------
+// Concentrated-liquidity in-range exact oracle
+//
+// In range, a V3 position is a CPMM on virtual reserves x_v = L/√P,
+// y_v = L·√P, and the swap output is a single rational in the integer
+// parameters once √-prices are scaled integers sp = √P·2²⁴:
+//
+//   token0 in:  out = fn·Δ·L·sp²  / (S·(L·S·fd + fn·Δ·sp))
+//   token1 in:  out = fn·Δ·L·S²   / (sp·(L·sp·fd + fn·Δ·S))
+//
+// (derived by clearing denominators from Δ_eff·y_v/(x_v + Δ_eff) with
+// Δ_eff = fn·Δ/fd). The oracle floors that rational exactly, so
+// 0 ≤ real − exact < 1 unit, like the CPMM oracle. With Δ, L < 2⁷²,
+// sp < 2⁴⁸ and fd ≤ 2¹⁰ the worst numerator is < 2²⁵⁰: no overflow.
+//
+// The model's error is float-only: the pool stores √P (one square root
+// of the double-rounded price ratio, ~1 ulp) and the output
+// L·(√P − √P') cancels for small trades, so the bound carries the
+// output-side *virtual* reserve scale, not the output scale.
+// ---------------------------------------------------------------------------
+
+/// √-price fixed-point scale (S = 2²⁴).
+inline constexpr std::uint64_t kSqrtScale = std::uint64_t{1} << 24;
+/// Virtual-reserve-relative float allowance for the concentrated model.
+inline constexpr double kConcOracleRel = 1e-11;
+inline constexpr double kConcOracleAbs = 2.0;
+
+/// One in-range concentrated hop of exact integer state. `sqrt_price`
+/// and `sqrt_edge` are √-prices scaled by kSqrtScale; `sqrt_edge` is the
+/// range boundary in the direction of travel (√p_lo for token0 in,
+/// √p_hi for token1 in).
+struct ExactConcentratedHop {
+  U256 liquidity;
+  U256 sqrt_price;
+  U256 sqrt_edge;
+  bool token0_in = true;
+  std::uint64_t fee_numerator = 997;
+  std::uint64_t fee_denominator = 1000;
+};
+
+struct ExactConcentratedResult {
+  U256 amount_out;
+  double tolerance = 0.0;
+};
+
+/// Largest input that keeps the swap in range (Δ_eff ≤ distance to the
+/// edge in virtual-reserve units), floored.
+inline U256 concentrated_max_in(const ExactConcentratedHop& hop) {
+  const U256 fd(hop.fee_denominator);
+  const U256 fn(hop.fee_numerator);
+  const U256 s(kSqrtScale);
+  if (hop.token0_in) {
+    ARB_REQUIRE(hop.sqrt_edge < hop.sqrt_price, "edge must be below price");
+    // Δ_eff ≤ L·S·(sp − sl)/(sl·sp)
+    const U256 gap = hop.sqrt_price - hop.sqrt_edge;
+    return fd * hop.liquidity * s * gap /
+           (fn * hop.sqrt_edge * hop.sqrt_price);
+  }
+  ARB_REQUIRE(hop.sqrt_edge > hop.sqrt_price, "edge must be above price");
+  // Δ_eff ≤ L·(sh − sp)/S
+  const U256 gap = hop.sqrt_edge - hop.sqrt_price;
+  return fd * hop.liquidity * gap / (fn * s);
+}
+
+/// Exact in-range concentrated swap output (see the rational above).
+inline ExactConcentratedResult exact_concentrated_out(
+    const ExactConcentratedHop& hop, const U256& amount_in) {
+  const U256 fd(hop.fee_denominator);
+  const U256 fn(hop.fee_numerator);
+  const U256 s(kSqrtScale);
+  const U256& sp = hop.sqrt_price;
+  const U256& ell = hop.liquidity;
+  ExactConcentratedResult result;
+  double out_side_virtual;
+  if (hop.token0_in) {
+    result.amount_out = fn * amount_in * ell * sp * sp /
+                        (s * (ell * s * fd + fn * amount_in * sp));
+    out_side_virtual = ell.to_double() * sp.to_double() /
+                       static_cast<double>(kSqrtScale);
+  } else {
+    result.amount_out = fn * amount_in * ell * s * s /
+                        (sp * (ell * sp * fd + fn * amount_in * s));
+    out_side_virtual = ell.to_double() * static_cast<double>(kSqrtScale) /
+                       sp.to_double();
+  }
+  result.tolerance =
+      kConcOracleRel * (out_side_virtual + result.amount_out.to_double()) +
+      kConcOracleAbs;
+  return result;
+}
+
+inline bool within_concentrated_bound(double model_out,
+                                      const ExactConcentratedResult& exact) {
+  const double deviation = model_out - exact.amount_out.to_double();
+  return (deviation < 0.0 ? -deviation : deviation) <= exact.tolerance;
+}
+
+/// The real-valued ConcentratedPool mirroring a hop. The unused range
+/// side is placed one scaled unit beyond the price (the model's output
+/// never reads it in range).
+inline amm::ConcentratedPool real_concentrated_pool_of(
+    const ExactConcentratedHop& hop, PoolId id) {
+  const double fee =
+      1.0 - static_cast<double>(hop.fee_numerator) /
+                static_cast<double>(hop.fee_denominator);
+  const double scale = static_cast<double>(kSqrtScale);
+  const double sp = hop.sqrt_price.to_double() / scale;
+  const double edge = hop.sqrt_edge.to_double() / scale;
+  const double lo = hop.token0_in ? edge : sp / 2.0;
+  const double hi = hop.token0_in ? sp * 2.0 : edge;
+  return amm::ConcentratedPool(id, TokenId{0}, TokenId{1},
+                               hop.liquidity.to_double(), sp * sp, lo * lo,
+                               hi * hi, fee);
 }
 
 }  // namespace arb::testkit
