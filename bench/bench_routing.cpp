@@ -1,0 +1,169 @@
+// Whole-graph routing bench: correctness differentials plus timing bars
+// for the three solve tiers (direct chain / water-filling bisection /
+// flow-form barrier program). Emits BENCH_routing.json.
+//
+// Correctness checks are always strict: on an all-CPMM disjoint path set
+// the flow-form barrier solve must agree with the water-filling closed
+// form to 1e-6 relative, and every split must beat the best single path.
+// The *timing* bars (water-filling beats the barrier solve by a healthy
+// factor; a routed query stays sub-millisecond median) are same-run
+// relative and only enforced with ARB_BENCH_ROUTING_STRICT=1 — shared CI
+// hardware reports them without failing the build.
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "core/flow_nlp.hpp"
+#include "core/router.hpp"
+#include "core/routing.hpp"
+#include "graph/token_graph.hpp"
+
+using namespace arb;
+
+namespace {
+
+double relative_difference(double a, double b) {
+  const double scale = std::max(std::abs(a), std::abs(b));
+  return scale > 0.0 ? std::abs(a - b) / scale : 0.0;
+}
+
+}  // namespace
+
+int main() {
+  const bool strict = std::getenv("ARB_BENCH_ROUTING_STRICT") != nullptr;
+  bench::BenchJson json;
+  bench::FigureSink sink("routing", "whole-graph routing timings",
+                         {"metric", "value"});
+  bool failed = false;
+
+  graph::TokenGraph graph;
+  const TokenId a = graph.add_token("A");
+  const TokenId b = graph.add_token("B");
+  const TokenId c = graph.add_token("C");
+  const TokenId d = graph.add_token("D");
+  const PoolId direct1 = graph.add_pool(a, b, 10'000.0, 20'000.0);
+  const PoolId direct2 = graph.add_pool(a, b, 4'000.0, 9'000.0);
+  const PoolId leg_ac = graph.add_pool(a, c, 8'000.0, 8'000.0);
+  const PoolId leg_cb = graph.add_pool(c, b, 7'000.0, 15'000.0);
+  const PoolId leg_ad =
+      graph.add_stable_pool(a, d, 20'000.0, 20'000.0, 200.0);
+  const PoolId leg_db = graph.add_concentrated_pool(
+      d, b, /*liquidity=*/60'000.0, /*price=*/2.0, /*p_lo=*/1.0,
+      /*p_hi=*/4.0);
+
+  const std::vector<std::vector<PoolId>> cpmm_paths{
+      {direct1}, {direct2}, {leg_ac, leg_cb}};
+  const std::vector<std::vector<PoolId>> mixed_paths{
+      {direct1}, {direct2}, {leg_ac, leg_cb}, {leg_ad, leg_db}};
+  const double budget = 500.0;
+
+  // -- Differential: barrier flow solve vs water-filling closed form ------
+  auto water = bench::expect_ok(
+      core::optimal_route_split(graph, a, b, cpmm_paths, budget),
+      "water-filling split");
+  if (water.used_flow_solver) {
+    std::fprintf(stderr,
+                 "FAIL: all-CPMM disjoint split left the fast path\n");
+    failed = true;
+  }
+  auto instance = bench::expect_ok(
+      core::FlowInstance::for_swap(graph, a, b, cpmm_paths, budget),
+      "for_swap");
+  core::FlowContext flow_ctx;
+  const core::FlowOptions flow_options;
+  auto flow = bench::expect_ok(solve_flow(instance, flow_options, flow_ctx),
+                               "flow solve");
+  const double disagreement =
+      relative_difference(water.total_output, flow.objective);
+  json.set("diff.water_vs_flow_relative", disagreement);
+  sink.labeled_row("water_vs_flow_rel", {disagreement});
+  if (disagreement > 1e-6) {
+    std::fprintf(stderr,
+                 "FAIL: flow solve disagrees with water-filling by %.3g\n",
+                 disagreement);
+    failed = true;
+  }
+
+  const double single = bench::expect_ok(
+      core::best_single_path_output(graph, a, b, cpmm_paths, budget),
+      "single path");
+  json.set("diff.split_vs_single_improvement_pct",
+           100.0 * (water.total_output / single - 1.0));
+  if (water.total_output < single * (1.0 - 1e-9)) {
+    std::fprintf(stderr, "FAIL: split lost to the best single path\n");
+    failed = true;
+  }
+
+  // Mixed venues must route through the flow solver and still beat the
+  // best single path.
+  auto mixed = bench::expect_ok(
+      core::optimal_route_split(graph, a, b, mixed_paths, budget),
+      "mixed split");
+  if (!mixed.used_flow_solver) {
+    std::fprintf(stderr, "FAIL: mixed-venue split skipped the flow solver\n");
+    failed = true;
+  }
+  const double mixed_single = bench::expect_ok(
+      core::best_single_path_output(graph, a, b, mixed_paths, budget),
+      "mixed single path");
+  json.set("diff.mixed_total_output", mixed.total_output);
+  if (mixed.total_output < mixed_single * (1.0 - 1e-9)) {
+    std::fprintf(stderr,
+                 "FAIL: mixed split lost to the best single path\n");
+    failed = true;
+  }
+
+  // -- Timings -------------------------------------------------------------
+  const bench::Timing water_timing = bench::measure([&] {
+    (void)bench::expect_ok(
+        core::optimal_route_split(graph, a, b, cpmm_paths, budget),
+        "water-filling split");
+  });
+  const bench::Timing flow_timing = bench::measure([&] {
+    (void)bench::expect_ok(solve_flow(instance, flow_options, flow_ctx),
+                           "flow solve");
+  });
+  core::RouterContext router_ctx;
+  core::RouteQuery query;
+  query.token_in = a;
+  query.token_out = b;
+  query.amount_in = budget;
+  query.max_hops = 2;
+  const bench::Timing route_timing = bench::measure([&] {
+    (void)bench::expect_ok(core::route(graph, query, router_ctx), "route");
+  });
+  json.set("water_filling", water_timing);
+  json.set("flow_solve", flow_timing);
+  json.set("route_query", route_timing);
+  const double speedup = flow_timing.median_ns / water_timing.median_ns;
+  json.set("water_vs_flow_speedup_x", speedup);
+  sink.labeled_row("water_median_ns", {water_timing.median_ns});
+  sink.labeled_row("flow_median_ns", {flow_timing.median_ns});
+  sink.labeled_row("route_median_ns", {route_timing.median_ns});
+  sink.labeled_row("water_vs_flow_speedup_x", {speedup});
+  std::printf("water %.0fns vs flow %.0fns (%.1fx), routed query %.0fns\n",
+              water_timing.median_ns, flow_timing.median_ns, speedup,
+              route_timing.median_ns);
+
+  // Same-run relative bars: the closed form should beat the barrier
+  // program comfortably, and a whole routed query (enumeration included)
+  // should stay under a millisecond at the median on dedicated hardware.
+  if (strict) {
+    if (speedup < 1.5) {
+      std::fprintf(stderr, "FAIL: water-filling only %.2fx faster than "
+                   "the flow solve (bar: 1.5x)\n", speedup);
+      failed = true;
+    }
+    if (route_timing.median_ns > 1e6) {
+      std::fprintf(stderr, "FAIL: routed query median %.0fns exceeds 1ms\n",
+                   route_timing.median_ns);
+      failed = true;
+    }
+  }
+
+  if (!json.write("BENCH_routing.json")) return 1;
+  return failed ? 1 : 0;
+}

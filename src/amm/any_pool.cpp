@@ -179,4 +179,17 @@ SwapFn swap_fn(const AnyPool& pool, TokenId token_in) {
   return {};
 }
 
+SwapFn signed_swap_fn(const AnyPool& pool, TokenId token_in) {
+  switch (pool.kind()) {
+    case PoolKind::kCpmm:
+      return signed_swap_fn(pool.cpmm(), token_in);
+    case PoolKind::kStable:
+      return signed_swap_fn(pool.stable(), token_in);
+    case PoolKind::kConcentrated:
+      return signed_swap_fn(pool.concentrated(), token_in);
+  }
+  ARB_REQUIRE(false, "unknown pool kind");
+  return {};
+}
+
 }  // namespace arb::amm

@@ -114,4 +114,8 @@ class AnyPool {
 /// returned function owns a copy of the pool's state.
 [[nodiscard]] SwapFn swap_fn(const AnyPool& pool, TokenId token_in);
 
+/// Concave-continuation adapter (generic_path.hpp): forward quote for
+/// d ≥ 0, reverse-swap continuation for d < 0, kind-dispatched.
+[[nodiscard]] SwapFn signed_swap_fn(const AnyPool& pool, TokenId token_in);
+
 }  // namespace arb::amm

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <limits>
 
 #include "common/error.hpp"
 
@@ -193,6 +194,27 @@ SwapFn swap_fn(const ConcentratedPool& pool, TokenId token_in) {
   ARB_REQUIRE(pool.contains(token_in), "token not in pool");
   return [pool, token_in](double dx) {
     return pool.quote(token_in, dx).amount_out;
+  };
+}
+
+SwapFn signed_swap_fn(const ConcentratedPool& pool, TokenId token_in) {
+  ARB_REQUIRE(pool.contains(token_in), "token not in pool");
+  const double liq = pool.liquidity();
+  const double sp = pool.sqrt_price();
+  const double gamma = 1.0 - pool.fee();
+  // Virtual reserves oriented by the forward trade direction; the CPMM
+  // continuation d·y_v/(γ·(x_v + d)) is exact in range. Receiving more
+  // of token_in than its real reserve pins the reverse swap at the
+  // opposite range edge.
+  const bool selling0 = token_in == pool.token0();
+  const double x_v = selling0 ? liq / sp : liq * sp;
+  const double y_v = selling0 ? liq * sp : liq / sp;
+  const double recv_max = selling0 ? liq * (1.0 / sp - 1.0 / pool.sqrt_hi())
+                                   : liq * (sp - pool.sqrt_lo());
+  return [pool, token_in, x_v, y_v, gamma, recv_max](double dx) {
+    if (dx >= 0.0) return pool.quote(token_in, dx).amount_out;
+    if (-dx >= recv_max) return -std::numeric_limits<double>::infinity();
+    return dx * y_v / (gamma * (x_v + dx));
   };
 }
 

@@ -115,4 +115,11 @@ class ConcentratedPool {
 /// GenericPath adapter (quote-only snapshot semantics).
 [[nodiscard]] SwapFn swap_fn(const ConcentratedPool& pool, TokenId token_in);
 
+/// Concave continuation (see generic_path.hpp): the CPMM continuation on
+/// the virtual reserves, bounded by the *reverse-direction* range edge —
+/// the pool can emit at most the real reserve of the received token
+/// before the price pins at the opposite boundary (extended value −∞).
+[[nodiscard]] SwapFn signed_swap_fn(const ConcentratedPool& pool,
+                                    TokenId token_in);
+
 }  // namespace arb::amm

@@ -1,5 +1,7 @@
 #include "amm/generic_path.hpp"
 
+#include <limits>
+
 #include "common/error.hpp"
 #include "math/scalar_solve.hpp"
 
@@ -24,6 +26,38 @@ SwapFn swap_fn(const StablePool& pool, TokenId token_in) {
   };
 }
 
+SwapFn signed_swap_fn(const CpmmPool& pool, TokenId token_in) {
+  ARB_REQUIRE(pool.contains(token_in), "token not in pool");
+  const double r_in = pool.reserve_of(token_in);
+  const double r_out = pool.reserve_of(pool.other(token_in));
+  const double gamma = pool.gamma();
+  return [r_in, r_out, gamma](double dx) {
+    if (dx >= 0.0) return swap_out(r_in, r_out, gamma, dx);
+    // Receiving −dx of the input token costs g⁻¹(−dx) of the output
+    // token, where g is the reverse swap γ·q·x/(y + γ·q); the pool can
+    // emit at most its input-side reserve.
+    if (dx <= -r_in) return -std::numeric_limits<double>::infinity();
+    return dx * r_out / (gamma * (r_in + dx));
+  };
+}
+
+SwapFn signed_swap_fn(const StablePool& pool, TokenId token_in) {
+  ARB_REQUIRE(pool.contains(token_in), "token not in pool");
+  const double x0 = pool.reserve_of(token_in);
+  const double y0 = pool.reserve_of(pool.other(token_in));
+  const double gamma = 1.0 - pool.fee();
+  const StableCurve curve = pool.curve();
+  return [pool, token_in, x0, y0, gamma, curve](double dx) {
+    if (dx >= 0.0) return pool.quote(token_in, dx).amount_out;
+    // Fee on output (Curve convention): the reverse swap that emits −dx
+    // credits its full input q to the output-side balance and pays
+    // γ·(x₀ − X(y₀ + q)), so q = Y(x₀ + dx/γ) − y₀ by curve symmetry.
+    const double depleted = x0 + dx / gamma;
+    if (depleted <= 0.0) return -std::numeric_limits<double>::infinity();
+    return y0 - curve.y(depleted);
+  };
+}
+
 GenericPath::GenericPath(std::vector<SwapFn> hops) : hops_(std::move(hops)) {
   ARB_REQUIRE(!hops_.empty(), "generic path needs at least one hop");
   for (const SwapFn& hop : hops_) {
@@ -35,6 +69,15 @@ double GenericPath::evaluate(double input) const {
   ARB_REQUIRE(input >= 0.0, "input must be non-negative");
   double amount = input;
   for (const SwapFn& hop : hops_) amount = hop(amount);
+  return amount;
+}
+
+double GenericPath::evaluate_signed(double input) const {
+  double amount = input;
+  for (const SwapFn& hop : hops_) {
+    if (amount == -std::numeric_limits<double>::infinity()) return amount;
+    amount = hop(amount);
+  }
   return amount;
 }
 

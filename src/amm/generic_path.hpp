@@ -31,6 +31,26 @@ using SwapFn = std::function<double(double)>;
 /// Wraps a StableSwap pool hop.
 [[nodiscard]] SwapFn swap_fn(const StablePool& pool, TokenId token_in);
 
+// ---- Concave continuation (arXiv 2604.02909) ----
+//
+// The signed wrappers extend each trade function to negative inputs:
+// F̃(d) for d < 0 is the (negated) input of the *reverse-direction* swap
+// that emits −d, i.e. F̃(d) = −g⁻¹(−d) where g is the opposite-direction
+// quote. F̃ stays concave and monotone; the fee produces a kink at 0
+// (left derivative 1/γ² times the right one), which is exactly why
+// round-tripping a pool loses money. Sell-side hops of the flow-form
+// routing program evaluate on this extension. Outside the continuation's
+// domain (receiving more than the pool can absorb: −d ≥ reserve, or a
+// concentrated range edge) the extended value is −∞.
+
+/// CPMM continuation: F̃(d) = d·y / (γ·(x + d)) on d ∈ (−x, 0); forward
+/// swap for d ≥ 0.
+[[nodiscard]] SwapFn signed_swap_fn(const CpmmPool& pool, TokenId token_in);
+
+/// StableSwap continuation (fee on output, as the forward quote):
+/// F̃(d) = y₀ − Y(x₀ + d/γ) on d ∈ (−γ·x₀, 0).
+[[nodiscard]] SwapFn signed_swap_fn(const StablePool& pool, TokenId token_in);
+
 /// A chain of black-box hops.
 class GenericPath {
  public:
@@ -41,6 +61,11 @@ class GenericPath {
 
   /// Output of the whole chain for a given input.
   [[nodiscard]] double evaluate(double input) const;
+
+  /// Signed evaluation for chains built from signed_swap_fn hops:
+  /// negative (sell-side) amounts propagate through the concave
+  /// continuation, and −∞ (outside a continuation's domain) is absorbing.
+  [[nodiscard]] double evaluate_signed(double input) const;
 
   /// Per-hop input amounts for a given path input (first = input).
   [[nodiscard]] std::vector<double> hop_inputs(double input) const;

@@ -90,6 +90,17 @@ struct LoopHopData {
   [[nodiscard]] double swap_deriv2(double d) const;  ///< F_i''(d) (< 0)
 };
 
+/// Builds the analytic kernel for one directed pool traversal (the
+/// per-kind dispatch shared by the loop transcriptions and the flow-form
+/// problem layer): CPMM real reserves / stable closed-form state +
+/// osculating proxy / concentrated virtual reserves + tick cap. Prices
+/// are left at zero — callers that monetize fill them in.
+/// Precondition: the pool contains both tokens and they are its two
+/// distinct sides.
+[[nodiscard]] LoopHopData make_edge_kernel(const amm::AnyPool& pool,
+                                           TokenId token_in,
+                                           TokenId token_out);
+
 /// Extracts per-hop data for a cycle rotation, dispatching on pool kind
 /// (CPMM real reserves / stable closed-form state + proxy / concentrated
 /// virtual reserves + cap). Fails with kNotFound when a CEX price is

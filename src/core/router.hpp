@@ -1,0 +1,93 @@
+#pragma once
+
+/// \file router.hpp
+/// Whole-graph best execution: "swap S of X into Y" answered over the
+/// entire pool graph.
+///
+/// route() enumerates candidate simple paths (bounded hops/width,
+/// deterministic order), then dispatches on their structure:
+///
+///   - one path              → direct chain evaluation (no solver),
+///   - all-CPMM, disjoint    → water-filling λ-bisection (routing.hpp),
+///   - anything else         → the flow-form barrier program
+///                             (core/flow_nlp.hpp), which handles mixed
+///                             venues and paths sharing pools.
+///
+/// Exact-output queries invert the best path through the concave
+/// continuation of the reverse chain (amm signed_swap_fn).
+
+#include <cstddef>
+#include <vector>
+
+#include "common/result.hpp"
+#include "common/types.hpp"
+#include "core/flow_nlp.hpp"
+#include "graph/token_graph.hpp"
+
+namespace arb::core {
+
+struct RouteQuery {
+  TokenId token_in;
+  TokenId token_out;
+  double amount_in = 0.0;
+  /// Bounds on the candidate set: simple paths of at most max_hops
+  /// pools, keeping the max_paths best by zero-size rate product.
+  std::size_t max_hops = 3;
+  std::size_t max_paths = 8;
+};
+
+/// How a route() call computed its split.
+enum class RouteMethod : std::uint8_t {
+  kDirect = 0,        ///< single path, chain evaluation
+  kWaterFilling = 1,  ///< parallel all-CPMM closed form
+  kFlowSolve = 2,     ///< flow-form barrier program
+};
+
+struct RoutedPath {
+  std::vector<PoolId> pools;
+  double input = 0.0;   ///< token_in spent on this path
+  double output = 0.0;  ///< token_out received from this path
+};
+
+struct RouteResult {
+  /// Funded and unfunded candidate paths, best zero-size rate first.
+  std::vector<RoutedPath> paths;
+  double amount_out = 0.0;
+  RouteMethod method = RouteMethod::kDirect;
+  int iterations = 0;
+  double duality_gap = 0.0;  ///< flow route only; 0 otherwise
+};
+
+/// Reusable per-thread state (the flow solve's workspace).
+struct RouterContext {
+  FlowContext flow;
+};
+
+/// Enumerates simple paths token_in → token_out of at most max_hops
+/// pools, pruning hops a trade cannot enter (tick-pinned concentrated
+/// positions), ranked by zero-size rate product (ties: lexicographic
+/// pool ids), truncated to max_paths. Deterministic for a given graph.
+[[nodiscard]] std::vector<std::vector<PoolId>> enumerate_paths(
+    const graph::TokenGraph& graph, TokenId token_in, TokenId token_out,
+    std::size_t max_hops, std::size_t max_paths);
+
+/// Best execution for the query. Fails with kInvalidArgument on a
+/// malformed query and kNotFound when no candidate path exists.
+[[nodiscard]] Result<RouteResult> route(const graph::TokenGraph& graph,
+                                        const RouteQuery& query,
+                                        RouterContext& ctx);
+
+/// Convenience overload with a fresh context.
+[[nodiscard]] Result<RouteResult> route(const graph::TokenGraph& graph,
+                                        const RouteQuery& query);
+
+/// Input of the path's start token required to receive exactly
+/// `amount_out` of its end token, computed by walking the path backward
+/// through the concave continuation of each reverse hop (the sell-side
+/// evaluation of arXiv 2604.02909). Fails with kCapacityExceeded when a
+/// hop cannot emit the required amount.
+[[nodiscard]] Result<double> required_input_for_output(
+    const graph::TokenGraph& graph, TokenId token_in,
+    const std::vector<PoolId>& path, double amount_out);
+
+}  // namespace arb::core

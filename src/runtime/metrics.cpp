@@ -95,7 +95,7 @@ void RuntimeMetrics::set_shard_plan(std::size_t shards, double imbalance) {
 }
 
 std::string MetricsSnapshot::summary() const {
-  char buffer[896];
+  char buffer[1152];
   std::snprintf(buffer, sizeof(buffer),
                 "ingested=%llu dropped=%llu coalesced=%llu batches=%llu "
                 "repriced=%llu (cpmm=%llu mixed=%llu fast=%llu gen=%llu) "
@@ -107,7 +107,9 @@ std::string MetricsSnapshot::summary() const {
                 "pipeline{depth=%llu lag=%llu wq=%llu} "
                 "rejected=%llu quarantined=%llu/%llu resyncs=%llu "
                 "fallbacks=%llu "
-                "shards=%llu imbalance=%.2f shard_repriced=[%llu..%llu]",
+                "shards=%llu imbalance=%.2f shard_repriced=[%llu..%llu] "
+                "routing{q=%llu direct=%llu wf=%llu flow=%llu fail=%llu "
+                "p50=%.1f p99=%.1f}",
                 static_cast<unsigned long long>(events_ingested),
                 static_cast<unsigned long long>(events_dropped),
                 static_cast<unsigned long long>(events_coalesced),
@@ -137,7 +139,13 @@ std::string MetricsSnapshot::summary() const {
                 static_cast<unsigned long long>(solver_fallbacks),
                 static_cast<unsigned long long>(shards), shard_imbalance,
                 static_cast<unsigned long long>(shard_repriced_min()),
-                static_cast<unsigned long long>(shard_repriced_max()));
+                static_cast<unsigned long long>(shard_repriced_max()),
+                static_cast<unsigned long long>(routing_queries),
+                static_cast<unsigned long long>(routing_direct),
+                static_cast<unsigned long long>(routing_water_filling),
+                static_cast<unsigned long long>(routing_flow_solves),
+                static_cast<unsigned long long>(routing_failures),
+                routing_p50_us, routing_p99_us);
   return buffer;
 }
 
@@ -172,7 +180,13 @@ std::vector<std::string> MetricsSnapshot::csv_columns() {
           "stage_write_p50_us",    "stage_write_p99_us",
           // Mixed-loop route split (appended — fixed column positions
           // for existing consumers).
-          "loops_repriced_mixed_fast", "loops_repriced_mixed_generic"};
+          "loops_repriced_mixed_fast", "loops_repriced_mixed_generic",
+          // Routing service (appended).
+          "routing_queries",       "routing_direct",
+          "routing_water_filling", "routing_flow_solves",
+          "routing_failures",      "routing_samples",
+          "routing_p50_us",        "routing_p99_us",
+          "routing_max_us"};
 }
 
 MetricsSnapshot RuntimeMetrics::snapshot() const {
@@ -234,6 +248,17 @@ MetricsSnapshot RuntimeMetrics::snapshot() const {
   snap.stage_write_samples = stage_write_latency_.samples();
   snap.stage_write_p50_us = stage_write_latency_.quantile(0.50);
   snap.stage_write_p99_us = stage_write_latency_.quantile(0.99);
+  snap.routing_queries = routing_queries_.load(std::memory_order_relaxed);
+  snap.routing_direct = routing_direct_.load(std::memory_order_relaxed);
+  snap.routing_water_filling =
+      routing_water_filling_.load(std::memory_order_relaxed);
+  snap.routing_flow_solves =
+      routing_flow_solves_.load(std::memory_order_relaxed);
+  snap.routing_failures = routing_failures_.load(std::memory_order_relaxed);
+  snap.routing_samples = routing_latency_.samples();
+  snap.routing_p50_us = routing_latency_.quantile(0.50);
+  snap.routing_p99_us = routing_latency_.quantile(0.99);
+  snap.routing_max_us = routing_latency_.max_us();
   return snap;
 }
 
@@ -285,7 +310,14 @@ Status write_metrics_csv(const std::vector<MetricsSnapshot>& snapshots,
             s.stage_validate_p99_us, s.stage_write_p50_us,
             s.stage_write_p99_us,
             static_cast<std::size_t>(s.loops_repriced_mixed_fast),
-            static_cast<std::size_t>(s.loops_repriced_mixed_generic));
+            static_cast<std::size_t>(s.loops_repriced_mixed_generic),
+            static_cast<std::size_t>(s.routing_queries),
+            static_cast<std::size_t>(s.routing_direct),
+            static_cast<std::size_t>(s.routing_water_filling),
+            static_cast<std::size_t>(s.routing_flow_solves),
+            static_cast<std::size_t>(s.routing_failures),
+            static_cast<std::size_t>(s.routing_samples), s.routing_p50_us,
+            s.routing_p99_us, s.routing_max_us);
   }
   return Status::success();
 }

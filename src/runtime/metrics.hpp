@@ -120,6 +120,20 @@ struct MetricsSnapshot {
   /// WorkerPool task-queue depth at snapshot time.
   std::uint64_t worker_queue_depth = 0;
 
+  /// Routing-service observability: best-execution queries answered
+  /// against committed snapshots, split by solve method (direct chain
+  /// evaluation / water-filling bisection / flow-form barrier program),
+  /// plus end-to-end query latency.
+  std::uint64_t routing_queries = 0;
+  std::uint64_t routing_direct = 0;
+  std::uint64_t routing_water_filling = 0;
+  std::uint64_t routing_flow_solves = 0;
+  std::uint64_t routing_failures = 0;
+  std::uint64_t routing_samples = 0;
+  double routing_p50_us = 0.0;
+  double routing_p99_us = 0.0;
+  double routing_max_us = 0.0;
+
   [[nodiscard]] std::uint64_t shard_repriced_min() const;
   [[nodiscard]] std::uint64_t shard_repriced_max() const;
   [[nodiscard]] std::uint64_t events_rejected_total() const;
@@ -190,6 +204,15 @@ class RuntimeMetrics {
     stage_write_latency_.record(microseconds);
   }
 
+  void add_routing_query() { ++routing_queries_; }
+  void add_routing_direct() { ++routing_direct_; }
+  void add_routing_water_filling() { ++routing_water_filling_; }
+  void add_routing_flow_solve() { ++routing_flow_solves_; }
+  void add_routing_failure() { ++routing_failures_; }
+  void record_routing_latency(double microseconds) {
+    routing_latency_.record(microseconds);
+  }
+
   [[nodiscard]] MetricsSnapshot snapshot() const;
 
  private:
@@ -219,6 +242,12 @@ class RuntimeMetrics {
   std::atomic<std::uint64_t> epoch_lag_{0};
   std::atomic<std::uint64_t> warm_invalidations_{0};
   std::atomic<std::uint64_t> worker_queue_depth_{0};
+  std::atomic<std::uint64_t> routing_queries_{0};
+  std::atomic<std::uint64_t> routing_direct_{0};
+  std::atomic<std::uint64_t> routing_water_filling_{0};
+  std::atomic<std::uint64_t> routing_flow_solves_{0};
+  std::atomic<std::uint64_t> routing_failures_{0};
+  LatencyHistogram routing_latency_;
   LatencyHistogram reprice_latency_;
   LatencyHistogram cpmm_reprice_latency_;
   LatencyHistogram mixed_reprice_latency_;

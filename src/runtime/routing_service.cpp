@@ -1,0 +1,40 @@
+#include "runtime/routing_service.hpp"
+
+#include <chrono>
+
+namespace arb::runtime {
+
+Result<core::RouteResult> RoutingService::best_execution(
+    const core::RouteQuery& query) {
+  RuntimeMetrics& metrics = service_.metrics_registry();
+  metrics.add_routing_query();
+
+  const auto start = std::chrono::steady_clock::now();
+  std::lock_guard<std::mutex> lock(mutex_);
+  Result<core::RouteResult> result =
+      service_.with_snapshot([&](const market::MarketSnapshot& snapshot) {
+        return core::route(snapshot.graph, query, ctx_);
+      });
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  metrics.record_routing_latency(
+      std::chrono::duration<double, std::micro>(elapsed).count());
+
+  if (!result) {
+    metrics.add_routing_failure();
+    return result;
+  }
+  switch (result->method) {
+    case core::RouteMethod::kDirect:
+      metrics.add_routing_direct();
+      break;
+    case core::RouteMethod::kWaterFilling:
+      metrics.add_routing_water_filling();
+      break;
+    case core::RouteMethod::kFlowSolve:
+      metrics.add_routing_flow_solve();
+      break;
+  }
+  return result;
+}
+
+}  // namespace arb::runtime

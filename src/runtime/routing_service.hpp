@@ -1,0 +1,44 @@
+#pragma once
+
+/// \file routing_service.hpp
+/// Best-execution queries against the live scanner service.
+///
+/// The scanner service maintains the committed market (epoch-buffered,
+/// settled states only); this thin facade answers "swap S of X into Y"
+/// by running the whole-graph router (core/router.hpp) against that
+/// snapshot under the scanner lock, and publishes per-method counters
+/// and an end-to-end latency histogram into the service's metric
+/// registry (routing_* columns in the metrics CSV).
+///
+/// Queries serialize with each other (one reusable flow-solver
+/// workspace, mutex-guarded) and with epoch commits (the scanner lock),
+/// so every answer is computed on one consistent, fully settled market
+/// state.
+
+#include <mutex>
+
+#include "common/result.hpp"
+#include "core/router.hpp"
+#include "runtime/service.hpp"
+
+namespace arb::runtime {
+
+class RoutingService {
+ public:
+  /// The scanner service must outlive this object.
+  explicit RoutingService(ScannerService& service) : service_(service) {}
+
+  RoutingService(const RoutingService&) = delete;
+  RoutingService& operator=(const RoutingService&) = delete;
+
+  /// Routes the query on the committed snapshot. Thread-safe.
+  [[nodiscard]] Result<core::RouteResult> best_execution(
+      const core::RouteQuery& query);
+
+ private:
+  ScannerService& service_;
+  std::mutex mutex_;
+  core::RouterContext ctx_;  ///< guarded by mutex_
+};
+
+}  // namespace arb::runtime

@@ -113,6 +113,21 @@ class ScannerService {
   /// service runs with validate=false.
   [[nodiscard]] std::vector<PoolId> quarantined_pools() const;
 
+  /// Runs `fn` against the committed market snapshot under the scanner
+  /// lock (same observer contract as opportunities(): only settled epoch
+  /// states are visible, and the call waits out a busy pipeline). The
+  /// snapshot reference is valid only inside `fn` — copy what outlives
+  /// the call. This is the routing service's read primitive.
+  template <typename Fn>
+  auto with_snapshot(Fn&& fn) const {
+    std::lock_guard<std::mutex> lock(scanner_mutex_);
+    return std::forward<Fn>(fn)(scanner_->snapshot());
+  }
+
+  /// The live metric registry, for co-located components (the routing
+  /// service) that publish into the same snapshot/CSV stream.
+  [[nodiscard]] RuntimeMetrics& metrics_registry() { return metrics_; }
+
  private:
   /// One queued event plus its global arrival ticket. The consumer
   /// merges the per-shard queues by ticket, so batch composition is

@@ -1,0 +1,217 @@
+// Concave-continuation edge cases for the signed swap wrappers
+// (amm signed_swap_fn / GenericPath::evaluate_signed): round-trip
+// inversion against each venue's forward quote, domain boundaries
+// (reserve depletion, concentrated range edges, near-pinned ticks), the
+// fee kink at zero, and a cross-check of the forward side against the
+// exact integer oracle.
+
+#include "amm/generic_path.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "amm/any_pool.hpp"
+#include "amm/concentrated_pool.hpp"
+#include "amm/pool.hpp"
+#include "amm/stable_pool.hpp"
+#include "common/rng.hpp"
+#include "testkit/oracle.hpp"
+
+namespace arb::amm {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+const TokenId kA{0};
+const TokenId kB{1};
+
+// F̃_rev(−out) = −F⁻¹(out): selling the forward output back through the
+// reverse continuation must recover (minus) the forward input.
+TEST(GenericPathSignedTest, CpmmRoundTripInvertsForwardQuote) {
+  const CpmmPool pool(PoolId{0}, kA, kB, 5'000.0, 11'000.0, 0.003);
+  const SwapFn reverse = signed_swap_fn(pool, kB);
+  for (const double d : {1e-6, 0.5, 37.0, 1'000.0, 4'999.0}) {
+    const double out = pool.quote(kA, d).amount_out;
+    const double recovered = -reverse(-out);
+    EXPECT_NEAR(recovered, d, 1e-9 * d) << "input " << d;
+  }
+}
+
+TEST(GenericPathSignedTest, CpmmContinuationDomainEndsAtReserve) {
+  const CpmmPool pool(PoolId{0}, kA, kB, 1'000.0, 2'000.0, 0.003);
+  // signed_swap_fn(pool, kA) continues below zero until the pool would
+  // have to emit its whole token-A reserve (x = 1000).
+  const SwapFn signed_fn = signed_swap_fn(pool, kA);
+  EXPECT_EQ(signed_fn(-1'000.0), -kInf);
+  EXPECT_EQ(signed_fn(-1'500.0), -kInf);
+  const double near = signed_fn(-1'000.0 * (1.0 - 1e-9));
+  EXPECT_TRUE(std::isfinite(near));
+  EXPECT_LT(near, -1e9);  // blows up toward −∞ at the boundary
+  // Strictly increasing inside the domain.
+  EXPECT_LT(near, signed_fn(-999.0));
+  EXPECT_LT(signed_fn(-999.0), signed_fn(-1.0));
+  EXPECT_LT(signed_fn(-1.0), signed_fn(0.0));
+  EXPECT_DOUBLE_EQ(signed_fn(0.0), 0.0);
+}
+
+// The fee kink: F̃'(0⁻) = F'(0⁺)/γ² — crossing zero costs the fee twice,
+// which is exactly why round-tripping a pool loses money.
+TEST(GenericPathSignedTest, FeeKinkAtZeroIsGammaSquared) {
+  const double fee = 0.003;
+  const double gamma = 1.0 - fee;
+  const CpmmPool pool(PoolId{0}, kA, kB, 10'000.0, 30'000.0, fee);
+  const SwapFn signed_fn = signed_swap_fn(pool, kA);
+  const double h = 1e-6;
+  const double right = (signed_fn(h) - signed_fn(0.0)) / h;
+  const double left = (signed_fn(0.0) - signed_fn(-h)) / h;
+  EXPECT_NEAR(right, gamma * 3.0, 1e-6);
+  EXPECT_NEAR(left, 3.0 / gamma, 1e-6);
+  EXPECT_NEAR(left / right, 1.0 / (gamma * gamma), 1e-6);
+}
+
+TEST(GenericPathSignedTest, StableRoundTripInvertsForwardQuote) {
+  const StablePool pool(PoolId{0}, kA, kB, 1'000'000.0, 1'020'000.0, 200.0,
+                        0.0004);
+  const SwapFn reverse = signed_swap_fn(pool, kB);
+  for (const double d : {1.0, 500.0, 50'000.0, 800'000.0}) {
+    const double out = pool.quote(kA, d).amount_out;
+    const double recovered = -reverse(-out);
+    // The cached-D curve solves Y by Newton; allow its slack.
+    EXPECT_NEAR(recovered, d, 1e-6 * d) << "input " << d;
+  }
+}
+
+TEST(GenericPathSignedTest, StableContinuationDomainEndsAtReserve) {
+  const double fee = 0.0004;
+  const StablePool pool(PoolId{0}, kA, kB, 2'000.0, 2'000.0, 100.0, fee);
+  const SwapFn signed_fn = signed_swap_fn(pool, kA);
+  // Fee-on-output: emitting −d of token A costs the pool −d/γ off its
+  // reserve, so the domain ends at γ·x₀.
+  const double gamma = 1.0 - fee;
+  EXPECT_EQ(signed_fn(-gamma * 2'000.0), -kInf);
+  EXPECT_EQ(signed_fn(-3'000.0), -kInf);
+  EXPECT_TRUE(std::isfinite(signed_fn(-gamma * 2'000.0 * (1.0 - 1e-9))));
+  EXPECT_LT(signed_fn(-1'000.0), signed_fn(-10.0));
+  EXPECT_LT(signed_fn(-10.0), 0.0);
+}
+
+TEST(GenericPathSignedTest, ConcentratedRoundTripInvertsForwardQuote) {
+  const ConcentratedPool pool(PoolId{0}, kA, kB, /*liquidity=*/50'000.0,
+                              /*price=*/2.0, /*p_lo=*/1.0, /*p_hi=*/4.0,
+                              /*fee=*/0.003);
+  const SwapFn reverse = signed_swap_fn(pool, kB);
+  for (const double d : {1e-3, 10.0, 500.0, 5'000.0}) {
+    const double out = pool.quote(kA, d).amount_out;
+    const double recovered = -reverse(-out);
+    EXPECT_NEAR(recovered, d, 1e-9 * d) << "input " << d;
+  }
+}
+
+TEST(GenericPathSignedTest, ConcentratedContinuationStopsAtRangeEdge) {
+  const ConcentratedPool pool(PoolId{0}, kA, kB, 50'000.0, 2.0, 1.0, 4.0,
+                              0.003);
+  // Reverse of selling A: the pool emits token A, of which it holds the
+  // real in-range reserve L·(1/√P − 1/√hi).
+  const double reserve_a =
+      pool.liquidity() * (1.0 / pool.sqrt_price() - 1.0 / pool.sqrt_hi());
+  const SwapFn signed_fn = signed_swap_fn(pool, kA);
+  EXPECT_EQ(signed_fn(-reserve_a), -kInf);
+  EXPECT_EQ(signed_fn(-2.0 * reserve_a), -kInf);
+  EXPECT_TRUE(std::isfinite(signed_fn(-reserve_a * (1.0 - 1e-9))));
+}
+
+// A position priced essentially at its lower tick has ~zero token-B
+// reserve: the continuation admits (almost) nothing in the direction
+// that drains it, while the other side keeps its full capacity.
+TEST(GenericPathSignedTest, NearPinnedTickHasOneSidedCapacity) {
+  const double p_lo = 1.0;
+  const double price = p_lo * (1.0 + 1e-12);
+  const ConcentratedPool pool(PoolId{0}, kA, kB, 10'000.0, price, p_lo, 4.0,
+                              0.003);
+  const double reserve_b =
+      pool.liquidity() * (pool.sqrt_price() - pool.sqrt_lo());
+  EXPECT_LT(reserve_b, 1e-7);  // ~pinned
+  // Receiving token B beyond the dust reserve is impossible...
+  const SwapFn drained = signed_swap_fn(pool, kB);
+  EXPECT_EQ(drained(-2.0 * reserve_b - 1e-9), -kInf);
+  // ...while the token-A side still has its full range capacity.
+  const SwapFn full = signed_swap_fn(pool, kA);
+  const double reserve_a =
+      pool.liquidity() * (1.0 / pool.sqrt_price() - 1.0 / pool.sqrt_hi());
+  EXPECT_TRUE(std::isfinite(full(-0.5 * reserve_a)));
+  EXPECT_LT(full(-0.5 * reserve_a), 0.0);
+}
+
+// Near-zero liquidity: the continuation stays well-behaved at dust
+// scale — monotone inside the (tiny) domain, −∞ outside.
+TEST(GenericPathSignedTest, DustReservesKeepDomainSemantics) {
+  const CpmmPool pool(PoolId{0}, kA, kB, 1e-9, 1e-9, 0.003);
+  const SwapFn signed_fn = signed_swap_fn(pool, kA);
+  EXPECT_EQ(signed_fn(-1e-9), -kInf);
+  EXPECT_EQ(signed_fn(-1.0), -kInf);
+  const double inside = signed_fn(-0.5e-9);
+  EXPECT_TRUE(std::isfinite(inside));
+  EXPECT_LT(inside, 0.0);
+  EXPECT_DOUBLE_EQ(signed_fn(0.0), 0.0);
+}
+
+// −∞ is absorbing through a signed chain: once a hop cannot emit the
+// required amount, the whole path reports −∞.
+TEST(GenericPathSignedTest, EvaluateSignedAbsorbsInfinity) {
+  const CpmmPool small(PoolId{0}, kA, kB, 10.0, 10.0, 0.003);
+  const CpmmPool big(PoolId{1}, kB, kA, 1e6, 1e6, 0.003);
+  const GenericPath chain(
+      {signed_swap_fn(small, kA), signed_swap_fn(big, kB)});
+  EXPECT_EQ(chain.evaluate_signed(-20.0), -kInf);
+  EXPECT_TRUE(std::isfinite(chain.evaluate_signed(-5.0)));
+  EXPECT_TRUE(std::isfinite(chain.evaluate_signed(5.0)));
+  // Positive side agrees with the plain forward evaluation.
+  const GenericPath forward({swap_fn(small, kA), swap_fn(big, kB)});
+  EXPECT_DOUBLE_EQ(chain.evaluate_signed(7.0), forward.evaluate(7.0));
+}
+
+// Forward side of the signed wrapper against the exact integer oracle:
+// seeded random (reserves, fee, input) cases must stay within the
+// oracle's sound per-case bound, so the continuation's d ≥ 0 branch is
+// pinned to the same truth as the quote pipeline.
+TEST(GenericPathSignedTest, ForwardBranchMatchesExactOracle) {
+  Rng rng(4711);
+  for (int i = 0; i < 2'000; ++i) {
+    testkit::ExactHop hop;
+    hop.reserve_in = testkit::random_magnitude(rng, 100);
+    hop.reserve_out = testkit::random_magnitude(rng, 100);
+    hop.fee_numerator = testkit::random_fee_numerator(rng);
+    const U256 amount = testkit::random_magnitude(rng, 100);
+    const testkit::ExactChainResult exact = testkit::exact_out(hop, amount);
+
+    const CpmmPool pool = testkit::real_pool_of(hop, PoolId{0});
+    const SwapFn signed_fn = signed_swap_fn(pool, pool.token0());
+    ASSERT_TRUE(
+        testkit::within_bound(signed_fn(amount.to_double()), exact))
+        << "case " << i << ": in " << amount.to_decimal() << " reserves "
+        << hop.reserve_in.to_decimal() << "/"
+        << hop.reserve_out.to_decimal() << " fee " << hop.fee_numerator;
+  }
+}
+
+// Kind-dispatched AnyPool wrapper agrees with the per-venue wrappers.
+TEST(GenericPathSignedTest, AnyPoolDispatchMatchesConcreteWrappers) {
+  const CpmmPool cpmm(PoolId{0}, kA, kB, 1'000.0, 2'000.0, 0.003);
+  const StablePool stable(PoolId{1}, kA, kB, 1'000.0, 1'000.0, 100.0,
+                          0.0004);
+  const ConcentratedPool conc(PoolId{2}, kA, kB, 10'000.0, 2.0, 1.0, 4.0,
+                              0.003);
+  for (const double d : {-200.0, -1.0, 0.0, 3.0, 400.0}) {
+    EXPECT_DOUBLE_EQ(signed_swap_fn(AnyPool(cpmm), kA)(d),
+                     signed_swap_fn(cpmm, kA)(d));
+    EXPECT_DOUBLE_EQ(signed_swap_fn(AnyPool(stable), kA)(d),
+                     signed_swap_fn(stable, kA)(d));
+    EXPECT_DOUBLE_EQ(signed_swap_fn(AnyPool(conc), kA)(d),
+                     signed_swap_fn(conc, kA)(d));
+  }
+}
+
+}  // namespace
+}  // namespace arb::amm

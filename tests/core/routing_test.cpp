@@ -117,6 +117,35 @@ TEST(RoutingTest, SplitSpendsExactlyTheBudget) {
   }
 }
 
+// Regression: the bisection tolerance used to be absolute (1e-12 on λ),
+// which at huge budgets either never converged or stopped with inputs
+// that missed the budget by whole tokens. The tolerance is now relative
+// to the bracket scale, so a 1e12 budget against ~1e3 reserves converges
+// and lands the budget exactly.
+TEST(RoutingTest, LargeBudgetConvergesWithRelativeTolerance) {
+  const RoutedMarket m;
+  const auto paths = m.paths();
+  for (const double budget : {1e6, 1e9, 1e12}) {
+    const auto result = optimal_route_split(paths, budget);
+    ASSERT_TRUE(result.ok()) << "budget " << budget;
+    const auto& split = *result;
+    double spent = 0.0;
+    for (double d : split.inputs) spent += d;
+    EXPECT_NEAR(spent, budget, 1e-9 * budget) << "budget " << budget;
+    EXPECT_LT(split.iterations, 200) << "budget " << budget;
+    // Deep in every pool, marginal rates still equalize.
+    for (std::size_t p = 0; p < paths.size(); ++p) {
+      if (split.inputs[p] > 1e-9 * budget) {
+        const double marginal =
+            paths[p].compose().derivative(split.inputs[p]);
+        EXPECT_NEAR(marginal, split.marginal_rate,
+                    1e-6 * split.marginal_rate)
+            << "budget " << budget << " path " << p;
+      }
+    }
+  }
+}
+
 TEST(RoutingTest, ValidationRejectsBadInputs) {
   const RoutedMarket m;
   EXPECT_FALSE(optimal_route_split({}, 1.0).ok());

@@ -7,6 +7,7 @@
 #include "core/scanner.hpp"
 #include "market/generator.hpp"
 #include "runtime/replay_stream.hpp"
+#include "runtime/routing_service.hpp"
 
 namespace arb::runtime {
 namespace {
@@ -355,6 +356,55 @@ TEST(ScannerServiceTest, MixedWarmHitRateAboveSixtyPercentInSteadyState) {
   // Clean stream, in-range moves: no slot ever goes valid → invalid
   // (quarantines and generic-route invalidation are fault/edge events).
   EXPECT_EQ(metrics.warm_invalidations, 0u);
+  service->stop();
+}
+
+TEST(RoutingServiceTest, AnswersQueriesAndCountsMethods) {
+  const auto snapshot = test_snapshot();
+  ServiceConfig config;
+  config.scanner.loop_lengths = {3};
+  config.worker_threads = 2;
+  auto service = ScannerService::start(snapshot, config).value();
+  RoutingService routing(*service);
+
+  // Generated markets are hub-and-spoke: token 0 is a hub, so 0 → 1 is
+  // reachable within two hops.
+  core::RouteQuery query;
+  query.token_in = TokenId{0};
+  query.token_out = TokenId{1};
+  query.amount_in = 10.0;
+  query.max_hops = 2;
+  auto result = routing.best_execution(query);
+  ASSERT_TRUE(result.ok()) << result.error().message;
+  EXPECT_GT(result->amount_out, 0.0);
+  double spent = 0.0;
+  for (const core::RoutedPath& path : result->paths) spent += path.input;
+  EXPECT_NEAR(spent, query.amount_in, 1e-9 * query.amount_in);
+
+  // Malformed query: counted as a failure, service unharmed.
+  core::RouteQuery bad = query;
+  bad.token_out = bad.token_in;
+  EXPECT_FALSE(routing.best_execution(bad).ok());
+
+  // Stream a block of updates, then route again on the settled state.
+  ReplayStreamConfig stream_config;
+  stream_config.blocks = 1;
+  stream_config.seed = 7;
+  ReplayUpdateStream stream(snapshot, stream_config);
+  while (auto event = stream.next()) ASSERT_TRUE(service->publish(*event));
+  service->drain();
+  auto after = routing.best_execution(query);
+  ASSERT_TRUE(after.ok()) << after.error().message;
+  EXPECT_GT(after->amount_out, 0.0);
+
+  const MetricsSnapshot metrics = service->metrics();
+  EXPECT_EQ(metrics.routing_queries, 3u);
+  EXPECT_EQ(metrics.routing_failures, 1u);
+  EXPECT_EQ(metrics.routing_direct + metrics.routing_water_filling +
+                metrics.routing_flow_solves,
+            2u);
+  EXPECT_EQ(metrics.routing_samples, 3u);
+  EXPECT_GE(metrics.routing_max_us, metrics.routing_p50_us);
   service->stop();
 }
 
